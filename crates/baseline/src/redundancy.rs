@@ -1,0 +1,150 @@
+//! Redundancy analysis of a mined rule set.
+//!
+//! Quantifies the paper's §1 complaint about traditional miners: the
+//! output is "overwhelming … some of which may be redundant,
+//! irrelevant, or difficult to understand". We measure three flavours:
+//!
+//! * **subsumed domains** — a `PropertyValueIn` whose domain is the
+//!   full observed value set adds nothing over the data itself;
+//! * **implied uniqueness** — `MandatoryProperty(l, k)` is implied by
+//!   `UniqueProperty(l, k)` scoring 100% coverage (every node has the
+//!   key *and* it is unique);
+//! * **mirrored endpoints** — an `IncomingExactlyOne` duplicated for
+//!   every observed endpoint signature of the same relationship type.
+
+use std::collections::{HashMap, HashSet};
+
+use grm_rules::ConsistencyRule;
+
+use crate::miner::MinedRule;
+
+/// Summary of how much of a rule set is redundant or trivial.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RedundancyReport {
+    pub total: usize,
+    /// Mandatory rules implied by a perfect unique rule on the same key.
+    pub implied_mandatory: usize,
+    /// Value-domain rules whose domain simply enumerates the data.
+    pub trivial_domains: usize,
+    /// Cardinality rules repeated across endpoint signatures of one type.
+    pub mirrored_cardinality: usize,
+    /// Range rules that merely restate the observed min/max.
+    pub observed_ranges: usize,
+}
+
+impl RedundancyReport {
+    /// Rules flagged by any detector.
+    pub fn redundant(&self) -> usize {
+        self.implied_mandatory
+            + self.trivial_domains
+            + self.mirrored_cardinality
+            + self.observed_ranges
+    }
+
+    /// Fraction of the set that is redundant/trivial.
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.redundant() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Analyzes `mined` for redundancy.
+pub fn analyze_redundancy(mined: &[MinedRule]) -> RedundancyReport {
+    let mut report = RedundancyReport { total: mined.len(), ..Default::default() };
+
+    // Index perfect unique rules.
+    let perfect_unique: HashSet<(String, String)> = mined
+        .iter()
+        .filter_map(|m| match &m.rule {
+            ConsistencyRule::UniqueProperty { label, key }
+                if m.metrics.coverage_pct >= 100.0 =>
+            {
+                Some((label.clone(), key.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    // Count cardinality rules per relationship type.
+    let mut cardinality_per_type: HashMap<&str, usize> = HashMap::new();
+    for m in mined {
+        if let ConsistencyRule::IncomingExactlyOne { etype, .. } = &m.rule {
+            *cardinality_per_type.entry(etype.as_str()).or_insert(0) += 1;
+        }
+    }
+
+    for m in mined {
+        match &m.rule {
+            ConsistencyRule::MandatoryProperty { label, key }
+                if perfect_unique.contains(&(label.clone(), key.clone())) =>
+            {
+                report.implied_mandatory += 1;
+            }
+            // The exhaustive miner builds domains from the data, so a
+            // 100%-confidence domain/range rule is tautological.
+            ConsistencyRule::PropertyValueIn { .. } if m.metrics.confidence_pct >= 100.0 => {
+                report.trivial_domains += 1;
+            }
+            ConsistencyRule::PropertyRange { .. } if m.metrics.confidence_pct >= 100.0 => {
+                report.observed_ranges += 1;
+            }
+            _ => {}
+        }
+    }
+    for (_, n) in cardinality_per_type {
+        if n > 1 {
+            report.mirrored_cardinality += n - 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{mine_exhaustive, MinerConfig};
+    use grm_datasets::{generate, DatasetId, GenConfig};
+
+    #[test]
+    fn exhaustive_output_is_substantially_redundant() {
+        // The paper's complaint, measured.
+        let g = generate(DatasetId::Twitter, &GenConfig { seed: 5, scale: 0.05, clean: false })
+            .graph;
+        let mined = mine_exhaustive(&g, MinerConfig::default());
+        let report = analyze_redundancy(&mined);
+        assert_eq!(report.total, mined.len());
+        assert!(
+            report.redundancy_ratio() > 0.2,
+            "expected heavy redundancy, got {:.0}% of {}",
+            100.0 * report.redundancy_ratio(),
+            report.total
+        );
+    }
+
+    #[test]
+    fn empty_set_has_zero_redundancy() {
+        let r = analyze_redundancy(&[]);
+        assert_eq!(r.redundant(), 0);
+        assert_eq!(r.redundancy_ratio(), 0.0);
+    }
+
+    #[test]
+    fn implied_mandatory_detected() {
+        use grm_metrics::RuleMetrics;
+        let perfect = RuleMetrics { support: 10, coverage_pct: 100.0, confidence_pct: 100.0 };
+        let mined = vec![
+            MinedRule {
+                rule: ConsistencyRule::UniqueProperty { label: "U".into(), key: "id".into() },
+                metrics: perfect,
+            },
+            MinedRule {
+                rule: ConsistencyRule::MandatoryProperty { label: "U".into(), key: "id".into() },
+                metrics: perfect,
+            },
+        ];
+        let r = analyze_redundancy(&mined);
+        assert_eq!(r.implied_mandatory, 1);
+    }
+}

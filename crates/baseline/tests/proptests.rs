@@ -1,0 +1,83 @@
+//! Property-based tests for the exhaustive miner: threshold
+//! soundness, monotonicity, and determinism on random graphs.
+
+use grm_baseline::{analyze_redundancy, mine_exhaustive, MinerConfig};
+use grm_pgraph::{props, PropertyGraph, Value};
+use proptest::prelude::*;
+
+/// Builds a random two-label graph with partially present properties.
+fn build(rows: &[(bool, i64)], edges: &[(u8, u8)]) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let mut ids = Vec::new();
+    for (i, (has_name, group)) in rows.iter().enumerate() {
+        let mut p = props([("id", Value::Int(i as i64)), ("grp", Value::Int(*group % 4))]);
+        if *has_name {
+            p.insert("name".into(), Value::from(format!("u{i}")));
+        }
+        ids.push(g.add_node(["User"], p));
+    }
+    for (s, d) in edges {
+        let src = ids[*s as usize % ids.len()];
+        let dst = ids[*d as usize % ids.len()];
+        g.add_edge(src, dst, "KNOWS", Default::default());
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every emitted rule respects the thresholds, for any graph.
+    #[test]
+    fn thresholds_are_sound(
+        rows in prop::collection::vec((any::<bool>(), any::<i64>()), 2..25),
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 0..20),
+        min_support in 1i64..5,
+        min_confidence in 50.0f64..100.0,
+    ) {
+        let g = build(&rows, &edges);
+        let cfg = MinerConfig { min_support, min_confidence, max_domain: 6 };
+        for m in mine_exhaustive(&g, cfg) {
+            prop_assert!(m.metrics.support >= min_support);
+            prop_assert!(m.metrics.confidence_pct >= min_confidence);
+        }
+    }
+
+    /// Raising thresholds never grows the output (anti-monotone).
+    #[test]
+    fn stricter_thresholds_shrink_output(
+        rows in prop::collection::vec((any::<bool>(), any::<i64>()), 2..25),
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 0..20),
+    ) {
+        let g = build(&rows, &edges);
+        let loose = mine_exhaustive(
+            &g,
+            MinerConfig { min_support: 1, min_confidence: 50.0, max_domain: 6 },
+        );
+        let strict = mine_exhaustive(
+            &g,
+            MinerConfig { min_support: 3, min_confidence: 90.0, max_domain: 6 },
+        );
+        prop_assert!(strict.len() <= loose.len());
+        // Every strict rule also appears in the loose output.
+        let loose_keys: std::collections::HashSet<String> =
+            loose.iter().map(|m| m.rule.dedup_key()).collect();
+        for m in &strict {
+            prop_assert!(loose_keys.contains(&m.rule.dedup_key()));
+        }
+    }
+
+    /// Mining is deterministic and redundancy accounting is bounded.
+    #[test]
+    fn mining_deterministic_and_redundancy_bounded(
+        rows in prop::collection::vec((any::<bool>(), any::<i64>()), 2..20),
+    ) {
+        let g = build(&rows, &[]);
+        let a = mine_exhaustive(&g, MinerConfig::default());
+        let b = mine_exhaustive(&g, MinerConfig::default());
+        prop_assert_eq!(a.len(), b.len());
+        let report = analyze_redundancy(&a);
+        prop_assert!(report.redundant() <= report.total);
+        prop_assert!((0.0..=1.0).contains(&report.redundancy_ratio()));
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation: window overlap (DESIGN.md §5). The paper fixes overlap
+//! at 500 tokens to limit boundary losses; this bench sweeps the
+//! overlap and reports both the chunking cost and — via stderr — the
+//! broken-pattern counts, showing the trade-off the paper describes
+//! in §3.1.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_textenc::{chunk, encode_incident, WindowConfig};
+
+fn bench_overlap(c: &mut Criterion) {
+    let graph = generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.25, clean: false }).graph;
+    let encoded = encode_incident(&graph);
+
+    let mut group = c.benchmark_group("ablation/overlap");
+    for overlap in [0usize, 100, 250, 500] {
+        let cfg = WindowConfig::new(2000, overlap);
+        let ws = chunk(&encoded, cfg);
+        eprintln!(
+            "overlap={overlap:>4}: windows={:>3} broken_patterns={}",
+            ws.len(),
+            ws.broken_patterns
+        );
+        group.bench_function(format!("overlap_{overlap}"), |b| {
+            b.iter(|| chunk(&encoded, cfg).broken_patterns)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

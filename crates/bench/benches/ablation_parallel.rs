@@ -1,0 +1,48 @@
+//! Ablation: worker-fleet parallel mining (the §5 extension in
+//! `grm_core::parallel`). Sweeps the worker count and reports — via
+//! stderr — the simulated fleet wall-clock alongside the real
+//! wall-clock of the harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_core::{mine_parallel, ContextStrategy, PipelineConfig};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{ModelKind, PromptStyle};
+use grm_textenc::{chunk, encode_incident, WindowConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let graph = generate(DatasetId::Twitter, &GenConfig { seed: 42, scale: 0.1, clean: false }).graph;
+    let encoded = encode_incident(&graph);
+    let contexts: Vec<String> = chunk(&encoded, WindowConfig::new(2000, 200))
+        .windows
+        .into_iter()
+        .map(|w| w.text)
+        .collect();
+    let cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::default_sliding_window(),
+        PromptStyle::ZeroShot,
+    );
+
+    let mut group = c.benchmark_group("ablation/parallel");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let result = mine_parallel(&contexts, &cfg, PromptStyle::ZeroShot, None, workers);
+        eprintln!(
+            "workers={workers}: simulated wall={:.1}s compute={:.1}s rules={}",
+            result.wall_seconds,
+            result.compute_seconds,
+            result.rules.len()
+        );
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                mine_parallel(&contexts, &cfg, PromptStyle::ZeroShot, None, workers)
+                    .rules
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

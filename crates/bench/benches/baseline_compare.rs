@@ -1,0 +1,57 @@
+//! Baseline comparison bench: the exhaustive AMIE-style miner vs the
+//! LLM pipeline on the same graph — the §1 contrast, measured (rule
+//! counts and redundancy go to stderr; Criterion tracks the cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_baseline::{analyze_redundancy, mine_exhaustive, MinerConfig};
+use grm_core::{ContextStrategy, MiningPipeline, PipelineConfig};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{ModelKind, PromptStyle};
+use grm_textenc::WindowConfig;
+
+fn bench_baseline(c: &mut Criterion) {
+    let graph =
+        generate(DatasetId::Cybersecurity, &GenConfig { seed: 42, scale: 0.2, clean: false })
+            .graph;
+
+    let mined = mine_exhaustive(&graph, MinerConfig::default());
+    let redundancy = analyze_redundancy(&mined);
+    eprintln!(
+        "exhaustive miner: {} rules, {:.0}% redundant",
+        mined.len(),
+        100.0 * redundancy.redundancy_ratio()
+    );
+
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.bench_function("exhaustive_miner", |b| {
+        b.iter(|| mine_exhaustive(&graph, MinerConfig::default()).len())
+    });
+    group.bench_function("redundancy_analysis", |b| {
+        b.iter(|| analyze_redundancy(&mined).redundant())
+    });
+    group.bench_function("llm_pipeline_summary", |b| {
+        b.iter(|| {
+            let cfg = PipelineConfig::new(
+                ModelKind::Llama3,
+                ContextStrategy::default_summary(),
+                PromptStyle::ZeroShot,
+            );
+            MiningPipeline::new(cfg).run(&graph).rule_count()
+        })
+    });
+    group.bench_function("llm_pipeline_swa", |b| {
+        b.iter(|| {
+            let cfg = PipelineConfig::new(
+                ModelKind::Llama3,
+                ContextStrategy::SlidingWindow(WindowConfig::new(2000, 200)),
+                PromptStyle::ZeroShot,
+            );
+            MiningPipeline::new(cfg).run(&graph).rule_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Cypher execution throughput (DESIGN.md §5): the metric queries the
+//! pipeline actually runs, over graphs of increasing size — the
+//! substrate cost behind every table cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_cypher::execute;
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_rules::{reference_queries, ConsistencyRule};
+
+fn bench_exec(c: &mut Criterion) {
+    for scale in [0.05f64, 0.2, 1.0] {
+        let graph =
+            generate(DatasetId::Twitter, &GenConfig { seed: 42, scale, clean: false }).graph;
+        let mut group = c.benchmark_group(format!("cypher/scale_{scale}"));
+        group.sample_size(10);
+
+        let unique = reference_queries(&ConsistencyRule::UniqueProperty {
+            label: "Tweet".into(),
+            key: "id".into(),
+        });
+        group.bench_function("unique_property", |b| {
+            b.iter(|| execute(&graph, &unique.satisfied).unwrap().single_int())
+        });
+
+        let endpoints = reference_queries(&ConsistencyRule::EdgeEndpointLabels {
+            etype: "POSTS".into(),
+            src_label: "User".into(),
+            dst_label: "Tweet".into(),
+        });
+        group.bench_function("endpoint_labels", |b| {
+            b.iter(|| execute(&graph, &endpoints.satisfied).unwrap().single_int())
+        });
+
+        let cardinality = reference_queries(&ConsistencyRule::IncomingExactlyOne {
+            src_label: "User".into(),
+            etype: "POSTS".into(),
+            dst_label: "Tweet".into(),
+        });
+        group.bench_function("incoming_exactly_one", |b| {
+            b.iter(|| execute(&graph, &cardinality.satisfied).unwrap().single_int())
+        });
+
+        let temporal = reference_queries(&ConsistencyRule::TemporalOrder {
+            src_label: "Tweet".into(),
+            src_key: "created_at".into(),
+            etype: "RETWEETS".into(),
+            dst_label: "Tweet".into(),
+            dst_key: "created_at".into(),
+        });
+        group.bench_function("temporal_order", |b| {
+            b.iter(|| execute(&graph, &temporal.satisfied).unwrap().single_int())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

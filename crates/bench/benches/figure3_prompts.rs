@@ -1,0 +1,44 @@
+//! Figure 3 bench: prompt construction for both styles (`repro
+//! --figure 3` prints the structures; this harness tracks the cost of
+//! rendering and token-counting them, which the timing model calls
+//! once per window).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{MiningPrompt, PromptStyle, TranslationPrompt};
+use grm_pgraph::GraphSchema;
+use grm_textenc::{chunk, encode_incident, WindowConfig};
+
+fn bench_prompts(c: &mut Criterion) {
+    let graph = generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.1, clean: false }).graph;
+    let encoded = encode_incident(&graph);
+    let window = chunk(&encoded, WindowConfig::new(2000, 200))
+        .windows
+        .into_iter()
+        .next()
+        .expect("at least one window");
+
+    let mut group = c.benchmark_group("figure3");
+    for style in PromptStyle::ALL {
+        group.bench_function(format!("render_{}", style.name()), |b| {
+            let prompt = MiningPrompt::new(style, window.text.clone());
+            b.iter(|| prompt.render().len())
+        });
+        group.bench_function(format!("tokens_{}", style.name()), |b| {
+            let prompt = MiningPrompt::new(style, window.text.clone());
+            b.iter(|| prompt.token_count())
+        });
+    }
+    let schema = GraphSchema::infer(&graph);
+    group.bench_function("translation_prompt", |b| {
+        let prompt = TranslationPrompt {
+            rule_nl: "Each Match node should have a date property.".into(),
+            schema_summary: schema.summary(),
+        };
+        b.iter(|| prompt.token_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prompts);
+criterion_main!(benches);

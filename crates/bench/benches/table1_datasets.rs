@@ -1,0 +1,35 @@
+//! Table 1 bench: dataset generation throughput at the paper's exact
+//! sizes (the `repro --table 1` binary prints the table itself; this
+//! harness tracks the cost of regenerating it).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_pgraph::GraphStats;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/generate");
+    for id in DatasetId::ALL {
+        group.bench_function(id.name(), |b| {
+            b.iter_batched(
+                GenConfig::default,
+                |cfg| {
+                    let d = generate(id, &cfg);
+                    assert!(d.graph.node_count() > 0);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1/stats");
+    for id in DatasetId::ALL {
+        let d = generate(id, &GenConfig::default());
+        group.bench_function(id.name(), |b| b.iter(|| GraphStats::of(&d.graph)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table 6 bench: query classification and correction throughput —
+//! the machinery behind the "correctly generated Cypher queries"
+//! table and the §4.4 error taxonomy (`repro --table 6` / `--errors`
+//! print the numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{break_syntax, flip_first_direction};
+use grm_metrics::{classify, correct};
+use grm_pgraph::GraphSchema;
+use grm_rules::reference_queries;
+
+fn bench_classify_correct(c: &mut Criterion) {
+    let data = generate(DatasetId::Twitter, &GenConfig { seed: 42, scale: 0.05, clean: false });
+    let schema = GraphSchema::infer(&data.graph);
+
+    // A workload mixing the three §4.4 error classes with correct
+    // queries, built from the ground-truth rule set.
+    let mut queries = Vec::new();
+    for rule in &data.ground_truth {
+        let good = reference_queries(rule).satisfied;
+        if let Some(flipped) = flip_first_direction(&good) {
+            queries.push(flipped);
+        }
+        queries.push(break_syntax(&good));
+        queries.push(good);
+    }
+
+    let mut group = c.benchmark_group("table6");
+    group.bench_function("classify", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| classify(q, &schema).class)
+                .filter(|cl| cl.is_correct())
+                .count()
+        })
+    });
+    group.bench_function("correct", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| correct(q, &schema))
+                .filter(|o| o.final_class.is_correct())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify_correct);
+criterion_main!(benches);

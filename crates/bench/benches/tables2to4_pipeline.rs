@@ -1,0 +1,41 @@
+//! Tables 2–4 bench: the quality-table pipeline per dataset and
+//! context strategy (`repro --table 2|3|4` prints the metric rows;
+//! this harness tracks the wall-clock cost of one table cell).
+//!
+//! Graphs are scaled to 5% so a full Criterion run stays in seconds;
+//! the pipeline's work is dominated by the same stages at any scale
+//! (encode → window/retrieve → generate → translate → execute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grm_core::{ContextStrategy, MiningPipeline, PipelineConfig};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{ModelKind, PromptStyle};
+use grm_textenc::WindowConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    for (table, id) in
+        [(2, DatasetId::Wwc2019), (3, DatasetId::Cybersecurity), (4, DatasetId::Twitter)]
+    {
+        let graph = generate(id, &GenConfig { seed: 42, scale: 0.05, clean: false }).graph;
+        let mut group = c.benchmark_group(format!("table{table}/{}", id.name()));
+        group.sample_size(10);
+        for (name, strategy) in [
+            ("swa", ContextStrategy::SlidingWindow(WindowConfig::new(2000, 200))),
+            ("rag", ContextStrategy::default_rag()),
+        ] {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let cfg =
+                        PipelineConfig::new(ModelKind::Llama3, strategy, PromptStyle::ZeroShot);
+                    let report = MiningPipeline::new(cfg).run(&graph);
+                    assert!(report.rule_count() > 0);
+                    report.aggregate
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

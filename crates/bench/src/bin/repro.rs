@@ -1,0 +1,513 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--table 1|2|3|4|5|6] [--figure 2|3] [--errors] [--rule-types]
+//!       [--all] [--seed N] [--scale F]
+//! ```
+//!
+//! With no arguments, prints everything (`--all`). Table and figure
+//! numbers follow the paper:
+//!
+//! * Table 1 — dataset sizes;
+//! * Tables 2–4 — #rules / support / coverage / confidence per
+//!   (model × encoding × prompting) for WWC2019 / Cybersecurity /
+//!   Twitter;
+//! * Table 5 — rule-mining times (simulated seconds; see DESIGN.md);
+//! * Table 6 — correctly generated Cypher queries;
+//! * Figure 2 — measurable artefacts of the two context strategies
+//!   (window counts, broken patterns, RAG retrieval coverage);
+//! * Figure 3 — the zero-/few-shot prompt structure;
+//! * `--errors` — the §4.4 error taxonomy breakdown;
+//! * `--rule-types` — the §4.5 rule-complexity distribution.
+
+use std::collections::HashMap;
+
+use grm_core::{ContextStrategy, MiningPipeline, MiningReport, PipelineConfig, RAG_QUERY};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{MiningPrompt, ModelKind, PromptStyle};
+use grm_metrics::QueryClass;
+use grm_pgraph::GraphStats;
+use grm_rules::RuleComplexity;
+use grm_textenc::{chunk, encode_incident, WindowConfig};
+use grm_vecstore::{RagConfig, Retriever};
+
+struct Args {
+    tables: Vec<u32>,
+    figures: Vec<u32>,
+    errors: bool,
+    rule_types: bool,
+    extensions: bool,
+    seeds: Option<usize>,
+    seed: u64,
+    scale: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tables: vec![],
+        figures: vec![],
+        errors: false,
+        rule_types: false,
+        extensions: false,
+        seeds: None,
+        seed: 42,
+        scale: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => {
+                any = true;
+                args.tables.push(
+                    it.next().and_then(|v| v.parse().ok()).expect("--table needs a number 1-6"),
+                );
+            }
+            "--figure" => {
+                any = true;
+                args.figures.push(
+                    it.next().and_then(|v| v.parse().ok()).expect("--figure needs 2 or 3"),
+                );
+            }
+            "--errors" => {
+                any = true;
+                args.errors = true;
+            }
+            "--rule-types" => {
+                any = true;
+                args.rule_types = true;
+            }
+            "--extensions" => {
+                any = true;
+                args.extensions = true;
+            }
+            "--seeds" => {
+                any = true;
+                args.seeds = Some(
+                    it.next().and_then(|v| v.parse().ok()).expect("--seeds needs a count"),
+                );
+            }
+            "--seed" => {
+                args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
+            }
+            "--scale" => {
+                args.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale needs f64");
+            }
+            "--all" => any = false,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !any {
+        args.tables = vec![1, 2, 3, 4, 5, 6];
+        args.figures = vec![2, 3];
+        args.errors = true;
+        args.rule_types = true;
+        args.extensions = true;
+    }
+    args
+}
+
+/// Runs (or reuses) all 8 configurations for one dataset.
+struct GridCache {
+    seed: u64,
+    scale: f64,
+    reports: HashMap<(DatasetId, ModelKind, &'static str, PromptStyle), MiningReport>,
+}
+
+impl GridCache {
+    fn new(seed: u64, scale: f64) -> Self {
+        GridCache { seed, scale, reports: HashMap::new() }
+    }
+
+    fn grid(&mut self, id: DatasetId) -> Vec<&MiningReport> {
+        let needed: Vec<_> = grid_keys();
+        if !self.reports.contains_key(&(id, needed[0].0, needed[0].1, needed[0].2)) {
+            let data =
+                generate(id, &GenConfig { seed: self.seed, scale: self.scale, clean: false });
+            for (model, strat_name, style) in &needed {
+                let strategy = if *strat_name == "SWA" {
+                    ContextStrategy::default_sliding_window()
+                } else {
+                    ContextStrategy::default_rag()
+                };
+                let mut cfg = PipelineConfig::new(*model, strategy, *style);
+                cfg.seed = self.seed;
+                let report = MiningPipeline::new(cfg).run(&data.graph);
+                self.reports.insert((id, *model, strat_name, *style), report);
+            }
+        }
+        needed
+            .iter()
+            .map(|(m, s, p)| &self.reports[&(id, *m, *s, *p)])
+            .collect()
+    }
+}
+
+fn grid_keys() -> Vec<(ModelKind, &'static str, PromptStyle)> {
+    let mut keys = Vec::new();
+    for style in PromptStyle::ALL {
+        for strat in ["SWA", "RAG"] {
+            for model in ModelKind::ALL {
+                keys.push((model, strat, style));
+            }
+        }
+    }
+    keys
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cache = GridCache::new(args.seed, args.scale);
+
+    for t in &args.tables {
+        match t {
+            1 => table1(&args),
+            2 => quality_table(&mut cache, DatasetId::Wwc2019, 2),
+            3 => quality_table(&mut cache, DatasetId::Cybersecurity, 3),
+            4 => quality_table(&mut cache, DatasetId::Twitter, 4),
+            5 => table5(&mut cache),
+            6 => table6(&mut cache),
+            other => eprintln!("no table {other} in the paper"),
+        }
+    }
+    for f in &args.figures {
+        match f {
+            2 => figure2(&args, &mut cache),
+            3 => figure3(),
+            other => eprintln!("figure {other} is an architecture diagram (see README)"),
+        }
+    }
+    if args.errors {
+        errors(&mut cache);
+    }
+    if args.rule_types {
+        rule_types(&mut cache);
+    }
+    if args.extensions {
+        extensions(&args);
+    }
+    if let Some(n) = args.seeds {
+        seed_sweep(&args, n);
+    }
+}
+
+/// Robustness sweep: reruns the quality grid across `n` seeds and
+/// reports mean and range per cell — evidence that the paper-shape
+/// findings are not a single-seed artefact.
+fn seed_sweep(args: &Args, n: usize) {
+    println!("== seed sweep: coverage% mean [min..max] over {n} seeds ==");
+    println!(
+        "{:<15} {:<10} {:>22} {:>22}",
+        "Dataset", "Model", "SWA zero", "RAG zero"
+    );
+    for id in DatasetId::ALL {
+        let data = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
+        for model in ModelKind::ALL {
+            let sweep = |strategy: ContextStrategy| -> (f64, f64, f64) {
+                let mut values = Vec::with_capacity(n);
+                for k in 0..n {
+                    let mut cfg = PipelineConfig::new(model, strategy, PromptStyle::ZeroShot);
+                    cfg.seed = args.seed + k as u64;
+                    let r = MiningPipeline::new(cfg).run(&data.graph);
+                    values.push(r.aggregate.coverage_pct);
+                }
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (mean, min, max)
+            };
+            let (sm, slo, shi) = sweep(ContextStrategy::default_sliding_window());
+            let (rm, rlo, rhi) = sweep(ContextStrategy::default_rag());
+            println!(
+                "{:<15} {:<10} {:>7.1} [{:>5.1}..{:>5.1}] {:>7.1} [{:>5.1}..{:>5.1}]",
+                id.name(),
+                model.name(),
+                sm,
+                slo,
+                shi,
+                rm,
+                rlo,
+                rhi
+            );
+        }
+    }
+    println!();
+}
+
+/// §5 future-work extensions, implemented and measured: the
+/// graph-summarization context strategy vs the paper's two.
+fn extensions(args: &Args) {
+    println!("== §5 extension: graph-summarization context strategy ==");
+    println!(
+        "{:<15} {:<26} {:>6} {:>7} {:>7} {:>10}",
+        "Dataset", "Strategy", "#rules", "Cov%", "Conf%", "Time (s)"
+    );
+    for id in DatasetId::ALL {
+        let data = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
+        for strategy in [
+            ContextStrategy::default_sliding_window(),
+            ContextStrategy::default_rag(),
+            ContextStrategy::default_summary(),
+        ] {
+            let mut cfg =
+                PipelineConfig::new(ModelKind::Llama3, strategy, PromptStyle::ZeroShot);
+            cfg.seed = args.seed;
+            let r = MiningPipeline::new(cfg).run(&data.graph);
+            println!(
+                "{:<15} {:<26} {:>6} {:>7.2} {:>7.2} {:>10.1}",
+                id.name(),
+                r.strategy_name,
+                r.rule_count(),
+                r.aggregate.coverage_pct,
+                r.aggregate.confidence_pct,
+                r.mining_seconds
+            );
+        }
+    }
+    println!("(summarization reaches window-class quality at near-RAG cost)");
+    println!();
+
+    println!("== §1 contrast: exhaustive (AMIE-style) baseline vs LLM pipeline ==");
+    println!(
+        "{:<15} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "Dataset", "LLM rules", "Miner rules", "Redundant", "LLM conf%", "Miner conf%"
+    );
+    for id in DatasetId::ALL {
+        let data = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
+        let mut cfg = PipelineConfig::new(
+            ModelKind::Llama3,
+            ContextStrategy::default_sliding_window(),
+            PromptStyle::ZeroShot,
+        );
+        cfg.seed = args.seed;
+        let llm = MiningPipeline::new(cfg).run(&data.graph);
+        let mined = grm_baseline::mine_exhaustive(&data.graph, grm_baseline::MinerConfig::default());
+        let redundancy = grm_baseline::analyze_redundancy(&mined);
+        let miner_conf = if mined.is_empty() {
+            0.0
+        } else {
+            mined.iter().map(|m| m.metrics.confidence_pct).sum::<f64>() / mined.len() as f64
+        };
+        println!(
+            "{:<15} {:>10} {:>12} {:>11.0}% {:>9.1} {:>10.1}",
+            id.name(),
+            llm.rule_count(),
+            mined.len(),
+            100.0 * redundancy.redundancy_ratio(),
+            llm.aggregate.confidence_pct,
+            miner_conf
+        );
+    }
+    println!(
+        "(the traditional miner's output is larger and substantially redundant — the \
+         paper's motivation for LLM-based mining)"
+    );
+    println!();
+}
+
+fn table1(args: &Args) {
+    println!("== Table 1: dataset sizes ==");
+    println!("{:<15} {:>7} {:>7} {:>12} {:>12}", "", "Nodes", "Edges", "Node Labels", "Edge Labels");
+    for id in DatasetId::ALL {
+        let d = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
+        let s = GraphStats::of(&d.graph);
+        println!(
+            "{:<15} {:>7} {:>7} {:>12} {:>12}",
+            id.name(),
+            s.nodes,
+            s.edges,
+            s.node_labels,
+            s.edge_labels
+        );
+    }
+    println!();
+}
+
+fn quality_table(cache: &mut GridCache, id: DatasetId, n: u32) {
+    println!(
+        "== Table {n}: support, coverage and confidence — {} ==",
+        id.name()
+    );
+    println!(
+        "{:<10} {:<5} {:<26} {:>6} {:>8} {:>7} {:>7}",
+        "Model", "Shot", "Encoding", "#rules", "Supp", "Cov%", "Conf%"
+    );
+    let keys = grid_keys();
+    let reports = cache.grid(id);
+    for ((model, strat, style), r) in keys.iter().zip(reports) {
+        println!(
+            "{:<10} {:<5} {:<26} {:>6} {:>8.0} {:>7.2} {:>7.2}",
+            model.name(),
+            if *style == PromptStyle::ZeroShot { "zero" } else { "few" },
+            if *strat == "SWA" { "Sliding Window Attention" } else { "RAG" },
+            r.rule_count(),
+            r.aggregate.support,
+            r.aggregate.coverage_pct,
+            r.aggregate.confidence_pct
+        );
+    }
+    println!();
+}
+
+fn table5(cache: &mut GridCache) {
+    println!("== Table 5: LLM rule mining times (simulated seconds) ==");
+    println!(
+        "{:<15} {:<10} {:>14} {:>14} {:>12} {:>12}",
+        "Dataset", "Model", "SWA zero", "SWA few", "RAG zero", "RAG few"
+    );
+    for id in DatasetId::ALL {
+        let keys = grid_keys();
+        let reports: Vec<f64> = cache.grid(id).iter().map(|r| r.mining_seconds).collect();
+        for model in ModelKind::ALL {
+            let cell = |strat: &str, style: PromptStyle| -> f64 {
+                keys.iter()
+                    .zip(&reports)
+                    .find(|((m, s, p), _)| *m == model && *s == strat && *p == style)
+                    .map(|(_, t)| *t)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{:<15} {:<10} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
+                id.name(),
+                model.name(),
+                cell("SWA", PromptStyle::ZeroShot),
+                cell("SWA", PromptStyle::FewShot),
+                cell("RAG", PromptStyle::ZeroShot),
+                cell("RAG", PromptStyle::FewShot),
+            );
+        }
+    }
+    println!();
+}
+
+fn table6(cache: &mut GridCache) {
+    println!("== Table 6: correctly generated Cypher queries ==");
+    println!(
+        "{:<15} {:<10} {:>10} {:>10} {:>10} {:>10}",
+        "Dataset", "Model", "SWA zero", "SWA few", "RAG zero", "RAG few"
+    );
+    for id in DatasetId::ALL {
+        let keys = grid_keys();
+        let fractions: Vec<String> =
+            cache.grid(id).iter().map(|r| r.correctness.as_fraction()).collect();
+        for model in ModelKind::ALL {
+            let cell = |strat: &str, style: PromptStyle| -> String {
+                keys.iter()
+                    .zip(&fractions)
+                    .find(|((m, s, p), _)| *m == model && *s == strat && *p == style)
+                    .map(|(_, f)| f.clone())
+                    .unwrap_or_default()
+            };
+            println!(
+                "{:<15} {:<10} {:>10} {:>10} {:>10} {:>10}",
+                id.name(),
+                model.name(),
+                cell("SWA", PromptStyle::ZeroShot),
+                cell("SWA", PromptStyle::FewShot),
+                cell("RAG", PromptStyle::ZeroShot),
+                cell("RAG", PromptStyle::FewShot),
+            );
+        }
+    }
+    println!();
+}
+
+fn figure2(args: &Args, cache: &mut GridCache) {
+    println!("== Figure 2: context-strategy artefacts ==");
+    println!(
+        "{:<15} {:>9} {:>9} {:>16} {:>10} {:>13}",
+        "Dataset", "Tokens", "Windows", "BrokenPatterns", "RAGChunks", "RAGCoverage"
+    );
+    for id in DatasetId::ALL {
+        let d = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
+        let encoded = encode_incident(&d.graph);
+        let ws = chunk(&encoded, WindowConfig::default());
+        let retriever = Retriever::ingest(&encoded, RagConfig::default());
+        let retrieval = retriever.retrieve(RAG_QUERY);
+        println!(
+            "{:<15} {:>9} {:>9} {:>16} {:>10} {:>12.4}%",
+            id.name(),
+            ws.total_tokens,
+            ws.len(),
+            ws.broken_patterns,
+            retriever.chunk_count(),
+            100.0 * retrieval.coverage()
+        );
+    }
+    println!("(paper §4.5 reports broken patterns: WWC2019=6, Cybersecurity=11, Twitter=6)");
+    println!();
+    let _ = cache;
+}
+
+fn figure3() {
+    println!("== Figure 3: prompt structures ==");
+    for style in PromptStyle::ALL {
+        let mut p = MiningPrompt::new(style, "<encoded graph window>");
+        p.target_rules = None;
+        println!("--- {} ---", style.name());
+        println!("{}", p.render());
+        println!();
+    }
+}
+
+fn errors(cache: &mut GridCache) {
+    println!("== §4.4 error taxonomy (all datasets, all configurations) ==");
+    let mut totals: HashMap<&'static str, usize> = HashMap::new();
+    for id in DatasetId::ALL {
+        for r in cache.grid(id) {
+            for o in &r.rules {
+                let bucket = match o.original_class {
+                    QueryClass::Correct => "correct",
+                    QueryClass::DirectionError => "wrong direction",
+                    QueryClass::HallucinatedProperty => "hallucinated property",
+                    QueryClass::SyntaxError => "syntax error",
+                    QueryClass::OtherSemantic => "other semantic",
+                };
+                *totals.entry(bucket).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut rows: Vec<_> = totals.into_iter().collect();
+    rows.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    for (bucket, n) in rows {
+        println!("  {bucket:<24} {n}");
+    }
+    println!("(the paper observed 5 direction cases and 3 error categories overall)");
+    println!();
+}
+
+fn rule_types(cache: &mut GridCache) {
+    println!("== §4.5 rule-complexity distribution per model ==");
+    let mut per_model: HashMap<(ModelKind, &'static str), usize> = HashMap::new();
+    for id in DatasetId::ALL {
+        for r in cache.grid(id) {
+            for o in &r.rules {
+                let c = match o.rule.complexity() {
+                    RuleComplexity::Schema => "schema",
+                    RuleComplexity::Pattern => "pattern",
+                    RuleComplexity::Temporal => "temporal",
+                };
+                *per_model.entry((r.model, c)).or_insert(0) += 1;
+            }
+        }
+    }
+    for model in ModelKind::ALL {
+        let total: usize = ["schema", "pattern", "temporal"]
+            .iter()
+            .map(|c| per_model.get(&(model, c)).copied().unwrap_or(0))
+            .sum();
+        print!("  {:<10}", model.name());
+        for c in ["schema", "pattern", "temporal"] {
+            let n = per_model.get(&(model, c)).copied().unwrap_or(0);
+            print!(
+                " {c}={n} ({:.0}%)",
+                if total == 0 { 0.0 } else { 100.0 * n as f64 / total as f64 }
+            );
+        }
+        println!();
+    }
+    println!("(the paper: Llama-3 favours simple schema rules; Mixtral finds complex patterns)");
+}

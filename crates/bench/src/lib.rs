@@ -1,0 +1,1 @@
+//! Shared helpers for the benchmark suite (placeholder — each bench is self-contained).

@@ -1,0 +1,391 @@
+//! The mining pipeline — Figure 1 of the paper, end to end.
+//!
+//! 1. encode the property graph to text (`grm-textenc`);
+//! 2. split into context(s): sliding windows (one prompt each) or a
+//!    single RAG retrieval (`grm-vecstore`);
+//! 3. prompt the model for rules, zero- or few-shot (`grm-llm`);
+//! 4. merge per-prompt rules into one deduplicated set (§3.1.1);
+//! 5. ask the model to translate each rule to Cypher;
+//! 6. classify and correct the queries per the §4.4 policy
+//!    (`grm-metrics`);
+//! 7. execute the corrected queries to score support / coverage /
+//!    confidence (§4.2).
+
+use std::collections::HashMap;
+
+use grm_llm::{MiningPrompt, SimLlm};
+use grm_metrics::{aggregate, classify, correct, evaluate, ClassTally, QueryClass};
+use grm_pgraph::{GraphSchema, PropertyGraph};
+use grm_rules::RuleQueries;
+use grm_textenc::{chunk, encode, encode_summary};
+use grm_vecstore::Retriever;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ContextStrategy, PipelineConfig};
+use crate::report::{MiningReport, RuleOutcome};
+
+/// The retrieval query of the RAG pathway — deliberately generic, as
+/// in the paper ("the prompt itself indicates only the request to
+/// generate consistency rules", §4.5).
+pub const RAG_QUERY: &str = "Generate consistency rules for this property graph";
+
+/// The rule-mining pipeline.
+#[derive(Debug, Clone)]
+pub struct MiningPipeline {
+    pub config: PipelineConfig,
+}
+
+impl MiningPipeline {
+    /// Builds a pipeline for `config`.
+    pub fn new(config: PipelineConfig) -> Self {
+        MiningPipeline { config }
+    }
+
+    /// Builds the model context(s) per the configured strategy.
+    /// Returns `(contexts, windows, broken_patterns, rag_coverage)`.
+    fn build_contexts(
+        &self,
+        graph: &PropertyGraph,
+    ) -> (Vec<String>, usize, usize, Option<f64>) {
+        let cfg = &self.config;
+        let encoded = encode(graph, cfg.encoder);
+        match &cfg.strategy {
+            ContextStrategy::SlidingWindow(wc) => {
+                let ws = chunk(&encoded, *wc);
+                let windows = ws.len();
+                let broken = ws.broken_patterns;
+                let contexts = ws.windows.into_iter().map(|w| w.text).collect();
+                (contexts, windows, broken, None)
+            }
+            ContextStrategy::Rag(rc) => {
+                let retriever = Retriever::ingest(&encoded, *rc);
+                let retrieval = retriever.retrieve(RAG_QUERY);
+                let cov = retrieval.coverage();
+                (vec![retrieval.context()], 0, 0, Some(cov))
+            }
+            ContextStrategy::Summary(sc) => (vec![encode_summary(graph, *sc)], 0, 0, None),
+        }
+    }
+
+    /// Per-prompt rule target: single-prompt strategies must elicit
+    /// the whole rule set at once; a window prompt only needs a few
+    /// rules per window because the union across windows builds the
+    /// set.
+    fn per_prompt_target(&self, budget: usize) -> Option<usize> {
+        match self.config.strategy {
+            ContextStrategy::Rag(_) | ContextStrategy::Summary(_) => Some(budget),
+            ContextStrategy::SlidingWindow(_) => None,
+        }
+    }
+
+    /// Runs the full pipeline against `graph`.
+    pub fn run(&self, graph: &PropertyGraph) -> MiningReport {
+        let cfg = &self.config;
+        let mut model = SimLlm::new(cfg.model, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+
+        // Steps 1–2: encode and build contexts.
+        let (contexts, windows, broken_patterns, rag_coverage) = self.build_contexts(graph);
+
+        // Step 3: mine rules per context.
+        let budget = cfg.rule_budget.unwrap_or_else(|| self.derive_budget(&mut rng));
+        let per_prompt_target = self.per_prompt_target(budget);
+        let mut mining_seconds = 0.0;
+        let mut mined: Vec<grm_llm::GeneratedRule> = Vec::new();
+        for context in &contexts {
+            let mut prompt = MiningPrompt::new(cfg.prompting, context.clone());
+            prompt.target_rules = per_prompt_target;
+            let resp = model.mine(&prompt);
+            mining_seconds += resp.seconds;
+            mined.extend(resp.rules);
+        }
+
+        self.finish(
+            graph,
+            &mut model,
+            mined,
+            budget,
+            contexts.len(),
+            windows,
+            broken_patterns,
+            rag_coverage,
+            mining_seconds,
+        )
+    }
+
+    /// Parallel variant of [`MiningPipeline::run`] — the §5
+    /// future-work direction, distributing window prompts over
+    /// `workers` model replicas (see [`crate::parallel`]). Reported
+    /// `mining_seconds` is the fleet wall-clock (the slowest
+    /// replica); deterministic for a fixed `(seed, workers)`.
+    pub fn run_with_workers(&self, graph: &PropertyGraph, workers: usize) -> MiningReport {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+        let (contexts, windows, broken_patterns, rag_coverage) = self.build_contexts(graph);
+        let budget = cfg.rule_budget.unwrap_or_else(|| self.derive_budget(&mut rng));
+        let mining = crate::parallel::mine_parallel(
+            &contexts,
+            cfg,
+            cfg.prompting,
+            self.per_prompt_target(budget),
+            workers,
+        );
+        // The translator is one dedicated replica with its own stream.
+        let mut translator = SimLlm::new(cfg.model, cfg.seed ^ 0x7a41_5000);
+        self.finish(
+            graph,
+            &mut translator,
+            mining.rules,
+            budget,
+            contexts.len(),
+            windows,
+            broken_patterns,
+            rag_coverage,
+            mining.wall_seconds,
+        )
+    }
+
+    /// Steps 4–7: merge, translate, classify/correct, score.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        graph: &PropertyGraph,
+        model: &mut SimLlm,
+        mined: Vec<grm_llm::GeneratedRule>,
+        budget: usize,
+        prompts: usize,
+        windows: usize,
+        broken_patterns: usize,
+        rag_coverage: Option<f64>,
+        mining_seconds: f64,
+    ) -> MiningReport {
+        let cfg = &self.config;
+        // Step 4: merge — dedup with frequency ranking (§3.1.1:
+        // per-window rules "combined to create a comprehensive set").
+        let merged = merge_rules(mined);
+        let selected: Vec<MergedRule> = merged.into_iter().take(budget).collect();
+
+        // Steps 5–7: translate, classify, correct, score.
+        let schema = GraphSchema::infer(graph);
+        let schema_summary = schema.summary();
+        let mut translation_seconds = 0.0;
+        let mut correctness = ClassTally::default();
+        let mut outcomes = Vec::with_capacity(selected.len());
+        for m in selected {
+            let resp = model.translate_rule(&m.rule.rule, &schema_summary);
+            translation_seconds += resp.seconds;
+            let generated = resp.translation.cypher.clone();
+            let assessment = classify(&generated, &schema);
+            correctness.add(assessment.class);
+
+            let fixed = correct(&generated, &schema);
+            let metrics = if matches!(
+                fixed.final_class,
+                QueryClass::Correct | QueryClass::HallucinatedProperty
+            ) {
+                let queries = RuleQueries {
+                    satisfied: fixed.corrected.clone(),
+                    body: resp.translation.reference.body.clone(),
+                    head_total: resp.translation.reference.head_total.clone(),
+                };
+                evaluate(graph, &queries).ok()
+            } else {
+                None
+            };
+            outcomes.push(RuleOutcome {
+                explanation: grm_llm::explain_rule(&m.rule.rule, &schema),
+                nl: m.rule.nl.clone(),
+                generated_cypher: generated,
+                corrected_cypher: fixed.corrected,
+                original_class: assessment.class,
+                final_class: fixed.final_class,
+                metrics,
+                frequency: m.frequency,
+                hallucinated: m.rule.hallucinated,
+                rule: m.rule.rule,
+            });
+        }
+
+        let scored: Vec<_> = outcomes.iter().filter_map(|o| o.metrics).collect();
+        MiningReport {
+            model: cfg.model,
+            strategy_name: cfg.strategy.name(),
+            prompting: cfg.prompting,
+            rules: outcomes,
+            prompts,
+            windows,
+            broken_patterns,
+            rag_coverage,
+            mining_seconds,
+            translation_seconds,
+            aggregate: aggregate(&scored),
+            correctness,
+        }
+    }
+
+    /// Derives a paper-plausible rule budget: sliding windows see the
+    /// whole graph and support a larger final set than a single RAG
+    /// prompt; few-shot focuses the model on fewer rules.
+    fn derive_budget(&self, rng: &mut StdRng) -> usize {
+        use grm_llm::PromptStyle::*;
+        let (lo, hi) = match (&self.config.strategy, self.config.prompting) {
+            (ContextStrategy::SlidingWindow(_), ZeroShot) => (8, 12),
+            (ContextStrategy::SlidingWindow(_), FewShot) => (5, 9),
+            (ContextStrategy::Rag(_), ZeroShot) => (6, 8),
+            (ContextStrategy::Rag(_), FewShot) => (4, 6),
+            // The summary prompt carries representative evidence for
+            // the whole graph; it supports a window-sized rule set.
+            (ContextStrategy::Summary(_), ZeroShot) => (8, 11),
+            (ContextStrategy::Summary(_), FewShot) => (5, 8),
+        };
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// A merged rule with its cross-prompt frequency.
+#[derive(Debug, Clone)]
+struct MergedRule {
+    rule: grm_llm::GeneratedRule,
+    frequency: usize,
+}
+
+/// Deduplicates mined rules, ranking by how many prompts produced
+/// them (stability across windows ≈ reliability), then by evidence.
+fn merge_rules(mined: Vec<grm_llm::GeneratedRule>) -> Vec<MergedRule> {
+    let mut by_key: HashMap<String, MergedRule> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for rule in mined {
+        let key = rule.rule.dedup_key();
+        match by_key.get_mut(&key) {
+            Some(existing) => {
+                existing.frequency += 1;
+                if rule.evidence > existing.rule.evidence {
+                    existing.rule = rule;
+                }
+            }
+            None => {
+                order.push(key.clone());
+                by_key.insert(key, MergedRule { rule, frequency: 1 });
+            }
+        }
+    }
+    let mut merged: Vec<MergedRule> = order
+        .into_iter()
+        .map(|k| by_key.remove(&k).expect("keys recorded once"))
+        .collect();
+    merged.sort_by(|a, b| {
+        b.frequency
+            .cmp(&a.frequency)
+            .then(b.rule.evidence.partial_cmp(&a.rule.evidence).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_datasets::{generate, DatasetId, GenConfig};
+    use grm_llm::{ModelKind, PromptStyle};
+    use grm_textenc::WindowConfig;
+    use grm_vecstore::RagConfig;
+
+    fn small_graph() -> PropertyGraph {
+        generate(DatasetId::Twitter, &GenConfig { scale: 0.01, ..Default::default() }).graph
+    }
+
+    fn sw_config(model: ModelKind, prompting: PromptStyle) -> PipelineConfig {
+        PipelineConfig {
+            // Small windows so the tiny test graph still chunks.
+            strategy: ContextStrategy::SlidingWindow(WindowConfig::new(2000, 200)),
+            ..PipelineConfig::new(model, ContextStrategy::default_sliding_window(), prompting)
+        }
+    }
+
+    #[test]
+    fn sliding_window_run_produces_scored_rules() {
+        let g = small_graph();
+        let report =
+            MiningPipeline::new(sw_config(ModelKind::Llama3, PromptStyle::ZeroShot)).run(&g);
+        assert!(report.rule_count() > 0);
+        assert!(report.windows > 1);
+        assert!(report.prompts == report.windows);
+        assert!(report.scored_rules().count() > 0);
+        assert!(report.mining_seconds > 0.0);
+    }
+
+    #[test]
+    fn rag_run_prompts_once() {
+        let g = small_graph();
+        let cfg = PipelineConfig::new(
+            ModelKind::Llama3,
+            ContextStrategy::Rag(RagConfig::default()),
+            PromptStyle::ZeroShot,
+        );
+        let report = MiningPipeline::new(cfg).run(&g);
+        assert_eq!(report.prompts, 1);
+        assert_eq!(report.windows, 0);
+        assert!(report.rag_coverage.unwrap() > 0.0);
+        assert!(report.rag_coverage.unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn rag_is_much_faster_than_sliding_window() {
+        let g = small_graph();
+        let sw =
+            MiningPipeline::new(sw_config(ModelKind::Llama3, PromptStyle::ZeroShot)).run(&g);
+        let rag = MiningPipeline::new(PipelineConfig::new(
+            ModelKind::Llama3,
+            ContextStrategy::Rag(RagConfig::default()),
+            PromptStyle::ZeroShot,
+        ))
+        .run(&g);
+        assert!(
+            sw.mining_seconds > 3.0 * rag.mining_seconds,
+            "sw {} vs rag {}",
+            sw.mining_seconds,
+            rag.mining_seconds
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = small_graph();
+        let a = MiningPipeline::new(sw_config(ModelKind::Mixtral, PromptStyle::FewShot)).run(&g);
+        let b = MiningPipeline::new(sw_config(ModelKind::Mixtral, PromptStyle::FewShot)).run(&g);
+        assert_eq!(a.rule_count(), b.rule_count());
+        assert_eq!(a.mining_seconds, b.mining_seconds);
+        assert_eq!(a.aggregate.support, b.aggregate.support);
+    }
+
+    #[test]
+    fn correctness_tally_covers_all_rules() {
+        let g = small_graph();
+        let report =
+            MiningPipeline::new(sw_config(ModelKind::Mixtral, PromptStyle::ZeroShot)).run(&g);
+        assert_eq!(report.correctness.total, report.rule_count());
+    }
+
+    #[test]
+    fn rule_budget_caps_output() {
+        let g = small_graph();
+        let cfg = PipelineConfig {
+            rule_budget: Some(3),
+            ..sw_config(ModelKind::Llama3, PromptStyle::ZeroShot)
+        };
+        let report = MiningPipeline::new(cfg).run(&g);
+        assert!(report.rule_count() <= 3);
+    }
+
+    #[test]
+    fn merged_rules_are_unique() {
+        let g = small_graph();
+        let report =
+            MiningPipeline::new(sw_config(ModelKind::Llama3, PromptStyle::ZeroShot)).run(&g);
+        let mut keys: Vec<String> = report.rules.iter().map(|r| r.rule.dedup_key()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+}

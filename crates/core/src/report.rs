@@ -1,0 +1,88 @@
+//! Pipeline output types: per-rule outcomes and the run report that
+//! backs every table of the paper.
+
+use grm_llm::ModelKind;
+use grm_llm::PromptStyle;
+use grm_metrics::{AggregateMetrics, ClassTally, QueryClass, RuleMetrics};
+use grm_rules::ConsistencyRule;
+
+/// Everything the pipeline learned about one mined rule.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RuleOutcome {
+    /// The rule (as mined — possibly hallucinated).
+    pub rule: ConsistencyRule,
+    /// Its natural-language statement.
+    pub nl: String,
+    /// The Cypher the model generated (step 2), possibly corrupted.
+    pub generated_cypher: String,
+    /// The query after the §4.4 correction policy.
+    pub corrected_cypher: String,
+    /// Classification of the generated query.
+    pub original_class: QueryClass,
+    /// Classification after correction.
+    pub final_class: QueryClass,
+    /// Support/coverage/confidence of the corrected query; `None`
+    /// when it remained unexecutable.
+    pub metrics: Option<RuleMetrics>,
+    /// How many prompts produced this rule (merge frequency).
+    pub frequency: usize,
+    /// Generator-level hallucination flag (ground truth for tests).
+    pub hallucinated: bool,
+    /// Evidence-grounded rationale for the rule (§5 transparency
+    /// extension; see `grm_llm::explain`).
+    pub explanation: String,
+}
+
+/// The outcome of one pipeline run — one cell of Tables 2–6.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MiningReport {
+    pub model: ModelKind,
+    pub strategy_name: &'static str,
+    pub prompting: PromptStyle,
+    /// Final merged rule set with all per-rule data.
+    pub rules: Vec<RuleOutcome>,
+    /// Rule-mining prompts issued (windows, or 1 for RAG).
+    pub prompts: usize,
+    /// Windows produced by the chunker (0 for RAG).
+    pub windows: usize,
+    /// Encoder lines split across every window (§4.5's counts).
+    pub broken_patterns: usize,
+    /// Fraction of graph elements visible to the model (RAG only).
+    pub rag_coverage: Option<f64>,
+    /// Simulated seconds spent mining rules (Table 5).
+    pub mining_seconds: f64,
+    /// Simulated seconds spent translating rules to Cypher.
+    pub translation_seconds: f64,
+    /// Aggregated metrics over scored rules (Tables 2–4).
+    pub aggregate: AggregateMetrics,
+    /// Cypher correctness tally (Table 6 + §4.4 breakdown).
+    pub correctness: ClassTally,
+}
+
+impl MiningReport {
+    /// Number of rules in the final set (`#rules` column).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Rules whose corrected query could be scored.
+    pub fn scored_rules(&self) -> impl Iterator<Item = &RuleOutcome> {
+        self.rules.iter().filter(|r| r.metrics.is_some())
+    }
+
+    /// Serializes the report to pretty JSON (for `grm mine --json`).
+    pub fn to_json_pretty(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// One-line table row: `#rules, support, coverage, confidence`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:>6} {:>10.0} {:>8.2} {:>8.2}",
+            self.rule_count(),
+            self.aggregate.support,
+            self.aggregate.coverage_pct,
+            self.aggregate.confidence_pct
+        )
+    }
+}

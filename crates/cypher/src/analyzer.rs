@@ -1,0 +1,468 @@
+//! Semantic analysis of a query against an inferred graph schema.
+//!
+//! This module reproduces, as machine checks, the manual inspection
+//! the paper's authors performed in §4.4. Given a parsed query and a
+//! [`GraphSchema`], it reports:
+//!
+//! * **unknown labels / relationship types** — the query cannot match
+//!   anything;
+//! * **wrong relationship direction** — the type exists but only in
+//!   the opposite orientation (the paper's first error category, e.g.
+//!   `(t:Tournament)-[:IN_TOURNAMENT]->(m:Match)`);
+//! * **unknown ("hallucinated") properties** — a `var.key` access
+//!   where no element under the variable's label carries `key` (the
+//!   paper's second error category, e.g. `m.penaltyScore`);
+//! * **unknown variables** — referenced but never bound.
+//!
+//! Syntax errors (the third category) never reach this module: the
+//! parser rejects them first.
+
+use std::collections::HashMap;
+
+use grm_pgraph::GraphSchema;
+
+use crate::ast::*;
+
+/// One semantic problem found in a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticIssue {
+    /// A node label that does not exist in the schema.
+    UnknownNodeLabel { label: String },
+    /// A relationship type that does not exist in the schema.
+    UnknownEdgeType { etype: String },
+    /// A relationship drawn in a direction the schema never exhibits,
+    /// while the reverse direction does exist.
+    WrongDirection { etype: String, from: String, to: String },
+    /// Endpoint labels the type connects in neither direction.
+    ImpossibleEndpoints { etype: String, from: String, to: String },
+    /// `var.key` where the schema has no such property under the
+    /// variable's label(s) — a hallucinated property.
+    UnknownProperty { var: String, on: String, key: String },
+    /// A variable used but never introduced.
+    UnknownVariable { var: String },
+}
+
+impl SemanticIssue {
+    /// True for the paper's "direction" error category.
+    pub fn is_direction(&self) -> bool {
+        matches!(self, SemanticIssue::WrongDirection { .. })
+    }
+
+    /// True for the paper's "hallucinated property" error category.
+    pub fn is_hallucination(&self) -> bool {
+        matches!(self, SemanticIssue::UnknownProperty { .. })
+    }
+}
+
+/// What a pattern variable is known to denote.
+#[derive(Debug, Clone, PartialEq)]
+enum VarKind {
+    /// Node variable with the labels stated in its pattern(s).
+    Node(Vec<String>),
+    /// Relationship variable with its stated types.
+    Rel(Vec<String>),
+    /// Projected value (WITH/UNWIND alias) — not checkable.
+    Value,
+}
+
+/// Analyzes `query` against `schema`; returns all issues found
+/// (empty = semantically clean).
+pub fn analyze(query: &Query, schema: &GraphSchema) -> Vec<SemanticIssue> {
+    let mut issues = Vec::new();
+    let mut vars: HashMap<String, VarKind> = HashMap::new();
+
+    // Pass 1: walk clauses in order, collecting variable kinds and
+    // checking patterns as they appear.
+    for clause in &query.clauses {
+        match clause {
+            Clause::Match { patterns, where_clause, .. } => {
+                for p in patterns {
+                    check_pattern(p, schema, &mut vars, &mut issues);
+                }
+                if let Some(w) = where_clause {
+                    check_expr(w, schema, &vars, &mut issues);
+                }
+            }
+            Clause::With { items, where_clause, .. } => {
+                for item in items {
+                    check_expr(&item.expr, schema, &vars, &mut issues);
+                }
+                if let Some(w) = where_clause {
+                    // The WHERE of a WITH sees the *projected* scope.
+                    let mut projected: HashMap<String, VarKind> = HashMap::new();
+                    for item in items {
+                        let kind = match &item.expr {
+                            Expr::Var(v) => vars.get(v).cloned().unwrap_or(VarKind::Value),
+                            _ => VarKind::Value,
+                        };
+                        projected.insert(item.name(), kind);
+                    }
+                    check_expr(w, schema, &projected, &mut issues);
+                }
+                // WITH re-scopes: only projected names survive.
+                let mut next: HashMap<String, VarKind> = HashMap::new();
+                for item in items {
+                    let name = item.name();
+                    let kind = match &item.expr {
+                        Expr::Var(v) => vars.get(v).cloned().unwrap_or(VarKind::Value),
+                        _ => VarKind::Value,
+                    };
+                    next.insert(name, kind);
+                }
+                vars = next;
+            }
+            Clause::Unwind { expr, var } => {
+                check_expr(expr, schema, &vars, &mut issues);
+                vars.insert(var.clone(), VarKind::Value);
+            }
+        }
+    }
+    for item in &query.ret.items {
+        check_expr(&item.expr, schema, &vars, &mut issues);
+    }
+    for item in &query.ret.order_by {
+        // ORDER BY sees aliases; unknown names there are tolerated
+        // (they may be output columns).
+        let _ = item;
+    }
+
+    dedup(issues)
+}
+
+fn check_pattern(
+    p: &PathPattern,
+    schema: &GraphSchema,
+    vars: &mut HashMap<String, VarKind>,
+    issues: &mut Vec<SemanticIssue>,
+) {
+    check_node(&p.start, schema, vars, issues);
+    let mut prev = &p.start;
+    for (rel, node) in &p.steps {
+        check_node(node, schema, vars, issues);
+        check_rel(prev, rel, node, schema, vars, issues);
+        prev = node;
+    }
+}
+
+fn check_node(
+    n: &NodePattern,
+    schema: &GraphSchema,
+    vars: &mut HashMap<String, VarKind>,
+    issues: &mut Vec<SemanticIssue>,
+) {
+    for label in &n.labels {
+        if !schema.has_node_label(label) {
+            issues.push(SemanticIssue::UnknownNodeLabel { label: label.clone() });
+        }
+    }
+    if let Some(v) = &n.var {
+        match vars.get_mut(v) {
+            // Re-binding merges label knowledge.
+            Some(VarKind::Node(existing)) => {
+                for l in &n.labels {
+                    if !existing.contains(l) {
+                        existing.push(l.clone());
+                    }
+                }
+            }
+            Some(_) => {}
+            None => {
+                vars.insert(v.clone(), VarKind::Node(n.labels.clone()));
+            }
+        }
+    }
+    // Inline property maps are property accesses too.
+    for (key, _) in &n.props {
+        let known = if n.labels.is_empty() {
+            schema.any_node_has_property(key)
+        } else {
+            n.labels.iter().any(|l| schema.node_has_property(l, key))
+        };
+        if !known {
+            issues.push(SemanticIssue::UnknownProperty {
+                var: n.var.clone().unwrap_or_default(),
+                on: n.labels.join(":"),
+                key: key.clone(),
+            });
+        }
+    }
+}
+
+fn check_rel(
+    left: &NodePattern,
+    rel: &RelPattern,
+    right: &NodePattern,
+    schema: &GraphSchema,
+    vars: &mut HashMap<String, VarKind>,
+    issues: &mut Vec<SemanticIssue>,
+) {
+    for t in &rel.types {
+        if !schema.has_edge_label(t) {
+            issues.push(SemanticIssue::UnknownEdgeType { etype: t.clone() });
+            continue;
+        }
+        // Multi-hop (variable-length) relationships connect endpoint
+        // labels transitively; the single-edge signature check does
+        // not apply.
+        if rel.length.is_some() {
+            continue;
+        }
+        // Direction check needs a label on both sides and a known sig.
+        let (Some(ll), Some(rl)) = (left.labels.first(), right.labels.first()) else {
+            continue;
+        };
+        let Some(sig) = schema.signature(t) else { continue };
+        let (from, to) = match rel.direction {
+            Direction::Out => (ll.as_str(), rl.as_str()),
+            Direction::In => (rl.as_str(), ll.as_str()),
+            Direction::Undirected => {
+                if !sig.connects(ll, rl) && !sig.connects(rl, ll) {
+                    issues.push(SemanticIssue::ImpossibleEndpoints {
+                        etype: t.clone(),
+                        from: ll.clone(),
+                        to: rl.clone(),
+                    });
+                }
+                continue;
+            }
+        };
+        if sig.connects(from, to) {
+            continue;
+        }
+        if sig.connects(to, from) {
+            issues.push(SemanticIssue::WrongDirection {
+                etype: t.clone(),
+                from: from.to_owned(),
+                to: to.to_owned(),
+            });
+        } else {
+            issues.push(SemanticIssue::ImpossibleEndpoints {
+                etype: t.clone(),
+                from: from.to_owned(),
+                to: to.to_owned(),
+            });
+        }
+    }
+    if let Some(v) = &rel.var {
+        vars.entry(v.clone()).or_insert(VarKind::Rel(rel.types.clone()));
+    }
+    for (key, _) in &rel.props {
+        let known = if rel.types.is_empty() {
+            true // untyped relationship: cannot judge
+        } else {
+            rel.types.iter().any(|t| schema.edge_has_property(t, key))
+        };
+        if !known {
+            issues.push(SemanticIssue::UnknownProperty {
+                var: rel.var.clone().unwrap_or_default(),
+                on: rel.types.join("|"),
+                key: key.clone(),
+            });
+        }
+    }
+}
+
+fn check_expr(
+    expr: &Expr,
+    schema: &GraphSchema,
+    vars: &HashMap<String, VarKind>,
+    issues: &mut Vec<SemanticIssue>,
+) {
+    let mut accesses = Vec::new();
+    expr.property_accesses(&mut accesses);
+    for (var, key) in accesses {
+        match vars.get(&var) {
+            Some(VarKind::Node(labels)) => {
+                let known = if labels.is_empty() {
+                    schema.any_node_has_property(&key)
+                } else {
+                    labels.iter().any(|l| schema.node_has_property(l, &key))
+                };
+                if !known {
+                    issues.push(SemanticIssue::UnknownProperty {
+                        var: var.clone(),
+                        on: labels.join(":"),
+                        key,
+                    });
+                }
+            }
+            Some(VarKind::Rel(types)) => {
+                let known = types.is_empty()
+                    || types.iter().any(|t| schema.edge_has_property(t, &key));
+                if !known {
+                    issues.push(SemanticIssue::UnknownProperty {
+                        var: var.clone(),
+                        on: types.join("|"),
+                        key,
+                    });
+                }
+            }
+            Some(VarKind::Value) => {}
+            None => issues.push(SemanticIssue::UnknownVariable { var }),
+        }
+    }
+    // Bare variable references (outside property access).
+    check_bare_vars(expr, vars, issues);
+}
+
+fn check_bare_vars(
+    expr: &Expr,
+    vars: &HashMap<String, VarKind>,
+    issues: &mut Vec<SemanticIssue>,
+) {
+    match expr {
+        Expr::Var(v) => {
+            if !vars.contains_key(v) {
+                issues.push(SemanticIssue::UnknownVariable { var: v.clone() });
+            }
+        }
+        Expr::Prop { .. } => {} // handled via property_accesses
+        Expr::Unary { expr, .. } => check_bare_vars(expr, vars, issues),
+        Expr::Binary { lhs, rhs, .. } => {
+            check_bare_vars(lhs, vars, issues);
+            check_bare_vars(rhs, vars, issues);
+        }
+        Expr::IsNull { expr, .. } => check_bare_vars(expr, vars, issues),
+        Expr::In { expr, list } => {
+            check_bare_vars(expr, vars, issues);
+            check_bare_vars(list, vars, issues);
+        }
+        Expr::FnCall { args, .. } => {
+            for a in args {
+                check_bare_vars(a, vars, issues);
+            }
+        }
+        Expr::List(items) => {
+            for i in items {
+                check_bare_vars(i, vars, issues);
+            }
+        }
+        Expr::ExistsProp(e) => check_bare_vars(e, vars, issues),
+        Expr::Literal(_) => {}
+    }
+}
+
+fn dedup(issues: Vec<SemanticIssue>) -> Vec<SemanticIssue> {
+    let mut out: Vec<SemanticIssue> = Vec::with_capacity(issues.len());
+    for i in issues {
+        if !out.contains(&i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use grm_pgraph::{props, PropertyGraph, Value};
+
+    fn schema() -> GraphSchema {
+        let mut g = PropertyGraph::new();
+        let t = g.add_node(["Tournament"], props([("id", Value::Int(1))]));
+        let m = g.add_node(
+            ["Match"],
+            props([("id", Value::from("m1")), ("date", Value::from("2019-06-11"))]),
+        );
+        let p = g.add_node(["Person"], props([("name", Value::from("Ada"))]));
+        g.add_edge(m, t, "IN_TOURNAMENT", Default::default());
+        g.add_edge(p, m, "SCORED_GOAL", props([("minute", Value::Int(9))]));
+        GraphSchema::infer(&g)
+    }
+
+    fn issues(src: &str) -> Vec<SemanticIssue> {
+        analyze(&parse(src).unwrap(), &schema())
+    }
+
+    #[test]
+    fn clean_query_has_no_issues() {
+        assert!(issues(
+            "MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn detects_the_papers_direction_error() {
+        let is = issues(
+            "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match) \
+             WITH t.id AS tid, m.id AS mid, COUNT(*) AS count \
+             WHERE count = 1 RETURN COUNT(*) AS support",
+        );
+        assert!(is.iter().any(SemanticIssue::is_direction), "{is:?}");
+    }
+
+    #[test]
+    fn detects_hallucinated_property() {
+        // §4.4: Mixtral invented `penaltyScore`/`score`/`minute` on Match.
+        let is = issues(
+            "MATCH (p:Person)-[:SCORED_GOAL]->(m:Match) \
+             WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c",
+        );
+        assert!(is.iter().any(SemanticIssue::is_hallucination), "{is:?}");
+    }
+
+    #[test]
+    fn detects_unknown_label_and_type() {
+        let is = issues("MATCH (x:Ghost)-[:HAUNTS]->(m:Match) RETURN COUNT(*) AS c");
+        assert!(is.contains(&SemanticIssue::UnknownNodeLabel { label: "Ghost".into() }));
+        assert!(is.contains(&SemanticIssue::UnknownEdgeType { etype: "HAUNTS".into() }));
+    }
+
+    #[test]
+    fn detects_impossible_endpoints() {
+        let is = issues(
+            "MATCH (p:Person)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c",
+        );
+        assert!(is
+            .iter()
+            .any(|i| matches!(i, SemanticIssue::ImpossibleEndpoints { .. })));
+    }
+
+    #[test]
+    fn with_aliases_are_not_hallucinations() {
+        // `count` is a projected value; `count = 1` must not flag.
+        let is = issues(
+            "MATCH (m:Match) WITH m.id AS mid, COUNT(*) AS count \
+             WHERE count = 1 RETURN COUNT(*) AS c",
+        );
+        assert!(is.is_empty(), "{is:?}");
+    }
+
+    #[test]
+    fn unknown_variable_detected() {
+        let is = issues("MATCH (m:Match) WHERE zz.id = 1 RETURN COUNT(*) AS c");
+        assert!(is.contains(&SemanticIssue::UnknownVariable { var: "zz".into() }));
+    }
+
+    #[test]
+    fn rel_property_hallucination() {
+        let is = issues(
+            "MATCH (p:Person)-[r:SCORED_GOAL]->(m:Match) WHERE r.speed > 1 \
+             RETURN COUNT(*) AS c",
+        );
+        assert!(is.iter().any(SemanticIssue::is_hallucination));
+    }
+
+    #[test]
+    fn inline_prop_map_checked() {
+        let is = issues("MATCH (m:Match {venue: 'Lyon'}) RETURN COUNT(*) AS c");
+        assert!(is.iter().any(SemanticIssue::is_hallucination));
+    }
+
+    #[test]
+    fn undirected_rel_accepts_either_direction() {
+        let is = issues("MATCH (t:Tournament)-[:IN_TOURNAMENT]-(m:Match) RETURN COUNT(*) AS c");
+        assert!(is.is_empty(), "{is:?}");
+    }
+
+    #[test]
+    fn unlabelled_var_property_checked_against_all_labels() {
+        // `date` exists on Match, so unlabelled access passes …
+        assert!(issues("MATCH (n) WHERE n.date IS NULL RETURN COUNT(*) AS c").is_empty());
+        // … while a fully unknown key flags.
+        let is = issues("MATCH (n) WHERE n.nope IS NULL RETURN COUNT(*) AS c");
+        assert!(is.iter().any(SemanticIssue::is_hallucination));
+    }
+}

@@ -1,0 +1,611 @@
+//! Abstract syntax tree for the supported Cypher subset, plus a
+//! canonical renderer (`Display`) used by the query corrector in
+//! `grm-metrics` to re-emit repaired queries as text.
+
+use std::fmt;
+
+use grm_pgraph::Value;
+
+/// A full query: a pipeline of reading clauses ending in `RETURN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub clauses: Vec<Clause>,
+    pub ret: Return,
+}
+
+/// A reading/projecting clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `MATCH <patterns> [WHERE <expr>]` (optionally `OPTIONAL MATCH`).
+    Match {
+        optional: bool,
+        patterns: Vec<PathPattern>,
+        where_clause: Option<Expr>,
+    },
+    /// `WITH [DISTINCT] items [WHERE expr]`.
+    With {
+        distinct: bool,
+        items: Vec<ProjItem>,
+        where_clause: Option<Expr>,
+    },
+    /// `UNWIND <expr> AS <var>`.
+    Unwind { expr: Expr, var: String },
+}
+
+/// `RETURN [DISTINCT] items [ORDER BY ...] [SKIP n] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Return {
+    pub distinct: bool,
+    pub items: Vec<ProjItem>,
+    pub order_by: Vec<OrderItem>,
+    pub skip: Option<u64>,
+    pub limit: Option<u64>,
+}
+
+/// A projection item: expression with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+impl ProjItem {
+    /// Output column name: explicit alias, else rendered expression.
+    pub fn name(&self) -> String {
+        self.alias.clone().unwrap_or_else(|| self.expr.to_string())
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A linear path pattern `(a)-[r:T]->(b)-...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPattern {
+    pub start: NodePattern,
+    pub steps: Vec<(RelPattern, NodePattern)>,
+}
+
+impl PathPattern {
+    /// The same path written end-to-start, with every relationship
+    /// direction flipped. Matching the reversal produces identical
+    /// bindings; the planner uses it to begin at whichever end is
+    /// cheaper (bound variable or more selective label).
+    pub fn reversed(&self) -> PathPattern {
+        let mut nodes: Vec<&NodePattern> = vec![&self.start];
+        nodes.extend(self.steps.iter().map(|(_, n)| n));
+        let rels: Vec<&RelPattern> = self.steps.iter().map(|(r, _)| r).collect();
+
+        let start = (*nodes.last().expect("path has at least one node")).clone();
+        let steps = rels
+            .iter()
+            .zip(nodes.iter())
+            .rev()
+            .map(|(rel, node)| {
+                let mut rel = (*rel).clone();
+                rel.direction = rel.direction.reversed();
+                (rel, (*node).clone())
+            })
+            .collect();
+        PathPattern { start, steps }
+    }
+}
+
+/// `(var:Label {key: expr, ...})`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    pub var: Option<String>,
+    pub labels: Vec<String>,
+    pub props: Vec<(String, Expr)>,
+}
+
+/// Relationship direction as written in the pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[..]->`
+    Out,
+    /// `<-[..]-`
+    In,
+    /// `-[..]-`
+    Undirected,
+}
+
+impl Direction {
+    /// The opposite direction (used by the direction-error corrector).
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+            Direction::Undirected => Direction::Undirected,
+        }
+    }
+}
+
+/// `-[var:TYPE {key: expr}]->` (direction included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    pub var: Option<String>,
+    pub types: Vec<String>,
+    pub props: Vec<(String, Expr)>,
+    pub direction: Direction,
+    /// Variable-length hop bounds: `Some((min, max))` for `*min..max`
+    /// (`max = None` for unbounded `*min..`); `None` for a plain
+    /// single relationship.
+    pub length: Option<(u32, Option<u32>)>,
+}
+
+/// Binary operators, lowest to highest precedence tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    Xor,
+    And,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Regex,
+    StartsWith,
+    EndsWith,
+    Contains,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "OR",
+            BinOp::Xor => "XOR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Regex => "=~",
+            BinOp::StartsWith => "STARTS WITH",
+            BinOp::EndsWith => "ENDS WITH",
+            BinOp::Contains => "CONTAINS",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "^",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value (`42`, `'x'`, `true`, `null`, `[1,2]`).
+    Literal(Value),
+    /// Variable reference.
+    Var(String),
+    /// `base.key` property access.
+    Prop { base: Box<Expr>, key: String },
+    /// Unary operator application.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Binary operator application.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr IN list`.
+    In { expr: Box<Expr>, list: Box<Expr> },
+    /// Function call; `name` is stored lowercase. `star` marks
+    /// `COUNT(*)`.
+    FnCall {
+        name: String,
+        distinct: bool,
+        star: bool,
+        args: Vec<Expr>,
+    },
+    /// List literal of expressions.
+    List(Vec<Expr>),
+    /// `EXISTS(n.prop)` keyword form.
+    ExistsProp(Box<Expr>),
+}
+
+impl Expr {
+    /// Builds `lhs op rhs`.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Builds `var.key`.
+    pub fn prop(var: &str, key: &str) -> Expr {
+        Expr::Prop { base: Box::new(Expr::Var(var.to_owned())), key: key.to_owned() }
+    }
+
+    /// True when the expression contains an aggregate function call
+    /// (`count`, `collect`, `sum`, `min`, `max`, `avg`) at any depth
+    /// outside another aggregate.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::FnCall { name, args, .. } => {
+                is_aggregate_fn(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Literal(_) | Expr::Var(_) => false,
+            Expr::Prop { base, .. } => base.contains_aggregate(),
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.contains_aggregate() || rhs.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::In { expr, list } => expr.contains_aggregate() || list.contains_aggregate(),
+            Expr::List(items) => items.iter().any(Expr::contains_aggregate),
+            Expr::ExistsProp(e) => e.contains_aggregate(),
+        }
+    }
+
+    /// Collects every `var.key` property access into `out`.
+    pub fn property_accesses(&self, out: &mut Vec<(String, String)>) {
+        match self {
+            Expr::Prop { base, key } => {
+                if let Expr::Var(v) = base.as_ref() {
+                    out.push((v.clone(), key.clone()));
+                }
+                base.property_accesses(out);
+            }
+            Expr::Unary { expr, .. } => expr.property_accesses(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.property_accesses(out);
+                rhs.property_accesses(out);
+            }
+            Expr::IsNull { expr, .. } => expr.property_accesses(out),
+            Expr::In { expr, list } => {
+                expr.property_accesses(out);
+                list.property_accesses(out);
+            }
+            Expr::FnCall { args, .. } => {
+                for a in args {
+                    a.property_accesses(out);
+                }
+            }
+            Expr::List(items) => {
+                for i in items {
+                    i.property_accesses(out);
+                }
+            }
+            Expr::ExistsProp(e) => e.property_accesses(out),
+            Expr::Literal(_) | Expr::Var(_) => {}
+        }
+    }
+}
+
+/// True for Cypher aggregate function names (lowercase).
+pub fn is_aggregate_fn(name: &str) -> bool {
+    matches!(name, "count" | "collect" | "sum" | "min" | "max" | "avg")
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for clause in &self.clauses {
+            writeln!(f, "{clause}")?;
+        }
+        write!(f, "{}", self.ret)
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clause::Match { optional, patterns, where_clause } => {
+                if *optional {
+                    write!(f, "OPTIONAL ")?;
+                }
+                write!(f, "MATCH ")?;
+                for (i, p) in patterns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Clause::With { distinct, items, where_clause } => {
+                write!(f, "WITH ")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Clause::Unwind { expr, var } => write!(f, "UNWIND {expr} AS {var}"),
+        }
+    }
+}
+
+impl fmt::Display for Return {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RETURN ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.descending {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(s) = self.skip {
+            write!(f, " SKIP {s}")?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProjItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (rel, node) in &self.steps {
+            write!(f, "{rel}{node}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        if let Some(v) = &self.var {
+            write!(f, "{v}")?;
+        }
+        for l in &self.labels {
+            write!(f, ":{l}")?;
+        }
+        if !self.props.is_empty() {
+            write!(f, " {{")?;
+            for (i, (k, e)) in self.props.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}: {e}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for RelPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (pre, post) = match self.direction {
+            Direction::Out => ("-", "->"),
+            Direction::In => ("<-", "-"),
+            Direction::Undirected => ("-", "-"),
+        };
+        write!(f, "{pre}[")?;
+        if let Some(v) = &self.var {
+            write!(f, "{v}")?;
+        }
+        for (i, t) in self.types.iter().enumerate() {
+            write!(f, "{}{t}", if i == 0 { ":" } else { "|" })?;
+        }
+        match self.length {
+            None => {}
+            Some((1, None)) => write!(f, "*")?,
+            Some((min, None)) => write!(f, "*{min}..")?,
+            Some((min, Some(max))) if min == max => write!(f, "*{min}")?,
+            Some((min, Some(max))) => write!(f, "*{min}..{max}")?,
+        }
+        if !self.props.is_empty() {
+            write!(f, " {{")?;
+            for (i, (k, e)) in self.props.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}: {e}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "]{post}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                Value::Null => write!(f, "null"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Prop { base, key } => write!(f, "{base}.{key}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT ({expr})"),
+                UnaryOp::Neg => write!(f, "-({expr})"),
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                // Parenthesise nested binaries for unambiguous output;
+                // atoms render bare to keep queries readable.
+                fn wrap(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+                    match e {
+                        Expr::Binary { .. } => write!(f, "({e})"),
+                        _ => write!(f, "{e}"),
+                    }
+                }
+                wrap(f, lhs)?;
+                write!(f, " {} ", op.symbol())?;
+                wrap(f, rhs)
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::In { expr, list } => write!(f, "{expr} IN {list}"),
+            Expr::FnCall { name, distinct, star, args } => {
+                // Conventional casing: aggregates upper-case, scalar
+                // functions as written in Neo4j docs.
+                let shown = match name.as_str() {
+                    "count" | "collect" | "sum" | "min" | "max" | "avg" | "size" => {
+                        name.to_ascii_uppercase()
+                    }
+                    "tostring" => "toString".to_owned(),
+                    "tolower" => "toLower".to_owned(),
+                    "toupper" => "toUpper".to_owned(),
+                    "tointeger" => "toInteger".to_owned(),
+                    other => other.to_owned(),
+                };
+                write!(f, "{shown}(")?;
+                if *star {
+                    write!(f, "*")?;
+                } else {
+                    if *distinct {
+                        write!(f, "DISTINCT ")?;
+                    }
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            Expr::List(items) => {
+                write!(f, "[")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::ExistsProp(e) => write!(f, "EXISTS({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_node_pattern() {
+        let n = NodePattern {
+            var: Some("m".into()),
+            labels: vec!["Match".into()],
+            props: vec![("id".into(), Expr::Literal(Value::Int(1)))],
+        };
+        assert_eq!(n.to_string(), "(m:Match {id: 1})");
+    }
+
+    #[test]
+    fn render_rel_directions() {
+        let mk = |d| RelPattern {
+            var: None,
+            types: vec!["IN_TOURNAMENT".into()],
+            props: vec![],
+            direction: d,
+            length: None,
+        };
+        assert_eq!(mk(Direction::Out).to_string(), "-[:IN_TOURNAMENT]->");
+        assert_eq!(mk(Direction::In).to_string(), "<-[:IN_TOURNAMENT]-");
+        assert_eq!(mk(Direction::Undirected).to_string(), "-[:IN_TOURNAMENT]-");
+    }
+
+    #[test]
+    fn direction_reversal() {
+        assert_eq!(Direction::Out.reversed(), Direction::In);
+        assert_eq!(Direction::Undirected.reversed(), Direction::Undirected);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::FnCall {
+            name: "count".into(),
+            distinct: false,
+            star: true,
+            args: vec![],
+        };
+        assert!(agg.contains_aggregate());
+        assert!(Expr::binary(BinOp::Add, agg, Expr::Literal(Value::Int(1)))
+            .contains_aggregate());
+        assert!(!Expr::prop("n", "id").contains_aggregate());
+    }
+
+    #[test]
+    fn property_access_collection() {
+        let e = Expr::binary(BinOp::Eq, Expr::prop("n", "id"), Expr::prop("m", "id"));
+        let mut accesses = Vec::new();
+        e.property_accesses(&mut accesses);
+        assert_eq!(
+            accesses,
+            vec![("n".to_owned(), "id".to_owned()), ("m".to_owned(), "id".to_owned())]
+        );
+    }
+
+    #[test]
+    fn fn_call_rendering() {
+        let e = Expr::FnCall {
+            name: "collect".into(),
+            distinct: true,
+            star: false,
+            args: vec![Expr::prop("p", "name")],
+        };
+        assert_eq!(e.to_string(), "COLLECT(DISTINCT p.name)");
+        let e = Expr::FnCall { name: "tostring".into(), distinct: false, star: false, args: vec![Expr::Var("x".into())] };
+        assert_eq!(e.to_string(), "toString(x)");
+    }
+}

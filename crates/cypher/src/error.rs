@@ -1,0 +1,81 @@
+//! Positioned errors for the Cypher engine.
+//!
+//! Syntax errors carry byte offsets so callers (notably the error
+//! classifier in `grm-metrics`) can point at the offending token —
+//! mirroring how the paper's authors identified the `=` vs `=~`
+//! syntax slip in §4.4.
+
+use std::fmt;
+
+/// Byte-offset span within the query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Zero-width span at `pos`.
+    pub fn point(pos: usize) -> Self {
+        Span { start: pos, end: pos }
+    }
+}
+
+/// Any failure while lexing, parsing, analyzing, or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CypherError {
+    /// Lexical error: unexpected character, unterminated string, ...
+    Lex { message: String, span: Span },
+    /// Grammar violation.
+    Parse { message: String, span: Span },
+    /// Query is well-formed but inconsistent with itself
+    /// (e.g. unknown variable, aggregate nested in aggregate).
+    Semantic { message: String },
+    /// Runtime failure (type error that Neo4j would raise eagerly).
+    Runtime { message: String },
+}
+
+impl CypherError {
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        CypherError::Lex { message: message.into(), span }
+    }
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        CypherError::Parse { message: message.into(), span }
+    }
+    pub fn semantic(message: impl Into<String>) -> Self {
+        CypherError::Semantic { message: message.into() }
+    }
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CypherError::Runtime { message: message.into() }
+    }
+
+    /// True for lexer/parser failures — the paper's third error
+    /// category ("syntax issues in the Cypher query").
+    pub fn is_syntax(&self) -> bool {
+        matches!(self, CypherError::Lex { .. } | CypherError::Parse { .. })
+    }
+}
+
+impl fmt::Display for CypherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CypherError::Lex { message, span } => {
+                write!(f, "lex error at {}..{}: {message}", span.start, span.end)
+            }
+            CypherError::Parse { message, span } => {
+                write!(f, "parse error at {}..{}: {message}", span.start, span.end)
+            }
+            CypherError::Semantic { message } => write!(f, "semantic error: {message}"),
+            CypherError::Runtime { message } => write!(f, "runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CypherError {}
+
+/// Convenience alias used across the engine.
+pub type Result<T> = std::result::Result<T, CypherError>;

@@ -1,0 +1,601 @@
+//! Expression evaluation with Cypher's three-valued logic.
+//!
+//! `NULL` propagates through comparisons and arithmetic, `AND`/`OR`
+//! follow Kleene logic, and property access on an element that lacks
+//! the key yields `NULL` rather than an error — this last point is
+//! what makes a *hallucinated property* (paper §4.4, error class 2)
+//! produce an empty-but-running query instead of a failure.
+
+use std::collections::HashMap;
+
+use grm_pgraph::{EdgeId, NodeId, PropertyGraph, Value};
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use crate::error::{CypherError, Result};
+
+/// What a variable may be bound to during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    Node(NodeId),
+    Edge(EdgeId),
+    Val(Value),
+}
+
+impl Binding {
+    /// Projects the binding to a plain value (for result sets and
+    /// grouping). Nodes/edges project to an opaque id string — the
+    /// paper's rules only ever count or compare them.
+    pub fn to_value(&self, g: &PropertyGraph) -> Value {
+        match self {
+            Binding::Node(id) => {
+                let n = g.node(*id);
+                Value::Str(format!("({}:{})", id, n.labels.join(":")))
+            }
+            Binding::Edge(id) => {
+                let e = g.edge(*id);
+                Value::Str(format!("[{}:{}]", id, e.label))
+            }
+            Binding::Val(v) => v.clone(),
+        }
+    }
+}
+
+/// A row of variable bindings.
+pub type Row = HashMap<String, Binding>;
+
+/// Evaluation context: the graph being queried.
+pub struct EvalCtx<'g> {
+    pub graph: &'g PropertyGraph,
+}
+
+impl<'g> EvalCtx<'g> {
+    pub fn new(graph: &'g PropertyGraph) -> Self {
+        EvalCtx { graph }
+    }
+
+    /// Evaluates `expr` under `row` to a value. Aggregate calls are
+    /// rejected here — they are handled by the projection operator.
+    pub fn eval(&self, expr: &Expr, row: &Row) -> Result<Value> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Var(name) => match row.get(name) {
+                Some(b) => Ok(b.to_value(self.graph)),
+                None => Err(CypherError::semantic(format!("unknown variable `{name}`"))),
+            },
+            Expr::Prop { base, key } => self.eval_prop(base, key, row),
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, row)?;
+                match op {
+                    UnaryOp::Not => Ok(match v.as_truth() {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    }),
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        Value::Null => Ok(Value::Null),
+                        other => Err(CypherError::runtime(format!(
+                            "cannot negate {}",
+                            other.type_name()
+                        ))),
+                    },
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, row),
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::In { expr, list } => {
+                let needle = self.eval(expr, row)?;
+                let haystack = self.eval(list, row)?;
+                match haystack {
+                    Value::Null => Ok(Value::Null),
+                    Value::List(items) => {
+                        if needle.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        let mut saw_null = false;
+                        for item in &items {
+                            match needle.cypher_eq(item) {
+                                Some(true) => return Ok(Value::Bool(true)),
+                                Some(false) => {}
+                                None => saw_null = true,
+                            }
+                        }
+                        Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+                    }
+                    other => Err(CypherError::runtime(format!(
+                        "IN expects a list, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::List(items) => {
+                let vals: Result<Vec<Value>> =
+                    items.iter().map(|e| self.eval(e, row)).collect();
+                Ok(Value::List(vals?))
+            }
+            Expr::ExistsProp(inner) => {
+                let v = self.eval(inner, row)?;
+                Ok(Value::Bool(!v.is_null()))
+            }
+            Expr::FnCall { name, args, star, .. } => {
+                if *star || crate::ast::is_aggregate_fn(name) {
+                    return Err(CypherError::semantic(format!(
+                        "aggregate function {name} not allowed in this context"
+                    )));
+                }
+                self.eval_scalar_fn(name, args, row)
+            }
+        }
+    }
+
+    /// Boolean filter semantics: `NULL` and non-booleans filter out.
+    pub fn eval_filter(&self, expr: &Expr, row: &Row) -> Result<bool> {
+        Ok(self.eval(expr, row)?.as_truth().unwrap_or(false))
+    }
+
+    fn eval_prop(&self, base: &Expr, key: &str, row: &Row) -> Result<Value> {
+        // Fast path: `var.key` on a bound graph element.
+        if let Expr::Var(name) = base {
+            match row.get(name) {
+                Some(Binding::Node(id)) => return Ok(self.graph.node(*id).prop(key).clone()),
+                Some(Binding::Edge(id)) => return Ok(self.graph.edge(*id).prop(key).clone()),
+                Some(Binding::Val(Value::Null)) => return Ok(Value::Null),
+                Some(Binding::Val(other)) => {
+                    return Err(CypherError::runtime(format!(
+                        "property access on {} value `{name}`",
+                        other.type_name()
+                    )))
+                }
+                None => {
+                    return Err(CypherError::semantic(format!("unknown variable `{name}`")))
+                }
+            }
+        }
+        // `expr.key` on a computed value: only NULL passes through.
+        let v = self.eval(base, row)?;
+        if v.is_null() {
+            Ok(Value::Null)
+        } else {
+            Err(CypherError::runtime(format!(
+                "property access on {} value",
+                v.type_name()
+            )))
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, lhs: &Expr, rhs: &Expr, row: &Row) -> Result<Value> {
+        use BinOp::*;
+        // Kleene logic needs lazy handling of NULL, evaluate both but
+        // combine carefully (expressions here are side-effect free).
+        if matches!(op, And | Or | Xor) {
+            let l = self.eval(lhs, row)?.as_truth();
+            let r = self.eval(rhs, row)?.as_truth();
+            let out = match (op, l, r) {
+                (And, Some(false), _) | (And, _, Some(false)) => Some(false),
+                (And, Some(true), Some(true)) => Some(true),
+                (And, _, _) => None,
+                (Or, Some(true), _) | (Or, _, Some(true)) => Some(true),
+                (Or, Some(false), Some(false)) => Some(false),
+                (Or, _, _) => None,
+                (Xor, Some(a), Some(b)) => Some(a != b),
+                (Xor, _, _) => None,
+                _ => unreachable!(),
+            };
+            return Ok(out.map(Value::Bool).unwrap_or(Value::Null));
+        }
+        let l = self.eval(lhs, row)?;
+        let r = self.eval(rhs, row)?;
+        match op {
+            Eq => Ok(l.cypher_eq(&r).map(Value::Bool).unwrap_or(Value::Null)),
+            Neq => Ok(l.cypher_eq(&r).map(|b| Value::Bool(!b)).unwrap_or(Value::Null)),
+            Lt | Le | Gt | Ge => {
+                let ord = l.cypher_cmp(&r);
+                Ok(match ord {
+                    None => Value::Null,
+                    Some(o) => Value::Bool(match op {
+                        Lt => o.is_lt(),
+                        Le => o.is_le(),
+                        Gt => o.is_gt(),
+                        Ge => o.is_ge(),
+                        _ => unreachable!(),
+                    }),
+                })
+            }
+            StartsWith | EndsWith | Contains => match (&l, &r) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Bool(match op {
+                    StartsWith => a.starts_with(b.as_str()),
+                    EndsWith => a.ends_with(b.as_str()),
+                    Contains => a.contains(b.as_str()),
+                    _ => unreachable!(),
+                })),
+                _ => Err(CypherError::runtime(format!(
+                    "{op:?} expects STRING operands, got {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                ))),
+            },
+            Regex => match (&l, &r) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    let re = crate::regex::Regex::new(pat).map_err(|e| {
+                        CypherError::runtime(format!("invalid regex {pat:?}: {e}"))
+                    })?;
+                    Ok(Value::Bool(re.is_match(s)))
+                }
+                // Neo4j raises a type error when `=~` is applied to a
+                // non-string subject.
+                _ => Err(CypherError::runtime(format!(
+                    "=~ expects STRING operands, got {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                ))),
+            },
+            Add => self.arith(l, r, op),
+            Sub | Mul | Div | Mod | Pow => self.arith(l, r, op),
+            And | Or | Xor => unreachable!("handled above"),
+        }
+    }
+
+    fn arith(&self, l: Value, r: Value, op: BinOp) -> Result<Value> {
+        use BinOp::*;
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        // String / list concatenation with `+`.
+        if op == Add {
+            match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => return Ok(Value::Str(format!("{a}{b}"))),
+                (Value::Str(a), b) => return Ok(Value::Str(format!("{a}{b}"))),
+                (a, Value::Str(b)) => return Ok(Value::Str(format!("{a}{b}"))),
+                (Value::List(a), Value::List(b)) => {
+                    let mut out = a.clone();
+                    out.extend(b.clone());
+                    return Ok(Value::List(out));
+                }
+                _ => {}
+            }
+        }
+        // Integer arithmetic stays integral (Cypher semantics).
+        if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+            let (a, b) = (*a, *b);
+            return Ok(match op {
+                Add => Value::Int(a.wrapping_add(b)),
+                Sub => Value::Int(a.wrapping_sub(b)),
+                Mul => Value::Int(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(CypherError::runtime("division by zero"));
+                    }
+                    Value::Int(a / b)
+                }
+                Mod => {
+                    if b == 0 {
+                        return Err(CypherError::runtime("modulo by zero"));
+                    }
+                    Value::Int(a % b)
+                }
+                Pow => Value::Float((a as f64).powf(b as f64)),
+                _ => unreachable!(),
+            });
+        }
+        match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => Ok(match op {
+                Add => Value::Float(a + b),
+                Sub => Value::Float(a - b),
+                Mul => Value::Float(a * b),
+                Div => Value::Float(a / b),
+                Mod => Value::Float(a % b),
+                Pow => Value::Float(a.powf(b)),
+                _ => unreachable!(),
+            }),
+            _ => Err(CypherError::runtime(format!(
+                "cannot apply {op:?} to {} and {}",
+                l.type_name(),
+                r.type_name()
+            ))),
+        }
+    }
+
+    fn eval_scalar_fn(&self, name: &str, args: &[Expr], row: &Row) -> Result<Value> {
+        let arity = |n: usize| -> Result<()> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(CypherError::semantic(format!(
+                    "{name}() expects {n} argument(s), got {}",
+                    args.len()
+                )))
+            }
+        };
+        match name {
+            "size" | "length" => {
+                arity(1)?;
+                match self.eval(&args[0], row)? {
+                    Value::Null => Ok(Value::Null),
+                    Value::List(items) => Ok(Value::Int(items.len() as i64)),
+                    Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                    other => Err(CypherError::runtime(format!(
+                        "size() expects LIST or STRING, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "tostring" => {
+                arity(1)?;
+                Ok(match self.eval(&args[0], row)? {
+                    Value::Null => Value::Null,
+                    Value::Str(s) => Value::Str(s),
+                    other => Value::Str(other.to_string()),
+                })
+            }
+            "tolower" => {
+                arity(1)?;
+                match self.eval(&args[0], row)? {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => Ok(Value::Str(s.to_lowercase())),
+                    other => Err(CypherError::runtime(format!(
+                        "toLower() expects STRING, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "toupper" => {
+                arity(1)?;
+                match self.eval(&args[0], row)? {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => Ok(Value::Str(s.to_uppercase())),
+                    other => Err(CypherError::runtime(format!(
+                        "toUpper() expects STRING, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "tointeger" => {
+                arity(1)?;
+                Ok(match self.eval(&args[0], row)? {
+                    Value::Null => Value::Null,
+                    Value::Int(i) => Value::Int(i),
+                    Value::Float(f) => Value::Int(f as i64),
+                    Value::Str(s) => {
+                        s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
+                    }
+                    _ => Value::Null,
+                })
+            }
+            "abs" => {
+                arity(1)?;
+                match self.eval(&args[0], row)? {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(i.abs())),
+                    Value::Float(f) => Ok(Value::Float(f.abs())),
+                    other => Err(CypherError::runtime(format!(
+                        "abs() expects a number, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "coalesce" => {
+                for a in args {
+                    let v = self.eval(a, row)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            "id" => {
+                arity(1)?;
+                if let Expr::Var(v) = &args[0] {
+                    match row.get(v) {
+                        Some(Binding::Node(id)) => return Ok(Value::Int(i64::from(id.0))),
+                        Some(Binding::Edge(id)) => return Ok(Value::Int(i64::from(id.0))),
+                        _ => {}
+                    }
+                }
+                Err(CypherError::runtime("id() expects a bound node or relationship"))
+            }
+            "labels" => {
+                arity(1)?;
+                if let Expr::Var(v) = &args[0] {
+                    if let Some(Binding::Node(id)) = row.get(v) {
+                        let labels = self
+                            .graph
+                            .node(*id)
+                            .labels
+                            .iter()
+                            .map(|l| Value::Str(l.clone()))
+                            .collect();
+                        return Ok(Value::List(labels));
+                    }
+                }
+                Err(CypherError::runtime("labels() expects a bound node"))
+            }
+            "type" => {
+                arity(1)?;
+                if let Expr::Var(v) = &args[0] {
+                    if let Some(Binding::Edge(id)) = row.get(v) {
+                        return Ok(Value::Str(self.graph.edge(*id).label.clone()));
+                    }
+                }
+                Err(CypherError::runtime("type() expects a bound relationship"))
+            }
+            "exists" => {
+                arity(1)?;
+                let v = self.eval(&args[0], row)?;
+                Ok(Value::Bool(!v.is_null()))
+            }
+            other => Err(CypherError::semantic(format!("unknown function `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use grm_pgraph::{props, PropertyGraph};
+
+    fn ctx_and_row() -> (PropertyGraph, Row) {
+        let mut g = PropertyGraph::new();
+        let n = g.add_node(
+            ["Person"],
+            props([
+                ("name", Value::from("Ada")),
+                ("age", Value::Int(36)),
+                ("domain", Value::from("example.com")),
+            ]),
+        );
+        let m = g.add_node(["Match"], props([("id", Value::from("m1"))]));
+        let e = g.add_edge(n, m, "PLAYED_IN", props([("minutes", Value::Int(90))]));
+        let mut row = Row::new();
+        row.insert("n".into(), Binding::Node(n));
+        row.insert("m".into(), Binding::Node(m));
+        row.insert("r".into(), Binding::Edge(e));
+        (g, row)
+    }
+
+    fn ev(src: &str) -> Value {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        ctx.eval(&parse_expr(src).unwrap(), &row).unwrap()
+    }
+
+    #[test]
+    fn property_access() {
+        assert_eq!(ev("n.name"), Value::from("Ada"));
+        assert_eq!(ev("r.minutes"), Value::Int(90));
+        // Missing ("hallucinated") property reads NULL, not error.
+        assert_eq!(ev("n.penaltyScore"), Value::Null);
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        assert_eq!(ev("n.ghost = 1"), Value::Null);
+        assert_eq!(ev("n.ghost > 1"), Value::Null);
+        assert_eq!(ev("n.ghost + 1"), Value::Null);
+    }
+
+    #[test]
+    fn kleene_logic() {
+        assert_eq!(ev("n.ghost = 1 AND false"), Value::Bool(false));
+        assert_eq!(ev("n.ghost = 1 OR true"), Value::Bool(true));
+        assert_eq!(ev("n.ghost = 1 AND true"), Value::Null);
+        assert_eq!(ev("NOT (n.ghost = 1)"), Value::Null);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        assert_eq!(ev("n.ghost IS NULL"), Value::Bool(true));
+        assert_eq!(ev("n.name IS NOT NULL"), Value::Bool(true));
+    }
+
+    #[test]
+    fn regex_match() {
+        assert_eq!(
+            ev(r"n.domain =~ '^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$'"),
+            Value::Bool(true)
+        );
+        assert_eq!(ev("n.name =~ '^[0-9]+$'"), Value::Bool(false));
+        assert_eq!(ev("n.ghost =~ '^a$'"), Value::Null);
+    }
+
+    #[test]
+    fn string_predicates() {
+        assert_eq!(ev("n.name STARTS WITH 'A'"), Value::Bool(true));
+        assert_eq!(ev("n.name STARTS WITH 'B'"), Value::Bool(false));
+        assert_eq!(ev("n.name ENDS WITH 'da'"), Value::Bool(true));
+        assert_eq!(ev("n.domain CONTAINS 'ample'"), Value::Bool(true));
+        assert_eq!(ev("n.domain CONTAINS 'nope'"), Value::Bool(false));
+        // NULL propagates.
+        assert_eq!(ev("n.ghost CONTAINS 'x'"), Value::Null);
+    }
+
+    #[test]
+    fn string_predicates_on_non_strings_error() {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        assert!(ctx.eval(&parse_expr("n.age CONTAINS 'x'").unwrap(), &row).is_err());
+    }
+
+    #[test]
+    fn regex_on_non_string_is_error() {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        let e = parse_expr("n.age =~ 'x'").unwrap();
+        assert!(ctx.eval(&e, &row).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev("1 + 2 * 3"), Value::Int(7));
+        assert_eq!(ev("7 / 2"), Value::Int(3));
+        assert_eq!(ev("7.0 / 2"), Value::Float(3.5));
+        assert_eq!(ev("7 % 3"), Value::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        assert!(ctx.eval(&parse_expr("1 / 0").unwrap(), &row).is_err());
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(ev("n.name + ':' + toString(n.age)"), Value::from("Ada:36"));
+    }
+
+    #[test]
+    fn in_operator() {
+        assert_eq!(ev("n.age IN [35, 36]"), Value::Bool(true));
+        assert_eq!(ev("n.age IN [1, 2]"), Value::Bool(false));
+        assert_eq!(ev("n.ghost IN [1]"), Value::Null);
+        assert_eq!(ev("1 IN [n.ghost, 2]"), Value::Null);
+        assert_eq!(ev("2 IN [n.ghost, 2]"), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(ev("size([1,2,3])"), Value::Int(3));
+        assert_eq!(ev("size(n.name)"), Value::Int(3));
+        assert_eq!(ev("toLower('ABC')"), Value::from("abc"));
+        assert_eq!(ev("toUpper('abc')"), Value::from("ABC"));
+        assert_eq!(ev("toInteger('42')"), Value::Int(42));
+        assert_eq!(ev("toInteger('nope')"), Value::Null);
+        assert_eq!(ev("coalesce(n.ghost, n.name)"), Value::from("Ada"));
+        assert_eq!(ev("abs(-3)"), Value::Int(3));
+        assert_eq!(ev("type(r)"), Value::from("PLAYED_IN"));
+        assert_eq!(ev("labels(m)"), Value::List(vec![Value::from("Match")]));
+        assert_eq!(ev("EXISTS(n.name)"), Value::Bool(true));
+        assert_eq!(ev("EXISTS(n.ghost)"), Value::Bool(false));
+    }
+
+    #[test]
+    fn filter_semantics_treat_null_as_false() {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        assert!(!ctx.eval_filter(&parse_expr("n.ghost = 1").unwrap(), &row).unwrap());
+        assert!(ctx.eval_filter(&parse_expr("n.age = 36").unwrap(), &row).unwrap());
+    }
+
+    #[test]
+    fn aggregates_rejected_in_scalar_context() {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        assert!(ctx.eval(&parse_expr("COUNT(*)").unwrap(), &row).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_is_semantic_error() {
+        let (g, row) = ctx_and_row();
+        let ctx = EvalCtx::new(&g);
+        assert!(matches!(
+            ctx.eval(&parse_expr("zz.name").unwrap(), &row),
+            Err(CypherError::Semantic { .. })
+        ));
+    }
+}

@@ -1,0 +1,1084 @@
+//! Query execution: pattern matching, projection/aggregation, and
+//! result assembly.
+//!
+//! The planner is deliberately simple — label-indexed candidate scans
+//! with backtracking extension — because the paper's generated rules
+//! are short linear patterns over graphs of ≤ 43k nodes. Cypher
+//! semantics that matter to the study are honoured:
+//!
+//! * **relationship uniqueness** within one `MATCH` clause (no edge is
+//!   used twice in a single pattern instantiation);
+//! * **grouping** keys are the non-aggregate projection items;
+//! * `OPTIONAL MATCH` emits a null-extended row on no match;
+//! * `WHERE` filters with three-valued logic (`NULL` drops the row).
+
+use std::collections::{HashMap, HashSet};
+
+use grm_pgraph::{EdgeId, NodeId, PropertyGraph, Value};
+
+use crate::ast::*;
+use crate::error::{CypherError, Result};
+use crate::eval::{Binding, EvalCtx, Row};
+use crate::parser::parse;
+
+/// A fully materialised query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single integer cell of a 1×1 result (the common shape of
+    /// `RETURN COUNT(*) AS support`), if that is what this is.
+    pub fn single_int(&self) -> Option<i64> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            match &self.rows[0][0] {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// Parses and executes `src` against `graph`.
+pub fn execute(graph: &PropertyGraph, src: &str) -> Result<ResultSet> {
+    let query = parse(src)?;
+    execute_query(graph, &query)
+}
+
+/// Executes an already-parsed query.
+pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> {
+    let ctx = EvalCtx::new(graph);
+    let mut rows: Vec<Row> = vec![Row::new()];
+    for clause in &query.clauses {
+        rows = match clause {
+            Clause::Match { optional, patterns, where_clause } => {
+                match_clause(&ctx, rows, patterns, where_clause.as_ref(), *optional)?
+            }
+            Clause::With { distinct, items, where_clause } => {
+                let projected = project(&ctx, rows, items, /*require_alias=*/ true)?;
+                let filtered = match where_clause {
+                    Some(w) => {
+                        let mut keep = Vec::with_capacity(projected.len());
+                        for row in projected {
+                            if ctx.eval_filter(w, &row)? {
+                                keep.push(row);
+                            }
+                        }
+                        keep
+                    }
+                    None => projected,
+                };
+                if *distinct {
+                    distinct_rows(&ctx, filtered, items)?
+                } else {
+                    filtered
+                }
+            }
+            Clause::Unwind { expr, var } => {
+                let mut out = Vec::new();
+                for row in rows {
+                    match ctx.eval(expr, &row)? {
+                        Value::Null => {}
+                        Value::List(items) => {
+                            for item in items {
+                                let mut r = row.clone();
+                                r.insert(var.clone(), Binding::Val(item));
+                                out.push(r);
+                            }
+                        }
+                        other => {
+                            return Err(CypherError::runtime(format!(
+                                "UNWIND expects a list, got {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                out
+            }
+        };
+    }
+
+    // RETURN projection.
+    let projected = project(&ctx, rows, &query.ret.items, /*require_alias=*/ false)?;
+    let mut projected = if query.ret.distinct {
+        distinct_rows(&ctx, projected, &query.ret.items)?
+    } else {
+        projected
+    };
+
+    // ORDER BY over the projected rows (aliases are visible).
+    if !query.ret.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(projected.len());
+        for row in projected {
+            let mut keys = Vec::with_capacity(query.ret.order_by.len());
+            for item in &query.ret.order_by {
+                keys.push(ctx.eval(&item.expr, &row)?);
+            }
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (i, item) in query.ret.order_by.iter().enumerate() {
+                let ord = a[i]
+                    .cypher_cmp(&b[i])
+                    .unwrap_or_else(|| a[i].group_key().cmp(&b[i].group_key()));
+                let ord = if item.descending { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        projected = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    let skip = query.ret.skip.unwrap_or(0) as usize;
+    let limit = query.ret.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    let window = projected.into_iter().skip(skip).take(limit);
+
+    let columns: Vec<String> = query.ret.items.iter().map(ProjItem::name).collect();
+    let mut out_rows = Vec::new();
+    for row in window {
+        let mut cells = Vec::with_capacity(columns.len());
+        for name in &columns {
+            let cell = row
+                .get(name)
+                .map(|b| b.to_value(graph))
+                .unwrap_or(Value::Null);
+            cells.push(cell);
+        }
+        out_rows.push(cells);
+    }
+    Ok(ResultSet { columns, rows: out_rows })
+}
+
+// ---------------------------------------------------------------------------
+// MATCH
+// ---------------------------------------------------------------------------
+
+fn match_clause(
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Row>,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+    optional: bool,
+) -> Result<Vec<Row>> {
+    // Variables introduced by this clause (for OPTIONAL null-padding).
+    let mut new_vars: Vec<String> = Vec::new();
+    for p in patterns {
+        if let Some(v) = &p.start.var {
+            new_vars.push(v.clone());
+        }
+        for (rel, node) in &p.steps {
+            if let Some(v) = &rel.var {
+                new_vars.push(v.clone());
+            }
+            if let Some(v) = &node.var {
+                new_vars.push(v.clone());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for row in rows {
+        let mut matched_any = false;
+        let mut used = HashSet::new();
+        let produced = expand_patterns(ctx, &row, &mut used, patterns, 0)?;
+        for candidate in produced {
+            let keep = match where_clause {
+                Some(w) => ctx.eval_filter(w, &candidate)?,
+                None => true,
+            };
+            if keep {
+                matched_any = true;
+                out.push(candidate);
+            }
+        }
+        if !matched_any && optional {
+            let mut padded = row.clone();
+            for v in &new_vars {
+                padded.entry(v.clone()).or_insert(Binding::Val(Value::Null));
+            }
+            out.push(padded);
+        }
+    }
+    Ok(out)
+}
+
+/// Expands `patterns[idx..]` against `row`, honouring edge uniqueness
+/// across the whole clause via `used`.
+fn expand_patterns(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &mut HashSet<EdgeId>,
+    patterns: &[PathPattern],
+    idx: usize,
+) -> Result<Vec<Row>> {
+    if idx == patterns.len() {
+        return Ok(vec![row.clone()]);
+    }
+    let mut out = Vec::new();
+    let firsts = match_path(ctx, row, used, &patterns[idx])?;
+    for (r, edges) in firsts {
+        for e in &edges {
+            used.insert(*e);
+        }
+        out.extend(expand_patterns(ctx, &r, used, patterns, idx + 1)?);
+        for e in &edges {
+            used.remove(e);
+        }
+    }
+    Ok(out)
+}
+
+/// Matches one linear path pattern; returns each produced row together
+/// with the set of edges that instantiation consumed.
+fn match_path(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<EdgeId>,
+    pattern: &PathPattern,
+) -> Result<Vec<(Row, Vec<EdgeId>)>> {
+    // Begin at whichever end of the path is cheaper to enumerate —
+    // a bound variable beats a label scan beats a full scan. This
+    // keeps `OPTIONAL MATCH (s:User)-[:POSTS]->(t)` (t bound) linear
+    // on the Twitter-sized graphs.
+    let reversed;
+    let pattern = if pattern.steps.is_empty() {
+        pattern
+    } else {
+        let start_cost = node_cost(ctx, row, &pattern.start);
+        let end = &pattern.steps.last().expect("non-empty steps").1;
+        let end_cost = node_cost(ctx, row, end);
+        if end_cost < start_cost {
+            reversed = pattern.reversed();
+            &reversed
+        } else {
+            pattern
+        }
+    };
+    let mut results = Vec::new();
+    let starts = node_candidates(ctx, row, &pattern.start)?;
+    for (start_row, start_node) in starts {
+        walk_steps(
+            ctx,
+            &start_row,
+            used,
+            start_node,
+            &pattern.steps,
+            Vec::new(),
+            &mut results,
+        )?;
+    }
+    Ok(results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_steps(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<EdgeId>,
+    current: NodeId,
+    steps: &[(RelPattern, NodePattern)],
+    consumed: Vec<EdgeId>,
+    results: &mut Vec<(Row, Vec<EdgeId>)>,
+) -> Result<()> {
+    let Some(((rel, node), rest)) = steps.split_first() else {
+        results.push((row.clone(), consumed));
+        return Ok(());
+    };
+    // Variable-length relationships expand through a bounded DFS.
+    if let Some((min, max)) = rel.length {
+        if rel.var.is_some() {
+            return Err(CypherError::semantic(
+                "variable binding on variable-length relationships is not supported",
+            ));
+        }
+        let max = max.unwrap_or(MAX_VAR_HOPS).min(MAX_VAR_HOPS);
+        return var_length_walk(
+            ctx, row, used, current, rel, node, rest, consumed, 0, min, max, results,
+        );
+    }
+    let g = ctx.graph;
+
+    // Candidate (edge, neighbour) pairs respecting direction.
+    let candidates: Vec<(EdgeId, NodeId)> = match rel.direction {
+        Direction::Out => g.out_edges(current).map(|e| (e.id, e.dst)).collect(),
+        Direction::In => g.in_edges(current).map(|e| (e.id, e.src)).collect(),
+        Direction::Undirected => {
+            let mut v: Vec<(EdgeId, NodeId)> =
+                g.out_edges(current).map(|e| (e.id, e.dst)).collect();
+            // Self-loops already appear in the out list; skip them on
+            // the in side so each edge matches once.
+            v.extend(
+                g.in_edges(current)
+                    .filter(|e| e.src != e.dst)
+                    .map(|e| (e.id, e.src)),
+            );
+            v
+        }
+    };
+
+    for (edge_id, neighbour) in candidates {
+        if used.contains(&edge_id) || consumed.contains(&edge_id) {
+            continue;
+        }
+        let edge = g.edge(edge_id);
+        if !rel.types.is_empty() && !rel.types.contains(&edge.label) {
+            continue;
+        }
+        // Property map on the relationship.
+        let mut props_ok = true;
+        for (k, expr) in &rel.props {
+            let want = ctx.eval(expr, row)?;
+            if edge.prop(k).cypher_eq(&want) != Some(true) {
+                props_ok = false;
+                break;
+            }
+        }
+        if !props_ok {
+            continue;
+        }
+        // Relationship variable binding / consistency.
+        let mut next_row = row.clone();
+        if let Some(var) = &rel.var {
+            match next_row.get(var) {
+                Some(Binding::Edge(bound)) if *bound == edge_id => {}
+                Some(Binding::Edge(_)) => continue,
+                Some(_) => continue,
+                None => {
+                    next_row.insert(var.clone(), Binding::Edge(edge_id));
+                }
+            }
+        }
+        // Target node check / binding.
+        let Some(next_row) = bind_node(ctx, &next_row, node, neighbour)? else {
+            continue;
+        };
+        let mut consumed_next = consumed.clone();
+        consumed_next.push(edge_id);
+        walk_steps(ctx, &next_row, used, neighbour, rest, consumed_next, results)?;
+    }
+    Ok(())
+}
+
+/// Estimated candidate count for enumerating `pattern` under `row`.
+fn node_cost(ctx: &EvalCtx<'_>, row: &Row, pattern: &NodePattern) -> usize {
+    if let Some(var) = &pattern.var {
+        if row.contains_key(var) {
+            return 1;
+        }
+    }
+    match pattern.labels.first() {
+        Some(label) => ctx.graph.label_count(label),
+        None => ctx.graph.node_count(),
+    }
+}
+
+/// Hop ceiling for unbounded variable-length patterns (`*`, `*2..`).
+/// Neo4j has no hard limit but warns above similar depths; the rule
+/// queries this engine serves never need longer chains.
+const MAX_VAR_HOPS: u32 = 16;
+
+/// DFS expansion of a variable-length relationship: every
+/// edge-distinct path of `min..=max` hops whose edges satisfy the
+/// type/property filters, ending at a node matching `node`.
+#[allow(clippy::too_many_arguments)]
+fn var_length_walk(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<EdgeId>,
+    current: NodeId,
+    rel: &RelPattern,
+    node: &NodePattern,
+    rest: &[(RelPattern, NodePattern)],
+    consumed: Vec<EdgeId>,
+    depth: u32,
+    min: u32,
+    max: u32,
+    results: &mut Vec<(Row, Vec<EdgeId>)>,
+) -> Result<()> {
+    let g = ctx.graph;
+    // Enough hops taken: the current node may close this step.
+    if depth >= min {
+        if let Some(next_row) = bind_node(ctx, row, node, current)? {
+            walk_steps(ctx, &next_row, used, current, rest, consumed.clone(), results)?;
+        }
+    }
+    if depth >= max {
+        return Ok(());
+    }
+    let candidates: Vec<(EdgeId, NodeId)> = match rel.direction {
+        Direction::Out => g.out_edges(current).map(|e| (e.id, e.dst)).collect(),
+        Direction::In => g.in_edges(current).map(|e| (e.id, e.src)).collect(),
+        Direction::Undirected => {
+            let mut v: Vec<(EdgeId, NodeId)> =
+                g.out_edges(current).map(|e| (e.id, e.dst)).collect();
+            v.extend(g.in_edges(current).filter(|e| e.src != e.dst).map(|e| (e.id, e.src)));
+            v
+        }
+    };
+    for (edge_id, neighbour) in candidates {
+        if used.contains(&edge_id) || consumed.contains(&edge_id) {
+            continue;
+        }
+        let edge = g.edge(edge_id);
+        if !rel.types.is_empty() && !rel.types.contains(&edge.label) {
+            continue;
+        }
+        let mut props_ok = true;
+        for (k, expr) in &rel.props {
+            let want = ctx.eval(expr, row)?;
+            if edge.prop(k).cypher_eq(&want) != Some(true) {
+                props_ok = false;
+                break;
+            }
+        }
+        if !props_ok {
+            continue;
+        }
+        let mut consumed_next = consumed.clone();
+        consumed_next.push(edge_id);
+        var_length_walk(
+            ctx,
+            row,
+            used,
+            neighbour,
+            rel,
+            node,
+            rest,
+            consumed_next,
+            depth + 1,
+            min,
+            max,
+            results,
+        )?;
+    }
+    Ok(())
+}
+
+/// Enumerates rows binding the start node pattern.
+fn node_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    pattern: &NodePattern,
+) -> Result<Vec<(Row, NodeId)>> {
+    let g = ctx.graph;
+    // Already bound: just re-check constraints.
+    if let Some(var) = &pattern.var {
+        if let Some(binding) = row.get(var) {
+            return match binding {
+                Binding::Node(id) => {
+                    let id = *id;
+                    Ok(match bind_node(ctx, row, pattern, id)? {
+                        Some(r) => vec![(r, id)],
+                        None => vec![],
+                    })
+                }
+                _ => Ok(vec![]),
+            };
+        }
+    }
+    // Fresh scan: pick the most selective available label index.
+    let ids: Vec<NodeId> = if let Some(label) = pattern.labels.first() {
+        g.nodes_with_label(label).map(|n| n.id).collect()
+    } else {
+        g.nodes().map(|n| n.id).collect()
+    };
+    let mut out = Vec::new();
+    for id in ids {
+        if let Some(r) = bind_node(ctx, row, pattern, id)? {
+            out.push((r, id));
+        }
+    }
+    Ok(out)
+}
+
+/// Checks labels/props of `pattern` against node `id`; returns the row
+/// extended with the binding when they hold.
+fn bind_node(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    pattern: &NodePattern,
+    id: NodeId,
+) -> Result<Option<Row>> {
+    let node = ctx.graph.node(id);
+    if !pattern.labels.iter().all(|l| node.has_label(l)) {
+        return Ok(None);
+    }
+    for (k, expr) in &pattern.props {
+        let want = ctx.eval(expr, row)?;
+        if node.prop(k).cypher_eq(&want) != Some(true) {
+            return Ok(None);
+        }
+    }
+    let mut next = row.clone();
+    if let Some(var) = &pattern.var {
+        match next.get(var) {
+            Some(Binding::Node(bound)) if *bound == id => {}
+            Some(Binding::Node(_)) | Some(Binding::Edge(_)) | Some(Binding::Val(_)) => {
+                return Ok(None)
+            }
+            None => {
+                next.insert(var.clone(), Binding::Node(id));
+            }
+        }
+    }
+    Ok(Some(next))
+}
+
+// ---------------------------------------------------------------------------
+// Projection & aggregation
+// ---------------------------------------------------------------------------
+
+/// Projects `rows` through `items`, grouping when any item aggregates.
+fn project(
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Row>,
+    items: &[ProjItem],
+    require_alias: bool,
+) -> Result<Vec<Row>> {
+    // Alias discipline: WITH requires `expr AS name` for non-variables.
+    for item in items {
+        if require_alias && item.alias.is_none() && !matches!(item.expr, Expr::Var(_)) {
+            return Err(CypherError::semantic(format!(
+                "expression `{}` in WITH must be aliased",
+                item.expr
+            )));
+        }
+    }
+
+    let has_aggregate = items.iter().any(|i| i.expr.contains_aggregate());
+    if !has_aggregate {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in &rows {
+            out.push(project_plain(ctx, row, items)?);
+        }
+        return Ok(out);
+    }
+
+    // Aggregates must sit at the top level of their item.
+    for item in items {
+        if item.expr.contains_aggregate() && !matches!(item.expr, Expr::FnCall { .. }) {
+            return Err(CypherError::semantic(format!(
+                "aggregate must be a top-level function call, got `{}`",
+                item.expr
+            )));
+        }
+    }
+
+    let group_items: Vec<&ProjItem> =
+        items.iter().filter(|i| !i.expr.contains_aggregate()).collect();
+    let agg_items: Vec<&ProjItem> =
+        items.iter().filter(|i| i.expr.contains_aggregate()).collect();
+
+    // Group rows by the evaluated group keys.
+    let mut groups: HashMap<String, (Row, Vec<Row>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for row in rows {
+        let mut key = String::new();
+        let mut rep = Row::new();
+        for item in &group_items {
+            let name = item.name();
+            let binding = project_binding(ctx, &row, &item.expr)?;
+            key.push_str(&binding.to_value(ctx.graph).group_key());
+            key.push('\u{1}');
+            rep.insert(name, binding);
+        }
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (rep, Vec::new())
+        });
+        entry.1.push(row);
+    }
+    // Global aggregation over zero rows still yields one group
+    // (`COUNT(*)` over an empty match is 0, not no-rows).
+    if groups.is_empty() && group_items.is_empty() {
+        order.push(String::new());
+        groups.insert(String::new(), (Row::new(), Vec::new()));
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let (mut rep, members) = groups.remove(&key).expect("group recorded in order");
+        for item in &agg_items {
+            let value = eval_aggregate(ctx, &item.expr, &members)?;
+            rep.insert(item.name(), Binding::Val(value));
+        }
+        out.push(rep);
+    }
+    Ok(out)
+}
+
+fn project_plain(ctx: &EvalCtx<'_>, row: &Row, items: &[ProjItem]) -> Result<Row> {
+    let mut out = Row::new();
+    for item in items {
+        out.insert(item.name(), project_binding(ctx, row, &item.expr)?);
+    }
+    Ok(out)
+}
+
+/// Bare variables keep their graph-element binding through projection;
+/// all other expressions are materialised to values.
+fn project_binding(ctx: &EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Binding> {
+    if let Expr::Var(name) = expr {
+        if let Some(b) = row.get(name) {
+            return Ok(b.clone());
+        }
+        return Err(CypherError::semantic(format!("unknown variable `{name}`")));
+    }
+    Ok(Binding::Val(ctx.eval(expr, row)?))
+}
+
+fn eval_aggregate(ctx: &EvalCtx<'_>, expr: &Expr, rows: &[Row]) -> Result<Value> {
+    let Expr::FnCall { name, distinct, star, args } = expr else {
+        return Err(CypherError::semantic("aggregate must be a function call"));
+    };
+    if *star {
+        return Ok(Value::Int(rows.len() as i64));
+    }
+    let arg = args.first().ok_or_else(|| {
+        CypherError::semantic(format!("{name}() aggregate requires an argument"))
+    })?;
+    // Evaluate the argument per row; NULLs are skipped (Cypher).
+    let mut values = Vec::with_capacity(rows.len());
+    for row in rows {
+        let v = ctx.eval(arg, row)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if *distinct {
+        let mut seen = HashSet::new();
+        values.retain(|v| seen.insert(v.group_key()));
+    }
+    match name.as_str() {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "collect" => Ok(Value::List(values)),
+        "sum" => {
+            let mut acc = 0.0;
+            let mut all_int = true;
+            for v in &values {
+                match v {
+                    Value::Int(i) => acc += *i as f64,
+                    Value::Float(f) => {
+                        all_int = false;
+                        acc += *f;
+                    }
+                    other => {
+                        return Err(CypherError::runtime(format!(
+                            "SUM over non-numeric {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(if all_int { Value::Int(acc as i64) } else { Value::Float(acc) })
+        }
+        "avg" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc = 0.0;
+            for v in &values {
+                acc += v.as_f64().ok_or_else(|| {
+                    CypherError::runtime(format!("AVG over non-numeric {}", v.type_name()))
+                })?;
+            }
+            Ok(Value::Float(acc / values.len() as f64))
+        }
+        "min" | "max" => {
+            let want_min = name == "min";
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => match v.cypher_cmp(&b) {
+                        Some(ord) if (want_min && ord.is_lt()) || (!want_min && ord.is_gt()) => v,
+                        _ => b,
+                    },
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        other => Err(CypherError::semantic(format!("unknown aggregate `{other}`"))),
+    }
+}
+
+fn distinct_rows(
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Row>,
+    items: &[ProjItem],
+) -> Result<Vec<Row>> {
+    let names: Vec<String> = items.iter().map(ProjItem::name).collect();
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut key = String::new();
+        for name in &names {
+            if let Some(b) = row.get(name) {
+                key.push_str(&b.to_value(ctx.graph).group_key());
+            }
+            key.push('\u{1}');
+        }
+        if seen.insert(key) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::props;
+
+    /// A tiny football graph mirroring WWC2019's core shape.
+    fn football() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let t = g.add_node(["Tournament"], props([("id", Value::Int(1))]));
+        let m1 = g.add_node(
+            ["Match"],
+            props([("id", Value::from("m1")), ("date", Value::from("2019-06-11"))]),
+        );
+        let m2 = g.add_node(
+            ["Match"],
+            props([("id", Value::from("m2")), ("date", Value::from("2019-06-12"))]),
+        );
+        let p1 = g.add_node(["Person"], props([("name", Value::from("Ada"))]));
+        let p2 = g.add_node(["Person"], props([("name", Value::from("Bea"))]));
+        g.add_edge(m1, t, "IN_TOURNAMENT", Default::default());
+        g.add_edge(m2, t, "IN_TOURNAMENT", Default::default());
+        g.add_edge(p1, m1, "PLAYED_IN", props([("minutes", Value::Int(90))]));
+        g.add_edge(p2, m1, "PLAYED_IN", props([("minutes", Value::Int(45))]));
+        g.add_edge(p1, m2, "PLAYED_IN", props([("minutes", Value::Int(90))]));
+        g.add_edge(p1, m1, "SCORED_GOAL", props([("minute", Value::Int(23))]));
+        g.add_edge(p1, m1, "SCORED_GOAL", props([("minute", Value::Int(67))]));
+        g
+    }
+
+    #[test]
+    fn count_all_nodes() {
+        let g = football();
+        let rs = execute(&g, "MATCH (n) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(5));
+    }
+
+    #[test]
+    fn count_by_label() {
+        let g = football();
+        let rs = execute(&g, "MATCH (m:Match) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn directed_match_respects_direction() {
+        let g = football();
+        let right =
+            execute(&g, "MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c")
+                .unwrap();
+        assert_eq!(right.single_int(), Some(2));
+        // The paper's wrong-direction query returns 0, silently.
+        let wrong =
+            execute(&g, "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match) RETURN COUNT(*) AS c")
+                .unwrap();
+        assert_eq!(wrong.single_int(), Some(0));
+    }
+
+    #[test]
+    fn incoming_arrow_equivalent() {
+        let g = football();
+        let rs =
+            execute(&g, "MATCH (t:Tournament)<-[:IN_TOURNAMENT]-(m:Match) RETURN COUNT(*) AS c")
+                .unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn undirected_match_counts_each_edge_once() {
+        let g = football();
+        let rs = execute(&g, "MATCH (a)-[:IN_TOURNAMENT]-(b) RETURN COUNT(*) AS c").unwrap();
+        // Each of the 2 edges matches in both orientations: 4 rows.
+        assert_eq!(rs.single_int(), Some(4));
+    }
+
+    #[test]
+    fn where_filters() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (p:Person)-[r:PLAYED_IN]->(m:Match) WHERE r.minutes >= 90 RETURN COUNT(*) AS c",
+        )
+        .unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (p:Person)-[:PLAYED_IN]->(m:Match) \
+             WITH p.name AS name, COUNT(*) AS games \
+             WHERE games > 1 RETURN name, games",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::from("Ada"));
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn collect_and_size() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (p:Person)-[sg:SCORED_GOAL]->(m:Match) \
+             WITH m.id AS mid, p.name AS name, COLLECT(DISTINCT sg.minute) AS minutes \
+             WHERE SIZE(minutes) > 1 RETURN mid, name, minutes",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::from("m1"));
+    }
+
+    #[test]
+    fn hallucinated_property_runs_but_finds_nothing() {
+        let g = football();
+        // `penaltyScore` does not exist — query runs, count is 0.
+        let rs = execute(
+            &g,
+            "MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c",
+        )
+        .unwrap();
+        assert_eq!(rs.single_int(), Some(0));
+    }
+
+    #[test]
+    fn optional_match_pads_with_null() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (p:Person) OPTIONAL MATCH (p)-[:SCORED_GOAL]->(m:Match) \
+             RETURN p.name AS name, COUNT(m) AS goals ORDER BY name",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::from("Ada"), Value::Int(2)]);
+        assert_eq!(rs.rows[1], vec![Value::from("Bea"), Value::Int(0)]);
+    }
+
+    #[test]
+    fn relationship_uniqueness_within_clause() {
+        let g = football();
+        // Two SCORED_GOAL edges from Ada to m1: a two-step pattern
+        // through distinct rels must not reuse one edge twice.
+        let rs = execute(
+            &g,
+            "MATCH (a:Person)-[r1:SCORED_GOAL]->(m:Match)<-[r2:SCORED_GOAL]-(b:Person) \
+             RETURN COUNT(*) AS c",
+        )
+        .unwrap();
+        // Ordered pairs of distinct edges: 2 permutations.
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn distinct_return() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (p:Person)-[:PLAYED_IN]->(m:Match) RETURN DISTINCT p.name AS n ORDER BY n",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_skip_limit() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (m:Match) RETURN m.id AS id ORDER BY id DESC SKIP 1 LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("m1")]]);
+    }
+
+    #[test]
+    fn global_count_over_empty_match_is_zero() {
+        let g = football();
+        let rs = execute(&g, "MATCH (x:Ghost) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(0));
+    }
+
+    #[test]
+    fn multiple_patterns_in_one_match() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (p:Person)-[:PLAYED_IN]->(m:Match), (m)-[:IN_TOURNAMENT]->(t:Tournament) \
+             RETURN COUNT(*) AS c",
+        )
+        .unwrap();
+        assert_eq!(rs.single_int(), Some(3));
+    }
+
+    #[test]
+    fn unwind_expands_lists() {
+        let g = football();
+        let rs = execute(
+            &g,
+            "MATCH (m:Match) WITH COLLECT(m.id) AS ids UNWIND ids AS id RETURN id ORDER BY id",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn property_map_filter_in_pattern() {
+        let g = football();
+        let rs = execute(&g, "MATCH (m:Match {id: 'm1'}) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(1));
+    }
+
+    #[test]
+    fn regex_in_where() {
+        let g = football();
+        let rs = execute(
+            &g,
+            r"MATCH (m:Match) WHERE m.date =~ '\d{4}-\d{2}-\d{2}' RETURN COUNT(*) AS c",
+        )
+        .unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn with_requires_alias_for_expressions() {
+        let g = football();
+        let err = execute(&g, "MATCH (m:Match) WITH m.id RETURN COUNT(*) AS c");
+        assert!(matches!(err, Err(CypherError::Semantic { .. })));
+    }
+
+    #[test]
+    fn return_without_match() {
+        let g = football();
+        let rs = execute(&g, "RETURN 1 + 1 AS two").unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn reused_variable_joins() {
+        let g = football();
+        // `m` reused across two clauses is a join, not a new scan.
+        let rs = execute(
+            &g,
+            "MATCH (p:Person {name: 'Ada'})-[:SCORED_GOAL]->(m) \
+             MATCH (m)-[:IN_TOURNAMENT]->(t:Tournament) \
+             RETURN COUNT(DISTINCT m.id) AS c",
+        )
+        .unwrap();
+        assert_eq!(rs.single_int(), Some(1));
+    }
+
+    #[test]
+    fn variable_length_chain() {
+        // a -> b -> c -> d linear chain.
+        let mut g = PropertyGraph::new();
+        let ids: Vec<_> = (0..4i64)
+            .map(|i| g.add_node(["N"], props([("id", Value::Int(i))])))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], "NEXT", Default::default());
+        }
+        // Reachable in 1..3 hops from the head: b, c, d.
+        let rs = execute(
+            &g,
+            "MATCH (a:N {id: 0})-[:NEXT*1..3]->(b:N) RETURN COUNT(*) AS c",
+        )
+        .unwrap();
+        assert_eq!(rs.single_int(), Some(3));
+        // Exactly 2 hops: just c.
+        let rs = execute(&g, "MATCH (a:N {id: 0})-[:NEXT*2]->(b:N) RETURN b.id AS id").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
+        // Unbounded star covers the whole chain.
+        let rs =
+            execute(&g, "MATCH (a:N {id: 0})-[:NEXT*]->(b:N) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(3));
+    }
+
+    #[test]
+    fn variable_length_zero_hops_binds_self() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["N"], props([("id", Value::Int(0))]));
+        let b = g.add_node(["N"], props([("id", Value::Int(1))]));
+        g.add_edge(a, b, "NEXT", Default::default());
+        let rs =
+            execute(&g, "MATCH (a:N {id: 0})-[:NEXT*0..1]->(b:N) RETURN COUNT(*) AS c").unwrap();
+        // Zero hops (a itself) + one hop (b).
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn variable_length_respects_edge_uniqueness_in_cycles() {
+        // A 2-cycle: a <-> b. Paths from a of length ≤4 without edge
+        // reuse: a->b (1 hop), a->b->a (2 hops). No longer paths.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["N"], props([("id", Value::Int(0))]));
+        let b = g.add_node(["N"], props([("id", Value::Int(1))]));
+        g.add_edge(a, b, "NEXT", Default::default());
+        g.add_edge(b, a, "NEXT", Default::default());
+        let rs =
+            execute(&g, "MATCH (x:N {id: 0})-[:NEXT*1..4]->(y:N) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn variable_length_incoming_direction() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["N"], props([("id", Value::Int(0))]));
+        let b = g.add_node(["N"], props([("id", Value::Int(1))]));
+        let c = g.add_node(["N"], props([("id", Value::Int(2))]));
+        g.add_edge(a, b, "NEXT", Default::default());
+        g.add_edge(b, c, "NEXT", Default::default());
+        let rs =
+            execute(&g, "MATCH (x:N {id: 2})<-[:NEXT*1..2]-(y:N) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(2));
+    }
+
+    #[test]
+    fn variable_length_rejects_variable_binding() {
+        let mut g = PropertyGraph::new();
+        g.add_node(["N"], props([("id", Value::Int(0))]));
+        let err = execute(&g, "MATCH (a:N)-[r:NEXT*1..2]->(b) RETURN COUNT(*) AS c");
+        assert!(matches!(err, Err(CypherError::Semantic { .. })));
+    }
+
+    #[test]
+    fn self_loop_undirected_matches_once() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["U"], props([("id", Value::Int(1))]));
+        g.add_edge(a, a, "FOLLOWS", Default::default());
+        let rs = execute(&g, "MATCH (x:U)-[:FOLLOWS]-(y) RETURN COUNT(*) AS c").unwrap();
+        assert_eq!(rs.single_int(), Some(1));
+    }
+}

@@ -1,0 +1,389 @@
+//! Cypher lexer.
+//!
+//! Tokenizes the Cypher subset the rule-mining pipeline emits.
+//! Keywords are case-insensitive (Cypher convention); identifiers keep
+//! their case. Every token carries its byte span for error reporting.
+
+use crate::error::{CypherError, Result, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals & names
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    // Keywords (case-insensitive in source)
+    Match,
+    Optional,
+    Where,
+    With,
+    Return,
+    As,
+    And,
+    Or,
+    Xor,
+    Not,
+    Null,
+    Is,
+    In,
+    Distinct,
+    Order,
+    By,
+    Limit,
+    Skip,
+    Asc,
+    Desc,
+    True,
+    False,
+    Exists,
+    Unwind,
+    Starts,
+    Ends,
+    Contains,
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Colon,
+    Comma,
+    Dot,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Eq,      // =
+    Neq,     // <>
+    Lt,      // <
+    Le,      // <=
+    Gt,      // >
+    Ge,      // >=
+    RegexEq, // =~
+    Arrow,   // ->
+    LArrow,  // <-
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    // Case-insensitive keyword table. Function names such as COUNT or
+    // COLLECT are deliberately *not* keywords: `COUNT(*) AS count` is
+    // legal Cypher, so they lex as identifiers.
+    match word.to_ascii_uppercase().as_str() {
+        "MATCH" => Some(Tok::Match),
+        "OPTIONAL" => Some(Tok::Optional),
+        "WHERE" => Some(Tok::Where),
+        "WITH" => Some(Tok::With),
+        "RETURN" => Some(Tok::Return),
+        "AS" => Some(Tok::As),
+        "AND" => Some(Tok::And),
+        "OR" => Some(Tok::Or),
+        "XOR" => Some(Tok::Xor),
+        "NOT" => Some(Tok::Not),
+        "NULL" => Some(Tok::Null),
+        "IS" => Some(Tok::Is),
+        "IN" => Some(Tok::In),
+        "DISTINCT" => Some(Tok::Distinct),
+        "ORDER" => Some(Tok::Order),
+        "BY" => Some(Tok::By),
+        "LIMIT" => Some(Tok::Limit),
+        "SKIP" => Some(Tok::Skip),
+        "ASC" | "ASCENDING" => Some(Tok::Asc),
+        "DESC" | "DESCENDING" => Some(Tok::Desc),
+        "TRUE" => Some(Tok::True),
+        "FALSE" => Some(Tok::False),
+        "EXISTS" => Some(Tok::Exists),
+        "UNWIND" => Some(Tok::Unwind),
+        "STARTS" => Some(Tok::Starts),
+        "ENDS" => Some(Tok::Ends),
+        "CONTAINS" => Some(Tok::Contains),
+        _ => None,
+    }
+}
+
+/// Lexes `src` into a token vector terminated by [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Skip whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers / keywords (also backtick-quoted identifiers).
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_owned()));
+            out.push(Token { tok, span: Span::new(start, i) });
+            continue;
+        }
+        if c == '`' {
+            i += 1;
+            let name_start = i;
+            while i < bytes.len() && bytes[i] != b'`' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(CypherError::lex("unterminated backtick identifier", Span::new(start, i)));
+            }
+            out.push(Token {
+                tok: Tok::Ident(src[name_start..i].to_owned()),
+                span: Span::new(start, i + 1),
+            });
+            i += 1;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i + 1 < bytes.len()
+                && bytes[i] == b'.'
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::FloatLit(text.parse().map_err(|_| {
+                    CypherError::lex(format!("bad float literal {text}"), Span::new(start, i))
+                })?)
+            } else {
+                Tok::IntLit(text.parse().map_err(|_| {
+                    CypherError::lex(format!("bad int literal {text}"), Span::new(start, i))
+                })?)
+            };
+            out.push(Token { tok, span: Span::new(start, i) });
+            continue;
+        }
+        // Strings, single or double quoted, with backslash escapes.
+        if c == '\'' || c == '"' {
+            let quote = bytes[i];
+            i += 1;
+            let mut s = String::new();
+            let mut closed = false;
+            while i < bytes.len() {
+                let b = bytes[i];
+                if b == b'\\' && i + 1 < bytes.len() {
+                    // The escaped character may be multi-byte; decode
+                    // it whole so `i` always lands on a boundary.
+                    let esc_len = utf8_len(bytes[i + 1]);
+                    let esc_str = &src[i + 1..(i + 1 + esc_len).min(src.len())];
+                    let esc = esc_str.chars().next().unwrap_or('\\');
+                    match esc {
+                        'n' => s.push('\n'),
+                        't' => s.push('\t'),
+                        '\\' => s.push('\\'),
+                        '\'' => s.push('\''),
+                        '"' => s.push('"'),
+                        // Cypher regex strings keep unknown escapes
+                        // verbatim (e.g. `\.` inside a pattern).
+                        other => {
+                            s.push('\\');
+                            s.push(other);
+                        }
+                    }
+                    i += 1 + esc.len_utf8();
+                    continue;
+                }
+                if b == quote {
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                // Multi-byte UTF-8: copy the full scalar.
+                let ch_len = utf8_len(b);
+                s.push_str(&src[i..i + ch_len]);
+                i += ch_len;
+            }
+            if !closed {
+                return Err(CypherError::lex("unterminated string literal", Span::new(start, i)));
+            }
+            out.push(Token { tok: Tok::StrLit(s), span: Span::new(start, i) });
+            continue;
+        }
+        // Operators & punctuation.
+        let two = |a: u8, b: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b;
+        let (tok, len) = if two(b'<', b'>') {
+            (Tok::Neq, 2)
+        } else if two(b'<', b'=') {
+            (Tok::Le, 2)
+        } else if two(b'>', b'=') {
+            (Tok::Ge, 2)
+        } else if two(b'=', b'~') {
+            (Tok::RegexEq, 2)
+        } else if two(b'-', b'>') {
+            (Tok::Arrow, 2)
+        } else if two(b'<', b'-') {
+            (Tok::LArrow, 2)
+        } else {
+            let t = match c {
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                '[' => Tok::LBracket,
+                ']' => Tok::RBracket,
+                '{' => Tok::LBrace,
+                '}' => Tok::RBrace,
+                ':' => Tok::Colon,
+                ',' => Tok::Comma,
+                '.' => Tok::Dot,
+                '|' => Tok::Pipe,
+                '+' => Tok::Plus,
+                '-' => Tok::Minus,
+                '*' => Tok::Star,
+                '/' => Tok::Slash,
+                '%' => Tok::Percent,
+                '^' => Tok::Caret,
+                '=' => Tok::Eq,
+                '<' => Tok::Lt,
+                '>' => Tok::Gt,
+                ';' => {
+                    // Trailing semicolons are tolerated and skipped.
+                    i += 1;
+                    continue;
+                }
+                other => {
+                    return Err(CypherError::lex(
+                        format!("unexpected character {other:?}"),
+                        Span::point(i),
+                    ))
+                }
+            };
+            (t, 1)
+        };
+        i += len;
+        out.push(Token { tok, span: Span::new(start, i) });
+    }
+    out.push(Token { tok: Tok::Eof, span: Span::point(src.len()) });
+    Ok(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf7 => 4,
+        // Continuation or invalid lead byte: treat as one byte so the
+        // scanner cannot get stuck or slice mid-character upstream.
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("match MATCH Match")[..3], [Tok::Match, Tok::Match, Tok::Match]);
+    }
+
+    #[test]
+    fn count_is_an_identifier() {
+        let ks = kinds("COUNT(*) AS count");
+        assert_eq!(ks[0], Tok::Ident("COUNT".into()));
+        assert_eq!(ks[4], Tok::As);
+        assert_eq!(ks[5], Tok::Ident("count".into()));
+    }
+
+    #[test]
+    fn arrows_and_comparisons() {
+        assert_eq!(
+            kinds("-> <- <= >= <> =~ =")[..7],
+            [Tok::Arrow, Tok::LArrow, Tok::Le, Tok::Ge, Tok::Neq, Tok::RegexEq, Tok::Eq]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r"'a\'b'")[0], Tok::StrLit("a'b".into()));
+        assert_eq!(kinds(r#""x\ny""#)[0], Tok::StrLit("x\ny".into()));
+        // Unknown escapes (regex patterns) pass through.
+        assert_eq!(kinds(r"'\d+\.'")[0], Tok::StrLit(r"\d+\.".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], Tok::IntLit(42));
+        assert_eq!(kinds("3.25")[0], Tok::FloatLit(3.25));
+        // `1.` is int-dot (property access style), not a float.
+        assert_eq!(kinds("1.x")[..3], [Tok::IntLit(1), Tok::Dot, Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'abc").unwrap_err().is_syntax());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("MATCH @").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("MATCH // everything\nRETURN")[..2], [Tok::Match, Tok::Return]);
+    }
+
+    #[test]
+    fn semicolon_tolerated() {
+        assert_eq!(kinds("RETURN 1;").len(), 3); // RETURN, 1, EOF
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        assert_eq!(kinds("`weird name`")[0], Tok::Ident("weird name".into()));
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let toks = lex("MATCH (n)").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 5));
+        assert_eq!(toks[1].span, Span::new(6, 7));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo ✓'")[0], Tok::StrLit("héllo ✓".into()));
+    }
+}

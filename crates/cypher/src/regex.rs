@@ -1,0 +1,485 @@
+//! Minimal regular-expression engine backing Cypher's `=~` operator.
+//!
+//! The sanctioned dependency set has no regex crate, and the paper's
+//! generated rules use patterns like `^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$`
+//! (the *domain format* rule of §4.4), so we implement the required
+//! subset from scratch:
+//!
+//! * literals, `.`;
+//! * classes `[a-z0-9_-]`, negated classes `[^...]`;
+//! * escapes `\d \D \w \W \s \S` and escaped metacharacters;
+//! * quantifiers `* + ?` and bounded `{m}`, `{m,}`, `{m,n}` (greedy);
+//! * groups `(...)` and alternation `|`;
+//! * anchors `^` / `$`.
+//!
+//! Matching uses continuation-passing backtracking — exponential in
+//! the worst case but the rule patterns are tiny. Semantics follow
+//! Cypher's `=~`: the **whole** string must match.
+
+use std::fmt;
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    pub message: String,
+    pub pos: usize,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.pos, self.message)
+    }
+}
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Char(char),
+    AnyChar,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    StartAnchor,
+    EndAnchor,
+    Empty,
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    ast: Ast,
+    source: String,
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { chars: src.chars().collect(), pos: 0, src }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RegexError {
+        RegexError { message: message.into(), pos: self.pos }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alt(branches) })
+    }
+
+    /// concat := repeat*
+    fn concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// repeat := atom quantifier?
+    fn repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.number()?;
+                if self.eat('}') {
+                    (min, Some(min))
+                } else if self.eat(',') {
+                    if self.eat('}') {
+                        (min, None)
+                    } else {
+                        let max = self.number()?;
+                        if !self.eat('}') {
+                            return Err(self.err("expected '}' in quantifier"));
+                        }
+                        if max < min {
+                            return Err(self.err("quantifier max < min"));
+                        }
+                        (min, Some(max))
+                    }
+                } else {
+                    return Err(self.err("expected ',' or '}' in quantifier"));
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor) {
+            return Err(self.err("cannot quantify an anchor"));
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    fn number(&mut self) -> Result<u32, RegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| self.err("quantifier bound too large"))
+    }
+
+    fn atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                // Non-capturing prefix is accepted and ignored.
+                if self.peek() == Some('?') {
+                    self.bump();
+                    if !self.eat(':') {
+                        return Err(self.err("only (?: ) groups are supported"));
+                    }
+                }
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?' | ')' | '{' | '}')) => {
+                Err(self.err(format!("unexpected metacharacter {c:?}")))
+            }
+            Some(c) => Ok(Ast::Char(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, RegexError> {
+        let c = self.bump().ok_or_else(|| self.err("dangling backslash"))?;
+        Ok(match c {
+            'd' => Ast::Class { neg: false, ranges: vec![('0', '9')] },
+            'D' => Ast::Class { neg: true, ranges: vec![('0', '9')] },
+            'w' => Ast::Class {
+                neg: false,
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            },
+            'W' => Ast::Class {
+                neg: true,
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            },
+            's' => Ast::Class {
+                neg: false,
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            },
+            'S' => Ast::Class {
+                neg: true,
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            },
+            'n' => Ast::Char('\n'),
+            't' => Ast::Char('\t'),
+            'r' => Ast::Char('\r'),
+            other => Ast::Char(other),
+        })
+    }
+
+    fn class(&mut self) -> Result<Ast, RegexError> {
+        let neg = self.eat('^');
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.peek() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    self.bump();
+                    c
+                }
+            };
+            first = false;
+            let lo = if c == '\\' {
+                match self.escape()? {
+                    Ast::Char(c) => c,
+                    Ast::Class { neg: false, ranges: rs } => {
+                        ranges.extend(rs);
+                        continue;
+                    }
+                    _ => return Err(self.err("unsupported escape in class")),
+                }
+            } else {
+                c
+            };
+            // Range `a-z` (a trailing '-' is a literal dash).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self.bump().ok_or_else(|| self.err("unclosed range"))?;
+                let hi = if hi == '\\' {
+                    match self.escape()? {
+                        Ast::Char(c) => c,
+                        _ => return Err(self.err("bad range endpoint")),
+                    }
+                } else {
+                    hi
+                };
+                if hi < lo {
+                    return Err(self.err("reversed range in class"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Ast::Class { neg, ranges })
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        let mut p = Parser::new(pattern);
+        let ast = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(p.err("trailing characters in pattern"));
+        }
+        let _ = p.src;
+        Ok(Regex { ast, source: pattern.to_owned() })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Cypher `=~` semantics: the entire `text` must match.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        matches(&self.ast, &chars, 0, &mut |end| end == chars.len())
+    }
+}
+
+/// Continuation-passing backtracking matcher: tries every way `ast`
+/// can match starting at `pos`; succeeds iff some way satisfies `k`.
+fn matches(ast: &Ast, text: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match ast {
+        Ast::Empty => k(pos),
+        Ast::Char(c) => text.get(pos) == Some(c) && k(pos + 1),
+        Ast::AnyChar => pos < text.len() && k(pos + 1),
+        Ast::Class { neg, ranges } => match text.get(pos) {
+            None => false,
+            Some(c) => {
+                let inside = ranges.iter().any(|(lo, hi)| *lo <= *c && *c <= *hi);
+                inside != *neg && k(pos + 1)
+            }
+        },
+        Ast::StartAnchor => pos == 0 && k(pos),
+        Ast::EndAnchor => pos == text.len() && k(pos),
+        Ast::Alt(branches) => branches.iter().any(|b| matches(b, text, pos, k)),
+        Ast::Concat(parts) => concat_match(parts, text, pos, k),
+        Ast::Repeat { node, min, max } => repeat_match(node, *min, *max, text, pos, k),
+    }
+}
+
+fn concat_match(
+    parts: &[Ast],
+    text: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match parts.split_first() {
+        None => k(pos),
+        Some((head, tail)) => {
+            matches(head, text, pos, &mut |p| concat_match(tail, text, p, k))
+        }
+    }
+}
+
+fn repeat_match(
+    node: &Ast,
+    min: u32,
+    max: Option<u32>,
+    text: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if min > 0 {
+        // Consume one mandatory repetition, then recurse.
+        return matches(node, text, pos, &mut |p| {
+            repeat_match(node, min - 1, max.map(|m| m - 1), text, p, k)
+        });
+    }
+    if max == Some(0) {
+        return k(pos);
+    }
+    // Greedy: try one more repetition first (guarding against
+    // zero-width inner matches that would loop forever), then fall
+    // back to stopping here.
+    let more = matches(node, text, pos, &mut |p| {
+        p > pos && repeat_match(node, 0, max.map(|m| m - 1), text, p, k)
+    });
+    more || k(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_full_match() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abcd")); // Cypher =~ is full-string
+        assert!(!m("abc", "xabc"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(m("a.c", "abc"));
+        assert!(m("[a-z]+", "hello"));
+        assert!(!m("[a-z]+", "Hello"));
+        assert!(m("[^0-9]+", "abc"));
+        assert!(!m("[^0-9]+", "a1c"));
+    }
+
+    #[test]
+    fn dash_in_class_is_literal_at_end() {
+        assert!(m("[a-z-]+", "a-b"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("a{3}", "aaa"));
+        assert!(!m("a{3}", "aa"));
+        assert!(m("a{2,}", "aaaa"));
+        assert!(!m("a{2,}", "a"));
+        assert!(m("a{1,3}", "aa"));
+        assert!(!m("a{1,3}", "aaaa"));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("(ab)+", "abab"));
+        assert!(m("cat|dog", "dog"));
+        assert!(m("(a|b)c", "bc"));
+        assert!(m("(?:xy)+z", "xyxyz"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"\d{4}", "2019"));
+        assert!(m(r"\w+", "ab_9"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+        assert!(m(r"\s", " "));
+    }
+
+    #[test]
+    fn the_papers_domain_pattern() {
+        // From §4.4: "^([a-zA-Z0-9-]+\\.)+[a-zA-Z]{2,}$"
+        let pat = r"^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$";
+        assert!(m(pat, "example.com"));
+        assert!(m(pat, "sub.domain.example.org"));
+        assert!(!m(pat, "nodots"));
+        assert!(!m(pat, "bad..com"));
+        assert!(!m(pat, "trailing.c0m"));
+    }
+
+    #[test]
+    fn anchors_behave_with_full_match() {
+        assert!(m("^abc$", "abc"));
+        assert!(!m("a^b", "ab")); // mid-pattern anchor can't hold
+    }
+
+    #[test]
+    fn date_pattern() {
+        let pat = r"\d{4}-\d{2}-\d{2}";
+        assert!(m(pat, "2019-06-11"));
+        assert!(!m(pat, "2019-6-11"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a{2,}}").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn zero_width_repeat_terminates() {
+        // `()*` style degenerate pattern must not loop forever.
+        assert!(m("(a?)*b", "b"));
+        assert!(m("(a?)*b", "aab"));
+    }
+
+    #[test]
+    fn nested_quantified_groups() {
+        assert!(m("((ab)+c)+", "ababcabc"));
+        assert!(!m("((ab)+c)+", "ababc_"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Corpus test: the *verbatim* queries printed in the paper run on
+//! this engine with the semantics the paper describes.
+//!
+//! §4.4 shows three LLM-generated queries (one per error class). All
+//! three must behave on our engine exactly as the authors describe:
+//! the direction-flipped query runs but is wrong, the
+//! hallucinated-property query runs and returns nothing, and the
+//! regex-operator slip is detectable.
+
+use grm_cypher::{analyze, execute, parse, SemanticIssue};
+use grm_pgraph::{props, GraphSchema, PropertyGraph, Value};
+
+/// A miniature WWC2019 with tournaments, matches and goals.
+fn wwc() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let t = g.add_node(["Tournament"], props([("id", Value::Int(1))]));
+    let mut matches = Vec::new();
+    for i in 0..4i64 {
+        let m = g.add_node(["Match"], props([("id", Value::from(format!("m{i}")))]));
+        g.add_edge(m, t, "IN_TOURNAMENT", Default::default());
+        matches.push(m);
+    }
+    let p = g.add_node(["Person"], props([("id", Value::from("p0")), ("name", Value::from("Ada"))]));
+    g.add_edge(p, matches[0], "SCORED_GOAL", props([("minute", Value::Int(12))]));
+    g.add_edge(p, matches[0], "SCORED_GOAL", props([("minute", Value::Int(12))]));
+    g
+}
+
+/// Paper §4.4, error class 1 — "Unique Match identifier within a
+/// Tournament" with the relationship direction inverted:
+///
+/// ```text
+/// MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match)
+/// WITH t.id AS tournament_id, m.id AS match_id, COUNT(*) AS count
+/// WHERE count = 1
+/// RETURN COUNT(*) AS support;
+/// ```
+#[test]
+fn direction_error_query_runs_but_counts_zero() {
+    let g = wwc();
+    let query = "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match)\n\
+         WITH t.id AS tournament_id, m.id AS match_id, COUNT(*) AS count\n\
+         WHERE count = 1\n\
+         RETURN COUNT(*) AS support;";
+    // It executes fine — the failure is silent, as the paper observed.
+    let rs = execute(&g, query).expect("query is syntactically valid");
+    assert_eq!(rs.single_int(), Some(0));
+    // The analyzer catches what the authors caught by inspection.
+    let issues = analyze(&parse(query).unwrap(), &GraphSchema::infer(&g));
+    assert!(issues.iter().any(SemanticIssue::is_direction), "{issues:?}");
+    // The corrected orientation finds the matches.
+    let fixed = "MATCH (t:Tournament)<-[:IN_TOURNAMENT]-(m:Match)\n\
+         WITH t.id AS tournament_id, m.id AS match_id, COUNT(*) AS count\n\
+         WHERE count = 1\n\
+         RETURN COUNT(*) AS support;";
+    assert_eq!(execute(&g, fixed).unwrap().single_int(), Some(4));
+}
+
+/// Paper §4.4, error class 2 — Mixtral's same-minute query inventing
+/// `score`, `penaltyScore` and `minute` on `Match`:
+///
+/// ```text
+/// MATCH (p:Person)-[:SCORED_GOAL]->(m:Match)
+/// WITH m.id AS match_id, p.id AS person_id,
+/// COLLECT (DISTINCT p.name + ':' + toString(m.score) + ':' +
+///   toString(m.penaltyScore) + ':' + toString(m.minute)) AS minutes
+/// WHERE Size(minutes) > 1
+/// RETURN match_id, person_id, minutes;
+/// ```
+#[test]
+fn hallucinated_property_query_runs_and_finds_nothing() {
+    let g = wwc();
+    let query = "MATCH (p:Person)-[:SCORED_GOAL]->(m:Match)\n\
+         WITH m.id AS match_id, p.id AS person_id,\n\
+         COLLECT (DISTINCT p.name + ':' + toString(m.score) + ':' \
+         + toString(m.penaltyScore) + ':' + toString(m.minute)) AS minutes \
+         WHERE Size(minutes) > 1\n\
+         RETURN match_id, person_id, minutes;";
+    // NULL-typed string concatenation makes every collected element
+    // NULL, so nothing satisfies SIZE(...) > 1 — it "works" and is
+    // silently wrong, exactly the hallucination failure mode.
+    let rs = execute(&g, query).expect("query is syntactically valid");
+    assert!(rs.is_empty());
+    let issues = analyze(&parse(query).unwrap(), &GraphSchema::infer(&g));
+    let hallucinated: Vec<_> =
+        issues.iter().filter(|i| i.is_hallucination()).collect();
+    assert!(
+        hallucinated.len() >= 3,
+        "score/penaltyScore/minute should all be flagged: {hallucinated:?}"
+    );
+}
+
+/// Paper §4.4, error class 3 — the domain-format rule using `=` where
+/// `=~` belongs:
+///
+/// ```text
+/// MATCH (n)
+/// WHERE n.domain IS NULL AND n.domain = '^([a-zA-Z0-9-]+\\.)+
+/// [a-zA-Z](2,)$'
+/// RETURN COUNT(*) AS valid_domains
+/// ```
+#[test]
+fn operator_slip_is_wrong_but_the_fixed_regex_works() {
+    let mut g = PropertyGraph::new();
+    g.add_node(["Computer"], props([("domain", Value::from("good.example.com"))]));
+    g.add_node(["Computer"], props([("domain", Value::from("bad domain"))]));
+
+    // As printed (with `=` and the contradictory IS NULL), the query
+    // runs and counts zero valid domains — a silent wrong answer.
+    let slipped = r"MATCH (n) WHERE n.domain IS NULL AND n.domain = '^([a-zA-Z0-9-]+\.)+[a-zA-Z](2,)$' RETURN COUNT(*) AS valid_domains";
+    assert_eq!(execute(&g, slipped).unwrap().single_int(), Some(0));
+
+    // The intended query with `=~` (and the `{2,}` quantifier the
+    // LLM also mangled) counts the well-formed domain.
+    let intended = r"MATCH (n) WHERE n.domain IS NOT NULL AND n.domain =~ '^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$' RETURN COUNT(*) AS valid_domains";
+    assert_eq!(execute(&g, intended).unwrap().single_int(), Some(1));
+}
+
+/// The paper's flagship complex rule as a direct query: "a player
+/// cannot score two goals in the same minute of the same match" —
+/// the duplicate in the fixture must be found.
+#[test]
+fn same_minute_goals_are_detectable() {
+    let g = wwc();
+    let rs = execute(
+        &g,
+        "MATCH (p:Person)-[sg:SCORED_GOAL]->(m:Match) \
+         WITH p.id AS player, m.id AS game, sg.minute AS minute, COUNT(*) AS goals \
+         WHERE goals > 1 RETURN player, game, minute, goals",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][3], Value::Int(2));
+}
+
+/// The intro's Twitter rules, as queries.
+#[test]
+fn intro_twitter_rules_run() {
+    let mut g = PropertyGraph::new();
+    let u = g.add_node(["User"], props([("id", Value::Int(1))]));
+    let t1 = g.add_node(["Tweet"], props([("id", Value::Int(10)), ("created_at", Value::DateTime(100))]));
+    let t2 = g.add_node(["Tweet"], props([("id", Value::Int(11)), ("created_at", Value::DateTime(50))]));
+    g.add_edge(u, t1, "POSTS", Default::default());
+    g.add_edge(u, t2, "POSTS", Default::default());
+    g.add_edge(t2, t1, "RETWEETS", Default::default()); // retweet predates original!
+    g.add_edge(u, u, "FOLLOWS", Default::default()); // self-follow!
+
+    // "a retweet can occur only after the original tweet"
+    let temporal = execute(
+        &g,
+        "MATCH (rt:Tweet)-[:RETWEETS]->(t:Tweet) WHERE rt.created_at < t.created_at \
+         RETURN COUNT(*) AS violations",
+    )
+    .unwrap();
+    assert_eq!(temporal.single_int(), Some(1));
+
+    // "users cannot follow themselves"
+    let selffollow = execute(
+        &g,
+        "MATCH (a:User)-[:FOLLOWS]->(b:User) WHERE id(a) = id(b) RETURN COUNT(*) AS violations",
+    )
+    .unwrap();
+    assert_eq!(selffollow.single_int(), Some(1));
+
+    // "every tweet must be associated with a valid user who posted it"
+    let orphans = execute(
+        &g,
+        "MATCH (t:Tweet) OPTIONAL MATCH (u:User)-[p:POSTS]->(t) \
+         WITH t AS t, COUNT(p) AS authors WHERE authors = 0 RETURN COUNT(*) AS orphans",
+    )
+    .unwrap();
+    assert_eq!(orphans.single_int(), Some(0));
+}

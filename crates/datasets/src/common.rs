@@ -1,0 +1,148 @@
+//! Shared generator machinery: configuration, deterministic naming,
+//! and the dataset wrapper type.
+
+use grm_pgraph::PropertyGraph;
+use grm_rules::ConsistencyRule;
+
+/// Which of the paper's three datasets (Table 1) to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// 2019 Women's World Cup graph: teams, persons, matches,
+    /// tournaments, squads.
+    Wwc2019,
+    /// Active-directory security graph: users, groups, domains,
+    /// policies, computers.
+    Cybersecurity,
+    /// Twitter interaction graph: users, tweets, hashtags, links,
+    /// sources.
+    Twitter,
+}
+
+impl DatasetId {
+    /// All three datasets, in the paper's order.
+    pub const ALL: [DatasetId; 3] = [DatasetId::Wwc2019, DatasetId::Cybersecurity, DatasetId::Twitter];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Wwc2019 => "WWC2019",
+            DatasetId::Cybersecurity => "Cybersecurity",
+            DatasetId::Twitter => "Twitter",
+        }
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenConfig {
+    /// RNG seed — same seed, same graph, byte for byte.
+    pub seed: u64,
+    /// Size multiplier. `1.0` reproduces Table 1 exactly; smaller
+    /// values give proportionally smaller graphs for fast benches.
+    pub scale: f64,
+    /// When true, no inconsistencies are injected (oracle graphs for
+    /// metric identity tests).
+    pub clean: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { seed: 42, scale: 1.0, clean: false }
+    }
+}
+
+impl GenConfig {
+    /// Scales an integer quantity, keeping at least 1.
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// A generated dataset: the graph plus the ground-truth rules that
+/// hold on it (modulo the injected violations).
+#[derive(Debug)]
+pub struct Dataset {
+    pub id: DatasetId,
+    pub graph: PropertyGraph,
+    /// Rules the generator deliberately made (mostly) true — the
+    /// oracle set used in tests and as few-shot exemplar material.
+    pub ground_truth: Vec<ConsistencyRule>,
+}
+
+/// Small deterministic xorshift mixer for name synthesis (independent
+/// of `rand` so names stay stable even if the RNG crate changes).
+pub fn mix(seed: u64, i: u64) -> u64 {
+    let mut x = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const FIRST: [&str; 16] = [
+    "Ada", "Bea", "Cleo", "Dana", "Eve", "Fay", "Gia", "Hana", "Iris", "Jade", "Kira",
+    "Lena", "Mara", "Nina", "Orla", "Pia",
+];
+const LAST: [&str; 16] = [
+    "Alves", "Bonam", "Cruz", "Diaz", "Egan", "Faro", "Gallo", "Hart", "Ito", "Jans",
+    "Kato", "Lund", "Mora", "Nunez", "Oda", "Park",
+];
+
+/// Deterministic person name for index `i`.
+pub fn person_name(seed: u64, i: usize) -> String {
+    let h = mix(seed, i as u64);
+    format!(
+        "{} {}",
+        FIRST[(h & 0xf) as usize],
+        LAST[((h >> 4) & 0xf) as usize]
+    )
+}
+
+const WORDS: [&str; 16] = [
+    "graph", "rules", "match", "goal", "final", "team", "play", "score", "win", "cup",
+    "pass", "run", "kick", "fans", "game", "pitch",
+];
+
+/// Deterministic short text (tweets, descriptions).
+pub fn short_text(seed: u64, i: usize, words: usize) -> String {
+    let mut out = String::new();
+    for w in 0..words {
+        if w > 0 {
+            out.push(' ');
+        }
+        let h = mix(seed ^ 0xdead, (i * 31 + w) as u64);
+        out.push_str(WORDS[(h & 0xf) as usize]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_keeps_minimum_of_one() {
+        let cfg = GenConfig { scale: 0.001, ..Default::default() };
+        assert_eq!(cfg.scaled(24), 1);
+        let full = GenConfig::default();
+        assert_eq!(full.scaled(24), 24);
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(person_name(1, 5), person_name(1, 5));
+        assert_ne!(person_name(1, 5), person_name(2, 5));
+    }
+
+    #[test]
+    fn short_text_has_requested_word_count() {
+        assert_eq!(short_text(9, 3, 5).split(' ').count(), 5);
+    }
+
+    #[test]
+    fn dataset_names_match_paper() {
+        assert_eq!(DatasetId::Wwc2019.name(), "WWC2019");
+        assert_eq!(DatasetId::ALL.len(), 3);
+    }
+}

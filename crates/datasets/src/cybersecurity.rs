@@ -1,0 +1,396 @@
+//! Cybersecurity dataset generator.
+//!
+//! Reproduces the shape of the Neo4j `cybersecurity` example graph
+//! the paper uses: a BloodHound-style active-directory environment
+//! "with users, groups, domains, policies, and computers". Sizes at
+//! `scale = 1.0` match Table 1 exactly: **953 nodes, 4838 edges,
+//! 7 node labels, 16 edge labels**.
+//!
+//! Injected inconsistencies (unless `clean`):
+//! * a few `Computer.owned` values that are the *string* `'True'`
+//!   instead of a boolean — the paper's "the owned property should
+//!   only be True or False" rule has violations to catch;
+//! * a few `Computer.domain` values that fail the domain-name format
+//!   (the §4.4 regex rule);
+//! * a handful of users missing `name`;
+//! * duplicate `User.id`s.
+
+use grm_pgraph::{props, NodeId, PropertyGraph, PropertyMap, Value};
+use grm_rules::ConsistencyRule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{person_name, Dataset, DatasetId, GenConfig};
+
+/// Target node total at scale 1.0 (Table 1).
+pub const NODES: usize = 953;
+/// Target edge total at scale 1.0 (Table 1).
+pub const EDGES: usize = 4838;
+
+const OSES: [&str; 4] = ["Windows 10", "Windows Server 2016", "Windows Server 2019", "Windows 7"];
+
+/// Generates the Cybersecurity graph.
+pub fn generate(cfg: &GenConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5ec0_0953);
+    let mut g = PropertyGraph::with_capacity(cfg.scaled(NODES), cfg.scaled(EDGES));
+
+    let domains_n = 2usize;
+    let ous_n = cfg.scaled(20);
+    let gpos_n = cfg.scaled(30);
+    let groups_n = cfg.scaled(120);
+    let computers_n = cfg.scaled(300);
+    let services_n = cfg.scaled(31);
+    let target_nodes = cfg.scaled(NODES);
+    let users_n = target_nodes
+        .saturating_sub(domains_n + ous_n + gpos_n + groups_n + computers_n + services_n)
+        .max(2);
+
+    // --- Nodes ----------------------------------------------------------
+    let domains: Vec<NodeId> = (0..domains_n)
+        .map(|i| {
+            g.add_node(
+                ["Domain"],
+                props([
+                    ("name", Value::from(format!("corp{i}.example.com"))),
+                    ("functionallevel", Value::from("2016")),
+                ]),
+            )
+        })
+        .collect();
+    let ous: Vec<NodeId> = (0..ous_n)
+        .map(|i| {
+            g.add_node(
+                ["OU"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("OU-{i}"))),
+                ]),
+            )
+        })
+        .collect();
+    let gpos: Vec<NodeId> = (0..gpos_n)
+        .map(|i| {
+            g.add_node(
+                ["GPO"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("Policy-{i}"))),
+                ]),
+            )
+        })
+        .collect();
+    let groups: Vec<NodeId> = (0..groups_n)
+        .map(|i| {
+            g.add_node(
+                ["Group"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("GROUP-{i}@CORP"))),
+                ]),
+            )
+        })
+        .collect();
+    let computers: Vec<NodeId> = (0..computers_n)
+        .map(|i| {
+            let owned: Value = if !cfg.clean && i % 97 == 3 {
+                Value::from("True") // string, not boolean: violation
+            } else {
+                Value::Bool(i % 11 == 0)
+            };
+            let domain: Value = if !cfg.clean && i % 89 == 7 {
+                Value::from("not a domain!!") // fails the format regex
+            } else {
+                Value::from(format!("host{i}.corp{}.example.com", i % domains_n))
+            };
+            // Service principal names were inventoried for the first
+            // half of the fleet only — regional heterogeneity.
+            let spn: Value = if i < computers_n / 2 {
+                Value::from(format!("MSSQLSvc/host{i}.corp0.example.com:1433"))
+            } else {
+                Value::Null
+            };
+            g.add_node(
+                ["Computer"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("HOST-{i}"))),
+                    (
+                        "objectid",
+                        Value::from(format!("S-1-5-21-{}-{}-{}-{}", 2000 + i, 11 * i + 3, 3 * i + 11, 1000 + i)),
+                    ),
+                    (
+                        "distinguishedname",
+                        Value::from(format!(
+                            "CN=HOST-{i},OU=OU-{},DC=corp{},DC=example,DC=com",
+                            i % 20,
+                            i % 2
+                        )),
+                    ),
+                    ("os", Value::from(OSES[i % OSES.len()])),
+                    ("owned", owned),
+                    ("domain", domain),
+                    ("spn", spn),
+                ]),
+            )
+        })
+        .collect();
+    let users: Vec<NodeId> = (0..users_n)
+        .map(|i| {
+            // AD objects carry verbose identity payloads (SIDs and
+            // distinguished names) — this is what makes the paper's
+            // Cybersecurity encoding token-heavy relative to its
+            // element count.
+            let mut p = props([
+                ("id", Value::Int(i as i64)),
+                ("name", Value::from(person_name(cfg.seed ^ 1, i))),
+                (
+                    "objectid",
+                    Value::from(format!("S-1-5-21-{}-{}-{}-{}", 1000 + i, 7 * i + 13, 13 * i + 7, 500 + i)),
+                ),
+                (
+                    "distinguishedname",
+                    Value::from(format!(
+                        "CN=USER-{i},OU=OU-{},DC=corp{},DC=example,DC=com",
+                        i % 20,
+                        i % 2
+                    )),
+                ),
+                ("enabled", Value::Bool(i % 19 != 0)),
+                ("pwdlastset", Value::DateTime(1_600_000_000 + (i as i64) * 3_600)),
+            ]);
+            // Mail attributes were synced for only part of the forest
+            // — regional heterogeneity.
+            if i < users_n / 3 {
+                p.insert("email".into(), Value::from(format!("user{i}@corp0.example.com")));
+            } else if i < users_n * 2 / 3 {
+                p.insert(
+                    "title".into(),
+                    Value::from(["Analyst", "Engineer", "Manager", "Director"][i % 4]),
+                );
+            } else {
+                p.insert("lastlogon".into(), Value::DateTime(1_650_000_000 + (i as i64) * 7_200));
+            }
+            if !cfg.clean {
+                if i % 71 == 5 {
+                    p.remove("name");
+                }
+                if i % 13 == 4 {
+                    p.remove("pwdlastset"); // never-logged-in accounts
+                }
+                if i == 100 || i == 101 {
+                    p.insert("id".into(), Value::Int(100)); // duplicate ids
+                }
+            }
+            g.add_node(["User"], p)
+        })
+        .collect();
+    let services: Vec<NodeId> = (0..services_n)
+        .map(|i| {
+            g.add_node(
+                ["Service"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("svc-{i}"))),
+                    ("port", Value::Int(1024 + (i as i64 * 7) % 64000)),
+                ]),
+            )
+        })
+        .collect();
+
+    // --- Edges ------------------------------------------------------------
+    let pick = |rng: &mut StdRng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
+
+    // CONTAINS: every user and computer sits in an OU; domains contain OUs.
+    for (i, &u) in users.iter().enumerate() {
+        g.add_edge(ous[i % ous_n], u, "CONTAINS", PropertyMap::new());
+    }
+    for (i, &c) in computers.iter().enumerate() {
+        g.add_edge(ous[i % ous_n], c, "CONTAINS", PropertyMap::new());
+    }
+    for (i, &ou) in ous.iter().enumerate() {
+        g.add_edge(domains[i % domains_n], ou, "CONTAINS", PropertyMap::new());
+    }
+    // GP_LINK: GPOs link to OUs (and a few to domains).
+    for (i, &gpo) in gpos.iter().enumerate() {
+        let target = if i % 6 == 0 { domains[i % domains_n] } else { ous[i % ous_n] };
+        g.add_edge(gpo, target, "GP_LINK", props([("enforced", Value::Bool(i % 3 == 0))]));
+    }
+    // Extra GP_LINKs up to the budget line.
+    for i in gpos.len()..cfg.scaled(50) {
+        g.add_edge(gpos[i % gpos_n.max(1)], ous[i % ous_n], "GP_LINK", PropertyMap::new());
+    }
+    // TRUSTS between the two domains (both ways).
+    if domains.len() >= 2 {
+        g.add_edge(domains[0], domains[1], "TRUSTS", PropertyMap::new());
+        g.add_edge(domains[1], domains[0], "TRUSTS", PropertyMap::new());
+    }
+    // Fixed-budget relation families (counts sum with MEMBER_OF filling
+    // the remainder to hit the Table-1 edge total exactly).
+    let add_many = |rng: &mut StdRng,
+                        g: &mut PropertyGraph,
+                        n: usize,
+                        label: &str,
+                        srcs: &[NodeId],
+                        dsts: &[NodeId]| {
+        for _ in 0..n {
+            let s = pick(rng, srcs);
+            let d = pick(rng, dsts);
+            g.add_edge(s, d, label, PropertyMap::new());
+        }
+    };
+    // Administrative reach concentrates on a small cohort of power
+    // users (domain admins / service accounts) — the realistic AD
+    // shape, and the source of long incident blocks that can straddle
+    // window boundaries (§4.5's broken patterns).
+    let power: Vec<NodeId> = users.iter().take(8.max(users_n / 60)).copied().collect();
+    // A slice of admin edges point at service objects (stale ACL
+    // exports) — label-enforcement rules have real violations.
+    let admin_glitches = if cfg.clean { 0 } else { cfg.scaled(60) };
+    add_many(&mut rng, &mut g, cfg.scaled(800) - admin_glitches, "ADMIN_TO", &power, &computers);
+    add_many(&mut rng, &mut g, admin_glitches, "ADMIN_TO", &power, &services);
+    add_many(&mut rng, &mut g, cfg.scaled(600), "HAS_SESSION", &computers, &users);
+    add_many(&mut rng, &mut g, cfg.scaled(200), "OWNS", &power, &computers);
+    add_many(&mut rng, &mut g, cfg.scaled(400), "CAN_RDP", &power, &computers);
+    add_many(&mut rng, &mut g, cfg.scaled(150), "EXECUTE_DCOM", &power, &computers);
+    add_many(&mut rng, &mut g, cfg.scaled(100), "ALLOWED_TO_DELEGATE", &computers, &services);
+    add_many(&mut rng, &mut g, cfg.scaled(50), "GET_CHANGES", &users, &domains);
+    add_many(&mut rng, &mut g, cfg.scaled(50), "GET_CHANGES_ALL", &groups, &domains);
+    add_many(&mut rng, &mut g, cfg.scaled(150), "WRITE_DACL", &users, &groups);
+    add_many(&mut rng, &mut g, cfg.scaled(150), "WRITE_OWNER", &groups, &computers);
+    add_many(&mut rng, &mut g, cfg.scaled(100), "ADD_MEMBER", &users, &groups);
+    add_many(&mut rng, &mut g, cfg.scaled(66), "FORCE_CHANGE_PASSWORD", &users, &users);
+
+    // MEMBER_OF fills the remaining budget: users → groups, and some
+    // nested groups.
+    let target_edges = cfg.scaled(EDGES);
+    let remaining = target_edges.saturating_sub(g.edge_count());
+    for i in 0..remaining {
+        if i % 10 == 9 && groups.len() >= 2 {
+            let a = groups[i % groups_n];
+            let b = groups[(i + 1) % groups_n];
+            g.add_edge(a, b, "MEMBER_OF", PropertyMap::new());
+        } else if i % 3 == 0 {
+            // Power users accumulate group memberships too, growing
+            // their incident blocks further.
+            let u = power[i % power.len()];
+            let grp = groups[(i * 7) % groups_n];
+            g.add_edge(u, grp, "MEMBER_OF", PropertyMap::new());
+        } else {
+            let u = users[i % users_n];
+            let grp = groups[(i * 7) % groups_n];
+            g.add_edge(u, grp, "MEMBER_OF", PropertyMap::new());
+        }
+    }
+
+    Dataset { id: DatasetId::Cybersecurity, graph: g, ground_truth: ground_truth() }
+}
+
+/// Ground-truth rules of the Cybersecurity graph, including the
+/// paper's quoted "owned True/False" and domain-format rules.
+pub fn ground_truth() -> Vec<ConsistencyRule> {
+    vec![
+        ConsistencyRule::PropertyValueIn {
+            label: "Computer".into(),
+            key: "owned".into(),
+            allowed: vec![Value::Bool(true), Value::Bool(false)],
+        },
+        ConsistencyRule::PropertyRegex {
+            label: "Computer".into(),
+            key: "domain".into(),
+            pattern: r"^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$".into(),
+        },
+        ConsistencyRule::MandatoryProperty { label: "User".into(), key: "name".into() },
+        ConsistencyRule::MandatoryProperty { label: "Computer".into(), key: "os".into() },
+        ConsistencyRule::UniqueProperty { label: "User".into(), key: "id".into() },
+        ConsistencyRule::UniqueProperty { label: "Computer".into(), key: "id".into() },
+        ConsistencyRule::EdgeEndpointLabels {
+            etype: "HAS_SESSION".into(),
+            src_label: "Computer".into(),
+            dst_label: "User".into(),
+        },
+        ConsistencyRule::EdgeEndpointLabels {
+            etype: "ADMIN_TO".into(),
+            src_label: "User".into(),
+            dst_label: "Computer".into(),
+        },
+        ConsistencyRule::PropertyRange {
+            label: "Service".into(),
+            key: "port".into(),
+            min: 1,
+            max: 65535,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::GraphStats;
+
+    #[test]
+    fn table1_sizes_at_scale_one() {
+        let d = generate(&GenConfig::default());
+        let s = GraphStats::of(&d.graph);
+        assert_eq!(s.nodes, NODES);
+        assert_eq!(s.edges, EDGES);
+        assert_eq!(s.node_labels, 7);
+        assert_eq!(s.edge_labels, 16);
+    }
+
+    #[test]
+    fn owned_violations_present_when_dirty() {
+        let d = generate(&GenConfig::default());
+        let strings = d
+            .graph
+            .nodes_with_label("Computer")
+            .filter(|c| matches!(c.prop("owned"), Value::Str(_)))
+            .count();
+        assert!(strings > 0);
+        let clean = generate(&GenConfig { clean: true, ..Default::default() });
+        let strings_clean = clean
+            .graph
+            .nodes_with_label("Computer")
+            .filter(|c| matches!(c.prop("owned"), Value::Str(_)))
+            .count();
+        assert_eq!(strings_clean, 0);
+    }
+
+    #[test]
+    fn bad_domains_injected() {
+        let d = generate(&GenConfig::default());
+        let bad = d
+            .graph
+            .nodes_with_label("Computer")
+            .filter(|c| matches!(c.prop("domain"), Value::Str(s) if s.contains(' ')))
+            .count();
+        assert!(bad > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&GenConfig::default());
+        let b = generate(&GenConfig::default());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let ea = a.graph.edge(grm_pgraph::EdgeId(2000));
+        let eb = b.graph.edge(grm_pgraph::EdgeId(2000));
+        assert_eq!((ea.src, ea.dst, &ea.label), (eb.src, eb.dst, &eb.label));
+    }
+
+    #[test]
+    fn every_user_is_contained_in_an_ou() {
+        let d = generate(&GenConfig::default());
+        for u in d.graph.nodes_with_label("User") {
+            let contained = d
+                .graph
+                .in_edges(u.id)
+                .any(|e| e.label == "CONTAINS");
+            assert!(contained, "user {} not contained", u.id);
+        }
+    }
+
+    #[test]
+    fn scaled_down_keeps_all_edge_labels() {
+        let d = generate(&GenConfig { scale: 0.2, ..Default::default() });
+        assert_eq!(GraphStats::of(&d.graph).edge_labels, 16);
+    }
+}

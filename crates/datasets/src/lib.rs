@@ -1,0 +1,35 @@
+//! # grm-datasets — synthetic reproductions of the paper's datasets
+//!
+//! The paper evaluates on three Neo4j example graphs (Table 1):
+//! WWC2019, Cybersecurity, and Twitter. The original dumps are not
+//! redistributable here, so each module regenerates a graph with the
+//! same schema (node/edge labels, property keys, key relationship
+//! structure — including the temporal and squad/tournament patterns
+//! the paper's example rules reference) at the exact Table-1 sizes,
+//! plus controlled injected inconsistencies so support / coverage /
+//! confidence are non-trivial. See DESIGN.md §2 for the substitution
+//! argument.
+//!
+//! ```
+//! use grm_datasets::{generate, DatasetId, GenConfig};
+//!
+//! let d = generate(DatasetId::Wwc2019, &GenConfig { scale: 0.05, ..Default::default() });
+//! assert!(d.graph.node_count() > 0);
+//! assert!(!d.ground_truth.is_empty());
+//! ```
+
+pub mod common;
+pub mod cybersecurity;
+pub mod twitter;
+pub mod wwc2019;
+
+pub use common::{Dataset, DatasetId, GenConfig};
+
+/// Generates the requested dataset.
+pub fn generate(id: DatasetId, cfg: &GenConfig) -> Dataset {
+    match id {
+        DatasetId::Wwc2019 => wwc2019::generate(cfg),
+        DatasetId::Cybersecurity => cybersecurity::generate(cfg),
+        DatasetId::Twitter => twitter::generate(cfg),
+    }
+}

@@ -1,0 +1,380 @@
+//! Twitter dataset generator.
+//!
+//! Reproduces the shape of the Neo4j `twitter-v2` example graph the
+//! paper uses: users, tweets, hashtags, links, sources and the `Me`
+//! account, connected by posting/retweeting/mention/tag interactions.
+//! Sizes at `scale = 1.0` match Table 1 exactly: **43325 nodes,
+//! 56493 edges, 6 node labels, 8 edge labels** — the paper's largest
+//! graph, the one that stresses the sliding-window encoder.
+//!
+//! Injected inconsistencies (unless `clean`):
+//! * duplicate `Tweet.id`s;
+//! * retweets whose timestamp *precedes* the original tweet — the
+//!   paper's motivating temporal rule ("a retweet can occur only
+//!   after the original tweet has been posted") has real violations;
+//! * users following themselves ("users cannot follow themselves");
+//! * tweets with zero or two `POSTS` authors (violating "every tweet
+//!   must be associated with a valid user who posted it").
+
+use grm_pgraph::{props, NodeId, PropertyGraph, PropertyMap, Value};
+use grm_rules::ConsistencyRule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{person_name, short_text, Dataset, DatasetId, GenConfig};
+
+/// Target node total at scale 1.0 (Table 1).
+pub const NODES: usize = 43325;
+/// Target edge total at scale 1.0 (Table 1).
+pub const EDGES: usize = 56493;
+
+/// Generates the Twitter graph.
+pub fn generate(cfg: &GenConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7717_4332);
+    let mut g = PropertyGraph::with_capacity(cfg.scaled(NODES), cfg.scaled(EDGES));
+
+    let users_n = cfg.scaled(13_000);
+    let tweets_n = cfg.scaled(28_000);
+    let hashtags_n = cfg.scaled(1_500);
+    let links_n = cfg.scaled(750);
+    let sources_n = cfg.scaled(74);
+    let target_nodes = cfg.scaled(NODES);
+    // `Me` plus filler users absorb rounding drift.
+    let extra_users = target_nodes
+        .saturating_sub(1 + users_n + tweets_n + hashtags_n + links_n + sources_n);
+    let users_n = users_n + extra_users;
+
+    // --- Nodes ----------------------------------------------------------
+    let me = g.add_node(
+        ["Me", "User"],
+        props([
+            ("id", Value::Int(0)),
+            ("screen_name", Value::from("me_account")),
+            ("followers", Value::Int(1234)),
+        ]),
+    );
+    let users: Vec<NodeId> = (0..users_n)
+        .map(|i| {
+            let mut p = props([
+                ("id", Value::Int((i + 1) as i64)),
+                ("screen_name", Value::from(format!("user_{i}"))),
+                ("name", Value::from(person_name(cfg.seed ^ 2, i))),
+                ("followers", Value::Int((i as i64 * 13) % 50_000)),
+                ("following", Value::Int((i as i64 * 7) % 5_000)),
+            ]);
+            // `location` exists only for an early contiguous region of
+            // the crawl — real dumps are heterogeneous like this, and
+            // it is what makes thin RAG contexts over-generalise.
+            if i < users_n * 2 / 5 {
+                p.insert("location".into(), Value::from(format!("city-{}", i % 50)));
+            } else if i < users_n * 4 / 5 {
+                p.insert("bio".into(), Value::from(short_text(cfg.seed ^ 5, i, 4)));
+            } else {
+                p.insert("pinned".into(), Value::Int((i as i64 * 3) % 997));
+            }
+            if !cfg.clean {
+                if i % 211 == 9 {
+                    p.remove("screen_name");
+                }
+                // Raw crawls miss display names and counters often.
+                if i % 6 == 0 {
+                    p.remove("name");
+                }
+                if i % 12 == 5 {
+                    p.remove("followers");
+                }
+                if i % 4 == 1 {
+                    p.remove("following"); // protected accounts
+                }
+            }
+            g.add_node(["User"], p)
+        })
+        .collect();
+    // Tweets, timestamped in posting order.
+    let base_ts = 1_620_000_000i64;
+    let tweets: Vec<NodeId> = (0..tweets_n)
+        .map(|i| {
+            let mut p = props([
+                ("id", Value::Int((1_000_000 + i) as i64)),
+                ("text", Value::from(short_text(cfg.seed, i, 6))),
+                ("created_at", Value::DateTime(base_ts + (i as i64) * 60)),
+                ("favorites", Value::Int((i as i64 * 3) % 500)),
+            ]);
+            // Language tags exist only for the first third of the
+            // timeline (API change mid-crawl) — regional heterogeneity.
+            if i < tweets_n / 3 {
+                p.insert("lang".into(), Value::from(if i % 5 == 0 { "fr" } else { "en" }));
+            } else if i < tweets_n * 2 / 3 {
+                p.insert("place".into(), Value::from(format!("place-{}", i % 30)));
+            } else {
+                p.insert("conversation".into(), Value::Int((2_000_000 + i) as i64));
+            }
+            if !cfg.clean {
+                if i % 2_800 == 17 {
+                    // duplicate ids: ~10 pairs at full scale
+                    p.insert("id".into(), Value::Int(1_000_000));
+                }
+                if i % 53 == 29 {
+                    p.remove("id"); // ~2% of tweets lack an id
+                }
+                if i % 3_500 == 23 {
+                    p.remove("created_at");
+                }
+                if i % 7 == 3 {
+                    p.remove("text"); // retweet bodies are not stored
+                }
+            }
+            g.add_node(["Tweet"], p)
+        })
+        .collect();
+    let hashtags: Vec<NodeId> = (0..hashtags_n)
+        .map(|i| g.add_node(["Hashtag"], props([("name", Value::from(format!("tag{i}")))])))
+        .collect();
+    let links: Vec<NodeId> = (0..links_n)
+        .map(|i| {
+            g.add_node(
+                ["Link"],
+                props([("url", Value::from(format!("https://example.com/{i}")))]),
+            )
+        })
+        .collect();
+    let sources: Vec<NodeId> = (0..sources_n)
+        .map(|i| g.add_node(["Source"], props([("name", Value::from(format!("client-{i}")))])))
+        .collect();
+
+    // --- POSTS: one author per tweet, with injected 0/2-author cases ----
+    let all_users = {
+        let mut v = vec![me];
+        v.extend(&users);
+        v
+    };
+    let mut posts_budget = tweets_n; // exactly one POSTS per tweet nominally
+    for (i, &t) in tweets.iter().enumerate() {
+        let orphan = !cfg.clean && i % 1_900 == 11 && posts_budget > 0;
+        if orphan {
+            // Re-spend this tweet's edge as a second author elsewhere.
+            let dup_target = tweets[(i + 1) % tweets_n];
+            let extra = all_users[(i * 31) % all_users.len()];
+            g.add_edge(extra, dup_target, "POSTS", PropertyMap::new());
+            posts_budget -= 1;
+            continue;
+        }
+        if posts_budget == 0 {
+            break;
+        }
+        let author = all_users[(i * 17) % all_users.len()];
+        g.add_edge(author, t, "POSTS", PropertyMap::new());
+        posts_budget -= 1;
+    }
+
+    // --- RETWEETS: retweet is newer than the original --------------------
+    let retweets_n = cfg.scaled(6_000);
+    for k in 0..retweets_n {
+        // Pick an original early in the timeline and a retweet later.
+        let orig = k % (tweets_n / 2).max(1);
+        let rt = tweets_n / 2 + (k * 3) % (tweets_n / 2).max(1);
+        if !cfg.clean && k % 37 == 5 {
+            // Temporal violation: the "retweet" is OLDER than the
+            // original (~2.7% of retweets).
+            let older = orig / 2;
+            g.add_edge(tweets[older], tweets[orig.max(1)], "RETWEETS", PropertyMap::new());
+            continue;
+        }
+        g.add_edge(tweets[rt], tweets[orig], "RETWEETS", PropertyMap::new());
+    }
+
+    // --- REPLY_TO: replies are newer than their targets ------------------
+    let replies_n = cfg.scaled(693);
+    for k in 0..replies_n {
+        let target = k % (tweets_n / 2).max(1);
+        let reply = tweets_n / 2 + (k * 5) % (tweets_n / 2).max(1);
+        g.add_edge(tweets[reply], tweets[target], "REPLY_TO", PropertyMap::new());
+    }
+
+    // --- TAGS / CONTAINS / USING ------------------------------------------
+    for k in 0..cfg.scaled(6_000) {
+        let dst = if !cfg.clean && k % 33 == 11 {
+            links[k % links_n] // mis-resolved tag targets
+        } else {
+            hashtags[k % hashtags_n]
+        };
+        g.add_edge(tweets[(k * 11) % tweets_n], dst, "TAGS", PropertyMap::new());
+    }
+    for k in 0..cfg.scaled(1_500) {
+        g.add_edge(
+            tweets[(k * 19) % tweets_n],
+            links[k % links_n],
+            "CONTAINS",
+            PropertyMap::new(),
+        );
+    }
+    for k in 0..cfg.scaled(2_800) {
+        g.add_edge(
+            tweets[(k * 23) % tweets_n],
+            sources[k % sources_n],
+            "USING",
+            PropertyMap::new(),
+        );
+    }
+
+    // --- FOLLOWS (with self-follow violations) ---------------------------
+    // Following concentrates on a small cohort of aggressive accounts
+    // (crawl seeds / follow-bots) — realistic, and the source of the
+    // long incident blocks that straddle window boundaries (§4.5's
+    // broken patterns).
+    let follows_n = cfg.scaled(4_500);
+    let bots: Vec<NodeId> = all_users.iter().take(15.max(all_users.len() / 900)).copied().collect();
+    for k in 0..follows_n {
+        let a = bots[k % bots.len()];
+        let b = if !cfg.clean && k % 900 == 13 {
+            a // self-follow violation (~5 at full scale)
+        } else {
+            let mut b = all_users[rng.gen_range(0..all_users.len())];
+            if b == a {
+                b = all_users[(k + 1) % all_users.len()];
+            }
+            b
+        };
+        g.add_edge(a, b, "FOLLOWS", PropertyMap::new());
+    }
+
+    // --- MENTIONS fills the remaining edge budget -------------------------
+    // Raw crawls contain resolution glitches: a slice of mentions
+    // points at hashtag nodes instead of users (entity-linking bugs),
+    // which is what gives "label enforcement" rules real violations.
+    let target_edges = cfg.scaled(EDGES);
+    let remaining = target_edges.saturating_sub(g.edge_count());
+    for k in 0..remaining {
+        let dst = if !cfg.clean && k % 16 == 7 {
+            hashtags[k % hashtags_n]
+        } else {
+            all_users[(k * 13) % all_users.len()]
+        };
+        g.add_edge(tweets[(k * 29) % tweets_n], dst, "MENTIONS", PropertyMap::new());
+    }
+
+    Dataset { id: DatasetId::Twitter, graph: g, ground_truth: ground_truth() }
+}
+
+/// Ground-truth rules of the Twitter graph, including the paper's
+/// introduction examples: retweet-after-tweet, no self-follow, every
+/// tweet has a valid author.
+pub fn ground_truth() -> Vec<ConsistencyRule> {
+    vec![
+        ConsistencyRule::UniqueProperty { label: "Tweet".into(), key: "id".into() },
+        ConsistencyRule::MandatoryProperty { label: "Tweet".into(), key: "created_at".into() },
+        ConsistencyRule::MandatoryProperty { label: "User".into(), key: "screen_name".into() },
+        ConsistencyRule::UniqueProperty { label: "User".into(), key: "id".into() },
+        ConsistencyRule::IncomingExactlyOne {
+            src_label: "User".into(),
+            etype: "POSTS".into(),
+            dst_label: "Tweet".into(),
+        },
+        ConsistencyRule::NoSelfLoop { label: "User".into(), etype: "FOLLOWS".into() },
+        ConsistencyRule::TemporalOrder {
+            src_label: "Tweet".into(),
+            src_key: "created_at".into(),
+            etype: "RETWEETS".into(),
+            dst_label: "Tweet".into(),
+            dst_key: "created_at".into(),
+        },
+        ConsistencyRule::EdgeEndpointLabels {
+            etype: "POSTS".into(),
+            src_label: "User".into(),
+            dst_label: "Tweet".into(),
+        },
+        ConsistencyRule::PropertyRange {
+            label: "User".into(),
+            key: "followers".into(),
+            min: 0,
+            max: 100_000_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::GraphStats;
+
+    fn small() -> Dataset {
+        generate(&GenConfig { scale: 0.02, ..Default::default() })
+    }
+
+    #[test]
+    fn table1_sizes_at_scale_one() {
+        let d = generate(&GenConfig::default());
+        let s = GraphStats::of(&d.graph);
+        assert_eq!(s.nodes, NODES);
+        assert_eq!(s.edges, EDGES);
+        assert_eq!(s.node_labels, 6);
+        assert_eq!(s.edge_labels, 8);
+    }
+
+    #[test]
+    fn self_follows_exist_when_dirty() {
+        let d = small();
+        let self_follows = d
+            .graph
+            .edges_with_label("FOLLOWS")
+            .filter(|e| e.src == e.dst)
+            .count();
+        assert!(self_follows > 0);
+        let clean = generate(&GenConfig { scale: 0.02, clean: true, ..Default::default() });
+        let none = clean
+            .graph
+            .edges_with_label("FOLLOWS")
+            .filter(|e| e.src == e.dst)
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn temporal_violations_exist_when_dirty() {
+        let d = small();
+        let violations = d
+            .graph
+            .edges_with_label("RETWEETS")
+            .filter(|e| {
+                let src_ts = d.graph.node(e.src).prop("created_at").clone();
+                let dst_ts = d.graph.node(e.dst).prop("created_at").clone();
+                matches!(
+                    src_ts.cypher_cmp(&dst_ts),
+                    Some(std::cmp::Ordering::Less)
+                )
+            })
+            .count();
+        assert!(violations > 0);
+    }
+
+    #[test]
+    fn most_tweets_have_exactly_one_author() {
+        let d = small();
+        let mut exactly_one = 0usize;
+        let mut total = 0usize;
+        for t in d.graph.nodes_with_label("Tweet") {
+            total += 1;
+            let authors = d.graph.in_edges(t.id).filter(|e| e.label == "POSTS").count();
+            if authors == 1 {
+                exactly_one += 1;
+            }
+        }
+        assert!(exactly_one as f64 / total as f64 > 0.9);
+        assert!(exactly_one < total); // some violations exist
+    }
+
+    #[test]
+    fn me_node_is_both_me_and_user() {
+        let d = small();
+        let me: Vec<_> = d.graph.nodes_with_label("Me").collect();
+        assert_eq!(me.len(), 1);
+        assert!(me[0].has_label("User"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+}

@@ -1,0 +1,345 @@
+//! WWC2019 dataset generator.
+//!
+//! Reproduces the shape of the Neo4j `wwc2019` example graph the
+//! paper uses: the 2019 Women's World Cup with teams, persons
+//! (players and coaches), matches, squads and one tournament. Sizes
+//! at `scale = 1.0` match Table 1 exactly: **2468 nodes, 14799 edges,
+//! 5 node labels, 9 edge labels**.
+//!
+//! Injected inconsistencies (unless `clean`):
+//! * a few `Person` nodes missing `name`;
+//! * a couple of `Match` nodes missing `stage` or `date`;
+//! * two pairs of `Match` nodes sharing an `id`;
+//! * several pairs of `SCORED_GOAL` edges with the same `(player,
+//!   match, minute)` — the paper's "a player cannot score two goals
+//!   in the same minute of the same match" rule has real violations
+//!   to find.
+
+use grm_pgraph::{props, NodeId, PropertyGraph, PropertyMap, Value};
+use grm_rules::catalog::squad_tournament_rule;
+use grm_rules::ConsistencyRule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{person_name, Dataset, DatasetId, GenConfig};
+
+/// Target totals at scale 1.0 (Table 1).
+pub const NODES: usize = 2468;
+/// Target edge total at scale 1.0 (Table 1).
+pub const EDGES: usize = 14799;
+
+const STAGES: [&str; 5] = ["Group", "Round of 16", "Quarterfinal", "Semifinal", "Final"];
+
+/// Generates the WWC2019 graph.
+pub fn generate(cfg: &GenConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x77c2_0190);
+    let mut g = PropertyGraph::with_capacity(cfg.scaled(NODES), cfg.scaled(EDGES));
+
+    let teams_n = cfg.scaled(24);
+    let matches_n = cfg.scaled(52);
+    let squads_n = teams_n;
+    let target_nodes = cfg.scaled(NODES);
+    let persons_n = target_nodes.saturating_sub(1 + teams_n + matches_n + squads_n).max(2);
+
+    // --- Nodes ----------------------------------------------------------
+    let tournament = g.add_node(
+        ["Tournament"],
+        props([
+            ("id", Value::Int(1)),
+            ("name", Value::from("Women's World Cup 2019")),
+            ("year", Value::Int(2019)),
+        ]),
+    );
+    let teams: Vec<NodeId> = (0..teams_n)
+        .map(|i| {
+            g.add_node(
+                ["Team"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("Team {i}"))),
+                    ("ranking", Value::Int((i as i64 % 30) + 1)),
+                ]),
+            )
+        })
+        .collect();
+    // June 7 2019 ≈ epoch 1_559_865_600; matches every ~12h.
+    let matches: Vec<NodeId> = (0..matches_n)
+        .map(|i| {
+            let mut p = props([
+                ("id", Value::from(format!("m{i}"))),
+                ("date", Value::DateTime(1_559_865_600 + (i as i64) * 43_200)),
+                ("stage", Value::from(STAGES[stage_for(i, matches_n)])),
+            ]);
+            // Attendance was recorded for the first half of the
+            // tournament only — regional heterogeneity.
+            if i < matches_n / 2 {
+                p.insert("attendance".into(), Value::Int(10_000 + (i as i64 * 977) % 40_000));
+            }
+            if !cfg.clean {
+                // 2 missing stage, 1 missing date, 2 duplicate ids.
+                if i == 7 || i == 19 {
+                    p.remove("stage");
+                }
+                if i == 11 {
+                    p.remove("date");
+                }
+                if i == 30 || i == 31 {
+                    p.insert("id".into(), Value::from("m30"));
+                }
+            }
+            g.add_node(["Match"], p)
+        })
+        .collect();
+    let persons: Vec<NodeId> = (0..persons_n)
+        .map(|i| {
+            let mut p = props([
+                ("id", Value::from(format!("p{i}"))),
+                ("name", Value::from(person_name(cfg.seed, i))),
+                ("dob", Value::DateTime(631_152_000 + (i as i64) * 86_400)),
+            ]);
+            // Club affiliations were recorded only for an early block
+            // of the roster — regional heterogeneity that penalises
+            // rules inferred from thin retrieved contexts.
+            if i < persons_n * 3 / 10 {
+                p.insert("club".into(), Value::from(format!("Club {}", i % 40)));
+            } else if i < persons_n * 6 / 10 {
+                p.insert(
+                    "position".into(),
+                    Value::from(["Goalkeeper", "Defender", "Midfielder", "Forward"][i % 4]),
+                );
+            } else {
+                p.insert("caps".into(), Value::Int((i as i64 * 7) % 150));
+            }
+            if !cfg.clean {
+                if i % 53 == 13 {
+                    p.remove("name"); // ~2% of persons lack a name
+                }
+                if i % 41 == 7 {
+                    p.remove("dob"); // birth dates are spotty
+                }
+            }
+            g.add_node(["Person"], p)
+        })
+        .collect();
+    let squads: Vec<NodeId> = (0..squads_n)
+        .map(|i| {
+            g.add_node(
+                ["Squad"],
+                props([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::from(format!("Squad {i}"))),
+                ]),
+            )
+        })
+        .collect();
+
+    // --- Structural edges -------------------------------------------------
+    for &t in &teams {
+        g.add_edge(t, tournament, "PARTICIPATED_IN", PropertyMap::new());
+    }
+    for (i, &m) in matches.iter().enumerate() {
+        g.add_edge(teams[i % teams_n], m, "HOME_TEAM", PropertyMap::new());
+        g.add_edge(m, tournament, "IN_TOURNAMENT", PropertyMap::new());
+    }
+    for (i, &s) in squads.iter().enumerate() {
+        g.add_edge(s, teams[i], "FOR_TEAM", PropertyMap::new());
+        g.add_edge(s, tournament, "FOR_TOURNAMENT", PropertyMap::new());
+    }
+    // One coach per team; coaches are the first `teams_n` persons.
+    for (i, &t) in teams.iter().enumerate() {
+        g.add_edge(persons[i % persons_n], t, "COACH_FOR", PropertyMap::new());
+    }
+    // 23 players per squad (players come after the coaches).
+    let squad_size = 23usize;
+    for (si, &s) in squads.iter().enumerate() {
+        for k in 0..squad_size {
+            let p = persons[(teams_n + si * squad_size + k) % persons_n];
+            g.add_edge(p, s, "IN_SQUAD", props([("number", Value::Int((k + 1) as i64))]));
+        }
+    }
+
+    // --- Goals -------------------------------------------------------------
+    let goals_n = cfg.scaled(146);
+    let mut goal_edges = Vec::with_capacity(goals_n);
+    for i in 0..goals_n {
+        let p = persons[(teams_n + i * 7) % persons_n];
+        let m = matches[i % matches_n];
+        let minute = 1 + (rng.gen::<u32>() % 90) as i64;
+        goal_edges.push((p, m, minute));
+    }
+    if !cfg.clean {
+        // 5 duplicate-minute goals: copy an earlier goal verbatim.
+        let dups: Vec<(NodeId, NodeId, i64)> =
+            goal_edges.iter().take(5).copied().collect();
+        let len = goal_edges.len();
+        for (k, d) in dups.into_iter().enumerate() {
+            goal_edges[len - 1 - k] = d;
+        }
+    }
+    for (p, m, minute) in &goal_edges {
+        g.add_edge(
+            *p,
+            *m,
+            "SCORED_GOAL",
+            props([("minute", Value::Int(*minute)), ("penalty", Value::Bool(*minute > 85))]),
+        );
+    }
+
+    // --- PLAYED_IN fills the remaining edge budget --------------------------
+    // A cohort of "star players" appears in every match; their long
+    // incident blocks are what can straddle a window boundary (the
+    // §4.5 broken-pattern effect). Everyone else is spread evenly.
+    let target_edges = cfg.scaled(EDGES);
+    let played_n = target_edges.saturating_sub(g.edge_count());
+    let star_n = cfg.scaled(45).min(persons_n.saturating_sub(teams_n)).max(1);
+    let star_edges = (star_n * matches_n).min(played_n);
+    for i in 0..star_edges {
+        let p = persons[(teams_n + i / matches_n) % persons_n];
+        let m = matches[i % matches_n];
+        g.add_edge(p, m, "PLAYED_IN", props([("minutes", Value::Int(45 + (i as i64 % 46)))]));
+    }
+    let rest = played_n - star_edges;
+    let others_start = teams_n + star_n;
+    let others_n = persons_n.saturating_sub(others_start).max(1);
+    for i in 0..rest {
+        let p = persons[(others_start + i % others_n) % persons_n];
+        // Data-entry slips occasionally register an appearance against
+        // the tournament node instead of a match.
+        let target = if !cfg.clean && i % 40 == 21 {
+            tournament
+        } else {
+            matches[(i / others_n) % matches_n]
+        };
+        g.add_edge(p, target, "PLAYED_IN", props([("minutes", Value::Int(45 + (i as i64 % 46)))]));
+    }
+
+    Dataset { id: DatasetId::Wwc2019, graph: g, ground_truth: ground_truth() }
+}
+
+fn stage_for(i: usize, total: usize) -> usize {
+    // Early matches are group stage; the tail walks the knockout
+    // rounds, ending at the final.
+    let knockout = total.saturating_sub(total * 3 / 4);
+    if i + knockout < total {
+        0
+    } else {
+        (1 + (i + knockout - total) * 4 / knockout.max(1)).min(4)
+    }
+}
+
+/// Ground-truth rules of the WWC2019 graph, including the complex
+/// squad/tournament rule the paper credits to Mixtral.
+pub fn ground_truth() -> Vec<ConsistencyRule> {
+    vec![
+        ConsistencyRule::MandatoryProperty { label: "Match".into(), key: "date".into() },
+        ConsistencyRule::MandatoryProperty { label: "Match".into(), key: "stage".into() },
+        ConsistencyRule::MandatoryProperty { label: "Person".into(), key: "name".into() },
+        ConsistencyRule::UniqueProperty { label: "Match".into(), key: "id".into() },
+        ConsistencyRule::UniqueProperty { label: "Person".into(), key: "id".into() },
+        ConsistencyRule::EdgeEndpointLabels {
+            etype: "PLAYED_IN".into(),
+            src_label: "Person".into(),
+            dst_label: "Match".into(),
+        },
+        ConsistencyRule::EdgeEndpointLabels {
+            etype: "IN_TOURNAMENT".into(),
+            src_label: "Match".into(),
+            dst_label: "Tournament".into(),
+        },
+        ConsistencyRule::PatternUniqueness {
+            src_label: "Person".into(),
+            etype: "SCORED_GOAL".into(),
+            dst_label: "Match".into(),
+            key: "minute".into(),
+        },
+        ConsistencyRule::PropertyValueIn {
+            label: "Match".into(),
+            key: "stage".into(),
+            allowed: STAGES.iter().map(|s| Value::from(*s)).collect(),
+        },
+        squad_tournament_rule(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::GraphStats;
+
+    #[test]
+    fn table1_sizes_at_scale_one() {
+        let d = generate(&GenConfig::default());
+        let s = GraphStats::of(&d.graph);
+        assert_eq!(s.nodes, NODES);
+        assert_eq!(s.edges, EDGES);
+        assert_eq!(s.node_labels, 5);
+        assert_eq!(s.edge_labels, 9);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&GenConfig::default());
+        let b = generate(&GenConfig::default());
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        // Spot-check a node's properties match.
+        let na = a.graph.node(grm_pgraph::NodeId(100));
+        let nb = b.graph.node(grm_pgraph::NodeId(100));
+        assert_eq!(na.props, nb.props);
+    }
+
+    #[test]
+    fn clean_graph_has_no_missing_match_dates() {
+        let d = generate(&GenConfig { clean: true, ..Default::default() });
+        for m in d.graph.nodes_with_label("Match") {
+            assert!(!m.prop("date").is_null());
+            assert!(!m.prop("stage").is_null());
+        }
+    }
+
+    #[test]
+    fn dirty_graph_has_the_injected_violations() {
+        let d = generate(&GenConfig::default());
+        let missing_stage = d
+            .graph
+            .nodes_with_label("Match")
+            .filter(|m| m.prop("stage").is_null())
+            .count();
+        assert_eq!(missing_stage, 2);
+        let missing_date = d
+            .graph
+            .nodes_with_label("Match")
+            .filter(|m| m.prop("date").is_null())
+            .count();
+        assert_eq!(missing_date, 1);
+    }
+
+    #[test]
+    fn scaled_down_graph_is_proportional() {
+        let d = generate(&GenConfig { scale: 0.1, ..Default::default() });
+        let s = GraphStats::of(&d.graph);
+        assert!((200..=300).contains(&s.nodes), "{}", s.nodes);
+        assert!((1300..=1600).contains(&s.edges), "{}", s.edges);
+        assert_eq!(s.node_labels, 5);
+    }
+
+    #[test]
+    fn duplicate_goal_minutes_exist_when_dirty() {
+        let d = generate(&GenConfig::default());
+        use std::collections::HashMap;
+        let mut seen: HashMap<(u32, u32, String), usize> = HashMap::new();
+        for e in d.graph.edges_with_label("SCORED_GOAL") {
+            *seen
+                .entry((e.src.0, e.dst.0, e.prop("minute").group_key()))
+                .or_insert(0) += 1;
+        }
+        assert!(seen.values().any(|&c| c > 1));
+    }
+
+    #[test]
+    fn ground_truth_includes_complex_rule() {
+        let rules = ground_truth();
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the dataset generators: structural
+//! invariants must hold at every scale and seed.
+
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_pgraph::GraphStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All label sets stay complete at any scale ≥ 5 % and any seed —
+    /// downstream prompts and schema summaries rely on this.
+    #[test]
+    fn label_sets_survive_scaling(
+        seed in any::<u64>(),
+        scale in 0.05f64..0.5,
+        which in 0usize..3,
+    ) {
+        let id = DatasetId::ALL[which];
+        let d = generate(id, &GenConfig { seed, scale, clean: false });
+        let s = GraphStats::of(&d.graph);
+        let (nl, el) = match id {
+            DatasetId::Wwc2019 => (5, 9),
+            DatasetId::Cybersecurity => (7, 16),
+            DatasetId::Twitter => (6, 8),
+        };
+        prop_assert_eq!(s.node_labels, nl, "{:?} @ {}", id, scale);
+        prop_assert_eq!(s.edge_labels, el, "{:?} @ {}", id, scale);
+    }
+
+    /// Node/edge counts track the scale factor within rounding slack.
+    #[test]
+    fn sizes_track_scale(seed in any::<u64>(), scale in 0.05f64..0.5) {
+        let d = generate(DatasetId::Twitter, &GenConfig { seed, scale, clean: false });
+        let s = GraphStats::of(&d.graph);
+        let expected_nodes = 43_325.0 * scale;
+        let expected_edges = 56_493.0 * scale;
+        prop_assert!((s.nodes as f64) > expected_nodes * 0.9);
+        prop_assert!((s.nodes as f64) < expected_nodes * 1.1);
+        prop_assert!((s.edges as f64) > expected_edges * 0.9);
+        prop_assert!((s.edges as f64) < expected_edges * 1.1);
+    }
+
+    /// Clean graphs have strictly fewer (or equal) violations than
+    /// dirty ones for every ground-truth rule with a violation query.
+    #[test]
+    fn clean_is_never_dirtier(seed in any::<u64>(), which in 0usize..3) {
+        let id = DatasetId::ALL[which];
+        let dirty = generate(id, &GenConfig { seed, scale: 0.1, clean: false });
+        let clean = generate(id, &GenConfig { seed, scale: 0.1, clean: true });
+        for rule in &dirty.ground_truth {
+            let Some(vq) = grm_rules::violation_query(rule) else { continue };
+            let dv = grm_cypher::execute(&dirty.graph, &vq)
+                .unwrap()
+                .single_int()
+                .unwrap_or(0);
+            let cv = grm_cypher::execute(&clean.graph, &vq)
+                .unwrap()
+                .single_int()
+                .unwrap_or(0);
+            prop_assert!(cv <= dv, "{:?}: clean {} > dirty {}", id, cv, dv);
+            prop_assert_eq!(cv, 0, "{:?}: clean graph has violations", id);
+        }
+    }
+
+    /// Generation is a pure function of (id, seed, scale, clean).
+    #[test]
+    fn generation_is_pure(seed in any::<u64>()) {
+        let cfg = GenConfig { seed, scale: 0.05, clean: false };
+        let a = generate(DatasetId::Cybersecurity, &cfg);
+        let b = generate(DatasetId::Cybersecurity, &cfg);
+        prop_assert_eq!(a.graph.node_count(), b.graph.node_count());
+        prop_assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for (x, y) in a.graph.nodes().zip(b.graph.nodes()) {
+            prop_assert_eq!(&x.props, &y.props);
+        }
+    }
+
+    /// All edges reference valid endpoints (the store enforces this,
+    /// but the generators must never panic while building).
+    #[test]
+    fn generators_never_panic(seed in any::<u64>(), scale in 0.01f64..0.2) {
+        for id in DatasetId::ALL {
+            let d = generate(id, &GenConfig { seed, scale, clean: seed % 2 == 0 });
+            prop_assert!(d.graph.node_count() > 0);
+        }
+    }
+}

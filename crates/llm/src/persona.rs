@@ -1,0 +1,141 @@
+//! Model personas: the behavioural profiles of the two open LLMs the
+//! paper evaluates.
+//!
+//! §4.3–4.5 characterise the models along a few axes, which are the
+//! parameters here:
+//!
+//! * **Llama-3** "generates rules with higher support, coverage, and
+//!   confidence … explained by the LLM's tendency to focus on simple
+//!   rules regarding the uniqueness of elements".
+//! * **Mixtral** "appears to generate more complex rules … this
+//!   complexity could explain its lower scores, as there may be fewer
+//!   elements in the graph satisfying these rules", and it is the one
+//!   the paper catches inventing properties (`score`, `minute`,
+//!   `penaltyScore` on `Match`).
+//! * Both models translate to Cypher mostly correctly ("a minimal
+//!   accuracy of 70%", Table 6), with three error classes: wrong
+//!   direction, hallucinated properties, syntax slips.
+//!
+//! The numeric rates below are calibrated so the pipeline's outputs
+//! land in the paper's ranges; they are *behavioural knobs*, not
+//! claims about the real models' internals.
+
+/// Which model persona to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ModelKind {
+    /// Meta Llama-3 (8B-class, as deployed locally by the paper).
+    Llama3,
+    /// Mistral AI's Mixtral 8x7B.
+    Mixtral,
+}
+
+impl ModelKind {
+    /// Both personas, in the paper's table order.
+    pub const ALL: [ModelKind; 2] = [ModelKind::Llama3, ModelKind::Mixtral];
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Llama3 => "Llama-3",
+            ModelKind::Mixtral => "Mixtral",
+        }
+    }
+}
+
+/// Behavioural profile of a simulated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Persona {
+    pub kind: ModelKind,
+    /// Probability of pursuing a complex (pattern/temporal/custom)
+    /// rule when one is available in the prompt context.
+    pub complex_affinity: f64,
+    /// Probability that a generated rule references a property that
+    /// does not exist (hallucination *at rule level*, §4.4: left
+    /// uncorrected by the authors).
+    pub hallucination_rate: f64,
+    /// Probability of flipping a relationship direction when
+    /// translating a rule to Cypher (error class 1).
+    pub direction_flip_rate: f64,
+    /// Probability of emitting a syntactically broken query (error
+    /// class 3).
+    pub syntax_slip_rate: f64,
+    /// Rules attempted per prompt, zero-shot.
+    pub rules_per_prompt_zero: usize,
+    /// Rules attempted per prompt, few-shot (exemplars focus the
+    /// model; it emits fewer, better-grounded rules).
+    pub rules_per_prompt_few: usize,
+    /// Prompt-processing throughput, tokens/second (timing model).
+    pub prompt_tps: f64,
+    /// Generation throughput, tokens/second (timing model).
+    pub gen_tps: f64,
+}
+
+/// The calibrated persona for `kind`.
+pub fn persona(kind: ModelKind) -> Persona {
+    match kind {
+        ModelKind::Llama3 => Persona {
+            kind,
+            complex_affinity: 0.12,
+            hallucination_rate: 0.05,
+            direction_flip_rate: 0.07,
+            syntax_slip_rate: 0.05,
+            rules_per_prompt_zero: 3,
+            rules_per_prompt_few: 2,
+            prompt_tps: 2250.0,
+            gen_tps: 95.0,
+        },
+        ModelKind::Mixtral => Persona {
+            kind,
+            complex_affinity: 0.55,
+            hallucination_rate: 0.12,
+            direction_flip_rate: 0.09,
+            syntax_slip_rate: 0.07,
+            rules_per_prompt_zero: 3,
+            rules_per_prompt_few: 2,
+            prompt_tps: 2450.0,
+            gen_tps: 105.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixtral_is_the_complex_rule_chaser() {
+        let l = persona(ModelKind::Llama3);
+        let m = persona(ModelKind::Mixtral);
+        assert!(m.complex_affinity > l.complex_affinity);
+        assert!(m.hallucination_rate > l.hallucination_rate);
+    }
+
+    #[test]
+    fn few_shot_attempts_fewer_rules() {
+        for kind in ModelKind::ALL {
+            let p = persona(kind);
+            assert!(p.rules_per_prompt_few <= p.rules_per_prompt_zero);
+        }
+    }
+
+    #[test]
+    fn error_rates_are_probabilities() {
+        for kind in ModelKind::ALL {
+            let p = persona(kind);
+            for rate in [
+                p.complex_affinity,
+                p.hallucination_rate,
+                p.direction_flip_rate,
+                p.syntax_slip_rate,
+            ] {
+                assert!((0.0..=1.0).contains(&rate));
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ModelKind::Llama3.name(), "Llama-3");
+        assert_eq!(ModelKind::Mixtral.name(), "Mixtral");
+    }
+}

@@ -1,0 +1,95 @@
+//! Token-metered latency simulation.
+//!
+//! The paper's Table 5 reports wall-clock rule-mining times on a
+//! MacBook M2 running the models locally. Our models are simulated,
+//! so we meter *virtual* seconds from token counts the way local LLM
+//! inference actually behaves: prompt processing at a high
+//! tokens/second rate, generation at a much lower one, plus a fixed
+//! per-call overhead. The shape this produces matches the paper's:
+//! sliding-window mining costs one prompt per window (hundreds of
+//! seconds on big graphs), RAG costs a single short prompt (seconds).
+
+use crate::persona::Persona;
+
+/// Fixed per-invocation overhead (model load-balancing, tokenizer,
+/// sampler warm-up), in simulated seconds.
+pub const CALL_OVERHEAD_SECS: f64 = 0.35;
+
+/// Simulated seconds for one model invocation.
+pub fn invocation_seconds(
+    persona: &Persona,
+    prompt_tokens: usize,
+    completion_tokens: usize,
+) -> f64 {
+    CALL_OVERHEAD_SECS
+        + prompt_tokens as f64 / persona.prompt_tps
+        + completion_tokens as f64 / persona.gen_tps
+}
+
+/// Accumulates simulated time across a pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Stopwatch {
+    /// Total simulated seconds.
+    pub seconds: f64,
+    /// Number of model invocations.
+    pub calls: usize,
+    /// Total prompt tokens processed.
+    pub prompt_tokens: usize,
+    /// Total completion tokens generated.
+    pub completion_tokens: usize,
+}
+
+impl Stopwatch {
+    /// Records one invocation.
+    pub fn record(&mut self, persona: &Persona, prompt_tokens: usize, completion_tokens: usize) {
+        self.seconds += invocation_seconds(persona, prompt_tokens, completion_tokens);
+        self.calls += 1;
+        self.prompt_tokens += prompt_tokens;
+        self.completion_tokens += completion_tokens;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persona::{persona, ModelKind};
+
+    #[test]
+    fn time_grows_with_tokens() {
+        let p = persona(ModelKind::Llama3);
+        let short = invocation_seconds(&p, 100, 10);
+        let long = invocation_seconds(&p, 8000, 200);
+        assert!(long > short);
+        assert!(short >= CALL_OVERHEAD_SECS);
+    }
+
+    #[test]
+    fn generation_is_slower_than_prompt_processing() {
+        let p = persona(ModelKind::Llama3);
+        let prompt_heavy = invocation_seconds(&p, 1000, 0);
+        let gen_heavy = invocation_seconds(&p, 0, 1000);
+        assert!(gen_heavy > prompt_heavy);
+    }
+
+    #[test]
+    fn window_scale_magnitude_matches_paper() {
+        // One 8000-token window with ~200 generated tokens should
+        // land in the multi-second range (paper: ~250s over ~35
+        // windows ⇒ ~7s/window).
+        let p = persona(ModelKind::Llama3);
+        let per_window = invocation_seconds(&p, 8000, 200);
+        assert!((4.0..15.0).contains(&per_window), "{per_window}");
+    }
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let p = persona(ModelKind::Mixtral);
+        let mut sw = Stopwatch::default();
+        sw.record(&p, 1000, 100);
+        sw.record(&p, 2000, 50);
+        assert_eq!(sw.calls, 2);
+        assert_eq!(sw.prompt_tokens, 3000);
+        assert_eq!(sw.completion_tokens, 150);
+        assert!(sw.seconds > 0.0);
+    }
+}

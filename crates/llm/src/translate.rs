@@ -1,0 +1,200 @@
+//! NL → Cypher translation with error injection.
+//!
+//! Step 2 of the paper's pipeline: the LLM turns each natural-language
+//! rule into a Cypher query. §4.4 catalogues how this goes wrong:
+//!
+//! 1. **wrong relationship direction** (5 cases observed) — we flip
+//!    the first relationship of the query's pattern;
+//! 2. **nonexistent properties** — these originate at *rule* level
+//!    (the paper: "those errors corresponded to hallucination at rule
+//!    generation level, rather than the translation to Cypher"), so
+//!    they are injected by `generator`, not here;
+//! 3. **syntax issues** — we drop a closing parenthesis, producing a
+//!    query the parser rejects with a position, like Neo4j would.
+//!
+//! When no corruption fires the translation is exactly the reference
+//! query of `grm-rules` — matching the paper's ≥70% correctness floor.
+
+use grm_cypher::{parse, Clause};
+use grm_rules::{reference_queries, ConsistencyRule, RuleQueries};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::persona::Persona;
+
+/// How a translated query was corrupted, if it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Relationship direction flipped (error class 1).
+    DirectionFlip,
+    /// Broken syntax (error class 3).
+    SyntaxSlip,
+}
+
+/// The model's translation of one rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translation {
+    /// The query the model "wrote" (possibly corrupted).
+    pub cypher: String,
+    /// The reference metric queries (what a correct translation would
+    /// have been) — used downstream for corrected evaluation.
+    pub reference: RuleQueries,
+    /// Injected corruption (ground truth for tests; the classifier in
+    /// `grm-metrics` must infer it independently).
+    pub corruption: Option<Corruption>,
+}
+
+/// Translates `rule` to Cypher under `persona`'s error profile.
+pub fn translate(rule: &ConsistencyRule, persona: &Persona, rng: &mut StdRng) -> Translation {
+    let reference = reference_queries(rule);
+    let base = reference.satisfied.clone();
+
+    // Roll for at most one corruption, direction first (the paper's
+    // most prominent category).
+    if rng.gen_bool(persona.direction_flip_rate) {
+        if let Some(flipped) = flip_first_direction(&base) {
+            return Translation {
+                cypher: flipped,
+                reference,
+                corruption: Some(Corruption::DirectionFlip),
+            };
+        }
+    }
+    if rng.gen_bool(persona.syntax_slip_rate) {
+        return Translation {
+            cypher: break_syntax(&base),
+            reference,
+            corruption: Some(Corruption::SyntaxSlip),
+        };
+    }
+    Translation { cypher: base, reference, corruption: None }
+}
+
+/// Reverses the direction of the first typed relationship in the
+/// first MATCH clause; returns `None` when the query has no directed
+/// relationship to flip.
+pub fn flip_first_direction(query: &str) -> Option<String> {
+    let mut ast = parse(query).ok()?;
+    for clause in &mut ast.clauses {
+        if let Clause::Match { patterns, .. } = clause {
+            for p in patterns.iter_mut() {
+                if let Some((rel, _)) = p.steps.first_mut() {
+                    if rel.direction != grm_cypher::Direction::Undirected {
+                        rel.direction = rel.direction.reversed();
+                        return Some(ast.to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Produces a syntactically invalid variant (drops the final closing
+/// parenthesis — "RETURN COUNT(*" style).
+pub fn break_syntax(query: &str) -> String {
+    match query.rfind(')') {
+        Some(pos) => {
+            let mut s = query.to_owned();
+            s.remove(pos);
+            s
+        }
+        None => format!("{query} )"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persona::{persona, ModelKind};
+    use grm_cypher::CypherError;
+    use rand::SeedableRng;
+
+    fn unique_rule() -> ConsistencyRule {
+        ConsistencyRule::UniqueProperty { label: "Tweet".into(), key: "id".into() }
+    }
+
+    fn endpoint_rule() -> ConsistencyRule {
+        ConsistencyRule::EdgeEndpointLabels {
+            etype: "POSTS".into(),
+            src_label: "User".into(),
+            dst_label: "Tweet".into(),
+        }
+    }
+
+    #[test]
+    fn clean_translation_matches_reference() {
+        let p = Persona { direction_flip_rate: 0.0, syntax_slip_rate: 0.0, ..persona(ModelKind::Llama3) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = translate(&unique_rule(), &p, &mut rng);
+        assert_eq!(t.cypher, t.reference.satisfied);
+        assert_eq!(t.corruption, None);
+    }
+
+    #[test]
+    fn forced_direction_flip_changes_pattern() {
+        let p = Persona { direction_flip_rate: 1.0, syntax_slip_rate: 0.0, ..persona(ModelKind::Llama3) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = translate(&endpoint_rule(), &p, &mut rng);
+        assert_eq!(t.corruption, Some(Corruption::DirectionFlip));
+        assert_ne!(t.cypher, t.reference.satisfied);
+        // The flipped query still parses — it is semantically wrong,
+        // not syntactically.
+        assert!(parse(&t.cypher).is_ok());
+        assert!(t.cypher.contains("<-[") || t.cypher.contains("]-"));
+    }
+
+    #[test]
+    fn direction_flip_falls_through_for_node_only_rules() {
+        // A uniqueness rule has no relationship; the flip cannot fire
+        // and the translation stays clean (flip roll consumed).
+        let p = Persona { direction_flip_rate: 1.0, syntax_slip_rate: 0.0, ..persona(ModelKind::Llama3) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = translate(&unique_rule(), &p, &mut rng);
+        assert_eq!(t.corruption, None);
+    }
+
+    #[test]
+    fn forced_syntax_slip_breaks_parsing() {
+        let p = Persona { direction_flip_rate: 0.0, syntax_slip_rate: 1.0, ..persona(ModelKind::Llama3) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = translate(&unique_rule(), &p, &mut rng);
+        assert_eq!(t.corruption, Some(Corruption::SyntaxSlip));
+        let err = parse(&t.cypher).unwrap_err();
+        assert!(matches!(err, CypherError::Parse { .. } | CypherError::Lex { .. }));
+    }
+
+    #[test]
+    fn flip_first_direction_roundtrip() {
+        let q = "MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c";
+        let flipped = flip_first_direction(q).unwrap();
+        let back = flip_first_direction(&flipped).unwrap();
+        assert_eq!(parse(&back).unwrap(), parse(q).unwrap());
+    }
+
+    #[test]
+    fn corruption_rate_tracks_persona() {
+        let p = persona(ModelKind::Mixtral);
+        let mut corrupted = 0usize;
+        let trials = 500usize;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..trials {
+            if translate(&endpoint_rule(), &p, &mut rng).corruption.is_some() {
+                corrupted += 1;
+            }
+        }
+        let rate = corrupted as f64 / trials as f64;
+        // direction 0.09 + syntax ~0.09·(1-0.09) ≈ 0.17
+        assert!(rate > 0.08 && rate < 0.3, "rate {rate}");
+    }
+
+    #[test]
+    fn break_syntax_always_unparseable() {
+        for q in [
+            "MATCH (n:A) RETURN COUNT(*) AS c",
+            "MATCH (n) WHERE n.x IS NULL RETURN COUNT(*) AS c",
+        ] {
+            assert!(parse(&break_syntax(q)).is_err(), "{q}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Query-error classification — the machine version of the paper's
+//! §4.4 analysis.
+//!
+//! The paper considers a generated query "not correct if it has syntax
+//! errors or if its formulation does not match the data model" and
+//! sorts the failures into three categories. Given the query text and
+//! the graph's inferred schema we recover the same taxonomy:
+//!
+//! 1. [`QueryClass::SyntaxError`] — the lexer/parser rejects it;
+//! 2. [`QueryClass::HallucinatedProperty`] — it references properties
+//!    absent from the data model;
+//! 3. [`QueryClass::DirectionError`] — a relationship is drawn against
+//!    every direction the schema exhibits;
+//! 4. [`QueryClass::OtherSemantic`] — remaining mismatches (unknown
+//!    labels/types/variables);
+//! 5. [`QueryClass::Correct`] — parses and matches the data model.
+//!
+//! Hallucination outranks direction in mixed cases because the paper
+//! treats hallucinations as rule-level (uncorrectable) while direction
+//! slips are translation-level (correctable).
+
+use grm_cypher::{analyze, parse, SemanticIssue};
+use grm_pgraph::GraphSchema;
+
+/// Correctness classification of one generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum QueryClass {
+    /// Parses and is consistent with the data model.
+    Correct,
+    /// Rejected by the parser (paper error class 3).
+    SyntaxError,
+    /// References nonexistent properties (paper error class 2).
+    HallucinatedProperty,
+    /// Relationship drawn in the wrong direction (paper error class 1).
+    DirectionError,
+    /// Other data-model mismatch (unknown label/type/variable).
+    OtherSemantic,
+}
+
+impl QueryClass {
+    /// True when the paper's Table 6 would count the query as correct.
+    pub fn is_correct(self) -> bool {
+        self == QueryClass::Correct
+    }
+}
+
+/// Full assessment of one query.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    pub class: QueryClass,
+    /// The semantic issues found (empty for `Correct`/`SyntaxError`).
+    pub issues: Vec<SemanticIssue>,
+}
+
+/// Classifies `query` against `schema`.
+pub fn classify(query: &str, schema: &GraphSchema) -> Assessment {
+    let ast = match parse(query) {
+        Ok(ast) => ast,
+        Err(_) => return Assessment { class: QueryClass::SyntaxError, issues: vec![] },
+    };
+    let issues = analyze(&ast, schema);
+    let class = if issues.is_empty() {
+        QueryClass::Correct
+    } else if issues.iter().any(SemanticIssue::is_hallucination) {
+        QueryClass::HallucinatedProperty
+    } else if issues.iter().any(SemanticIssue::is_direction) {
+        QueryClass::DirectionError
+    } else {
+        QueryClass::OtherSemantic
+    };
+    Assessment { class, issues }
+}
+
+/// Tally of classifications — one Table 6 cell plus the §4.4 error
+/// breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClassTally {
+    pub total: usize,
+    pub correct: usize,
+    pub syntax: usize,
+    pub hallucinated: usize,
+    pub direction: usize,
+    pub other: usize,
+}
+
+impl ClassTally {
+    /// Adds one classification.
+    pub fn add(&mut self, class: QueryClass) {
+        self.total += 1;
+        match class {
+            QueryClass::Correct => self.correct += 1,
+            QueryClass::SyntaxError => self.syntax += 1,
+            QueryClass::HallucinatedProperty => self.hallucinated += 1,
+            QueryClass::DirectionError => self.direction += 1,
+            QueryClass::OtherSemantic => self.other += 1,
+        }
+    }
+
+    /// `correct/total` as the paper prints it (e.g. `11/12`).
+    pub fn as_fraction(&self) -> String {
+        format!("{}/{}", self.correct, self.total)
+    }
+
+    /// Correctness ratio in `[0, 1]`; 1.0 for an empty tally.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::{props, PropertyGraph, Value};
+
+    fn schema() -> GraphSchema {
+        let mut g = PropertyGraph::new();
+        let t = g.add_node(["Tournament"], props([("id", Value::Int(1))]));
+        let m = g.add_node(["Match"], props([("id", Value::from("m1"))]));
+        g.add_edge(m, t, "IN_TOURNAMENT", Default::default());
+        GraphSchema::infer(&g)
+    }
+
+    #[test]
+    fn correct_query() {
+        let a = classify(
+            "MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c",
+            &schema(),
+        );
+        assert_eq!(a.class, QueryClass::Correct);
+    }
+
+    #[test]
+    fn syntax_error() {
+        let a = classify("MATCH (m:Match RETURN COUNT(*) AS c", &schema());
+        assert_eq!(a.class, QueryClass::SyntaxError);
+    }
+
+    #[test]
+    fn direction_error_the_papers_example() {
+        let a = classify(
+            "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match) RETURN COUNT(*) AS c",
+            &schema(),
+        );
+        assert_eq!(a.class, QueryClass::DirectionError);
+    }
+
+    #[test]
+    fn hallucinated_property() {
+        let a = classify(
+            "MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c",
+            &schema(),
+        );
+        assert_eq!(a.class, QueryClass::HallucinatedProperty);
+    }
+
+    #[test]
+    fn hallucination_outranks_direction() {
+        let a = classify(
+            "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match) \
+             WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c",
+            &schema(),
+        );
+        assert_eq!(a.class, QueryClass::HallucinatedProperty);
+    }
+
+    #[test]
+    fn unknown_label_is_other_semantic() {
+        let a = classify("MATCH (x:Ghost) RETURN COUNT(*) AS c", &schema());
+        assert_eq!(a.class, QueryClass::OtherSemantic);
+    }
+
+    #[test]
+    fn tally_arithmetic() {
+        let mut t = ClassTally::default();
+        t.add(QueryClass::Correct);
+        t.add(QueryClass::Correct);
+        t.add(QueryClass::SyntaxError);
+        assert_eq!(t.as_fraction(), "2/3");
+        assert!((t.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ClassTally::default().accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Automated query correction — the paper's manual repair procedure
+//! (§4.4), as code.
+//!
+//! The authors "corrected the queries in case of syntax errors or
+//! wrong edge directions, but … left them as they were the queries
+//! with additional non-existing properties, because those errors
+//! corresponded to hallucination at rule generation level". This
+//! module does exactly that:
+//!
+//! * **syntax** — reinsert the token the parser says is missing
+//!   (iterating, bounded) until the query parses;
+//! * **direction** — flip every relationship the analyzer flags as
+//!   [`SemanticIssue::WrongDirection`] and re-check;
+//! * **hallucination** — detected but deliberately *not* repaired.
+
+use grm_cypher::{analyze, parse, Clause, CypherError, Direction, Query, SemanticIssue};
+use grm_pgraph::GraphSchema;
+
+use crate::classify::{classify, QueryClass};
+
+/// Outcome of running the corrector on one query.
+#[derive(Debug, Clone)]
+pub struct CorrectionOutcome {
+    /// Classification of the query as received.
+    pub original_class: QueryClass,
+    /// The query after repair (identical to the input when nothing
+    /// needed or could be fixed).
+    pub corrected: String,
+    /// Classification of the corrected query.
+    pub final_class: QueryClass,
+    /// True when the corrector changed the text.
+    pub changed: bool,
+}
+
+/// Repairs `query` as far as the paper's policy allows.
+pub fn correct(query: &str, schema: &GraphSchema) -> CorrectionOutcome {
+    let original = classify(query, schema);
+    let mut text = query.to_owned();
+    let mut changed = false;
+
+    // Phase 1: syntax repair.
+    if original.class == QueryClass::SyntaxError {
+        if let Some(fixed) = repair_syntax(&text) {
+            text = fixed;
+            changed = true;
+        }
+    }
+
+    // Phase 2: direction repair (only meaningful once it parses).
+    if let Ok(ast) = parse(&text) {
+        let issues = analyze(&ast, schema);
+        if issues.iter().any(SemanticIssue::is_direction) {
+            if let Some(fixed) = repair_directions(&ast, schema) {
+                text = fixed;
+                changed = true;
+            }
+        }
+    }
+
+    let final_class = classify(&text, schema).class;
+    CorrectionOutcome { original_class: original.class, corrected: text, final_class, changed }
+}
+
+/// Iteratively inserts the character the parser appears to be missing
+/// at the reported error position. Handles the common LLM slips
+/// (dropped parenthesis/bracket); gives up after a few rounds.
+pub fn repair_syntax(query: &str) -> Option<String> {
+    let mut text = query.to_owned();
+    for _ in 0..4 {
+        let err = match parse(&text) {
+            Ok(_) => return Some(text),
+            Err(e) => e,
+        };
+        let (message, pos) = match &err {
+            CypherError::Parse { message, span } => (message.clone(), span.start),
+            CypherError::Lex { message, span } => (message.clone(), span.start),
+            _ => return None,
+        };
+        let insert = if message.contains("')'") {
+            ')'
+        } else if message.contains("']'") {
+            ']'
+        } else if message.contains("'}'") {
+            '}'
+        } else if message.contains("unterminated string") {
+            '\''
+        } else {
+            return None;
+        };
+        let pos = pos.min(text.len());
+        text.insert(pos, insert);
+    }
+    None
+}
+
+/// Flips every relationship whose (type, endpoint-labels) orientation
+/// contradicts the schema; returns the re-rendered query when at
+/// least one flip was applied and the result is direction-clean.
+pub fn repair_directions(ast: &Query, schema: &GraphSchema) -> Option<String> {
+    let mut fixed = ast.clone();
+    let mut any = false;
+    for clause in &mut fixed.clauses {
+        let Clause::Match { patterns, .. } = clause else { continue };
+        for pattern in patterns.iter_mut() {
+            let mut prev = pattern.start.clone();
+            for (rel, node) in pattern.steps.iter_mut() {
+                if rel.direction != Direction::Undirected {
+                    if let (Some(ll), Some(rl)) = (prev.labels.first(), node.labels.first()) {
+                        let (from, to) = match rel.direction {
+                            Direction::Out => (ll.as_str(), rl.as_str()),
+                            Direction::In => (rl.as_str(), ll.as_str()),
+                            Direction::Undirected => unreachable!(),
+                        };
+                        for t in &rel.types {
+                            if let Some(sig) = schema.signature(t) {
+                                if !sig.connects(from, to) && sig.connects(to, from) {
+                                    rel.direction = rel.direction.reversed();
+                                    any = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                prev = node.clone();
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    let text = fixed.to_string();
+    let still_wrong = analyze(&parse(&text).ok()?, schema)
+        .iter()
+        .any(SemanticIssue::is_direction);
+    (!still_wrong).then_some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_cypher::execute;
+    use grm_pgraph::{props, PropertyGraph, Value};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let t = g.add_node(["Tournament"], props([("id", Value::Int(1))]));
+        for i in 0..3 {
+            let m = g.add_node(["Match"], props([("id", Value::from(format!("m{i}")))]));
+            g.add_edge(m, t, "IN_TOURNAMENT", Default::default());
+        }
+        g
+    }
+
+    #[test]
+    fn fixes_dropped_parenthesis() {
+        let g = graph();
+        let schema = GraphSchema::infer(&g);
+        // The corruption `break_syntax` produces.
+        let broken = "MATCH (m:Match) RETURN COUNT(* AS c";
+        let out = correct(broken, &schema);
+        assert_eq!(out.original_class, QueryClass::SyntaxError);
+        assert_eq!(out.final_class, QueryClass::Correct);
+        assert_eq!(execute(&g, &out.corrected).unwrap().single_int(), Some(3));
+    }
+
+    #[test]
+    fn fixes_the_papers_direction_error() {
+        let g = graph();
+        let schema = GraphSchema::infer(&g);
+        let wrong = "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match) RETURN COUNT(*) AS c";
+        // Wrong direction runs but counts 0.
+        assert_eq!(execute(&g, wrong).unwrap().single_int(), Some(0));
+        let out = correct(wrong, &schema);
+        assert_eq!(out.original_class, QueryClass::DirectionError);
+        assert_eq!(out.final_class, QueryClass::Correct);
+        assert_eq!(execute(&g, &out.corrected).unwrap().single_int(), Some(3));
+    }
+
+    #[test]
+    fn leaves_hallucinations_alone() {
+        let g = graph();
+        let schema = GraphSchema::infer(&g);
+        let q = "MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c";
+        let out = correct(q, &schema);
+        assert_eq!(out.original_class, QueryClass::HallucinatedProperty);
+        assert_eq!(out.final_class, QueryClass::HallucinatedProperty);
+        assert!(!out.changed);
+        assert_eq!(out.corrected, q);
+    }
+
+    #[test]
+    fn correct_query_passes_through() {
+        let g = graph();
+        let schema = GraphSchema::infer(&g);
+        let q = "MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c";
+        let out = correct(q, &schema);
+        assert!(!out.changed);
+        assert_eq!(out.final_class, QueryClass::Correct);
+    }
+
+    #[test]
+    fn syntax_then_direction_both_fixed() {
+        let g = graph();
+        let schema = GraphSchema::infer(&g);
+        // Wrong direction AND missing paren.
+        let broken = "MATCH (t:Tournament)-[:IN_TOURNAMENT]->(m:Match) RETURN COUNT(* AS c";
+        let out = correct(broken, &schema);
+        assert_eq!(out.original_class, QueryClass::SyntaxError);
+        assert_eq!(out.final_class, QueryClass::Correct);
+        assert_eq!(execute(&g, &out.corrected).unwrap().single_int(), Some(3));
+    }
+
+    #[test]
+    fn unrepairable_garbage_stays_broken() {
+        let schema = GraphSchema::infer(&graph());
+        let out = correct("MATCH MATCH MATCH", &schema);
+        assert_eq!(out.final_class, QueryClass::SyntaxError);
+    }
+
+    #[test]
+    fn repair_syntax_handles_multiple_drops() {
+        let fixed = repair_syntax("MATCH (n:Match WHERE n.id IS NOT NULL RETURN COUNT(* AS c");
+        assert!(fixed.is_some());
+        assert!(parse(&fixed.unwrap()).is_ok());
+    }
+}

@@ -1,0 +1,125 @@
+//! Metric drift between two graph versions.
+//!
+//! Consistency rules are most useful *over time*: a rule book mined
+//! on yesterday's graph, re-evaluated on today's, shows exactly where
+//! data quality moved. This module evaluates a rule set against two
+//! graphs and reports the per-rule coverage/confidence deltas — the
+//! machinery behind `grm diff`.
+
+use grm_cypher::CypherError;
+use grm_pgraph::PropertyGraph;
+use grm_rules::{reference_queries, ConsistencyRule};
+
+use crate::scores::{evaluate, RuleMetrics};
+
+/// Drift of one rule between two graph versions.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RuleDrift {
+    pub rule: ConsistencyRule,
+    pub before: RuleMetrics,
+    pub after: RuleMetrics,
+}
+
+impl RuleDrift {
+    /// Confidence delta (after − before), percentage points.
+    pub fn confidence_delta(&self) -> f64 {
+        self.after.confidence_pct - self.before.confidence_pct
+    }
+
+    /// Coverage delta (after − before), percentage points.
+    pub fn coverage_delta(&self) -> f64 {
+        self.after.coverage_pct - self.before.coverage_pct
+    }
+
+    /// True when quality regressed beyond `threshold` points on
+    /// either measure.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.confidence_delta() < -threshold || self.coverage_delta() < -threshold
+    }
+}
+
+/// Evaluates `rules` on both graphs; rules whose queries fail on
+/// either side are skipped (they cannot be compared).
+pub fn drift(
+    before: &PropertyGraph,
+    after: &PropertyGraph,
+    rules: &[ConsistencyRule],
+) -> Result<Vec<RuleDrift>, CypherError> {
+    let mut out = Vec::with_capacity(rules.len());
+    for rule in rules {
+        let queries = reference_queries(rule);
+        let (Ok(b), Ok(a)) = (evaluate(before, &queries), evaluate(after, &queries)) else {
+            continue;
+        };
+        out.push(RuleDrift { rule: rule.clone(), before: b, after: a });
+    }
+    // Worst regressions first.
+    out.sort_by(|x, y| {
+        x.confidence_delta()
+            .partial_cmp(&y.confidence_delta())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::{props, Value};
+
+    fn graph(missing: usize) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..10usize {
+            let mut p = props([("id", Value::Int(i as i64))]);
+            if i >= missing {
+                p.insert("name".into(), Value::from(format!("u{i}")));
+            }
+            g.add_node(["User"], p);
+        }
+        g
+    }
+
+    fn name_rule() -> ConsistencyRule {
+        ConsistencyRule::MandatoryProperty { label: "User".into(), key: "name".into() }
+    }
+
+    #[test]
+    fn detects_regression() {
+        let before = graph(0); // everyone named
+        let after = graph(3); // three lost their names
+        let d = drift(&before, &after, &[name_rule()]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!((d[0].confidence_delta() + 30.0).abs() < 1e-9);
+        assert!(d[0].regressed(5.0));
+        assert!(!d[0].regressed(50.0));
+    }
+
+    #[test]
+    fn detects_improvement() {
+        let before = graph(5);
+        let after = graph(1);
+        let d = drift(&before, &after, &[name_rule()]).unwrap();
+        assert!(d[0].confidence_delta() > 0.0);
+        assert!(!d[0].regressed(1.0));
+    }
+
+    #[test]
+    fn worst_regressions_sort_first() {
+        let before = graph(0);
+        let after = graph(4);
+        let rules = [
+            ConsistencyRule::UniqueProperty { label: "User".into(), key: "id".into() }, // stable
+            name_rule(),                                                                // regresses
+        ];
+        let d = drift(&before, &after, &rules).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d[0].confidence_delta() <= d[1].confidence_delta());
+        assert!(matches!(d[0].rule, ConsistencyRule::MandatoryProperty { .. }));
+    }
+
+    #[test]
+    fn empty_rule_set_is_fine() {
+        let g = graph(0);
+        assert!(drift(&g, &g, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Support / coverage / confidence (§4.2 of the paper, AMIE-style
+//! measures adapted to property graphs).
+//!
+//! *Support* is the count of elements satisfying the rule; *coverage*
+//! normalises by the head relation's fact count; *confidence*
+//! normalises by the body-match count. All three come from executing
+//! the rule's three metric queries on the graph.
+
+use grm_cypher::{execute, CypherError};
+use grm_pgraph::PropertyGraph;
+use grm_rules::RuleQueries;
+
+/// Metrics of one rule on one graph.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuleMetrics {
+    /// Elements satisfying the rule (absolute count, as the paper
+    /// reports it).
+    pub support: i64,
+    /// `100 · support / head_total`, clamped to `[0, 100]`.
+    pub coverage_pct: f64,
+    /// `100 · support / body_count`, clamped to `[0, 100]`.
+    pub confidence_pct: f64,
+}
+
+/// Aggregate over a rule set — one cell group of Tables 2–4.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct AggregateMetrics {
+    /// Number of rules scored.
+    pub rules: usize,
+    /// Mean support (the paper's `Supp%` column holds absolute
+    /// numbers; we report the per-rule mean).
+    pub support: f64,
+    /// Mean coverage, percent.
+    pub coverage_pct: f64,
+    /// Mean confidence, percent.
+    pub confidence_pct: f64,
+}
+
+/// Executes one count query, expecting a single integer cell.
+fn count(graph: &PropertyGraph, query: &str) -> Result<i64, CypherError> {
+    let rs = execute(graph, query)?;
+    rs.single_int().ok_or_else(|| {
+        CypherError::runtime(format!(
+            "metric query must return a single count, got {}x{} result: {query}",
+            rs.rows.len(),
+            rs.columns.len()
+        ))
+    })
+}
+
+/// Evaluates the three metric queries of a rule on `graph`.
+pub fn evaluate(graph: &PropertyGraph, queries: &RuleQueries) -> Result<RuleMetrics, CypherError> {
+    let satisfied = count(graph, &queries.satisfied)?;
+    let body = count(graph, &queries.body)?;
+    let head_total = count(graph, &queries.head_total)?;
+    let pct = |num: i64, den: i64| -> f64 {
+        if den <= 0 {
+            0.0
+        } else {
+            (100.0 * num as f64 / den as f64).clamp(0.0, 100.0)
+        }
+    };
+    Ok(RuleMetrics {
+        support: satisfied,
+        coverage_pct: pct(satisfied, head_total),
+        confidence_pct: pct(satisfied, body),
+    })
+}
+
+/// Aggregates per-rule metrics into a table cell.
+pub fn aggregate(per_rule: &[RuleMetrics]) -> AggregateMetrics {
+    if per_rule.is_empty() {
+        return AggregateMetrics::default();
+    }
+    let n = per_rule.len() as f64;
+    AggregateMetrics {
+        rules: per_rule.len(),
+        support: per_rule.iter().map(|m| m.support as f64).sum::<f64>() / n,
+        coverage_pct: per_rule.iter().map(|m| m.coverage_pct).sum::<f64>() / n,
+        confidence_pct: per_rule.iter().map(|m| m.confidence_pct).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::{props, Value};
+    use grm_rules::{reference_queries, ConsistencyRule};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..10i64 {
+            let mut p = props([("id", Value::Int(i))]);
+            if i < 8 {
+                p.insert("name".into(), Value::from(format!("u{i}")));
+            }
+            g.add_node(["User"], p);
+        }
+        g
+    }
+
+    #[test]
+    fn mandatory_property_metrics() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::MandatoryProperty {
+            label: "User".into(),
+            key: "name".into(),
+        });
+        let m = evaluate(&g, &q).unwrap();
+        assert_eq!(m.support, 8);
+        assert!((m.coverage_pct - 80.0).abs() < 1e-9);
+        assert!((m.confidence_pct - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_rule_scores_100() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::UniqueProperty {
+            label: "User".into(),
+            key: "id".into(),
+        });
+        let m = evaluate(&g, &q).unwrap();
+        assert_eq!(m.support, 10);
+        assert_eq!(m.coverage_pct, 100.0);
+        assert_eq!(m.confidence_pct, 100.0);
+    }
+
+    #[test]
+    fn hallucinated_property_scores_zero_not_error() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::MandatoryProperty {
+            label: "User".into(),
+            key: "penaltyScore".into(),
+        });
+        let m = evaluate(&g, &q).unwrap();
+        assert_eq!(m.support, 0);
+        assert_eq!(m.coverage_pct, 0.0);
+        assert_eq!(m.confidence_pct, 0.0);
+    }
+
+    #[test]
+    fn broken_query_is_an_error() {
+        let g = graph();
+        let q = RuleQueries {
+            satisfied: "MATCH (n RETURN COUNT(*) AS c".into(),
+            body: "MATCH (n) RETURN COUNT(*) AS c".into(),
+            head_total: "MATCH (n) RETURN COUNT(*) AS c".into(),
+        };
+        assert!(evaluate(&g, &q).is_err());
+    }
+
+    #[test]
+    fn non_count_query_rejected() {
+        let g = graph();
+        let q = RuleQueries {
+            satisfied: "MATCH (n:User) RETURN n.id AS id".into(),
+            body: "MATCH (n) RETURN COUNT(*) AS c".into(),
+            head_total: "MATCH (n) RETURN COUNT(*) AS c".into(),
+        };
+        assert!(evaluate(&g, &q).is_err());
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let ms = [
+            RuleMetrics { support: 10, coverage_pct: 100.0, confidence_pct: 100.0 },
+            RuleMetrics { support: 0, coverage_pct: 0.0, confidence_pct: 50.0 },
+        ];
+        let a = aggregate(&ms);
+        assert_eq!(a.rules, 2);
+        assert!((a.support - 5.0).abs() < 1e-9);
+        assert!((a.coverage_pct - 50.0).abs() < 1e-9);
+        assert!((a.confidence_pct - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zero() {
+        let a = aggregate(&[]);
+        assert_eq!(a.rules, 0);
+        assert_eq!(a.support, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for metric identities, classification
+//! totality, and correction safety.
+
+use grm_metrics::{aggregate, classify, correct, evaluate, QueryClass, RuleMetrics};
+use grm_pgraph::{props, GraphSchema, PropertyGraph, Value};
+use grm_rules::{reference_queries, ConsistencyRule};
+use proptest::prelude::*;
+
+/// A graph of `total` nodes where exactly `with_key` carry `k`.
+fn partial_graph(total: usize, with_key: usize) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    for i in 0..total {
+        let mut p = props([("id", Value::Int(i as i64))]);
+        if i < with_key {
+            p.insert("k".into(), Value::Int(i as i64));
+        }
+        g.add_node(["N"], p);
+    }
+    g
+}
+
+proptest! {
+    /// Mandatory-property metrics equal the analytic values for any
+    /// presence fraction.
+    #[test]
+    fn mandatory_metrics_are_analytic(total in 1usize..60, with in 0usize..60) {
+        let with_key = with.min(total);
+        let g = partial_graph(total, with_key);
+        let rule = ConsistencyRule::MandatoryProperty { label: "N".into(), key: "k".into() };
+        let m = evaluate(&g, &reference_queries(&rule)).unwrap();
+        prop_assert_eq!(m.support, with_key as i64);
+        let expected = 100.0 * with_key as f64 / total as f64;
+        prop_assert!((m.coverage_pct - expected).abs() < 1e-9);
+        prop_assert!((m.confidence_pct - expected).abs() < 1e-9);
+    }
+
+    /// Unique-property support counts singleton values exactly.
+    #[test]
+    fn unique_metrics_count_singletons(values in prop::collection::vec(0i64..8, 1..40)) {
+        let mut g = PropertyGraph::new();
+        for v in &values {
+            g.add_node(["N"], props([("k", Value::Int(*v))]));
+        }
+        let rule = ConsistencyRule::UniqueProperty { label: "N".into(), key: "k".into() };
+        let m = evaluate(&g, &reference_queries(&rule)).unwrap();
+        let singletons = (0i64..8)
+            .filter(|v| values.iter().filter(|x| *x == v).count() == 1)
+            .count();
+        prop_assert_eq!(m.support, singletons as i64);
+    }
+
+    /// Metrics are always within bounds, whatever the rule instance.
+    #[test]
+    fn metrics_are_bounded(
+        total in 1usize..40,
+        with in 0usize..40,
+        key in prop_oneof![Just("k"), Just("id"), Just("ghost")],
+    ) {
+        let g = partial_graph(total, with.min(total));
+        let rule = ConsistencyRule::MandatoryProperty { label: "N".into(), key: key.into() };
+        let m = evaluate(&g, &reference_queries(&rule)).unwrap();
+        prop_assert!(m.support >= 0);
+        prop_assert!((0.0..=100.0).contains(&m.coverage_pct));
+        prop_assert!((0.0..=100.0).contains(&m.confidence_pct));
+    }
+
+    /// Aggregation means stay inside the per-rule envelope.
+    #[test]
+    fn aggregate_within_envelope(metrics in prop::collection::vec(
+        (0i64..1000, 0.0f64..=100.0, 0.0f64..=100.0), 1..20
+    )) {
+        let per_rule: Vec<RuleMetrics> = metrics
+            .iter()
+            .map(|(s, c, f)| RuleMetrics { support: *s, coverage_pct: *c, confidence_pct: *f })
+            .collect();
+        let a = aggregate(&per_rule);
+        let max_cov = per_rule.iter().map(|m| m.coverage_pct).fold(0.0, f64::max);
+        let min_cov = per_rule.iter().map(|m| m.coverage_pct).fold(100.0, f64::min);
+        prop_assert!(a.coverage_pct <= max_cov + 1e-9);
+        prop_assert!(a.coverage_pct >= min_cov - 1e-9);
+        prop_assert_eq!(a.rules, per_rule.len());
+    }
+
+    /// Classification is total on arbitrary query text.
+    #[test]
+    fn classify_never_panics(query in ".{0,200}") {
+        let g = partial_graph(3, 3);
+        let schema = GraphSchema::infer(&g);
+        let _ = classify(&query, &schema);
+    }
+
+    /// Correction never makes a correct query incorrect.
+    #[test]
+    fn correction_preserves_correctness(total in 2usize..20) {
+        let g = partial_graph(total, total);
+        let schema = GraphSchema::infer(&g);
+        for rule in [
+            ConsistencyRule::MandatoryProperty { label: "N".into(), key: "k".into() },
+            ConsistencyRule::UniqueProperty { label: "N".into(), key: "id".into() },
+        ] {
+            let q = reference_queries(&rule).satisfied;
+            let out = correct(&q, &schema);
+            prop_assert_eq!(out.original_class, QueryClass::Correct);
+            prop_assert_eq!(out.final_class, QueryClass::Correct);
+            prop_assert!(!out.changed);
+        }
+    }
+}

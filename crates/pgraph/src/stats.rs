@@ -1,0 +1,104 @@
+//! Dataset-level statistics — the quantities reported in the paper's
+//! Table 1 (nodes, edges, node labels, edge labels) plus degree
+//! summaries used by the workload generators' self-checks.
+
+use crate::graph::PropertyGraph;
+
+/// Table-1 style summary of a property graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub node_labels: usize,
+    pub edge_labels: usize,
+}
+
+impl GraphStats {
+    /// Computes the summary.
+    pub fn of(g: &PropertyGraph) -> Self {
+        GraphStats {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            node_labels: g.node_labels().len(),
+            edge_labels: g.edge_labels().len(),
+        }
+    }
+}
+
+/// Degree distribution summary (min/max/mean out-degree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    pub min_out: usize,
+    pub max_out: usize,
+    pub mean_out: f64,
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Computes out-degree statistics; `isolated` counts nodes with
+    /// neither in- nor out-edges.
+    pub fn of(g: &PropertyGraph) -> Self {
+        let n = g.node_count();
+        if n == 0 {
+            return DegreeStats { min_out: 0, max_out: 0, mean_out: 0.0, isolated: 0 };
+        }
+        let mut min_out = usize::MAX;
+        let mut max_out = 0usize;
+        let mut sum = 0usize;
+        let mut isolated = 0usize;
+        for node in g.nodes() {
+            let d = g.out_degree(node.id);
+            min_out = min_out.min(d);
+            max_out = max_out.max(d);
+            sum += d;
+            if d == 0 && g.in_degree(node.id) == 0 {
+                isolated += 1;
+            }
+        }
+        DegreeStats { min_out, max_out, mean_out: sum as f64 / n as f64, isolated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyMap;
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = PropertyGraph::new();
+        assert_eq!(
+            GraphStats::of(&g),
+            GraphStats { nodes: 0, edges: 0, node_labels: 0, edge_labels: 0 }
+        );
+        assert_eq!(DegreeStats::of(&g).isolated, 0);
+    }
+
+    #[test]
+    fn stats_counts_labels_not_nodes() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["A"], PropertyMap::new());
+        let b = g.add_node(["A", "B"], PropertyMap::new());
+        g.add_edge(a, b, "E", PropertyMap::new());
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.node_labels, 2);
+        assert_eq!(s.edge_labels, 1);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["A"], PropertyMap::new());
+        let b = g.add_node(["A"], PropertyMap::new());
+        let _lone = g.add_node(["A"], PropertyMap::new());
+        g.add_edge(a, b, "E", PropertyMap::new());
+        g.add_edge(a, b, "E", PropertyMap::new());
+        let d = DegreeStats::of(&g);
+        assert_eq!(d.max_out, 2);
+        assert_eq!(d.min_out, 0);
+        assert_eq!(d.isolated, 1);
+        assert!((d.mean_out - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property values.
+//!
+//! The value model mirrors what the paper's datasets actually store in
+//! Neo4j: booleans, integers, floats, strings, timestamps and lists.
+//! `Value::Null` participates in three-valued logic inside the Cypher
+//! engine (`grm-cypher`), which is how hallucinated properties surface
+//! as silently-empty results rather than hard errors — the behaviour
+//! §4.4 of the paper relies on.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A property value attached to a node or an edge.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Absent / unknown value (SQL-style three-valued logic).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Timestamp as seconds since the Unix epoch. Neo4j's `datetime`
+    /// is richer; epoch seconds preserve everything the paper's
+    /// temporal rules ("a retweet can occur only after the original
+    /// tweet") need: a total order.
+    DateTime(i64),
+    /// Heterogeneous list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable type name, used in schema reports and error
+    /// messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Bool(_) => "BOOLEAN",
+            Value::Int(_) => "INTEGER",
+            Value::Float(_) => "FLOAT",
+            Value::Str(_) => "STRING",
+            Value::DateTime(_) => "DATETIME",
+            Value::List(_) => "LIST",
+        }
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for boolean contexts. `Null` is neither true nor
+    /// false (returns `None`), any non-`Bool` value is an error
+    /// surfaced as `None` as well — the Cypher executor treats it as
+    /// "unknown", matching Neo4j's lenient `WHERE` semantics.
+    pub fn as_truth(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            _ => None,
+        }
+    }
+
+    /// Numeric view for arithmetic and ordered comparison.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::DateTime(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Cypher-style equality: `Null = anything` is unknown (`None`);
+    /// numbers compare across `Int`/`Float`; otherwise same-variant
+    /// structural equality.
+    pub fn cypher_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x == y),
+                _ => Some(a == b),
+            },
+        }
+    }
+
+    /// Cypher-style ordered comparison. `None` when either side is
+    /// `Null` or the two values are not comparable (e.g. string vs
+    /// int), which propagates as "unknown" in `WHERE`.
+    pub fn cypher_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// A stable key usable for grouping/DISTINCT. Floats are rendered
+    /// with full precision; lists recurse.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "∅".to_owned(),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Int(i) => format!("i:{i}"),
+            Value::Float(f) => format!("f:{f}"),
+            Value::Str(s) => format!("s:{s}"),
+            Value::DateTime(t) => format!("t:{t}"),
+            Value::List(vs) => {
+                let inner: Vec<String> = vs.iter().map(Value::group_key).collect();
+                format!("l:[{}]", inner.join(","))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders a Cypher-compatible literal; used by the text encoders
+    /// so the simulated LLM "sees" values the way a prompt would.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "\\'")),
+            Value::DateTime(t) => write!(f, "datetime({t})"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_equality_is_unknown() {
+        assert_eq!(Value::Null.cypher_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).cypher_eq(&Value::Null), None);
+        assert_eq!(Value::Null.cypher_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn numeric_equality_crosses_int_float() {
+        assert_eq!(Value::Int(2).cypher_eq(&Value::Float(2.0)), Some(true));
+        assert_eq!(Value::Int(2).cypher_eq(&Value::Float(2.5)), Some(false));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::from("abc").cypher_cmp(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_yield_unknown() {
+        assert_eq!(Value::from("a").cypher_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn datetime_orders_like_integers() {
+        assert_eq!(
+            Value::DateTime(10).cypher_cmp(&Value::DateTime(20)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn display_renders_cypher_literals() {
+        assert_eq!(Value::from("o'neil").to_string(), "'o\\'neil'");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::from("x")]).to_string(),
+            "[1, 'x']"
+        );
+    }
+
+    #[test]
+    fn group_keys_distinguish_types() {
+        assert_ne!(Value::Int(1).group_key(), Value::from("1").group_key());
+        assert_ne!(Value::Bool(true).group_key(), Value::from("true").group_key());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Bool(true).as_truth(), Some(true));
+        assert_eq!(Value::Null.as_truth(), None);
+        assert_eq!(Value::Int(1).as_truth(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the value model and the graph store.
+
+use grm_pgraph::{props, PropertyGraph, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _.-]{0,16}".prop_map(Value::Str),
+        any::<i32>().prop_map(|t| Value::DateTime(i64::from(t))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cypher_eq_is_symmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cypher_eq(&b), b.cypher_eq(&a));
+    }
+
+    #[test]
+    fn cypher_eq_is_reflexive_for_non_null(v in arb_value()) {
+        prop_assume!(!v.is_null());
+        // NaN never occurs in our float range.
+        prop_assert_eq!(v.cypher_eq(&v), Some(true));
+    }
+
+    #[test]
+    fn cypher_cmp_antisymmetric(a in arb_value(), b in arb_value()) {
+        if let (Some(x), Some(y)) = (a.cypher_cmp(&b), b.cypher_cmp(&a)) {
+            prop_assert_eq!(x, y.reverse());
+        }
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown(v in arb_value()) {
+        prop_assert_eq!(Value::Null.cypher_eq(&v), None);
+        prop_assert_eq!(v.cypher_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn group_key_agrees_with_equality_same_type(a in any::<i64>(), b in any::<i64>()) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        prop_assert_eq!(va.group_key() == vb.group_key(), a == b);
+    }
+
+    #[test]
+    fn display_never_panics(v in arb_value()) {
+        let _ = v.to_string();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random graph construction keeps all indexes consistent.
+    #[test]
+    fn store_indexes_stay_consistent(
+        node_labels in prop::collection::vec("[A-Z][a-z]{0,4}", 1..20),
+        edge_specs in prop::collection::vec((any::<u16>(), any::<u16>(), "[A-Z]{1,4}"), 0..40),
+    ) {
+        let mut g = PropertyGraph::new();
+        for (i, l) in node_labels.iter().enumerate() {
+            g.add_node([l.as_str()], props([("id", i as i64)]));
+        }
+        let n = g.node_count() as u16;
+        for (s, d, l) in &edge_specs {
+            let src = grm_pgraph::NodeId(u32::from(s % n));
+            let dst = grm_pgraph::NodeId(u32::from(d % n));
+            g.add_edge(src, dst, l.as_str(), Default::default());
+        }
+
+        // Label index == full scan, for every label.
+        for label in g.node_labels() {
+            let via_index: Vec<_> = g.nodes_with_label(&label).map(|x| x.id).collect();
+            let via_scan: Vec<_> =
+                g.nodes().filter(|x| x.has_label(&label)).map(|x| x.id).collect();
+            prop_assert_eq!(via_index, via_scan);
+        }
+        for label in g.edge_labels() {
+            prop_assert_eq!(
+                g.edges_with_label(&label).count(),
+                g.edges().filter(|e| e.label == label).count()
+            );
+        }
+        // Degrees sum to edge count on both sides.
+        let out_sum: usize = g.nodes().map(|x| g.out_degree(x.id)).sum();
+        let in_sum: usize = g.nodes().map(|x| g.in_degree(x.id)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    /// Schema inference presence counts never exceed label totals.
+    #[test]
+    fn schema_presence_is_bounded(
+        keys in prop::collection::vec("[a-z]{1,6}", 1..6),
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 1..6), 1..20),
+    ) {
+        let mut g = PropertyGraph::new();
+        for row in &rows {
+            let mut p = grm_pgraph::PropertyMap::new();
+            for (k, present) in keys.iter().zip(row) {
+                if *present {
+                    p.insert(k.clone(), Value::Int(1));
+                }
+            }
+            g.add_node(["N"], p);
+        }
+        let schema = grm_pgraph::GraphSchema::infer(&g);
+        if let Some(per_label) = schema.node_props.get("N") {
+            for stats in per_label.values() {
+                prop_assert!(stats.present <= stats.total);
+                prop_assert!(stats.distinct <= stats.present);
+                prop_assert!((0.0..=1.0).contains(&stats.presence_ratio()));
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal RFC-4180-style CSV reader and typed row parsing.
+//!
+//! Supports quoted fields, embedded commas, doubled-quote escapes,
+//! and both `\n` and `\r\n` line endings — enough to ingest the flat
+//! exports the paper's §5 relational scenario describes, without an
+//! external crate.
+
+use grm_pgraph::Value;
+
+use crate::schema::{ColumnType, TableSchema};
+
+/// A parse failure with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits CSV text into records of string fields.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                fields.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Consumed as part of \r\n; stray \r is ignored.
+            }
+            '\n' => {
+                fields.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut fields));
+                line += 1;
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !fields.is_empty() {
+        fields.push(field);
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+/// Parses one cell per the declared column type. Empty cells are
+/// `NULL` (the relational world's missing values become property-graph
+/// missing properties — which is what the mandatory-property rules
+/// then detect).
+pub fn parse_cell(raw: &str, ctype: ColumnType, line: usize) -> Result<Value, CsvError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    let err = |message: String| CsvError { line, message };
+    Ok(match ctype {
+        ColumnType::Int => Value::Int(
+            raw.parse().map_err(|_| err(format!("bad integer {raw:?}")))?,
+        ),
+        ColumnType::Float => Value::Float(
+            raw.parse().map_err(|_| err(format!("bad float {raw:?}")))?,
+        ),
+        ColumnType::Text => Value::Str(raw.to_owned()),
+        ColumnType::Bool => match raw.to_ascii_lowercase().as_str() {
+            "true" | "1" | "yes" => Value::Bool(true),
+            "false" | "0" | "no" => Value::Bool(false),
+            other => return Err(err(format!("bad boolean {other:?}"))),
+        },
+        ColumnType::Timestamp => Value::DateTime(
+            raw.parse().map_err(|_| err(format!("bad timestamp {raw:?}")))?,
+        ),
+    })
+}
+
+/// Parses a CSV document (header + rows) against a table schema,
+/// returning typed rows aligned with `schema.columns`.
+pub fn parse_table(text: &str, schema: &TableSchema) -> Result<Vec<Vec<Value>>, CsvError> {
+    let records = parse_csv(text)?;
+    let Some((header, body)) = records.split_first() else {
+        return Ok(Vec::new());
+    };
+    // Map schema columns to CSV positions by header name.
+    let mut positions = Vec::with_capacity(schema.columns.len());
+    for c in &schema.columns {
+        let pos = header.iter().position(|h| h.trim() == c.name).ok_or(CsvError {
+            line: 1,
+            message: format!("missing column {:?} in header", c.name),
+        })?;
+        positions.push(pos);
+    }
+    let mut rows = Vec::with_capacity(body.len());
+    for (i, record) in body.iter().enumerate() {
+        let line = i + 2;
+        let mut row = Vec::with_capacity(schema.columns.len());
+        for (c, pos) in schema.columns.iter().zip(&positions) {
+            let raw = record.get(*pos).map(String::as_str).unwrap_or("");
+            row.push(parse_cell(raw, c.ctype, line)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    #[test]
+    fn plain_fields() {
+        let r = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let r = parse_csv("name,quote\n\"Smith, Jo\",\"she said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(r[1], vec!["Smith, Jo", "she said \"hi\""]);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let r = parse_csv("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn newline_inside_quotes() {
+        let r = parse_csv("a\n\"multi\nline\"\n").unwrap();
+        assert_eq!(r[1][0], "multi\nline");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn typed_cells() {
+        assert_eq!(parse_cell("42", ColumnType::Int, 1).unwrap(), Value::Int(42));
+        assert_eq!(parse_cell("3.5", ColumnType::Float, 1).unwrap(), Value::Float(3.5));
+        assert_eq!(parse_cell("yes", ColumnType::Bool, 1).unwrap(), Value::Bool(true));
+        assert_eq!(parse_cell("", ColumnType::Int, 1).unwrap(), Value::Null);
+        assert_eq!(
+            parse_cell("1600000000", ColumnType::Timestamp, 1).unwrap(),
+            Value::DateTime(1_600_000_000)
+        );
+        assert!(parse_cell("x", ColumnType::Int, 3).is_err());
+    }
+
+    #[test]
+    fn table_parsing_reorders_by_header() {
+        let schema = TableSchema::new("t", "id")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text);
+        // CSV column order differs from schema order.
+        let rows = parse_table("name,id\nAda,1\nBea,2\n", &schema).unwrap();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Str("Ada".into())]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn missing_header_column_is_error() {
+        let schema = TableSchema::new("t", "id").column("id", ColumnType::Int);
+        assert!(parse_table("nope\n1\n", &schema).is_err());
+    }
+
+    #[test]
+    fn empty_document() {
+        let schema = TableSchema::new("t", "id").column("id", ColumnType::Int);
+        assert!(parse_table("", &schema).unwrap().is_empty());
+    }
+}

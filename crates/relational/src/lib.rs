@@ -1,0 +1,43 @@
+//! # grm-relational — flat relational data as a property graph
+//!
+//! Implements the paper's §5 generalisation: "relational data can be
+//! seen as a graph structure, especially when organized following
+//! key-foreign key relationships. In this case, nodes represent
+//! entities, and edges represent relationships between them."
+//!
+//! * [`schema`] — tables, typed columns, primary keys, foreign keys,
+//!   with referential validation;
+//! * [`csv`] — a minimal RFC-4180 reader and typed cell parsing
+//!   (empty cells become `NULL`, i.e. missing graph properties);
+//! * [`convert`] — rows → labelled nodes, key–foreign-key pairs →
+//!   directed edges, with dangling references and bad keys *reported
+//!   rather than repaired* — they are exactly the inconsistencies the
+//!   mining pipeline exists to find.
+//!
+//! ```
+//! use grm_relational::{import, ColumnType, Database, TableSchema};
+//! use std::collections::HashMap;
+//!
+//! let db = Database::new()
+//!     .table(TableSchema::new("users", "id").column("id", ColumnType::Int))
+//!     .table(
+//!         TableSchema::new("posts", "id")
+//!             .column("id", ColumnType::Int)
+//!             .column("user_id", ColumnType::Int)
+//!             .foreign_key("user_id", "users", "id", "AUTHORED_BY"),
+//!     );
+//! let mut data = HashMap::new();
+//! data.insert("users".into(), "id\n1\n".to_owned());
+//! data.insert("posts".into(), "id,user_id\n7,1\n".to_owned());
+//! let (graph, report) = import(&db, &data).unwrap();
+//! assert_eq!(report.edges, 1);
+//! assert_eq!(graph.edge_label_count("AUTHORED_BY"), 1);
+//! ```
+
+pub mod convert;
+pub mod csv;
+pub mod schema;
+
+pub use convert::{import, ImportError, ImportReport};
+pub use csv::{parse_cell, parse_csv, parse_table, CsvError};
+pub use schema::{Column, ColumnType, Database, ForeignKey, SchemaError, TableSchema};

@@ -1,0 +1,276 @@
+//! Relational schema model: tables, typed columns, primary keys, and
+//! key–foreign-key relationships — the structure §5 of the paper says
+//! the pipeline generalises to ("relational data can be seen as a
+//! graph structure, especially when organized following key-foreign
+//! key relationships").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Column data types recognised by the importer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Text,
+    Bool,
+    /// Epoch seconds.
+    Timestamp,
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ctype: ColumnType,
+}
+
+/// A key–foreign-key reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in this table.
+    pub column: String,
+    /// Referenced table.
+    pub references_table: String,
+    /// Referenced column (must be that table's primary key).
+    pub references_column: String,
+    /// Relationship type of the resulting edge, e.g. `PLACED_BY`.
+    pub edge_label: String,
+}
+
+/// One table's schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Primary-key column (single-column keys, as in the paper's
+    /// examples).
+    pub primary_key: String,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Builder-style constructor.
+    pub fn new(name: impl Into<String>, primary_key: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: primary_key.into(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Adds a column.
+    pub fn column(mut self, name: impl Into<String>, ctype: ColumnType) -> Self {
+        self.columns.push(Column { name: name.into(), ctype });
+        self
+    }
+
+    /// Adds a foreign key.
+    pub fn foreign_key(
+        mut self,
+        column: impl Into<String>,
+        references_table: impl Into<String>,
+        references_column: impl Into<String>,
+        edge_label: impl Into<String>,
+    ) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            column: column.into(),
+            references_table: references_table.into(),
+            references_column: references_column.into(),
+            edge_label: edge_label.into(),
+        });
+        self
+    }
+
+    /// Index of `name` in the column list.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// Schema validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    DuplicateTable(String),
+    DuplicateColumn { table: String, column: String },
+    MissingPrimaryKey { table: String, column: String },
+    UnknownFkColumn { table: String, column: String },
+    UnknownFkTable { table: String, references: String },
+    FkTargetNotPrimaryKey { table: String, references: String, column: String },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateTable(t) => write!(f, "duplicate table {t}"),
+            SchemaError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column {table}.{column}")
+            }
+            SchemaError::MissingPrimaryKey { table, column } => {
+                write!(f, "primary key {table}.{column} is not a declared column")
+            }
+            SchemaError::UnknownFkColumn { table, column } => {
+                write!(f, "foreign key column {table}.{column} is not declared")
+            }
+            SchemaError::UnknownFkTable { table, references } => {
+                write!(f, "table {table} references unknown table {references}")
+            }
+            SchemaError::FkTargetNotPrimaryKey { table, references, column } => write!(
+                f,
+                "table {table} references {references}.{column}, which is not its primary key"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A whole relational schema.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// Tables, keyed by name (deterministic iteration).
+    pub tables: BTreeMap<String, TableSchema>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table schema.
+    pub fn table(mut self, schema: TableSchema) -> Self {
+        self.tables.insert(schema.name.clone(), schema);
+        self
+    }
+
+    /// Validates referential structure: primary keys exist, FK
+    /// columns exist, FK targets are primary keys of known tables.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        for (name, table) in &self.tables {
+            let mut seen = std::collections::HashSet::new();
+            for c in &table.columns {
+                if !seen.insert(&c.name) {
+                    return Err(SchemaError::DuplicateColumn {
+                        table: name.clone(),
+                        column: c.name.clone(),
+                    });
+                }
+            }
+            if table.column_index(&table.primary_key).is_none() {
+                return Err(SchemaError::MissingPrimaryKey {
+                    table: name.clone(),
+                    column: table.primary_key.clone(),
+                });
+            }
+            for fk in &table.foreign_keys {
+                if table.column_index(&fk.column).is_none() {
+                    return Err(SchemaError::UnknownFkColumn {
+                        table: name.clone(),
+                        column: fk.column.clone(),
+                    });
+                }
+                let Some(target) = self.tables.get(&fk.references_table) else {
+                    return Err(SchemaError::UnknownFkTable {
+                        table: name.clone(),
+                        references: fk.references_table.clone(),
+                    });
+                };
+                if target.primary_key != fk.references_column {
+                    return Err(SchemaError::FkTargetNotPrimaryKey {
+                        table: name.clone(),
+                        references: fk.references_table.clone(),
+                        column: fk.references_column.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_db() -> Database {
+        Database::new()
+            .table(
+                TableSchema::new("customers", "id")
+                    .column("id", ColumnType::Int)
+                    .column("name", ColumnType::Text),
+            )
+            .table(
+                TableSchema::new("orders", "id")
+                    .column("id", ColumnType::Int)
+                    .column("customer_id", ColumnType::Int)
+                    .column("total", ColumnType::Float)
+                    .foreign_key("customer_id", "customers", "id", "PLACED_BY"),
+            )
+    }
+
+    #[test]
+    fn valid_schema_passes() {
+        assert_eq!(orders_db().validate(), Ok(()));
+    }
+
+    #[test]
+    fn missing_pk_detected() {
+        let db = Database::new()
+            .table(TableSchema::new("t", "nope").column("id", ColumnType::Int));
+        assert!(matches!(db.validate(), Err(SchemaError::MissingPrimaryKey { .. })));
+    }
+
+    #[test]
+    fn unknown_fk_table_detected() {
+        let db = Database::new().table(
+            TableSchema::new("orders", "id")
+                .column("id", ColumnType::Int)
+                .column("x", ColumnType::Int)
+                .foreign_key("x", "ghosts", "id", "REFS"),
+        );
+        assert!(matches!(db.validate(), Err(SchemaError::UnknownFkTable { .. })));
+    }
+
+    #[test]
+    fn fk_must_point_at_primary_key() {
+        let db = Database::new()
+            .table(
+                TableSchema::new("customers", "id")
+                    .column("id", ColumnType::Int)
+                    .column("name", ColumnType::Text),
+            )
+            .table(
+                TableSchema::new("orders", "id")
+                    .column("id", ColumnType::Int)
+                    .column("customer_name", ColumnType::Text)
+                    .foreign_key("customer_name", "customers", "name", "PLACED_BY"),
+            );
+        assert!(matches!(db.validate(), Err(SchemaError::FkTargetNotPrimaryKey { .. })));
+    }
+
+    #[test]
+    fn duplicate_column_detected() {
+        let db = Database::new().table(
+            TableSchema::new("t", "id")
+                .column("id", ColumnType::Int)
+                .column("id", ColumnType::Text),
+        );
+        assert!(matches!(db.validate(), Err(SchemaError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn unknown_fk_column_detected() {
+        let db = Database::new()
+            .table(
+                TableSchema::new("customers", "id").column("id", ColumnType::Int),
+            )
+            .table(
+                TableSchema::new("orders", "id")
+                    .column("id", ColumnType::Int)
+                    .foreign_key("ghost", "customers", "id", "PLACED_BY"),
+            );
+        assert!(matches!(db.validate(), Err(SchemaError::UnknownFkColumn { .. })));
+    }
+}

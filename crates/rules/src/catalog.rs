@@ -1,0 +1,234 @@
+//! Catalogue of known complex (GFD-style) rules.
+//!
+//! The paper's complex rules are bespoke, dataset-specific patterns —
+//! a handful per dataset, discovered mostly by Mixtral (§4.3, §4.5).
+//! They are represented as [`ConsistencyRule::Custom`] values carrying
+//! their own metric queries. Centralising them here lets both the
+//! dataset generators (ground truth) and the LLM simulator (candidate
+//! pool) refer to the *same* rule objects, keyed by the schema
+//! elements they require.
+
+use grm_pgraph::GraphSchema;
+
+use crate::rule::{ConsistencyRule, RuleComplexity};
+
+/// §4.3: *"A player should be associated with a squad, and that squad
+/// should belong to the tournament for which the player has played a
+/// match"* — the complex WWC2019 rule the paper credits to Mixtral.
+pub fn squad_tournament_rule() -> ConsistencyRule {
+    ConsistencyRule::Custom {
+        id: "wwc-squad-tournament".into(),
+        nl: "A player should be associated with a squad, and that squad should \
+             belong to the tournament for which the player has played a match."
+            .into(),
+        satisfied: "MATCH (p:Person)-[:PLAYED_IN]->(m:Match)-[:IN_TOURNAMENT]->(t:Tournament) \
+                    MATCH (p)-[:IN_SQUAD]->(s:Squad)-[:FOR_TOURNAMENT]->(t) \
+                    RETURN COUNT(DISTINCT p.id) AS c"
+            .into(),
+        body: "MATCH (p:Person)-[:PLAYED_IN]->(m:Match)-[:IN_TOURNAMENT]->(t:Tournament) \
+               RETURN COUNT(DISTINCT p.id) AS c"
+            .into(),
+        head_total: "MATCH (p:Person)-[:PLAYED_IN]->(m:Match) RETURN COUNT(DISTINCT p.id) AS c"
+            .into(),
+        complexity: RuleComplexity::Pattern,
+    }
+}
+
+/// §4.5: *"each match must have a score for both teams if the score
+/// has been determined"* — approximated over the generated schema as
+/// "a match with a home team must have been played by someone".
+pub fn match_played_rule() -> ConsistencyRule {
+    ConsistencyRule::Custom {
+        id: "wwc-match-played".into(),
+        nl: "Each match with a home team should have at least one player who \
+             played in it."
+            .into(),
+        satisfied: "MATCH (tm:Team)-[:HOME_TEAM]->(m:Match)<-[:PLAYED_IN]-(p:Person) \
+                    RETURN COUNT(DISTINCT m.id) AS c"
+            .into(),
+        body: "MATCH (tm:Team)-[:HOME_TEAM]->(m:Match) RETURN COUNT(DISTINCT m.id) AS c".into(),
+        head_total: "MATCH (m:Match) RETURN COUNT(DISTINCT m.id) AS c".into(),
+        complexity: RuleComplexity::Pattern,
+    }
+}
+
+/// Cybersecurity: an admin session should belong to a user contained
+/// in some OU — a cross-relationship pattern in the BloodHound style.
+pub fn session_containment_rule() -> ConsistencyRule {
+    ConsistencyRule::Custom {
+        id: "cyber-session-containment".into(),
+        nl: "Every user with a session on a computer should be contained in an \
+             organizational unit."
+            .into(),
+        satisfied: "MATCH (c:Computer)-[:HAS_SESSION]->(u:User)<-[:CONTAINS]-(o:OU) \
+                    RETURN COUNT(DISTINCT u.id) AS c"
+            .into(),
+        body: "MATCH (c:Computer)-[:HAS_SESSION]->(u:User) RETURN COUNT(DISTINCT u.id) AS c"
+            .into(),
+        head_total: "MATCH (u:User) RETURN COUNT(DISTINCT u.id) AS c".into(),
+        complexity: RuleComplexity::Pattern,
+    }
+}
+
+/// Cybersecurity: every user belongs to some group, directly or via
+/// nested group membership — a variable-length (GED-style) pattern
+/// exercising the engine's `*1..3` paths.
+pub fn transitive_membership_rule() -> ConsistencyRule {
+    ConsistencyRule::Custom {
+        id: "cyber-transitive-membership".into(),
+        nl: "Every user should belong to at least one group, directly or through \
+             nested group membership."
+            .into(),
+        satisfied: "MATCH (u:User)-[:MEMBER_OF*1..3]->(g:Group) \
+                    RETURN COUNT(DISTINCT u) AS c"
+            .into(),
+        body: "MATCH (u:User) RETURN COUNT(*) AS c".into(),
+        head_total: "MATCH (u:User) RETURN COUNT(*) AS c".into(),
+        complexity: RuleComplexity::Pattern,
+    }
+}
+
+/// Twitter: a retweeted tweet should itself have an author — the
+/// "valid user who posted it" rule of the paper's introduction lifted
+/// to retweets.
+pub fn retweet_author_rule() -> ConsistencyRule {
+    ConsistencyRule::Custom {
+        id: "twitter-retweet-author".into(),
+        nl: "Every tweet that is retweeted should have a user who posted it.".into(),
+        satisfied: "MATCH (rt:Tweet)-[:RETWEETS]->(t:Tweet)<-[:POSTS]-(u:User) \
+                    RETURN COUNT(DISTINCT t.id) AS c"
+            .into(),
+        body: "MATCH (rt:Tweet)-[:RETWEETS]->(t:Tweet) RETURN COUNT(DISTINCT t.id) AS c".into(),
+        head_total: "MATCH (t:Tweet) RETURN COUNT(DISTINCT t.id) AS c".into(),
+        complexity: RuleComplexity::Pattern,
+    }
+}
+
+/// Complex rules whose required labels and relationship types are all
+/// present in `schema` — the candidate pool a complexity-seeking
+/// persona (Mixtral) draws from.
+pub fn available_complex_rules(schema: &GraphSchema) -> Vec<ConsistencyRule> {
+    let mut out = Vec::new();
+    let has = |labels: &[&str], etypes: &[&str]| {
+        labels.iter().all(|l| schema.has_node_label(l))
+            && etypes.iter().all(|t| schema.has_edge_label(t))
+    };
+    if has(
+        &["Person", "Match", "Tournament", "Squad"],
+        &["PLAYED_IN", "IN_TOURNAMENT", "IN_SQUAD", "FOR_TOURNAMENT"],
+    ) {
+        out.push(squad_tournament_rule());
+    }
+    if has(&["Team", "Match", "Person"], &["HOME_TEAM", "PLAYED_IN"]) {
+        out.push(match_played_rule());
+    }
+    if has(&["Computer", "User", "OU"], &["HAS_SESSION", "CONTAINS"]) {
+        out.push(session_containment_rule());
+    }
+    if has(&["User", "Group"], &["MEMBER_OF"]) {
+        out.push(transitive_membership_rule());
+    }
+    if has(&["Tweet", "User"], &["RETWEETS", "POSTS"]) {
+        out.push(retweet_author_rule());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_pgraph::{PropertyGraph, PropertyMap};
+
+    fn schema_with(labels: &[&str], etypes: &[&str]) -> GraphSchema {
+        let mut g = PropertyGraph::new();
+        let mut ids = Vec::new();
+        for l in labels {
+            ids.push(g.add_node([*l], PropertyMap::new()));
+        }
+        for (i, t) in etypes.iter().enumerate() {
+            let a = ids[i % ids.len()];
+            let b = ids[(i + 1) % ids.len()];
+            g.add_edge(a, b, *t, PropertyMap::new());
+        }
+        GraphSchema::infer(&g)
+    }
+
+    #[test]
+    fn wwc_schema_unlocks_squad_rule() {
+        let s = schema_with(
+            &["Person", "Match", "Tournament", "Squad", "Team"],
+            &["PLAYED_IN", "IN_TOURNAMENT", "IN_SQUAD", "FOR_TOURNAMENT", "HOME_TEAM"],
+        );
+        let rules = available_complex_rules(&s);
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")));
+    }
+
+    #[test]
+    fn twitter_schema_unlocks_retweet_rule() {
+        let s = schema_with(&["Tweet", "User"], &["RETWEETS", "POSTS"]);
+        let rules = available_complex_rules(&s);
+        assert_eq!(rules.len(), 1);
+    }
+
+    #[test]
+    fn empty_schema_unlocks_nothing() {
+        let s = GraphSchema::default();
+        assert!(available_complex_rules(&s).is_empty());
+    }
+
+    #[test]
+    fn partial_schema_does_not_unlock() {
+        // Missing FOR_TOURNAMENT: no squad rule.
+        let s = schema_with(
+            &["Person", "Match", "Tournament", "Squad"],
+            &["PLAYED_IN", "IN_TOURNAMENT", "IN_SQUAD"],
+        );
+        assert!(available_complex_rules(&s)
+            .iter()
+            .all(|r| !matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")));
+    }
+}
+
+#[cfg(test)]
+mod var_length_tests {
+    use super::*;
+    use grm_cypher::execute;
+    use grm_pgraph::{props, PropertyGraph, Value};
+    use crate::queries::reference_queries;
+
+    #[test]
+    fn transitive_membership_counts_nested_members() {
+        let mut g = PropertyGraph::new();
+        let u1 = g.add_node(["User"], props([("id", Value::Int(1))]));
+        let u2 = g.add_node(["User"], props([("id", Value::Int(2))]));
+        let _u3 = g.add_node(["User"], props([("id", Value::Int(3))])); // no membership
+        let inner = g.add_node(["Group"], props([("id", Value::Int(10))]));
+        let outer = g.add_node(["Group"], props([("id", Value::Int(11))]));
+        g.add_edge(u1, inner, "MEMBER_OF", Default::default());
+        g.add_edge(inner, outer, "MEMBER_OF", Default::default());
+        // u2 is only a member through two levels of nesting.
+        let middle = g.add_node(["Group"], props([("id", Value::Int(12))]));
+        g.add_edge(u2, middle, "MEMBER_OF", Default::default());
+        g.add_edge(middle, inner, "MEMBER_OF", Default::default());
+
+        let q = reference_queries(&transitive_membership_rule());
+        let sat = execute(&g, &q.satisfied).unwrap().single_int().unwrap();
+        let body = execute(&g, &q.body).unwrap().single_int().unwrap();
+        assert_eq!(sat, 2, "u1 and u2 are (transitively) members");
+        assert_eq!(body, 3);
+    }
+
+    #[test]
+    fn cyber_schema_unlocks_transitive_rule() {
+        let mut g = PropertyGraph::new();
+        let u = g.add_node(["User"], Default::default());
+        let grp = g.add_node(["Group"], Default::default());
+        g.add_edge(u, grp, "MEMBER_OF", Default::default());
+        let rules = available_complex_rules(&grm_pgraph::GraphSchema::infer(&g));
+        assert!(rules.iter().any(
+            |r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "cyber-transitive-membership")
+        ));
+    }
+}

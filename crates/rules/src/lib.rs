@@ -1,0 +1,29 @@
+//! # grm-rules — the consistency-rule model
+//!
+//! Consistency rules over property graphs, in the GFD/GED spirit the
+//! paper targets (§3.2): a rule family enum covering every rule the
+//! paper quotes ([`rule::ConsistencyRule`]), a canonical
+//! natural-language dialect with round-trip parsing ([`nl`]) — the
+//! intermediate representation of the paper's two-step pipeline — and
+//! the *reference* Cypher translation used for metric evaluation
+//! ([`queries`]).
+//!
+//! ```
+//! use grm_rules::{from_nl, reference_queries, to_nl, ConsistencyRule};
+//!
+//! let rule = ConsistencyRule::UniqueProperty { label: "Tweet".into(), key: "id".into() };
+//! let nl = to_nl(&rule);
+//! assert_eq!(nl, "Each Tweet node should have a unique id property.");
+//! assert_eq!(from_nl(&nl), Some(rule.clone()));
+//! assert!(reference_queries(&rule).satisfied.contains("COUNT"));
+//! ```
+
+pub mod catalog;
+pub mod nl;
+pub mod queries;
+pub mod rule;
+
+pub use catalog::available_complex_rules;
+pub use nl::{from_nl, to_nl};
+pub use queries::{reference_queries, violation_query, RuleQueries};
+pub use rule::{ConsistencyRule, RuleComplexity};

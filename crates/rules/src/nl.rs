@@ -1,0 +1,340 @@
+//! Natural-language rendering and parsing of consistency rules.
+//!
+//! The paper's pipeline is two-step: the LLM first states rules *in
+//! natural language* ("this two-step procedure can ensure clarity to
+//! those who may not be familiar with Cypher", §3), then translates
+//! them to Cypher. Our simulated LLM speaks a canonical NL dialect —
+//! one fixed sentence template per rule family — and this module
+//! renders it ([`to_nl`]) and parses it back ([`from_nl`]).
+//!
+//! Round-trip invariant: `from_nl(&to_nl(r)) == Some(r)` for every
+//! non-[`Custom`](crate::rule::ConsistencyRule::Custom) rule; custom
+//! rules carry free-form NL and parse only as themselves via the
+//! pipeline's rule registry.
+
+use grm_pgraph::Value;
+
+use crate::rule::ConsistencyRule;
+
+/// Renders the canonical natural-language statement of a rule.
+pub fn to_nl(rule: &ConsistencyRule) -> String {
+    use ConsistencyRule::*;
+    match rule {
+        MandatoryProperty { label, key } => {
+            format!("Each {label} node should have a {key} property.")
+        }
+        UniqueProperty { label, key } => {
+            format!("Each {label} node should have a unique {key} property.")
+        }
+        PropertyValueIn { label, key, allowed } => {
+            let vals: Vec<String> = allowed.iter().map(Value::to_string).collect();
+            format!(
+                "The {key} property of {label} nodes should only be one of [{}].",
+                vals.join(", ")
+            )
+        }
+        PropertyRegex { label, key, pattern } => format!(
+            "The {key} property of {label} nodes should be a string matching the pattern '{pattern}'."
+        ),
+        PropertyRange { label, key, min, max } => format!(
+            "The {key} property of {label} nodes should be between {min} and {max}."
+        ),
+        EdgeEndpointLabels { etype, src_label, dst_label } => format!(
+            "Every {etype} relationship should connect a {src_label} node to a {dst_label} node."
+        ),
+        NoSelfLoop { label, etype } => {
+            format!("A {label} node cannot have a {etype} relationship to itself.")
+        }
+        IncomingExactlyOne { src_label, etype, dst_label } => format!(
+            "Each {dst_label} node should have exactly one incoming {etype} relationship from a {src_label} node."
+        ),
+        TemporalOrder { src_label, src_key, etype, dst_label, dst_key } => format!(
+            "For every {etype} relationship, the {src_key} of the source {src_label} should not be earlier than the {dst_key} of the target {dst_label}."
+        ),
+        PatternUniqueness { src_label, etype, dst_label, key } => format!(
+            "No two {etype} relationships between a {src_label} and a {dst_label} should have the same {key} property."
+        ),
+        Custom { nl, .. } => nl.clone(),
+    }
+}
+
+/// Parses the canonical NL dialect back into a rule. Returns `None`
+/// for free-form text (which the pipeline then treats as an
+/// unparseable / inaccurate rule, the paper's fourth failure mode).
+pub fn from_nl(text: &str) -> Option<ConsistencyRule> {
+    let t = text.trim();
+    let t = t.strip_suffix('.').unwrap_or(t);
+
+    // "Each {label} node should have a unique {key} property"
+    if let Some(rest) = t.strip_prefix("Each ") {
+        if let Some((label, rest)) = rest.split_once(" node should have a unique ") {
+            let key = rest.strip_suffix(" property")?;
+            return Some(ConsistencyRule::UniqueProperty {
+                label: label.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        if let Some((label, rest)) = rest.split_once(" node should have a ") {
+            let key = rest.strip_suffix(" property")?;
+            return Some(ConsistencyRule::MandatoryProperty {
+                label: label.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        // "Each {dst} node should have exactly one incoming {etype}
+        // relationship from a {src} node"
+        if let Some((dst, rest)) =
+            rest.split_once(" node should have exactly one incoming ")
+        {
+            let (etype, rest) = rest.split_once(" relationship from a ")?;
+            let src = rest.strip_suffix(" node")?;
+            return Some(ConsistencyRule::IncomingExactlyOne {
+                src_label: src.to_owned(),
+                etype: etype.to_owned(),
+                dst_label: dst.to_owned(),
+            });
+        }
+        return None;
+    }
+
+    // "The {key} property of {label} nodes should ..."
+    if let Some(rest) = t.strip_prefix("The ") {
+        let (key, rest) = rest.split_once(" property of ")?;
+        let (label, rest) = rest.split_once(" nodes should ")?;
+        if let Some(list) = rest.strip_prefix("only be one of [") {
+            let list = list.strip_suffix(']')?;
+            let allowed = parse_value_list(list)?;
+            return Some(ConsistencyRule::PropertyValueIn {
+                label: label.to_owned(),
+                key: key.to_owned(),
+                allowed,
+            });
+        }
+        if let Some(pat) = rest.strip_prefix("be a string matching the pattern '") {
+            let pattern = pat.strip_suffix('\'')?;
+            return Some(ConsistencyRule::PropertyRegex {
+                label: label.to_owned(),
+                key: key.to_owned(),
+                pattern: pattern.to_owned(),
+            });
+        }
+        if let Some(range) = rest.strip_prefix("be between ") {
+            let (min, max) = range.split_once(" and ")?;
+            return Some(ConsistencyRule::PropertyRange {
+                label: label.to_owned(),
+                key: key.to_owned(),
+                min: min.trim().parse().ok()?,
+                max: max.trim().parse().ok()?,
+            });
+        }
+        return None;
+    }
+
+    // "Every {etype} relationship should connect a {src} node to a {dst} node"
+    if let Some(rest) = t.strip_prefix("Every ") {
+        let (etype, rest) = rest.split_once(" relationship should connect a ")?;
+        let (src, rest) = rest.split_once(" node to a ")?;
+        let dst = rest.strip_suffix(" node")?;
+        return Some(ConsistencyRule::EdgeEndpointLabels {
+            etype: etype.to_owned(),
+            src_label: src.to_owned(),
+            dst_label: dst.to_owned(),
+        });
+    }
+
+    // "A {label} node cannot have a {etype} relationship to itself"
+    if let Some(rest) = t.strip_prefix("A ") {
+        let (label, rest) = rest.split_once(" node cannot have a ")?;
+        let etype = rest.strip_suffix(" relationship to itself")?;
+        return Some(ConsistencyRule::NoSelfLoop {
+            label: label.to_owned(),
+            etype: etype.to_owned(),
+        });
+    }
+
+    // "For every {etype} relationship, the {src_key} of the source
+    // {src} should not be earlier than the {dst_key} of the target {dst}"
+    if let Some(rest) = t.strip_prefix("For every ") {
+        let (etype, rest) = rest.split_once(" relationship, the ")?;
+        let (src_key, rest) = rest.split_once(" of the source ")?;
+        let (src, rest) = rest.split_once(" should not be earlier than the ")?;
+        let (dst_key, dst) = rest.split_once(" of the target ")?;
+        return Some(ConsistencyRule::TemporalOrder {
+            src_label: src.to_owned(),
+            src_key: src_key.to_owned(),
+            etype: etype.to_owned(),
+            dst_label: dst.to_owned(),
+            dst_key: dst_key.to_owned(),
+        });
+    }
+
+    // "No two {etype} relationships between a {src} and a {dst}
+    // should have the same {key} property"
+    if let Some(rest) = t.strip_prefix("No two ") {
+        let (etype, rest) = rest.split_once(" relationships between a ")?;
+        let (src, rest) = rest.split_once(" and a ")?;
+        let (dst, rest) = rest.split_once(" should have the same ")?;
+        let key = rest.strip_suffix(" property")?;
+        return Some(ConsistencyRule::PatternUniqueness {
+            src_label: src.to_owned(),
+            etype: etype.to_owned(),
+            dst_label: dst.to_owned(),
+            key: key.to_owned(),
+        });
+    }
+
+    None
+}
+
+/// Parses a comma-separated literal list: `true, false` / `'a', 'b'` /
+/// `1, 2, 3`.
+fn parse_value_list(s: &str) -> Option<Vec<Value>> {
+    let mut out = Vec::new();
+    for part in split_top_level(s) {
+        let part = part.trim();
+        let v = if part == "true" {
+            Value::Bool(true)
+        } else if part == "false" {
+            Value::Bool(false)
+        } else if part == "null" {
+            Value::Null
+        } else if let Some(inner) = part.strip_prefix('\'').and_then(|p| p.strip_suffix('\'')) {
+            Value::Str(inner.replace("\\'", "'"))
+        } else if let Ok(i) = part.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(f) = part.parse::<f64>() {
+            Value::Float(f)
+        } else {
+            return None;
+        };
+        out.push(v);
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Splits on commas that are not inside single quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 1,
+            b'\'' => depth_quote = !depth_quote,
+            b',' if !depth_quote => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleComplexity;
+
+    fn roundtrip(rule: ConsistencyRule) {
+        let nl = to_nl(&rule);
+        let parsed = from_nl(&nl).unwrap_or_else(|| panic!("failed to parse: {nl}"));
+        assert_eq!(parsed, rule, "NL was: {nl}");
+    }
+
+    #[test]
+    fn roundtrip_all_template_rules() {
+        roundtrip(ConsistencyRule::MandatoryProperty {
+            label: "Match".into(),
+            key: "date".into(),
+        });
+        roundtrip(ConsistencyRule::UniqueProperty { label: "Tweet".into(), key: "id".into() });
+        roundtrip(ConsistencyRule::PropertyValueIn {
+            label: "Computer".into(),
+            key: "owned".into(),
+            allowed: vec![Value::Bool(true), Value::Bool(false)],
+        });
+        roundtrip(ConsistencyRule::PropertyRegex {
+            label: "Domain".into(),
+            key: "name".into(),
+            pattern: r"^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$".into(),
+        });
+        roundtrip(ConsistencyRule::PropertyRange {
+            label: "User".into(),
+            key: "followers".into(),
+            min: 0,
+            max: 1_000_000,
+        });
+        roundtrip(ConsistencyRule::EdgeEndpointLabels {
+            etype: "POSTS".into(),
+            src_label: "User".into(),
+            dst_label: "Tweet".into(),
+        });
+        roundtrip(ConsistencyRule::NoSelfLoop {
+            label: "User".into(),
+            etype: "FOLLOWS".into(),
+        });
+        roundtrip(ConsistencyRule::IncomingExactlyOne {
+            src_label: "User".into(),
+            etype: "POSTS".into(),
+            dst_label: "Tweet".into(),
+        });
+        roundtrip(ConsistencyRule::TemporalOrder {
+            src_label: "Tweet".into(),
+            src_key: "created_at".into(),
+            etype: "RETWEETS".into(),
+            dst_label: "Tweet".into(),
+            dst_key: "created_at".into(),
+        });
+        roundtrip(ConsistencyRule::PatternUniqueness {
+            src_label: "Person".into(),
+            etype: "SCORED_GOAL".into(),
+            dst_label: "Match".into(),
+            key: "minute".into(),
+        });
+    }
+
+    #[test]
+    fn custom_rules_render_their_own_text() {
+        let rule = ConsistencyRule::Custom {
+            id: "wwc-squad".into(),
+            nl: "A player should be associated with a squad, and that squad should belong to the tournament for which the player has played a match.".into(),
+            satisfied: "RETURN 0 AS c".into(),
+            body: "RETURN 0 AS c".into(),
+            head_total: "RETURN 0 AS c".into(),
+            complexity: RuleComplexity::Pattern,
+        };
+        assert!(to_nl(&rule).contains("squad"));
+        // Free-form text does not parse back as a template rule.
+        assert_eq!(from_nl(&to_nl(&rule)), None);
+    }
+
+    #[test]
+    fn string_value_domains_roundtrip() {
+        roundtrip(ConsistencyRule::PropertyValueIn {
+            label: "Match".into(),
+            key: "stage".into(),
+            allowed: vec![Value::from("Group"), Value::from("Final, really")],
+        });
+    }
+
+    #[test]
+    fn garbage_does_not_parse() {
+        assert_eq!(from_nl("The graph looks consistent to me!"), None);
+        assert_eq!(from_nl(""), None);
+        assert_eq!(from_nl("Each node should have."), None);
+    }
+
+    #[test]
+    fn trailing_period_is_optional() {
+        assert!(from_nl("Each Tweet node should have a unique id property").is_some());
+    }
+}

@@ -1,0 +1,477 @@
+//! Reference Cypher translation of consistency rules.
+//!
+//! §4.2 of the paper adapts AMIE's measures to property graphs:
+//!
+//! * **support** — "the number of elements in the graph that satisfy a
+//!   given rule";
+//! * **coverage** — support normalised "by the total number of facts
+//!   for the relation in question";
+//! * **confidence** — satisfying elements over "the number of times
+//!   the rule's body conditions are met".
+//!
+//! Accordingly every rule translates to **three count queries**
+//! ([`RuleQueries`]): `satisfied`, `body`, and `head_total`, each of
+//! the shape `... RETURN COUNT(*) AS c`. `grm-metrics` executes them
+//! and forms `support = satisfied`, `coverage = satisfied/head_total`,
+//! `confidence = satisfied/body`.
+//!
+//! These are the *reference* (correct) translations — the equivalent
+//! of the paper's manually corrected queries. The error-prone
+//! LLM-side translation lives in `grm-llm`.
+
+use std::fmt::Write as _;
+
+use grm_pgraph::Value;
+
+use crate::rule::ConsistencyRule;
+
+/// The three metric queries of a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleQueries {
+    /// Counts elements satisfying the rule (numerator everywhere).
+    pub satisfied: String,
+    /// Counts elements where the rule's body applies.
+    pub body: String,
+    /// Counts all facts of the head relation.
+    pub head_total: String,
+}
+
+fn value_list(vals: &[Value]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Builds the reference metric queries for `rule`.
+pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
+    use ConsistencyRule::*;
+    match rule {
+        MandatoryProperty { label, key } => RuleQueries {
+            satisfied: format!(
+                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
+            ),
+            body: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
+            head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
+        },
+        UniqueProperty { label, key } => RuleQueries {
+            satisfied: format!(
+                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL \
+                 WITH n.{key} AS v, COUNT(*) AS c WHERE c = 1 RETURN COUNT(*) AS c"
+            ),
+            body: format!(
+                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
+            ),
+            head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
+        },
+        PropertyValueIn { label, key, allowed } => RuleQueries {
+            satisfied: format!(
+                "MATCH (n:{label}) WHERE n.{key} IN {} RETURN COUNT(*) AS c",
+                value_list(allowed)
+            ),
+            body: format!(
+                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
+            ),
+            head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
+        },
+        PropertyRegex { label, key, pattern } => RuleQueries {
+            satisfied: format!(
+                "MATCH (n:{label}) WHERE n.{key} =~ '{}' RETURN COUNT(*) AS c",
+                pattern.replace('\'', "\\'")
+            ),
+            body: format!(
+                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
+            ),
+            head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
+        },
+        PropertyRange { label, key, min, max } => RuleQueries {
+            satisfied: format!(
+                "MATCH (n:{label}) WHERE n.{key} >= {min} AND n.{key} <= {max} \
+                 RETURN COUNT(*) AS c"
+            ),
+            body: format!(
+                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
+            ),
+            head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
+        },
+        EdgeEndpointLabels { etype, src_label, dst_label } => RuleQueries {
+            satisfied: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) RETURN COUNT(*) AS c"
+            ),
+            body: format!("MATCH ()-[r:{etype}]->() RETURN COUNT(*) AS c"),
+            head_total: format!("MATCH ()-[r:{etype}]->() RETURN COUNT(*) AS c"),
+        },
+        NoSelfLoop { label, etype } => RuleQueries {
+            satisfied: format!(
+                "MATCH (a:{label})-[r:{etype}]->(b) WHERE id(a) <> id(b) RETURN COUNT(*) AS c"
+            ),
+            body: format!("MATCH (a:{label})-[r:{etype}]->(b) RETURN COUNT(*) AS c"),
+            head_total: format!("MATCH (a:{label})-[r:{etype}]->(b) RETURN COUNT(*) AS c"),
+        },
+        IncomingExactlyOne { src_label, etype, dst_label } => RuleQueries {
+            satisfied: format!(
+                "MATCH (t:{dst_label}) OPTIONAL MATCH (s:{src_label})-[r:{etype}]->(t) \
+                 WITH t AS t, COUNT(r) AS c WHERE c = 1 RETURN COUNT(*) AS c"
+            ),
+            body: format!("MATCH (t:{dst_label}) RETURN COUNT(*) AS c"),
+            head_total: format!("MATCH (t:{dst_label}) RETURN COUNT(*) AS c"),
+        },
+        TemporalOrder { src_label, src_key, etype, dst_label, dst_key } => RuleQueries {
+            satisfied: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) \
+                 WHERE a.{src_key} >= b.{dst_key} RETURN COUNT(*) AS c"
+            ),
+            body: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) \
+                 WHERE a.{src_key} IS NOT NULL AND b.{dst_key} IS NOT NULL \
+                 RETURN COUNT(*) AS c"
+            ),
+            head_total: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) RETURN COUNT(*) AS c"
+            ),
+        },
+        PatternUniqueness { src_label, etype, dst_label, key } => RuleQueries {
+            satisfied: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) \
+                 WHERE r.{key} IS NOT NULL \
+                 WITH a AS a, b AS b, r.{key} AS v, COUNT(*) AS c WHERE c = 1 \
+                 RETURN COUNT(*) AS c"
+            ),
+            body: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) \
+                 WHERE r.{key} IS NOT NULL RETURN COUNT(*) AS c"
+            ),
+            head_total: format!(
+                "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) RETURN COUNT(*) AS c"
+            ),
+        },
+        Custom { satisfied, body, head_total, .. } => RuleQueries {
+            satisfied: satisfied.clone(),
+            body: body.clone(),
+            head_total: head_total.clone(),
+        },
+    }
+}
+
+/// A query listing (a count of) the rule's *violations*, for the
+/// data-auditing examples. `None` for custom rules, whose violation
+/// formulation is rule-specific.
+pub fn violation_query(rule: &ConsistencyRule) -> Option<String> {
+    use ConsistencyRule::*;
+    Some(match rule {
+        MandatoryProperty { label, key } => format!(
+            "MATCH (n:{label}) WHERE n.{key} IS NULL RETURN COUNT(*) AS violations"
+        ),
+        UniqueProperty { label, key } => format!(
+            "MATCH (n:{label}) WHERE n.{key} IS NOT NULL \
+             WITH n.{key} AS v, COUNT(*) AS c WHERE c > 1 RETURN SUM(c) AS violations"
+        ),
+        PropertyValueIn { label, key, allowed } => format!(
+            "MATCH (n:{label}) WHERE n.{key} IS NOT NULL AND NOT (n.{key} IN {}) \
+             RETURN COUNT(*) AS violations",
+            value_list(allowed)
+        ),
+        PropertyRegex { label, key, pattern } => format!(
+            "MATCH (n:{label}) WHERE n.{key} IS NOT NULL AND NOT (n.{key} =~ '{}') \
+             RETURN COUNT(*) AS violations",
+            pattern.replace('\'', "\\'")
+        ),
+        PropertyRange { label, key, min, max } => format!(
+            "MATCH (n:{label}) WHERE n.{key} IS NOT NULL \
+             AND (n.{key} < {min} OR n.{key} > {max}) RETURN COUNT(*) AS violations"
+        ),
+        NoSelfLoop { label, etype } => format!(
+            "MATCH (a:{label})-[r:{etype}]->(b) WHERE id(a) = id(b) \
+             RETURN COUNT(*) AS violations"
+        ),
+        TemporalOrder { src_label, src_key, etype, dst_label, dst_key } => format!(
+            "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) \
+             WHERE a.{src_key} < b.{dst_key} RETURN COUNT(*) AS violations"
+        ),
+        PatternUniqueness { src_label, etype, dst_label, key } => format!(
+            "MATCH (a:{src_label})-[r:{etype}]->(b:{dst_label}) \
+             WHERE r.{key} IS NOT NULL \
+             WITH a AS a, b AS b, r.{key} AS v, COUNT(*) AS c WHERE c > 1 \
+             RETURN SUM(c) AS violations"
+        ),
+        IncomingExactlyOne { src_label, etype, dst_label } => format!(
+            "MATCH (t:{dst_label}) OPTIONAL MATCH (s:{src_label})-[r:{etype}]->(t) \
+             WITH t AS t, COUNT(r) AS c WHERE c <> 1 RETURN COUNT(*) AS violations"
+        ),
+        EdgeEndpointLabels { .. } | Custom { .. } => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_cypher::execute;
+    use grm_pgraph::{props, PropertyGraph};
+
+    /// A graph with known, countable violations.
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        // 3 tweets: unique ids except two share id 1; one missing text.
+        let t1 = g.add_node(
+            ["Tweet"],
+            props([("id", Value::Int(1)), ("created_at", Value::DateTime(100))]),
+        );
+        let t2 = g.add_node(
+            ["Tweet"],
+            props([
+                ("id", Value::Int(1)),
+                ("text", Value::from("hi")),
+                ("created_at", Value::DateTime(200)),
+            ]),
+        );
+        let t3 = g.add_node(
+            ["Tweet"],
+            props([
+                ("id", Value::Int(3)),
+                ("text", Value::from("yo")),
+                ("created_at", Value::DateTime(50)),
+            ]),
+        );
+        let u1 = g.add_node(["User"], props([("id", Value::Int(10))]));
+        let u2 = g.add_node(["User"], props([("id", Value::Int(11))]));
+        g.add_edge(u1, t1, "POSTS", Default::default());
+        g.add_edge(u1, t2, "POSTS", Default::default());
+        g.add_edge(u2, t3, "POSTS", Default::default());
+        // Retweets: t2 (ts 200) retweets t1 (ts 100) — fine.
+        // t3 (ts 50) retweets t1 (ts 100) — temporal violation.
+        g.add_edge(t2, t1, "RETWEETS", Default::default());
+        g.add_edge(t3, t1, "RETWEETS", Default::default());
+        // Self-follow violation.
+        g.add_edge(u1, u1, "FOLLOWS", Default::default());
+        g.add_edge(u1, u2, "FOLLOWS", Default::default());
+        g
+    }
+
+    fn count(g: &PropertyGraph, q: &str) -> i64 {
+        execute(g, q).unwrap().single_int().unwrap()
+    }
+
+    #[test]
+    fn mandatory_property_counts() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::MandatoryProperty {
+            label: "Tweet".into(),
+            key: "text".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 2);
+        assert_eq!(count(&g, &q.body), 3);
+        assert_eq!(count(&g, &q.head_total), 3);
+    }
+
+    #[test]
+    fn unique_property_counts() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::UniqueProperty {
+            label: "Tweet".into(),
+            key: "id".into(),
+        });
+        // ids: 1, 1, 3 → one singleton value.
+        assert_eq!(count(&g, &q.satisfied), 1);
+        assert_eq!(count(&g, &q.body), 3);
+    }
+
+    #[test]
+    fn no_self_loop_counts() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::NoSelfLoop {
+            label: "User".into(),
+            etype: "FOLLOWS".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 1);
+        assert_eq!(count(&g, &q.body), 2);
+    }
+
+    #[test]
+    fn temporal_order_counts() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::TemporalOrder {
+            src_label: "Tweet".into(),
+            src_key: "created_at".into(),
+            etype: "RETWEETS".into(),
+            dst_label: "Tweet".into(),
+            dst_key: "created_at".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 1);
+        assert_eq!(count(&g, &q.body), 2);
+    }
+
+    #[test]
+    fn incoming_exactly_one_counts() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::IncomingExactlyOne {
+            src_label: "User".into(),
+            etype: "POSTS".into(),
+            dst_label: "Tweet".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 3);
+        assert_eq!(count(&g, &q.body), 3);
+    }
+
+    #[test]
+    fn endpoint_labels_counts() {
+        let g = graph();
+        let q = reference_queries(&ConsistencyRule::EdgeEndpointLabels {
+            etype: "POSTS".into(),
+            src_label: "User".into(),
+            dst_label: "Tweet".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 3);
+        assert_eq!(count(&g, &q.body), 3);
+    }
+
+    #[test]
+    fn violation_queries_complement_satisfied() {
+        let g = graph();
+        for rule in [
+            ConsistencyRule::MandatoryProperty { label: "Tweet".into(), key: "text".into() },
+            ConsistencyRule::NoSelfLoop { label: "User".into(), etype: "FOLLOWS".into() },
+            ConsistencyRule::TemporalOrder {
+                src_label: "Tweet".into(),
+                src_key: "created_at".into(),
+                etype: "RETWEETS".into(),
+                dst_label: "Tweet".into(),
+                dst_key: "created_at".into(),
+            },
+        ] {
+            let q = reference_queries(&rule);
+            let v = violation_query(&rule).unwrap();
+            let body = count(&g, &q.body);
+            let sat = count(&g, &q.satisfied);
+            let vio = count(&g, &v);
+            assert_eq!(body, sat + vio, "rule {rule:?}");
+        }
+    }
+
+    #[test]
+    fn value_domain_counts() {
+        let mut g = PropertyGraph::new();
+        g.add_node(["Computer"], props([("owned", Value::Bool(true))]));
+        g.add_node(["Computer"], props([("owned", Value::Bool(false))]));
+        g.add_node(["Computer"], props([("owned", Value::from("maybe"))]));
+        let q = reference_queries(&ConsistencyRule::PropertyValueIn {
+            label: "Computer".into(),
+            key: "owned".into(),
+            allowed: vec![Value::Bool(true), Value::Bool(false)],
+        });
+        assert_eq!(count(&g, &q.satisfied), 2);
+        assert_eq!(count(&g, &q.body), 3);
+    }
+
+    #[test]
+    fn regex_rule_counts() {
+        let mut g = PropertyGraph::new();
+        g.add_node(["Domain"], props([("name", "good.example.com")]));
+        g.add_node(["Domain"], props([("name", "bad domain")]));
+        let q = reference_queries(&ConsistencyRule::PropertyRegex {
+            label: "Domain".into(),
+            key: "name".into(),
+            pattern: r"^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 1);
+        assert_eq!(count(&g, &q.body), 2);
+    }
+
+    #[test]
+    fn range_rule_counts() {
+        let mut g = PropertyGraph::new();
+        g.add_node(["User"], props([("followers", Value::Int(5))]));
+        g.add_node(["User"], props([("followers", Value::Int(-2))]));
+        let q = reference_queries(&ConsistencyRule::PropertyRange {
+            label: "User".into(),
+            key: "followers".into(),
+            min: 0,
+            max: 1_000_000,
+        });
+        assert_eq!(count(&g, &q.satisfied), 1);
+        assert_eq!(count(&g, &q.body), 2);
+    }
+
+    #[test]
+    fn pattern_uniqueness_counts() {
+        let mut g = PropertyGraph::new();
+        let p = g.add_node(["Person"], props([("name", "Ada")]));
+        let m = g.add_node(["Match"], props([("id", "m1")]));
+        g.add_edge(p, m, "SCORED_GOAL", props([("minute", 10i64)]));
+        g.add_edge(p, m, "SCORED_GOAL", props([("minute", 10i64)]));
+        g.add_edge(p, m, "SCORED_GOAL", props([("minute", 80i64)]));
+        let q = reference_queries(&ConsistencyRule::PatternUniqueness {
+            src_label: "Person".into(),
+            etype: "SCORED_GOAL".into(),
+            dst_label: "Match".into(),
+            key: "minute".into(),
+        });
+        assert_eq!(count(&g, &q.satisfied), 1); // the 80' goal
+        assert_eq!(count(&g, &q.body), 3);
+        let v = violation_query(&ConsistencyRule::PatternUniqueness {
+            src_label: "Person".into(),
+            etype: "SCORED_GOAL".into(),
+            dst_label: "Match".into(),
+            key: "minute".into(),
+        })
+        .unwrap();
+        assert_eq!(count(&g, &v), 2);
+    }
+
+    #[test]
+    fn all_reference_queries_parse() {
+        use grm_cypher::parse;
+        let rules = [
+            ConsistencyRule::MandatoryProperty { label: "A".into(), key: "k".into() },
+            ConsistencyRule::UniqueProperty { label: "A".into(), key: "k".into() },
+            ConsistencyRule::PropertyValueIn {
+                label: "A".into(),
+                key: "k".into(),
+                allowed: vec![Value::Int(1)],
+            },
+            ConsistencyRule::PropertyRegex {
+                label: "A".into(),
+                key: "k".into(),
+                pattern: "x+".into(),
+            },
+            ConsistencyRule::PropertyRange { label: "A".into(), key: "k".into(), min: 0, max: 9 },
+            ConsistencyRule::EdgeEndpointLabels {
+                etype: "E".into(),
+                src_label: "A".into(),
+                dst_label: "B".into(),
+            },
+            ConsistencyRule::NoSelfLoop { label: "A".into(), etype: "E".into() },
+            ConsistencyRule::IncomingExactlyOne {
+                src_label: "A".into(),
+                etype: "E".into(),
+                dst_label: "B".into(),
+            },
+            ConsistencyRule::TemporalOrder {
+                src_label: "A".into(),
+                src_key: "t".into(),
+                etype: "E".into(),
+                dst_label: "B".into(),
+                dst_key: "t".into(),
+            },
+            ConsistencyRule::PatternUniqueness {
+                src_label: "A".into(),
+                etype: "E".into(),
+                dst_label: "B".into(),
+                key: "k".into(),
+            },
+        ];
+        for rule in &rules {
+            let q = reference_queries(rule);
+            for text in [&q.satisfied, &q.body, &q.head_total] {
+                parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            }
+            if let Some(v) = violation_query(rule) {
+                parse(&v).unwrap_or_else(|e| panic!("{v}: {e}"));
+            }
+        }
+    }
+}

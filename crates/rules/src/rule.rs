@@ -1,0 +1,244 @@
+//! The consistency-rule model.
+//!
+//! The paper asks LLMs for rules "in terms of graph functional and
+//! entity dependency rules" (§3.2) and observes (§4.5) that what comes
+//! back is mostly *schema-shaped*: primary keys, attribute uniqueness,
+//! mandatory properties, label enforcement — plus occasional complex
+//! patterns and temporal constraints. This enum covers every rule
+//! family quoted in the paper:
+//!
+//! | Variant | Paper example |
+//! |---|---|
+//! | [`ConsistencyRule::MandatoryProperty`] | "Each match node should have a date and stage property" |
+//! | [`ConsistencyRule::UniqueProperty`] | "Each tweet node should have a unique id property" |
+//! | [`ConsistencyRule::PropertyValueIn`] | "The owned property should only be True or False" |
+//! | [`ConsistencyRule::PropertyRegex`] | "The domain property should be a string value matching domain format" |
+//! | [`ConsistencyRule::PropertyRange`] | (schema-derived numeric bound) |
+//! | [`ConsistencyRule::EdgeEndpointLabels`] | label enforcement on relationships |
+//! | [`ConsistencyRule::NoSelfLoop`] | "users cannot follow themselves" |
+//! | [`ConsistencyRule::IncomingExactlyOne`] | "every tweet must be associated with a valid user who posted it" |
+//! | [`ConsistencyRule::TemporalOrder`] | "a retweet can occur only after the original tweet" |
+//! | [`ConsistencyRule::PatternUniqueness`] | "no two SCORED_GOAL relationships ... same minute property" |
+//! | [`ConsistencyRule::Custom`] | "a player should be associated with a squad, and that squad should belong to the tournament ..." |
+
+use grm_pgraph::Value;
+
+/// Coarse complexity classes, used for the §4.5 rule-type analysis
+/// (Llama-3 prefers `Schema`, Mixtral reaches for `Pattern` and
+/// `Temporal`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RuleComplexity {
+    /// Single-element schema constraints.
+    Schema,
+    /// Multi-element / graph-pattern constraints.
+    Pattern,
+    /// Constraints over timestamps or event ordering.
+    Temporal,
+}
+
+/// A consistency rule over a property graph.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ConsistencyRule {
+    /// Every node with `label` carries property `key`.
+    MandatoryProperty { label: String, key: String },
+    /// `key` is unique among nodes with `label` (primary-key style).
+    UniqueProperty { label: String, key: String },
+    /// `key` on `label` nodes takes only the listed values.
+    PropertyValueIn { label: String, key: String, allowed: Vec<Value> },
+    /// `key` on `label` nodes matches a regular expression.
+    PropertyRegex { label: String, key: String, pattern: String },
+    /// Numeric `key` on `label` nodes lies in `[min, max]`.
+    PropertyRange { label: String, key: String, min: i64, max: i64 },
+    /// Every `etype` relationship runs from a `src_label` node to a
+    /// `dst_label` node.
+    EdgeEndpointLabels { etype: String, src_label: String, dst_label: String },
+    /// No `etype` relationship connects a `label` node to itself.
+    NoSelfLoop { label: String, etype: String },
+    /// Every `dst_label` node has exactly one incoming `etype`
+    /// relationship from a `src_label` node.
+    IncomingExactlyOne { src_label: String, etype: String, dst_label: String },
+    /// For every `etype` edge, the source's `src_key` timestamp is
+    /// not earlier than the target's `dst_key` (e.g. retweet after
+    /// original tweet).
+    TemporalOrder {
+        src_label: String,
+        src_key: String,
+        etype: String,
+        dst_label: String,
+        dst_key: String,
+    },
+    /// No two `etype` relationships between the same `src_label` and
+    /// `dst_label` pair share the same `key` value.
+    PatternUniqueness {
+        src_label: String,
+        etype: String,
+        dst_label: String,
+        key: String,
+    },
+    /// A bespoke rule carrying its own natural language and metric
+    /// queries — how the rare complex GFD-style rules (e.g. the
+    /// WWC2019 player/squad/tournament rule) are represented.
+    Custom {
+        /// Short stable identifier for dedup.
+        id: String,
+        /// The natural-language statement.
+        nl: String,
+        /// Cypher counting elements satisfying the rule.
+        satisfied: String,
+        /// Cypher counting elements the rule's body matches.
+        body: String,
+        /// Cypher counting all facts of the head relation.
+        head_total: String,
+        /// Complexity class for the rule-type analysis.
+        complexity: RuleComplexity,
+    },
+}
+
+impl ConsistencyRule {
+    /// Complexity class of the rule.
+    pub fn complexity(&self) -> RuleComplexity {
+        use ConsistencyRule::*;
+        match self {
+            MandatoryProperty { .. }
+            | UniqueProperty { .. }
+            | PropertyValueIn { .. }
+            | PropertyRegex { .. }
+            | PropertyRange { .. }
+            | EdgeEndpointLabels { .. } => RuleComplexity::Schema,
+            NoSelfLoop { .. } | IncomingExactlyOne { .. } | PatternUniqueness { .. } => {
+                RuleComplexity::Pattern
+            }
+            TemporalOrder { .. } => RuleComplexity::Temporal,
+            Custom { complexity, .. } => *complexity,
+        }
+    }
+
+    /// Short kind name for reporting.
+    pub fn kind(&self) -> &'static str {
+        use ConsistencyRule::*;
+        match self {
+            MandatoryProperty { .. } => "mandatory-property",
+            UniqueProperty { .. } => "unique-property",
+            PropertyValueIn { .. } => "value-domain",
+            PropertyRegex { .. } => "regex",
+            PropertyRange { .. } => "range",
+            EdgeEndpointLabels { .. } => "endpoint-labels",
+            NoSelfLoop { .. } => "no-self-loop",
+            IncomingExactlyOne { .. } => "cardinality",
+            TemporalOrder { .. } => "temporal-order",
+            PatternUniqueness { .. } => "pattern-uniqueness",
+            Custom { .. } => "custom",
+        }
+    }
+
+    /// Stable deduplication key: two generations of the same logical
+    /// rule (e.g. from overlapping windows) collapse to one.
+    pub fn dedup_key(&self) -> String {
+        use ConsistencyRule::*;
+        match self {
+            MandatoryProperty { label, key } => format!("mand|{label}|{key}"),
+            UniqueProperty { label, key } => format!("uniq|{label}|{key}"),
+            PropertyValueIn { label, key, allowed } => {
+                let mut vals: Vec<String> = allowed.iter().map(Value::group_key).collect();
+                vals.sort();
+                format!("domain|{label}|{key}|{}", vals.join(","))
+            }
+            PropertyRegex { label, key, pattern } => format!("regex|{label}|{key}|{pattern}"),
+            PropertyRange { label, key, min, max } => {
+                format!("range|{label}|{key}|{min}|{max}")
+            }
+            EdgeEndpointLabels { etype, src_label, dst_label } => {
+                format!("endpoints|{etype}|{src_label}|{dst_label}")
+            }
+            NoSelfLoop { label, etype } => format!("noself|{label}|{etype}"),
+            IncomingExactlyOne { src_label, etype, dst_label } => {
+                format!("card|{src_label}|{etype}|{dst_label}")
+            }
+            TemporalOrder { src_label, src_key, etype, dst_label, dst_key } => {
+                format!("temporal|{src_label}|{src_key}|{etype}|{dst_label}|{dst_key}")
+            }
+            PatternUniqueness { src_label, etype, dst_label, key } => {
+                format!("patuniq|{src_label}|{etype}|{dst_label}|{key}")
+            }
+            Custom { id, .. } => format!("custom|{id}"),
+        }
+    }
+
+    /// Removes duplicate rules (first occurrence wins), preserving
+    /// order — the "combined to create a comprehensive set of rules"
+    /// step at the end of the sliding-window flow (§3.1.1).
+    pub fn dedup(rules: Vec<ConsistencyRule>) -> Vec<ConsistencyRule> {
+        let mut seen = std::collections::HashSet::new();
+        rules
+            .into_iter()
+            .filter(|r| seen.insert(r.dedup_key()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mand() -> ConsistencyRule {
+        ConsistencyRule::MandatoryProperty { label: "Match".into(), key: "date".into() }
+    }
+
+    #[test]
+    fn complexity_classes() {
+        assert_eq!(mand().complexity(), RuleComplexity::Schema);
+        assert_eq!(
+            ConsistencyRule::NoSelfLoop { label: "User".into(), etype: "FOLLOWS".into() }
+                .complexity(),
+            RuleComplexity::Pattern
+        );
+        assert_eq!(
+            ConsistencyRule::TemporalOrder {
+                src_label: "Tweet".into(),
+                src_key: "created_at".into(),
+                etype: "RETWEETS".into(),
+                dst_label: "Tweet".into(),
+                dst_key: "created_at".into(),
+            }
+            .complexity(),
+            RuleComplexity::Temporal
+        );
+    }
+
+    #[test]
+    fn dedup_collapses_identical_rules() {
+        let rules = vec![mand(), mand(), mand()];
+        assert_eq!(ConsistencyRule::dedup(rules).len(), 1);
+    }
+
+    #[test]
+    fn dedup_preserves_distinct_rules_and_order() {
+        let other = ConsistencyRule::UniqueProperty { label: "Match".into(), key: "id".into() };
+        let out = ConsistencyRule::dedup(vec![mand(), other.clone(), mand()]);
+        assert_eq!(out, vec![mand(), other]);
+    }
+
+    #[test]
+    fn value_domain_key_is_order_insensitive() {
+        let a = ConsistencyRule::PropertyValueIn {
+            label: "User".into(),
+            key: "owned".into(),
+            allowed: vec![Value::Bool(true), Value::Bool(false)],
+        };
+        let b = ConsistencyRule::PropertyValueIn {
+            label: "User".into(),
+            key: "owned".into(),
+            allowed: vec![Value::Bool(false), Value::Bool(true)],
+        };
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let rules = [
+            mand().kind(),
+            ConsistencyRule::UniqueProperty { label: "X".into(), key: "k".into() }.kind(),
+        ];
+        assert_ne!(rules[0], rules[1]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: NL round-trips and reference-query
+//! well-formedness over arbitrary identifiers.
+
+use grm_cypher::parse;
+use grm_pgraph::Value;
+use grm_rules::{from_nl, reference_queries, to_nl, violation_query, ConsistencyRule};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9_]{0,10}"
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+fn arb_etype() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,10}"
+}
+
+fn arb_rule() -> impl Strategy<Value = ConsistencyRule> {
+    prop_oneof![
+        (arb_label(), arb_key())
+            .prop_map(|(label, key)| ConsistencyRule::MandatoryProperty { label, key }),
+        (arb_label(), arb_key())
+            .prop_map(|(label, key)| ConsistencyRule::UniqueProperty { label, key }),
+        (arb_label(), arb_key(), prop::collection::vec(any::<i64>().prop_map(Value::Int), 1..4))
+            .prop_map(|(label, key, allowed)| ConsistencyRule::PropertyValueIn {
+                label,
+                key,
+                allowed
+            }),
+        (arb_label(), arb_key(), any::<i32>(), any::<u16>()).prop_map(|(label, key, min, span)| {
+            ConsistencyRule::PropertyRange {
+                label,
+                key,
+                min: i64::from(min),
+                max: i64::from(min) + i64::from(span),
+            }
+        }),
+        (arb_etype(), arb_label(), arb_label()).prop_map(|(etype, src_label, dst_label)| {
+            ConsistencyRule::EdgeEndpointLabels { etype, src_label, dst_label }
+        }),
+        (arb_label(), arb_etype())
+            .prop_map(|(label, etype)| ConsistencyRule::NoSelfLoop { label, etype }),
+        (arb_label(), arb_etype(), arb_label()).prop_map(|(src_label, etype, dst_label)| {
+            ConsistencyRule::IncomingExactlyOne { src_label, etype, dst_label }
+        }),
+        (arb_label(), arb_key(), arb_etype(), arb_label(), arb_key()).prop_map(
+            |(src_label, src_key, etype, dst_label, dst_key)| ConsistencyRule::TemporalOrder {
+                src_label,
+                src_key,
+                etype,
+                dst_label,
+                dst_key
+            }
+        ),
+        (arb_label(), arb_etype(), arb_label(), arb_key()).prop_map(
+            |(src_label, etype, dst_label, key)| ConsistencyRule::PatternUniqueness {
+                src_label,
+                etype,
+                dst_label,
+                key
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// NL rendering round-trips for every template rule family over
+    /// arbitrary identifiers.
+    #[test]
+    fn nl_roundtrip(rule in arb_rule()) {
+        let nl = to_nl(&rule);
+        prop_assert_eq!(from_nl(&nl), Some(rule));
+    }
+
+    /// All three reference metric queries parse, for any rule.
+    #[test]
+    fn reference_queries_always_parse(rule in arb_rule()) {
+        let q = reference_queries(&rule);
+        for text in [&q.satisfied, &q.body, &q.head_total] {
+            prop_assert!(parse(text).is_ok(), "unparseable: {}", text);
+        }
+        if let Some(v) = violation_query(&rule) {
+            prop_assert!(parse(&v).is_ok(), "unparseable: {}", v);
+        }
+    }
+
+    /// Dedup keys are injective across distinct rules of one family.
+    #[test]
+    fn dedup_keys_distinguish(
+        l1 in arb_label(), l2 in arb_label(), k in arb_key(),
+    ) {
+        let a = ConsistencyRule::MandatoryProperty { label: l1.clone(), key: k.clone() };
+        let b = ConsistencyRule::MandatoryProperty { label: l2.clone(), key: k };
+        prop_assert_eq!(a.dedup_key() == b.dedup_key(), l1 == l2);
+    }
+
+    /// `from_nl` is total on arbitrary text.
+    #[test]
+    fn from_nl_never_panics(text in ".{0,200}") {
+        let _ = from_nl(&text);
+    }
+}

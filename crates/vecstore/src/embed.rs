@@ -1,0 +1,114 @@
+//! Deterministic text embedder.
+//!
+//! Stands in for the paper's `GPT4AllEmbeddings` (§3.1.2). We use
+//! feature hashing over character trigrams and word unigrams into a
+//! fixed-dimension vector, L2-normalised. This preserves the two
+//! properties RAG retrieval quality depends on — lexically similar
+//! chunks are close, unrelated chunks are far — while staying fully
+//! deterministic (the whole study is seeded).
+
+/// Embedding dimensionality.
+pub const DIM: usize = 256;
+
+/// A dense embedding vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding(pub Vec<f32>);
+
+impl Embedding {
+    /// Cosine similarity with another embedding. Both inputs are
+    /// L2-normalised at construction, so this is a dot product.
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm (≈ 1 for non-empty inputs after normalising).
+    pub fn norm(&self) -> f32 {
+        self.0.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// FNV-1a 64-bit — stable across platforms and runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Embeds `text` into a [`DIM`]-dimensional normalised vector.
+pub fn embed(text: &str) -> Embedding {
+    let mut v = vec![0f32; DIM];
+    let lower = text.to_lowercase();
+    // Word unigrams (alphanumeric runs) carry topical signal.
+    for word in lower.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if word.is_empty() {
+            continue;
+        }
+        let h = fnv1a(word.as_bytes());
+        let idx = (h % DIM as u64) as usize;
+        // Signed hashing halves collision bias.
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] += 2.0 * sign;
+    }
+    // Character trigrams capture sub-token similarity.
+    let bytes = lower.as_bytes();
+    if bytes.len() >= 3 {
+        for win in bytes.windows(3) {
+            let h = fnv1a(win) ^ 0x9e37_79b9_7f4a_7c15;
+            let idx = (h % DIM as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx] += sign;
+        }
+    }
+    // L2 normalise.
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    Embedding(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(embed("hello graph"), embed("hello graph"));
+    }
+
+    #[test]
+    fn normalised() {
+        let e = embed("Node n0 with labels Person");
+        assert!((e.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let e = embed("consistency rules for property graphs");
+        assert!((e.cosine(&e) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let a = embed("Node n0 with labels Person has properties {name: 'Ada'}");
+        let b = embed("Node n1 with labels Person has properties {name: 'Bea'}");
+        let c = embed("zebra quantum xylophone !!!");
+        assert!(a.cosine(&b) > a.cosine(&c));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero_vector() {
+        let e = embed("");
+        assert_eq!(e.norm(), 0.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!((embed("PERSON").cosine(&embed("person")) - 1.0).abs() < 1e-5);
+    }
+}

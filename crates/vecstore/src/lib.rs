@@ -1,0 +1,19 @@
+//! # grm-vecstore — embeddings, vector store, RAG retrieval
+//!
+//! Implements the RAG context strategy of the paper (Figure 2b): the
+//! encoded graph is chunked and embedded into a vector store
+//! ([`store::VectorStore`]); the rule-mining prompt retrieves its
+//! top-k most similar chunks ([`retriever::Retriever`]), which become
+//! the only part of the graph the LLM sees.
+//!
+//! The embedder ([`embed::embed`]) is a deterministic feature-hashing
+//! n-gram model standing in for the paper's GPT4AllEmbeddings — see
+//! DESIGN.md §2 for the substitution argument.
+
+pub mod embed;
+pub mod retriever;
+pub mod store;
+
+pub use embed::{embed, Embedding, DIM};
+pub use retriever::{RagConfig, Retrieval, Retriever, DEFAULT_CHUNK_TOKENS, DEFAULT_TOP_K};
+pub use store::{Entry, Hit, VectorStore};

@@ -1,0 +1,132 @@
+//! Brute-force cosine-similarity vector store.
+//!
+//! The paper stores chunk embeddings in "a vector database" (via
+//! langchain); at the study's scale (a few thousand chunks) exact
+//! brute-force top-k is both simpler and faster than an ANN index,
+//! and — unlike ANN — fully deterministic.
+
+use crate::embed::{embed, Embedding};
+
+/// One stored chunk.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub id: usize,
+    pub text: String,
+    pub embedding: Embedding,
+}
+
+/// A retrieval hit.
+#[derive(Debug, Clone)]
+pub struct Hit<'a> {
+    pub entry: &'a Entry,
+    pub score: f32,
+}
+
+/// The vector store.
+#[derive(Debug, Default)]
+pub struct VectorStore {
+    entries: Vec<Entry>,
+}
+
+impl VectorStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Embeds and inserts a chunk; returns its id.
+    pub fn insert(&mut self, text: impl Into<String>) -> usize {
+        let text = text.into();
+        let id = self.entries.len();
+        let embedding = embed(&text);
+        self.entries.push(Entry { id, text, embedding });
+        id
+    }
+
+    /// Number of stored chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: usize) -> Option<&Entry> {
+        self.entries.get(id)
+    }
+
+    /// Top-`k` entries by cosine similarity to `query`. Ties break by
+    /// insertion order (deterministic).
+    pub fn top_k(&self, query: &str, k: usize) -> Vec<Hit<'_>> {
+        let q = embed(query);
+        let mut scored: Vec<Hit<'_>> = self
+            .entries
+            .iter()
+            .map(|entry| Hit { entry, score: q.cosine(&entry.embedding) })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.entry.id.cmp(&b.entry.id))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> VectorStore {
+        let mut s = VectorStore::new();
+        s.insert("Node n0 with labels Person has properties {name: 'Ada'}");
+        s.insert("Node n1 with labels Tweet has properties {text: 'hello world'}");
+        s.insert("Node n2 with labels Hashtag has properties {tag: 'rust'}");
+        s
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(1).unwrap().id, 1);
+    }
+
+    #[test]
+    fn top_k_returns_most_similar_first() {
+        let s = store();
+        let hits = s.top_k("Person named Ada", 3);
+        assert_eq!(hits[0].entry.id, 0);
+        assert!(hits[0].score >= hits[1].score);
+        assert!(hits[1].score >= hits[2].score);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let s = store();
+        assert_eq!(s.top_k("anything", 2).len(), 2);
+        assert_eq!(s.top_k("anything", 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_store_returns_nothing() {
+        let s = VectorStore::new();
+        assert!(s.top_k("query", 5).is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deterministic_ordering_on_ties() {
+        let mut s = VectorStore::new();
+        s.insert("identical chunk");
+        s.insert("identical chunk");
+        let hits = s.top_k("identical chunk", 2);
+        assert_eq!(hits[0].entry.id, 0);
+        assert_eq!(hits[1].entry.id, 1);
+    }
+}

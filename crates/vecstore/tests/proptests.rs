@@ -1,0 +1,65 @@
+//! Property-based tests for the embedder and the vector store.
+
+use grm_vecstore::{embed, VectorStore};
+use proptest::prelude::*;
+
+proptest! {
+    /// Embeddings of non-trivial text are unit vectors.
+    #[test]
+    fn embeddings_are_normalised(text in "[a-zA-Z0-9 ]{1,100}") {
+        prop_assume!(text.chars().any(|c| c.is_ascii_alphanumeric()));
+        let e = embed(&text);
+        prop_assert!((e.norm() - 1.0).abs() < 1e-4, "norm {}", e.norm());
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_symmetric_and_bounded(a in "[a-z ]{1,60}", b in "[a-z ]{1,60}") {
+        let (ea, eb) = (embed(&a), embed(&b));
+        let ab = ea.cosine(&eb);
+        let ba = eb.cosine(&ea);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&ab), "cosine {ab}");
+    }
+
+    /// Identical text embeds identically (determinism).
+    #[test]
+    fn embedding_is_deterministic(text in ".{0,120}") {
+        prop_assert_eq!(embed(&text), embed(&text));
+    }
+
+    /// top_k scores are monotonically non-increasing and k-bounded.
+    #[test]
+    fn top_k_is_sorted_and_bounded(
+        chunks in prop::collection::vec("[a-z ]{1,40}", 1..20),
+        query in "[a-z ]{1,30}",
+        k in 1usize..10,
+    ) {
+        let mut store = VectorStore::new();
+        for c in &chunks {
+            store.insert(c.clone());
+        }
+        let hits = store.top_k(&query, k);
+        prop_assert!(hits.len() <= k.min(chunks.len()));
+        for pair in hits.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    /// The best hit for a stored chunk's own text is that chunk (or a
+    /// duplicate of it).
+    #[test]
+    fn self_retrieval_finds_the_chunk(
+        chunks in prop::collection::hash_set("[a-z]{4,20}", 2..10),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let chunks: Vec<String> = chunks.into_iter().collect();
+        let mut store = VectorStore::new();
+        for c in &chunks {
+            store.insert(c.clone());
+        }
+        let target = &chunks[pick.index(chunks.len())];
+        let hits = store.top_k(target, 1);
+        prop_assert_eq!(&hits[0].entry.text, target);
+    }
+}

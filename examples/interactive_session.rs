@@ -1,0 +1,83 @@
+//! Interactive rule refinement with a (scripted) domain expert.
+//!
+//! ```sh
+//! cargo run --release --example interactive_session
+//! ```
+//!
+//! Demonstrates the §5 human-in-the-loop extension: the session
+//! proposes mined rules one at a time — each with metrics and an
+//! evidence-grounded explanation — and a scripted expert policy
+//! accepts the solid ones, rejects suspected hallucinations, and
+//! refines rules whose thresholds need domain knowledge.
+
+use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
+use graph_rule_mining::llm::{ModelKind, PromptStyle};
+use graph_rule_mining::pipeline::{
+    ContextStrategy, Feedback, InteractiveSession, PipelineConfig,
+};
+use graph_rule_mining::rules::ConsistencyRule;
+
+fn main() {
+    let data = generate(DatasetId::Cybersecurity, &GenConfig { seed: 13, scale: 0.3, clean: false });
+    println!(
+        "graph: {} nodes, {} edges — opening interactive session\n",
+        data.graph.node_count(),
+        data.graph.edge_count()
+    );
+
+    let config = PipelineConfig::new(
+        ModelKind::Mixtral,
+        ContextStrategy::default_summary(),
+        PromptStyle::ZeroShot,
+    );
+    let mut session = InteractiveSession::start(config, &data.graph);
+
+    while let Some(proposal) = session.next_proposal() {
+        println!("proposal: {}", proposal.nl);
+        println!("  why: {}", proposal.explanation);
+        if let Some(m) = proposal.metrics {
+            println!(
+                "  evidence: support={} coverage={:.1}% confidence={:.1}%",
+                m.support, m.coverage_pct, m.confidence_pct
+            );
+        }
+
+        // The scripted expert policy.
+        let decision = if proposal.suspected_hallucination {
+            println!("  expert: REJECT — references a property that does not exist\n");
+            Feedback::Reject
+        } else if let ConsistencyRule::PropertyRange { label, key, min, .. } = &proposal.rule {
+            // The expert knows the real bound for ports.
+            if key == "port" {
+                let refined = ConsistencyRule::PropertyRange {
+                    label: label.clone(),
+                    key: key.clone(),
+                    min: *min,
+                    max: 65535,
+                };
+                println!("  expert: REFINE — tighten the upper bound to 65535\n");
+                Feedback::Refine(refined)
+            } else {
+                println!("  expert: ACCEPT\n");
+                Feedback::Accept
+            }
+        } else if proposal.metrics.is_some_and(|m| m.confidence_pct < 40.0) {
+            println!("  expert: REJECT — too weakly supported to enforce\n");
+            Feedback::Reject
+        } else {
+            println!("  expert: ACCEPT\n");
+            Feedback::Accept
+        };
+        session.feedback(decision);
+    }
+
+    let (accepted, rejected, refined) = session.tally();
+    println!("session done: {accepted} accepted, {rejected} rejected, {refined} refined");
+    println!("\nfinal rule book:");
+    for (rule, metrics) in session.accepted() {
+        let score = metrics
+            .map(|m| format!("{:.1}%", m.confidence_pct))
+            .unwrap_or_else(|| "—".into());
+        println!("  [{score}] {}", graph_rule_mining::rules::to_nl(rule));
+    }
+}

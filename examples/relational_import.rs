@@ -1,0 +1,112 @@
+//! Relational data → property graph → mined consistency rules.
+//!
+//! ```sh
+//! cargo run --release --example relational_import
+//! ```
+//!
+//! The paper's §5 claims the approach "is also applicable to flat
+//! relational data … organized following key-foreign key
+//! relationships". This example proves it end to end: a three-table
+//! commerce schema (customers / products / orders) is exported as
+//! CSV with deliberate defects, imported as a property graph, and run
+//! through the same mining pipeline as the graph datasets.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use graph_rule_mining::llm::{ModelKind, PromptStyle};
+use graph_rule_mining::pipeline::{ContextStrategy, MiningPipeline, PipelineConfig};
+use graph_rule_mining::relational::{import, ColumnType, Database, TableSchema};
+
+fn main() {
+    let db = Database::new()
+        .table(
+            TableSchema::new("Customer", "id")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("email", ColumnType::Text),
+        )
+        .table(
+            TableSchema::new("Product", "id")
+                .column("id", ColumnType::Int)
+                .column("title", ColumnType::Text)
+                .column("price", ColumnType::Float),
+        )
+        .table(
+            TableSchema::new("Order", "id")
+                .column("id", ColumnType::Int)
+                .column("customer_id", ColumnType::Int)
+                .column("product_id", ColumnType::Int)
+                .column("quantity", ColumnType::Int)
+                .column("placed_at", ColumnType::Timestamp)
+                .foreign_key("customer_id", "Customer", "id", "PLACED_BY")
+                .foreign_key("product_id", "Product", "id", "OF_PRODUCT"),
+        );
+
+    // Synthesise CSV exports with realistic defects: a customer with
+    // no email, an order referencing a missing product, a duplicate
+    // order id, and a negative quantity.
+    let mut customers = String::from("id,name,email\n");
+    for i in 0..40 {
+        let email = if i == 7 { String::new() } else { format!("c{i}@example.com") };
+        let _ = writeln!(customers, "{i},Customer {i},{email}");
+    }
+    let mut products = String::from("id,title,price\n");
+    for i in 0..15 {
+        let _ = writeln!(products, "{i},Product {i},{:.2}", 5.0 + i as f64);
+    }
+    let mut orders = String::from("id,customer_id,product_id,quantity,placed_at\n");
+    for i in 0..120 {
+        let id = if i == 50 { 49 } else { i }; // duplicate order id
+        let product = if i == 33 { 999 } else { i % 15 }; // dangling FK
+        let quantity = if i == 80 { -2 } else { 1 + i % 4 }; // negative
+        let _ = writeln!(
+            orders,
+            "{id},{},{product},{quantity},{}",
+            i % 40,
+            1_600_000_000 + i * 3600
+        );
+    }
+
+    let mut data = HashMap::new();
+    data.insert("Customer".to_owned(), customers);
+    data.insert("Product".to_owned(), products);
+    data.insert("Order".to_owned(), orders);
+
+    let (graph, report) = import(&db, &data).expect("schema and CSV are consistent");
+    println!(
+        "imported {} nodes / {} edges; dangling FKs: {:?}; bad keys: {:?}\n",
+        report.nodes, report.edges, report.dangling, report.bad_keys
+    );
+
+    // The same pipeline, unchanged, now mines the relational graph.
+    let config = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::default_summary(),
+        PromptStyle::FewShot,
+    );
+    let mined = MiningPipeline::new(config).run(&graph);
+    println!(
+        "mined {} rules in {:.1} simulated seconds:",
+        mined.rule_count(),
+        mined.mining_seconds
+    );
+    for outcome in &mined.rules {
+        let metrics = outcome
+            .metrics
+            .map(|m| format!("cov={:.1}% conf={:.1}%", m.coverage_pct, m.confidence_pct))
+            .unwrap_or_else(|| "unscored".to_owned());
+        println!("  - {} ({metrics})", outcome.nl);
+    }
+
+    // The injected defects are findable with direct queries too.
+    let dup = graph_rule_mining::cypher::execute(
+        &graph,
+        "MATCH (o:Order) WHERE o.id IS NOT NULL \
+         WITH o.id AS id, COUNT(*) AS c WHERE c > 1 RETURN COUNT(*) AS dups",
+    )
+    .expect("query runs")
+    .single_int()
+    .unwrap_or(0);
+    println!("\nduplicate order ids found by Cypher: {dup}");
+}

@@ -1,0 +1,83 @@
+//! Data-quality audit of the WWC2019 graph using ground-truth rules.
+//!
+//! ```sh
+//! cargo run --release --example wwc2019_audit
+//! ```
+//!
+//! This is the *downstream consumer* view of the library: given a set
+//! of consistency rules (here the dataset's ground truth, but they
+//! could come from the mining pipeline), execute their metric and
+//! violation queries to produce an audit report — including the
+//! paper's flagship complex rule, "a player should be associated with
+//! a squad, and that squad should belong to the tournament for which
+//! the player has played a match".
+
+use graph_rule_mining::cypher::execute;
+use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
+use graph_rule_mining::metrics::evaluate;
+use graph_rule_mining::rules::{reference_queries, to_nl, violation_query};
+
+fn main() {
+    let data = generate(DatasetId::Wwc2019, &GenConfig::default());
+    let g = &data.graph;
+    println!(
+        "WWC2019: {} nodes, {} edges — auditing {} ground-truth rules\n",
+        g.node_count(),
+        g.edge_count(),
+        data.ground_truth.len()
+    );
+
+    let mut clean = 0usize;
+    for rule in &data.ground_truth {
+        let queries = reference_queries(rule);
+        let metrics = evaluate(g, &queries).expect("ground-truth queries are well-formed");
+        let violations = violation_query(rule)
+            .map(|q| execute(g, &q).expect("violation query runs").single_int().unwrap_or(0));
+        let status = match violations {
+            Some(0) => {
+                clean += 1;
+                "OK  "
+            }
+            Some(_) => "VIOL",
+            None => {
+                if (metrics.coverage_pct - 100.0).abs() < f64::EPSILON {
+                    clean += 1;
+                    "OK  "
+                } else {
+                    "VIOL"
+                }
+            }
+        };
+        println!("[{status}] {}", to_nl(rule));
+        print!(
+            "       support={} coverage={:.2}% confidence={:.2}%",
+            metrics.support, metrics.coverage_pct, metrics.confidence_pct
+        );
+        if let Some(v) = violations {
+            print!(" violations={v}");
+        }
+        println!();
+    }
+    println!(
+        "\n{} of {} rules hold exactly; the rest have injected violations to find.",
+        clean,
+        data.ground_truth.len()
+    );
+
+    // Drill into the paper's example: duplicate goals in one minute.
+    println!("\nworst same-minute goal offenders:");
+    let rs = execute(
+        g,
+        "MATCH (p:Person)-[sg:SCORED_GOAL]->(m:Match) \
+         WITH p.id AS player, m.id AS game, sg.minute AS minute, COUNT(*) AS goals \
+         WHERE goals > 1 \
+         RETURN player, game, minute, goals ORDER BY goals DESC, player LIMIT 5",
+    )
+    .expect("query runs");
+    for row in &rs.rows {
+        println!(
+            "  player={} match={} minute={} goals={}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+}

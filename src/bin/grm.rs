@@ -1,0 +1,398 @@
+//! `grm` — command-line interface to the graph-rule-mining toolkit.
+//!
+//! ```text
+//! grm generate --dataset twitter [--scale 0.1] [--seed 42] [--clean] --out g.json
+//! grm stats    --graph g.json
+//! grm schema   --graph g.json
+//! grm encode   --graph g.json [--encoder incident|adjacency|summary]
+//! grm query    --graph g.json "MATCH (n:User) RETURN COUNT(*) AS c"
+//! grm mine     --graph g.json [--model llama3|mixtral]
+//!              [--strategy swa|rag|summary] [--prompting zero|few]
+//!              [--seed 42] [--workers 4] [--json report.json]
+//! ```
+//!
+//! Graphs travel as the JSON documents of `grm_pgraph::io`, so any
+//! tool (or the `generate` subcommand) can produce them and the rest
+//! of the pipeline consumes them.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use graph_rule_mining::cypher::execute;
+use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
+use graph_rule_mining::llm::{ModelKind, PromptStyle};
+use graph_rule_mining::pgraph::{from_json, to_json_pretty, GraphSchema, GraphStats, PropertyGraph};
+use graph_rule_mining::pipeline::{ContextStrategy, MiningPipeline, PipelineConfig};
+use graph_rule_mining::textenc::{encode_adjacency, encode_incident, encode_summary, SummaryConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "schema" => cmd_schema(rest),
+        "encode" => cmd_encode(rest),
+        "query" => cmd_query(rest),
+        "mine" => cmd_mine(rest),
+        "audit" => cmd_audit(rest),
+        "check" => cmd_check(rest),
+        "diff" => cmd_diff(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  grm generate --dataset <wwc2019|cybersecurity|twitter> [--scale F] [--seed N] [--clean] --out FILE
+  grm stats    --graph FILE
+  grm schema   --graph FILE
+  grm encode   --graph FILE [--encoder incident|adjacency|summary]
+  grm query    --graph FILE \"<cypher>\"
+  grm mine     --graph FILE [--model llama3|mixtral] [--strategy swa|rag|summary]
+               [--prompting zero|few] [--seed N] [--workers N] [--json FILE]
+  grm audit    --graph FILE [--limit N]
+  grm check    --graph FILE --rules FILE [--limit N]   # exit 1 on violations
+  grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]";
+
+/// Minimal flag parser: `--key value` pairs plus positionals.
+struct Flags {
+    named: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String], switch_names: &[&str]) -> Result<Flags, String> {
+    let mut named = HashMap::new();
+    let mut switches = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if switch_names.contains(&name) {
+                switches.push(name.to_owned());
+            } else {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                named.insert(name.to_owned(), value.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags { named, switches, positional })
+}
+
+fn load_graph(flags: &Flags) -> Result<PropertyGraph, String> {
+    let path = flags.named.get("graph").ok_or("--graph FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["clean"])?;
+    let dataset = match flags.named.get("dataset").map(String::as_str) {
+        Some("wwc2019") => DatasetId::Wwc2019,
+        Some("cybersecurity") => DatasetId::Cybersecurity,
+        Some("twitter") => DatasetId::Twitter,
+        Some(other) => return Err(format!("unknown dataset `{other}`")),
+        None => return Err("--dataset is required".into()),
+    };
+    let cfg = GenConfig {
+        seed: parse_or(&flags, "seed", 42)?,
+        scale: parse_or(&flags, "scale", 1.0)?,
+        clean: flags.switches.iter().any(|s| s == "clean"),
+    };
+    let out = flags.named.get("out").ok_or("--out FILE is required")?;
+    let data = generate(dataset, &cfg);
+    let json = to_json_pretty(&data.graph).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    let s = GraphStats::of(&data.graph);
+    println!(
+        "wrote {} ({} nodes, {} edges, {} node labels, {} edge labels)",
+        out, s.nodes, s.edges, s.node_labels, s.edge_labels
+    );
+    Ok(())
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.named.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: {raw}")),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let s = GraphStats::of(&g);
+    println!("nodes: {}", s.nodes);
+    println!("edges: {}", s.edges);
+    println!("node labels: {}", s.node_labels);
+    println!("edge labels: {}", s.edge_labels);
+    let d = graph_rule_mining::pgraph::DegreeStats::of(&g);
+    println!("out-degree: min={} max={} mean={:.2}", d.min_out, d.max_out, d.mean_out);
+    println!("isolated nodes: {}", d.isolated);
+    Ok(())
+}
+
+fn cmd_schema(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    print!("{}", GraphSchema::infer(&g).summary());
+    Ok(())
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let text = match flags.named.get("encoder").map(String::as_str) {
+        None | Some("incident") => encode_incident(&g),
+        Some("adjacency") => encode_adjacency(&g),
+        Some("summary") => encode_summary(&g, SummaryConfig::default()),
+        Some(other) => return Err(format!("unknown encoder `{other}`")),
+    };
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let query = flags.positional.first().ok_or("a Cypher query argument is required")?;
+    let rs = execute(&g, query).map_err(|e| e.to_string())?;
+    println!("{}", rs.columns.join("\t"));
+    for row in &rs.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    eprintln!("({} rows)", rs.rows.len());
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let model = match flags.named.get("model").map(String::as_str) {
+        None | Some("llama3") => ModelKind::Llama3,
+        Some("mixtral") => ModelKind::Mixtral,
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    };
+    let strategy = match flags.named.get("strategy").map(String::as_str) {
+        None | Some("swa") => ContextStrategy::default_sliding_window(),
+        Some("rag") => ContextStrategy::default_rag(),
+        Some("summary") => ContextStrategy::default_summary(),
+        Some(other) => return Err(format!("unknown strategy `{other}`")),
+    };
+    let prompting = match flags.named.get("prompting").map(String::as_str) {
+        None | Some("zero") => PromptStyle::ZeroShot,
+        Some("few") => PromptStyle::FewShot,
+        Some(other) => return Err(format!("unknown prompting style `{other}`")),
+    };
+    let mut config = PipelineConfig::new(model, strategy, prompting);
+    config.seed = parse_or(&flags, "seed", 42)?;
+    let workers: usize = parse_or(&flags, "workers", 1)?;
+
+    let pipeline = MiningPipeline::new(config);
+    let report = if workers > 1 {
+        pipeline.run_with_workers(&g, workers)
+    } else {
+        pipeline.run(&g)
+    };
+
+    println!(
+        "{} | {} | {}: {} rules in {:.1}s (simulated), correctness {}",
+        report.model.name(),
+        report.strategy_name,
+        report.prompting.name(),
+        report.rule_count(),
+        report.mining_seconds,
+        report.correctness.as_fraction()
+    );
+    for outcome in &report.rules {
+        let metrics = outcome
+            .metrics
+            .map(|m| {
+                format!("supp={} cov={:.1}% conf={:.1}%", m.support, m.coverage_pct, m.confidence_pct)
+            })
+            .unwrap_or_else(|| "unscored".into());
+        println!("  - {} [{metrics}]", outcome.nl);
+    }
+    if let Some(path) = flags.named.get("json") {
+        let json = report.to_json_pretty().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("full report written to {path}");
+    }
+    if let Some(path) = flags.named.get("rules-out") {
+        let rules: Vec<_> = report.rules.iter().map(|o| &o.rule).collect();
+        let json = serde_json::to_string_pretty(&rules).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("rule book ({} rules) written to {path}", rules.len());
+    }
+    Ok(())
+}
+
+/// `grm check`: evaluate a saved rule book against a graph — the
+/// CI-style data-quality gate. Prints per-rule status and concrete
+/// violations; exits non-zero when any rule is violated.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::metrics::{evaluate, find_violations, Violation};
+    use graph_rule_mining::rules::{reference_queries, to_nl, ConsistencyRule};
+
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let rules_path = flags.named.get("rules").ok_or("--rules FILE is required")?;
+    let limit: usize = parse_or(&flags, "limit", 3)?;
+    let json = std::fs::read_to_string(rules_path)
+        .map_err(|e| format!("reading {rules_path}: {e}"))?;
+    let rules: Vec<ConsistencyRule> =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {rules_path}: {e}"))?;
+
+    let mut failing = 0usize;
+    for rule in &rules {
+        let metrics = evaluate(&g, &reference_queries(rule)).map_err(|e| e.to_string())?;
+        let holds = metrics.coverage_pct >= 100.0 && metrics.confidence_pct >= 100.0;
+        println!(
+            "[{}] {} (cov {:.2}%, conf {:.2}%)",
+            if holds { "PASS" } else { "FAIL" },
+            to_nl(rule),
+            metrics.coverage_pct,
+            metrics.confidence_pct
+        );
+        if !holds {
+            failing += 1;
+            if let Some(violations) = find_violations(&g, rule, limit).map_err(|e| e.to_string())? {
+                for v in violations {
+                    match v {
+                        Violation::Node { id, detail } => println!("    node n{id}: {detail}"),
+                        Violation::Value { value, count, detail } => {
+                            println!("    value {value} x{count}: {detail}")
+                        }
+                        Violation::Edge { src, dst, detail } => {
+                            println!("    edge n{src} -> n{dst}: {detail}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("\n{} of {} rules hold", rules.len() - failing, rules.len());
+    if failing > 0 {
+        return Err(format!("{failing} rule(s) violated"));
+    }
+    Ok(())
+}
+
+/// `grm audit`: discover near-invariants with the exhaustive baseline
+/// miner and list their concrete violations — the rules that *almost*
+/// hold are exactly where the data-quality problems live.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::baseline::{mine_exhaustive, MinerConfig};
+    use graph_rule_mining::metrics::find_violations;
+    use graph_rule_mining::rules::to_nl;
+
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let limit: usize = parse_or(&flags, "limit", 5)?;
+
+    let mined = mine_exhaustive(&g, MinerConfig { min_confidence: 80.0, ..Default::default() });
+    let near: Vec<_> = mined
+        .iter()
+        .filter(|m| m.metrics.confidence_pct < 100.0 || m.metrics.coverage_pct < 100.0)
+        .collect();
+    println!(
+        "{} rules mined; {} are near-invariants with violations:",
+        mined.len(),
+        near.len()
+    );
+    for m in near {
+        println!(
+            "\n[{:.2}% conf, {:.2}% cov] {}",
+            m.metrics.confidence_pct,
+            m.metrics.coverage_pct,
+            to_nl(&m.rule)
+        );
+        match find_violations(&g, &m.rule, limit).map_err(|e| e.to_string())? {
+            None => println!("  (no canonical violation listing for this rule family)"),
+            Some(violations) if violations.is_empty() => {
+                println!("  (coverage shortfall only — body is narrower than the head)")
+            }
+            Some(violations) => {
+                for v in violations {
+                    match v {
+                        graph_rule_mining::metrics::Violation::Node { id, detail } => {
+                            println!("  node n{id}: {detail}")
+                        }
+                        graph_rule_mining::metrics::Violation::Value { value, count, detail } => {
+                            println!("  value {value} x{count}: {detail}")
+                        }
+                        graph_rule_mining::metrics::Violation::Edge { src, dst, detail } => {
+                            println!("  edge n{src} -> n{dst}: {detail}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `grm diff`: re-evaluate a rule book on two graph versions and
+/// report data-quality drift; exits non-zero on regressions beyond
+/// the threshold.
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::metrics::drift;
+    use graph_rule_mining::rules::{to_nl, ConsistencyRule};
+
+    let flags = parse_flags(args, &[])?;
+    let load = |key: &str| -> Result<PropertyGraph, String> {
+        let path = flags.named.get(key).ok_or(format!("--{key} FILE is required"))?;
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let before = load("before")?;
+    let after = load("after")?;
+    let rules_path = flags.named.get("rules").ok_or("--rules FILE is required")?;
+    let threshold: f64 = parse_or(&flags, "threshold", 1.0)?;
+    let json = std::fs::read_to_string(rules_path)
+        .map_err(|e| format!("reading {rules_path}: {e}"))?;
+    let rules: Vec<ConsistencyRule> =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {rules_path}: {e}"))?;
+
+    let drifts = drift(&before, &after, &rules).map_err(|e| e.to_string())?;
+    let mut regressions = 0usize;
+    for d in &drifts {
+        let marker = if d.regressed(threshold) {
+            regressions += 1;
+            "REGRESSED"
+        } else if d.confidence_delta() > threshold {
+            "improved "
+        } else {
+            "stable   "
+        };
+        println!(
+            "[{marker}] conf {:+.2} pts, cov {:+.2} pts — {}",
+            d.confidence_delta(),
+            d.coverage_delta(),
+            to_nl(&d.rule)
+        );
+    }
+    if regressions > 0 {
+        return Err(format!("{regressions} rule(s) regressed by more than {threshold} pts"));
+    }
+    println!("no regressions beyond {threshold} pts across {} rules", drifts.len());
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! The §4.4 correction policy, end to end: corrupted queries produced
+//! by the model's actual error injectors must be detected with the
+//! right class and repaired (or deliberately not) across real dataset
+//! schemas.
+
+use graph_rule_mining::cypher::execute;
+use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
+use graph_rule_mining::llm::{break_syntax, flip_first_direction};
+use graph_rule_mining::metrics::{classify, correct, QueryClass};
+use graph_rule_mining::pgraph::GraphSchema;
+use graph_rule_mining::rules::{reference_queries, ConsistencyRule};
+
+#[test]
+fn direction_flips_are_detected_and_repaired_on_every_dataset() {
+    let cases = [
+        (
+            DatasetId::Wwc2019,
+            ConsistencyRule::EdgeEndpointLabels {
+                etype: "IN_TOURNAMENT".into(),
+                src_label: "Match".into(),
+                dst_label: "Tournament".into(),
+            },
+        ),
+        (
+            DatasetId::Cybersecurity,
+            ConsistencyRule::EdgeEndpointLabels {
+                etype: "HAS_SESSION".into(),
+                src_label: "Computer".into(),
+                dst_label: "User".into(),
+            },
+        ),
+        (
+            DatasetId::Twitter,
+            ConsistencyRule::EdgeEndpointLabels {
+                etype: "POSTS".into(),
+                src_label: "User".into(),
+                dst_label: "Tweet".into(),
+            },
+        ),
+    ];
+    for (id, rule) in cases {
+        let data = generate(id, &GenConfig { seed: 1, scale: 0.05, clean: false });
+        let schema = GraphSchema::infer(&data.graph);
+        let good = reference_queries(&rule).satisfied;
+        let flipped = flip_first_direction(&good).expect("rule has a direction");
+
+        assert_eq!(classify(&flipped, &schema).class, QueryClass::DirectionError, "{id:?}");
+        let fixed = correct(&flipped, &schema);
+        assert_eq!(fixed.final_class, QueryClass::Correct, "{id:?}");
+        // Repaired query counts the same as the reference.
+        let want = execute(&data.graph, &good).unwrap().single_int();
+        let got = execute(&data.graph, &fixed.corrected).unwrap().single_int();
+        assert_eq!(got, want, "{id:?}");
+        // And the flipped query really was wrong (counts fewer).
+        let wrong = execute(&data.graph, &flipped).unwrap().single_int();
+        assert!(wrong < want, "{id:?}: flipped {wrong:?} !< correct {want:?}");
+    }
+}
+
+#[test]
+fn syntax_slips_are_detected_and_repaired() {
+    let data = generate(DatasetId::Twitter, &GenConfig { seed: 2, scale: 0.02, clean: false });
+    let schema = GraphSchema::infer(&data.graph);
+    for rule in &data.ground_truth {
+        let good = reference_queries(rule).satisfied;
+        let broken = break_syntax(&good);
+        assert_eq!(
+            classify(&broken, &schema).class,
+            QueryClass::SyntaxError,
+            "breakage did not break: {broken}"
+        );
+        let fixed = correct(&broken, &schema);
+        assert_ne!(fixed.final_class, QueryClass::SyntaxError, "unrepaired: {broken}");
+        let want = execute(&data.graph, &good).unwrap().single_int();
+        let got = execute(&data.graph, &fixed.corrected).unwrap().single_int();
+        assert_eq!(got, want, "repair changed semantics: {}", fixed.corrected);
+    }
+}
+
+#[test]
+fn hallucinated_rules_survive_correction_and_score_zero() {
+    // §4.4: hallucinations are rule-level; the authors left those
+    // queries untouched, and they (correctly) find nothing.
+    let data = generate(DatasetId::Wwc2019, &GenConfig { seed: 3, scale: 0.05, clean: false });
+    let schema = GraphSchema::infer(&data.graph);
+    let rule = ConsistencyRule::MandatoryProperty {
+        label: "Match".into(),
+        key: "penaltyScore".into(),
+    };
+    let q = reference_queries(&rule);
+    assert_eq!(classify(&q.satisfied, &schema).class, QueryClass::HallucinatedProperty);
+    let fixed = correct(&q.satisfied, &schema);
+    assert!(!fixed.changed);
+    assert_eq!(fixed.final_class, QueryClass::HallucinatedProperty);
+    let m = graph_rule_mining::metrics::evaluate(&data.graph, &q).unwrap();
+    assert_eq!(m.support, 0);
+    assert_eq!(m.coverage_pct, 0.0);
+}
+
+#[test]
+fn double_corruption_is_still_recoverable() {
+    let data = generate(DatasetId::Cybersecurity, &GenConfig { seed: 4, scale: 0.1, clean: false });
+    let schema = GraphSchema::infer(&data.graph);
+    let rule = ConsistencyRule::EdgeEndpointLabels {
+        etype: "CONTAINS".into(),
+        src_label: "OU".into(),
+        dst_label: "User".into(),
+    };
+    let good = reference_queries(&rule).satisfied;
+    let corrupted = break_syntax(&flip_first_direction(&good).unwrap());
+    let fixed = correct(&corrupted, &schema);
+    assert_eq!(fixed.final_class, QueryClass::Correct, "{}", fixed.corrected);
+    let want = execute(&data.graph, &good).unwrap().single_int();
+    let got = execute(&data.graph, &fixed.corrected).unwrap().single_int();
+    assert_eq!(got, want);
+}

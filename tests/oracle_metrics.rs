@@ -1,0 +1,129 @@
+//! Oracle tests: on *clean* graphs (no injected violations), every
+//! template ground-truth rule must score exactly 100% coverage and
+//! confidence — the analytic identity that validates the whole
+//! measurement stack (datasets → reference Cypher → engine → metrics).
+
+use graph_rule_mining::cypher::execute;
+use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
+use graph_rule_mining::metrics::evaluate;
+use graph_rule_mining::rules::{reference_queries, to_nl, violation_query, ConsistencyRule};
+
+fn clean(id: DatasetId) -> graph_rule_mining::datasets::Dataset {
+    generate(id, &GenConfig { seed: 42, scale: 0.1, clean: true })
+}
+
+#[test]
+fn template_rules_are_perfect_on_clean_graphs() {
+    for id in DatasetId::ALL {
+        let data = clean(id);
+        for rule in &data.ground_truth {
+            if matches!(rule, ConsistencyRule::Custom { .. }) {
+                continue; // complex rules are partial by design
+            }
+            let m = evaluate(&data.graph, &reference_queries(rule))
+                .unwrap_or_else(|e| panic!("{id:?} / {}: {e}", to_nl(rule)));
+            assert_eq!(
+                (m.coverage_pct, m.confidence_pct),
+                (100.0, 100.0),
+                "{id:?}: rule not perfect on clean graph: {}",
+                to_nl(rule)
+            );
+        }
+    }
+}
+
+#[test]
+fn violation_queries_find_zero_on_clean_graphs() {
+    for id in DatasetId::ALL {
+        let data = clean(id);
+        for rule in &data.ground_truth {
+            let Some(vq) = violation_query(rule) else { continue };
+            let rs = execute(&data.graph, &vq).expect("violation query runs");
+            // SUM over zero rows is NULL-ish 0; COUNT is 0.
+            let v = rs.single_int().unwrap_or(0);
+            assert_eq!(v, 0, "{id:?}: {} has violations on a clean graph", to_nl(rule));
+        }
+    }
+}
+
+#[test]
+fn dirty_graphs_have_violations_for_most_rules() {
+    for id in DatasetId::ALL {
+        let data = generate(id, &GenConfig { seed: 42, scale: 1.0, clean: false });
+        let mut violated = 0usize;
+        let mut checkable = 0usize;
+        for rule in &data.ground_truth {
+            let Some(vq) = violation_query(rule) else { continue };
+            checkable += 1;
+            let v = execute(&data.graph, &vq)
+                .expect("violation query runs")
+                .single_int()
+                .unwrap_or(0);
+            if v > 0 {
+                violated += 1;
+            }
+        }
+        assert!(
+            violated * 2 >= checkable,
+            "{id:?}: only {violated}/{checkable} ground-truth rules have injected violations"
+        );
+    }
+}
+
+#[test]
+fn body_equals_satisfied_plus_violations() {
+    // The identity body = satisfied + violations must hold for every
+    // rule whose three formulations partition the body matches.
+    let data = generate(DatasetId::Twitter, &GenConfig { seed: 9, scale: 0.05, clean: false });
+    let g = &data.graph;
+    for rule in &data.ground_truth {
+        // Cardinality rules measure per-node, not per-edge; unique
+        // rules group; skip the non-partitioning forms.
+        let partitioning = matches!(
+            rule,
+            ConsistencyRule::MandatoryProperty { .. }
+                | ConsistencyRule::NoSelfLoop { .. }
+                | ConsistencyRule::TemporalOrder { .. }
+                | ConsistencyRule::PropertyRange { .. }
+        );
+        if !partitioning {
+            continue;
+        }
+        let q = reference_queries(rule);
+        let vq = violation_query(rule).expect("partitioning rules have violation queries");
+        let body = execute(g, &q.body).unwrap().single_int().unwrap();
+        let sat = execute(g, &q.satisfied).unwrap().single_int().unwrap();
+        let vio = execute(g, &vq).unwrap().single_int().unwrap();
+        match rule {
+            // Mandatory splits the head set (all nodes), not the body.
+            ConsistencyRule::MandatoryProperty { .. } => {
+                let head = execute(g, &q.head_total).unwrap().single_int().unwrap();
+                assert_eq!(head, sat + vio, "{}", to_nl(rule));
+            }
+            ConsistencyRule::TemporalOrder { .. } => {
+                // NULL timestamps are in neither bucket; body counts
+                // only non-null pairs, but satisfied uses >= which is
+                // NULL-safe — identity holds on the body set.
+                assert_eq!(body, sat + vio, "{}", to_nl(rule));
+            }
+            _ => assert_eq!(body, sat + vio, "{}", to_nl(rule)),
+        }
+    }
+}
+
+#[test]
+fn complex_squad_rule_is_partial_by_design() {
+    let data = generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.2, clean: true });
+    let squad = data
+        .ground_truth
+        .iter()
+        .find(|r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament"))
+        .expect("squad rule in ground truth");
+    let m = evaluate(&data.graph, &reference_queries(squad)).unwrap();
+    assert!(m.support > 0, "some players are in tournament squads");
+    assert!(
+        m.confidence_pct < 100.0,
+        "most players are not in a squad — the rule must be partial (got {:.1}%)",
+        m.confidence_pct
+    );
+}

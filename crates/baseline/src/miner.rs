@@ -42,8 +42,7 @@ pub fn mine_exhaustive(g: &PropertyGraph, config: MinerConfig) -> Vec<MinedRule>
         let Ok(metrics) = evaluate(g, &reference_queries(&rule)) else {
             continue;
         };
-        if metrics.support >= config.min_support
-            && metrics.confidence_pct >= config.min_confidence
+        if metrics.support >= config.min_support && metrics.confidence_pct >= config.min_confidence
         {
             out.push(MinedRule { rule, metrics });
         }
@@ -73,10 +72,7 @@ fn enumerate_candidates(
             // Mandatory and unique candidates for *every* key — the
             // exhaustive miner proposes first and lets thresholds
             // prune, which is exactly what makes its output large.
-            out.push(ConsistencyRule::MandatoryProperty {
-                label: label.clone(),
-                key: key.clone(),
-            });
+            out.push(ConsistencyRule::MandatoryProperty { label: label.clone(), key: key.clone() });
             out.push(ConsistencyRule::UniqueProperty { label: label.clone(), key: key.clone() });
             // Closed domains up to the configured size.
             if stats.distinct >= 1 && stats.distinct <= config.max_domain {
@@ -131,10 +127,7 @@ fn enumerate_candidates(
                 dst_label: dst.clone(),
             });
             if src == dst {
-                out.push(ConsistencyRule::NoSelfLoop {
-                    label: src.clone(),
-                    etype: etype.clone(),
-                });
+                out.push(ConsistencyRule::NoSelfLoop { label: src.clone(), etype: etype.clone() });
                 if let Some((ts, _)) = schema
                     .node_props
                     .get(src)
@@ -225,12 +218,7 @@ mod tests {
         for m in mine_exhaustive(&g, MinerConfig::default()) {
             let q = reference_queries(&m.rule).satisfied;
             let class = grm_metrics::classify(&q, &schema).class;
-            assert!(
-                class.is_correct(),
-                "baseline emitted {:?} for {}",
-                class,
-                q
-            );
+            assert!(class.is_correct(), "baseline emitted {:?} for {}", class, q);
         }
     }
 

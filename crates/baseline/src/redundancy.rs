@@ -59,9 +59,7 @@ pub fn analyze_redundancy(mined: &[MinedRule]) -> RedundancyReport {
     let perfect_unique: HashSet<(String, String)> = mined
         .iter()
         .filter_map(|m| match &m.rule {
-            ConsistencyRule::UniqueProperty { label, key }
-                if m.metrics.coverage_pct >= 100.0 =>
-            {
+            ConsistencyRule::UniqueProperty { label, key } if m.metrics.coverage_pct >= 100.0 => {
                 Some((label.clone(), key.clone()))
             }
             _ => None,
@@ -110,8 +108,8 @@ mod tests {
     #[test]
     fn exhaustive_output_is_substantially_redundant() {
         // The paper's complaint, measured.
-        let g = generate(DatasetId::Twitter, &GenConfig { seed: 5, scale: 0.05, clean: false })
-            .graph;
+        let g =
+            generate(DatasetId::Twitter, &GenConfig { seed: 5, scale: 0.05, clean: false }).graph;
         let mined = mine_exhaustive(&g, MinerConfig::default());
         let report = analyze_redundancy(&mined);
         assert_eq!(report.total, mined.len());

@@ -9,7 +9,8 @@ use grm_datasets::{generate, DatasetId, GenConfig};
 use grm_textenc::{chunk, encode_incident, WindowConfig};
 
 fn bench_overlap(c: &mut Criterion) {
-    let graph = generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.25, clean: false }).graph;
+    let graph =
+        generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.25, clean: false }).graph;
     let encoded = encode_incident(&graph);
 
     let mut group = c.benchmark_group("ablation/overlap");

@@ -10,13 +10,11 @@ use grm_llm::{ModelKind, PromptStyle};
 use grm_textenc::{chunk, encode_incident, WindowConfig};
 
 fn bench_parallel(c: &mut Criterion) {
-    let graph = generate(DatasetId::Twitter, &GenConfig { seed: 42, scale: 0.1, clean: false }).graph;
+    let graph =
+        generate(DatasetId::Twitter, &GenConfig { seed: 42, scale: 0.1, clean: false }).graph;
     let encoded = encode_incident(&graph);
-    let contexts: Vec<String> = chunk(&encoded, WindowConfig::new(2000, 200))
-        .windows
-        .into_iter()
-        .map(|w| w.text)
-        .collect();
+    let contexts: Vec<String> =
+        chunk(&encoded, WindowConfig::new(2000, 200)).windows.into_iter().map(|w| w.text).collect();
     let cfg = PipelineConfig::new(
         ModelKind::Llama3,
         ContextStrategy::default_sliding_window(),
@@ -35,9 +33,7 @@ fn bench_parallel(c: &mut Criterion) {
         );
         group.bench_function(format!("workers_{workers}"), |b| {
             b.iter(|| {
-                mine_parallel(&contexts, &cfg, PromptStyle::ZeroShot, None, workers)
-                    .rules
-                    .len()
+                mine_parallel(&contexts, &cfg, PromptStyle::ZeroShot, None, workers).rules.len()
             })
         });
     }

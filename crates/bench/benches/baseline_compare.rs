@@ -11,8 +11,7 @@ use grm_textenc::WindowConfig;
 
 fn bench_baseline(c: &mut Criterion) {
     let graph =
-        generate(DatasetId::Cybersecurity, &GenConfig { seed: 42, scale: 0.2, clean: false })
-            .graph;
+        generate(DatasetId::Cybersecurity, &GenConfig { seed: 42, scale: 0.2, clean: false }).graph;
 
     let mined = mine_exhaustive(&graph, MinerConfig::default());
     let redundancy = analyze_redundancy(&mined);

@@ -9,7 +9,8 @@ use grm_textenc::{chunk, encode_adjacency, encode_incident, token_count, WindowC
 use grm_vecstore::{RagConfig, Retriever};
 
 fn bench_encoding(c: &mut Criterion) {
-    let graph = generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.2, clean: false }).graph;
+    let graph =
+        generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.2, clean: false }).graph;
     let elements = (graph.node_count() + graph.edge_count()) as u64;
 
     let mut group = c.benchmark_group("figure2/encode");
@@ -32,9 +33,7 @@ fn bench_encoding(c: &mut Criterion) {
         b.iter(|| Retriever::ingest(&encoded, RagConfig::default()).chunk_count())
     });
     let retriever = Retriever::ingest(&encoded, RagConfig::default());
-    group.bench_function("retrieve", |b| {
-        b.iter(|| retriever.retrieve(RAG_QUERY).visible_elements)
-    });
+    group.bench_function("retrieve", |b| b.iter(|| retriever.retrieve(RAG_QUERY).visible_elements));
     group.finish();
 }
 

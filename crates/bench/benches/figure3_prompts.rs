@@ -10,7 +10,8 @@ use grm_pgraph::GraphSchema;
 use grm_textenc::{chunk, encode_incident, WindowConfig};
 
 fn bench_prompts(c: &mut Criterion) {
-    let graph = generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.1, clean: false }).graph;
+    let graph =
+        generate(DatasetId::Wwc2019, &GenConfig { seed: 42, scale: 0.1, clean: false }).graph;
     let encoded = encode_incident(&graph);
     let window = chunk(&encoded, WindowConfig::new(2000, 200))
         .windows

@@ -29,11 +29,7 @@ fn bench_classify_correct(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6");
     group.bench_function("classify", |b| {
         b.iter(|| {
-            queries
-                .iter()
-                .map(|q| classify(q, &schema).class)
-                .filter(|cl| cl.is_correct())
-                .count()
+            queries.iter().map(|q| classify(q, &schema).class).filter(|cl| cl.is_correct()).count()
         })
     });
     group.bench_function("correct", |b| {

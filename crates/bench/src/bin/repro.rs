@@ -18,7 +18,10 @@
 //!   (window counts, broken patterns, RAG retrieval coverage);
 //! * Figure 3 — the zero-/few-shot prompt structure;
 //! * `--errors` — the §4.4 error taxonomy breakdown;
-//! * `--rule-types` — the §4.5 rule-complexity distribution.
+//! * `--rule-types` — the §4.5 rule-complexity distribution;
+//! * `--trace FILE.jsonl` — run one representative pipeline
+//!   configuration with instrumentation and write its grm-obs run
+//!   journal (the CI bench-smoke artifact).
 
 use std::collections::HashMap;
 
@@ -40,6 +43,7 @@ struct Args {
     seeds: Option<usize>,
     seed: u64,
     scale: f64,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +56,7 @@ fn parse_args() -> Args {
         seeds: None,
         seed: 42,
         scale: 1.0,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -65,9 +70,8 @@ fn parse_args() -> Args {
             }
             "--figure" => {
                 any = true;
-                args.figures.push(
-                    it.next().and_then(|v| v.parse().ok()).expect("--figure needs 2 or 3"),
-                );
+                args.figures
+                    .push(it.next().and_then(|v| v.parse().ok()).expect("--figure needs 2 or 3"));
             }
             "--errors" => {
                 any = true;
@@ -83,9 +87,12 @@ fn parse_args() -> Args {
             }
             "--seeds" => {
                 any = true;
-                args.seeds = Some(
-                    it.next().and_then(|v| v.parse().ok()).expect("--seeds needs a count"),
-                );
+                args.seeds =
+                    Some(it.next().and_then(|v| v.parse().ok()).expect("--seeds needs a count"));
+            }
+            "--trace" => {
+                any = true;
+                args.trace = Some(it.next().expect("--trace needs a file path"));
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -139,10 +146,7 @@ impl GridCache {
                 self.reports.insert((id, *model, strat_name, *style), report);
             }
         }
-        needed
-            .iter()
-            .map(|(m, s, p)| &self.reports[&(id, *m, *s, *p)])
-            .collect()
+        needed.iter().map(|(m, s, p)| &self.reports[&(id, *m, *s, *p)]).collect()
     }
 }
 
@@ -192,6 +196,41 @@ fn main() {
     if let Some(n) = args.seeds {
         seed_sweep(&args, n);
     }
+    if let Some(path) = &args.trace {
+        trace_run(&args, path);
+    }
+}
+
+/// `--trace`: one instrumented pipeline run (WWC2019, RAG zero-shot —
+/// the quickest paper configuration), journal written as JSONL.
+fn trace_run(args: &Args, path: &str) {
+    use grm_obs::Recorder;
+
+    let data = generate(
+        DatasetId::Wwc2019,
+        &GenConfig { seed: args.seed, scale: args.scale, clean: false },
+    );
+    let mut cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::default_rag(),
+        PromptStyle::ZeroShot,
+    );
+    cfg.seed = args.seed;
+    let recorder = Recorder::new();
+    let report = MiningPipeline::new(cfg).run_traced(&data.graph, &recorder);
+    let journal = recorder.snapshot();
+    if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("== trace: WWC2019 / llama3 / RAG / zero-shot ==");
+    print!("{}", journal.summary());
+    println!(
+        "({} rules in {:.1}s simulated; journal with {} spans written to {path})",
+        report.rule_count(),
+        report.mining_seconds,
+        journal.spans.len()
+    );
 }
 
 /// Robustness sweep: reruns the quality grid across `n` seeds and
@@ -199,10 +238,7 @@ fn main() {
 /// findings are not a single-seed artefact.
 fn seed_sweep(args: &Args, n: usize) {
     println!("== seed sweep: coverage% mean [min..max] over {n} seeds ==");
-    println!(
-        "{:<15} {:<10} {:>22} {:>22}",
-        "Dataset", "Model", "SWA zero", "RAG zero"
-    );
+    println!("{:<15} {:<10} {:>22} {:>22}", "Dataset", "Model", "SWA zero", "RAG zero");
     for id in DatasetId::ALL {
         let data = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
         for model in ModelKind::ALL {
@@ -252,8 +288,7 @@ fn extensions(args: &Args) {
             ContextStrategy::default_rag(),
             ContextStrategy::default_summary(),
         ] {
-            let mut cfg =
-                PipelineConfig::new(ModelKind::Llama3, strategy, PromptStyle::ZeroShot);
+            let mut cfg = PipelineConfig::new(ModelKind::Llama3, strategy, PromptStyle::ZeroShot);
             cfg.seed = args.seed;
             let r = MiningPipeline::new(cfg).run(&data.graph);
             println!(
@@ -284,7 +319,8 @@ fn extensions(args: &Args) {
         );
         cfg.seed = args.seed;
         let llm = MiningPipeline::new(cfg).run(&data.graph);
-        let mined = grm_baseline::mine_exhaustive(&data.graph, grm_baseline::MinerConfig::default());
+        let mined =
+            grm_baseline::mine_exhaustive(&data.graph, grm_baseline::MinerConfig::default());
         let redundancy = grm_baseline::analyze_redundancy(&mined);
         let miner_conf = if mined.is_empty() {
             0.0
@@ -310,7 +346,10 @@ fn extensions(args: &Args) {
 
 fn table1(args: &Args) {
     println!("== Table 1: dataset sizes ==");
-    println!("{:<15} {:>7} {:>7} {:>12} {:>12}", "", "Nodes", "Edges", "Node Labels", "Edge Labels");
+    println!(
+        "{:<15} {:>7} {:>7} {:>12} {:>12}",
+        "", "Nodes", "Edges", "Node Labels", "Edge Labels"
+    );
     for id in DatasetId::ALL {
         let d = generate(id, &GenConfig { seed: args.seed, scale: args.scale, clean: false });
         let s = GraphStats::of(&d.graph);
@@ -327,10 +366,7 @@ fn table1(args: &Args) {
 }
 
 fn quality_table(cache: &mut GridCache, id: DatasetId, n: u32) {
-    println!(
-        "== Table {n}: support, coverage and confidence — {} ==",
-        id.name()
-    );
+    println!("== Table {n}: support, coverage and confidence — {} ==", id.name());
     println!(
         "{:<10} {:<5} {:<26} {:>6} {:>8} {:>7} {:>7}",
         "Model", "Shot", "Encoding", "#rules", "Supp", "Cov%", "Conf%"

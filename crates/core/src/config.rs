@@ -115,10 +115,8 @@ mod tests {
     fn grid_has_eight_configs() {
         let g = PipelineConfig::grid(1);
         assert_eq!(g.len(), 8);
-        let sw = g
-            .iter()
-            .filter(|c| matches!(c.strategy, ContextStrategy::SlidingWindow(_)))
-            .count();
+        let sw =
+            g.iter().filter(|c| matches!(c.strategy, ContextStrategy::SlidingWindow(_))).count();
         assert_eq!(sw, 4);
     }
 

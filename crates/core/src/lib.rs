@@ -25,11 +25,11 @@
 pub mod config;
 pub mod parallel;
 pub mod pipeline;
-pub mod session;
 pub mod report;
+pub mod session;
 
 pub use config::{ContextStrategy, PipelineConfig};
-pub use parallel::{mine_parallel, ParallelMining};
+pub use parallel::{mine_parallel, mine_parallel_traced, ParallelMining};
 pub use pipeline::{MiningPipeline, RAG_QUERY};
-pub use session::{Feedback, InteractiveSession, Proposal};
 pub use report::{MiningReport, RuleOutcome};
+pub use session::{Feedback, InteractiveSession, Proposal};

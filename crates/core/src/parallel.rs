@@ -13,6 +13,7 @@
 //! worker order before the merge step.
 
 use grm_llm::{GeneratedRule, MiningPrompt, PromptStyle, SimLlm};
+use grm_obs::Scope;
 
 use crate::config::PipelineConfig;
 
@@ -40,6 +41,27 @@ pub fn mine_parallel(
     target_rules: Option<usize>,
     workers: usize,
 ) -> ParallelMining {
+    mine_parallel_traced(contexts, cfg, style, target_rules, workers, &Scope::disabled())
+}
+
+/// [`mine_parallel`] with instrumentation: one `worker-<id>` child
+/// span per replica under `obs_scope`, carrying that worker's prompt
+/// and rule counters plus its simulated busy time.
+///
+/// Worker spans are opened *before* the threads spawn so span ids in
+/// the journal are deterministic; each thread records onto its own
+/// span, which keeps per-worker counter sums exact under concurrency.
+///
+/// # Panics
+/// Panics when `workers == 0`.
+pub fn mine_parallel_traced(
+    contexts: &[String],
+    cfg: &PipelineConfig,
+    style: PromptStyle,
+    target_rules: Option<usize>,
+    workers: usize,
+    obs_scope: &Scope,
+) -> ParallelMining {
     assert!(workers > 0, "at least one worker is required");
     let workers = workers.min(contexts.len().max(1));
 
@@ -55,19 +77,21 @@ pub fn mine_parallel(
             .enumerate()
             .map(|(worker_id, batch)| {
                 let cfg = cfg.clone();
+                let span = obs_scope.span(&format!("worker-{worker_id}"));
                 scope.spawn(move || {
                     // Each replica gets its own deterministic stream.
-                    let mut model =
-                        SimLlm::new(cfg.model, cfg.seed ^ ((worker_id as u64) << 32));
+                    let mut model = SimLlm::new(cfg.model, cfg.seed ^ ((worker_id as u64) << 32));
+                    let worker_scope = span.scope();
                     let mut rules = Vec::new();
                     let mut seconds = 0.0;
                     for context in batch {
                         let mut prompt = MiningPrompt::new(style, (*context).clone());
                         prompt.target_rules = target_rules;
-                        let resp = model.mine(&prompt);
+                        let resp = model.mine_traced(&prompt, &worker_scope);
                         seconds += resp.seconds;
                         rules.extend(resp.rules);
                     }
+                    span.finish();
                     (rules, seconds)
                 })
             })

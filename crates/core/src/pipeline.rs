@@ -14,10 +14,11 @@
 use std::collections::HashMap;
 
 use grm_llm::{MiningPrompt, SimLlm};
-use grm_metrics::{aggregate, classify, correct, evaluate, ClassTally, QueryClass};
+use grm_metrics::{aggregate, classify, correct, evaluate_traced, ClassTally, QueryClass};
+use grm_obs::{Counter, Recorder, Scope, Span};
 use grm_pgraph::{GraphSchema, PropertyGraph};
 use grm_rules::RuleQueries;
-use grm_textenc::{chunk, encode, encode_summary};
+use grm_textenc::{chunk_traced, encode_summary_traced, encode_traced};
 use grm_vecstore::Retriever;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,29 +43,33 @@ impl MiningPipeline {
         MiningPipeline { config }
     }
 
-    /// Builds the model context(s) per the configured strategy.
+    /// Builds the model context(s) per the configured strategy, with
+    /// encode/chunk/retrieve spans recorded on `scope`.
     /// Returns `(contexts, windows, broken_patterns, rag_coverage)`.
     fn build_contexts(
         &self,
         graph: &PropertyGraph,
+        scope: &Scope,
     ) -> (Vec<String>, usize, usize, Option<f64>) {
         let cfg = &self.config;
-        let encoded = encode(graph, cfg.encoder);
+        let encoded = encode_traced(graph, cfg.encoder, scope);
         match &cfg.strategy {
             ContextStrategy::SlidingWindow(wc) => {
-                let ws = chunk(&encoded, *wc);
+                let ws = chunk_traced(&encoded, *wc, scope);
                 let windows = ws.len();
                 let broken = ws.broken_patterns;
                 let contexts = ws.windows.into_iter().map(|w| w.text).collect();
                 (contexts, windows, broken, None)
             }
             ContextStrategy::Rag(rc) => {
-                let retriever = Retriever::ingest(&encoded, *rc);
-                let retrieval = retriever.retrieve(RAG_QUERY);
+                let retriever = Retriever::ingest_traced(&encoded, *rc, scope);
+                let retrieval = retriever.retrieve_traced(RAG_QUERY, scope);
                 let cov = retrieval.coverage();
                 (vec![retrieval.context()], 0, 0, Some(cov))
             }
-            ContextStrategy::Summary(sc) => (vec![encode_summary(graph, *sc)], 0, 0, None),
+            ContextStrategy::Summary(sc) => {
+                (vec![encode_summary_traced(graph, *sc, scope)], 0, 0, None)
+            }
         }
     }
 
@@ -80,26 +85,45 @@ impl MiningPipeline {
     }
 
     /// Runs the full pipeline against `graph`.
+    ///
+    /// Always records through an internal [`Recorder`] so the
+    /// report's stage-timing breakdown is populated; use
+    /// [`MiningPipeline::run_traced`] to keep the journal too.
     pub fn run(&self, graph: &PropertyGraph) -> MiningReport {
+        self.run_traced(graph, &Recorder::new())
+    }
+
+    /// [`MiningPipeline::run`] recording spans and counters on
+    /// `recorder` — one stage span per Figure-1 step under a root
+    /// `pipeline` span. Tracing never touches the model's RNG
+    /// streams, so traced and untraced runs produce identical
+    /// reports.
+    pub fn run_traced(&self, graph: &PropertyGraph, recorder: &Recorder) -> MiningReport {
         let cfg = &self.config;
         let mut model = SimLlm::new(cfg.model, cfg.seed);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+        let root = recorder.root_scope().span("pipeline");
+        let root_scope = root.scope();
 
         // Steps 1–2: encode and build contexts.
-        let (contexts, windows, broken_patterns, rag_coverage) = self.build_contexts(graph);
+        let (contexts, windows, broken_patterns, rag_coverage) =
+            self.build_contexts(graph, &root_scope);
 
         // Step 3: mine rules per context.
         let budget = cfg.rule_budget.unwrap_or_else(|| self.derive_budget(&mut rng));
         let per_prompt_target = self.per_prompt_target(budget);
+        let mine_span = root_scope.span("mine");
+        let mine_scope = mine_span.scope();
         let mut mining_seconds = 0.0;
         let mut mined: Vec<grm_llm::GeneratedRule> = Vec::new();
         for context in &contexts {
             let mut prompt = MiningPrompt::new(cfg.prompting, context.clone());
             prompt.target_rules = per_prompt_target;
-            let resp = model.mine(&prompt);
+            let resp = model.mine_traced(&prompt, &mine_scope);
             mining_seconds += resp.seconds;
             mined.extend(resp.rules);
         }
+        mine_span.finish();
 
         self.finish(
             graph,
@@ -111,6 +135,8 @@ impl MiningPipeline {
             broken_patterns,
             rag_coverage,
             mining_seconds,
+            root,
+            recorder,
         )
     }
 
@@ -120,17 +146,37 @@ impl MiningPipeline {
     /// `mining_seconds` is the fleet wall-clock (the slowest
     /// replica); deterministic for a fixed `(seed, workers)`.
     pub fn run_with_workers(&self, graph: &PropertyGraph, workers: usize) -> MiningReport {
+        self.run_with_workers_traced(graph, workers, &Recorder::new())
+    }
+
+    /// [`MiningPipeline::run_with_workers`] recording on `recorder`,
+    /// with one `worker-<id>` child span per replica under the `mine`
+    /// stage span. The `mine` span itself carries the fleet
+    /// wall-clock; each worker span carries that replica's busy time.
+    pub fn run_with_workers_traced(
+        &self,
+        graph: &PropertyGraph,
+        workers: usize,
+        recorder: &Recorder,
+    ) -> MiningReport {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
-        let (contexts, windows, broken_patterns, rag_coverage) = self.build_contexts(graph);
+        let root = recorder.root_scope().span("pipeline");
+        let root_scope = root.scope();
+        let (contexts, windows, broken_patterns, rag_coverage) =
+            self.build_contexts(graph, &root_scope);
         let budget = cfg.rule_budget.unwrap_or_else(|| self.derive_budget(&mut rng));
-        let mining = crate::parallel::mine_parallel(
+        let mine_span = root_scope.span("mine");
+        let mining = crate::parallel::mine_parallel_traced(
             &contexts,
             cfg,
             cfg.prompting,
             self.per_prompt_target(budget),
             workers,
+            &mine_span.scope(),
         );
+        mine_span.scope().add_sim_seconds(mining.wall_seconds);
+        mine_span.finish();
         // The translator is one dedicated replica with its own stream.
         let mut translator = SimLlm::new(cfg.model, cfg.seed ^ 0x7a41_5000);
         self.finish(
@@ -143,6 +189,8 @@ impl MiningPipeline {
             broken_patterns,
             rag_coverage,
             mining.wall_seconds,
+            root,
+            recorder,
         )
     }
 
@@ -159,22 +207,46 @@ impl MiningPipeline {
         broken_patterns: usize,
         rag_coverage: Option<f64>,
         mining_seconds: f64,
+        root_span: Span,
+        recorder: &Recorder,
     ) -> MiningReport {
         let cfg = &self.config;
+        let root_scope = root_span.scope();
         // Step 4: merge — dedup with frequency ranking (§3.1.1:
         // per-window rules "combined to create a comprehensive set").
+        let merge_span = root_scope.span("merge");
         let merged = merge_rules(mined);
+        merge_span.scope().add(Counter::RulesDeduped, merged.len() as u64);
         let selected: Vec<MergedRule> = merged.into_iter().take(budget).collect();
+        merge_span.finish();
 
-        // Steps 5–7: translate, classify, correct, score.
         let schema = GraphSchema::infer(graph);
         let schema_summary = schema.summary();
+
+        // Step 5: translate every selected rule. One pass for all
+        // rules keeps the translator's RNG stream identical to the
+        // historical interleaved loop while giving the stage its own
+        // span.
+        let translate_span = root_scope.span("translate");
+        let translate_scope = translate_span.scope();
         let mut translation_seconds = 0.0;
+        let translations: Vec<_> = selected
+            .iter()
+            .map(|m| {
+                let resp =
+                    model.translate_rule_traced(&m.rule.rule, &schema_summary, &translate_scope);
+                translation_seconds += resp.seconds;
+                resp
+            })
+            .collect();
+        translate_span.finish();
+
+        // Steps 6–7: classify, correct, score.
+        let evaluate_span = root_scope.span("evaluate");
+        let evaluate_scope = evaluate_span.scope();
         let mut correctness = ClassTally::default();
         let mut outcomes = Vec::with_capacity(selected.len());
-        for m in selected {
-            let resp = model.translate_rule(&m.rule.rule, &schema_summary);
-            translation_seconds += resp.seconds;
+        for (m, resp) in selected.into_iter().zip(translations) {
             let generated = resp.translation.cypher.clone();
             let assessment = classify(&generated, &schema);
             correctness.add(assessment.class);
@@ -189,7 +261,7 @@ impl MiningPipeline {
                     body: resp.translation.reference.body.clone(),
                     head_total: resp.translation.reference.head_total.clone(),
                 };
-                evaluate(graph, &queries).ok()
+                evaluate_traced(graph, &queries, &evaluate_scope).ok()
             } else {
                 None
             };
@@ -206,6 +278,8 @@ impl MiningPipeline {
                 rule: m.rule.rule,
             });
         }
+        evaluate_span.finish();
+        root_span.finish();
 
         let scored: Vec<_> = outcomes.iter().filter_map(|o| o.metrics).collect();
         MiningReport {
@@ -221,6 +295,7 @@ impl MiningPipeline {
             translation_seconds,
             aggregate: aggregate(&scored),
             correctness,
+            stage_timings: recorder.snapshot().stage_timings(),
         }
     }
 
@@ -270,14 +345,12 @@ fn merge_rules(mined: Vec<grm_llm::GeneratedRule>) -> Vec<MergedRule> {
             }
         }
     }
-    let mut merged: Vec<MergedRule> = order
-        .into_iter()
-        .map(|k| by_key.remove(&k).expect("keys recorded once"))
-        .collect();
+    let mut merged: Vec<MergedRule> =
+        order.into_iter().map(|k| by_key.remove(&k).expect("keys recorded once")).collect();
     merged.sort_by(|a, b| {
-        b.frequency
-            .cmp(&a.frequency)
-            .then(b.rule.evidence.partial_cmp(&a.rule.evidence).unwrap_or(std::cmp::Ordering::Equal))
+        b.frequency.cmp(&a.frequency).then(
+            b.rule.evidence.partial_cmp(&a.rule.evidence).unwrap_or(std::cmp::Ordering::Equal),
+        )
     });
     merged
 }
@@ -332,8 +405,7 @@ mod tests {
     #[test]
     fn rag_is_much_faster_than_sliding_window() {
         let g = small_graph();
-        let sw =
-            MiningPipeline::new(sw_config(ModelKind::Llama3, PromptStyle::ZeroShot)).run(&g);
+        let sw = MiningPipeline::new(sw_config(ModelKind::Llama3, PromptStyle::ZeroShot)).run(&g);
         let rag = MiningPipeline::new(PipelineConfig::new(
             ModelKind::Llama3,
             ContextStrategy::Rag(RagConfig::default()),

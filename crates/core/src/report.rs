@@ -57,6 +57,8 @@ pub struct MiningReport {
     pub aggregate: AggregateMetrics,
     /// Cypher correctness tally (Table 6 + §4.4 breakdown).
     pub correctness: ClassTally,
+    /// Per-stage timing breakdown (one row per top-level span).
+    pub stage_timings: Vec<grm_obs::StageTiming>,
 }
 
 impl MiningReport {

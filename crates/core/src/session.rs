@@ -96,8 +96,7 @@ impl InteractiveSession {
         let mut config = config;
         config.rule_budget = Some(usize::MAX); // expert applies the budget
         let report = MiningPipeline::new(config).run(graph);
-        let queue: Vec<ConsistencyRule> =
-            report.rules.into_iter().map(|o| o.rule).collect();
+        let queue: Vec<ConsistencyRule> = report.rules.into_iter().map(|o| o.rule).collect();
         InteractiveSession {
             schema: GraphSchema::infer(graph),
             graph: graph.clone(),
@@ -141,10 +140,7 @@ impl InteractiveSession {
     /// Panics if the previous proposal has not received feedback yet —
     /// the protocol is strictly alternate propose/feedback.
     pub fn next_proposal(&mut self) -> Option<Proposal> {
-        assert!(
-            self.pending.is_none(),
-            "previous proposal still awaiting feedback"
-        );
+        assert!(self.pending.is_none(), "previous proposal still awaiting feedback");
         loop {
             if self.queue.is_empty() {
                 return None;
@@ -198,8 +194,7 @@ mod tests {
     use grm_llm::{ModelKind, PromptStyle};
 
     fn session() -> InteractiveSession {
-        let data =
-            generate(DatasetId::Twitter, &GenConfig { seed: 3, scale: 0.02, clean: false });
+        let data = generate(DatasetId::Twitter, &GenConfig { seed: 3, scale: 0.02, clean: false });
         let config = PipelineConfig::new(
             ModelKind::Mixtral,
             ContextStrategy::default_summary(),

@@ -1,0 +1,147 @@
+//! End-to-end tracing: a full pipeline run must emit one span per
+//! Figure-1 stage, and the journal's counters must agree with the
+//! `MiningReport` the same run returned.
+
+use grm_core::{ContextStrategy, MiningPipeline, PipelineConfig};
+use grm_datasets::{generate, DatasetId, GenConfig};
+use grm_llm::{ModelKind, PromptStyle};
+use grm_obs::{Recorder, RunJournal};
+use grm_pgraph::PropertyGraph;
+use grm_textenc::WindowConfig;
+use grm_vecstore::RagConfig;
+
+fn small_graph() -> PropertyGraph {
+    generate(DatasetId::Twitter, &GenConfig { scale: 0.01, ..Default::default() }).graph
+}
+
+fn sw_config() -> PipelineConfig {
+    PipelineConfig {
+        strategy: ContextStrategy::SlidingWindow(WindowConfig::new(2000, 200)),
+        ..PipelineConfig::new(
+            ModelKind::Llama3,
+            ContextStrategy::default_sliding_window(),
+            PromptStyle::ZeroShot,
+        )
+    }
+}
+
+fn stage_names(journal: &RunJournal) -> Vec<String> {
+    let root = journal.span("pipeline").expect("root span");
+    journal.children(root).iter().map(|s| s.name.clone()).collect()
+}
+
+#[test]
+fn sliding_window_run_emits_one_span_per_stage() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+
+    assert_eq!(
+        stage_names(&journal),
+        ["encode", "chunk", "mine", "merge", "translate", "evaluate"]
+    );
+
+    // Counters agree with the report.
+    assert_eq!(journal.total("prompts_issued"), report.prompts as u64);
+    assert_eq!(journal.total("windows_produced"), report.windows as u64);
+    assert_eq!(journal.total("broken_patterns"), report.broken_patterns as u64);
+    assert_eq!(journal.total("rules_translated"), report.rule_count() as u64);
+    assert!(journal.total("rules_mined") >= journal.total("rules_deduped"));
+    assert!(journal.total("rules_deduped") >= report.rule_count() as u64);
+    assert_eq!(journal.total("nodes_encoded"), g.node_count() as u64);
+    assert_eq!(journal.total("edges_encoded"), g.edge_count() as u64);
+    assert!(journal.total("tokens_emitted") > 0);
+    assert!(journal.total("support_evaluations") > 0);
+    assert!(journal.total("cypher_queries_executed") >= journal.total("support_evaluations"));
+
+    // Stage sim time agrees with the report's timing columns.
+    let mine = journal.span("mine").unwrap();
+    assert!((mine.sim_seconds - report.mining_seconds).abs() < 1e-9);
+    let translate = journal.span("translate").unwrap();
+    assert!((translate.sim_seconds - report.translation_seconds).abs() < 1e-9);
+
+    // The report embeds the same breakdown.
+    let stages: Vec<&str> = report.stage_timings.iter().map(|t| t.stage.as_str()).collect();
+    assert_eq!(stages, ["encode", "chunk", "mine", "merge", "translate", "evaluate"]);
+    let mine_row = report.stage_timings.iter().find(|t| t.stage == "mine").unwrap();
+    assert!((mine_row.sim_seconds - report.mining_seconds).abs() < 1e-9);
+}
+
+#[test]
+fn rag_run_emits_retrieval_spans_and_coverage_gauge() {
+    let g = small_graph();
+    let cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::Rag(RagConfig::default()),
+        PromptStyle::ZeroShot,
+    );
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(cfg).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+
+    assert_eq!(
+        stage_names(&journal),
+        ["encode", "rag.ingest", "rag.retrieve", "mine", "merge", "translate", "evaluate"]
+    );
+    assert!(journal.total("chunks_ingested") > 0);
+    assert!(journal.total("chunks_retrieved") > 0);
+    assert_eq!(journal.gauge("rag_coverage"), report.rag_coverage);
+    assert_eq!(journal.total("prompts_issued"), 1);
+}
+
+#[test]
+fn parallel_run_emits_worker_child_spans_that_sum_to_totals() {
+    let g = small_graph();
+    let workers = 4;
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(sw_config()).run_with_workers_traced(&g, workers, &rec);
+    let journal = rec.snapshot();
+
+    let mine = journal.span("mine").expect("mine span");
+    let children = journal.children(mine);
+    assert_eq!(children.len(), workers);
+    for (i, child) in children.iter().enumerate() {
+        assert_eq!(child.name, format!("worker-{i}"));
+    }
+
+    // Per-worker counters sum to the run totals.
+    let prompts: u64 = children.iter().map(|c| c.counter("prompts_issued")).sum();
+    assert_eq!(prompts, journal.total("prompts_issued"));
+    assert_eq!(prompts, report.prompts as u64);
+    let mined: u64 = children.iter().map(|c| c.counter("rules_mined")).sum();
+    assert_eq!(mined, journal.total("rules_mined"));
+
+    // The mine span carries the fleet wall-clock; workers carry
+    // per-replica busy time, so the slowest worker equals the stage.
+    let slowest = children.iter().map(|c| c.sim_seconds).fold(0.0, f64::max);
+    assert!((mine.sim_seconds - slowest).abs() < 1e-9);
+    assert!((mine.sim_seconds - report.mining_seconds).abs() < 1e-9);
+}
+
+#[test]
+fn traced_and_untraced_runs_are_identical() {
+    let g = small_graph();
+    let plain = MiningPipeline::new(sw_config()).run(&g);
+    let rec = Recorder::new();
+    let traced = MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    assert_eq!(plain.rule_count(), traced.rule_count());
+    assert_eq!(plain.mining_seconds, traced.mining_seconds);
+    assert_eq!(plain.translation_seconds, traced.translation_seconds);
+    assert_eq!(plain.aggregate.support, traced.aggregate.support);
+    assert_eq!(plain.correctness.total, traced.correctness.total);
+    // And the always-on internal recorder populates the breakdown.
+    assert_eq!(plain.stage_timings.len(), traced.stage_timings.len());
+}
+
+#[test]
+fn journal_round_trips_through_jsonl_after_a_real_run() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    let _ = MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+    let text = journal.to_jsonl();
+    let parsed = RunJournal::from_jsonl(&text).expect("round trip");
+    assert_eq!(parsed, journal);
+    assert!(!parsed.summary().is_empty());
+}

@@ -287,8 +287,8 @@ fn check_expr(
                 }
             }
             Some(VarKind::Rel(types)) => {
-                let known = types.is_empty()
-                    || types.iter().any(|t| schema.edge_has_property(t, &key));
+                let known =
+                    types.is_empty() || types.iter().any(|t| schema.edge_has_property(t, &key));
                 if !known {
                     issues.push(SemanticIssue::UnknownProperty {
                         var: var.clone(),
@@ -305,11 +305,7 @@ fn check_expr(
     check_bare_vars(expr, vars, issues);
 }
 
-fn check_bare_vars(
-    expr: &Expr,
-    vars: &HashMap<String, VarKind>,
-    issues: &mut Vec<SemanticIssue>,
-) {
+fn check_bare_vars(expr: &Expr, vars: &HashMap<String, VarKind>, issues: &mut Vec<SemanticIssue>) {
     match expr {
         Expr::Var(v) => {
             if !vars.contains_key(v) {
@@ -377,10 +373,8 @@ mod tests {
 
     #[test]
     fn clean_query_has_no_issues() {
-        assert!(issues(
-            "MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c"
-        )
-        .is_empty());
+        assert!(issues("MATCH (m:Match)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c")
+            .is_empty());
     }
 
     #[test]
@@ -412,12 +406,8 @@ mod tests {
 
     #[test]
     fn detects_impossible_endpoints() {
-        let is = issues(
-            "MATCH (p:Person)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c",
-        );
-        assert!(is
-            .iter()
-            .any(|i| matches!(i, SemanticIssue::ImpossibleEndpoints { .. })));
+        let is = issues("MATCH (p:Person)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c");
+        assert!(is.iter().any(|i| matches!(i, SemanticIssue::ImpossibleEndpoints { .. })));
     }
 
     #[test]

@@ -17,17 +17,9 @@ pub struct Query {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Clause {
     /// `MATCH <patterns> [WHERE <expr>]` (optionally `OPTIONAL MATCH`).
-    Match {
-        optional: bool,
-        patterns: Vec<PathPattern>,
-        where_clause: Option<Expr>,
-    },
+    Match { optional: bool, patterns: Vec<PathPattern>, where_clause: Option<Expr> },
     /// `WITH [DISTINCT] items [WHERE expr]`.
-    With {
-        distinct: bool,
-        items: Vec<ProjItem>,
-        where_clause: Option<Expr>,
-    },
+    With { distinct: bool, items: Vec<ProjItem>, where_clause: Option<Expr> },
     /// `UNWIND <expr> AS <var>`.
     Unwind { expr: Expr, var: String },
 }
@@ -214,12 +206,7 @@ pub enum Expr {
     In { expr: Box<Expr>, list: Box<Expr> },
     /// Function call; `name` is stored lowercase. `star` marks
     /// `COUNT(*)`.
-    FnCall {
-        name: String,
-        distinct: bool,
-        star: bool,
-        args: Vec<Expr>,
-    },
+    FnCall { name: String, distinct: bool, star: bool, args: Vec<Expr> },
     /// List literal of expressions.
     List(Vec<Expr>),
     /// `EXISTS(n.prop)` keyword form.
@@ -248,9 +235,7 @@ impl Expr {
             Expr::Literal(_) | Expr::Var(_) => false,
             Expr::Prop { base, .. } => base.contains_aggregate(),
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::In { expr, list } => expr.contains_aggregate() || list.contains_aggregate(),
             Expr::List(items) => items.iter().any(Expr::contains_aggregate),
@@ -573,15 +558,9 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::FnCall {
-            name: "count".into(),
-            distinct: false,
-            star: true,
-            args: vec![],
-        };
+        let agg = Expr::FnCall { name: "count".into(), distinct: false, star: true, args: vec![] };
         assert!(agg.contains_aggregate());
-        assert!(Expr::binary(BinOp::Add, agg, Expr::Literal(Value::Int(1)))
-            .contains_aggregate());
+        assert!(Expr::binary(BinOp::Add, agg, Expr::Literal(Value::Int(1))).contains_aggregate());
         assert!(!Expr::prop("n", "id").contains_aggregate());
     }
 
@@ -605,7 +584,12 @@ mod tests {
             args: vec![Expr::prop("p", "name")],
         };
         assert_eq!(e.to_string(), "COLLECT(DISTINCT p.name)");
-        let e = Expr::FnCall { name: "tostring".into(), distinct: false, star: false, args: vec![Expr::Var("x".into())] };
+        let e = Expr::FnCall {
+            name: "tostring".into(),
+            distinct: false,
+            star: false,
+            args: vec![Expr::Var("x".into())],
+        };
         assert_eq!(e.to_string(), "toString(x)");
     }
 }

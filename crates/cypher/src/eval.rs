@@ -112,8 +112,7 @@ impl<'g> EvalCtx<'g> {
                 }
             }
             Expr::List(items) => {
-                let vals: Result<Vec<Value>> =
-                    items.iter().map(|e| self.eval(e, row)).collect();
+                let vals: Result<Vec<Value>> = items.iter().map(|e| self.eval(e, row)).collect();
                 Ok(Value::List(vals?))
             }
             Expr::ExistsProp(inner) => {
@@ -149,9 +148,7 @@ impl<'g> EvalCtx<'g> {
                         other.type_name()
                     )))
                 }
-                None => {
-                    return Err(CypherError::semantic(format!("unknown variable `{name}`")))
-                }
+                None => return Err(CypherError::semantic(format!("unknown variable `{name}`"))),
             }
         }
         // `expr.key` on a computed value: only NULL passes through.
@@ -159,10 +156,7 @@ impl<'g> EvalCtx<'g> {
         if v.is_null() {
             Ok(Value::Null)
         } else {
-            Err(CypherError::runtime(format!(
-                "property access on {} value",
-                v.type_name()
-            )))
+            Err(CypherError::runtime(format!("property access on {} value", v.type_name())))
         }
     }
 
@@ -221,9 +215,8 @@ impl<'g> EvalCtx<'g> {
             Regex => match (&l, &r) {
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
                 (Value::Str(s), Value::Str(pat)) => {
-                    let re = crate::regex::Regex::new(pat).map_err(|e| {
-                        CypherError::runtime(format!("invalid regex {pat:?}: {e}"))
-                    })?;
+                    let re = crate::regex::Regex::new(pat)
+                        .map_err(|e| CypherError::runtime(format!("invalid regex {pat:?}: {e}")))?;
                     Ok(Value::Bool(re.is_match(s)))
                 }
                 // Neo4j raises a type error when `=~` is applied to a
@@ -360,9 +353,7 @@ impl<'g> EvalCtx<'g> {
                     Value::Null => Value::Null,
                     Value::Int(i) => Value::Int(i),
                     Value::Float(f) => Value::Int(f as i64),
-                    Value::Str(s) => {
-                        s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
-                    }
+                    Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
                     _ => Value::Null,
                 })
             }
@@ -495,10 +486,7 @@ mod tests {
 
     #[test]
     fn regex_match() {
-        assert_eq!(
-            ev(r"n.domain =~ '^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$'"),
-            Value::Bool(true)
-        );
+        assert_eq!(ev(r"n.domain =~ '^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$'"), Value::Bool(true));
         assert_eq!(ev("n.name =~ '^[0-9]+$'"), Value::Bool(false));
         assert_eq!(ev("n.ghost =~ '^a$'"), Value::Null);
     }

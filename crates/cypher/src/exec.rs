@@ -64,6 +64,23 @@ pub fn execute(graph: &PropertyGraph, src: &str) -> Result<ResultSet> {
     execute_query(graph, &query)
 }
 
+/// [`execute`] with query/row counters recorded on `scope`. No span
+/// is opened — metric evaluation runs thousands of queries, and one
+/// span each would dwarf the journal; the enclosing stage span owns
+/// the time.
+pub fn execute_traced(
+    graph: &PropertyGraph,
+    src: &str,
+    scope: &grm_obs::Scope,
+) -> Result<ResultSet> {
+    scope.add(grm_obs::Counter::CypherQueriesExecuted, 1);
+    let result = execute(graph, src);
+    if let Ok(rs) = &result {
+        scope.add(grm_obs::Counter::CypherRowsMatched, rs.len() as u64);
+    }
+    result
+}
+
 /// Executes an already-parsed query.
 pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> {
     let ctx = EvalCtx::new(graph);
@@ -160,10 +177,7 @@ pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> 
     for row in window {
         let mut cells = Vec::with_capacity(columns.len());
         for name in &columns {
-            let cell = row
-                .get(name)
-                .map(|b| b.to_value(graph))
-                .unwrap_or(Value::Null);
+            let cell = row.get(name).map(|b| b.to_value(graph)).unwrap_or(Value::Null);
             cells.push(cell);
         }
         out_rows.push(cells);
@@ -279,15 +293,7 @@ fn match_path(
     let mut results = Vec::new();
     let starts = node_candidates(ctx, row, &pattern.start)?;
     for (start_row, start_node) in starts {
-        walk_steps(
-            ctx,
-            &start_row,
-            used,
-            start_node,
-            &pattern.steps,
-            Vec::new(),
-            &mut results,
-        )?;
+        walk_steps(ctx, &start_row, used, start_node, &pattern.steps, Vec::new(), &mut results)?;
     }
     Ok(results)
 }
@@ -329,11 +335,7 @@ fn walk_steps(
                 g.out_edges(current).map(|e| (e.id, e.dst)).collect();
             // Self-loops already appear in the out list; skip them on
             // the in side so each edge matches once.
-            v.extend(
-                g.in_edges(current)
-                    .filter(|e| e.src != e.dst)
-                    .map(|e| (e.id, e.src)),
-            );
+            v.extend(g.in_edges(current).filter(|e| e.src != e.dst).map(|e| (e.id, e.src)));
             v
         }
     };
@@ -588,8 +590,7 @@ fn project(
 
     let group_items: Vec<&ProjItem> =
         items.iter().filter(|i| !i.expr.contains_aggregate()).collect();
-    let agg_items: Vec<&ProjItem> =
-        items.iter().filter(|i| i.expr.contains_aggregate()).collect();
+    let agg_items: Vec<&ProjItem> = items.iter().filter(|i| i.expr.contains_aggregate()).collect();
 
     // Group rows by the evaluated group keys.
     let mut groups: HashMap<String, (Row, Vec<Row>)> = HashMap::new();
@@ -656,9 +657,9 @@ fn eval_aggregate(ctx: &EvalCtx<'_>, expr: &Expr, rows: &[Row]) -> Result<Value>
     if *star {
         return Ok(Value::Int(rows.len() as i64));
     }
-    let arg = args.first().ok_or_else(|| {
-        CypherError::semantic(format!("{name}() aggregate requires an argument"))
-    })?;
+    let arg = args
+        .first()
+        .ok_or_else(|| CypherError::semantic(format!("{name}() aggregate requires an argument")))?;
     // Evaluate the argument per row; NULLs are skipped (Cypher).
     let mut values = Vec::with_capacity(rows.len());
     for row in rows {
@@ -724,11 +725,7 @@ fn eval_aggregate(ctx: &EvalCtx<'_>, expr: &Expr, rows: &[Row]) -> Result<Value>
     }
 }
 
-fn distinct_rows(
-    ctx: &EvalCtx<'_>,
-    rows: Vec<Row>,
-    items: &[ProjItem],
-) -> Result<Vec<Row>> {
+fn distinct_rows(ctx: &EvalCtx<'_>, rows: Vec<Row>, items: &[ProjItem]) -> Result<Vec<Row>> {
     let names: Vec<String> = items.iter().map(ProjItem::name).collect();
     let mut seen = HashSet::new();
     let mut out = Vec::with_capacity(rows.len());
@@ -865,11 +862,8 @@ mod tests {
     fn hallucinated_property_runs_but_finds_nothing() {
         let g = football();
         // `penaltyScore` does not exist — query runs, count is 0.
-        let rs = execute(
-            &g,
-            "MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c",
-        )
-        .unwrap();
+        let rs =
+            execute(&g, "MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c").unwrap();
         assert_eq!(rs.single_int(), Some(0));
     }
 
@@ -916,11 +910,8 @@ mod tests {
     #[test]
     fn order_skip_limit() {
         let g = football();
-        let rs = execute(
-            &g,
-            "MATCH (m:Match) RETURN m.id AS id ORDER BY id DESC SKIP 1 LIMIT 1",
-        )
-        .unwrap();
+        let rs = execute(&g, "MATCH (m:Match) RETURN m.id AS id ORDER BY id DESC SKIP 1 LIMIT 1")
+            .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::from("m1")]]);
     }
 
@@ -1004,25 +995,20 @@ mod tests {
     fn variable_length_chain() {
         // a -> b -> c -> d linear chain.
         let mut g = PropertyGraph::new();
-        let ids: Vec<_> = (0..4i64)
-            .map(|i| g.add_node(["N"], props([("id", Value::Int(i))])))
-            .collect();
+        let ids: Vec<_> =
+            (0..4i64).map(|i| g.add_node(["N"], props([("id", Value::Int(i))]))).collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], "NEXT", Default::default());
         }
         // Reachable in 1..3 hops from the head: b, c, d.
-        let rs = execute(
-            &g,
-            "MATCH (a:N {id: 0})-[:NEXT*1..3]->(b:N) RETURN COUNT(*) AS c",
-        )
-        .unwrap();
+        let rs =
+            execute(&g, "MATCH (a:N {id: 0})-[:NEXT*1..3]->(b:N) RETURN COUNT(*) AS c").unwrap();
         assert_eq!(rs.single_int(), Some(3));
         // Exactly 2 hops: just c.
         let rs = execute(&g, "MATCH (a:N {id: 0})-[:NEXT*2]->(b:N) RETURN b.id AS id").unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
         // Unbounded star covers the whole chain.
-        let rs =
-            execute(&g, "MATCH (a:N {id: 0})-[:NEXT*]->(b:N) RETURN COUNT(*) AS c").unwrap();
+        let rs = execute(&g, "MATCH (a:N {id: 0})-[:NEXT*]->(b:N) RETURN COUNT(*) AS c").unwrap();
         assert_eq!(rs.single_int(), Some(3));
     }
 

@@ -153,7 +153,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             if i >= bytes.len() {
-                return Err(CypherError::lex("unterminated backtick identifier", Span::new(start, i)));
+                return Err(CypherError::lex(
+                    "unterminated backtick identifier",
+                    Span::new(start, i),
+                ));
             }
             out.push(Token {
                 tok: Tok::Ident(src[name_start..i].to_owned()),
@@ -168,10 +171,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             let mut is_float = false;
-            if i + 1 < bytes.len()
-                && bytes[i] == b'.'
-                && (bytes[i + 1] as char).is_ascii_digit()
-            {
+            if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
                 is_float = true;
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {

@@ -47,6 +47,6 @@ pub use ast::{
 };
 pub use error::{CypherError, Result, Span};
 pub use eval::{Binding, EvalCtx, Row};
-pub use exec::{execute, execute_query, ResultSet};
+pub use exec::{execute, execute_query, execute_traced, ResultSet};
 pub use parser::{parse, parse_expr};
 pub use regex::{Regex, RegexError};

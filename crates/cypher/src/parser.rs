@@ -148,10 +148,9 @@ impl Parser<'_> {
         }
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(CypherError::parse(
-                format!("expected {what}, found {other:?}"),
-                self.span(),
-            )),
+            other => {
+                Err(CypherError::parse(format!("expected {what}, found {other:?}"), self.span()))
+            }
         }
     }
 
@@ -659,10 +658,7 @@ mod tests {
 
     #[test]
     fn parses_where_with_regex() {
-        let q = parse(
-            "MATCH (n) WHERE n.domain =~ '^[a-z]+$' RETURN COUNT(*) AS c",
-        )
-        .unwrap();
+        let q = parse("MATCH (n) WHERE n.domain =~ '^[a-z]+$' RETURN COUNT(*) AS c").unwrap();
         match &q.clauses[0] {
             Clause::Match { where_clause: Some(Expr::Binary { op, .. }), .. } => {
                 assert_eq!(*op, BinOp::Regex);

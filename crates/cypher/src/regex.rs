@@ -338,9 +338,7 @@ fn concat_match(
 ) -> bool {
     match parts.split_first() {
         None => k(pos),
-        Some((head, tail)) => {
-            matches(head, text, pos, &mut |p| concat_match(tail, text, p, k))
-        }
+        Some((head, tail)) => matches(head, text, pos, &mut |p| concat_match(tail, text, p, k)),
     }
 }
 

@@ -20,7 +20,8 @@ fn wwc() -> PropertyGraph {
         g.add_edge(m, t, "IN_TOURNAMENT", Default::default());
         matches.push(m);
     }
-    let p = g.add_node(["Person"], props([("id", Value::from("p0")), ("name", Value::from("Ada"))]));
+    let p =
+        g.add_node(["Person"], props([("id", Value::from("p0")), ("name", Value::from("Ada"))]));
     g.add_edge(p, matches[0], "SCORED_GOAL", props([("minute", Value::Int(12))]));
     g.add_edge(p, matches[0], "SCORED_GOAL", props([("minute", Value::Int(12))]));
     g
@@ -82,8 +83,7 @@ fn hallucinated_property_query_runs_and_finds_nothing() {
     let rs = execute(&g, query).expect("query is syntactically valid");
     assert!(rs.is_empty());
     let issues = analyze(&parse(query).unwrap(), &GraphSchema::infer(&g));
-    let hallucinated: Vec<_> =
-        issues.iter().filter(|i| i.is_hallucination()).collect();
+    let hallucinated: Vec<_> = issues.iter().filter(|i| i.is_hallucination()).collect();
     assert!(
         hallucinated.len() >= 3,
         "score/penaltyScore/minute should all be flagged: {hallucinated:?}"
@@ -138,8 +138,10 @@ fn same_minute_goals_are_detectable() {
 fn intro_twitter_rules_run() {
     let mut g = PropertyGraph::new();
     let u = g.add_node(["User"], props([("id", Value::Int(1))]));
-    let t1 = g.add_node(["Tweet"], props([("id", Value::Int(10)), ("created_at", Value::DateTime(100))]));
-    let t2 = g.add_node(["Tweet"], props([("id", Value::Int(11)), ("created_at", Value::DateTime(50))]));
+    let t1 = g
+        .add_node(["Tweet"], props([("id", Value::Int(10)), ("created_at", Value::DateTime(100))]));
+    let t2 =
+        g.add_node(["Tweet"], props([("id", Value::Int(11)), ("created_at", Value::DateTime(50))]));
     g.add_edge(u, t1, "POSTS", Default::default());
     g.add_edge(u, t2, "POSTS", Default::default());
     g.add_edge(t2, t1, "RETWEETS", Default::default()); // retweet predates original!

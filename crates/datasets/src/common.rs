@@ -20,7 +20,8 @@ pub enum DatasetId {
 
 impl DatasetId {
     /// All three datasets, in the paper's order.
-    pub const ALL: [DatasetId; 3] = [DatasetId::Wwc2019, DatasetId::Cybersecurity, DatasetId::Twitter];
+    pub const ALL: [DatasetId; 3] =
+        [DatasetId::Wwc2019, DatasetId::Cybersecurity, DatasetId::Twitter];
 
     /// Display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -81,27 +82,23 @@ pub fn mix(seed: u64, i: u64) -> u64 {
 }
 
 const FIRST: [&str; 16] = [
-    "Ada", "Bea", "Cleo", "Dana", "Eve", "Fay", "Gia", "Hana", "Iris", "Jade", "Kira",
-    "Lena", "Mara", "Nina", "Orla", "Pia",
+    "Ada", "Bea", "Cleo", "Dana", "Eve", "Fay", "Gia", "Hana", "Iris", "Jade", "Kira", "Lena",
+    "Mara", "Nina", "Orla", "Pia",
 ];
 const LAST: [&str; 16] = [
-    "Alves", "Bonam", "Cruz", "Diaz", "Egan", "Faro", "Gallo", "Hart", "Ito", "Jans",
-    "Kato", "Lund", "Mora", "Nunez", "Oda", "Park",
+    "Alves", "Bonam", "Cruz", "Diaz", "Egan", "Faro", "Gallo", "Hart", "Ito", "Jans", "Kato",
+    "Lund", "Mora", "Nunez", "Oda", "Park",
 ];
 
 /// Deterministic person name for index `i`.
 pub fn person_name(seed: u64, i: usize) -> String {
     let h = mix(seed, i as u64);
-    format!(
-        "{} {}",
-        FIRST[(h & 0xf) as usize],
-        LAST[((h >> 4) & 0xf) as usize]
-    )
+    format!("{} {}", FIRST[(h & 0xf) as usize], LAST[((h >> 4) & 0xf) as usize])
 }
 
 const WORDS: [&str; 16] = [
-    "graph", "rules", "match", "goal", "final", "team", "play", "score", "win", "cup",
-    "pass", "run", "kick", "fans", "game", "pitch",
+    "graph", "rules", "match", "goal", "final", "team", "play", "score", "win", "cup", "pass",
+    "run", "kick", "fans", "game", "pitch",
 ];
 
 /// Deterministic short text (tweets, descriptions).

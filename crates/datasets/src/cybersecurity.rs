@@ -61,10 +61,7 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
         .map(|i| {
             g.add_node(
                 ["OU"],
-                props([
-                    ("id", Value::Int(i as i64)),
-                    ("name", Value::from(format!("OU-{i}"))),
-                ]),
+                props([("id", Value::Int(i as i64)), ("name", Value::from(format!("OU-{i}")))]),
             )
         })
         .collect();
@@ -72,10 +69,7 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
         .map(|i| {
             g.add_node(
                 ["GPO"],
-                props([
-                    ("id", Value::Int(i as i64)),
-                    ("name", Value::from(format!("Policy-{i}"))),
-                ]),
+                props([("id", Value::Int(i as i64)), ("name", Value::from(format!("Policy-{i}")))]),
             )
         })
         .collect();
@@ -116,7 +110,13 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
                     ("name", Value::from(format!("HOST-{i}"))),
                     (
                         "objectid",
-                        Value::from(format!("S-1-5-21-{}-{}-{}-{}", 2000 + i, 11 * i + 3, 3 * i + 11, 1000 + i)),
+                        Value::from(format!(
+                            "S-1-5-21-{}-{}-{}-{}",
+                            2000 + i,
+                            11 * i + 3,
+                            3 * i + 11,
+                            1000 + i
+                        )),
                     ),
                     (
                         "distinguishedname",
@@ -145,7 +145,13 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
                 ("name", Value::from(person_name(cfg.seed ^ 1, i))),
                 (
                     "objectid",
-                    Value::from(format!("S-1-5-21-{}-{}-{}-{}", 1000 + i, 7 * i + 13, 13 * i + 7, 500 + i)),
+                    Value::from(format!(
+                        "S-1-5-21-{}-{}-{}-{}",
+                        1000 + i,
+                        7 * i + 13,
+                        13 * i + 7,
+                        500 + i
+                    )),
                 ),
                 (
                     "distinguishedname",
@@ -227,11 +233,11 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
     // Fixed-budget relation families (counts sum with MEMBER_OF filling
     // the remainder to hit the Table-1 edge total exactly).
     let add_many = |rng: &mut StdRng,
-                        g: &mut PropertyGraph,
-                        n: usize,
-                        label: &str,
-                        srcs: &[NodeId],
-                        dsts: &[NodeId]| {
+                    g: &mut PropertyGraph,
+                    n: usize,
+                    label: &str,
+                    srcs: &[NodeId],
+                    dsts: &[NodeId]| {
         for _ in 0..n {
             let s = pick(rng, srcs);
             let d = pick(rng, dsts);
@@ -380,10 +386,7 @@ mod tests {
     fn every_user_is_contained_in_an_ou() {
         let d = generate(&GenConfig::default());
         for u in d.graph.nodes_with_label("User") {
-            let contained = d
-                .graph
-                .in_edges(u.id)
-                .any(|e| e.label == "CONTAINS");
+            let contained = d.graph.in_edges(u.id).any(|e| e.label == "CONTAINS");
             assert!(contained, "user {} not contained", u.id);
         }
     }

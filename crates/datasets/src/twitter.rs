@@ -40,8 +40,8 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
     let sources_n = cfg.scaled(74);
     let target_nodes = cfg.scaled(NODES);
     // `Me` plus filler users absorb rounding drift.
-    let extra_users = target_nodes
-        .saturating_sub(1 + users_n + tweets_n + hashtags_n + links_n + sources_n);
+    let extra_users =
+        target_nodes.saturating_sub(1 + users_n + tweets_n + hashtags_n + links_n + sources_n);
     let users_n = users_n + extra_users;
 
     // --- Nodes ----------------------------------------------------------
@@ -132,10 +132,7 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
         .collect();
     let links: Vec<NodeId> = (0..links_n)
         .map(|i| {
-            g.add_node(
-                ["Link"],
-                props([("url", Value::from(format!("https://example.com/{i}")))]),
-            )
+            g.add_node(["Link"], props([("url", Value::from(format!("https://example.com/{i}")))]))
         })
         .collect();
     let sources: Vec<NodeId> = (0..sources_n)
@@ -201,12 +198,7 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
         g.add_edge(tweets[(k * 11) % tweets_n], dst, "TAGS", PropertyMap::new());
     }
     for k in 0..cfg.scaled(1_500) {
-        g.add_edge(
-            tweets[(k * 19) % tweets_n],
-            links[k % links_n],
-            "CONTAINS",
-            PropertyMap::new(),
-        );
+        g.add_edge(tweets[(k * 19) % tweets_n], links[k % links_n], "CONTAINS", PropertyMap::new());
     }
     for k in 0..cfg.scaled(2_800) {
         g.add_edge(
@@ -314,18 +306,10 @@ mod tests {
     #[test]
     fn self_follows_exist_when_dirty() {
         let d = small();
-        let self_follows = d
-            .graph
-            .edges_with_label("FOLLOWS")
-            .filter(|e| e.src == e.dst)
-            .count();
+        let self_follows = d.graph.edges_with_label("FOLLOWS").filter(|e| e.src == e.dst).count();
         assert!(self_follows > 0);
         let clean = generate(&GenConfig { scale: 0.02, clean: true, ..Default::default() });
-        let none = clean
-            .graph
-            .edges_with_label("FOLLOWS")
-            .filter(|e| e.src == e.dst)
-            .count();
+        let none = clean.graph.edges_with_label("FOLLOWS").filter(|e| e.src == e.dst).count();
         assert_eq!(none, 0);
     }
 
@@ -338,10 +322,7 @@ mod tests {
             .filter(|e| {
                 let src_ts = d.graph.node(e.src).prop("created_at").clone();
                 let dst_ts = d.graph.node(e.dst).prop("created_at").clone();
-                matches!(
-                    src_ts.cypher_cmp(&dst_ts),
-                    Some(std::cmp::Ordering::Less)
-                )
+                matches!(src_ts.cypher_cmp(&dst_ts), Some(std::cmp::Ordering::Less))
             })
             .count();
         assert!(violations > 0);

@@ -125,10 +125,7 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
         .map(|i| {
             g.add_node(
                 ["Squad"],
-                props([
-                    ("id", Value::Int(i as i64)),
-                    ("name", Value::from(format!("Squad {i}"))),
-                ]),
+                props([("id", Value::Int(i as i64)), ("name", Value::from(format!("Squad {i}")))]),
             )
         })
         .collect();
@@ -169,8 +166,7 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
     }
     if !cfg.clean {
         // 5 duplicate-minute goals: copy an earlier goal verbatim.
-        let dups: Vec<(NodeId, NodeId, i64)> =
-            goal_edges.iter().take(5).copied().collect();
+        let dups: Vec<(NodeId, NodeId, i64)> = goal_edges.iter().take(5).copied().collect();
         let len = goal_edges.len();
         for (k, d) in dups.into_iter().enumerate() {
             goal_edges[len - 1 - k] = d;
@@ -299,17 +295,11 @@ mod tests {
     #[test]
     fn dirty_graph_has_the_injected_violations() {
         let d = generate(&GenConfig::default());
-        let missing_stage = d
-            .graph
-            .nodes_with_label("Match")
-            .filter(|m| m.prop("stage").is_null())
-            .count();
+        let missing_stage =
+            d.graph.nodes_with_label("Match").filter(|m| m.prop("stage").is_null()).count();
         assert_eq!(missing_stage, 2);
-        let missing_date = d
-            .graph
-            .nodes_with_label("Match")
-            .filter(|m| m.prop("date").is_null())
-            .count();
+        let missing_date =
+            d.graph.nodes_with_label("Match").filter(|m| m.prop("date").is_null()).count();
         assert_eq!(missing_date, 1);
     }
 
@@ -328,9 +318,7 @@ mod tests {
         use std::collections::HashMap;
         let mut seen: HashMap<(u32, u32, String), usize> = HashMap::new();
         for e in d.graph.edges_with_label("SCORED_GOAL") {
-            *seen
-                .entry((e.src.0, e.dst.0, e.prop("minute").group_key()))
-                .or_insert(0) += 1;
+            *seen.entry((e.src.0, e.dst.0, e.prop("minute").group_key())).or_insert(0) += 1;
         }
         assert!(seen.values().any(|&c| c > 1));
     }
@@ -338,8 +326,8 @@ mod tests {
     #[test]
     fn ground_truth_includes_complex_rule() {
         let rules = ground_truth();
-        assert!(rules
-            .iter()
-            .any(|r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")));
+        assert!(rules.iter().any(
+            |r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")
+        ));
     }
 }

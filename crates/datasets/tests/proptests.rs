@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn generators_never_panic(seed in any::<u64>(), scale in 0.01f64..0.2) {
         for id in DatasetId::ALL {
-            let d = generate(id, &GenConfig { seed, scale, clean: seed % 2 == 0 });
+            let d = generate(id, &GenConfig { seed, scale, clean: seed.is_multiple_of(2) });
             prop_assert!(d.graph.node_count() > 0);
         }
     }

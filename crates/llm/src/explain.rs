@@ -21,10 +21,7 @@ pub fn explain_rule(rule: &ConsistencyRule, schema: &GraphSchema) -> String {
     let mut out = String::new();
     match rule {
         MandatoryProperty { label, key } => {
-            let _ = write!(
-                out,
-                "Declares `{key}` a required attribute of `{label}` nodes. "
-            );
+            let _ = write!(out, "Declares `{key}` a required attribute of `{label}` nodes. ");
             if let Some(stats) = schema.node_props.get(label).and_then(|m| m.get(key)) {
                 let _ = write!(
                     out,
@@ -235,7 +232,12 @@ mod tests {
                 key: "id".into(),
                 pattern: "m.*".into(),
             },
-            ConsistencyRule::PropertyRange { label: "Match".into(), key: "id".into(), min: 0, max: 9 },
+            ConsistencyRule::PropertyRange {
+                label: "Match".into(),
+                key: "id".into(),
+                min: 0,
+                max: 9,
+            },
             ConsistencyRule::NoSelfLoop { label: "Match".into(), etype: "IN_TOURNAMENT".into() },
             ConsistencyRule::IncomingExactlyOne {
                 src_label: "Match".into(),

@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn clean_translation_matches_reference() {
-        let p = Persona { direction_flip_rate: 0.0, syntax_slip_rate: 0.0, ..persona(ModelKind::Llama3) };
+        let p = Persona {
+            direction_flip_rate: 0.0,
+            syntax_slip_rate: 0.0,
+            ..persona(ModelKind::Llama3)
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let t = translate(&unique_rule(), &p, &mut rng);
         assert_eq!(t.cypher, t.reference.satisfied);
@@ -133,7 +137,11 @@ mod tests {
 
     #[test]
     fn forced_direction_flip_changes_pattern() {
-        let p = Persona { direction_flip_rate: 1.0, syntax_slip_rate: 0.0, ..persona(ModelKind::Llama3) };
+        let p = Persona {
+            direction_flip_rate: 1.0,
+            syntax_slip_rate: 0.0,
+            ..persona(ModelKind::Llama3)
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let t = translate(&endpoint_rule(), &p, &mut rng);
         assert_eq!(t.corruption, Some(Corruption::DirectionFlip));
@@ -148,7 +156,11 @@ mod tests {
     fn direction_flip_falls_through_for_node_only_rules() {
         // A uniqueness rule has no relationship; the flip cannot fire
         // and the translation stays clean (flip roll consumed).
-        let p = Persona { direction_flip_rate: 1.0, syntax_slip_rate: 0.0, ..persona(ModelKind::Llama3) };
+        let p = Persona {
+            direction_flip_rate: 1.0,
+            syntax_slip_rate: 0.0,
+            ..persona(ModelKind::Llama3)
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let t = translate(&unique_rule(), &p, &mut rng);
         assert_eq!(t.corruption, None);
@@ -156,7 +168,11 @@ mod tests {
 
     #[test]
     fn forced_syntax_slip_breaks_parsing() {
-        let p = Persona { direction_flip_rate: 0.0, syntax_slip_rate: 1.0, ..persona(ModelKind::Llama3) };
+        let p = Persona {
+            direction_flip_rate: 0.0,
+            syntax_slip_rate: 1.0,
+            ..persona(ModelKind::Llama3)
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let t = translate(&unique_rule(), &p, &mut rng);
         assert_eq!(t.corruption, Some(Corruption::SyntaxSlip));
@@ -190,10 +206,9 @@ mod tests {
 
     #[test]
     fn break_syntax_always_unparseable() {
-        for q in [
-            "MATCH (n:A) RETURN COUNT(*) AS c",
-            "MATCH (n) WHERE n.x IS NULL RETURN COUNT(*) AS c",
-        ] {
+        for q in
+            ["MATCH (n:A) RETURN COUNT(*) AS c", "MATCH (n) WHERE n.x IS NULL RETURN COUNT(*) AS c"]
+        {
             assert!(parse(&break_syntax(q)).is_err(), "{q}");
         }
     }

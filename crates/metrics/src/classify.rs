@@ -150,10 +150,8 @@ mod tests {
 
     #[test]
     fn hallucinated_property() {
-        let a = classify(
-            "MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c",
-            &schema(),
-        );
+        let a =
+            classify("MATCH (m:Match) WHERE m.penaltyScore > 0 RETURN COUNT(*) AS c", &schema());
         assert_eq!(a.class, QueryClass::HallucinatedProperty);
     }
 

@@ -130,9 +130,7 @@ pub fn repair_directions(ast: &Query, schema: &GraphSchema) -> Option<String> {
         return None;
     }
     let text = fixed.to_string();
-    let still_wrong = analyze(&parse(&text).ok()?, schema)
-        .iter()
-        .any(SemanticIssue::is_direction);
+    let still_wrong = analyze(&parse(&text).ok()?, schema).iter().any(SemanticIssue::is_direction);
     (!still_wrong).then_some(text)
 }
 

@@ -55,9 +55,7 @@ pub fn drift(
     }
     // Worst regressions first.
     out.sort_by(|x, y| {
-        x.confidence_delta()
-            .partial_cmp(&y.confidence_delta())
-            .unwrap_or(std::cmp::Ordering::Equal)
+        x.confidence_delta().partial_cmp(&y.confidence_delta()).unwrap_or(std::cmp::Ordering::Equal)
     });
     Ok(out)
 }

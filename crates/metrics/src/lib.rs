@@ -14,13 +14,13 @@
 //!   left in place.
 
 pub mod classify;
-pub mod drift;
 pub mod correct;
+pub mod drift;
 pub mod scores;
 pub mod violations;
 
 pub use classify::{classify, Assessment, ClassTally, QueryClass};
-pub use drift::{drift, RuleDrift};
 pub use correct::{correct, repair_directions, repair_syntax, CorrectionOutcome};
-pub use scores::{aggregate, evaluate, AggregateMetrics, RuleMetrics};
+pub use drift::{drift, RuleDrift};
+pub use scores::{aggregate, evaluate, evaluate_traced, AggregateMetrics, RuleMetrics};
 pub use violations::{find_violations, Violation};

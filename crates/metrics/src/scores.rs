@@ -6,7 +6,8 @@
 //! normalises by the body-match count. All three come from executing
 //! the rule's three metric queries on the graph.
 
-use grm_cypher::{execute, CypherError};
+use grm_cypher::{execute_traced, CypherError};
+use grm_obs::{Counter, Scope};
 use grm_pgraph::PropertyGraph;
 use grm_rules::RuleQueries;
 
@@ -36,23 +37,32 @@ pub struct AggregateMetrics {
     pub confidence_pct: f64,
 }
 
-/// Executes one count query, expecting a single integer cell.
-fn count(graph: &PropertyGraph, query: &str) -> Result<i64, CypherError> {
-    let rs = execute(graph, query)?;
-    rs.single_int().ok_or_else(|| {
-        CypherError::runtime(format!(
-            "metric query must return a single count, got {}x{} result: {query}",
-            rs.rows.len(),
-            rs.columns.len()
-        ))
-    })
-}
-
 /// Evaluates the three metric queries of a rule on `graph`.
 pub fn evaluate(graph: &PropertyGraph, queries: &RuleQueries) -> Result<RuleMetrics, CypherError> {
-    let satisfied = count(graph, &queries.satisfied)?;
-    let body = count(graph, &queries.body)?;
-    let head_total = count(graph, &queries.head_total)?;
+    evaluate_traced(graph, queries, &Scope::disabled())
+}
+
+/// [`evaluate`] with counters on `scope`: one support evaluation and
+/// the three Cypher queries (plus their result rows) it executes.
+pub fn evaluate_traced(
+    graph: &PropertyGraph,
+    queries: &RuleQueries,
+    scope: &Scope,
+) -> Result<RuleMetrics, CypherError> {
+    scope.add(Counter::SupportEvaluations, 1);
+    let count = |query: &str| -> Result<i64, CypherError> {
+        let rs = execute_traced(graph, query, scope)?;
+        rs.single_int().ok_or_else(|| {
+            CypherError::runtime(format!(
+                "metric query must return a single count, got {}x{} result: {query}",
+                rs.rows.len(),
+                rs.columns.len()
+            ))
+        })
+    };
+    let satisfied = count(&queries.satisfied)?;
+    let body = count(&queries.body)?;
+    let head_total = count(&queries.head_total)?;
     let pct = |num: i64, den: i64| -> f64 {
         if den <= 0 {
             0.0

@@ -140,10 +140,9 @@ pub fn find_violations(
         .rows
         .iter()
         .map(|row| match &shape {
-            Shape::NodeIds { detail } => Violation::Node {
-                id: as_int(&row[0]),
-                detail: detail.clone(),
-            },
+            Shape::NodeIds { detail } => {
+                Violation::Node { id: as_int(&row[0]), detail: detail.clone() }
+            }
             Shape::NodeIdsWithCount { detail } => Violation::Node {
                 id: as_int(&row[0]),
                 detail: format!("{detail} (found {})", row[1]),
@@ -170,10 +169,7 @@ mod tests {
 
     fn graph() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let a = g.add_node(
-            ["User"],
-            props([("id", Value::Int(1)), ("followers", Value::Int(-5))]),
-        );
+        let a = g.add_node(["User"], props([("id", Value::Int(1)), ("followers", Value::Int(-5))]));
         let b = g.add_node(["User"], props([("id", Value::Int(1))])); // dup id
         let _c = g.add_node(["User"], props([("followers", Value::Int(10))])); // no id
         g.add_edge(a, a, "FOLLOWS", Default::default()); // self loop
@@ -210,7 +206,10 @@ mod tests {
         let g = graph();
         let rule = ConsistencyRule::NoSelfLoop { label: "User".into(), etype: "FOLLOWS".into() };
         let v = find_violations(&g, &rule, 10).unwrap().unwrap();
-        assert_eq!(v, vec![Violation::Edge { src: 0, dst: 0, detail: "self-referential `FOLLOWS`".into() }]);
+        assert_eq!(
+            v,
+            vec![Violation::Edge { src: 0, dst: 0, detail: "self-referential `FOLLOWS`".into() }]
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Typed counter and gauge names.
+//!
+//! A closed enum instead of free-form strings so instrumentation
+//! sites can't typo a name and journals stay greppable across
+//! versions. The journal serialises the stable `name()` strings.
+
+/// Monotonic counters the pipeline records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Nodes rendered by the graph-to-text encoder.
+    NodesEncoded,
+    /// Edges rendered by the graph-to-text encoder.
+    EdgesEncoded,
+    /// Tokens in the encoder output (approximate subword tokens).
+    TokensEmitted,
+    /// Sliding windows produced by the chunker.
+    WindowsProduced,
+    /// Encoder lines split across a window boundary (§4.5).
+    BrokenPatterns,
+    /// Chunks embedded into the vector store.
+    ChunksIngested,
+    /// Chunks returned by a RAG retrieval.
+    ChunksRetrieved,
+    /// Rule-mining prompts sent to the model.
+    PromptsIssued,
+    /// Prompt tokens across all model calls.
+    PromptTokens,
+    /// Completion tokens across all model calls.
+    CompletionTokens,
+    /// Rules returned by the model, before merging.
+    RulesMined,
+    /// Unique rules surviving the merge/dedup step.
+    RulesDeduped,
+    /// Rules translated to Cypher.
+    RulesTranslated,
+    /// Cypher queries executed by the evaluation engine.
+    CypherQueriesExecuted,
+    /// Result rows produced by those queries.
+    CypherRowsMatched,
+    /// Support/coverage/confidence evaluations performed.
+    SupportEvaluations,
+}
+
+impl Counter {
+    /// Stable journal name (`snake_case`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::NodesEncoded => "nodes_encoded",
+            Counter::EdgesEncoded => "edges_encoded",
+            Counter::TokensEmitted => "tokens_emitted",
+            Counter::WindowsProduced => "windows_produced",
+            Counter::BrokenPatterns => "broken_patterns",
+            Counter::ChunksIngested => "chunks_ingested",
+            Counter::ChunksRetrieved => "chunks_retrieved",
+            Counter::PromptsIssued => "prompts_issued",
+            Counter::PromptTokens => "prompt_tokens",
+            Counter::CompletionTokens => "completion_tokens",
+            Counter::RulesMined => "rules_mined",
+            Counter::RulesDeduped => "rules_deduped",
+            Counter::RulesTranslated => "rules_translated",
+            Counter::CypherQueriesExecuted => "cypher_queries_executed",
+            Counter::CypherRowsMatched => "cypher_rows_matched",
+            Counter::SupportEvaluations => "support_evaluations",
+        }
+    }
+}
+
+/// Point-in-time measurements (last write wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Fraction of graph elements visible after RAG retrieval.
+    RagCoverage,
+}
+
+impl Gauge {
+    /// Stable journal name (`snake_case`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::RagCoverage => "rag_coverage",
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The serialisable run journal: span tree + counter totals, written
+//! as JSON Lines (one record per line) so partial files stay
+//! parseable and `jq`/`grep` work line-wise.
+
+/// One finished (or snapshot-closed) span.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanRecord {
+    /// Stable id, in span-open order.
+    pub id: u64,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u64>,
+    /// Stage name (see DESIGN.md for the Figure-1 mapping).
+    pub name: String,
+    /// Span start, milliseconds after the recorder was created.
+    pub start_ms: f64,
+    /// Real wall-clock duration in milliseconds.
+    pub real_ms: f64,
+    /// Simulated LLM seconds attributed to this span (Table 5 time).
+    pub sim_seconds: f64,
+    /// Per-span counter increments.
+    pub counters: Vec<(String, u64)>,
+    /// Per-span gauge values.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl SpanRecord {
+    /// This span's own increment of `counter` (no child roll-up).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == counter).map(|(_, v)| *v).unwrap_or(0)
+    }
+}
+
+/// One line of the JSONL journal.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum JournalRecord {
+    /// Header: schema version and span count, always the first line.
+    Meta {
+        version: u32,
+        spans: usize,
+    },
+    Span(SpanRecord),
+    /// Run-wide totals, always the last line.
+    Totals {
+        counters: Vec<(String, u64)>,
+        gauges: Vec<(String, f64)>,
+    },
+}
+
+/// Per-stage timing row derived from the journal — the breakdown
+/// embedded in `MiningReport`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageTiming {
+    pub stage: String,
+    /// Simulated LLM seconds, including child spans.
+    pub sim_seconds: f64,
+    /// Real wall-clock milliseconds of the stage span.
+    pub real_ms: f64,
+}
+
+/// A frozen view of one run: every span plus the counter totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunJournal {
+    pub spans: Vec<SpanRecord>,
+    pub totals: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+}
+
+/// Journal schema version, bumped on incompatible record changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+impl RunJournal {
+    /// Run-wide total of `counter` (0 when never recorded).
+    pub fn total(&self, counter: &str) -> u64 {
+        self.totals.iter().find(|(k, _)| k == counter).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Run-wide value of `gauge`, when set.
+    pub fn gauge(&self, gauge: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == gauge).map(|(_, v)| *v)
+    }
+
+    /// First span named `name`.
+    pub fn span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Spans whose parent is `parent`, in open order.
+    pub fn children(&self, parent: &SpanRecord) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(parent.id)).collect()
+    }
+
+    /// Simulated seconds of `span` including its whole subtree.
+    pub fn subtree_sim_seconds(&self, span: &SpanRecord) -> f64 {
+        span.sim_seconds
+            + self.children(span).iter().map(|c| self.subtree_sim_seconds(c)).sum::<f64>()
+    }
+
+    /// Per-stage rows: the children of the root span, in order. Each
+    /// row reports the stage span's *own* simulated seconds — the
+    /// pipeline attributes stage-level time explicitly (e.g. `mine`
+    /// carries the fleet wall-clock while its `worker-*` children
+    /// carry per-replica busy time), so rolling up children here
+    /// would double-count.
+    pub fn stage_timings(&self) -> Vec<StageTiming> {
+        let Some(root) = self.spans.iter().find(|s| s.parent.is_none()) else {
+            return Vec::new();
+        };
+        self.children(root)
+            .into_iter()
+            .map(|s| StageTiming {
+                stage: s.name.clone(),
+                sim_seconds: s.sim_seconds,
+                real_ms: s.real_ms,
+            })
+            .collect()
+    }
+
+    /// Serialises to JSON Lines: meta, spans, totals.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |record: &JournalRecord| {
+            out.push_str(&serde_json::to_string(record).expect("journal records always serialise"));
+            out.push('\n');
+        };
+        push(&JournalRecord::Meta { version: JOURNAL_VERSION, spans: self.spans.len() });
+        for span in &self.spans {
+            push(&JournalRecord::Span(span.clone()));
+        }
+        push(&JournalRecord::Totals { counters: self.totals.clone(), gauges: self.gauges.clone() });
+        out
+    }
+
+    /// Parses a journal back from its JSONL form.
+    pub fn from_jsonl(text: &str) -> Result<RunJournal, String> {
+        let mut journal = RunJournal::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: JournalRecord = serde_json::from_str(line)
+                .map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
+            match record {
+                JournalRecord::Meta { version, .. } => {
+                    if version != JOURNAL_VERSION {
+                        return Err(format!("unsupported journal version {version}"));
+                    }
+                }
+                JournalRecord::Span(span) => journal.spans.push(span),
+                JournalRecord::Totals { counters, gauges } => {
+                    journal.totals = counters;
+                    journal.gauges = gauges;
+                }
+            }
+        }
+        Ok(journal)
+    }
+
+    /// Human-readable digest for `--trace-summary`: the span tree
+    /// with timings, then the counter totals.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("span tree (sim = simulated LLM seconds, real = host milliseconds):\n");
+        for root in self.spans.iter().filter(|s| s.parent.is_none()) {
+            self.render_span(root, 1, &mut out);
+        }
+        out.push_str("counter totals:\n");
+        for (name, value) in &self.totals {
+            out.push_str(&format!("  {name:<26} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("  {name:<26} {value:.4}\n"));
+        }
+        out
+    }
+
+    fn render_span(&self, span: &SpanRecord, depth: usize, out: &mut String) {
+        out.push_str(&format!(
+            "{:indent$}{:<24} sim {:>9.2}s  real {:>9.2}ms\n",
+            "",
+            span.name,
+            span.sim_seconds,
+            span.real_ms,
+            indent = depth * 2
+        ));
+        for child in self.children(span) {
+            self.render_span(child, depth + 1, out);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # grm-obs — pipeline observability
+//!
+//! Lightweight, dependency-free instrumentation for the mining
+//! pipeline (Figure 1 of the paper):
+//!
+//! * **hierarchical spans** — one per pipeline stage, with real
+//!   wall-clock duration *and* the simulated LLM seconds the study
+//!   reports (Table 5), so journals show both what the host machine
+//!   spent and what the modelled deployment would have spent;
+//! * **typed counters and gauges** ([`Counter`], [`Gauge`]) — nodes
+//!   and edges encoded, tokens emitted, windows produced, prompts
+//!   issued, rules mined/deduped/translated, Cypher rows matched,
+//!   support evaluations;
+//! * **a JSONL run journal** ([`RunJournal`]) serialising the span
+//!   tree and counter totals, written by `grm mine --trace` and the
+//!   `repro` binary.
+//!
+//! The entry point is [`Recorder`]. A disabled recorder costs one
+//! `Option` check per call, so instrumented code paths stay free when
+//! tracing is off:
+//!
+//! ```
+//! use grm_obs::{Counter, Recorder};
+//!
+//! let rec = Recorder::new();
+//! let root = rec.root_scope().span("pipeline");
+//! let encode = root.scope().span("encode");
+//! encode.scope().add(Counter::NodesEncoded, 42);
+//! encode.finish();
+//! root.finish();
+//!
+//! let journal = rec.snapshot();
+//! assert_eq!(journal.total(Counter::NodesEncoded.name()), 42);
+//! assert_eq!(journal.spans[1].name, "encode");
+//! ```
+//!
+//! Counters are recorded twice: on the innermost enclosing span and
+//! in the run-wide totals. That makes per-worker attribution testable
+//! — the sum of a counter over the `worker-*` spans must equal the
+//! run total for counters only workers touch.
+
+mod counter;
+mod journal;
+mod recorder;
+
+pub use counter::{Counter, Gauge};
+pub use journal::{JournalRecord, RunJournal, SpanRecord, StageTiming};
+pub use recorder::{Recorder, Scope, Span};

@@ -1,0 +1,240 @@
+//! The recorder: span tree + counter state behind a cheap handle.
+//!
+//! [`Recorder`] is a clonable handle; a disabled one is a `None` and
+//! every operation on it is a no-op. [`Scope`] carries "where am I in
+//! the span tree" across function (and thread) boundaries — the
+//! parallel miner clones a scope into each worker thread and opens a
+//! per-worker child span there.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::counter::{Counter, Gauge};
+use crate::journal::{RunJournal, SpanRecord};
+
+#[derive(Debug)]
+struct SpanData {
+    name: String,
+    parent: Option<usize>,
+    start: Instant,
+    /// Real elapsed seconds; `None` while the span is open.
+    real_secs: Option<f64>,
+    /// Simulated LLM seconds attributed to this span.
+    sim_seconds: f64,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanData>,
+    totals: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    state: Mutex<State>,
+}
+
+/// Handle to one run's instrumentation state.
+///
+/// Cloning shares the underlying state; all methods take `&self` and
+/// are safe to call from multiple threads.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled in-memory recorder.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                started: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// A recorder that records nothing, at near-zero cost.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The top-level scope (spans opened from it have no parent).
+    pub fn root_scope(&self) -> Scope {
+        Scope { rec: self.clone(), parent: None }
+    }
+
+    /// Current value of a run-wide counter total.
+    pub fn total(&self, counter: Counter) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => {
+                let state = inner.state.lock().expect("obs state poisoned");
+                state.totals.get(counter.name()).copied().unwrap_or(0)
+            }
+        }
+    }
+
+    fn open_span(&self, name: &str, parent: Option<usize>) -> Option<usize> {
+        let inner = self.inner.as_ref()?;
+        let mut state = inner.state.lock().expect("obs state poisoned");
+        state.spans.push(SpanData {
+            name: name.to_owned(),
+            parent,
+            start: Instant::now(),
+            real_secs: None,
+            sim_seconds: 0.0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        });
+        Some(state.spans.len() - 1)
+    }
+
+    fn close_span(&self, id: usize) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            let span = &mut state.spans[id];
+            if span.real_secs.is_none() {
+                span.real_secs = Some(span.start.elapsed().as_secs_f64());
+            }
+        }
+    }
+
+    fn add(&self, span: Option<usize>, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            *state.totals.entry(counter.name()).or_insert(0) += n;
+            if let Some(id) = span {
+                *state.spans[id].counters.entry(counter.name()).or_insert(0) += n;
+            }
+        }
+    }
+
+    fn set_gauge(&self, span: Option<usize>, gauge: Gauge, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.gauges.insert(gauge.name(), value);
+            if let Some(id) = span {
+                state.spans[id].gauges.insert(gauge.name(), value);
+            }
+        }
+    }
+
+    fn add_sim_seconds(&self, span: Option<usize>, seconds: f64) {
+        if let (Some(inner), Some(id)) = (&self.inner, span) {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.spans[id].sim_seconds += seconds;
+        }
+    }
+
+    /// Freezes the current state into a serialisable journal. Spans
+    /// still open are reported with their elapsed-so-far duration.
+    pub fn snapshot(&self) -> RunJournal {
+        let Some(inner) = &self.inner else {
+            return RunJournal::default();
+        };
+        let state = inner.state.lock().expect("obs state poisoned");
+        let spans = state
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(id, s)| SpanRecord {
+                id: id as u64,
+                parent: s.parent.map(|p| p as u64),
+                name: s.name.clone(),
+                start_ms: s.start.duration_since(inner.started).as_secs_f64() * 1e3,
+                real_ms: s.real_secs.unwrap_or_else(|| s.start.elapsed().as_secs_f64()) * 1e3,
+                sim_seconds: s.sim_seconds,
+                counters: s.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                gauges: s.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            })
+            .collect();
+        RunJournal {
+            spans,
+            totals: state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            gauges: state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+}
+
+/// A position in the span tree: counters recorded through a scope are
+/// attributed to its span; child spans opened from it get that span
+/// as parent.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    rec: Recorder,
+    parent: Option<usize>,
+}
+
+impl Scope {
+    /// A scope on a disabled recorder — the no-op default for
+    /// untraced call paths.
+    pub fn disabled() -> Scope {
+        Scope { rec: Recorder::disabled(), parent: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Opens a child span. Call [`Span::finish`] when the stage ends.
+    pub fn span(&self, name: &str) -> Span {
+        let id = self.rec.open_span(name, self.parent);
+        Span { rec: self.rec.clone(), id }
+    }
+
+    /// Bumps a counter on this scope's span and the run totals.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.rec.add(self.parent, counter, n);
+    }
+
+    /// Sets a gauge on this scope's span and the run state.
+    pub fn gauge(&self, gauge: Gauge, value: f64) {
+        self.rec.set_gauge(self.parent, gauge, value);
+    }
+
+    /// Attributes simulated LLM seconds to this scope's span.
+    pub fn add_sim_seconds(&self, seconds: f64) {
+        self.rec.add_sim_seconds(self.parent, seconds);
+    }
+}
+
+/// An open span. Explicitly finished (not drop-based) so it can be
+/// handed across threads and closed where the work ends; a span never
+/// finished is closed at snapshot time.
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    id: Option<usize>,
+}
+
+impl Span {
+    /// The scope *inside* this span: children and counters recorded
+    /// through it attach here.
+    pub fn scope(&self) -> Scope {
+        Scope { rec: self.rec.clone(), parent: self.id }
+    }
+
+    /// Records the real duration. Idempotent via [`Recorder`]: only
+    /// the first close sets the duration.
+    pub fn finish(self) {
+        if let Some(id) = self.id {
+            self.rec.close_span(id);
+        }
+    }
+}

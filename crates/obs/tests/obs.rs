@@ -1,0 +1,183 @@
+//! grm-obs behaviour: span nesting, counter attribution, journal
+//! round-trips, and the disabled-recorder fast path.
+
+use std::thread;
+
+use grm_obs::{Counter, Gauge, Recorder, RunJournal, Scope};
+
+#[test]
+fn span_nesting_is_recorded() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let encode = root.scope().span("encode");
+    encode.finish();
+    let mine = root.scope().span("mine");
+    let worker = mine.scope().span("worker-0");
+    worker.finish();
+    mine.finish();
+    root.finish();
+
+    let journal = rec.snapshot();
+    let names: Vec<&str> = journal.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["pipeline", "encode", "mine", "worker-0"]);
+
+    let root = journal.span("pipeline").unwrap();
+    assert_eq!(root.parent, None);
+    let children: Vec<&str> = journal.children(root).iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(children, ["encode", "mine"]);
+    let mine = journal.span("mine").unwrap();
+    assert_eq!(journal.children(mine)[0].name, "worker-0");
+}
+
+#[test]
+fn counters_attribute_to_span_and_totals() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let encode = root.scope().span("encode");
+    encode.scope().add(Counter::NodesEncoded, 10);
+    encode.scope().add(Counter::NodesEncoded, 5);
+    encode.finish();
+    root.scope().add(Counter::NodesEncoded, 1);
+    root.finish();
+
+    assert_eq!(rec.total(Counter::NodesEncoded), 16);
+    let journal = rec.snapshot();
+    assert_eq!(journal.span("encode").unwrap().counter("nodes_encoded"), 15);
+    assert_eq!(journal.span("pipeline").unwrap().counter("nodes_encoded"), 1);
+    assert_eq!(journal.total("nodes_encoded"), 16);
+}
+
+#[test]
+fn worker_span_counters_sum_to_totals() {
+    // The attribution contract the parallel miner relies on: bumps
+    // from concurrent worker threads land on their own spans, and the
+    // run total is exactly their sum.
+    let rec = Recorder::new();
+    let mine = rec.root_scope().span("mine");
+    let spans: Vec<_> = (0..4).map(|i| mine.scope().span(&format!("worker-{i}"))).collect();
+    thread::scope(|s| {
+        for (i, span) in spans.iter().enumerate() {
+            let scope = span.scope();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    scope.add(Counter::RulesMined, (i + 1) as u64);
+                }
+            });
+        }
+    });
+    for span in spans {
+        span.finish();
+    }
+    mine.finish();
+
+    let journal = rec.snapshot();
+    let per_span: u64 = journal
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("worker-"))
+        .map(|s| s.counter("rules_mined"))
+        .sum();
+    assert_eq!(per_span, 100 * (1 + 2 + 3 + 4));
+    assert_eq!(journal.total("rules_mined"), per_span);
+    assert_eq!(journal.span("mine").unwrap().counter("rules_mined"), 0);
+}
+
+#[test]
+fn sim_seconds_attribute_per_span() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let mine = root.scope().span("mine");
+    let worker = mine.scope().span("worker-0");
+    worker.scope().add_sim_seconds(2.5);
+    worker.finish();
+    mine.scope().add_sim_seconds(1.0);
+    mine.finish();
+    root.finish();
+
+    let journal = rec.snapshot();
+    assert_eq!(journal.span("worker-0").unwrap().sim_seconds, 2.5);
+    assert_eq!(journal.span("mine").unwrap().sim_seconds, 1.0);
+    // Subtree roll-up is available as a helper…
+    assert_eq!(journal.subtree_sim_seconds(journal.span("mine").unwrap()), 3.5);
+    // …but stage rows report the stage span's own attribution.
+    let timings = journal.stage_timings();
+    assert_eq!(timings.len(), 1);
+    assert_eq!(timings[0].stage, "mine");
+    assert_eq!(timings[0].sim_seconds, 1.0);
+}
+
+#[test]
+fn gauges_record_last_value() {
+    let rec = Recorder::new();
+    let span = rec.root_scope().span("retrieve");
+    span.scope().gauge(Gauge::RagCoverage, 0.25);
+    span.scope().gauge(Gauge::RagCoverage, 0.75);
+    span.finish();
+    let journal = rec.snapshot();
+    assert_eq!(journal.gauge("rag_coverage"), Some(0.75));
+    assert_eq!(journal.span("retrieve").unwrap().gauges, vec![("rag_coverage".into(), 0.75)]);
+}
+
+#[test]
+fn journal_jsonl_round_trip() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let encode = root.scope().span("encode");
+    encode.scope().add(Counter::NodesEncoded, 7);
+    encode.scope().add(Counter::TokensEmitted, 1234);
+    encode.finish();
+    root.scope().gauge(Gauge::RagCoverage, 0.5);
+    root.scope().add_sim_seconds(9.25);
+    root.finish();
+
+    let journal = rec.snapshot();
+    let text = journal.to_jsonl();
+    // One meta line + one line per span + one totals line.
+    assert_eq!(text.lines().count(), 2 + journal.spans.len());
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed, journal);
+}
+
+#[test]
+fn from_jsonl_rejects_garbage_and_bad_versions() {
+    assert!(RunJournal::from_jsonl("not json").is_err());
+    let bad_version = r#"{"Meta": {"version": 99, "spans": 0}}"#;
+    assert!(RunJournal::from_jsonl(bad_version).unwrap_err().contains("version"));
+}
+
+#[test]
+fn disabled_recorder_is_a_no_op() {
+    let rec = Recorder::disabled();
+    assert!(!rec.is_enabled());
+    let span = rec.root_scope().span("pipeline");
+    span.scope().add(Counter::RulesMined, 3);
+    span.scope().gauge(Gauge::RagCoverage, 1.0);
+    span.scope().add_sim_seconds(5.0);
+    span.finish();
+    assert_eq!(rec.total(Counter::RulesMined), 0);
+    let journal = rec.snapshot();
+    assert!(journal.spans.is_empty());
+    assert!(journal.totals.is_empty());
+    assert!(!Scope::disabled().span("x").scope().is_enabled());
+}
+
+#[test]
+fn unfinished_spans_close_at_snapshot() {
+    let rec = Recorder::new();
+    let _root = rec.root_scope().span("pipeline");
+    let journal = rec.snapshot();
+    assert_eq!(journal.spans.len(), 1);
+    assert!(journal.spans[0].real_ms >= 0.0);
+}
+
+#[test]
+fn summary_mentions_spans_and_counters() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    root.scope().add(Counter::PromptsIssued, 12);
+    root.finish();
+    let text = rec.snapshot().summary();
+    assert!(text.contains("pipeline"));
+    assert!(text.contains("prompts_issued"));
+    assert!(text.contains("12"));
+}

@@ -316,8 +316,7 @@ mod tests {
     fn label_index_matches_scan() {
         let (g, _, _) = tiny();
         let via_index: Vec<_> = g.nodes_with_label("Person").map(|n| n.id).collect();
-        let via_scan: Vec<_> =
-            g.nodes().filter(|n| n.has_label("Person")).map(|n| n.id).collect();
+        let via_scan: Vec<_> = g.nodes().filter(|n| n.has_label("Person")).map(|n| n.id).collect();
         assert_eq!(via_index, via_scan);
         assert_eq!(g.label_count("Person"), 2);
         assert_eq!(g.label_count("Ghost"), 0);

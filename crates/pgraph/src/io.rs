@@ -87,7 +87,10 @@ pub struct GraphDoc {
 pub enum IoError {
     Json(serde_json::Error),
     /// An edge references a node index outside the document.
-    DanglingEdge { edge: usize, node: u32 },
+    DanglingEdge {
+        edge: usize,
+        node: u32,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -227,12 +230,7 @@ mod tests {
     fn dangling_edge_rejected() {
         let doc = GraphDoc {
             nodes: vec![NodeDoc { labels: vec!["A".into()], props: BTreeMap::new() }],
-            edges: vec![EdgeDoc {
-                src: 0,
-                dst: 9,
-                label: "E".into(),
-                props: BTreeMap::new(),
-            }],
+            edges: vec![EdgeDoc { src: 0, dst: 9, label: "E".into(), props: BTreeMap::new() }],
         };
         assert!(matches!(from_doc(doc), Err(IoError::DanglingEdge { node: 9, .. })));
     }

@@ -143,18 +143,16 @@ impl GraphSchema {
             let total = g.label_count(label);
             for (key, stats) in per_label.iter_mut() {
                 stats.total = total;
-                stats.distinct = node_seen
-                    .get(&(label.clone(), key.clone()))
-                    .map_or(0, BTreeSet::len);
+                stats.distinct =
+                    node_seen.get(&(label.clone(), key.clone())).map_or(0, BTreeSet::len);
             }
         }
         for (label, per_label) in &mut schema.edge_props {
             let total = g.edge_label_count(label);
             for (key, stats) in per_label.iter_mut() {
                 stats.total = total;
-                stats.distinct = edge_seen
-                    .get(&(label.clone(), key.clone()))
-                    .map_or(0, BTreeSet::len);
+                stats.distinct =
+                    edge_seen.get(&(label.clone(), key.clone())).map_or(0, BTreeSet::len);
             }
         }
         // Labels with no properties at all still belong to the schema.
@@ -180,16 +178,12 @@ impl GraphSchema {
 
     /// True when nodes with `label` were observed carrying `key`.
     pub fn node_has_property(&self, label: &str, key: &str) -> bool {
-        self.node_props
-            .get(label)
-            .is_some_and(|m| m.contains_key(key))
+        self.node_props.get(label).is_some_and(|m| m.contains_key(key))
     }
 
     /// True when edges of `label` were observed carrying `key`.
     pub fn edge_has_property(&self, label: &str, key: &str) -> bool {
-        self.edge_props
-            .get(label)
-            .is_some_and(|m| m.contains_key(key))
+        self.edge_props.get(label).is_some_and(|m| m.contains_key(key))
     }
 
     /// True when *any* node label carries `key` (used when a query
@@ -231,11 +225,8 @@ impl GraphSchema {
                 .get(label)
                 .map(|m| m.keys().map(String::as_str).collect())
                 .unwrap_or_default();
-            let eps: Vec<String> = sig
-                .endpoints
-                .keys()
-                .map(|(s, d)| format!("({s})->({d})"))
-                .collect();
+            let eps: Vec<String> =
+                sig.endpoints.keys().map(|(s, d)| format!("({s})->({d})")).collect();
             out.push_str(&format!(
                 "  {} [{}] connects {}\n",
                 label,

@@ -195,10 +195,7 @@ mod tests {
 
     #[test]
     fn string_comparison_is_lexicographic() {
-        assert_eq!(
-            Value::from("abc").cypher_cmp(&Value::from("abd")),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::from("abc").cypher_cmp(&Value::from("abd")), Some(Ordering::Less));
     }
 
     #[test]
@@ -208,19 +205,13 @@ mod tests {
 
     #[test]
     fn datetime_orders_like_integers() {
-        assert_eq!(
-            Value::DateTime(10).cypher_cmp(&Value::DateTime(20)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::DateTime(10).cypher_cmp(&Value::DateTime(20)), Some(Ordering::Less));
     }
 
     #[test]
     fn display_renders_cypher_literals() {
         assert_eq!(Value::from("o'neil").to_string(), "'o\\'neil'");
-        assert_eq!(
-            Value::List(vec![Value::Int(1), Value::from("x")]).to_string(),
-            "[1, 'x']"
-        );
+        assert_eq!(Value::List(vec![Value::Int(1), Value::from("x")]).to_string(), "[1, 'x']");
     }
 
     #[test]

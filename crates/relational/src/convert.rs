@@ -75,14 +75,12 @@ pub fn import(
 
     // Pass 1: nodes + primary-key index.
     for (name, table) in &db.tables {
-        let text = data
-            .get(name)
-            .ok_or_else(|| ImportError::MissingData { table: name.clone() })?;
+        let text =
+            data.get(name).ok_or_else(|| ImportError::MissingData { table: name.clone() })?;
         let rows = parse_table(text, table)
             .map_err(|error| ImportError::Csv { table: name.clone(), error })?;
-        let pk_idx = table
-            .column_index(&table.primary_key)
-            .expect("validated schema has its primary key");
+        let pk_idx =
+            table.column_index(&table.primary_key).expect("validated schema has its primary key");
         let mut nodes = Vec::with_capacity(rows.len());
         for (i, row) in rows.iter().enumerate() {
             let line = i + 2;
@@ -124,7 +122,12 @@ pub fn import(
                 let key = (fk.references_table.clone(), value.group_key());
                 match pk_index.get(&key) {
                     Some(target) => {
-                        graph.add_edge(nodes[i], *target, fk.edge_label.clone(), PropertyMap::new());
+                        graph.add_edge(
+                            nodes[i],
+                            *target,
+                            fk.edge_label.clone(),
+                            PropertyMap::new(),
+                        );
                         report.edges += 1;
                     }
                     None => report.dangling.push((name.clone(), fk.column.clone(), line)),
@@ -194,10 +197,7 @@ mod tests {
     #[test]
     fn null_cells_become_missing_properties() {
         let (g, _) = import(&db(), &data()).unwrap();
-        let nameless = g
-            .nodes_with_label("customers")
-            .filter(|n| n.prop("name").is_null())
-            .count();
+        let nameless = g.nodes_with_label("customers").filter(|n| n.prop("name").is_null()).count();
         assert_eq!(nameless, 1);
     }
 
@@ -213,10 +213,7 @@ mod tests {
     fn missing_table_data_is_an_error() {
         let mut d = data();
         d.remove("orders");
-        assert!(matches!(
-            import(&db(), &d),
-            Err(ImportError::MissingData { .. })
-        ));
+        assert!(matches!(import(&db(), &d), Err(ImportError::MissingData { .. })));
     }
 
     #[test]

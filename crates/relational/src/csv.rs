@@ -55,10 +55,7 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
         match c {
             '"' => {
                 if !field.is_empty() {
-                    return Err(CsvError {
-                        line,
-                        message: "quote inside unquoted field".into(),
-                    });
+                    return Err(CsvError { line, message: "quote inside unquoted field".into() });
                 }
                 in_quotes = true;
             }
@@ -97,21 +94,21 @@ pub fn parse_cell(raw: &str, ctype: ColumnType, line: usize) -> Result<Value, Cs
     }
     let err = |message: String| CsvError { line, message };
     Ok(match ctype {
-        ColumnType::Int => Value::Int(
-            raw.parse().map_err(|_| err(format!("bad integer {raw:?}")))?,
-        ),
-        ColumnType::Float => Value::Float(
-            raw.parse().map_err(|_| err(format!("bad float {raw:?}")))?,
-        ),
+        ColumnType::Int => {
+            Value::Int(raw.parse().map_err(|_| err(format!("bad integer {raw:?}")))?)
+        }
+        ColumnType::Float => {
+            Value::Float(raw.parse().map_err(|_| err(format!("bad float {raw:?}")))?)
+        }
         ColumnType::Text => Value::Str(raw.to_owned()),
         ColumnType::Bool => match raw.to_ascii_lowercase().as_str() {
             "true" | "1" | "yes" => Value::Bool(true),
             "false" | "0" | "no" => Value::Bool(false),
             other => return Err(err(format!("bad boolean {other:?}"))),
         },
-        ColumnType::Timestamp => Value::DateTime(
-            raw.parse().map_err(|_| err(format!("bad timestamp {raw:?}")))?,
-        ),
+        ColumnType::Timestamp => {
+            Value::DateTime(raw.parse().map_err(|_| err(format!("bad timestamp {raw:?}")))?)
+        }
     })
 }
 

@@ -217,8 +217,7 @@ mod tests {
 
     #[test]
     fn missing_pk_detected() {
-        let db = Database::new()
-            .table(TableSchema::new("t", "nope").column("id", ColumnType::Int));
+        let db = Database::new().table(TableSchema::new("t", "nope").column("id", ColumnType::Int));
         assert!(matches!(db.validate(), Err(SchemaError::MissingPrimaryKey { .. })));
     }
 
@@ -263,14 +262,13 @@ mod tests {
     #[test]
     fn unknown_fk_column_detected() {
         let db = Database::new()
-            .table(
-                TableSchema::new("customers", "id").column("id", ColumnType::Int),
-            )
-            .table(
-                TableSchema::new("orders", "id")
-                    .column("id", ColumnType::Int)
-                    .foreign_key("ghost", "customers", "id", "PLACED_BY"),
-            );
+            .table(TableSchema::new("customers", "id").column("id", ColumnType::Int))
+            .table(TableSchema::new("orders", "id").column("id", ColumnType::Int).foreign_key(
+                "ghost",
+                "customers",
+                "id",
+                "PLACED_BY",
+            ));
         assert!(matches!(db.validate(), Err(SchemaError::UnknownFkColumn { .. })));
     }
 }

@@ -63,8 +63,7 @@ pub fn session_containment_rule() -> ConsistencyRule {
         satisfied: "MATCH (c:Computer)-[:HAS_SESSION]->(u:User)<-[:CONTAINS]-(o:OU) \
                     RETURN COUNT(DISTINCT u.id) AS c"
             .into(),
-        body: "MATCH (c:Computer)-[:HAS_SESSION]->(u:User) RETURN COUNT(DISTINCT u.id) AS c"
-            .into(),
+        body: "MATCH (c:Computer)-[:HAS_SESSION]->(u:User) RETURN COUNT(DISTINCT u.id) AS c".into(),
         head_total: "MATCH (u:User) RETURN COUNT(DISTINCT u.id) AS c".into(),
         complexity: RuleComplexity::Pattern,
     }
@@ -160,9 +159,9 @@ mod tests {
             &["PLAYED_IN", "IN_TOURNAMENT", "IN_SQUAD", "FOR_TOURNAMENT", "HOME_TEAM"],
         );
         let rules = available_complex_rules(&s);
-        assert!(rules
-            .iter()
-            .any(|r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")));
+        assert!(rules.iter().any(
+            |r| matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")
+        ));
     }
 
     #[test]
@@ -185,18 +184,18 @@ mod tests {
             &["Person", "Match", "Tournament", "Squad"],
             &["PLAYED_IN", "IN_TOURNAMENT", "IN_SQUAD"],
         );
-        assert!(available_complex_rules(&s)
-            .iter()
-            .all(|r| !matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")));
+        assert!(available_complex_rules(&s).iter().all(
+            |r| !matches!(r, ConsistencyRule::Custom { id, .. } if id == "wwc-squad-tournament")
+        ));
     }
 }
 
 #[cfg(test)]
 mod var_length_tests {
     use super::*;
+    use crate::queries::reference_queries;
     use grm_cypher::execute;
     use grm_pgraph::{props, PropertyGraph, Value};
-    use crate::queries::reference_queries;
 
     #[test]
     fn transitive_membership_counts_nested_members() {

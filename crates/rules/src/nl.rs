@@ -83,9 +83,7 @@ pub fn from_nl(text: &str) -> Option<ConsistencyRule> {
         }
         // "Each {dst} node should have exactly one incoming {etype}
         // relationship from a {src} node"
-        if let Some((dst, rest)) =
-            rest.split_once(" node should have exactly one incoming ")
-        {
+        if let Some((dst, rest)) = rest.split_once(" node should have exactly one incoming ") {
             let (etype, rest) = rest.split_once(" relationship from a ")?;
             let src = rest.strip_suffix(" node")?;
             return Some(ConsistencyRule::IncomingExactlyOne {
@@ -252,10 +250,7 @@ mod tests {
 
     #[test]
     fn roundtrip_all_template_rules() {
-        roundtrip(ConsistencyRule::MandatoryProperty {
-            label: "Match".into(),
-            key: "date".into(),
-        });
+        roundtrip(ConsistencyRule::MandatoryProperty { label: "Match".into(), key: "date".into() });
         roundtrip(ConsistencyRule::UniqueProperty { label: "Tweet".into(), key: "id".into() });
         roundtrip(ConsistencyRule::PropertyValueIn {
             label: "Computer".into(),
@@ -278,10 +273,7 @@ mod tests {
             src_label: "User".into(),
             dst_label: "Tweet".into(),
         });
-        roundtrip(ConsistencyRule::NoSelfLoop {
-            label: "User".into(),
-            etype: "FOLLOWS".into(),
-        });
+        roundtrip(ConsistencyRule::NoSelfLoop { label: "User".into(), etype: "FOLLOWS".into() });
         roundtrip(ConsistencyRule::IncomingExactlyOne {
             src_label: "User".into(),
             etype: "POSTS".into(),

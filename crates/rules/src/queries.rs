@@ -53,9 +53,7 @@ pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
     use ConsistencyRule::*;
     match rule {
         MandatoryProperty { label, key } => RuleQueries {
-            satisfied: format!(
-                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
-            ),
+            satisfied: format!("MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"),
             body: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
             head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
         },
@@ -64,9 +62,7 @@ pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
                 "MATCH (n:{label}) WHERE n.{key} IS NOT NULL \
                  WITH n.{key} AS v, COUNT(*) AS c WHERE c = 1 RETURN COUNT(*) AS c"
             ),
-            body: format!(
-                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
-            ),
+            body: format!("MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"),
             head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
         },
         PropertyValueIn { label, key, allowed } => RuleQueries {
@@ -74,9 +70,7 @@ pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
                 "MATCH (n:{label}) WHERE n.{key} IN {} RETURN COUNT(*) AS c",
                 value_list(allowed)
             ),
-            body: format!(
-                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
-            ),
+            body: format!("MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"),
             head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
         },
         PropertyRegex { label, key, pattern } => RuleQueries {
@@ -84,9 +78,7 @@ pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
                 "MATCH (n:{label}) WHERE n.{key} =~ '{}' RETURN COUNT(*) AS c",
                 pattern.replace('\'', "\\'")
             ),
-            body: format!(
-                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
-            ),
+            body: format!("MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"),
             head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
         },
         PropertyRange { label, key, min, max } => RuleQueries {
@@ -94,9 +86,7 @@ pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
                 "MATCH (n:{label}) WHERE n.{key} >= {min} AND n.{key} <= {max} \
                  RETURN COUNT(*) AS c"
             ),
-            body: format!(
-                "MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"
-            ),
+            body: format!("MATCH (n:{label}) WHERE n.{key} IS NOT NULL RETURN COUNT(*) AS c"),
             head_total: format!("MATCH (n:{label}) RETURN COUNT(*) AS c"),
         },
         EdgeEndpointLabels { etype, src_label, dst_label } => RuleQueries {
@@ -164,9 +154,9 @@ pub fn reference_queries(rule: &ConsistencyRule) -> RuleQueries {
 pub fn violation_query(rule: &ConsistencyRule) -> Option<String> {
     use ConsistencyRule::*;
     Some(match rule {
-        MandatoryProperty { label, key } => format!(
-            "MATCH (n:{label}) WHERE n.{key} IS NULL RETURN COUNT(*) AS violations"
-        ),
+        MandatoryProperty { label, key } => {
+            format!("MATCH (n:{label}) WHERE n.{key} IS NULL RETURN COUNT(*) AS violations")
+        }
         UniqueProperty { label, key } => format!(
             "MATCH (n:{label}) WHERE n.{key} IS NOT NULL \
              WITH n.{key} AS v, COUNT(*) AS c WHERE c > 1 RETURN SUM(c) AS violations"

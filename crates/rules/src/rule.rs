@@ -69,12 +69,7 @@ pub enum ConsistencyRule {
     },
     /// No two `etype` relationships between the same `src_label` and
     /// `dst_label` pair share the same `key` value.
-    PatternUniqueness {
-        src_label: String,
-        etype: String,
-        dst_label: String,
-        key: String,
-    },
+    PatternUniqueness { src_label: String, etype: String, dst_label: String, key: String },
     /// A bespoke rule carrying its own natural language and metric
     /// queries — how the rare complex GFD-style rules (e.g. the
     /// WWC2019 player/squad/tournament rule) are represented.
@@ -169,10 +164,7 @@ impl ConsistencyRule {
     /// step at the end of the sliding-window flow (§3.1.1).
     pub fn dedup(rules: Vec<ConsistencyRule>) -> Vec<ConsistencyRule> {
         let mut seen = std::collections::HashSet::new();
-        rules
-            .into_iter()
-            .filter(|r| seen.insert(r.dedup_key()))
-            .collect()
+        rules.into_iter().filter(|r| seen.insert(r.dedup_key())).collect()
     }
 }
 

@@ -105,11 +105,7 @@ fn parse_node_line(line: &str) -> Option<FragmentNode> {
     let (labels_str, rest) = rest.split_once(" has properties ")?;
     let props_str = rest.strip_suffix('.')?;
     let props = parse_props(props_str)?;
-    Some(FragmentNode {
-        id,
-        labels: labels_str.split(':').map(str::to_owned).collect(),
-        props,
-    })
+    Some(FragmentNode { id, labels: labels_str.split(':').map(str::to_owned).collect(), props })
 }
 
 /// `Node n0 -[TYPE {k: v}]-> Node n5 (Match).`
@@ -229,10 +225,8 @@ mod tests {
 
     fn tiny() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let a = g.add_node(
-            ["Person"],
-            props([("name", Value::from("Ada")), ("age", Value::Int(36))]),
-        );
+        let a =
+            g.add_node(["Person"], props([("name", Value::from("Ada")), ("age", Value::Int(36))]));
         let m = g.add_node(["Match"], props([("id", "m1"), ("date", "2019-06-11")]));
         g.add_edge(a, m, "PLAYED_IN", props([("minutes", 90i64)]));
         g
@@ -280,11 +274,8 @@ mod tests {
         let g = tiny();
         let text = encode_incident(&g);
         // Keep only the Person node line (drop Match + the edge).
-        let person_line: String = text
-            .lines()
-            .filter(|l| l.contains("Person"))
-            .map(|l| format!("{l}\n"))
-            .collect();
+        let person_line: String =
+            text.lines().filter(|l| l.contains("Person")).map(|l| format!("{l}\n")).collect();
         let frag = GraphFragment::parse(&person_line);
         let schema = frag.sketch();
         assert!(schema.has_node_label("Person"));

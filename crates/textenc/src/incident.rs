@@ -61,12 +61,7 @@ fn write_node_header(out: &mut String, node: &Node) {
 /// ```
 pub fn encode_incident(g: &PropertyGraph) -> String {
     let mut out = String::with_capacity(g.node_count() * 64 + g.edge_count() * 48);
-    let _ = writeln!(
-        out,
-        "Graph with {} nodes and {} edges.",
-        g.node_count(),
-        g.edge_count()
-    );
+    let _ = writeln!(out, "Graph with {} nodes and {} edges.", g.node_count(), g.edge_count());
     for node in g.nodes() {
         write_node_header(&mut out, node);
         for edge in g.out_edges(node.id) {
@@ -83,19 +78,12 @@ pub fn encode_incident(g: &PropertyGraph) -> String {
 /// neighbour list (no edge properties — that is its trade-off).
 pub fn encode_adjacency(g: &PropertyGraph) -> String {
     let mut out = String::with_capacity(g.node_count() * 80);
-    let _ = writeln!(
-        out,
-        "Graph with {} nodes and {} edges.",
-        g.node_count(),
-        g.edge_count()
-    );
+    let _ = writeln!(out, "Graph with {} nodes and {} edges.", g.node_count(), g.edge_count());
     for node in g.nodes() {
         let _ = write!(out, "n{} ({}) ", node.id.0, node.labels.join(":"));
         write_props(&mut out, &node.props);
-        let neighbours: Vec<String> = g
-            .out_edges(node.id)
-            .map(|e| format!("{}->n{}", e.label, e.dst.0))
-            .collect();
+        let neighbours: Vec<String> =
+            g.out_edges(node.id).map(|e| format!("{}->n{}", e.label, e.dst.0)).collect();
         if neighbours.is_empty() {
             out.push_str(" -> none");
         } else {

@@ -59,12 +59,7 @@ pub fn encode_summary(g: &PropertyGraph, config: SummaryConfig) -> String {
         let _ = writeln!(out, "Label {} has {} nodes.", label, g.label_count(&label));
     }
     for label in g.edge_labels() {
-        let _ = writeln!(
-            out,
-            "Relationship {} has {} edges.",
-            label,
-            g.edge_label_count(&label)
-        );
+        let _ = writeln!(out, "Relationship {} has {} edges.", label, g.edge_label_count(&label));
     }
 
     // Stratified node exemplars, in incident format.

@@ -1,0 +1,95 @@
+//! Instrumented entry points: same behaviour as [`crate::encode`] /
+//! [`crate::chunk`] / [`crate::encode_summary`], recording a stage
+//! span and encoder counters on the given [`grm_obs::Scope`]. The
+//! untraced functions stay the zero-overhead default.
+
+use grm_obs::{Counter, Scope};
+use grm_pgraph::PropertyGraph;
+
+use crate::incident::{encode, EncoderKind};
+use crate::summary::{encode_summary, SummaryConfig};
+use crate::tokenizer::token_count;
+use crate::window::{chunk, WindowConfig, WindowSet};
+
+/// [`crate::encode`] under an `encode` span, counting nodes, edges
+/// and emitted tokens.
+pub fn encode_traced(g: &PropertyGraph, kind: EncoderKind, scope: &Scope) -> String {
+    let span = scope.span("encode");
+    let text = encode(g, kind);
+    let inner = span.scope();
+    inner.add(Counter::NodesEncoded, g.node_count() as u64);
+    inner.add(Counter::EdgesEncoded, g.edge_count() as u64);
+    inner.add(Counter::TokensEmitted, token_count(&text) as u64);
+    span.finish();
+    text
+}
+
+/// [`crate::encode_summary`] under a `summarize` span.
+pub fn encode_summary_traced(g: &PropertyGraph, config: SummaryConfig, scope: &Scope) -> String {
+    let span = scope.span("summarize");
+    let text = encode_summary(g, config);
+    let inner = span.scope();
+    inner.add(Counter::NodesEncoded, g.node_count() as u64);
+    inner.add(Counter::EdgesEncoded, g.edge_count() as u64);
+    inner.add(Counter::TokensEmitted, token_count(&text) as u64);
+    span.finish();
+    text
+}
+
+/// [`crate::chunk`] under a `chunk` span, counting windows and the
+/// broken patterns of §4.5.
+pub fn chunk_traced(text: &str, config: WindowConfig, scope: &Scope) -> WindowSet {
+    let span = scope.span("chunk");
+    let ws = chunk(text, config);
+    let inner = span.scope();
+    inner.add(Counter::WindowsProduced, ws.len() as u64);
+    inner.add(Counter::BrokenPatterns, ws.broken_patterns as u64);
+    span.finish();
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_obs::Recorder;
+    use grm_pgraph::props;
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let mut prev = None;
+        for i in 0..50i64 {
+            let n = g.add_node(["User"], props([("id", grm_pgraph::Value::Int(i))]));
+            if let Some(p) = prev {
+                g.add_edge(p, n, "FOLLOWS", Default::default());
+            }
+            prev = Some(n);
+        }
+        g
+    }
+
+    #[test]
+    fn traced_matches_untraced_and_records_counters() {
+        let g = graph();
+        let rec = Recorder::new();
+        let scope = rec.root_scope();
+        let text = encode_traced(&g, EncoderKind::Incident, &scope);
+        assert_eq!(text, encode(&g, EncoderKind::Incident));
+        let ws = chunk_traced(&text, WindowConfig::new(200, 20), &scope);
+        assert_eq!(ws.len(), chunk(&text, WindowConfig::new(200, 20)).len());
+
+        let journal = rec.snapshot();
+        assert_eq!(journal.span("encode").unwrap().counter("nodes_encoded"), 50);
+        assert_eq!(journal.span("encode").unwrap().counter("edges_encoded"), 49);
+        assert!(journal.total("tokens_emitted") > 0);
+        assert_eq!(journal.span("chunk").unwrap().counter("windows_produced"), ws.len() as u64);
+    }
+
+    #[test]
+    fn summary_traced_opens_summarize_span() {
+        let g = graph();
+        let rec = Recorder::new();
+        let text = encode_summary_traced(&g, SummaryConfig::default(), &rec.root_scope());
+        assert_eq!(text, encode_summary(&g, SummaryConfig::default()));
+        assert!(rec.snapshot().span("summarize").is_some());
+    }
+}

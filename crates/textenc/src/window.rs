@@ -150,8 +150,7 @@ fn count_broken_patterns(text: &str, tokens: &[&str], ranges: &[(usize, usize)])
     let mut line_start = 0usize;
     let flush = |start: usize, end: usize, broken: &mut usize| {
         if end > start {
-            let contained =
-                byte_ranges.iter().any(|(ws, we)| *ws <= start && end <= *we);
+            let contained = byte_ranges.iter().any(|(ws, we)| *ws <= start && end <= *we);
             if !contained {
                 *broken += 1;
             }

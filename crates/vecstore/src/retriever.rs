@@ -82,11 +82,7 @@ impl Retriever {
             store.insert(w.text.clone());
         }
         let full = GraphFragment::parse(encoded);
-        Retriever {
-            store,
-            config,
-            total_elements: full.nodes.len() + full.edges.len(),
-        }
+        Retriever { store, config, total_elements: full.nodes.len() + full.edges.len() }
     }
 
     /// Number of ingested chunks.
@@ -112,6 +108,29 @@ impl Retriever {
     /// the timing model (RAG prompts once, with this much context).
     pub fn context_tokens(&self, query: &str) -> usize {
         token_count(&self.retrieve(query).context())
+    }
+
+    /// [`Retriever::ingest`] under a `rag.ingest` span, counting the
+    /// chunks embedded into the store.
+    pub fn ingest_traced(encoded: &str, config: RagConfig, scope: &grm_obs::Scope) -> Self {
+        let span = scope.span("rag.ingest");
+        let retriever = Retriever::ingest(encoded, config);
+        span.scope().add(grm_obs::Counter::ChunksIngested, retriever.chunk_count() as u64);
+        span.finish();
+        retriever
+    }
+
+    /// [`Retriever::retrieve`] under a `rag.retrieve` span, counting
+    /// retrieved chunks and recording the coverage gauge whose
+    /// smallness explains the paper's RAG results.
+    pub fn retrieve_traced(&self, query: &str, scope: &grm_obs::Scope) -> Retrieval {
+        let span = scope.span("rag.retrieve");
+        let retrieval = self.retrieve(query);
+        let inner = span.scope();
+        inner.add(grm_obs::Counter::ChunksRetrieved, retrieval.chunks.len() as u64);
+        inner.gauge(grm_obs::Gauge::RagCoverage, retrieval.coverage());
+        span.finish();
+        retrieval
     }
 }
 
@@ -168,6 +187,24 @@ mod tests {
         let ret = r.retrieve("rules");
         let frag = GraphFragment::parse(&ret.context());
         assert_eq!(frag.nodes.len() + frag.edges.len(), ret.visible_elements);
+    }
+
+    #[test]
+    fn traced_retrieval_records_chunks_and_coverage() {
+        let text = encode_incident(&bigish_graph());
+        let rec = grm_obs::Recorder::new();
+        let scope = rec.root_scope();
+        let cfg = RagConfig { chunk_tokens: 256, top_k: 3 };
+        let r = Retriever::ingest_traced(&text, cfg, &scope);
+        let ret = r.retrieve_traced("Generate consistency rules for this property graph", &scope);
+
+        let journal = rec.snapshot();
+        assert_eq!(
+            journal.span("rag.ingest").unwrap().counter("chunks_ingested"),
+            r.chunk_count() as u64
+        );
+        assert_eq!(journal.total("chunks_retrieved"), ret.chunks.len() as u64);
+        assert_eq!(journal.gauge("rag_coverage"), Some(ret.coverage()));
     }
 
     #[test]

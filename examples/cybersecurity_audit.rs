@@ -67,9 +67,6 @@ fn main() {
         r"AND NOT (c.domain =~ '^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$') ",
         "RETURN COUNT(*) AS c",
     );
-    let bad_domains = execute(g, query)
-        .expect("query runs")
-        .single_int()
-        .unwrap_or(0);
+    let bad_domains = execute(g, query).expect("query runs").single_int().unwrap_or(0);
     println!("  computers with a malformed domain: {bad_domains}");
 }

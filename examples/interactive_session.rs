@@ -12,13 +12,12 @@
 
 use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
 use graph_rule_mining::llm::{ModelKind, PromptStyle};
-use graph_rule_mining::pipeline::{
-    ContextStrategy, Feedback, InteractiveSession, PipelineConfig,
-};
+use graph_rule_mining::pipeline::{ContextStrategy, Feedback, InteractiveSession, PipelineConfig};
 use graph_rule_mining::rules::ConsistencyRule;
 
 fn main() {
-    let data = generate(DatasetId::Cybersecurity, &GenConfig { seed: 13, scale: 0.3, clean: false });
+    let data =
+        generate(DatasetId::Cybersecurity, &GenConfig { seed: 13, scale: 0.3, clean: false });
     println!(
         "graph: {} nodes, {} edges — opening interactive session\n",
         data.graph.node_count(),
@@ -75,9 +74,8 @@ fn main() {
     println!("session done: {accepted} accepted, {rejected} rejected, {refined} refined");
     println!("\nfinal rule book:");
     for (rule, metrics) in session.accepted() {
-        let score = metrics
-            .map(|m| format!("{:.1}%", m.confidence_pct))
-            .unwrap_or_else(|| "—".into());
+        let score =
+            metrics.map(|m| format!("{:.1}%", m.confidence_pct)).unwrap_or_else(|| "—".into());
         println!("  [{score}] {}", graph_rule_mining::rules::to_nl(rule));
     }
 }

@@ -16,15 +16,8 @@ use graph_rule_mining::pipeline::{ContextStrategy, MiningPipeline, PipelineConfi
 
 fn main() {
     // A 2%-scale Twitter graph (~870 nodes) keeps this instant.
-    let data = generate(
-        DatasetId::Twitter,
-        &GenConfig { seed: 7, scale: 0.02, clean: false },
-    );
-    println!(
-        "graph: {} nodes, {} edges",
-        data.graph.node_count(),
-        data.graph.edge_count()
-    );
+    let data = generate(DatasetId::Twitter, &GenConfig { seed: 7, scale: 0.02, clean: false });
+    println!("graph: {} nodes, {} edges", data.graph.node_count(), data.graph.edge_count());
 
     let config = PipelineConfig::new(
         ModelKind::Llama3,

@@ -60,12 +60,8 @@ fn main() {
         let id = if i == 50 { 49 } else { i }; // duplicate order id
         let product = if i == 33 { 999 } else { i % 15 }; // dangling FK
         let quantity = if i == 80 { -2 } else { 1 + i % 4 }; // negative
-        let _ = writeln!(
-            orders,
-            "{id},{},{product},{quantity},{}",
-            i % 40,
-            1_600_000_000 + i * 3600
-        );
+        let _ =
+            writeln!(orders, "{id},{},{product},{quantity},{}", i % 40, 1_600_000_000 + i * 3600);
     }
 
     let mut data = HashMap::new();

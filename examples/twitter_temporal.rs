@@ -33,11 +33,8 @@ fn main() {
         );
         config.seed = 11;
         let report = MiningPipeline::new(config).run(g);
-        let complex: Vec<_> = report
-            .rules
-            .iter()
-            .filter(|r| r.rule.complexity() != RuleComplexity::Schema)
-            .collect();
+        let complex: Vec<_> =
+            report.rules.iter().filter(|r| r.rule.complexity() != RuleComplexity::Schema).collect();
         println!(
             "{}: {} rules, {} beyond plain schema constraints",
             model.name(),
@@ -52,10 +49,8 @@ fn main() {
             };
             println!("  [{kind}] {}", r.nl);
         }
-        let temporal_found = report
-            .rules
-            .iter()
-            .any(|r| matches!(r.rule, ConsistencyRule::TemporalOrder { .. }));
+        let temporal_found =
+            report.rules.iter().any(|r| matches!(r.rule, ConsistencyRule::TemporalOrder { .. }));
         println!("  found the retweet-ordering rule: {temporal_found}\n");
     }
 
@@ -74,12 +69,10 @@ fn main() {
         .unwrap_or(0);
     println!("retweets that predate their original: {violations} of {total}");
 
-    let self_follows = execute(
-        g,
-        "MATCH (a:User)-[f:FOLLOWS]->(b:User) WHERE id(a) = id(b) RETURN COUNT(*) AS c",
-    )
-    .expect("query runs")
-    .single_int()
-    .unwrap_or(0);
+    let self_follows =
+        execute(g, "MATCH (a:User)-[f:FOLLOWS]->(b:User) WHERE id(a) = id(b) RETURN COUNT(*) AS c")
+            .expect("query runs")
+            .single_int()
+            .unwrap_or(0);
     println!("users following themselves: {self_follows}");
 }

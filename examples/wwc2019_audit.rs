@@ -75,9 +75,6 @@ fn main() {
     )
     .expect("query runs");
     for row in &rs.rows {
-        println!(
-            "  player={} match={} minute={} goals={}",
-            row[0], row[1], row[2], row[3]
-        );
+        println!("  player={} match={} minute={} goals={}", row[0], row[1], row[2], row[3]);
     }
 }

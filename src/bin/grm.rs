@@ -9,6 +9,7 @@
 //! grm mine     --graph g.json [--model llama3|mixtral]
 //!              [--strategy swa|rag|summary] [--prompting zero|few]
 //!              [--seed 42] [--workers 4] [--json report.json]
+//!              [--trace run.jsonl] [--trace-summary]
 //! ```
 //!
 //! Graphs travel as the JSON documents of `grm_pgraph::io`, so any
@@ -21,9 +22,13 @@ use std::process::ExitCode;
 use graph_rule_mining::cypher::execute;
 use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
 use graph_rule_mining::llm::{ModelKind, PromptStyle};
-use graph_rule_mining::pgraph::{from_json, to_json_pretty, GraphSchema, GraphStats, PropertyGraph};
+use graph_rule_mining::pgraph::{
+    from_json, to_json_pretty, GraphSchema, GraphStats, PropertyGraph,
+};
 use graph_rule_mining::pipeline::{ContextStrategy, MiningPipeline, PipelineConfig};
-use graph_rule_mining::textenc::{encode_adjacency, encode_incident, encode_summary, SummaryConfig};
+use graph_rule_mining::textenc::{
+    encode_adjacency, encode_incident, encode_summary, SummaryConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +69,7 @@ const USAGE: &str = "usage:
   grm query    --graph FILE \"<cypher>\"
   grm mine     --graph FILE [--model llama3|mixtral] [--strategy swa|rag|summary]
                [--prompting zero|few] [--seed N] [--workers N] [--json FILE]
+               [--trace FILE.jsonl] [--trace-summary]
   grm audit    --graph FILE [--limit N]
   grm check    --graph FILE --rules FILE [--limit N]   # exit 1 on violations
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]";
@@ -183,7 +189,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_mine(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &[])?;
+    use graph_rule_mining::obs::Recorder;
+
+    let flags = parse_flags(args, &["trace-summary"])?;
     let g = load_graph(&flags)?;
     let model = match flags.named.get("model").map(String::as_str) {
         None | Some("llama3") => ModelKind::Llama3,
@@ -205,11 +213,15 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     config.seed = parse_or(&flags, "seed", 42)?;
     let workers: usize = parse_or(&flags, "workers", 1)?;
 
+    let trace_path = flags.named.get("trace");
+    let trace_summary = flags.switches.iter().any(|s| s == "trace-summary");
+    let recorder = Recorder::new();
+
     let pipeline = MiningPipeline::new(config);
     let report = if workers > 1 {
-        pipeline.run_with_workers(&g, workers)
+        pipeline.run_with_workers_traced(&g, workers, &recorder)
     } else {
-        pipeline.run(&g)
+        pipeline.run_traced(&g, &recorder)
     };
 
     println!(
@@ -225,7 +237,10 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         let metrics = outcome
             .metrics
             .map(|m| {
-                format!("supp={} cov={:.1}% conf={:.1}%", m.support, m.coverage_pct, m.confidence_pct)
+                format!(
+                    "supp={} cov={:.1}% conf={:.1}%",
+                    m.support, m.coverage_pct, m.confidence_pct
+                )
             })
             .unwrap_or_else(|| "unscored".into());
         println!("  - {} [{metrics}]", outcome.nl);
@@ -241,6 +256,16 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("rule book ({} rules) written to {path}", rules.len());
     }
+    if trace_path.is_some() || trace_summary {
+        let journal = recorder.snapshot();
+        if let Some(path) = trace_path {
+            std::fs::write(path, journal.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("trace journal ({} spans) written to {path}", journal.spans.len());
+        }
+        if trace_summary {
+            print!("{}", journal.summary());
+        }
+    }
     Ok(())
 }
 
@@ -255,8 +280,8 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let g = load_graph(&flags)?;
     let rules_path = flags.named.get("rules").ok_or("--rules FILE is required")?;
     let limit: usize = parse_or(&flags, "limit", 3)?;
-    let json = std::fs::read_to_string(rules_path)
-        .map_err(|e| format!("reading {rules_path}: {e}"))?;
+    let json =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("reading {rules_path}: {e}"))?;
     let rules: Vec<ConsistencyRule> =
         serde_json::from_str(&json).map_err(|e| format!("parsing {rules_path}: {e}"))?;
 
@@ -312,11 +337,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         .iter()
         .filter(|m| m.metrics.confidence_pct < 100.0 || m.metrics.coverage_pct < 100.0)
         .collect();
-    println!(
-        "{} rules mined; {} are near-invariants with violations:",
-        mined.len(),
-        near.len()
-    );
+    println!("{} rules mined; {} are near-invariants with violations:", mined.len(), near.len());
     for m in near {
         println!(
             "\n[{:.2}% conf, {:.2}% cov] {}",
@@ -359,16 +380,15 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &[])?;
     let load = |key: &str| -> Result<PropertyGraph, String> {
         let path = flags.named.get(key).ok_or(format!("--{key} FILE is required"))?;
-        let json =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
     };
     let before = load("before")?;
     let after = load("after")?;
     let rules_path = flags.named.get("rules").ok_or("--rules FILE is required")?;
     let threshold: f64 = parse_or(&flags, "threshold", 1.0)?;
-    let json = std::fs::read_to_string(rules_path)
-        .map_err(|e| format!("reading {rules_path}: {e}"))?;
+    let json =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("reading {rules_path}: {e}"))?;
     let rules: Vec<ConsistencyRule> =
         serde_json::from_str(&json).map_err(|e| format!("parsing {rules_path}: {e}"))?;
 

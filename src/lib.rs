@@ -1,12 +1,13 @@
 //! Facade crate re-exporting the full graph-rule-mining workspace API.
+pub use grm_baseline as baseline;
 pub use grm_core as pipeline;
 pub use grm_cypher as cypher;
 pub use grm_datasets as datasets;
 pub use grm_llm as llm;
 pub use grm_metrics as metrics;
+pub use grm_obs as obs;
 pub use grm_pgraph as pgraph;
 pub use grm_relational as relational;
-pub use grm_baseline as baseline;
 pub use grm_rules as rules;
 pub use grm_textenc as textenc;
 pub use grm_vecstore as vecstore;

@@ -83,10 +83,8 @@ fn hallucinated_rules_survive_correction_and_score_zero() {
     // queries untouched, and they (correctly) find nothing.
     let data = generate(DatasetId::Wwc2019, &GenConfig { seed: 3, scale: 0.05, clean: false });
     let schema = GraphSchema::infer(&data.graph);
-    let rule = ConsistencyRule::MandatoryProperty {
-        label: "Match".into(),
-        key: "penaltyScore".into(),
-    };
+    let rule =
+        ConsistencyRule::MandatoryProperty { label: "Match".into(), key: "penaltyScore".into() };
     let q = reference_queries(&rule);
     assert_eq!(classify(&q.satisfied, &schema).class, QueryClass::HallucinatedProperty);
     let fixed = correct(&q.satisfied, &schema);

@@ -5,12 +5,12 @@
 
 use std::collections::HashMap;
 
+use graph_rule_mining::baseline::{analyze_redundancy, mine_exhaustive, MinerConfig};
 use graph_rule_mining::datasets::{generate, DatasetId, GenConfig};
 use graph_rule_mining::llm::{ModelKind, PromptStyle};
 use graph_rule_mining::pipeline::{
     ContextStrategy, Feedback, InteractiveSession, MiningPipeline, PipelineConfig,
 };
-use graph_rule_mining::baseline::{analyze_redundancy, mine_exhaustive, MinerConfig};
 use graph_rule_mining::relational::{import, ColumnType, Database, TableSchema};
 use graph_rule_mining::textenc::WindowConfig;
 
@@ -113,8 +113,8 @@ fn relational_import_feeds_the_pipeline() {
                 .foreign_key("author_id", "Author", "id", "WRITTEN_BY"),
         );
     let mut data = HashMap::new();
-    let authors: String = "id,name\n".to_owned()
-        + &(0..30).map(|i| format!("{i},Author {i}\n")).collect::<String>();
+    let authors: String =
+        "id,name\n".to_owned() + &(0..30).map(|i| format!("{i},Author {i}\n")).collect::<String>();
     let books: String = "id,author_id,year\n".to_owned()
         + &(0..90).map(|i| format!("{i},{},{}\n", i % 30, 1990 + i % 30)).collect::<String>();
     data.insert("Author".to_owned(), authors);
@@ -132,8 +132,11 @@ fn relational_import_feeds_the_pipeline() {
     assert!(mined.rule_count() > 0);
     // The FK structure must be discoverable as an endpoint rule.
     let found_fk_rule = mined.rules.iter().any(|r| r.nl.contains("WRITTEN_BY"));
-    assert!(found_fk_rule, "no rule about the WRITTEN_BY relationship: {:?}",
-        mined.rules.iter().map(|r| &r.nl).collect::<Vec<_>>());
+    assert!(
+        found_fk_rule,
+        "no rule about the WRITTEN_BY relationship: {:?}",
+        mined.rules.iter().map(|r| &r.nl).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -228,11 +231,8 @@ fn exhaustive_baseline_overwhelms_while_llm_stays_concise() {
 
 #[test]
 fn drift_tracks_quality_between_graph_versions() {
-    let clean = generate(
-        DatasetId::Twitter,
-        &GenConfig { seed: 21, scale: 0.05, clean: true },
-    )
-    .graph;
+    let clean =
+        generate(DatasetId::Twitter, &GenConfig { seed: 21, scale: 0.05, clean: true }).graph;
     let dirty = graph(DatasetId::Twitter, 0.05);
     let rules = generate(DatasetId::Twitter, &GenConfig { seed: 21, scale: 0.05, clean: true })
         .ground_truth;

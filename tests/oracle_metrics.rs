@@ -55,10 +55,8 @@ fn dirty_graphs_have_violations_for_most_rules() {
         for rule in &data.ground_truth {
             let Some(vq) = violation_query(rule) else { continue };
             checkable += 1;
-            let v = execute(&data.graph, &vq)
-                .expect("violation query runs")
-                .single_int()
-                .unwrap_or(0);
+            let v =
+                execute(&data.graph, &vq).expect("violation query runs").single_int().unwrap_or(0);
             if v > 0 {
                 violated += 1;
             }

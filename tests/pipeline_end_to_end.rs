@@ -73,12 +73,7 @@ fn different_seeds_vary_the_rule_set() {
         .map(|seed| {
             let mut cfg = PipelineConfig::new(ModelKind::Mixtral, sw(), PromptStyle::ZeroShot);
             cfg.seed = seed;
-            MiningPipeline::new(cfg)
-                .run(&g)
-                .rules
-                .iter()
-                .map(|r| r.nl.clone())
-                .collect()
+            MiningPipeline::new(cfg).run(&g).rules.iter().map(|r| r.nl.clone()).collect()
         })
         .collect();
     let distinct: std::collections::HashSet<_> = sets.iter().collect();

@@ -1,0 +1,645 @@
+//! Offline shim for `proptest`.
+//!
+//! The real proptest cannot be fetched in this build environment, so
+//! this crate reimplements the subset the workspace's property tests
+//! use: the [`proptest!`] macro, strategies for integer/float ranges,
+//! a regex-subset string strategy, tuples, `Just`, `prop_oneof!`,
+//! `prop::collection::{vec, hash_set}`, `prop::sample::Index`,
+//! `prop_map` / `prop_flat_map`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from stock proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the
+//!   panic message but is not minimised;
+//! * **deterministic runs** — each test function derives its RNG
+//!   stream from a hash of its own name plus the case index, so
+//!   failures reproduce without a persistence file;
+//! * regex strategies support the subset actually used: literal
+//!   atoms, `.`, character classes with ranges, and `{n}` / `{n,m}`
+//!   quantifiers.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::Rng;
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values; the shim's stand-in for proptest's
+    /// `Strategy` (generation only, no shrink trees).
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy(Rc::new(move |rng| inner.gen_value(rng)))
+        }
+    }
+
+    /// Type-erased strategy (the arm type of [`prop_oneof!`]).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let pick = rng.gen_range(0..self.arms.len());
+            self.arms[pick].gen_value(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.gen_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}`: no value accepted after 1000 draws", self.whence);
+        }
+    }
+
+    // Integer and float range strategies.
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// `&str` patterns are regex-subset string strategies, as in
+    /// stock proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0, B/1);
+        (A/0, B/1, C/2);
+        (A/0, B/1, C/2, D/3);
+        (A/0, B/1, C/2, D/3, E/4);
+        (A/0, B/1, C/2, D/3, E/4, F/5);
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Mix magnitudes; finite only (stock proptest also
+            // generates non-finite, which no test here relies on).
+            let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let exp = rng.gen_range(-60i32..60);
+            mantissa * (2.0f64).powi(exp)
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            crate::sample::Index(rng.gen::<u64>())
+        }
+    }
+
+    /// The strategy behind [`any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    /// An index into a runtime-sized collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Resolves the index against a concrete length.
+        ///
+        /// # Panics
+        /// Panics when `len == 0`, like stock proptest.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+
+        /// Picks an element of a slice.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specifications accepted by [`vec`] / [`hash_set`].
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for HashSetStrategy<S, R>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            // Duplicates are redrawn, with a bounded retry budget so a
+            // too-small value space cannot loop forever.
+            for _ in 0..target.saturating_mul(50).max(100) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.gen_value(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S: Strategy, R: SizeRange>(element: S, size: R) -> HashSetStrategy<S, R> {
+        HashSetStrategy { element, size }
+    }
+}
+
+/// Regex-subset string generation for `&str` strategies.
+mod string {
+    use super::*;
+
+    enum Atom {
+        Any,
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    /// Printable ASCII plus a few multi-byte characters, the `.`
+    /// alphabet (newline excluded, as in regex `.`).
+    fn any_char(rng: &mut TestRng) -> char {
+        const EXTRAS: [char; 8] = ['\t', 'é', 'ß', 'Ω', 'λ', '→', '中', '🦀'];
+        if rng.gen_range(0..16usize) == 0 {
+            EXTRAS[rng.gen_range(0..EXTRAS.len())]
+        } else {
+            char::from(rng.gen_range(0x20u8..0x7f))
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` range (a `-` just before `]` is literal).
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            for code in (c as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated character class in `{pattern}`");
+                    i += 1; // closing `]`
+                    assert!(!set.is_empty(), "empty character class in `{pattern}`");
+                    Atom::Class(set)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    let c = unescape(chars[i + 1]);
+                    i += 2;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional {n} / {n,m} quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                match parse_quantifier(&chars, i) {
+                    Some((lo, hi, next)) => {
+                        i = next;
+                        (lo, hi)
+                    }
+                    None => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], open: usize) -> Option<(usize, usize, usize)> {
+        let close = (open + 1..chars.len()).find(|&k| chars[k] == '}')?;
+        let body: String = chars[open + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((lo, hi, close + 1))
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let n = rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                match &atom {
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    /// Per-block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG: FNV-1a over the test path, mixed
+    /// with the case index.
+    pub fn case_rng(test_path: &str, case: u32) -> super::TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        <super::TestRng as rand::SeedableRng>::seed_from_u64(
+            h ^ (u64::from(case)).wrapping_mul(0x9e3779b97f4a7c15),
+        )
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                        $body
+                    })();
+                }
+            }
+        )+
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a
+/// precondition. (The shim runs each case in a closure, so an early
+/// return aborts only that case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::test_runner::case_rng("shapes", 0);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::gen_value(&"[A-Z][a-z0-9_]{2,5}", &mut rng);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_uppercase());
+            let rest: Vec<char> = chars.collect();
+            assert!((2..=5).contains(&rest.len()), "{s}");
+            assert!(rest.iter().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 0usize..10, label in "[a-z]{1,3}", v in prop::collection::vec(any::<i64>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=3).contains(&label.len()));
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![Just(1usize), Just(2usize)], idx in any::<prop::sample::Index>()) {
+            prop_assume!(pick != 0);
+            prop_assert!(idx.index(pick) < pick);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` facade.
+//!
+//! The container this repository builds in has no access to
+//! crates.io, so the real `serde_derive` (and its `syn`/`quote`
+//! dependency tree) is unavailable. This shim implements the subset
+//! the workspace actually uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally-tagged representation, like stock serde);
+//! * no generics, no `#[serde(...)]` attributes.
+//!
+//! The generated code targets the `Content` tree model of the
+//! vendored `serde` crate (`vendor/serde`), which `serde_json`
+//! prints/parses. Parsing is done directly over `proc_macro`
+//! token trees; code generation builds a source string and re-parses
+//! it, which keeps the whole thing dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (named structs/variants) or index (tuples).
+struct Field {
+    name: String,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    /// `struct Name { fields }`
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    /// `struct Name(T, ...);`
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    /// `struct Name;`
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Item::UnitStruct { name },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_top_level_items(g.stream()) }
+            }
+            other => panic!("serde shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas (commas nested inside
+/// generic angle brackets, e.g. `BTreeMap<String, Value>`, don't
+/// split).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&tokens, &mut i);
+            match &tokens[i] {
+                TokenTree::Ident(id) => Field { name: id.to_string() },
+                other => panic!("serde shim: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&tokens, &mut i);
+            let name = match &tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde shim: expected variant name, found {other}"),
+            };
+            i += 1;
+            let shape = match tokens.get(i) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_top_level_items(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                // `Variant = 3` style discriminants: treat as unit.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                other => panic!("serde shim: unexpected variant body {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ codegen
+
+fn tuple_binders(arity: usize) -> Vec<String> {
+    (0..arity).map(|k| format!("__f{k}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_content(__f0))])"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binders = tuple_binders(*arity);
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binders}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Seq(vec![{elems}]))])",
+                                binders = binders.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let names: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_content({n}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {names} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Map(vec![{entries}]))])",
+                                names = names.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: ::serde::Deserialize::from_content(::serde::content_field(__m, \"{n}\"))?",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __m = __c.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected a map for struct {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                    .collect();
+                format!(
+                    "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected a sequence for tuple struct {name}\"))?;\n\
+                     if __s.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                     Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(_c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn})", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__inner)?))"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_content(&__s[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __s = __inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected a sequence for variant {vn}\"))?;\n\
+                                     if __s.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong arity for variant {vn}\")); }}\n\
+                                     Ok({name}::{vn}({elems}))\n\
+                                 }}",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{n}: ::serde::Deserialize::from_content(::serde::content_field(__m, \"{n}\"))?",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __m = __inner.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected a map for variant {vn}\"))?;\n\
+                                     Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __c {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}{unit_comma}\n\
+                                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 let _ = __inner; // silence unused warnings for all-unit enums\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}{tagged_comma}\n\
+                                     __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::custom(\"expected a string or single-entry map for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join(",\n"),
+                unit_comma = if unit_arms.is_empty() { "" } else { "," },
+                tagged_arms = tagged_arms.join(",\n"),
+                tagged_comma = if tagged_arms.is_empty() { "" } else { "," },
+            )
+        }
+    }
+}

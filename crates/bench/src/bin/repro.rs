@@ -21,7 +21,11 @@
 //! * `--rule-types` — the §4.5 rule-complexity distribution;
 //! * `--trace FILE.jsonl` — run one representative pipeline
 //!   configuration with instrumentation and write its grm-obs run
-//!   journal (the CI bench-smoke artifact).
+//!   journal (the CI bench-smoke artifact);
+//! * `--trace-baseline FILE.json` — with `--trace`, also freeze the
+//!   run's stage timings and histogram percentiles into a
+//!   `TraceBaseline` snapshot for `grm trace check` (this is how
+//!   `BENCH_trace.json` is regenerated).
 
 use std::collections::HashMap;
 
@@ -44,6 +48,7 @@ struct Args {
     seed: u64,
     scale: f64,
     trace: Option<String>,
+    trace_baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +62,7 @@ fn parse_args() -> Args {
         seed: 42,
         scale: 1.0,
         trace: None,
+        trace_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -93,6 +99,10 @@ fn parse_args() -> Args {
             "--trace" => {
                 any = true;
                 args.trace = Some(it.next().expect("--trace needs a file path"));
+            }
+            "--trace-baseline" => {
+                any = true;
+                args.trace_baseline = Some(it.next().expect("--trace-baseline needs a file path"));
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -198,6 +208,9 @@ fn main() {
     }
     if let Some(path) = &args.trace {
         trace_run(&args, path);
+    } else if args.trace_baseline.is_some() {
+        eprintln!("--trace-baseline requires --trace FILE.jsonl");
+        std::process::exit(2);
     }
 }
 
@@ -222,6 +235,21 @@ fn trace_run(args: &Args, path: &str) {
     if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
         eprintln!("writing {path}: {e}");
         std::process::exit(1);
+    }
+    if let Some(baseline_path) = &args.trace_baseline {
+        let baseline = grm_obs::TraceBaseline::from_journal(&journal);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(baseline_path, json) {
+            eprintln!("writing {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(baseline snapshot written to {baseline_path})");
     }
     println!("== trace: WWC2019 / llama3 / RAG / zero-shot ==");
     print!("{}", journal.summary());

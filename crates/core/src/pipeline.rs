@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use grm_llm::{MiningPrompt, SimLlm};
 use grm_metrics::{aggregate, classify, correct, evaluate_traced, ClassTally, QueryClass};
-use grm_obs::{Counter, Recorder, Scope, Span};
+use grm_obs::{Counter, Histo, Recorder, Scope, Span};
 use grm_pgraph::{GraphSchema, PropertyGraph};
 use grm_rules::RuleQueries;
 use grm_textenc::{chunk_traced, encode_summary_traced, encode_traced};
@@ -215,9 +215,15 @@ impl MiningPipeline {
         // Step 4: merge — dedup with frequency ranking (§3.1.1:
         // per-window rules "combined to create a comprehensive set").
         let merge_span = root_scope.span("merge");
+        let merge_scope = merge_span.scope();
         let merged = merge_rules(mined);
-        merge_span.scope().add(Counter::RulesDeduped, merged.len() as u64);
+        merge_scope.add(Counter::RulesDeduped, merged.len() as u64);
         let selected: Vec<MergedRule> = merged.into_iter().take(budget).collect();
+        // The cross-prompt frequency distribution of the selected set
+        // — how stable the surviving rules were across windows.
+        for m in &selected {
+            merge_scope.observe(Histo::RuleFrequency, m.frequency as f64);
+        }
         merge_span.finish();
 
         let schema = GraphSchema::infer(graph);

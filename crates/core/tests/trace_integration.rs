@@ -120,6 +120,53 @@ fn parallel_run_emits_worker_child_spans_that_sum_to_totals() {
 }
 
 #[test]
+fn run_populates_latency_and_cardinality_histograms() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+
+    // One mine-call latency observation per prompt, one translate-call
+    // observation per surviving rule.
+    let mine_calls = journal.histogram("mine_call_seconds").expect("mine_call_seconds");
+    assert_eq!(mine_calls.count(), report.prompts as u64);
+    assert!(mine_calls.p50() > 0.0);
+    assert!(mine_calls.p99() >= mine_calls.p50());
+    let translate = journal.histogram("translate_call_seconds").expect("translate_call_seconds");
+    assert_eq!(translate.count(), report.rule_count() as u64);
+
+    // One token-count observation per window, attributed to `chunk`.
+    let tokens = journal.histogram("window_tokens").expect("window_tokens");
+    assert_eq!(tokens.count(), report.windows as u64);
+    let chunk_id = journal.span("chunk").unwrap().id;
+    assert!(journal
+        .span_histograms(chunk_id)
+        .iter()
+        .any(|h| h.name == "window_tokens" && h.histogram.count() == report.windows as u64));
+
+    // Every evaluated Cypher query contributes a row-count sample, and
+    // every selected rule a frequency sample.
+    assert!(journal.histogram("cypher_rows_per_query").is_some());
+    let freq = journal.histogram("rule_frequency").expect("rule_frequency");
+    assert!(freq.count() > 0);
+}
+
+#[test]
+fn rag_run_records_retrieval_score_distribution() {
+    let g = small_graph();
+    let cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::Rag(RagConfig::default()),
+        PromptStyle::ZeroShot,
+    );
+    let rec = Recorder::new();
+    let _ = MiningPipeline::new(cfg).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+    let scores = journal.histogram("retrieval_score").expect("retrieval_score");
+    assert_eq!(scores.count(), journal.total("chunks_retrieved"));
+}
+
+#[test]
 fn traced_and_untraced_runs_are_identical() {
     let g = small_graph();
     let plain = MiningPipeline::new(sw_config()).run(&g);

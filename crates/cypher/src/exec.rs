@@ -67,7 +67,9 @@ pub fn execute(graph: &PropertyGraph, src: &str) -> Result<ResultSet> {
 /// [`execute`] with query/row counters recorded on `scope`. No span
 /// is opened — metric evaluation runs thousands of queries, and one
 /// span each would dwarf the journal; the enclosing stage span owns
-/// the time.
+/// the time. The per-query row count feeds the
+/// `cypher_rows_per_query` histogram, whose tail percentiles expose
+/// rules that scan far more than the typical pattern.
 pub fn execute_traced(
     graph: &PropertyGraph,
     src: &str,
@@ -77,6 +79,7 @@ pub fn execute_traced(
     let result = execute(graph, src);
     if let Ok(rs) = &result {
         scope.add(grm_obs::Counter::CypherRowsMatched, rs.len() as u64);
+        scope.observe(grm_obs::Histo::CypherRowsPerQuery, rs.len() as f64);
     }
     result
 }

@@ -97,12 +97,13 @@ impl SimLlm {
     /// output — tracing never perturbs the model's RNG stream.
     pub fn mine_traced(&mut self, prompt: &MiningPrompt, scope: &grm_obs::Scope) -> MiningResponse {
         let resp = self.mine(prompt);
-        use grm_obs::Counter;
+        use grm_obs::{Counter, Histo};
         scope.add(Counter::PromptsIssued, 1);
         scope.add(Counter::PromptTokens, resp.prompt_tokens as u64);
         scope.add(Counter::CompletionTokens, resp.completion_tokens as u64);
         scope.add(Counter::RulesMined, resp.rules.len() as u64);
         scope.add_sim_seconds(resp.seconds);
+        scope.observe(Histo::MineCallSeconds, resp.seconds);
         resp
     }
 
@@ -136,11 +137,12 @@ impl SimLlm {
         scope: &grm_obs::Scope,
     ) -> TranslationResponse {
         let resp = self.translate_rule(rule, schema_summary);
-        use grm_obs::Counter;
+        use grm_obs::{Counter, Histo};
         scope.add(Counter::RulesTranslated, 1);
         scope.add(Counter::PromptTokens, resp.prompt_tokens as u64);
         scope.add(Counter::CompletionTokens, resp.completion_tokens as u64);
         scope.add_sim_seconds(resp.seconds);
+        scope.observe(Histo::TranslateCallSeconds, resp.seconds);
         resp
     }
 }

@@ -1,0 +1,498 @@
+//! Journal analytics: run-over-run diffing, folded-stack flamegraph
+//! export, and regression gating against a committed baseline — the
+//! machinery behind `grm trace diff|flame|check`.
+//!
+//! Everything here reads frozen [`RunJournal`]s; nothing touches the
+//! recorder, so analytics can run on journals from other machines or
+//! other commits. Gating decisions use only simulated seconds and
+//! histogram percentiles of simulated/deterministic quantities —
+//! `real_ms` is reported but never gated, because host wall-clock is
+//! noise in CI.
+
+use crate::histogram::Histogram;
+use crate::journal::{HistoRecord, RunJournal, SpanRecord, StageTiming};
+
+/// Which clock weights the folded stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlameWeight {
+    /// Host wall-clock self-time, microseconds.
+    Real,
+    /// Simulated LLM seconds (each span's own attribution), milliseconds.
+    Sim,
+}
+
+/// Renders the journal as folded stacks — `a;b;c <weight>`, one line
+/// per span — the input format of standard flamegraph tooling
+/// (`flamegraph.pl`, inferno, speedscope).
+///
+/// `Real` weights are *self* times (span minus children) so stack
+/// depths sum correctly; `Sim` weights are each span's own simulated
+/// attribution, which is already exclusive by construction. Zero-
+/// weight frames are omitted.
+pub fn folded_stacks(journal: &RunJournal, weight: FlameWeight) -> String {
+    let mut out = String::new();
+    for span in &journal.spans {
+        let value = match weight {
+            FlameWeight::Real => {
+                let children: f64 = journal.children(span).iter().map(|c| c.real_ms).sum();
+                ((span.real_ms - children).max(0.0) * 1000.0).round() as u64
+            }
+            FlameWeight::Sim => (span.sim_seconds * 1000.0).round() as u64,
+        };
+        if value == 0 {
+            continue;
+        }
+        out.push_str(&span_path(journal, span, ";"));
+        out.push_str(&format!(" {value}\n"));
+    }
+    out
+}
+
+/// `/`- or `;`-joined span names from the root down to `span`.
+fn span_path(journal: &RunJournal, span: &SpanRecord, sep: &str) -> String {
+    let mut names = vec![span.name.clone()];
+    let mut parent = span.parent;
+    while let Some(pid) = parent {
+        match journal.spans.iter().find(|s| s.id == pid) {
+            Some(p) => {
+                names.push(p.name.clone());
+                parent = p.parent;
+            }
+            None => break,
+        }
+    }
+    names.reverse();
+    names.join(sep)
+}
+
+/// [`span_path`] without the root segment — diff rows are labelled
+/// relative to the `pipeline` root (`mine`, `mine/worker-0`, …).
+fn relative_span_path(journal: &RunJournal, span: &SpanRecord) -> String {
+    let full = span_path(journal, span, "/");
+    match full.split_once('/') {
+        Some((_, rest)) => rest.to_owned(),
+        None => full,
+    }
+}
+
+/// One span row of a diff: sim/real on each side, keyed by the span's
+/// path (`mine`, `mine/worker-0`, …). A side that lacks the span
+/// reports zeros.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDiffRow {
+    pub path: String,
+    /// Depth below the root (1 = pipeline stage, 2 = worker, …).
+    pub depth: usize,
+    pub sim_a: f64,
+    pub sim_b: f64,
+    pub real_a: f64,
+    pub real_b: f64,
+    pub in_a: bool,
+    pub in_b: bool,
+}
+
+impl StageDiffRow {
+    /// Relative simulated-seconds change, `|b − a| / max(a, b)`;
+    /// 0 when both sides are (near) zero.
+    pub fn relative_sim_delta(&self) -> f64 {
+        let denom = self.sim_a.max(self.sim_b);
+        if denom < 1e-9 {
+            0.0
+        } else {
+            (self.sim_b - self.sim_a).abs() / denom
+        }
+    }
+}
+
+/// One counter row of a diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDiffRow {
+    pub name: String,
+    pub a: u64,
+    pub b: u64,
+}
+
+/// One histogram row of a diff. `scope` is `(run)` for run-wide
+/// histograms or the owning span's path (`mine/worker-0`, …) — the
+/// per-worker rows a `--workers 1` vs `--workers 4` diff surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoDiffRow {
+    pub scope: String,
+    pub name: String,
+    pub a: Histogram,
+    pub b: Histogram,
+}
+
+/// A structural comparison of two run journals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    pub stages: Vec<StageDiffRow>,
+    pub counters: Vec<CounterDiffRow>,
+    pub histograms: Vec<HistoDiffRow>,
+}
+
+impl TraceDiff {
+    /// Compares journal `a` (before) against `b` (after).
+    pub fn compute(a: &RunJournal, b: &RunJournal) -> TraceDiff {
+        // Span rows: union of both journals' non-root spans, keyed by
+        // path, in a-order then b-only order.
+        let collect = |j: &RunJournal| -> Vec<(String, usize, f64, f64)> {
+            j.spans
+                .iter()
+                .filter(|s| s.parent.is_some())
+                .map(|s| {
+                    let path = relative_span_path(j, s);
+                    let depth = path.matches('/').count() + 1;
+                    (path, depth, s.sim_seconds, s.real_ms)
+                })
+                .collect()
+        };
+        let rows_a = collect(a);
+        let rows_b = collect(b);
+        let mut stages: Vec<StageDiffRow> = Vec::new();
+        for (path, depth, sim, real) in &rows_a {
+            let other = rows_b.iter().find(|(p, ..)| p == path);
+            stages.push(StageDiffRow {
+                path: path.clone(),
+                depth: *depth,
+                sim_a: *sim,
+                sim_b: other.map(|(_, _, s, _)| *s).unwrap_or(0.0),
+                real_a: *real,
+                real_b: other.map(|(_, _, _, r)| *r).unwrap_or(0.0),
+                in_a: true,
+                in_b: other.is_some(),
+            });
+        }
+        for (path, depth, sim, real) in &rows_b {
+            if rows_a.iter().any(|(p, ..)| p == path) {
+                continue;
+            }
+            stages.push(StageDiffRow {
+                path: path.clone(),
+                depth: *depth,
+                sim_a: 0.0,
+                sim_b: *sim,
+                real_a: 0.0,
+                real_b: *real,
+                in_a: false,
+                in_b: true,
+            });
+        }
+
+        // Counter rows: union of totals, name-sorted.
+        let mut names: Vec<&String> =
+            a.totals.iter().chain(b.totals.iter()).map(|(k, _)| k).collect();
+        names.sort();
+        names.dedup();
+        let counters = names
+            .into_iter()
+            .map(|name| CounterDiffRow { name: name.clone(), a: a.total(name), b: b.total(name) })
+            .collect();
+
+        // Histogram rows: union over (scope, name).
+        let scoped = |j: &RunJournal| -> Vec<(String, String, Histogram)> {
+            j.histos
+                .iter()
+                .map(|h: &HistoRecord| {
+                    let scope = match h.span {
+                        None => "(run)".to_owned(),
+                        Some(id) => j
+                            .spans
+                            .iter()
+                            .find(|s| s.id == id)
+                            .map(|s| relative_span_path(j, s))
+                            .unwrap_or_else(|| format!("span-{id}")),
+                    };
+                    (scope, h.name.clone(), h.histogram.clone())
+                })
+                .collect()
+        };
+        let ha = scoped(a);
+        let hb = scoped(b);
+        let mut keys: Vec<(String, String)> =
+            ha.iter().chain(hb.iter()).map(|(s, n, _)| (s.clone(), n.clone())).collect();
+        keys.sort();
+        keys.dedup();
+        let find = |set: &[(String, String, Histogram)], key: &(String, String)| {
+            set.iter()
+                .find(|(s, n, _)| (s, n) == (&key.0, &key.1))
+                .map(|(_, _, h)| h.clone())
+                .unwrap_or_default()
+        };
+        let histograms = keys
+            .iter()
+            .map(|key| HistoDiffRow {
+                scope: key.0.clone(),
+                name: key.1.clone(),
+                a: find(&ha, key),
+                b: find(&hb, key),
+            })
+            .collect();
+
+        TraceDiff { stages, counters, histograms }
+    }
+
+    /// Largest relative simulated-seconds change over the top-level
+    /// stage rows — the quantity `grm trace diff --tolerance` gates.
+    pub fn max_relative_sim_delta(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter(|r| r.depth == 1)
+            .map(|r| r.relative_sim_delta())
+            .fold(0.0, f64::max)
+    }
+
+    /// Human-readable rendering of the full diff.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "per-span timings (sim seconds, A -> B):\n  {:<28} {:>10} {:>10} {:>8}  {}\n",
+            "span", "sim A", "sim B", "Δ%", "real A -> B (ms)"
+        ));
+        for row in &self.stages {
+            let presence = match (row.in_a, row.in_b) {
+                (true, false) => "  [only in A]",
+                (false, true) => "  [only in B]",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "  {:<28} {:>10.2} {:>10.2} {:>7.1}%  {:.1} -> {:.1}{}\n",
+                row.path,
+                row.sim_a,
+                row.sim_b,
+                100.0 * row.relative_sim_delta(),
+                row.real_a,
+                row.real_b,
+                presence
+            ));
+        }
+        out.push_str("counter totals (A -> B):\n");
+        for c in &self.counters {
+            let delta = c.b as i64 - c.a as i64;
+            out.push_str(&format!("  {:<28} {:>10} -> {:<10} ({delta:+})\n", c.name, c.a, c.b));
+        }
+        out.push_str(&format!(
+            "histograms (A -> B):\n  {:<24} {:<24} {:>11} {:>21} {:>21}\n",
+            "scope", "name", "count", "p50", "p95"
+        ));
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "  {:<24} {:<24} {:>4} -> {:<4} {:>9.4} -> {:<9.4} {:>9.4} -> {:<9.4}\n",
+                h.scope,
+                h.name,
+                h.a.count(),
+                h.b.count(),
+                h.a.p50(),
+                h.b.p50(),
+                h.a.p95(),
+                h.b.p95(),
+            ));
+        }
+        out
+    }
+}
+
+/// Key histogram percentiles frozen into a baseline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BaselineHisto {
+    pub name: String,
+    pub count: u64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+/// A committed performance baseline: per-stage simulated seconds plus
+/// key percentiles of the run-wide histograms. Written by
+/// `repro --trace-baseline`, consumed by `grm trace check` in CI.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceBaseline {
+    /// Journal schema version the snapshot was taken from.
+    pub journal_version: u32,
+    pub stages: Vec<StageTiming>,
+    pub histograms: Vec<BaselineHisto>,
+}
+
+impl TraceBaseline {
+    /// Freezes `journal` into a baseline snapshot.
+    pub fn from_journal(journal: &RunJournal) -> TraceBaseline {
+        let mut histograms: Vec<BaselineHisto> = journal
+            .histos
+            .iter()
+            .filter(|h| h.span.is_none())
+            .map(|h| BaselineHisto {
+                name: h.name.clone(),
+                count: h.histogram.count(),
+                p50: h.histogram.p50(),
+                p95: h.histogram.p95(),
+                p99: h.histogram.p99(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        TraceBaseline {
+            journal_version: crate::journal::JOURNAL_VERSION,
+            stages: journal.stage_timings(),
+            histograms,
+        }
+    }
+
+    /// Checks `journal` against this baseline: every baseline stage
+    /// must still exist and its simulated seconds must not exceed the
+    /// baseline by more than `tolerance` (a fraction, e.g. 0.05);
+    /// run-wide histogram p95/p99 latencies likewise. Returns the
+    /// violations (empty = pass). Stages faster than baseline and
+    /// `real_ms` changes never fail the check.
+    pub fn check(&self, journal: &RunJournal, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        let current = journal.stage_timings();
+        for stage in &self.stages {
+            let Some(now) = current.iter().find(|t| t.stage == stage.stage) else {
+                violations.push(format!("stage `{}` missing from the run", stage.stage));
+                continue;
+            };
+            let allowed = stage.sim_seconds * (1.0 + tolerance);
+            if stage.sim_seconds > 0.0 && now.sim_seconds > allowed {
+                violations.push(format!(
+                    "stage `{}`: sim {:.3}s exceeds baseline {:.3}s by more than {:.0}%",
+                    stage.stage,
+                    now.sim_seconds,
+                    stage.sim_seconds,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        for base in &self.histograms {
+            if base.count == 0 {
+                continue;
+            }
+            let Some(now) = journal.histogram(&base.name) else {
+                violations.push(format!("histogram `{}` missing from the run", base.name));
+                continue;
+            };
+            for (label, base_q, now_q) in
+                [("p95", base.p95, now.p95()), ("p99", base.p99, now.p99())]
+            {
+                if base_q > 0.0 && now_q > base_q * (1.0 + tolerance) {
+                    violations.push(format!(
+                        "histogram `{}` {label}: {now_q:.4} exceeds baseline {base_q:.4} \
+                         by more than {:.0}%",
+                        base.name,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{Counter, Histo};
+    use crate::recorder::Recorder;
+
+    /// A small two-stage recording with per-worker children.
+    fn sample(scale: f64) -> RunJournal {
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let mine = root.scope().span("mine");
+        for w in 0..2u64 {
+            let worker = mine.scope().span(&format!("worker-{w}"));
+            let scope = worker.scope();
+            scope.add(Counter::PromptsIssued, 3);
+            for i in 0..3 {
+                scope.observe(Histo::MineCallSeconds, scale * (1.0 + i as f64));
+                scope.add_sim_seconds(scale * (1.0 + i as f64));
+            }
+            worker.finish();
+        }
+        mine.scope().add_sim_seconds(scale * 6.0);
+        mine.finish();
+        root.finish();
+        rec.snapshot()
+    }
+
+    #[test]
+    fn identical_journals_diff_to_zero() {
+        let a = sample(1.0);
+        let b = sample(1.0);
+        let diff = TraceDiff::compute(&a, &b);
+        assert_eq!(diff.max_relative_sim_delta(), 0.0);
+        assert!(diff.counters.iter().all(|c| c.a == c.b));
+        let render = diff.render();
+        assert!(render.contains("mine"));
+        assert!(render.contains("prompts_issued"));
+    }
+
+    #[test]
+    fn slower_run_exceeds_tolerance() {
+        let a = sample(1.0);
+        let b = sample(1.5);
+        let diff = TraceDiff::compute(&a, &b);
+        assert!(diff.max_relative_sim_delta() > 0.3);
+        assert!(diff.max_relative_sim_delta() < 0.35);
+    }
+
+    #[test]
+    fn worker_rows_appear_when_only_one_side_has_them() {
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let mine = root.scope().span("mine");
+        mine.scope().observe(Histo::MineCallSeconds, 2.0);
+        mine.scope().add_sim_seconds(2.0);
+        mine.finish();
+        root.finish();
+        let serial = rec.snapshot();
+        let parallel = sample(1.0);
+
+        let diff = TraceDiff::compute(&serial, &parallel);
+        let worker_rows: Vec<&StageDiffRow> =
+            diff.stages.iter().filter(|r| r.path.starts_with("mine/worker-")).collect();
+        assert_eq!(worker_rows.len(), 2);
+        assert!(worker_rows.iter().all(|r| !r.in_a && r.in_b));
+        // Per-worker histogram rows are present for side B only.
+        let worker_histos: Vec<&HistoDiffRow> =
+            diff.histograms.iter().filter(|h| h.scope.starts_with("mine/worker-")).collect();
+        assert_eq!(worker_histos.len(), 2);
+        assert!(worker_histos.iter().all(|h| h.a.is_empty() && !h.b.is_empty()));
+    }
+
+    #[test]
+    fn folded_stacks_use_semicolon_paths() {
+        let journal = sample(1.0);
+        let sim = folded_stacks(&journal, FlameWeight::Sim);
+        assert!(sim.contains("pipeline;mine;worker-0 "), "{sim}");
+        for line in sim.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("weighted line");
+            assert!(weight.parse::<u64>().is_ok(), "{line}");
+        }
+        // Real weights are self-times: parseable and non-negative.
+        for line in folded_stacks(&journal, FlameWeight::Real).lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("weighted line");
+            assert!(weight.parse::<u64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_and_gates() {
+        let journal = sample(1.0);
+        let baseline = TraceBaseline::from_journal(&journal);
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let parsed: TraceBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, baseline);
+
+        // The run it was taken from passes at any tolerance.
+        assert!(baseline.check(&journal, 0.0).is_empty());
+        // A 50% slower run fails a 5% tolerance on both the stage
+        // timing and the histogram percentiles…
+        let slow = sample(1.5);
+        let violations = baseline.check(&slow, 0.05);
+        assert!(violations.iter().any(|v| v.contains("stage `mine`")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("mine_call_seconds")), "{violations:?}");
+        // …and passes once the tolerance covers the slack.
+        assert!(baseline.check(&slow, 0.6).is_empty());
+        // A faster run never fails.
+        assert!(baseline.check(&sample(0.5), 0.0).is_empty());
+    }
+}

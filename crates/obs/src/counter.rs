@@ -80,3 +80,36 @@ impl Gauge {
         }
     }
 }
+
+/// Distribution-valued metrics, recorded into fixed-bucket
+/// [`crate::Histogram`]s — the per-event quantities whose percentiles
+/// the run-over-run comparison (`grm trace diff`/`check`) gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Histo {
+    /// Simulated seconds of one rule-mining model call (per prompt).
+    MineCallSeconds,
+    /// Simulated seconds of one NL→Cypher translation call (per rule).
+    TranslateCallSeconds,
+    /// Token count of one sliding window.
+    WindowTokens,
+    /// Similarity score of one retrieved RAG chunk.
+    RetrievalScore,
+    /// Result rows of one executed Cypher query.
+    CypherRowsPerQuery,
+    /// Cross-prompt frequency of one merged rule (§3.1.1 stability).
+    RuleFrequency,
+}
+
+impl Histo {
+    /// Stable journal name (`snake_case`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Histo::MineCallSeconds => "mine_call_seconds",
+            Histo::TranslateCallSeconds => "translate_call_seconds",
+            Histo::WindowTokens => "window_tokens",
+            Histo::RetrievalScore => "retrieval_score",
+            Histo::CypherRowsPerQuery => "cypher_rows_per_query",
+            Histo::RuleFrequency => "rule_frequency",
+        }
+    }
+}

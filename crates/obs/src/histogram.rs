@@ -1,0 +1,291 @@
+//! Fixed-bucket latency/size histograms.
+//!
+//! A dependency-free HDR-style histogram over a fixed logarithmic
+//! bucket layout, so any two histograms of the same metric merge
+//! without rebinning — the property the per-worker → run-total
+//! roll-up and the `grm trace diff` comparison both rely on.
+//!
+//! The layout is 64 buckets whose upper bounds grow geometrically
+//! from `1e-6` by a factor of `1.8`, covering ~12 orders of magnitude
+//! (sub-microsecond call latencies up to billions of rows/tokens).
+//! Values at or below the first bound land in bucket 0; values above
+//! the last bound land in the final bucket. Percentile estimates are
+//! bucket midpoints clamped to the observed `[min, max]`, which makes
+//! them exact for single-valued histograms and monotone in the
+//! requested quantile always.
+
+/// Number of buckets in the fixed layout.
+pub const BUCKET_COUNT: usize = 64;
+
+/// Upper bound of bucket 0.
+const FIRST_UPPER: f64 = 1e-6;
+
+/// Geometric growth factor between consecutive bucket bounds.
+const GROWTH: f64 = 1.8;
+
+/// Upper bound of bucket `i` (unbounded conceptually for the last).
+fn upper_bound(i: usize) -> f64 {
+    FIRST_UPPER * GROWTH.powi(i as i32)
+}
+
+/// Bucket index for a value. Total order of values maps to a
+/// non-decreasing bucket index; NaN and non-positive values land in
+/// bucket 0.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= FIRST_UPPER {
+        return 0;
+    }
+    let idx = ((v / FIRST_UPPER).ln() / GROWTH.ln()).ceil();
+    (idx as usize).min(BUCKET_COUNT - 1)
+}
+
+/// A mergeable fixed-bucket histogram.
+///
+/// Buckets are stored sparsely as `(index, count)` pairs sorted by
+/// index, which keeps journal lines short (most metrics touch a
+/// handful of buckets) while `PartialEq`/round-trips stay exact.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    /// Total observations.
+    count: u64,
+    /// Sum of all observed values (for the mean).
+    sum: f64,
+    /// Smallest observed value (0 when empty).
+    min: f64,
+    /// Largest observed value (0 when empty).
+    max: f64,
+    /// Sparse non-empty buckets, sorted by bucket index.
+    buckets: Vec<(u32, u64)>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let idx = bucket_index(value) as u32;
+        match self.buckets.binary_search_by_key(&idx, |(i, _)| *i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Folds `other` into `self`. Bucket counts, `count`, `min` and
+    /// `max` merge exactly; `sum` merges up to float associativity.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |(i, _)| *i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Estimated value at quantile `q` (percent, clamped to
+    /// `[0, 100]`): the midpoint of the bucket holding the `⌈q·n⌉`-th
+    /// observation, clamped to the observed range. 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let target = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for &(idx, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                return self.representative(idx as usize);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.percentile(90.0)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Representative value of bucket `i`, clamped into the observed
+    /// range so estimates never leave `[min, max]`.
+    fn representative(&self, i: usize) -> f64 {
+        let raw = if i == 0 {
+            FIRST_UPPER / 2.0
+        } else if i == BUCKET_COUNT - 1 {
+            self.max
+        } else {
+            (upper_bound(i - 1) + upper_bound(i)) / 2.0
+        };
+        raw.clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(95.0), 0.0);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(7.25);
+        for q in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(h.percentile(q), 7.25);
+        }
+        assert_eq!(h.min(), 7.25);
+        assert_eq!(h.max(), 7.25);
+        assert_eq!(h.mean(), 7.25);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        assert!(h.p50() >= h.min() && h.p50() <= h.max());
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        // The estimate lands within one growth factor of the truth.
+        assert!(h.p50() > 5.0 / GROWTH && h.p50() < 5.0 * GROWTH, "{}", h.p50());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..50 {
+            let v = (i as f64) * 0.37 + 0.001;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.percentile(95.0), whole.percentile(95.0));
+        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extreme_values_stay_in_range() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(1e15); // beyond the last bucket bound
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 1e15);
+        assert!(h.percentile(99.0) <= 1e15);
+        assert!(h.percentile(1.0) >= -5.0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0usize;
+        let mut v = 1e-9;
+        while v < 1e12 {
+            let idx = bucket_index(v);
+            assert!(idx >= last);
+            last = idx;
+            v *= 1.3;
+        }
+        assert_eq!(bucket_index(f64::NAN), 0);
+    }
+}

@@ -1,6 +1,8 @@
-//! The serialisable run journal: span tree + counter totals, written
-//! as JSON Lines (one record per line) so partial files stay
-//! parseable and `jq`/`grep` work line-wise.
+//! The serialisable run journal: span tree + counter totals +
+//! histograms, written as JSON Lines (one record per line) so partial
+//! files stay parseable and `jq`/`grep` work line-wise.
+
+use crate::histogram::Histogram;
 
 /// One finished (or snapshot-closed) span.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -30,6 +32,19 @@ impl SpanRecord {
     }
 }
 
+/// One histogram of the run: a named distribution attributed to a
+/// span (`span: Some(id)`) or to the run as a whole (`span: None`).
+/// Kept out of [`SpanRecord`] so v1 `Span` lines parse unchanged.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistoRecord {
+    /// Owning span id; `None` for the run-wide total.
+    pub span: Option<u64>,
+    /// Stable metric name (see `Histo::name`).
+    pub name: String,
+    /// The distribution itself.
+    pub histogram: Histogram,
+}
+
 /// One line of the JSONL journal.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum JournalRecord {
@@ -39,12 +54,18 @@ pub enum JournalRecord {
         spans: usize,
     },
     Span(SpanRecord),
+    /// A histogram line (schema v2+), after the spans.
+    Histo(HistoRecord),
     /// Run-wide totals, always the last line.
     Totals {
         counters: Vec<(String, u64)>,
         gauges: Vec<(String, f64)>,
     },
 }
+
+/// Variant keys a v2 reader knows; object lines keyed otherwise are
+/// future record types and are skipped, not errors.
+const KNOWN_RECORD_KEYS: [&str; 4] = ["Meta", "Span", "Histo", "Totals"];
 
 /// Per-stage timing row derived from the journal — the breakdown
 /// embedded in `MiningReport`.
@@ -57,16 +78,20 @@ pub struct StageTiming {
     pub real_ms: f64,
 }
 
-/// A frozen view of one run: every span plus the counter totals.
+/// A frozen view of one run: every span, the counter totals, and the
+/// recorded histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunJournal {
     pub spans: Vec<SpanRecord>,
     pub totals: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
+    pub histos: Vec<HistoRecord>,
 }
 
 /// Journal schema version, bumped on incompatible record changes.
-pub const JOURNAL_VERSION: u32 = 1;
+/// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines; v1 journals
+/// still parse (they simply carry no histograms).
+pub const JOURNAL_VERSION: u32 = 2;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -82,6 +107,16 @@ impl RunJournal {
     /// First span named `name`.
     pub fn span(&self, name: &str) -> Option<&SpanRecord> {
         self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The run-wide histogram named `name`, when recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histos.iter().find(|h| h.span.is_none() && h.name == name).map(|h| &h.histogram)
+    }
+
+    /// Histograms attributed to span `id`, in name order.
+    pub fn span_histograms(&self, id: u64) -> Vec<&HistoRecord> {
+        self.histos.iter().filter(|h| h.span == Some(id)).collect()
     }
 
     /// Spans whose parent is `parent`, in open order.
@@ -115,7 +150,10 @@ impl RunJournal {
             .collect()
     }
 
-    /// Serialises to JSON Lines: meta, spans, totals.
+    /// Serialises to JSON Lines: meta, spans, histograms, totals.
+    /// Counter/gauge totals and histogram lines are sorted by name so
+    /// journals diff deterministically whatever the worker schedule
+    /// that produced them.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         let mut push = |record: &JournalRecord| {
@@ -126,26 +164,62 @@ impl RunJournal {
         for span in &self.spans {
             push(&JournalRecord::Span(span.clone()));
         }
-        push(&JournalRecord::Totals { counters: self.totals.clone(), gauges: self.gauges.clone() });
+        let mut histos = self.histos.clone();
+        histos.sort_by(|a, b| (a.span, &a.name).cmp(&(b.span, &b.name)));
+        for histo in histos {
+            push(&JournalRecord::Histo(histo));
+        }
+        push(&JournalRecord::Totals {
+            counters: sorted_by_name(&self.totals),
+            gauges: sorted_by_name(&self.gauges),
+        });
         out
     }
 
-    /// Parses a journal back from its JSONL form.
+    /// Parses a journal back from its JSONL form. Strict about
+    /// damaged lines and unsupported versions, but skips record
+    /// variants this reader does not know (future schema additions),
+    /// so a v2 reader keeps working on v2+ journals that only *add*
+    /// record types.
     pub fn from_jsonl(text: &str) -> Result<RunJournal, String> {
+        Self::parse_jsonl(text, false)
+    }
+
+    /// Lossy variant of [`RunJournal::from_jsonl`] for journals from
+    /// crashed runs: a truncated (unparseable) final line is dropped
+    /// instead of failing, a missing `Totals` trailer is tolerated,
+    /// and future `Meta` versions are accepted best-effort.
+    pub fn from_jsonl_lossy(text: &str) -> Result<RunJournal, String> {
+        Self::parse_jsonl(text, true)
+    }
+
+    fn parse_jsonl(text: &str, lossy: bool) -> Result<RunJournal, String> {
+        let lines: Vec<(usize, &str)> =
+            text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
         let mut journal = RunJournal::default();
-        for (lineno, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let record: JournalRecord = serde_json::from_str(line)
-                .map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
+        for (pos, (lineno, line)) in lines.iter().enumerate() {
+            let record: JournalRecord = match serde_json::from_str(line) {
+                Ok(record) => record,
+                Err(e) => {
+                    if let Some(key) = leading_object_key(line) {
+                        if !KNOWN_RECORD_KEYS.contains(&key) {
+                            continue; // future record variant: skip
+                        }
+                    }
+                    if lossy && pos + 1 == lines.len() {
+                        break; // truncated tail of a crashed run
+                    }
+                    return Err(format!("journal line {}: {e}", lineno + 1));
+                }
+            };
             match record {
                 JournalRecord::Meta { version, .. } => {
-                    if version != JOURNAL_VERSION {
+                    if !(1..=JOURNAL_VERSION).contains(&version) && !lossy {
                         return Err(format!("unsupported journal version {version}"));
                     }
                 }
                 JournalRecord::Span(span) => journal.spans.push(span),
+                JournalRecord::Histo(histo) => journal.histos.push(histo),
                 JournalRecord::Totals { counters, gauges } => {
                     journal.totals = counters;
                     journal.gauges = gauges;
@@ -155,8 +229,9 @@ impl RunJournal {
         Ok(journal)
     }
 
-    /// Human-readable digest for `--trace-summary`: the span tree
-    /// with timings, then the counter totals.
+    /// Human-readable digest for `--trace-summary` and `grm trace
+    /// summary`: the span tree with timings, the counter totals, then
+    /// the run-wide histogram table.
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str("span tree (sim = simulated LLM seconds, real = host milliseconds):\n");
@@ -164,11 +239,33 @@ impl RunJournal {
             self.render_span(root, 1, &mut out);
         }
         out.push_str("counter totals:\n");
-        for (name, value) in &self.totals {
+        for (name, value) in sorted_by_name(&self.totals) {
             out.push_str(&format!("  {name:<26} {value}\n"));
         }
-        for (name, value) in &self.gauges {
+        for (name, value) in sorted_by_name(&self.gauges) {
             out.push_str(&format!("  {name:<26} {value:.4}\n"));
+        }
+        let mut run_wide: Vec<&HistoRecord> =
+            self.histos.iter().filter(|h| h.span.is_none()).collect();
+        run_wide.sort_by(|a, b| a.name.cmp(&b.name));
+        if !run_wide.is_empty() {
+            out.push_str(&format!(
+                "histograms (run-wide):\n  {:<26} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "mean", "p50", "p95", "p99", "max"
+            ));
+            for h in run_wide {
+                let hist = &h.histogram;
+                out.push_str(&format!(
+                    "  {:<26} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}\n",
+                    h.name,
+                    hist.count(),
+                    hist.mean(),
+                    hist.p50(),
+                    hist.p95(),
+                    hist.p99(),
+                    hist.max()
+                ));
+            }
         }
         out
     }
@@ -186,4 +283,20 @@ impl RunJournal {
             self.render_span(child, depth + 1, out);
         }
     }
+}
+
+/// A name-sorted copy of `(name, value)` pairs — serialisation order
+/// must not depend on insertion order.
+fn sorted_by_name<V: Clone>(pairs: &[(String, V)]) -> Vec<(String, V)> {
+    let mut sorted = pairs.to_vec();
+    sorted.sort_by(|(a, _), (b, _)| a.cmp(b));
+    sorted
+}
+
+/// First key of a single-line JSON object, without a full parse —
+/// enough to tell an unknown record variant from plain garbage.
+fn leading_object_key(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix('{')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next()
 }

@@ -11,9 +11,17 @@
 //!   and edges encoded, tokens emitted, windows produced, prompts
 //!   issued, rules mined/deduped/translated, Cypher rows matched,
 //!   support evaluations;
+//! * **fixed-bucket histograms** ([`Histogram`], named by [`Histo`]) —
+//!   per-prompt simulated latency, per-window token counts, per-query
+//!   result rows, retrieval scores — recorded per span *and* run-wide,
+//!   mergeable without rebinning, with p50/p90/p95/p99 estimates;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
-//!   tree and counter totals, written by `grm mine --trace` and the
-//!   `repro` binary.
+//!   tree, counter totals and histograms (schema v2; v1 journals
+//!   still parse), written by `grm mine --trace` and the `repro`
+//!   binary;
+//! * **trace analytics** ([`TraceDiff`], [`folded_stacks`],
+//!   [`TraceBaseline`]) — run-over-run diffing, flamegraph export and
+//!   the CI perf regression gate behind `grm trace`.
 //!
 //! The entry point is [`Recorder`]. A disabled recorder costs one
 //! `Option` check per call, so instrumented code paths stay free when
@@ -39,10 +47,17 @@
 //! — the sum of a counter over the `worker-*` spans must equal the
 //! run total for counters only workers touch.
 
+mod analytics;
 mod counter;
+mod histogram;
 mod journal;
 mod recorder;
 
-pub use counter::{Counter, Gauge};
-pub use journal::{JournalRecord, RunJournal, SpanRecord, StageTiming};
+pub use analytics::{
+    folded_stacks, BaselineHisto, CounterDiffRow, FlameWeight, HistoDiffRow, StageDiffRow,
+    TraceBaseline, TraceDiff,
+};
+pub use counter::{Counter, Gauge, Histo};
+pub use histogram::{Histogram, BUCKET_COUNT};
+pub use journal::{HistoRecord, JournalRecord, RunJournal, SpanRecord, StageTiming};
 pub use recorder::{Recorder, Scope, Span};

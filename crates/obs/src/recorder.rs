@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::counter::{Counter, Gauge};
-use crate::journal::{RunJournal, SpanRecord};
+use crate::counter::{Counter, Gauge, Histo};
+use crate::histogram::Histogram;
+use crate::journal::{HistoRecord, RunJournal, SpanRecord};
 
 #[derive(Debug)]
 struct SpanData {
@@ -24,6 +25,7 @@ struct SpanData {
     sim_seconds: f64,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    histos: BTreeMap<&'static str, Histogram>,
 }
 
 #[derive(Debug, Default)]
@@ -31,6 +33,7 @@ struct State {
     spans: Vec<SpanData>,
     totals: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    histos: BTreeMap<&'static str, Histogram>,
 }
 
 #[derive(Debug)]
@@ -101,6 +104,7 @@ impl Recorder {
             sim_seconds: 0.0,
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            histos: BTreeMap::new(),
         });
         Some(state.spans.len() - 1)
     }
@@ -135,6 +139,16 @@ impl Recorder {
         }
     }
 
+    fn observe(&self, span: Option<usize>, histo: Histo, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.histos.entry(histo.name()).or_default().record(value);
+            if let Some(id) = span {
+                state.spans[id].histos.entry(histo.name()).or_default().record(value);
+            }
+        }
+    }
+
     fn add_sim_seconds(&self, span: Option<usize>, seconds: f64) {
         if let (Some(inner), Some(id)) = (&self.inner, span) {
             let mut state = inner.state.lock().expect("obs state poisoned");
@@ -164,10 +178,32 @@ impl Recorder {
                 gauges: s.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             })
             .collect();
+        // Canonical (span, name) order — run-wide totals (`None`)
+        // first, then per-span rows in span-id order; BTreeMap
+        // iteration keeps names sorted within each. Matches the
+        // `to_jsonl` line order so round-trips compare equal.
+        let mut histos: Vec<HistoRecord> = Vec::new();
+        for (name, hist) in &state.histos {
+            histos.push(HistoRecord {
+                span: None,
+                name: name.to_string(),
+                histogram: hist.clone(),
+            });
+        }
+        for (id, s) in state.spans.iter().enumerate() {
+            for (name, hist) in &s.histos {
+                histos.push(HistoRecord {
+                    span: Some(id as u64),
+                    name: name.to_string(),
+                    histogram: hist.clone(),
+                });
+            }
+        }
         RunJournal {
             spans,
             totals: state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             gauges: state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histos,
         }
     }
 }
@@ -206,6 +242,12 @@ impl Scope {
     /// Sets a gauge on this scope's span and the run state.
     pub fn gauge(&self, gauge: Gauge, value: f64) {
         self.rec.set_gauge(self.parent, gauge, value);
+    }
+
+    /// Records one observation into `histo` on this scope's span and
+    /// the run-wide histogram.
+    pub fn observe(&self, histo: Histo, value: f64) {
+        self.rec.observe(self.parent, histo, value);
     }
 
     /// Attributes simulated LLM seconds to this scope's span.

@@ -1,9 +1,10 @@
-//! grm-obs behaviour: span nesting, counter attribution, journal
-//! round-trips, and the disabled-recorder fast path.
+//! grm-obs behaviour: span nesting, counter attribution, histogram
+//! observations, journal round-trips (strict and lossy), and the
+//! disabled-recorder fast path.
 
 use std::thread;
 
-use grm_obs::{Counter, Gauge, Recorder, RunJournal, Scope};
+use grm_obs::{Counter, Gauge, Histo, Recorder, RunJournal, Scope};
 
 #[test]
 fn span_nesting_is_recorded() {
@@ -143,6 +144,106 @@ fn from_jsonl_rejects_garbage_and_bad_versions() {
     assert!(RunJournal::from_jsonl("not json").is_err());
     let bad_version = r#"{"Meta": {"version": 99, "spans": 0}}"#;
     assert!(RunJournal::from_jsonl(bad_version).unwrap_err().contains("version"));
+}
+
+#[test]
+fn histograms_attribute_to_span_and_run_totals() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let mine = root.scope().span("mine");
+    for s in [0.5, 1.0, 2.0] {
+        mine.scope().observe(Histo::MineCallSeconds, s);
+    }
+    mine.finish();
+    let eval = root.scope().span("evaluate");
+    eval.scope().observe(Histo::MineCallSeconds, 4.0);
+    eval.finish();
+    root.finish();
+
+    let journal = rec.snapshot();
+    // Run-wide histogram merges all spans' observations.
+    let total = journal.histogram("mine_call_seconds").unwrap();
+    assert_eq!(total.count(), 4);
+    assert_eq!(total.min(), 0.5);
+    assert_eq!(total.max(), 4.0);
+    // Per-span rows carry only their own observations.
+    let mine_id = journal.span("mine").unwrap().id;
+    let per_span = journal.span_histograms(mine_id);
+    assert_eq!(per_span.len(), 1);
+    assert_eq!(per_span[0].name, "mine_call_seconds");
+    assert_eq!(per_span[0].histogram.count(), 3);
+    assert_eq!(per_span[0].histogram.max(), 2.0);
+}
+
+#[test]
+fn journal_v2_jsonl_includes_histo_lines() {
+    let rec = Recorder::new();
+    let span = rec.root_scope().span("mine");
+    span.scope().observe(Histo::MineCallSeconds, 1.25);
+    span.scope().observe(Histo::WindowTokens, 800.0);
+    span.finish();
+
+    let journal = rec.snapshot();
+    let text = journal.to_jsonl();
+    // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
+    assert_eq!(text.lines().count(), 2 + 1 + 4);
+    assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
+    assert!(text.lines().next().unwrap().contains(r#""version":2"#));
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed, journal);
+}
+
+#[test]
+fn lossy_reader_tolerates_truncated_final_line() {
+    let rec = Recorder::new();
+    let span = rec.root_scope().span("mine");
+    span.scope().observe(Histo::MineCallSeconds, 1.0);
+    span.scope().add(Counter::PromptsIssued, 3);
+    span.finish();
+    let text = rec.snapshot().to_jsonl();
+
+    // Chop the journal mid-way through its last line, as a crashed
+    // writer would.
+    let cut = text.trim_end().len() - 10;
+    let truncated = &text[..cut];
+    assert!(RunJournal::from_jsonl(truncated).is_err());
+    let lossy = RunJournal::from_jsonl_lossy(truncated).unwrap();
+    assert_eq!(lossy.spans.len(), 1);
+    assert_eq!(lossy.histogram("mine_call_seconds").unwrap().count(), 1);
+}
+
+#[test]
+fn unknown_record_variants_are_skipped() {
+    let rec = Recorder::new();
+    rec.root_scope().span("mine").finish();
+    let mut text = rec.snapshot().to_jsonl();
+    // A future journal version may interleave record kinds this
+    // reader has never heard of; both readers skip them.
+    text.push_str("{\"Annotation\": {\"note\": \"from the future\"}}\n");
+    let strict = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(strict.spans.len(), 1);
+    assert_eq!(RunJournal::from_jsonl_lossy(&text).unwrap(), strict);
+}
+
+#[test]
+fn jsonl_totals_are_sorted_by_name() {
+    let rec = Recorder::new();
+    let span = rec.root_scope().span("mine");
+    // Bump counters in non-alphabetical order.
+    span.scope().add(Counter::RulesMined, 2);
+    span.scope().add(Counter::PromptsIssued, 5);
+    span.scope().gauge(Gauge::RagCoverage, 0.5);
+    span.finish();
+    let text = rec.snapshot().to_jsonl();
+    let totals_line = text.lines().find(|l| l.starts_with(r#"{"Totals""#)).unwrap();
+    let prompts = totals_line.find("prompts_issued").unwrap();
+    let rules = totals_line.find("rules_mined").unwrap();
+    assert!(prompts < rules, "totals must be name-sorted for deterministic diffs");
+
+    let summary = rec.snapshot().summary();
+    let prompts = summary.find("prompts_issued").unwrap();
+    let rules = summary.find("rules_mined").unwrap();
+    assert!(prompts < rules);
 }
 
 #[test]

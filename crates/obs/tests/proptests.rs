@@ -1,0 +1,121 @@
+//! Property-based tests for histogram invariants and the v2 journal
+//! round-trip.
+
+use grm_obs::{Counter, Histo, Histogram, Recorder, RunJournal};
+use proptest::prelude::*;
+
+/// Records every value of `values` into a fresh histogram.
+fn histogram_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Structural equality up to floating-point summation order: exact
+/// counts, min/max and percentiles, approximate sum.
+fn assert_equivalent(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.min(), b.min());
+    assert_eq!(a.max(), b.max());
+    for q in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+        assert_eq!(a.percentile(q), b.percentile(q));
+    }
+    let scale = a.sum().abs().max(b.sum().abs()).max(1.0);
+    assert!((a.sum() - b.sum()).abs() <= 1e-9 * scale);
+}
+
+proptest! {
+    /// Percentiles never decrease as the quantile grows, and every
+    /// percentile lies within the recorded [min, max] range.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in prop::collection::vec(1e-7f64..1e4, 1..80),
+    ) {
+        let h = histogram_of(&values);
+        let quantiles = [0.0, 1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0];
+        let mut prev = f64::NEG_INFINITY;
+        for q in quantiles {
+            let p = h.percentile(q);
+            prop_assert!(p >= prev, "p{} = {} < previous {}", q, p, prev);
+            prop_assert!(p >= h.min() && p <= h.max());
+            prev = p;
+        }
+    }
+
+    /// A histogram holding one distinct value reports it exactly at
+    /// every quantile — the bucket midpoint is clamped to [min, max].
+    #[test]
+    fn single_value_is_exact(v in 1e-7f64..1e4, n in 1usize..50, q in 0.0f64..100.0) {
+        let h = histogram_of(&vec![v; n]);
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.percentile(q), v);
+    }
+
+    /// Merging is associative and commutative, and merging is
+    /// equivalent to recording the concatenation directly.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in prop::collection::vec(1e-7f64..1e4, 0..40),
+        ys in prop::collection::vec(1e-7f64..1e4, 0..40),
+        zs in prop::collection::vec(1e-7f64..1e4, 0..40),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        let mut left_then_c = left.clone();
+        left_then_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_equivalent(&left_then_c, &right);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_equivalent(&left, &ba);
+
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        assert_equivalent(&left_then_c, &histogram_of(&all));
+    }
+
+    /// A journal carrying Histo records round-trips through JSONL
+    /// byte-exactly into an equal journal.
+    #[test]
+    fn journal_v2_round_trips_with_histograms(
+        mine_calls in prop::collection::vec(0.01f64..30.0, 1..20),
+        rows in prop::collection::vec(0u32..500, 0..20),
+        bump in 0u64..1000,
+    ) {
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let mine = root.scope().span("mine");
+        for &s in &mine_calls {
+            mine.scope().observe(Histo::MineCallSeconds, s);
+        }
+        mine.scope().add(Counter::PromptsIssued, bump);
+        mine.finish();
+        let eval = root.scope().span("evaluate");
+        for &r in &rows {
+            eval.scope().observe(Histo::CypherRowsPerQuery, r as f64);
+        }
+        eval.finish();
+        root.finish();
+
+        let journal = rec.snapshot();
+        let text = journal.to_jsonl();
+        let parsed = RunJournal::from_jsonl(&text).unwrap();
+        prop_assert_eq!(&parsed, &journal);
+        // And the lossy reader agrees on intact input.
+        prop_assert_eq!(&RunJournal::from_jsonl_lossy(&text).unwrap(), &journal);
+
+        let h = parsed.histogram("mine_call_seconds").unwrap();
+        prop_assert_eq!(h.count(), mine_calls.len() as u64);
+        prop_assert_eq!(parsed.total("prompts_issued"), bump);
+    }
+}

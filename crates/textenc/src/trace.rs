@@ -3,7 +3,7 @@
 //! span and encoder counters on the given [`grm_obs::Scope`]. The
 //! untraced functions stay the zero-overhead default.
 
-use grm_obs::{Counter, Scope};
+use grm_obs::{Counter, Histo, Scope};
 use grm_pgraph::PropertyGraph;
 
 use crate::incident::{encode, EncoderKind};
@@ -37,13 +37,17 @@ pub fn encode_summary_traced(g: &PropertyGraph, config: SummaryConfig, scope: &S
 }
 
 /// [`crate::chunk`] under a `chunk` span, counting windows and the
-/// broken patterns of §4.5.
+/// broken patterns of §4.5 and recording the per-window token-count
+/// distribution.
 pub fn chunk_traced(text: &str, config: WindowConfig, scope: &Scope) -> WindowSet {
     let span = scope.span("chunk");
     let ws = chunk(text, config);
     let inner = span.scope();
     inner.add(Counter::WindowsProduced, ws.len() as u64);
     inner.add(Counter::BrokenPatterns, ws.broken_patterns as u64);
+    for w in &ws.windows {
+        inner.observe(Histo::WindowTokens, w.token_len as f64);
+    }
     span.finish();
     ws
 }

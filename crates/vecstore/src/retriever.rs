@@ -121,13 +121,17 @@ impl Retriever {
     }
 
     /// [`Retriever::retrieve`] under a `rag.retrieve` span, counting
-    /// retrieved chunks and recording the coverage gauge whose
-    /// smallness explains the paper's RAG results.
+    /// retrieved chunks, recording the per-chunk similarity-score
+    /// distribution, and the coverage gauge whose smallness explains
+    /// the paper's RAG results.
     pub fn retrieve_traced(&self, query: &str, scope: &grm_obs::Scope) -> Retrieval {
         let span = scope.span("rag.retrieve");
         let retrieval = self.retrieve(query);
         let inner = span.scope();
         inner.add(grm_obs::Counter::ChunksRetrieved, retrieval.chunks.len() as u64);
+        for score in &retrieval.scores {
+            inner.observe(grm_obs::Histo::RetrievalScore, *score as f64);
+        }
         inner.gauge(grm_obs::Gauge::RagCoverage, retrieval.coverage());
         span.finish();
         retrieval

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(rest),
         "check" => cmd_check(rest),
         "diff" => cmd_diff(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -72,7 +73,11 @@ const USAGE: &str = "usage:
                [--trace FILE.jsonl] [--trace-summary]
   grm audit    --graph FILE [--limit N]
   grm check    --graph FILE --rules FILE [--limit N]   # exit 1 on violations
-  grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]";
+  grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
+  grm trace    summary FILE.jsonl
+  grm trace    diff A.jsonl B.jsonl [--tolerance FRACTION]   # exit 1 above tolerance
+  grm trace    flame FILE.jsonl [--real|--sim]               # folded flamegraph stacks
+  grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Flags {
@@ -415,4 +420,92 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     }
     println!("no regressions beyond {threshold} pts across {} rules", drifts.len());
     Ok(())
+}
+
+/// `grm trace`: analytics over run journals written by `mine --trace`
+/// or `repro --trace` — human summary, A/B diff with a tolerance gate,
+/// folded flamegraph stacks, and a baseline regression check.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::obs::{
+        folded_stacks, FlameWeight, RunJournal, TraceBaseline, TraceDiff,
+    };
+
+    let Some((verb, rest)) = args.split_first() else {
+        return Err(format!("trace needs a verb (summary|diff|flame|check)\n{USAGE}"));
+    };
+    let load = |path: &str| -> Result<RunJournal, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        RunJournal::from_jsonl_lossy(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    match verb.as_str() {
+        "summary" => {
+            let flags = parse_flags(rest, &[])?;
+            let path = flags.positional.first().ok_or("trace summary needs a journal FILE")?;
+            print!("{}", load(path)?.summary());
+            Ok(())
+        }
+        "diff" => {
+            let flags = parse_flags(rest, &[])?;
+            let [a_path, b_path] = flags.positional.as_slice() else {
+                return Err("trace diff needs two journal files: A.jsonl B.jsonl".into());
+            };
+            let tolerance: f64 = parse_or(&flags, "tolerance", 0.05)?;
+            let diff = TraceDiff::compute(&load(a_path)?, &load(b_path)?);
+            print!("{}", diff.render());
+            let worst = diff.max_relative_sim_delta();
+            if worst > tolerance {
+                return Err(format!(
+                    "stage sim-time shift {:.1}% exceeds tolerance {:.1}%",
+                    worst * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+            println!(
+                "max stage sim-time shift {:.1}% within tolerance {:.1}%",
+                worst * 100.0,
+                tolerance * 100.0
+            );
+            Ok(())
+        }
+        "flame" => {
+            let flags = parse_flags(rest, &["real", "sim"])?;
+            let path = flags.positional.first().ok_or("trace flame needs a journal FILE")?;
+            let sim = flags.switches.iter().any(|s| s == "sim");
+            let real = flags.switches.iter().any(|s| s == "real");
+            if sim && real {
+                return Err("--real and --sim are mutually exclusive".into());
+            }
+            let weight = if sim { FlameWeight::Sim } else { FlameWeight::Real };
+            print!("{}", folded_stacks(&load(path)?, weight));
+            Ok(())
+        }
+        "check" => {
+            let flags = parse_flags(rest, &[])?;
+            let [journal_path, baseline_path] = flags.positional.as_slice() else {
+                return Err("trace check needs FILE.jsonl BASELINE.json".into());
+            };
+            let tolerance: f64 = parse_or(&flags, "tolerance", 0.05)?;
+            let journal = load(journal_path)?;
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline: TraceBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let violations = baseline.check(&journal, tolerance);
+            if violations.is_empty() {
+                println!(
+                    "trace check passed: {} within {:.1}% of {}",
+                    journal_path,
+                    tolerance * 100.0,
+                    baseline_path
+                );
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} perf regression(s) against {baseline_path}", violations.len()))
+            }
+        }
+        other => Err(format!("unknown trace verb `{other}`\n{USAGE}")),
+    }
 }

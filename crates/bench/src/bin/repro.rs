@@ -25,7 +25,11 @@
 //! * `--trace-baseline FILE.json` — with `--trace`, also freeze the
 //!   run's stage timings and histogram percentiles into a
 //!   `TraceBaseline` snapshot for `grm trace check` (this is how
-//!   `BENCH_trace.json` is regenerated).
+//!   `BENCH_trace.json` is regenerated);
+//! * `--plans-baseline FILE.json` — with `--trace`, freeze the run's
+//!   per-operator db-hit budgets into a `PlanBaseline` snapshot for
+//!   `grm trace plans --check` (this is how `BENCH_plans.json` is
+//!   regenerated).
 
 use std::collections::HashMap;
 
@@ -49,6 +53,7 @@ struct Args {
     scale: f64,
     trace: Option<String>,
     trace_baseline: Option<String>,
+    plans_baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +68,7 @@ fn parse_args() -> Args {
         scale: 1.0,
         trace: None,
         trace_baseline: None,
+        plans_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -103,6 +109,10 @@ fn parse_args() -> Args {
             "--trace-baseline" => {
                 any = true;
                 args.trace_baseline = Some(it.next().expect("--trace-baseline needs a file path"));
+            }
+            "--plans-baseline" => {
+                any = true;
+                args.plans_baseline = Some(it.next().expect("--plans-baseline needs a file path"));
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -208,8 +218,8 @@ fn main() {
     }
     if let Some(path) = &args.trace {
         trace_run(&args, path);
-    } else if args.trace_baseline.is_some() {
-        eprintln!("--trace-baseline requires --trace FILE.jsonl");
+    } else if args.trace_baseline.is_some() || args.plans_baseline.is_some() {
+        eprintln!("--trace-baseline / --plans-baseline require --trace FILE.jsonl");
         std::process::exit(2);
     }
 }
@@ -250,6 +260,21 @@ fn trace_run(args: &Args, path: &str) {
             std::process::exit(1);
         }
         println!("(baseline snapshot written to {baseline_path})");
+    }
+    if let Some(plans_path) = &args.plans_baseline {
+        let baseline = grm_obs::PlanBaseline::from_journal(&journal);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing plan baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(plans_path, json) {
+            eprintln!("writing {plans_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(plan-baseline snapshot written to {plans_path})");
     }
     println!("== trace: WWC2019 / llama3 / RAG / zero-shot ==");
     print!("{}", journal.summary());

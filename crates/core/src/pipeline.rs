@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use grm_llm::{MiningPrompt, SimLlm};
-use grm_metrics::{aggregate, classify, correct, evaluate_traced, ClassTally, QueryClass};
+use grm_metrics::{aggregate, classify, correct, evaluate_labeled, ClassTally, QueryClass};
 use grm_obs::{Counter, Histo, Recorder, Scope, Span};
 use grm_pgraph::{GraphSchema, PropertyGraph};
 use grm_rules::RuleQueries;
@@ -252,7 +252,7 @@ impl MiningPipeline {
         let evaluate_scope = evaluate_span.scope();
         let mut correctness = ClassTally::default();
         let mut outcomes = Vec::with_capacity(selected.len());
-        for (m, resp) in selected.into_iter().zip(translations) {
+        for (i, (m, resp)) in selected.into_iter().zip(translations).enumerate() {
             let generated = resp.translation.cypher.clone();
             let assessment = classify(&generated, &schema);
             correctness.add(assessment.class);
@@ -267,7 +267,9 @@ impl MiningPipeline {
                     body: resp.translation.reference.body.clone(),
                     head_total: resp.translation.reference.head_total.clone(),
                 };
-                evaluate_traced(graph, &queries, &evaluate_scope).ok()
+                // Per-rule plan scopes: `grm trace plans` aggregates
+                // profiles by this label.
+                evaluate_labeled(graph, &queries, &evaluate_scope, &format!("rule-{i}")).ok()
             } else {
                 None
             };

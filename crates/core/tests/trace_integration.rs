@@ -192,3 +192,33 @@ fn journal_round_trips_through_jsonl_after_a_real_run() {
     assert_eq!(parsed, journal);
     assert!(!parsed.summary().is_empty());
 }
+
+#[test]
+fn traced_run_attaches_per_rule_query_plans() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+
+    // Every scored rule folded its three metric-query profiles into one
+    // plan record labelled `rule-{i}`, attached under the evaluate span.
+    let scored = report.rules.iter().filter(|o| o.metrics.is_some()).count();
+    assert!(scored > 0, "seed config should score at least one rule");
+    let rule_plans: Vec<_> =
+        journal.plans.iter().filter(|p| p.scope.starts_with("rule-")).collect();
+    assert_eq!(rule_plans.len(), scored);
+    let evaluate_id = journal.span("evaluate").unwrap().id;
+    for plan in &rule_plans {
+        assert_eq!(plan.span, Some(evaluate_id));
+        assert_eq!(plan.queries, 3);
+        assert!(plan.db_hits() > 0, "scope {} profiled no db-hits", plan.scope);
+        assert!(!plan.ops.is_empty());
+        assert!(plan.ops.iter().all(|op| !op.path.is_empty()));
+    }
+
+    // The profiled-query counter and db-hit histogram agree with the plans.
+    let profiled: u64 = journal.plans.iter().map(|p| p.queries).sum();
+    assert_eq!(journal.total("cypher_queries_profiled"), profiled);
+    let hits = journal.histogram("cypher_db_hits_per_query").expect("cypher_db_hits_per_query");
+    assert_eq!(hits.count(), profiled);
+}

@@ -12,6 +12,7 @@ use grm_pgraph::{EdgeId, NodeId, PropertyGraph, Value};
 
 use crate::ast::{BinOp, Expr, UnaryOp};
 use crate::error::{CypherError, Result};
+use crate::profile::Profiler;
 
 /// What a variable may be bound to during execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,14 +44,31 @@ impl Binding {
 /// A row of variable bindings.
 pub type Row = HashMap<String, Binding>;
 
-/// Evaluation context: the graph being queried.
+/// Evaluation context: the graph being queried, plus the profiler
+/// when the query runs under `PROFILE` (property reads anywhere in
+/// expression evaluation charge a db-hit to whichever operator is
+/// current).
 pub struct EvalCtx<'g> {
     pub graph: &'g PropertyGraph,
+    prof: Option<&'g Profiler>,
 }
 
 impl<'g> EvalCtx<'g> {
     pub fn new(graph: &'g PropertyGraph) -> Self {
-        EvalCtx { graph }
+        EvalCtx { graph, prof: None }
+    }
+
+    /// A context charging db-hits to `prof`'s current operator.
+    pub(crate) fn with_profiler(graph: &'g PropertyGraph, prof: Option<&'g Profiler>) -> Self {
+        EvalCtx { graph, prof }
+    }
+
+    /// Charges one property-map lookup to the current operator. Used
+    /// by the executor for the property reads it performs directly.
+    pub(crate) fn record_prop_read(&self) {
+        if let Some(p) = self.prof {
+            p.hit_props(1);
+        }
     }
 
     /// Evaluates `expr` under `row` to a value. Aggregate calls are
@@ -139,8 +157,14 @@ impl<'g> EvalCtx<'g> {
         // Fast path: `var.key` on a bound graph element.
         if let Expr::Var(name) = base {
             match row.get(name) {
-                Some(Binding::Node(id)) => return Ok(self.graph.node(*id).prop(key).clone()),
-                Some(Binding::Edge(id)) => return Ok(self.graph.edge(*id).prop(key).clone()),
+                Some(Binding::Node(id)) => {
+                    self.record_prop_read();
+                    return Ok(self.graph.node(*id).prop(key).clone());
+                }
+                Some(Binding::Edge(id)) => {
+                    self.record_prop_read();
+                    return Ok(self.graph.edge(*id).prop(key).clone());
+                }
                 Some(Binding::Val(Value::Null)) => return Ok(Value::Null),
                 Some(Binding::Val(other)) => {
                     return Err(CypherError::runtime(format!(

@@ -20,6 +20,7 @@ use crate::ast::*;
 use crate::error::{CypherError, Result};
 use crate::eval::{Binding, EvalCtx, Row};
 use crate::parser::parse;
+use crate::profile::{MatchProf, PathProf, PatternOps, Profiler, QueryProfile};
 
 /// A fully materialised query result.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,36 +85,92 @@ pub fn execute_traced(
     result
 }
 
+/// Parses and executes `src` with operator-level profiling — this
+/// engine's `PROFILE`. Returns the result set together with the
+/// recorded plan tree ([`QueryProfile`]); the un-profiled entry
+/// points ([`execute`], [`execute_query`]) do zero accounting.
+pub fn execute_profiled(graph: &PropertyGraph, src: &str) -> Result<(ResultSet, QueryProfile)> {
+    let query = parse(src)?;
+    let prof = Profiler::new(&query);
+    let result = execute_query_inner(graph, &query, Some(&prof))?;
+    Ok((result, prof.finish(src)))
+}
+
 /// Executes an already-parsed query.
 pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> {
-    let ctx = EvalCtx::new(graph);
+    execute_query_inner(graph, query, None)
+}
+
+fn execute_query_inner(
+    graph: &PropertyGraph,
+    query: &Query,
+    prof: Option<&Profiler>,
+) -> Result<ResultSet> {
+    let ctx = EvalCtx::with_profiler(graph, prof);
     let mut rows: Vec<Row> = vec![Row::new()];
-    for clause in &query.clauses {
+    for (ci, clause) in query.clauses.iter().enumerate() {
         rows = match clause {
             Clause::Match { optional, patterns, where_clause } => {
-                match_clause(&ctx, rows, patterns, where_clause.as_ref(), *optional)?
+                let mp = prof.map(|p| p.match_prof(ci));
+                match_clause(&ctx, rows, patterns, where_clause.as_ref(), *optional, mp)?
             }
             Clause::With { distinct, items, where_clause } => {
-                let projected = project(&ctx, rows, items, /*require_alias=*/ true)?;
+                let wp = prof.map(|p| p.with_prof(ci));
+                let projected = {
+                    let _g = wp.map(|w| w.p.enter(w.projection));
+                    if let Some(w) = wp {
+                        w.p.call();
+                        w.p.rows_in(rows.len() as u64);
+                    }
+                    let out = project(&ctx, rows, items, /*require_alias=*/ true)?;
+                    if let Some(w) = wp {
+                        w.p.rows(out.len() as u64);
+                    }
+                    out
+                };
                 let filtered = match where_clause {
                     Some(w) => {
+                        let _g =
+                            wp.map(|w| w.p.enter(w.filter.expect("Filter slot for WITH WHERE")));
+                        if let Some(w) = wp {
+                            w.p.call();
+                            w.p.rows_in(projected.len() as u64);
+                        }
                         let mut keep = Vec::with_capacity(projected.len());
                         for row in projected {
                             if ctx.eval_filter(w, &row)? {
                                 keep.push(row);
                             }
                         }
+                        if let Some(w) = wp {
+                            w.p.rows(keep.len() as u64);
+                        }
                         keep
                     }
                     None => projected,
                 };
                 if *distinct {
-                    distinct_rows(&ctx, filtered, items)?
+                    let _g =
+                        wp.map(|w| w.p.enter(w.distinct.expect("Distinct slot for WITH DISTINCT")));
+                    if let Some(w) = wp {
+                        w.p.call();
+                        w.p.rows_in(filtered.len() as u64);
+                    }
+                    let out = distinct_rows(&ctx, filtered, items)?;
+                    if let Some(w) = wp {
+                        w.p.rows(out.len() as u64);
+                    }
+                    out
                 } else {
                     filtered
                 }
             }
             Clause::Unwind { expr, var } => {
+                let _g = prof.map(|p| p.enter(p.unwind_prof(ci)));
+                if let Some(p) = prof {
+                    p.call();
+                    p.rows_in(rows.len() as u64);
+                }
                 let mut out = Vec::new();
                 for row in rows {
                     match ctx.eval(expr, &row)? {
@@ -133,21 +190,50 @@ pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> 
                         }
                     }
                 }
+                if let Some(p) = prof {
+                    p.rows(out.len() as u64);
+                }
                 out
             }
         };
     }
 
     // RETURN projection.
-    let projected = project(&ctx, rows, &query.ret.items, /*require_alias=*/ false)?;
+    let projected = {
+        let _g = prof.map(|p| p.enter(p.ret_ops().projection));
+        if let Some(p) = prof {
+            p.call();
+            p.rows_in(rows.len() as u64);
+        }
+        let out = project(&ctx, rows, &query.ret.items, /*require_alias=*/ false)?;
+        if let Some(p) = prof {
+            p.rows(out.len() as u64);
+        }
+        out
+    };
     let mut projected = if query.ret.distinct {
-        distinct_rows(&ctx, projected, &query.ret.items)?
+        let _g = prof.map(|p| p.enter(p.ret_ops().distinct.expect("Distinct slot for RETURN")));
+        if let Some(p) = prof {
+            p.call();
+            p.rows_in(projected.len() as u64);
+        }
+        let out = distinct_rows(&ctx, projected, &query.ret.items)?;
+        if let Some(p) = prof {
+            p.rows(out.len() as u64);
+        }
+        out
     } else {
         projected
     };
 
     // ORDER BY over the projected rows (aliases are visible).
     if !query.ret.order_by.is_empty() {
+        let _g = prof.map(|p| p.enter(p.ret_ops().sort.expect("Sort slot for ORDER BY")));
+        if let Some(p) = prof {
+            p.call();
+            p.rows_in(projected.len() as u64);
+            p.rows(projected.len() as u64);
+        }
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(projected.len());
         for row in projected {
             let mut keys = Vec::with_capacity(query.ret.order_by.len());
@@ -173,6 +259,20 @@ pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> 
 
     let skip = query.ret.skip.unwrap_or(0) as usize;
     let limit = query.ret.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    // The profiled path materialises the window to count its rows
+    // (and neutralises the bounds so they are not applied twice); the
+    // plain path keeps the original lazy iterator.
+    let (projected, skip, limit) = match prof.and_then(|p| p.ret_ops().window.map(|op| (p, op))) {
+        Some((p, op)) => {
+            let _g = p.enter(op);
+            p.call();
+            p.rows_in(projected.len() as u64);
+            let out: Vec<Row> = projected.into_iter().skip(skip).take(limit).collect();
+            p.rows(out.len() as u64);
+            (out, 0, usize::MAX)
+        }
+        None => (projected, skip, limit),
+    };
     let window = projected.into_iter().skip(skip).take(limit);
 
     let columns: Vec<String> = query.ret.items.iter().map(ProjItem::name).collect();
@@ -184,6 +284,11 @@ pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> 
             cells.push(cell);
         }
         out_rows.push(cells);
+    }
+    if let Some(p) = prof {
+        p.call();
+        p.rows_in(out_rows.len() as u64);
+        p.rows(out_rows.len() as u64);
     }
     Ok(ResultSet { columns, rows: out_rows })
 }
@@ -198,6 +303,7 @@ fn match_clause(
     patterns: &[PathPattern],
     where_clause: Option<&Expr>,
     optional: bool,
+    mp: Option<MatchProf<'_>>,
 ) -> Result<Vec<Row>> {
     // Variables introduced by this clause (for OPTIONAL null-padding).
     let mut new_vars: Vec<String> = Vec::new();
@@ -219,10 +325,21 @@ fn match_clause(
     for row in rows {
         let mut matched_any = false;
         let mut used = HashSet::new();
-        let produced = expand_patterns(ctx, &row, &mut used, patterns, 0)?;
+        let produced = expand_patterns(ctx, &row, &mut used, patterns, 0, mp)?;
         for candidate in produced {
             let keep = match where_clause {
-                Some(w) => ctx.eval_filter(w, &candidate)?,
+                Some(w) => {
+                    let _g = mp.map(|m| m.p.enter(m.filter.expect("Filter slot for MATCH WHERE")));
+                    if let Some(m) = mp {
+                        m.p.call();
+                        m.p.rows_in(1);
+                    }
+                    let keep = ctx.eval_filter(w, &candidate)?;
+                    if let (true, Some(m)) = (keep, mp) {
+                        m.p.rows(1);
+                    }
+                    keep
+                }
                 None => true,
             };
             if keep {
@@ -249,17 +366,18 @@ fn expand_patterns(
     used: &mut HashSet<EdgeId>,
     patterns: &[PathPattern],
     idx: usize,
+    mp: Option<MatchProf<'_>>,
 ) -> Result<Vec<Row>> {
     if idx == patterns.len() {
         return Ok(vec![row.clone()]);
     }
     let mut out = Vec::new();
-    let firsts = match_path(ctx, row, used, &patterns[idx])?;
+    let firsts = match_path(ctx, row, used, &patterns[idx], mp.map(|m| (m.p, &m.patterns[idx])))?;
     for (r, edges) in firsts {
         for e in &edges {
             used.insert(*e);
         }
-        out.extend(expand_patterns(ctx, &r, used, patterns, idx + 1)?);
+        out.extend(expand_patterns(ctx, &r, used, patterns, idx + 1, mp)?);
         for e in &edges {
             used.remove(e);
         }
@@ -274,12 +392,14 @@ fn match_path(
     row: &Row,
     used: &HashSet<EdgeId>,
     pattern: &PathPattern,
+    ops: Option<(&Profiler, &PatternOps)>,
 ) -> Result<Vec<(Row, Vec<EdgeId>)>> {
     // Begin at whichever end of the path is cheaper to enumerate —
     // a bound variable beats a label scan beats a full scan. This
     // keeps `OPTIONAL MATCH (s:User)-[:POSTS]->(t)` (t bound) linear
     // on the Twitter-sized graphs.
     let reversed;
+    let mut was_reversed = false;
     let pattern = if pattern.steps.is_empty() {
         pattern
     } else {
@@ -287,16 +407,27 @@ fn match_path(
         let end = &pattern.steps.last().expect("non-empty steps").1;
         let end_cost = node_cost(ctx, row, end);
         if end_cost < start_cost {
+            was_reversed = true;
             reversed = pattern.reversed();
             &reversed
         } else {
             pattern
         }
     };
+    let pp = ops.map(|(p, o)| PathProf::new(p, o, was_reversed));
     let mut results = Vec::new();
-    let starts = node_candidates(ctx, row, &pattern.start)?;
+    let starts = node_candidates(ctx, row, &pattern.start, pp)?;
     for (start_row, start_node) in starts {
-        walk_steps(ctx, &start_row, used, start_node, &pattern.steps, Vec::new(), &mut results)?;
+        walk_steps(
+            ctx,
+            &start_row,
+            used,
+            start_node,
+            &pattern.steps,
+            Vec::new(),
+            &mut results,
+            pp,
+        )?;
     }
     Ok(results)
 }
@@ -310,11 +441,17 @@ fn walk_steps(
     steps: &[(RelPattern, NodePattern)],
     consumed: Vec<EdgeId>,
     results: &mut Vec<(Row, Vec<EdgeId>)>,
+    pp: Option<PathProf<'_>>,
 ) -> Result<()> {
     let Some(((rel, node), rest)) = steps.split_first() else {
         results.push((row.clone(), consumed));
         return Ok(());
     };
+    let _g = pp.map(|pp| pp.p.enter(pp.step_op(steps.len())));
+    if let Some(pp) = pp {
+        pp.p.call();
+        pp.p.rows_in(1);
+    }
     // Variable-length relationships expand through a bounded DFS.
     if let Some((min, max)) = rel.length {
         if rel.var.is_some() {
@@ -324,7 +461,7 @@ fn walk_steps(
         }
         let max = max.unwrap_or(MAX_VAR_HOPS).min(MAX_VAR_HOPS);
         return var_length_walk(
-            ctx, row, used, current, rel, node, rest, consumed, 0, min, max, results,
+            ctx, row, used, current, rel, node, rest, consumed, 0, min, max, results, pp,
         );
     }
     let g = ctx.graph;
@@ -342,6 +479,9 @@ fn walk_steps(
             v
         }
     };
+    if let Some(pp) = pp {
+        pp.p.hit_edges(candidates.len() as u64);
+    }
 
     for (edge_id, neighbour) in candidates {
         if used.contains(&edge_id) || consumed.contains(&edge_id) {
@@ -355,6 +495,7 @@ fn walk_steps(
         let mut props_ok = true;
         for (k, expr) in &rel.props {
             let want = ctx.eval(expr, row)?;
+            ctx.record_prop_read();
             if edge.prop(k).cypher_eq(&want) != Some(true) {
                 props_ok = false;
                 break;
@@ -379,9 +520,12 @@ fn walk_steps(
         let Some(next_row) = bind_node(ctx, &next_row, node, neighbour)? else {
             continue;
         };
+        if let Some(pp) = pp {
+            pp.p.rows(1);
+        }
         let mut consumed_next = consumed.clone();
         consumed_next.push(edge_id);
-        walk_steps(ctx, &next_row, used, neighbour, rest, consumed_next, results)?;
+        walk_steps(ctx, &next_row, used, neighbour, rest, consumed_next, results, pp)?;
     }
     Ok(())
 }
@@ -421,12 +565,16 @@ fn var_length_walk(
     min: u32,
     max: u32,
     results: &mut Vec<(Row, Vec<EdgeId>)>,
+    pp: Option<PathProf<'_>>,
 ) -> Result<()> {
     let g = ctx.graph;
     // Enough hops taken: the current node may close this step.
     if depth >= min {
         if let Some(next_row) = bind_node(ctx, row, node, current)? {
-            walk_steps(ctx, &next_row, used, current, rest, consumed.clone(), results)?;
+            if let Some(pp) = pp {
+                pp.p.rows(1);
+            }
+            walk_steps(ctx, &next_row, used, current, rest, consumed.clone(), results, pp)?;
         }
     }
     if depth >= max {
@@ -442,6 +590,9 @@ fn var_length_walk(
             v
         }
     };
+    if let Some(pp) = pp {
+        pp.p.hit_edges(candidates.len() as u64);
+    }
     for (edge_id, neighbour) in candidates {
         if used.contains(&edge_id) || consumed.contains(&edge_id) {
             continue;
@@ -453,6 +604,7 @@ fn var_length_walk(
         let mut props_ok = true;
         for (k, expr) in &rel.props {
             let want = ctx.eval(expr, row)?;
+            ctx.record_prop_read();
             if edge.prop(k).cypher_eq(&want) != Some(true) {
                 props_ok = false;
                 break;
@@ -476,6 +628,7 @@ fn var_length_walk(
             min,
             max,
             results,
+            pp,
         )?;
     }
     Ok(())
@@ -486,16 +639,30 @@ fn node_candidates(
     ctx: &EvalCtx<'_>,
     row: &Row,
     pattern: &NodePattern,
+    pp: Option<PathProf<'_>>,
 ) -> Result<Vec<(Row, NodeId)>> {
     let g = ctx.graph;
+    let _g = pp.map(|pp| pp.p.enter(pp.scan_op()));
+    if let Some(pp) = pp {
+        pp.p.call();
+        pp.p.rows_in(1);
+    }
     // Already bound: just re-check constraints.
     if let Some(var) = &pattern.var {
         if let Some(binding) = row.get(var) {
+            if let Some(pp) = pp {
+                pp.p.set_scan("Argument", pattern.to_string());
+            }
             return match binding {
                 Binding::Node(id) => {
                     let id = *id;
                     Ok(match bind_node(ctx, row, pattern, id)? {
-                        Some(r) => vec![(r, id)],
+                        Some(r) => {
+                            if let Some(pp) = pp {
+                                pp.p.rows(1);
+                            }
+                            vec![(r, id)]
+                        }
                         None => vec![],
                     })
                 }
@@ -503,17 +670,31 @@ fn node_candidates(
             };
         }
     }
-    // Fresh scan: pick the most selective available label index.
+    // Fresh scan: pick the most selective available label index. The
+    // scan slot's name/detail resolve here because the cost-based
+    // reversal may enumerate the end the query did not write first.
     let ids: Vec<NodeId> = if let Some(label) = pattern.labels.first() {
+        if let Some(pp) = pp {
+            pp.p.set_scan("NodeByLabelScan", pattern.to_string());
+        }
         g.nodes_with_label(label).map(|n| n.id).collect()
     } else {
+        if let Some(pp) = pp {
+            pp.p.set_scan("AllNodesScan", pattern.to_string());
+        }
         g.nodes().map(|n| n.id).collect()
     };
+    if let Some(pp) = pp {
+        pp.p.hit_nodes(ids.len() as u64);
+    }
     let mut out = Vec::new();
     for id in ids {
         if let Some(r) = bind_node(ctx, row, pattern, id)? {
             out.push((r, id));
         }
+    }
+    if let Some(pp) = pp {
+        pp.p.rows(out.len() as u64);
     }
     Ok(out)
 }
@@ -532,6 +713,7 @@ fn bind_node(
     }
     for (k, expr) in &pattern.props {
         let want = ctx.eval(expr, row)?;
+        ctx.record_prop_read();
         if node.prop(k).cypher_eq(&want) != Some(true) {
             return Ok(None);
         }
@@ -1069,5 +1251,141 @@ mod tests {
         g.add_edge(a, a, "FOLLOWS", Default::default());
         let rs = execute(&g, "MATCH (x:U)-[:FOLLOWS]-(y) RETURN COUNT(*) AS c").unwrap();
         assert_eq!(rs.single_int(), Some(1));
+    }
+
+    // -- PROFILE ------------------------------------------------------
+
+    use crate::profile::{PlanNode, QueryProfile};
+
+    fn profiled(g: &PropertyGraph, src: &str) -> (ResultSet, QueryProfile) {
+        execute_profiled(g, src).unwrap()
+    }
+
+    fn op<'a>(profile: &'a QueryProfile, name: &str) -> &'a PlanNode {
+        fn find<'a>(n: &'a PlanNode, name: &str) -> Option<&'a PlanNode> {
+            if n.op == name {
+                return Some(n);
+            }
+            n.children.iter().find_map(|c| find(c, name))
+        }
+        find(&profile.root, name)
+            .unwrap_or_else(|| panic!("operator {name} not in plan:\n{}", profile.render()))
+    }
+
+    #[test]
+    fn profiled_results_match_unprofiled() {
+        let g = football();
+        for q in [
+            "MATCH (n) RETURN COUNT(*) AS c",
+            "MATCH (p:Person)-[r:PLAYED_IN]->(m:Match) WHERE r.minutes >= 90 \
+             RETURN p.name AS n ORDER BY n",
+            "MATCH (m:Match) WITH m.date AS d RETURN DISTINCT d ORDER BY d DESC LIMIT 1",
+        ] {
+            let plain = execute(&g, q).unwrap();
+            let (rs, profile) = profiled(&g, q);
+            assert_eq!(rs, plain, "query: {q}");
+            assert_eq!(profile.rows, rs.len() as u64, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn profiled_label_scan_charges_node_hits() {
+        let g = football();
+        let (rs, profile) = profiled(&g, "MATCH (m:Match) RETURN COUNT(*) AS c");
+        assert_eq!(rs.single_int(), Some(2));
+        let scan = op(&profile, "NodeByLabelScan");
+        assert_eq!(scan.db_hits.nodes, 2);
+        assert_eq!(scan.rows, 2);
+        assert_eq!(profile.root.op, "ProduceResults");
+        assert_eq!(profile.root.rows, 1);
+        // Aggregation sits between the scan and the result.
+        let agg = op(&profile, "EagerAggregation");
+        assert_eq!(agg.rows_in, 2);
+        assert_eq!(agg.rows, 1);
+    }
+
+    #[test]
+    fn profiled_expand_and_filter_attribute_hits_per_operator() {
+        let g = football();
+        let (rs, profile) = profiled(
+            &g,
+            "MATCH (p:Person)-[r:PLAYED_IN]->(m:Match) WHERE r.minutes >= 90 RETURN p.name AS n",
+        );
+        assert_eq!(rs.len(), 2);
+        // Scan enumerates both Person nodes.
+        let scan = op(&profile, "NodeByLabelScan");
+        assert_eq!(scan.db_hits.nodes, 2);
+        assert_eq!(scan.rows, 2);
+        // Expand examines all 5 out-edges of the two people (type
+        // filtering happens after the candidates are materialised)
+        // and produces the 3 PLAYED_IN bindings.
+        let expand = op(&profile, "Expand");
+        assert_eq!(expand.db_hits.edges, 5);
+        assert_eq!(expand.rows, 3);
+        // The WHERE filter reads r.minutes once per candidate row and
+        // keeps the two 90-minute appearances.
+        let filter = op(&profile, "Filter");
+        assert_eq!(filter.rows_in, 3);
+        assert_eq!(filter.db_hits.props, 3);
+        assert_eq!(filter.rows, 2);
+        // RETURN projection reads p.name per surviving row.
+        let proj = op(&profile, "Projection");
+        assert_eq!(proj.db_hits.props, 2);
+        assert_eq!(profile.db_hits().total(), 2 + 5 + 3 + 2);
+    }
+
+    #[test]
+    fn profiled_reversed_pattern_resolves_scan_at_runtime() {
+        let g = football();
+        // Written start is unlabelled (cost 5); the Tournament end
+        // (cost 1) wins, so the scan slot must resolve to a label
+        // scan of the *end* pattern and the expand walks in-edges.
+        let (rs, profile) =
+            profiled(&g, "MATCH (n)-[:IN_TOURNAMENT]->(t:Tournament) RETURN COUNT(*) AS c");
+        assert_eq!(rs.single_int(), Some(2));
+        let scan = op(&profile, "NodeByLabelScan");
+        assert!(scan.detail.contains("Tournament"), "detail: {}", scan.detail);
+        assert_eq!(scan.db_hits.nodes, 1);
+        let expand = op(&profile, "Expand");
+        assert_eq!(expand.db_hits.edges, 2);
+        assert_eq!(expand.rows, 2);
+    }
+
+    #[test]
+    fn profiled_plan_ops_paths_are_rooted_and_self_times_bounded() {
+        let g = football();
+        let (_, profile) = profiled(
+            &g,
+            "MATCH (p:Person)-[:PLAYED_IN]->(m:Match) RETURN m.date AS d ORDER BY d LIMIT 1",
+        );
+        let ops = profile.plan_ops();
+        assert_eq!(ops[0].path, "ProduceResults");
+        assert!(ops.iter().skip(1).all(|o| o.path.starts_with("ProduceResults/")));
+        let chain: Vec<&str> = ops.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(
+            chain,
+            ["ProduceResults", "Limit", "Sort", "Projection", "Expand", "NodeByLabelScan"]
+        );
+        // The switch protocol partitions wall-clock time: per-operator
+        // self-times can never sum past the inclusive total.
+        let self_sum: u64 = ops.iter().map(|o| o.self_us).sum();
+        assert!(self_sum <= profile.total_us, "{self_sum} > {}", profile.total_us);
+        assert_eq!(profile.sim_us, ops.iter().map(|o| o.db_hits() + o.rows).sum::<u64>());
+    }
+
+    #[test]
+    fn profiled_var_length_walks_charge_the_one_slot() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["U"], props([("id", Value::Int(1))]));
+        let b = g.add_node(["U"], props([("id", Value::Int(2))]));
+        let c = g.add_node(["U"], props([("id", Value::Int(3))]));
+        g.add_edge(a, b, "FOLLOWS", Default::default());
+        g.add_edge(b, c, "FOLLOWS", Default::default());
+        let (rs, profile) =
+            profiled(&g, "MATCH (x:U {id: 1})-[:FOLLOWS*1..2]->(y) RETURN COUNT(*) AS c");
+        assert_eq!(rs.single_int(), Some(2));
+        let var = op(&profile, "VarLengthExpand");
+        assert_eq!(var.rows, 2);
+        assert!(var.db_hits.edges >= 2);
     }
 }

@@ -38,6 +38,7 @@ pub mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod profile;
 pub mod regex;
 
 pub use analyzer::{analyze, SemanticIssue};
@@ -47,6 +48,7 @@ pub use ast::{
 };
 pub use error::{CypherError, Result, Span};
 pub use eval::{Binding, EvalCtx, Row};
-pub use exec::{execute, execute_query, execute_traced, ResultSet};
+pub use exec::{execute, execute_profiled, execute_query, execute_traced, ResultSet};
 pub use parser::{parse, parse_expr};
+pub use profile::{PlanNode, QueryProfile};
 pub use regex::{Regex, RegexError};

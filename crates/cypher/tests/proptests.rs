@@ -2,7 +2,7 @@
 //! arbitrary input, render/parse fixed points, regex engine sanity,
 //! and executor invariants.
 
-use grm_cypher::{execute, lexer::lex, parse, Regex};
+use grm_cypher::{execute, execute_profiled, lexer::lex, parse, Regex};
 use grm_pgraph::{props, PropertyGraph, Value};
 use proptest::prelude::*;
 
@@ -186,5 +186,45 @@ proptest! {
         }
         let rs = execute(&g, "MATCH (n:N) RETURN SUM(n.x) AS s").unwrap();
         prop_assert_eq!(rs.single_int(), Some(vals.iter().sum::<i64>()));
+    }
+
+    /// PROFILE invariants on random graphs and the rule-query shapes:
+    /// the profiled run returns the same rows as the plain run, the
+    /// switch protocol keeps the per-operator self-times summing to
+    /// at most the root's inclusive total, and the deterministic sim
+    /// cost equals db-hits + rows by construction.
+    #[test]
+    fn profile_self_times_partition_the_run(
+        labels in prop::collection::vec(prop_oneof![Just("A"), Just("B")], 1..25),
+        edges in prop::collection::vec((0u8..25, 0u8..25), 0..40),
+    ) {
+        let mut g = PropertyGraph::new();
+        for (i, l) in labels.iter().enumerate() {
+            g.add_node([*l], props([("id", i as i64)]));
+        }
+        let n = labels.len() as u32;
+        for (s, d) in &edges {
+            let (s, d) = (u32::from(*s) % n, u32::from(*d) % n);
+            g.add_edge(grm_pgraph::NodeId(s), grm_pgraph::NodeId(d), "E", Default::default());
+        }
+        for q in [
+            "MATCH (n) RETURN COUNT(*) AS c",
+            "MATCH (a:A)-[r:E]->(b) WHERE b.id >= 3 RETURN a.id AS i ORDER BY i LIMIT 5",
+            "MATCH (a:A)-[:E*1..2]->(b:B) RETURN COUNT(*) AS c",
+            "MATCH (a)-[r:E]->(b) WITH b AS b, COUNT(*) AS c WHERE c > 1 RETURN COUNT(*) AS c",
+        ] {
+            let plain = execute(&g, q).unwrap();
+            let (rs, profile) = execute_profiled(&g, q).unwrap();
+            prop_assert_eq!(&rs, &plain, "query: {}", q);
+            let ops = profile.plan_ops();
+            let self_sum: u64 = ops.iter().map(|o| o.self_us).sum();
+            prop_assert!(
+                self_sum <= profile.total_us,
+                "Σ self {} > total {} for {}", self_sum, profile.total_us, q
+            );
+            let sim_sum: u64 = ops.iter().map(|o| o.db_hits() + o.rows).sum();
+            prop_assert_eq!(profile.sim_us, sim_sum, "query: {}", q);
+            prop_assert_eq!(profile.rows, rs.len() as u64, "query: {}", q);
+        }
     }
 }

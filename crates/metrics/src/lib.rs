@@ -22,5 +22,7 @@ pub mod violations;
 pub use classify::{classify, Assessment, ClassTally, QueryClass};
 pub use correct::{correct, repair_directions, repair_syntax, CorrectionOutcome};
 pub use drift::{drift, RuleDrift};
-pub use scores::{aggregate, evaluate, evaluate_traced, AggregateMetrics, RuleMetrics};
-pub use violations::{find_violations, Violation};
+pub use scores::{
+    aggregate, evaluate, evaluate_labeled, evaluate_traced, AggregateMetrics, RuleMetrics,
+};
+pub use violations::{find_violations, find_violations_traced, Violation};

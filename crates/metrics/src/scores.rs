@@ -6,8 +6,8 @@
 //! normalises by the body-match count. All three come from executing
 //! the rule's three metric queries on the graph.
 
-use grm_cypher::{execute_traced, CypherError};
-use grm_obs::{Counter, Scope};
+use grm_cypher::{execute, execute_profiled, CypherError};
+use grm_obs::{Counter, Histo, PlanRecord, Scope};
 use grm_pgraph::PropertyGraph;
 use grm_rules::RuleQueries;
 
@@ -42,27 +42,68 @@ pub fn evaluate(graph: &PropertyGraph, queries: &RuleQueries) -> Result<RuleMetr
     evaluate_traced(graph, queries, &Scope::disabled())
 }
 
-/// [`evaluate`] with counters on `scope`: one support evaluation and
-/// the three Cypher queries (plus their result rows) it executes.
+/// [`evaluate`] with counters on `scope`, under the generic plan
+/// scope `"rule"`. Prefer [`evaluate_labeled`] when a stable per-rule
+/// label is available.
 pub fn evaluate_traced(
     graph: &PropertyGraph,
     queries: &RuleQueries,
     scope: &Scope,
 ) -> Result<RuleMetrics, CypherError> {
+    evaluate_labeled(graph, queries, scope, "rule")
+}
+
+/// [`evaluate`] with full observability on `scope`: counters for the
+/// support evaluation and its three Cypher queries, and — because
+/// tracing is on — every query runs under `PROFILE`. The three plans
+/// are folded into one [`PlanRecord`] labelled `label` and attached
+/// to the scope's span, where the recorder's slow-query policy can
+/// flag it. On a disabled scope this is exactly [`evaluate`]: the
+/// engine does zero db-hit accounting.
+pub fn evaluate_labeled(
+    graph: &PropertyGraph,
+    queries: &RuleQueries,
+    scope: &Scope,
+    label: &str,
+) -> Result<RuleMetrics, CypherError> {
     scope.add(Counter::SupportEvaluations, 1);
-    let count = |query: &str| -> Result<i64, CypherError> {
-        let rs = execute_traced(graph, query, scope)?;
-        rs.single_int().ok_or_else(|| {
-            CypherError::runtime(format!(
-                "metric query must return a single count, got {}x{} result: {query}",
-                rs.rows.len(),
-                rs.columns.len()
-            ))
-        })
+    let mut plan = scope.is_enabled().then(|| PlanRecord::new(label));
+    let result = {
+        let mut count = |query: &str| -> Result<i64, CypherError> {
+            let rs = match &mut plan {
+                Some(plan) => {
+                    scope.add(Counter::CypherQueriesExecuted, 1);
+                    scope.add(Counter::CypherQueriesProfiled, 1);
+                    let (rs, profile) = execute_profiled(graph, query)?;
+                    scope.add(Counter::CypherRowsMatched, rs.len() as u64);
+                    scope.observe(Histo::CypherRowsPerQuery, rs.len() as f64);
+                    scope.observe(Histo::CypherDbHitsPerQuery, profile.db_hits().total() as f64);
+                    plan.absorb(profile.plan_ops(), profile.rows, profile.total_us, profile.sim_us);
+                    rs
+                }
+                None => execute(graph, query)?,
+            };
+            rs.single_int().ok_or_else(|| {
+                CypherError::runtime(format!(
+                    "metric query must return a single count, got {}x{} result: {query}",
+                    rs.rows.len(),
+                    rs.columns.len()
+                ))
+            })
+        };
+        let mut run = || -> Result<(i64, i64, i64), CypherError> {
+            Ok((count(&queries.satisfied)?, count(&queries.body)?, count(&queries.head_total)?))
+        };
+        run()
     };
-    let satisfied = count(&queries.satisfied)?;
-    let body = count(&queries.body)?;
-    let head_total = count(&queries.head_total)?;
+    // Attach whatever was profiled even when a later query failed —
+    // partial plans still explain where the time went.
+    if let Some(plan) = plan {
+        if plan.queries > 0 {
+            scope.plan(plan);
+        }
+    }
+    let (satisfied, body, head_total) = result?;
     let pct = |num: i64, den: i64| -> f64 {
         if den <= 0 {
             0.0

@@ -7,7 +7,8 @@
 //! the violating elements themselves, so audits (and the `grm audit`
 //! command) can print actionable findings.
 
-use grm_cypher::{execute, CypherError};
+use grm_cypher::{execute, execute_profiled, CypherError};
+use grm_obs::{Counter, Histo, PlanRecord, Scope};
 use grm_pgraph::{PropertyGraph, Value};
 use grm_rules::ConsistencyRule;
 
@@ -128,10 +129,38 @@ pub fn find_violations(
     rule: &ConsistencyRule,
     limit: usize,
 ) -> Result<Option<Vec<Violation>>, CypherError> {
+    find_violations_traced(graph, rule, limit, &Scope::disabled(), "violations")
+}
+
+/// [`find_violations`] with observability: on an enabled scope the
+/// listing query runs under `PROFILE`, its plan is attached to the
+/// scope's span as a [`PlanRecord`] labelled `label`, and the query /
+/// row / db-hit counters are recorded. On a disabled scope this is
+/// exactly [`find_violations`].
+pub fn find_violations_traced(
+    graph: &PropertyGraph,
+    rule: &ConsistencyRule,
+    limit: usize,
+    scope: &Scope,
+    label: &str,
+) -> Result<Option<Vec<Violation>>, CypherError> {
     let Some((query, shape)) = listing_query(rule, limit) else {
         return Ok(None);
     };
-    let rs = execute(graph, &query)?;
+    let rs = if scope.is_enabled() {
+        scope.add(Counter::CypherQueriesExecuted, 1);
+        scope.add(Counter::CypherQueriesProfiled, 1);
+        let (rs, profile) = execute_profiled(graph, &query)?;
+        scope.add(Counter::CypherRowsMatched, rs.len() as u64);
+        scope.observe(Histo::CypherRowsPerQuery, rs.len() as f64);
+        scope.observe(Histo::CypherDbHitsPerQuery, profile.db_hits().total() as f64);
+        let mut plan = PlanRecord::new(label);
+        plan.absorb(profile.plan_ops(), profile.rows, profile.total_us, profile.sim_us);
+        scope.plan(plan);
+        rs
+    } else {
+        execute(graph, &query)?
+    };
     let as_int = |v: &Value| match v {
         Value::Int(i) => *i,
         _ => -1,

@@ -87,6 +87,10 @@ pub struct StageDiffRow {
     pub sim_b: f64,
     pub real_a: f64,
     pub real_b: f64,
+    /// Total db-hits charged to this stage (depth-1 rows only; always
+    /// 0 when a journal carries no v3 `Plan` records).
+    pub hits_a: u64,
+    pub hits_b: u64,
     pub in_a: bool,
     pub in_b: bool,
 }
@@ -129,6 +133,10 @@ pub struct TraceDiff {
     pub stages: Vec<StageDiffRow>,
     pub counters: Vec<CounterDiffRow>,
     pub histograms: Vec<HistoDiffRow>,
+    /// True when *both* journals carry v3 `Plan` records — the gate
+    /// for rendering the per-stage db-hits delta column (silently
+    /// omitted when either side is a v2 journal).
+    pub has_plans: bool,
 }
 
 impl TraceDiff {
@@ -149,6 +157,11 @@ impl TraceDiff {
         };
         let rows_a = collect(a);
         let rows_b = collect(b);
+        let hits_a = a.stage_db_hits();
+        let hits_b = b.stage_db_hits();
+        let stage_hits = |set: &[(String, u64)], path: &str| {
+            set.iter().find(|(s, _)| s == path).map(|(_, h)| *h).unwrap_or(0)
+        };
         let mut stages: Vec<StageDiffRow> = Vec::new();
         for (path, depth, sim, real) in &rows_a {
             let other = rows_b.iter().find(|(p, ..)| p == path);
@@ -159,6 +172,8 @@ impl TraceDiff {
                 sim_b: other.map(|(_, _, s, _)| *s).unwrap_or(0.0),
                 real_a: *real,
                 real_b: other.map(|(_, _, _, r)| *r).unwrap_or(0.0),
+                hits_a: stage_hits(&hits_a, path),
+                hits_b: stage_hits(&hits_b, path),
                 in_a: true,
                 in_b: other.is_some(),
             });
@@ -174,6 +189,8 @@ impl TraceDiff {
                 sim_b: *sim,
                 real_a: 0.0,
                 real_b: *real,
+                hits_a: 0,
+                hits_b: stage_hits(&hits_b, path),
                 in_a: false,
                 in_b: true,
             });
@@ -229,7 +246,7 @@ impl TraceDiff {
             })
             .collect();
 
-        TraceDiff { stages, counters, histograms }
+        TraceDiff { stages, counters, histograms, has_plans: a.has_plans() && b.has_plans() }
     }
 
     /// Largest relative simulated-seconds change over the top-level
@@ -242,12 +259,15 @@ impl TraceDiff {
             .fold(0.0, f64::max)
     }
 
-    /// Human-readable rendering of the full diff.
+    /// Human-readable rendering of the full diff. The per-stage
+    /// db-hits delta column appears only when both journals carry v3
+    /// `Plan` records.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        let hits_header = if self.has_plans { "  db-hits A -> B" } else { "" };
         out.push_str(&format!(
-            "per-span timings (sim seconds, A -> B):\n  {:<28} {:>10} {:>10} {:>8}  {}\n",
-            "span", "sim A", "sim B", "Δ%", "real A -> B (ms)"
+            "per-span timings (sim seconds, A -> B):\n  {:<28} {:>10} {:>10} {:>8}  {}{}\n",
+            "span", "sim A", "sim B", "Δ%", "real A -> B (ms)", hits_header
         ));
         for row in &self.stages {
             let presence = match (row.in_a, row.in_b) {
@@ -255,14 +275,21 @@ impl TraceDiff {
                 (false, true) => "  [only in B]",
                 _ => "",
             };
+            let hits = if self.has_plans && (row.hits_a > 0 || row.hits_b > 0) {
+                let delta = row.hits_b as i64 - row.hits_a as i64;
+                format!("  hits {} -> {} ({delta:+})", row.hits_a, row.hits_b)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "  {:<28} {:>10.2} {:>10.2} {:>7.1}%  {:.1} -> {:.1}{}\n",
+                "  {:<28} {:>10.2} {:>10.2} {:>7.1}%  {:.1} -> {:.1}{}{}\n",
                 row.path,
                 row.sim_a,
                 row.sim_b,
                 100.0 * row.relative_sim_delta(),
                 row.real_a,
                 row.real_b,
+                hits,
                 presence
             ));
         }
@@ -386,10 +413,252 @@ impl TraceBaseline {
     }
 }
 
+/// One operator row of a [`PlanReport`], aggregated over every plan
+/// record in the journal by `(op, detail)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanOpAgg {
+    pub op: String,
+    pub detail: String,
+    pub calls: u64,
+    pub rows_in: u64,
+    pub rows: u64,
+    pub db_hits: u64,
+    pub self_us: u64,
+    pub sim_us: u64,
+}
+
+impl PlanOpAgg {
+    /// Output/input row ratio — the selectivity of filtering
+    /// operators (`None` when the operator consumed no rows).
+    pub fn selectivity(&self) -> Option<f64> {
+        (self.rows_in > 0).then(|| self.rows as f64 / self.rows_in as f64)
+    }
+}
+
+/// One scope (rule) row of a [`PlanReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanScopeAgg {
+    pub scope: String,
+    pub queries: u64,
+    pub rows: u64,
+    pub db_hits: u64,
+    pub total_us: u64,
+    pub sim_us: u64,
+    pub slow: bool,
+}
+
+/// The aggregation behind `grm trace plans`: every `Plan` record of a
+/// journal folded into per-operator and per-scope cost tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanReport {
+    /// Operators sorted by db-hits descending (ties by op/detail).
+    pub ops: Vec<PlanOpAgg>,
+    /// Scopes sorted by db-hits descending (ties by scope name).
+    pub scopes: Vec<PlanScopeAgg>,
+}
+
+impl PlanReport {
+    /// Aggregates the journal's `Plan` records. Empty report (no rows
+    /// at all) means the journal carries none — pre-v3 input.
+    pub fn from_journal(journal: &RunJournal) -> PlanReport {
+        let mut ops: Vec<PlanOpAgg> = Vec::new();
+        let mut scopes: Vec<PlanScopeAgg> = Vec::new();
+        for plan in &journal.plans {
+            for op in &plan.ops {
+                let row = match ops.iter_mut().find(|o| o.op == op.op && o.detail == op.detail) {
+                    Some(row) => row,
+                    None => {
+                        ops.push(PlanOpAgg {
+                            op: op.op.clone(),
+                            detail: op.detail.clone(),
+                            ..PlanOpAgg::default()
+                        });
+                        ops.last_mut().expect("just pushed")
+                    }
+                };
+                row.calls += op.calls;
+                row.rows_in += op.rows_in;
+                row.rows += op.rows;
+                row.db_hits += op.db_hits();
+                row.self_us += op.self_us;
+                row.sim_us += op.sim_us;
+            }
+            match scopes.iter_mut().find(|s| s.scope == plan.scope) {
+                Some(s) => {
+                    s.queries += plan.queries;
+                    s.rows += plan.rows;
+                    s.db_hits += plan.db_hits();
+                    s.total_us += plan.total_us;
+                    s.sim_us += plan.sim_us;
+                    s.slow |= plan.slow;
+                }
+                None => scopes.push(PlanScopeAgg {
+                    scope: plan.scope.clone(),
+                    queries: plan.queries,
+                    rows: plan.rows,
+                    db_hits: plan.db_hits(),
+                    total_us: plan.total_us,
+                    sim_us: plan.sim_us,
+                    slow: plan.slow,
+                }),
+            }
+        }
+        ops.sort_by(|a, b| {
+            b.db_hits.cmp(&a.db_hits).then_with(|| (&a.op, &a.detail).cmp(&(&b.op, &b.detail)))
+        });
+        scopes.sort_by(|a, b| b.db_hits.cmp(&a.db_hits).then_with(|| a.scope.cmp(&b.scope)));
+        PlanReport { ops, scopes }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.scopes.is_empty()
+    }
+
+    /// The operator/scope cost tables, each truncated to `top` rows.
+    /// Selectivity (`rows/rows_in`) makes filter effectiveness
+    /// readable straight off the operator table.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "top operators by db-hits:\n  {:<18} {:<26} {:>8} {:>9} {:>9} {:>6} {:>10} {:>9} {:>9}\n",
+            "operator", "detail", "calls", "rows in", "rows out", "sel%", "db-hits", "self ms", "sim ms"
+        ));
+        for op in self.ops.iter().take(top) {
+            let sel = match op.selectivity() {
+                Some(s) => format!("{:.0}%", s * 100.0),
+                None => "-".to_owned(),
+            };
+            out.push_str(&format!(
+                "  {:<18} {:<26} {:>8} {:>9} {:>9} {:>6} {:>10} {:>9.2} {:>9.2}\n",
+                op.op,
+                op.detail,
+                op.calls,
+                op.rows_in,
+                op.rows,
+                sel,
+                op.db_hits,
+                op.self_us as f64 / 1_000.0,
+                op.sim_us as f64 / 1_000.0,
+            ));
+        }
+        if self.ops.len() > top {
+            out.push_str(&format!("  … {} more operators\n", self.ops.len() - top));
+        }
+        out.push_str(&format!(
+            "db-hits per scope:\n  {:<22} {:>7} {:>9} {:>10} {:>9} {:>9}\n",
+            "scope", "queries", "rows", "db-hits", "real ms", "sim ms"
+        ));
+        for s in self.scopes.iter().take(top) {
+            out.push_str(&format!(
+                "  {:<22} {:>7} {:>9} {:>10} {:>9.2} {:>9.2}{}\n",
+                s.scope,
+                s.queries,
+                s.rows,
+                s.db_hits,
+                s.total_us as f64 / 1_000.0,
+                s.sim_us as f64 / 1_000.0,
+                if s.slow { "  SLOW" } else { "" },
+            ));
+        }
+        if self.scopes.len() > top {
+            out.push_str(&format!("  … {} more scopes\n", self.scopes.len() - top));
+        }
+        out
+    }
+}
+
+/// One operator budget of a [`PlanBaseline`], aggregated by operator
+/// name (details vary with the mined rules; names are structural).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlanBaselineOp {
+    pub op: String,
+    pub db_hits: u64,
+    pub rows: u64,
+}
+
+/// A committed per-operator db-hit budget: written by
+/// `repro --plans-baseline`, consumed by `grm trace plans --check` in
+/// CI. Db-hits are deterministic for a fixed seed and scale, so the
+/// gate is exact up to the configured tolerance.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlanBaseline {
+    /// Journal schema version the snapshot was taken from.
+    pub journal_version: u32,
+    /// Plan records in the snapshot run.
+    pub records: u64,
+    /// Profiled queries in the snapshot run.
+    pub queries: u64,
+    /// Per-operator budgets, name-sorted.
+    pub ops: Vec<PlanBaselineOp>,
+}
+
+impl PlanBaseline {
+    /// Freezes the journal's plan records into per-operator budgets.
+    pub fn from_journal(journal: &RunJournal) -> PlanBaseline {
+        let mut ops: Vec<PlanBaselineOp> = Vec::new();
+        for plan in &journal.plans {
+            for op in &plan.ops {
+                match ops.iter_mut().find(|o| o.op == op.op) {
+                    Some(o) => {
+                        o.db_hits += op.db_hits();
+                        o.rows += op.rows;
+                    }
+                    None => ops.push(PlanBaselineOp {
+                        op: op.op.clone(),
+                        db_hits: op.db_hits(),
+                        rows: op.rows,
+                    }),
+                }
+            }
+        }
+        ops.sort_by(|a, b| a.op.cmp(&b.op));
+        PlanBaseline {
+            journal_version: crate::journal::JOURNAL_VERSION,
+            records: journal.plans.len() as u64,
+            queries: journal.plans.iter().map(|p| p.queries).sum(),
+            ops,
+        }
+    }
+
+    /// Checks `journal` against the budgets: every baseline operator's
+    /// total db-hits must not exceed its budget by more than
+    /// `tolerance` (a fraction). A journal with no `Plan` records at
+    /// all fails when the baseline has any — profiling silently
+    /// turning off must not read as a pass. Operators cheaper than
+    /// (or absent from) the run never fail. Returns the violations
+    /// (empty = pass).
+    pub fn check(&self, journal: &RunJournal, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.records > 0 && !journal.has_plans() {
+            violations.push(
+                "baseline has plan records but the journal carries none \
+                 (was the run profiled?)"
+                    .to_owned(),
+            );
+            return violations;
+        }
+        let current = PlanBaseline::from_journal(journal);
+        for base in &self.ops {
+            let now = current.ops.iter().find(|o| o.op == base.op).map(|o| o.db_hits).unwrap_or(0);
+            let allowed = (base.db_hits as f64 * (1.0 + tolerance)).floor() as u64;
+            if base.db_hits > 0 && now > allowed {
+                violations.push(format!(
+                    "operator `{}`: {now} db-hits exceed baseline {} by more than {:.0}%",
+                    base.op,
+                    base.db_hits,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::counter::{Counter, Histo};
+    use crate::plan::{PlanOpRecord, PlanRecord};
     use crate::recorder::Recorder;
 
     /// A small two-stage recording with per-worker children.
@@ -472,6 +741,119 @@ mod tests {
             let (_, weight) = line.rsplit_once(' ').expect("weighted line");
             assert!(weight.parse::<u64>().is_ok(), "{line}");
         }
+    }
+
+    /// `sample(scale)` plus an `evaluate` stage carrying plan records
+    /// whose db-hits scale with `hits`.
+    fn sample_with_plans(hits: u64) -> RunJournal {
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let evaluate = root.scope().span("evaluate");
+        for r in 0..2u64 {
+            let mut plan = PlanRecord::new(format!("rule-{r}"));
+            plan.absorb(
+                vec![
+                    PlanOpRecord {
+                        path: "ProduceResults/Filter/NodeByLabelScan".into(),
+                        op: "NodeByLabelScan".into(),
+                        detail: "(p:Person)".into(),
+                        calls: 1,
+                        rows: hits,
+                        db_nodes: hits,
+                        self_us: 40,
+                        sim_us: 20,
+                        ..PlanOpRecord::default()
+                    },
+                    PlanOpRecord {
+                        path: "ProduceResults/Filter".into(),
+                        op: "Filter".into(),
+                        detail: "p.age > 30".into(),
+                        calls: 1,
+                        rows_in: hits,
+                        rows: hits / 2,
+                        db_props: hits,
+                        self_us: 10,
+                        sim_us: 5,
+                        ..PlanOpRecord::default()
+                    },
+                ],
+                hits / 2,
+                120,
+                60,
+            );
+            evaluate.scope().plan(plan);
+        }
+        evaluate.finish();
+        root.finish();
+        rec.snapshot()
+    }
+
+    #[test]
+    fn plan_report_aggregates_and_renders() {
+        let journal = sample_with_plans(100);
+        let report = PlanReport::from_journal(&journal);
+        assert!(!report.is_empty());
+        // Two rules, same two operators: merged into two op rows.
+        assert_eq!(report.ops.len(), 2);
+        let scan = report.ops.iter().find(|o| o.op == "NodeByLabelScan").unwrap();
+        assert_eq!(scan.db_hits, 200);
+        let filter = report.ops.iter().find(|o| o.op == "Filter").unwrap();
+        assert_eq!(filter.rows_in, 200);
+        assert_eq!(filter.rows, 100);
+        assert_eq!(filter.selectivity(), Some(0.5));
+        assert_eq!(report.scopes.len(), 2);
+        let rendered = report.render(10);
+        assert!(rendered.contains("NodeByLabelScan"), "{rendered}");
+        assert!(rendered.contains("rule-0"), "{rendered}");
+        assert!(rendered.contains("50%"), "{rendered}");
+        // Truncation note appears when top-k cuts the table.
+        assert!(PlanReport::from_journal(&journal).render(1).contains("more"), "empty");
+        // A plan-free journal aggregates to an empty report.
+        assert!(PlanReport::from_journal(&sample(1.0)).is_empty());
+    }
+
+    #[test]
+    fn plan_baseline_gates_db_hit_budgets() {
+        let journal = sample_with_plans(100);
+        let baseline = PlanBaseline::from_journal(&journal);
+        // Name-sorted op budgets, serde round-trip.
+        assert_eq!(baseline.records, 2);
+        assert_eq!(baseline.queries, 2);
+        let ops: Vec<&str> = baseline.ops.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(ops, ["Filter", "NodeByLabelScan"]);
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let parsed: PlanBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, baseline);
+
+        // The run it was taken from passes exactly.
+        assert!(baseline.check(&journal, 0.0).is_empty());
+        // More db-hits than budget fails a 5% tolerance…
+        let violations = baseline.check(&sample_with_plans(120), 0.05);
+        assert!(violations.iter().any(|v| v.contains("NodeByLabelScan")), "{violations:?}");
+        // …passes once the tolerance covers it, and cheaper runs pass.
+        assert!(baseline.check(&sample_with_plans(120), 0.25).is_empty());
+        assert!(baseline.check(&sample_with_plans(50), 0.0).is_empty());
+        // Profiling silently off is a failure, not a pass.
+        let unprofiled = baseline.check(&sample(1.0), 0.0);
+        assert!(unprofiled.iter().any(|v| v.contains("no") || v.contains("none")));
+    }
+
+    #[test]
+    fn diff_db_hits_column_requires_plans_on_both_sides() {
+        let with = sample_with_plans(100);
+        let without = sample(1.0);
+        let mixed = TraceDiff::compute(&with, &without);
+        assert!(!mixed.has_plans);
+        assert!(!mixed.render().contains("db-hits"));
+
+        let both = TraceDiff::compute(&sample_with_plans(100), &sample_with_plans(120));
+        assert!(both.has_plans);
+        let evaluate = both.stages.iter().find(|r| r.path == "evaluate").unwrap();
+        assert_eq!(evaluate.hits_a, 400);
+        assert_eq!(evaluate.hits_b, 480);
+        let rendered = both.render();
+        assert!(rendered.contains("db-hits"), "{rendered}");
+        assert!(rendered.contains("hits 400 -> 480 (+80)"), "{rendered}");
     }
 
     #[test]

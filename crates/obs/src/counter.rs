@@ -35,6 +35,10 @@ pub enum Counter {
     RulesTranslated,
     /// Cypher queries executed by the evaluation engine.
     CypherQueriesExecuted,
+    /// Cypher queries executed with operator-level profiling on.
+    CypherQueriesProfiled,
+    /// Profiled queries flagged by the slow-query policy.
+    CypherSlowQueries,
     /// Result rows produced by those queries.
     CypherRowsMatched,
     /// Support/coverage/confidence evaluations performed.
@@ -59,6 +63,8 @@ impl Counter {
             Counter::RulesDeduped => "rules_deduped",
             Counter::RulesTranslated => "rules_translated",
             Counter::CypherQueriesExecuted => "cypher_queries_executed",
+            Counter::CypherQueriesProfiled => "cypher_queries_profiled",
+            Counter::CypherSlowQueries => "cypher_slow_queries",
             Counter::CypherRowsMatched => "cypher_rows_matched",
             Counter::SupportEvaluations => "support_evaluations",
         }
@@ -96,6 +102,9 @@ pub enum Histo {
     RetrievalScore,
     /// Result rows of one executed Cypher query.
     CypherRowsPerQuery,
+    /// Total db-hits (node + edge + property accesses) of one
+    /// profiled Cypher query.
+    CypherDbHitsPerQuery,
     /// Cross-prompt frequency of one merged rule (§3.1.1 stability).
     RuleFrequency,
 }
@@ -109,6 +118,7 @@ impl Histo {
             Histo::WindowTokens => "window_tokens",
             Histo::RetrievalScore => "retrieval_score",
             Histo::CypherRowsPerQuery => "cypher_rows_per_query",
+            Histo::CypherDbHitsPerQuery => "cypher_db_hits_per_query",
             Histo::RuleFrequency => "rule_frequency",
         }
     }

@@ -3,6 +3,7 @@
 //! files stay parseable and `jq`/`grep` work line-wise.
 
 use crate::histogram::Histogram;
+use crate::plan::PlanRecord;
 
 /// One finished (or snapshot-closed) span.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -56,6 +57,9 @@ pub enum JournalRecord {
     Span(SpanRecord),
     /// A histogram line (schema v2+), after the spans.
     Histo(HistoRecord),
+    /// A query-plan profile line (schema v3+), after the histograms.
+    /// v2 readers skip these through their unknown-record path.
+    Plan(PlanRecord),
     /// Run-wide totals, always the last line.
     Totals {
         counters: Vec<(String, u64)>,
@@ -63,9 +67,9 @@ pub enum JournalRecord {
     },
 }
 
-/// Variant keys a v2 reader knows; object lines keyed otherwise are
+/// Variant keys a v3 reader knows; object lines keyed otherwise are
 /// future record types and are skipped, not errors.
-const KNOWN_RECORD_KEYS: [&str; 4] = ["Meta", "Span", "Histo", "Totals"];
+const KNOWN_RECORD_KEYS: [&str; 5] = ["Meta", "Span", "Histo", "Plan", "Totals"];
 
 /// Per-stage timing row derived from the journal — the breakdown
 /// embedded in `MiningReport`.
@@ -78,20 +82,23 @@ pub struct StageTiming {
     pub real_ms: f64,
 }
 
-/// A frozen view of one run: every span, the counter totals, and the
-/// recorded histograms.
+/// A frozen view of one run: every span, the counter totals, the
+/// recorded histograms, and the query-plan profiles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunJournal {
     pub spans: Vec<SpanRecord>,
     pub totals: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub histos: Vec<HistoRecord>,
+    pub plans: Vec<PlanRecord>,
 }
 
 /// Journal schema version, bumped on incompatible record changes.
-/// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines; v1 journals
-/// still parse (they simply carry no histograms).
-pub const JOURNAL_VERSION: u32 = 2;
+/// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines. v3: adds
+/// `Plan` lines. Each version is purely additive, so older journals
+/// still parse (they simply carry fewer record kinds) and older
+/// readers skip the new lines through their unknown-record path.
+pub const JOURNAL_VERSION: u32 = 3;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -117,6 +124,45 @@ impl RunJournal {
     /// Histograms attributed to span `id`, in name order.
     pub fn span_histograms(&self, id: u64) -> Vec<&HistoRecord> {
         self.histos.iter().filter(|h| h.span == Some(id)).collect()
+    }
+
+    /// The plan record for `scope`, when profiled.
+    pub fn plan(&self, scope: &str) -> Option<&PlanRecord> {
+        self.plans.iter().find(|p| p.scope == scope)
+    }
+
+    /// True when the journal carries v3 `Plan` records at all — the
+    /// gate for plan-aware rendering (`grm trace diff` db-hit
+    /// columns, `grm trace plans`).
+    pub fn has_plans(&self) -> bool {
+        !self.plans.is_empty()
+    }
+
+    /// Total db-hits per pipeline stage: each plan record is charged
+    /// to the root-child span its owning span sits under. Records
+    /// outside any span (or under an unknown span id) are charged to
+    /// `"(run)"`. Rows come back in stage span-open order.
+    pub fn stage_db_hits(&self) -> Vec<(String, u64)> {
+        let root = self.spans.iter().find(|s| s.parent.is_none()).map(|s| s.id);
+        let stage_of = |mut id: u64| -> Option<&str> {
+            loop {
+                let span = self.spans.iter().find(|s| s.id == id)?;
+                match span.parent {
+                    Some(p) if Some(p) == root => return Some(&span.name),
+                    Some(p) => id = p,
+                    None => return None,
+                }
+            }
+        };
+        let mut rows: Vec<(String, u64)> = Vec::new();
+        for plan in &self.plans {
+            let stage = plan.span.and_then(stage_of).unwrap_or("(run)").to_string();
+            match rows.iter_mut().find(|(name, _)| *name == stage) {
+                Some((_, hits)) => *hits += plan.db_hits(),
+                None => rows.push((stage, plan.db_hits())),
+            }
+        }
+        rows
     }
 
     /// Spans whose parent is `parent`, in open order.
@@ -169,6 +215,12 @@ impl RunJournal {
         for histo in histos {
             push(&JournalRecord::Histo(histo));
         }
+        let mut plans = self.plans.clone();
+        plans.sort_by(|a, b| (a.span, &a.scope).cmp(&(b.span, &b.scope)));
+        for mut plan in plans {
+            plan.sort_ops();
+            push(&JournalRecord::Plan(plan));
+        }
         push(&JournalRecord::Totals {
             counters: sorted_by_name(&self.totals),
             gauges: sorted_by_name(&self.gauges),
@@ -179,8 +231,8 @@ impl RunJournal {
     /// Parses a journal back from its JSONL form. Strict about
     /// damaged lines and unsupported versions, but skips record
     /// variants this reader does not know (future schema additions),
-    /// so a v2 reader keeps working on v2+ journals that only *add*
-    /// record types.
+    /// so a reader keeps working on newer journals that only *add*
+    /// record types — exactly how v2 readers skip v3 `Plan` lines.
     pub fn from_jsonl(text: &str) -> Result<RunJournal, String> {
         Self::parse_jsonl(text, false)
     }
@@ -220,6 +272,7 @@ impl RunJournal {
                 }
                 JournalRecord::Span(span) => journal.spans.push(span),
                 JournalRecord::Histo(histo) => journal.histos.push(histo),
+                JournalRecord::Plan(plan) => journal.plans.push(plan),
                 JournalRecord::Totals { counters, gauges } => {
                     journal.totals = counters;
                     journal.gauges = gauges;
@@ -244,6 +297,24 @@ impl RunJournal {
         }
         for (name, value) in sorted_by_name(&self.gauges) {
             out.push_str(&format!("  {name:<26} {value:.4}\n"));
+        }
+        if self.has_plans() {
+            let slow: Vec<&PlanRecord> = self.plans.iter().filter(|p| p.slow).collect();
+            out.push_str(&format!(
+                "query plans: {} scopes profiled, {} queries, {} db-hits, {} slow\n",
+                self.plans.len(),
+                self.plans.iter().map(|p| p.queries).sum::<u64>(),
+                self.plans.iter().map(|p| p.db_hits()).sum::<u64>(),
+                slow.len()
+            ));
+            for plan in slow {
+                out.push_str(&format!(
+                    "  SLOW {:<20} {:>8} db-hits  {:>9.2}ms real\n",
+                    plan.scope,
+                    plan.db_hits(),
+                    plan.total_us as f64 / 1_000.0
+                ));
+            }
         }
         let mut run_wide: Vec<&HistoRecord> =
             self.histos.iter().filter(|h| h.span.is_none()).collect();

@@ -15,13 +15,18 @@
 //!   per-prompt simulated latency, per-window token counts, per-query
 //!   result rows, retrieval scores — recorded per span *and* run-wide,
 //!   mergeable without rebinning, with p50/p90/p95/p99 estimates;
+//! * **query-plan profiles** ([`PlanRecord`]) — Neo4j-`PROFILE`-style
+//!   per-operator statistics (rows, db-hits, self-time) the Cypher
+//!   engine attaches to rule spans, with an optional slow-query
+//!   policy ([`SlowQueryPolicy`]) flagging expensive rules;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
-//!   tree, counter totals and histograms (schema v2; v1 journals
-//!   still parse), written by `grm mine --trace` and the `repro`
-//!   binary;
+//!   tree, counter totals, histograms and plan profiles (schema v3;
+//!   v1/v2 journals still parse), written by `grm mine --trace` and
+//!   the `repro` binary;
 //! * **trace analytics** ([`TraceDiff`], [`folded_stacks`],
-//!   [`TraceBaseline`]) — run-over-run diffing, flamegraph export and
-//!   the CI perf regression gate behind `grm trace`.
+//!   [`TraceBaseline`], [`PlanReport`], [`PlanBaseline`]) —
+//!   run-over-run diffing, flamegraph export, operator cost tables
+//!   and the CI perf regression gates behind `grm trace`.
 //!
 //! The entry point is [`Recorder`]. A disabled recorder costs one
 //! `Option` check per call, so instrumented code paths stay free when
@@ -51,13 +56,15 @@ mod analytics;
 mod counter;
 mod histogram;
 mod journal;
+mod plan;
 mod recorder;
 
 pub use analytics::{
-    folded_stacks, BaselineHisto, CounterDiffRow, FlameWeight, HistoDiffRow, StageDiffRow,
-    TraceBaseline, TraceDiff,
+    folded_stacks, BaselineHisto, CounterDiffRow, FlameWeight, HistoDiffRow, PlanBaseline,
+    PlanBaselineOp, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use journal::{HistoRecord, JournalRecord, RunJournal, SpanRecord, StageTiming};
+pub use plan::{PlanOpRecord, PlanRecord, SlowQueryPolicy};
 pub use recorder::{Recorder, Scope, Span};

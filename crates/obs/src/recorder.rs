@@ -13,6 +13,7 @@ use std::time::Instant;
 use crate::counter::{Counter, Gauge, Histo};
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord};
+use crate::plan::{PlanRecord, SlowQueryPolicy};
 
 #[derive(Debug)]
 struct SpanData {
@@ -34,6 +35,8 @@ struct State {
     totals: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histos: BTreeMap<&'static str, Histogram>,
+    plans: Vec<PlanRecord>,
+    slow_queries: SlowQueryPolicy,
 }
 
 #[derive(Debug)]
@@ -156,6 +159,45 @@ impl Recorder {
         }
     }
 
+    /// Sets the slow-query thresholds applied to every plan record
+    /// stored after this call.
+    pub fn set_slow_query_policy(&self, policy: SlowQueryPolicy) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.slow_queries = policy;
+        }
+    }
+
+    /// Plan records stored so far that the policy flagged as slow.
+    pub fn slow_queries(&self) -> Vec<PlanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let state = inner.state.lock().expect("obs state poisoned");
+                state.plans.iter().filter(|p| p.slow).cloned().collect()
+            }
+        }
+    }
+
+    fn record_plan(&self, span: Option<usize>, mut plan: PlanRecord) {
+        if let Some(inner) = &self.inner {
+            plan.span = span.map(|id| id as u64);
+            plan.sort_ops();
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            if state.slow_queries.is_slow(&plan) {
+                plan.slow = true;
+                *state.totals.entry(Counter::CypherSlowQueries.name()).or_insert(0) += 1;
+                if let Some(id) = span {
+                    *state.spans[id]
+                        .counters
+                        .entry(Counter::CypherSlowQueries.name())
+                        .or_insert(0) += 1;
+                }
+            }
+            state.plans.push(plan);
+        }
+    }
+
     /// Freezes the current state into a serialisable journal. Spans
     /// still open are reported with their elapsed-so-far duration.
     pub fn snapshot(&self) -> RunJournal {
@@ -204,6 +246,7 @@ impl Recorder {
             totals: state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             gauges: state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             histos,
+            plans: state.plans.clone(),
         }
     }
 }
@@ -253,6 +296,14 @@ impl Scope {
     /// Attributes simulated LLM seconds to this scope's span.
     pub fn add_sim_seconds(&self, seconds: f64) {
         self.rec.add_sim_seconds(self.parent, seconds);
+    }
+
+    /// Stores a query-plan profile attached to this scope's span. The
+    /// recorder stamps the span id, sorts the operators, and applies
+    /// the slow-query policy (flagging the record and bumping
+    /// `cypher_slow_queries` when it breaches).
+    pub fn plan(&self, plan: PlanRecord) {
+        self.rec.record_plan(self.parent, plan);
     }
 }
 

@@ -4,7 +4,9 @@
 
 use std::thread;
 
-use grm_obs::{Counter, Gauge, Histo, Recorder, RunJournal, Scope};
+use grm_obs::{
+    Counter, Gauge, Histo, PlanOpRecord, PlanRecord, Recorder, RunJournal, Scope, SlowQueryPolicy,
+};
 
 #[test]
 fn span_nesting_is_recorded() {
@@ -188,7 +190,7 @@ fn journal_v2_jsonl_includes_histo_lines() {
     // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
     assert_eq!(text.lines().count(), 2 + 1 + 4);
     assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
-    assert!(text.lines().next().unwrap().contains(r#""version":2"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":3"#));
     let parsed = RunJournal::from_jsonl(&text).unwrap();
     assert_eq!(parsed, journal);
 }
@@ -225,6 +227,127 @@ fn unknown_record_variants_are_skipped() {
     assert_eq!(RunJournal::from_jsonl_lossy(&text).unwrap(), strict);
 }
 
+/// A plan record with two operators, absorbed in the given order.
+fn plan_fixture(scope: &str, order: &[(&str, &str, u64)]) -> PlanRecord {
+    let mut plan = PlanRecord::new(scope);
+    let ops = order
+        .iter()
+        .map(|(path, op, hits)| PlanOpRecord {
+            path: path.to_string(),
+            op: op.to_string(),
+            detail: "(n:Person)".into(),
+            calls: 1,
+            rows_in: *hits,
+            rows: hits / 2,
+            db_nodes: *hits,
+            db_props: 2 * hits,
+            self_us: 30,
+            sim_us: 10,
+            ..PlanOpRecord::default()
+        })
+        .collect();
+    plan.absorb(ops, 5, 250, 100);
+    plan
+}
+
+/// A recorded run whose `evaluate` span carries two plan records.
+fn journal_with_plans() -> RunJournal {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let eval = root.scope().span("evaluate");
+    // Deliberately unsorted op paths and reverse-ordered scopes: the
+    // serialised form must not depend on either.
+    eval.scope().plan(plan_fixture(
+        "rule-1",
+        &[("Root/Scan", "NodeByLabelScan", 20), ("Root", "ProduceResults", 0)],
+    ));
+    eval.scope().plan(plan_fixture(
+        "rule-0",
+        &[("Root", "ProduceResults", 0), ("Root/Scan", "NodeByLabelScan", 10)],
+    ));
+    eval.finish();
+    root.finish();
+    rec.snapshot()
+}
+
+#[test]
+fn journal_v3_plan_lines_round_trip_deterministically() {
+    let journal = journal_with_plans();
+    let text = journal.to_jsonl();
+    assert!(text.lines().next().unwrap().contains(r#""version":3"#));
+    let plan_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Plan""#)).collect();
+    assert_eq!(plan_lines.len(), 2);
+    // Plan lines come scope-sorted, operators path-sorted within.
+    assert!(plan_lines[0].contains("rule-0"));
+    assert!(plan_lines[1].contains("rule-1"));
+    let root_pos = plan_lines[0].find(r#""path":"Root""#).unwrap();
+    let scan_pos = plan_lines[0].find(r#""path":"Root/Scan""#).unwrap();
+    assert!(root_pos < scan_pos, "operators must serialise name-sorted");
+
+    // Round trip: parse → re-serialise is byte-identical, and two
+    // separately produced journals serialise to the same bytes
+    // (modulo timing fields, which to_jsonl of the *parsed* journal
+    // preserves exactly).
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed.plans.len(), 2);
+    assert_eq!(parsed.plan("rule-0").unwrap().db_hits(), 10 + 20);
+    assert_eq!(parsed.to_jsonl(), text);
+}
+
+#[test]
+fn v2_readers_skip_v3_plan_records() {
+    // A v2 reader has no `Plan` variant: its serde parse fails on a
+    // Plan line and falls through to the unknown-record-key skip —
+    // "Plan" is not in v2's known-key list, exactly like the renamed
+    // key below is not in ours. Emulate that reader by downgrading
+    // the Meta version and renaming the Plan key to one no reader
+    // knows.
+    let text = journal_with_plans()
+        .to_jsonl()
+        .replace(r#""version":3"#, r#""version":2"#)
+        .replace(r#"{"Plan""#, r#"{"PlanV9""#);
+    let strict = RunJournal::from_jsonl(&text).expect("v2 strict reader must not error");
+    assert_eq!(strict.spans.len(), 2, "spans survive the skip");
+    assert!(strict.plans.is_empty(), "plan-shaped lines are skipped, not parsed");
+    let lossy = RunJournal::from_jsonl_lossy(&text).expect("v2 lossy reader must not error");
+    assert_eq!(lossy, strict);
+
+    // And a genuine v2 journal (no Plan lines at all) still parses
+    // strict under the v3 reader.
+    let rec = Recorder::new();
+    rec.root_scope().span("mine").finish();
+    let v2 = rec.snapshot().to_jsonl().replace(r#""version":3"#, r#""version":2"#);
+    assert!(RunJournal::from_jsonl(&v2).is_ok());
+}
+
+#[test]
+fn slow_query_policy_flags_records_and_counts() {
+    let rec = Recorder::new();
+    rec.set_slow_query_policy(SlowQueryPolicy { max_db_hits: Some(40), ..Default::default() });
+    let root = rec.root_scope().span("pipeline");
+    let eval = root.scope().span("evaluate");
+    eval.scope().plan(plan_fixture("rule-cheap", &[("Root", "ProduceResults", 5)]));
+    eval.scope().plan(plan_fixture("rule-dear", &[("Root/Scan", "NodeByLabelScan", 50)]));
+    eval.finish();
+    root.finish();
+
+    assert_eq!(rec.total(Counter::CypherSlowQueries), 1);
+    assert_eq!(rec.slow_queries().len(), 1);
+    assert_eq!(rec.slow_queries()[0].scope, "rule-dear");
+    let journal = rec.snapshot();
+    assert!(!journal.plan("rule-cheap").unwrap().slow);
+    assert!(journal.plan("rule-dear").unwrap().slow);
+    // The plan is attached to the evaluate span, and the summary
+    // surfaces the offender.
+    let eval_id = journal.span("evaluate").unwrap().id;
+    assert_eq!(journal.plan("rule-dear").unwrap().span, Some(eval_id));
+    let summary = journal.summary();
+    assert!(summary.contains("SLOW rule-dear"), "{summary}");
+    assert!(summary.contains("1 slow"), "{summary}");
+    // Stage attribution rolls both records up to `evaluate`.
+    assert_eq!(journal.stage_db_hits(), vec![("evaluate".to_string(), 15 + 150)]);
+}
+
 #[test]
 fn jsonl_totals_are_sorted_by_name() {
     let rec = Recorder::new();
@@ -254,6 +377,7 @@ fn disabled_recorder_is_a_no_op() {
     span.scope().add(Counter::RulesMined, 3);
     span.scope().gauge(Gauge::RagCoverage, 1.0);
     span.scope().add_sim_seconds(5.0);
+    span.scope().plan(PlanRecord::new("rule-0"));
     span.finish();
     assert_eq!(rec.total(Counter::RulesMined), 0);
     let journal = rec.snapshot();

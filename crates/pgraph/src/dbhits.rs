@@ -1,0 +1,95 @@
+//! Database-access accounting shared by the Cypher profiler (and any
+//! future caching layer): one tally of how often the store was asked
+//! for work, in the three shapes [`PropertyGraph`] serves.
+//!
+//! The graph's accessors take `&self` and stay counter-free — a
+//! consumer that wants accounting (the profiled executor in
+//! `grm-cypher`) tallies its own accesses into a [`DbHits`]. That
+//! keeps the un-profiled hot path at literally zero accounting cost
+//! and gives every consumer the same db-hit definition:
+//!
+//! * **node hits** — nodes materialised by a label-index or full scan
+//!   (`nodes_with_label` / `nodes`);
+//! * **edge hits** — edges examined while expanding a relationship
+//!   (`out_edges` / `in_edges` candidates, before type filters);
+//! * **property hits** — property-map lookups on nodes or edges
+//!   (`Node::prop` / `Edge::prop`).
+//!
+//! [`PropertyGraph`]: crate::PropertyGraph
+
+use std::ops::{Add, AddAssign};
+
+/// A tally of store accesses, in Neo4j `PROFILE` "db hits" spirit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DbHits {
+    /// Nodes materialised via a label index or full scan.
+    pub nodes: u64,
+    /// Edges examined during relationship expansion.
+    pub edges: u64,
+    /// Property-map lookups on nodes or edges.
+    pub props: u64,
+}
+
+impl DbHits {
+    /// A zero tally.
+    pub fn new() -> DbHits {
+        DbHits::default()
+    }
+
+    /// Total accesses across all three shapes.
+    pub fn total(&self) -> u64 {
+        self.nodes + self.edges + self.props
+    }
+
+    /// True when nothing was accessed.
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl Add for DbHits {
+    type Output = DbHits;
+
+    fn add(self, rhs: DbHits) -> DbHits {
+        DbHits {
+            nodes: self.nodes + rhs.nodes,
+            edges: self.edges + rhs.edges,
+            props: self.props + rhs.props,
+        }
+    }
+}
+
+impl AddAssign for DbHits {
+    fn add_assign(&mut self, rhs: DbHits) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_zero() {
+        assert!(DbHits::new().is_zero());
+        let h = DbHits { nodes: 2, edges: 3, props: 5 };
+        assert_eq!(h.total(), 10);
+        assert!(!h.is_zero());
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = DbHits { nodes: 1, edges: 2, props: 3 };
+        let mut b = DbHits { nodes: 10, edges: 20, props: 30 };
+        b += a;
+        assert_eq!(b, DbHits { nodes: 11, edges: 22, props: 33 });
+        assert_eq!(a + a, DbHits { nodes: 2, edges: 4, props: 6 });
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = DbHits { nodes: 7, edges: 0, props: 42 };
+        let json = serde_json::to_string(&h).unwrap();
+        assert_eq!(serde_json::from_str::<DbHits>(&json).unwrap(), h);
+    }
+}

@@ -27,12 +27,14 @@
 //! assert!(schema.signature("POSTS").unwrap().connects("Person", "Tweet"));
 //! ```
 
+pub mod dbhits;
 pub mod graph;
 pub mod io;
 pub mod schema;
 pub mod stats;
 pub mod value;
 
+pub use dbhits::DbHits;
 pub use graph::{props, Edge, EdgeId, Node, NodeId, PropertyGraph, PropertyMap};
 pub use io::{from_json, to_json, to_json_pretty, GraphDoc, IoError};
 pub use schema::{EdgeSignature, GraphSchema, PropertyStats};

@@ -71,13 +71,15 @@ const USAGE: &str = "usage:
   grm mine     --graph FILE [--model llama3|mixtral] [--strategy swa|rag|summary]
                [--prompting zero|few] [--seed N] [--workers N] [--json FILE]
                [--trace FILE.jsonl] [--trace-summary]
+               [--slow-query-ms MS] [--slow-query-db-hits N]
   grm audit    --graph FILE [--limit N]
-  grm check    --graph FILE --rules FILE [--limit N]   # exit 1 on violations
+  grm check    --graph FILE --rules FILE [--limit N] [--trace FILE.jsonl]
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
   grm trace    summary FILE.jsonl
   grm trace    diff A.jsonl B.jsonl [--tolerance FRACTION]   # exit 1 above tolerance
   grm trace    flame FILE.jsonl [--real|--sim]               # folded flamegraph stacks
-  grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]";
+  grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]
+  grm trace    plans FILE.jsonl [--top N] [--check PLANS.json [--tolerance FRACTION]]";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Flags {
@@ -145,6 +147,14 @@ fn parse_or<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Resul
     }
 }
 
+fn parse_opt<T: std::str::FromStr>(flags: &Flags, key: &str) -> Result<Option<T>, String> {
+    flags
+        .named
+        .get(key)
+        .map(|raw| raw.parse().map_err(|_| format!("bad value for --{key}: {raw}")))
+        .transpose()
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &[])?;
     let g = load_graph(&flags)?;
@@ -194,7 +204,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_mine(args: &[String]) -> Result<(), String> {
-    use graph_rule_mining::obs::Recorder;
+    use graph_rule_mining::obs::{Recorder, SlowQueryPolicy};
 
     let flags = parse_flags(args, &["trace-summary"])?;
     let g = load_graph(&flags)?;
@@ -221,6 +231,13 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let trace_path = flags.named.get("trace");
     let trace_summary = flags.switches.iter().any(|s| s == "trace-summary");
     let recorder = Recorder::new();
+    let slow_policy = SlowQueryPolicy {
+        max_millis: parse_opt(&flags, "slow-query-ms")?,
+        max_db_hits: parse_opt(&flags, "slow-query-db-hits")?,
+    };
+    if !slow_policy.is_empty() {
+        recorder.set_slow_query_policy(slow_policy);
+    }
 
     let pipeline = MiningPipeline::new(config);
     let report = if workers > 1 {
@@ -261,6 +278,23 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("rule book ({} rules) written to {path}", rules.len());
     }
+    let slow = recorder.slow_queries();
+    if !slow.is_empty() {
+        eprintln!(
+            "{} slow quer{} over threshold:",
+            slow.len(),
+            if slow.len() == 1 { "y" } else { "ies" }
+        );
+        for p in &slow {
+            eprintln!(
+                "  SLOW {}: {} db-hits, {:.2}ms over {} queries",
+                p.scope,
+                p.db_hits(),
+                p.total_us as f64 / 1_000.0,
+                p.queries
+            );
+        }
+    }
     if trace_path.is_some() || trace_summary {
         let journal = recorder.snapshot();
         if let Some(path) = trace_path {
@@ -278,7 +312,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
 /// CI-style data-quality gate. Prints per-rule status and concrete
 /// violations; exits non-zero when any rule is violated.
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    use graph_rule_mining::metrics::{evaluate, find_violations, Violation};
+    use graph_rule_mining::metrics::{evaluate_labeled, find_violations_traced, Violation};
+    use graph_rule_mining::obs::Recorder;
     use graph_rule_mining::rules::{reference_queries, to_nl, ConsistencyRule};
 
     let flags = parse_flags(args, &[])?;
@@ -290,9 +325,18 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let rules: Vec<ConsistencyRule> =
         serde_json::from_str(&json).map_err(|e| format!("parsing {rules_path}: {e}"))?;
 
+    // With --trace, every evaluation and violation listing runs under
+    // PROFILE and the journal (schema v3, plan records included) is
+    // written for `grm trace plans`.
+    let trace_path = flags.named.get("trace");
+    let recorder = if trace_path.is_some() { Recorder::new() } else { Recorder::disabled() };
+    let check_span = recorder.root_scope().span("check");
+    let scope = check_span.scope();
+
     let mut failing = 0usize;
-    for rule in &rules {
-        let metrics = evaluate(&g, &reference_queries(rule)).map_err(|e| e.to_string())?;
+    for (i, rule) in rules.iter().enumerate() {
+        let metrics = evaluate_labeled(&g, &reference_queries(rule), &scope, &format!("rule-{i}"))
+            .map_err(|e| e.to_string())?;
         let holds = metrics.coverage_pct >= 100.0 && metrics.confidence_pct >= 100.0;
         println!(
             "[{}] {} (cov {:.2}%, conf {:.2}%)",
@@ -303,7 +347,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         );
         if !holds {
             failing += 1;
-            if let Some(violations) = find_violations(&g, rule, limit).map_err(|e| e.to_string())? {
+            if let Some(violations) =
+                find_violations_traced(&g, rule, limit, &scope, &format!("violations-{i}"))
+                    .map_err(|e| e.to_string())?
+            {
                 for v in violations {
                     match v {
                         Violation::Node { id, detail } => println!("    node n{id}: {detail}"),
@@ -319,6 +366,12 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
     }
     println!("\n{} of {} rules hold", rules.len() - failing, rules.len());
+    drop(check_span);
+    if let Some(path) = trace_path {
+        let journal = recorder.snapshot();
+        std::fs::write(path, journal.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("trace journal ({} spans) written to {path}", journal.spans.len());
+    }
     if failing > 0 {
         return Err(format!("{failing} rule(s) violated"));
     }
@@ -427,11 +480,11 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 /// folded flamegraph stacks, and a baseline regression check.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::obs::{
-        folded_stacks, FlameWeight, RunJournal, TraceBaseline, TraceDiff,
+        folded_stacks, FlameWeight, PlanBaseline, PlanReport, RunJournal, TraceBaseline, TraceDiff,
     };
 
     let Some((verb, rest)) = args.split_first() else {
-        return Err(format!("trace needs a verb (summary|diff|flame|check)\n{USAGE}"));
+        return Err(format!("trace needs a verb (summary|diff|flame|check|plans)\n{USAGE}"));
     };
     let load = |path: &str| -> Result<RunJournal, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -504,6 +557,43 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                     eprintln!("REGRESSION: {v}");
                 }
                 Err(format!("{} perf regression(s) against {baseline_path}", violations.len()))
+            }
+        }
+        "plans" => {
+            let flags = parse_flags(rest, &[])?;
+            let path = flags.positional.first().ok_or("trace plans needs a journal FILE")?;
+            let top: usize = parse_or(&flags, "top", 10)?;
+            let journal = load(path)?;
+            let report = PlanReport::from_journal(&journal);
+            if report.is_empty() {
+                return Err(format!(
+                    "{path} has no query-plan records — produce it with \
+                     `grm mine --trace` or `grm check --trace` (journal schema v3+)"
+                ));
+            }
+            print!("{}", report.render(top));
+            let Some(baseline_path) = flags.named.get("check") else {
+                return Ok(());
+            };
+            let tolerance: f64 = parse_or(&flags, "tolerance", 0.05)?;
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline: PlanBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let violations = baseline.check(&journal, tolerance);
+            if violations.is_empty() {
+                println!(
+                    "plan check passed: {} within {:.1}% of {}",
+                    path,
+                    tolerance * 100.0,
+                    baseline_path
+                );
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} plan regression(s) against {baseline_path}", violations.len()))
             }
         }
         other => Err(format!("unknown trace verb `{other}`\n{USAGE}")),

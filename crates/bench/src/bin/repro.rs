@@ -29,7 +29,12 @@
 //! * `--plans-baseline FILE.json` — with `--trace`, freeze the run's
 //!   per-operator db-hit budgets into a `PlanBaseline` snapshot for
 //!   `grm trace plans --check` (this is how `BENCH_plans.json` is
-//!   regenerated).
+//!   regenerated);
+//! * `--lineage-baseline FILE.json` — with `--trace`, freeze the run's
+//!   rule-lineage digest (rule count, error classes, per-origin
+//!   yields, boundary breakages) into a `LineageBaseline` snapshot for
+//!   `grm trace lineage --check` (this is how `BENCH_lineage.json` is
+//!   regenerated — the check is exact, the pipeline is deterministic).
 
 use std::collections::HashMap;
 
@@ -54,6 +59,7 @@ struct Args {
     trace: Option<String>,
     trace_baseline: Option<String>,
     plans_baseline: Option<String>,
+    lineage_baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +75,7 @@ fn parse_args() -> Args {
         trace: None,
         trace_baseline: None,
         plans_baseline: None,
+        lineage_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -113,6 +120,11 @@ fn parse_args() -> Args {
             "--plans-baseline" => {
                 any = true;
                 args.plans_baseline = Some(it.next().expect("--plans-baseline needs a file path"));
+            }
+            "--lineage-baseline" => {
+                any = true;
+                args.lineage_baseline =
+                    Some(it.next().expect("--lineage-baseline needs a file path"));
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -218,8 +230,13 @@ fn main() {
     }
     if let Some(path) = &args.trace {
         trace_run(&args, path);
-    } else if args.trace_baseline.is_some() || args.plans_baseline.is_some() {
-        eprintln!("--trace-baseline / --plans-baseline require --trace FILE.jsonl");
+    } else if args.trace_baseline.is_some()
+        || args.plans_baseline.is_some()
+        || args.lineage_baseline.is_some()
+    {
+        eprintln!(
+            "--trace-baseline / --plans-baseline / --lineage-baseline require --trace FILE.jsonl"
+        );
         std::process::exit(2);
     }
 }
@@ -275,6 +292,21 @@ fn trace_run(args: &Args, path: &str) {
             std::process::exit(1);
         }
         println!("(plan-baseline snapshot written to {plans_path})");
+    }
+    if let Some(lineage_path) = &args.lineage_baseline {
+        let baseline = grm_obs::LineageBaseline::from_journal(&journal);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing lineage baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(lineage_path, json) {
+            eprintln!("writing {lineage_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(lineage-baseline snapshot written to {lineage_path})");
     }
     println!("== trace: WWC2019 / llama3 / RAG / zero-shot ==");
     print!("{}", journal.summary());

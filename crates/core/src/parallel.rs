@@ -66,9 +66,11 @@ pub fn mine_parallel_traced(
     let workers = workers.min(contexts.len().max(1));
 
     // Deal contexts round-robin, preserving index order per worker.
-    let mut assignments: Vec<Vec<&String>> = vec![Vec::new(); workers];
+    // Each context keeps its original index so mined rules can be
+    // stamped with their origin for lineage records.
+    let mut assignments: Vec<Vec<(usize, &String)>> = vec![Vec::new(); workers];
     for (i, context) in contexts.iter().enumerate() {
-        assignments[i % workers].push(context);
+        assignments[i % workers].push((i, context));
     }
 
     let results: Vec<(Vec<GeneratedRule>, f64)> = std::thread::scope(|scope| {
@@ -84,12 +86,17 @@ pub fn mine_parallel_traced(
                     let worker_scope = span.scope();
                     let mut rules = Vec::new();
                     let mut seconds = 0.0;
-                    for context in batch {
+                    for (ci, context) in batch {
                         let mut prompt = MiningPrompt::new(style, (*context).clone());
                         prompt.target_rules = target_rules;
                         let resp = model.mine_traced(&prompt, &worker_scope);
                         seconds += resp.seconds;
-                        rules.extend(resp.rules);
+                        // Stamped after mining, so the model's RNG
+                        // stream is identical to the serial path.
+                        rules.extend(resp.rules.into_iter().map(|mut r| {
+                            r.origin = *ci;
+                            r
+                        }));
                     }
                     span.finish();
                     (rules, seconds)

@@ -14,11 +14,13 @@
 use std::collections::HashMap;
 
 use grm_llm::{MiningPrompt, SimLlm};
-use grm_metrics::{aggregate, classify, correct, evaluate_labeled, ClassTally, QueryClass};
-use grm_obs::{Counter, Histo, Recorder, Scope, Span};
+use grm_metrics::{
+    aggregate, class_counter, classify, correct, evaluate_labeled, ClassTally, QueryClass,
+};
+use grm_obs::{Counter, Histo, LineageRecord, OriginRef, Recorder, Scope, Span};
 use grm_pgraph::{GraphSchema, PropertyGraph};
 use grm_rules::RuleQueries;
-use grm_textenc::{chunk_traced, encode_summary_traced, encode_traced};
+use grm_textenc::{chunk_traced, encode_summary_traced, encode_traced, token_count};
 use grm_vecstore::Retriever;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,13 +46,17 @@ impl MiningPipeline {
     }
 
     /// Builds the model context(s) per the configured strategy, with
-    /// encode/chunk/retrieve spans recorded on `scope`.
-    /// Returns `(contexts, windows, broken_patterns, rag_coverage)`.
+    /// encode/chunk/retrieve spans recorded on `scope`. Alongside each
+    /// context comes its list of origin references — the stable ids
+    /// (`window-<i>`, `chunk-<i>`, `summary`) and token spans lineage
+    /// records trace rules back to.
+    /// Returns `(contexts, origins, windows, broken_patterns, rag_coverage)`.
+    #[allow(clippy::type_complexity)]
     fn build_contexts(
         &self,
         graph: &PropertyGraph,
         scope: &Scope,
-    ) -> (Vec<String>, usize, usize, Option<f64>) {
+    ) -> (Vec<String>, Vec<Vec<OriginRef>>, usize, usize, Option<f64>) {
         let cfg = &self.config;
         let encoded = encode_traced(graph, cfg.encoder, scope);
         match &cfg.strategy {
@@ -58,17 +64,44 @@ impl MiningPipeline {
                 let ws = chunk_traced(&encoded, *wc, scope);
                 let windows = ws.len();
                 let broken = ws.broken_patterns;
+                let origins = ws
+                    .windows
+                    .iter()
+                    .map(|w| {
+                        vec![OriginRef {
+                            id: format!("window-{}", w.index),
+                            start_token: w.start_token as u64,
+                            token_len: w.token_len as u64,
+                        }]
+                    })
+                    .collect();
                 let contexts = ws.windows.into_iter().map(|w| w.text).collect();
-                (contexts, windows, broken, None)
+                (contexts, origins, windows, broken, None)
             }
             ContextStrategy::Rag(rc) => {
                 let retriever = Retriever::ingest_traced(&encoded, *rc, scope);
                 let retrieval = retriever.retrieve_traced(RAG_QUERY, scope);
                 let cov = retrieval.coverage();
-                (vec![retrieval.context()], 0, 0, Some(cov))
+                let origins = retrieval
+                    .chunk_ids
+                    .iter()
+                    .zip(&retrieval.chunk_spans)
+                    .map(|(id, (start, len))| OriginRef {
+                        id: format!("chunk-{id}"),
+                        start_token: *start as u64,
+                        token_len: *len as u64,
+                    })
+                    .collect();
+                (vec![retrieval.context()], vec![origins], 0, 0, Some(cov))
             }
             ContextStrategy::Summary(sc) => {
-                (vec![encode_summary_traced(graph, *sc, scope)], 0, 0, None)
+                let text = encode_summary_traced(graph, *sc, scope);
+                let origins = vec![vec![OriginRef {
+                    id: "summary".to_owned(),
+                    start_token: 0,
+                    token_len: token_count(&text) as u64,
+                }]];
+                (vec![text], origins, 0, 0, None)
             }
         }
     }
@@ -106,7 +139,7 @@ impl MiningPipeline {
         let root_scope = root.scope();
 
         // Steps 1–2: encode and build contexts.
-        let (contexts, windows, broken_patterns, rag_coverage) =
+        let (contexts, origins, windows, broken_patterns, rag_coverage) =
             self.build_contexts(graph, &root_scope);
 
         // Step 3: mine rules per context.
@@ -116,12 +149,17 @@ impl MiningPipeline {
         let mine_scope = mine_span.scope();
         let mut mining_seconds = 0.0;
         let mut mined: Vec<grm_llm::GeneratedRule> = Vec::new();
-        for context in &contexts {
+        for (ci, context) in contexts.iter().enumerate() {
             let mut prompt = MiningPrompt::new(cfg.prompting, context.clone());
             prompt.target_rules = per_prompt_target;
             let resp = model.mine_traced(&prompt, &mine_scope);
             mining_seconds += resp.seconds;
-            mined.extend(resp.rules);
+            // Stamp the context index after mining: the model never
+            // sees it, so traced lineage cannot perturb its RNG.
+            mined.extend(resp.rules.into_iter().map(|mut r| {
+                r.origin = ci;
+                r
+            }));
         }
         mine_span.finish();
 
@@ -129,6 +167,7 @@ impl MiningPipeline {
             graph,
             &mut model,
             mined,
+            &origins,
             budget,
             contexts.len(),
             windows,
@@ -163,7 +202,7 @@ impl MiningPipeline {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
         let root = recorder.root_scope().span("pipeline");
         let root_scope = root.scope();
-        let (contexts, windows, broken_patterns, rag_coverage) =
+        let (contexts, origins, windows, broken_patterns, rag_coverage) =
             self.build_contexts(graph, &root_scope);
         let budget = cfg.rule_budget.unwrap_or_else(|| self.derive_budget(&mut rng));
         let mine_span = root_scope.span("mine");
@@ -183,6 +222,7 @@ impl MiningPipeline {
             graph,
             &mut translator,
             mining.rules,
+            &origins,
             budget,
             contexts.len(),
             windows,
@@ -201,6 +241,7 @@ impl MiningPipeline {
         graph: &PropertyGraph,
         model: &mut SimLlm,
         mined: Vec<grm_llm::GeneratedRule>,
+        origins: &[Vec<OriginRef>],
         budget: usize,
         prompts: usize,
         windows: usize,
@@ -256,6 +297,9 @@ impl MiningPipeline {
             let generated = resp.translation.cypher.clone();
             let assessment = classify(&generated, &schema);
             correctness.add(assessment.class);
+            // One class counter per rule: the five `rules_*` counters
+            // partition `rules_translated` exactly (Correct included).
+            evaluate_scope.add(class_counter(assessment.class), 1);
 
             let fixed = correct(&generated, &schema);
             let metrics = if matches!(
@@ -273,6 +317,28 @@ impl MiningPipeline {
             } else {
                 None
             };
+            // Lineage: the rule's full ancestry chain, from origin
+            // context(s) through merge and translation to its scores.
+            evaluate_scope.lineage(LineageRecord {
+                span: None,
+                index: i as u64,
+                rule: format!("rule-{i}"),
+                nl: m.rule.nl.clone(),
+                strategy: cfg.strategy.name().to_owned(),
+                origins: m
+                    .origins
+                    .iter()
+                    .flat_map(|ci| origins.get(*ci).cloned().unwrap_or_default())
+                    .collect(),
+                frequency: m.frequency as u64,
+                translation_attempts: 1 + fixed.repairs as u64,
+                error_class: assessment.class.name().to_owned(),
+                final_class: fixed.final_class.name().to_owned(),
+                corrected: fixed.changed,
+                support: metrics.map(|s| s.support),
+                coverage_pct: metrics.map(|s| s.coverage_pct),
+                confidence_pct: metrics.map(|s| s.confidence_pct),
+            });
             outcomes.push(RuleOutcome {
                 explanation: grm_llm::explain_rule(&m.rule.rule, &schema),
                 nl: m.rule.nl.clone(),
@@ -280,6 +346,8 @@ impl MiningPipeline {
                 corrected_cypher: fixed.corrected,
                 original_class: assessment.class,
                 final_class: fixed.final_class,
+                corrected: fixed.changed,
+                translation_attempts: 1 + fixed.repairs,
                 metrics,
                 frequency: m.frequency,
                 hallucinated: m.rule.hallucinated,
@@ -326,11 +394,13 @@ impl MiningPipeline {
     }
 }
 
-/// A merged rule with its cross-prompt frequency.
+/// A merged rule with its cross-prompt frequency and the context
+/// indices that produced it (first-seen order, deduplicated).
 #[derive(Debug, Clone)]
 struct MergedRule {
     rule: grm_llm::GeneratedRule,
     frequency: usize,
+    origins: Vec<usize>,
 }
 
 /// Deduplicates mined rules, ranking by how many prompts produced
@@ -343,13 +413,17 @@ fn merge_rules(mined: Vec<grm_llm::GeneratedRule>) -> Vec<MergedRule> {
         match by_key.get_mut(&key) {
             Some(existing) => {
                 existing.frequency += 1;
+                if !existing.origins.contains(&rule.origin) {
+                    existing.origins.push(rule.origin);
+                }
                 if rule.evidence > existing.rule.evidence {
                     existing.rule = rule;
                 }
             }
             None => {
                 order.push(key.clone());
-                by_key.insert(key, MergedRule { rule, frequency: 1 });
+                let origins = vec![rule.origin];
+                by_key.insert(key, MergedRule { rule, frequency: 1, origins });
             }
         }
     }

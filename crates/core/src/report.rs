@@ -21,6 +21,11 @@ pub struct RuleOutcome {
     pub original_class: QueryClass,
     /// Classification after correction.
     pub final_class: QueryClass,
+    /// True when the §4.4 corrector changed the query text.
+    pub corrected: bool,
+    /// Translation attempts: the initial translation plus one per
+    /// repair the corrector applied.
+    pub translation_attempts: usize,
     /// Support/coverage/confidence of the corrected query; `None`
     /// when it remained unexecutable.
     pub metrics: Option<RuleMetrics>,

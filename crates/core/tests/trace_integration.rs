@@ -222,3 +222,117 @@ fn traced_run_attaches_per_rule_query_plans() {
     let hits = journal.histogram("cypher_db_hits_per_query").expect("cypher_db_hits_per_query");
     assert_eq!(hits.count(), profiled);
 }
+
+#[test]
+fn traced_run_attaches_rule_lineage() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+
+    // One lineage record per rule, indexed in rule order, attached
+    // under the evaluate span.
+    assert!(journal.has_lineage());
+    assert_eq!(journal.lineages.len(), report.rule_count());
+    let evaluate_id = journal.span("evaluate").unwrap().id;
+    for (i, (l, o)) in journal.lineages.iter().zip(&report.rules).enumerate() {
+        assert_eq!(l.span, Some(evaluate_id));
+        assert_eq!(l.index, i as u64);
+        assert_eq!(l.rule, format!("rule-{i}"));
+        assert_eq!(l.nl, o.nl);
+        assert_eq!(l.strategy, report.strategy_name);
+        assert_eq!(l.frequency, o.frequency as u64);
+        assert_eq!(l.corrected, o.corrected);
+        assert_eq!(l.translation_attempts, o.translation_attempts as u64);
+        assert!(!l.origins.is_empty(), "rule-{i} has no origin windows");
+        for origin in &l.origins {
+            assert!(origin.id.starts_with("window-"), "{}", origin.id);
+            assert!(origin.token_len > 0);
+        }
+        assert_eq!(l.support, o.metrics.map(|m| m.support));
+        // A rule mined by k distinct windows carries k origins, and
+        // was seen at least that often.
+        assert!(l.frequency >= l.origins.len() as u64);
+    }
+
+    // Satellite: the five class counters partition rules_translated.
+    let class_sum: u64 = [
+        "rules_correct",
+        "rules_syntax_error",
+        "rules_hallucinated_property",
+        "rules_wrong_direction",
+        "rules_other_semantic",
+    ]
+    .iter()
+    .map(|c| journal.total(c))
+    .sum();
+    assert_eq!(class_sum, journal.total("rules_translated"));
+    assert_eq!(journal.total("rules_correct"), report.correctness.correct as u64);
+}
+
+#[test]
+fn parallel_run_attaches_rule_lineage_with_window_origins() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(sw_config()).run_with_workers_traced(&g, 4, &rec);
+    let journal = rec.snapshot();
+    assert_eq!(journal.lineages.len(), report.rule_count());
+    for l in &journal.lineages {
+        assert!(!l.origins.is_empty(), "{} has no origins", l.rule);
+        assert!(l.origins.iter().all(|o| o.id.starts_with("window-")));
+    }
+}
+
+#[test]
+fn rag_run_lineage_uses_chunk_origins() {
+    let g = small_graph();
+    let cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::Rag(RagConfig::default()),
+        PromptStyle::ZeroShot,
+    );
+    let rec = Recorder::new();
+    let report = MiningPipeline::new(cfg).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+    assert_eq!(journal.lineages.len(), report.rule_count());
+    for l in &journal.lineages {
+        assert!(!l.origins.is_empty(), "{} has no origins", l.rule);
+        assert!(l.origins.iter().all(|o| o.id.starts_with("chunk-")), "{:?}", l.origins);
+        // All rules come from the single RAG prompt.
+        assert_eq!(l.frequency, 1);
+    }
+}
+
+mod lineage_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The five error-class counters always partition
+        /// `rules_translated`, whatever the seed.
+        #[test]
+        fn class_counters_partition_rules_translated(seed in 0u64..1000) {
+            let g = small_graph();
+            let cfg = PipelineConfig { seed, ..sw_config() };
+            let rec = Recorder::new();
+            let report = MiningPipeline::new(cfg).run_traced(&g, &rec);
+            let journal = rec.snapshot();
+            let class_sum: u64 = [
+                "rules_correct",
+                "rules_syntax_error",
+                "rules_hallucinated_property",
+                "rules_wrong_direction",
+                "rules_other_semantic",
+            ]
+            .iter()
+            .map(|c| journal.total(c))
+            .sum();
+            prop_assert_eq!(class_sum, journal.total("rules_translated"));
+            prop_assert_eq!(class_sum, report.rule_count() as u64);
+            // And every translated rule carries a lineage record.
+            prop_assert_eq!(journal.lineages.len(), report.rule_count());
+        }
+    }
+}

@@ -42,6 +42,30 @@ impl QueryClass {
     pub fn is_correct(self) -> bool {
         self == QueryClass::Correct
     }
+
+    /// Stable name used in journal `Lineage` records and counter
+    /// names (`rules_<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Correct => "correct",
+            QueryClass::SyntaxError => "syntax_error",
+            QueryClass::HallucinatedProperty => "hallucinated_property",
+            QueryClass::DirectionError => "wrong_direction",
+            QueryClass::OtherSemantic => "other_semantic",
+        }
+    }
+}
+
+/// The journal counter tallying queries of `class` — together the five
+/// counters partition `rules_translated`.
+pub fn class_counter(class: QueryClass) -> grm_obs::Counter {
+    match class {
+        QueryClass::Correct => grm_obs::Counter::RulesCorrect,
+        QueryClass::SyntaxError => grm_obs::Counter::RulesSyntaxError,
+        QueryClass::HallucinatedProperty => grm_obs::Counter::RulesHallucinatedProperty,
+        QueryClass::DirectionError => grm_obs::Counter::RulesWrongDirection,
+        QueryClass::OtherSemantic => grm_obs::Counter::RulesOtherSemantic,
+    }
 }
 
 /// Full assessment of one query.

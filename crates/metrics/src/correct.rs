@@ -30,6 +30,10 @@ pub struct CorrectionOutcome {
     pub final_class: QueryClass,
     /// True when the corrector changed the text.
     pub changed: bool,
+    /// Number of individual repairs applied: one per syntax-token
+    /// insertion plus one when a direction flip was made. Zero when
+    /// nothing was (or could be) fixed.
+    pub repairs: usize,
 }
 
 /// Repairs `query` as far as the paper's policy allows.
@@ -37,12 +41,14 @@ pub fn correct(query: &str, schema: &GraphSchema) -> CorrectionOutcome {
     let original = classify(query, schema);
     let mut text = query.to_owned();
     let mut changed = false;
+    let mut repairs = 0usize;
 
     // Phase 1: syntax repair.
     if original.class == QueryClass::SyntaxError {
-        if let Some(fixed) = repair_syntax(&text) {
+        if let Some((fixed, insertions)) = repair_syntax_counted(&text) {
             text = fixed;
             changed = true;
+            repairs += insertions;
         }
     }
 
@@ -53,22 +59,35 @@ pub fn correct(query: &str, schema: &GraphSchema) -> CorrectionOutcome {
             if let Some(fixed) = repair_directions(&ast, schema) {
                 text = fixed;
                 changed = true;
+                repairs += 1;
             }
         }
     }
 
     let final_class = classify(&text, schema).class;
-    CorrectionOutcome { original_class: original.class, corrected: text, final_class, changed }
+    CorrectionOutcome {
+        original_class: original.class,
+        corrected: text,
+        final_class,
+        changed,
+        repairs,
+    }
 }
 
 /// Iteratively inserts the character the parser appears to be missing
 /// at the reported error position. Handles the common LLM slips
 /// (dropped parenthesis/bracket); gives up after a few rounds.
 pub fn repair_syntax(query: &str) -> Option<String> {
+    repair_syntax_counted(query).map(|(text, _)| text)
+}
+
+/// [`repair_syntax`], also reporting how many characters were
+/// inserted — the per-rule repair count lineage records carry.
+fn repair_syntax_counted(query: &str) -> Option<(String, usize)> {
     let mut text = query.to_owned();
-    for _ in 0..4 {
+    for round in 0..4 {
         let err = match parse(&text) {
-            Ok(_) => return Some(text),
+            Ok(_) => return Some((text, round)),
             Err(e) => e,
         };
         let (message, pos) = match &err {

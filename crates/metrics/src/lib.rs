@@ -19,7 +19,7 @@ pub mod drift;
 pub mod scores;
 pub mod violations;
 
-pub use classify::{classify, Assessment, ClassTally, QueryClass};
+pub use classify::{class_counter, classify, Assessment, ClassTally, QueryClass};
 pub use correct::{correct, repair_directions, repair_syntax, CorrectionOutcome};
 pub use drift::{drift, RuleDrift};
 pub use scores::{

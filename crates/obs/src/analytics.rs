@@ -11,6 +11,7 @@
 
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord, StageTiming};
+use crate::lineage::{BoundaryRecord, LineageRecord};
 
 /// Which clock weights the folded stacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -654,6 +655,274 @@ impl PlanBaseline {
     }
 }
 
+/// One origin row of a [`LineageReport`]: how many selected rules a
+/// single encoded context (window/chunk/summary) yielded.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OriginYield {
+    /// Stable context id (`window-<i>`, `chunk-<i>`, `summary`).
+    pub origin: String,
+    /// First token of the context in the encoded text.
+    pub start_token: u64,
+    /// Context length in tokens.
+    pub token_len: u64,
+    /// Selected rules attributed to this context.
+    pub rules: u64,
+    /// Of those, rules whose translation was classified `correct`.
+    pub correct: u64,
+}
+
+/// The aggregation behind `grm trace lineage`: every `Lineage` record
+/// of a journal folded into a per-rule provenance table, per-origin
+/// rule yields, an error-class tally, and the window-boundary
+/// breakages. Serialisable as-is — `grm trace lineage --json` emits
+/// it with `serde_json::to_string_pretty`.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineageReport {
+    /// Lineage records in rule-index order.
+    pub rules: Vec<LineageRecord>,
+    /// Per-origin yields, sorted by (start_token, origin id).
+    pub yields: Vec<OriginYield>,
+    /// Error-class tally over `error_class`, name-sorted.
+    pub classes: Vec<(String, u64)>,
+    /// Window-boundary breakages, sorted by (first, last, node).
+    pub boundaries: Vec<BoundaryRecord>,
+}
+
+impl LineageReport {
+    /// Aggregates the journal's `Lineage` and `Boundary` records.
+    /// Empty report means the journal carries none — pre-v4 input.
+    pub fn from_journal(journal: &RunJournal) -> LineageReport {
+        let mut rules = journal.lineages.clone();
+        rules.sort_by_key(|l| l.index);
+        let mut yields: Vec<OriginYield> = Vec::new();
+        let mut classes: Vec<(String, u64)> = Vec::new();
+        for lineage in &rules {
+            let correct = (lineage.error_class == "correct") as u64;
+            for origin in &lineage.origins {
+                match yields.iter_mut().find(|y| y.origin == origin.id) {
+                    Some(y) => {
+                        y.rules += 1;
+                        y.correct += correct;
+                    }
+                    None => yields.push(OriginYield {
+                        origin: origin.id.clone(),
+                        start_token: origin.start_token,
+                        token_len: origin.token_len,
+                        rules: 1,
+                        correct,
+                    }),
+                }
+            }
+            match classes.iter_mut().find(|(name, _)| *name == lineage.error_class) {
+                Some((_, n)) => *n += 1,
+                None => classes.push((lineage.error_class.clone(), 1)),
+            }
+        }
+        yields.sort_by(|a, b| (a.start_token, &a.origin).cmp(&(b.start_token, &b.origin)));
+        classes.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut boundaries = journal.boundaries.clone();
+        boundaries.sort_by(|a, b| {
+            (a.first_window, a.last_window, &a.node).cmp(&(b.first_window, b.last_window, &b.node))
+        });
+        LineageReport { rules, yields, classes, boundaries }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.boundaries.is_empty()
+    }
+
+    /// The provenance tables: origin → rules → error class → scores,
+    /// then the per-origin yields, the class tally, and the §4.5
+    /// boundary breakages.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rule lineage (origin -> rule -> error class -> scores):\n  \
+             {:<9} {:>4} {:>3} {:<22} {:<22} {:>3} {:>7} {:>7} {:>7}  {}\n",
+            "rule", "freq", "att", "class", "final", "fix", "supp", "cov%", "conf%", "origins"
+        ));
+        for l in &self.rules {
+            let origins: Vec<String> = l
+                .origins
+                .iter()
+                .map(|o| format!("{}@{}+{}", o.id, o.start_token, o.token_len))
+                .collect();
+            out.push_str(&format!(
+                "  {:<9} {:>4} {:>3} {:<22} {:<22} {:>3} {:>7} {:>7} {:>7}  {}\n",
+                l.rule,
+                l.frequency,
+                l.translation_attempts,
+                l.error_class,
+                l.final_class,
+                if l.corrected { "yes" } else { "no" },
+                l.support.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                l.coverage_pct.map(|c| format!("{c:.1}")).unwrap_or_else(|| "-".into()),
+                l.confidence_pct.map(|c| format!("{c:.1}")).unwrap_or_else(|| "-".into()),
+                origins.join(", "),
+            ));
+        }
+        out.push_str("error classes:\n");
+        for (name, count) in &self.classes {
+            out.push_str(&format!("  {name:<26} {count}\n"));
+        }
+        out.push_str(&format!(
+            "per-origin rule yield:\n  {:<12} {:>11} {:>10} {:>6} {:>8}\n",
+            "origin", "start_token", "token_len", "rules", "correct"
+        ));
+        for y in &self.yields {
+            out.push_str(&format!(
+                "  {:<12} {:>11} {:>10} {:>6} {:>8}\n",
+                y.origin, y.start_token, y.token_len, y.rules, y.correct
+            ));
+        }
+        out.push_str(&format!("window-boundary breakages: {}\n", self.boundaries.len()));
+        for b in &self.boundaries {
+            out.push_str(&format!(
+                "  {:<8} spans window-{}..window-{}\n",
+                b.node, b.first_window, b.last_window
+            ));
+        }
+        out
+    }
+}
+
+/// Renders one rule's full ancestry chain for `grm explain`: origins
+/// with token ranges, merge frequency, translation attempts, error
+/// class and correction, final scores, and (when the journal carries
+/// plan records) the rule's query-profile cost. `None` when the
+/// journal has no lineage for `rule`.
+pub fn explain_rule(journal: &RunJournal, rule: &str) -> Option<String> {
+    let l = journal.lineage(rule)?;
+    let mut out = String::new();
+    out.push_str(&format!("{}: {}\n", l.rule, l.nl));
+    out.push_str(&format!("  strategy:    {}\n", l.strategy));
+    out.push_str(&format!("  mined from {} context(s):\n", l.origins.len()));
+    for o in &l.origins {
+        out.push_str(&format!(
+            "    {:<10} tokens {}..{}\n",
+            o.id,
+            o.start_token,
+            o.start_token + o.token_len
+        ));
+    }
+    out.push_str(&format!(
+        "  merge:       mined {} time(s) before dedup (frequency {})\n",
+        l.frequency, l.frequency
+    ));
+    out.push_str(&format!(
+        "  translation: {} attempt(s), error class {} -> {}{}\n",
+        l.translation_attempts,
+        l.error_class,
+        l.final_class,
+        if l.corrected { " (correction applied)" } else { "" }
+    ));
+    match (l.support, l.coverage_pct, l.confidence_pct) {
+        (Some(support), Some(coverage), Some(confidence)) => out.push_str(&format!(
+            "  scores:      support {support}, coverage {coverage:.2}%, confidence {confidence:.2}%\n"
+        )),
+        _ => out.push_str(&format!("  scores:      not scored (final class {})\n", l.final_class)),
+    }
+    if let Some(plan) = journal.plan(&l.rule) {
+        out.push_str(&format!(
+            "  profile:     {} queries, {} db-hits, {:.2}ms real{}\n",
+            plan.queries,
+            plan.db_hits(),
+            plan.total_us as f64 / 1_000.0,
+            if plan.slow { "  SLOW" } else { "" }
+        ));
+    }
+    Some(out)
+}
+
+/// A committed lineage baseline: error-class counts, per-origin rule
+/// yields and the boundary-breakage count of the deterministic sim.
+/// Written by `repro --lineage-baseline`, consumed by `grm trace
+/// lineage --check` in CI. Lineage is fully deterministic for a fixed
+/// seed and scale, so the gate is **exact** — no tolerance.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineageBaseline {
+    /// Journal schema version the snapshot was taken from.
+    pub journal_version: u32,
+    /// Context strategy of the snapshot run.
+    pub strategy: String,
+    /// Selected rules in the snapshot run.
+    pub rules: u64,
+    /// Error-class counts, name-sorted.
+    pub classes: Vec<(String, u64)>,
+    /// Per-origin rule yields, (start_token, id)-sorted.
+    pub yields: Vec<(String, u64)>,
+    /// Window-boundary breakages in the snapshot run.
+    pub boundaries: u64,
+}
+
+impl LineageBaseline {
+    /// Freezes the journal's lineage into a baseline snapshot.
+    pub fn from_journal(journal: &RunJournal) -> LineageBaseline {
+        let report = LineageReport::from_journal(journal);
+        LineageBaseline {
+            journal_version: crate::journal::JOURNAL_VERSION,
+            strategy: report.rules.first().map(|l| l.strategy.clone()).unwrap_or_default(),
+            rules: report.rules.len() as u64,
+            classes: report.classes.clone(),
+            yields: report.yields.iter().map(|y| (y.origin.clone(), y.rules)).collect(),
+            boundaries: report.boundaries.len() as u64,
+        }
+    }
+
+    /// Checks `journal` against this baseline exactly: rule count,
+    /// every error-class count, every per-origin yield, and the
+    /// boundary-breakage count must all match. A journal with no
+    /// `Lineage` records at all fails when the baseline has any —
+    /// lineage silently turning off must not read as a pass. Returns
+    /// the violations (empty = pass).
+    pub fn check(&self, journal: &RunJournal) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.rules > 0 && !journal.has_lineage() {
+            violations.push(
+                "baseline has lineage records but the journal carries none \
+                 (was the run traced?)"
+                    .to_owned(),
+            );
+            return violations;
+        }
+        let current = LineageBaseline::from_journal(journal);
+        if current.rules != self.rules {
+            violations.push(format!("{} rules, baseline has {}", current.rules, self.rules));
+        }
+        let count_of = |pairs: &[(String, u64)], key: &str| {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| *v).unwrap_or(0)
+        };
+        let mut class_names: Vec<&String> =
+            self.classes.iter().chain(&current.classes).map(|(k, _)| k).collect();
+        class_names.sort();
+        class_names.dedup();
+        for name in class_names {
+            let (base, now) = (count_of(&self.classes, name), count_of(&current.classes, name));
+            if base != now {
+                violations.push(format!("error class `{name}`: {now} rules, baseline has {base}"));
+            }
+        }
+        let mut origin_names: Vec<&String> =
+            self.yields.iter().chain(&current.yields).map(|(k, _)| k).collect();
+        origin_names.sort();
+        origin_names.dedup();
+        for name in origin_names {
+            let (base, now) = (count_of(&self.yields, name), count_of(&current.yields, name));
+            if base != now {
+                violations
+                    .push(format!("origin `{name}`: yields {now} rules, baseline has {base}"));
+            }
+        }
+        if current.boundaries != self.boundaries {
+            violations.push(format!(
+                "{} window-boundary breakages, baseline has {}",
+                current.boundaries, self.boundaries
+            ));
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -854,6 +1123,125 @@ mod tests {
         let rendered = both.render();
         assert!(rendered.contains("db-hits"), "{rendered}");
         assert!(rendered.contains("hits 400 -> 480 (+80)"), "{rendered}");
+    }
+
+    /// `sample(scale)` plus an `evaluate` stage carrying lineage for
+    /// two rules mined from two windows, and one boundary breakage.
+    fn sample_with_lineage(class_of_rule_1: &str) -> RunJournal {
+        use crate::lineage::{BoundaryRecord, LineageRecord, OriginRef};
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let encode = root.scope().span("encode");
+        encode.scope().boundary(BoundaryRecord {
+            span: None,
+            node: "n14".into(),
+            first_window: 0,
+            last_window: 1,
+        });
+        encode.finish();
+        let evaluate = root.scope().span("evaluate");
+        let origin =
+            |i: u64| OriginRef { id: format!("window-{i}"), start_token: i * 900, token_len: 1000 };
+        evaluate.scope().lineage(LineageRecord {
+            index: 0,
+            rule: "rule-0".into(),
+            nl: "every Person has a name".into(),
+            strategy: "sliding-window".into(),
+            origins: vec![origin(1), origin(0)],
+            frequency: 2,
+            translation_attempts: 1,
+            error_class: "correct".into(),
+            final_class: "correct".into(),
+            support: Some(120),
+            coverage_pct: Some(100.0),
+            confidence_pct: Some(98.5),
+            ..LineageRecord::default()
+        });
+        evaluate.scope().lineage(LineageRecord {
+            index: 1,
+            rule: "rule-1".into(),
+            nl: "every Team belongs to a Squad".into(),
+            strategy: "sliding-window".into(),
+            origins: vec![origin(1)],
+            frequency: 1,
+            translation_attempts: 2,
+            error_class: class_of_rule_1.into(),
+            final_class: "correct".into(),
+            corrected: true,
+            support: Some(40),
+            coverage_pct: Some(80.0),
+            confidence_pct: Some(75.0),
+            ..LineageRecord::default()
+        });
+        evaluate.finish();
+        root.finish();
+        rec.snapshot()
+    }
+
+    #[test]
+    fn lineage_report_aggregates_and_renders() {
+        let journal = sample_with_lineage("wrong_direction");
+        let report = LineageReport::from_journal(&journal);
+        assert!(!report.is_empty());
+        assert_eq!(report.rules.len(), 2);
+        // Origins were recorded out of order; the recorder sorts them.
+        let ids: Vec<&str> = report.rules[0].origins.iter().map(|o| o.id.as_str()).collect();
+        assert_eq!(ids, ["window-0", "window-1"]);
+        // window-1 fed both rules, window-0 only the correct one.
+        assert_eq!(report.yields.len(), 2);
+        assert_eq!(report.yields[0].origin, "window-0");
+        assert_eq!(report.yields[0].rules, 1);
+        assert_eq!(report.yields[1].origin, "window-1");
+        assert_eq!(report.yields[1].rules, 2);
+        assert_eq!(report.yields[1].correct, 1);
+        assert_eq!(report.classes, [("correct".to_owned(), 1), ("wrong_direction".to_owned(), 1)]);
+        assert_eq!(report.boundaries.len(), 1);
+        let rendered = report.render();
+        assert!(rendered.contains("rule-1"), "{rendered}");
+        assert!(rendered.contains("wrong_direction"), "{rendered}");
+        assert!(rendered.contains("window-1@900+1000"), "{rendered}");
+        assert!(rendered.contains("n14"), "{rendered}");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed: LineageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report);
+        // A lineage-free journal aggregates to an empty report.
+        assert!(LineageReport::from_journal(&sample(1.0)).is_empty());
+    }
+
+    #[test]
+    fn explain_rule_renders_the_ancestry_chain() {
+        let journal = sample_with_lineage("syntax_error");
+        let text = explain_rule(&journal, "rule-1").unwrap();
+        assert!(text.contains("rule-1: every Team belongs to a Squad"), "{text}");
+        assert!(text.contains("window-1"), "{text}");
+        assert!(text.contains("2 attempt(s)"), "{text}");
+        assert!(text.contains("syntax_error -> correct (correction applied)"), "{text}");
+        assert!(text.contains("support 40"), "{text}");
+        assert!(explain_rule(&journal, "rule-9").is_none());
+        assert!(explain_rule(&sample(1.0), "rule-0").is_none());
+    }
+
+    #[test]
+    fn lineage_baseline_gates_exactly() {
+        let journal = sample_with_lineage("wrong_direction");
+        let baseline = LineageBaseline::from_journal(&journal);
+        assert_eq!(baseline.rules, 2);
+        assert_eq!(baseline.boundaries, 1);
+        assert_eq!(baseline.strategy, "sliding-window");
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let parsed: LineageBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, baseline);
+
+        // The run it was taken from passes exactly.
+        assert!(baseline.check(&journal).is_empty());
+        // A different error class fails — the gate has no tolerance.
+        let drifted = sample_with_lineage("syntax_error");
+        let violations = baseline.check(&drifted);
+        assert!(violations.iter().any(|v| v.contains("wrong_direction")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("syntax_error")), "{violations:?}");
+        // Lineage silently off is a failure, not a pass.
+        let unlineaged = baseline.check(&sample(1.0));
+        assert!(unlineaged.iter().any(|v| v.contains("none")), "{unlineaged:?}");
     }
 
     #[test]

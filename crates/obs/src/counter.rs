@@ -33,6 +33,17 @@ pub enum Counter {
     RulesDeduped,
     /// Rules translated to Cypher.
     RulesTranslated,
+    /// Translated rules classified as already correct (§4.4). The
+    /// five `rules_*` class counters partition `rules_translated`.
+    RulesCorrect,
+    /// Translated rules with a syntax error (§4.4).
+    RulesSyntaxError,
+    /// Translated rules referencing a hallucinated property (§4.4).
+    RulesHallucinatedProperty,
+    /// Translated rules with a wrong edge direction (§4.4).
+    RulesWrongDirection,
+    /// Translated rules with another semantic defect.
+    RulesOtherSemantic,
     /// Cypher queries executed by the evaluation engine.
     CypherQueriesExecuted,
     /// Cypher queries executed with operator-level profiling on.
@@ -62,6 +73,11 @@ impl Counter {
             Counter::RulesMined => "rules_mined",
             Counter::RulesDeduped => "rules_deduped",
             Counter::RulesTranslated => "rules_translated",
+            Counter::RulesCorrect => "rules_correct",
+            Counter::RulesSyntaxError => "rules_syntax_error",
+            Counter::RulesHallucinatedProperty => "rules_hallucinated_property",
+            Counter::RulesWrongDirection => "rules_wrong_direction",
+            Counter::RulesOtherSemantic => "rules_other_semantic",
             Counter::CypherQueriesExecuted => "cypher_queries_executed",
             Counter::CypherQueriesProfiled => "cypher_queries_profiled",
             Counter::CypherSlowQueries => "cypher_slow_queries",

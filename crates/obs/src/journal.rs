@@ -3,6 +3,7 @@
 //! files stay parseable and `jq`/`grep` work line-wise.
 
 use crate::histogram::Histogram;
+use crate::lineage::{BoundaryRecord, LineageRecord};
 use crate::plan::PlanRecord;
 
 /// One finished (or snapshot-closed) span.
@@ -60,6 +61,12 @@ pub enum JournalRecord {
     /// A query-plan profile line (schema v3+), after the histograms.
     /// v2 readers skip these through their unknown-record path.
     Plan(PlanRecord),
+    /// A rule-lineage line (schema v4+), after the plans. v2/v3
+    /// readers skip these through their unknown-record path.
+    Lineage(LineageRecord),
+    /// A window-boundary breakage line (schema v4+), after the
+    /// lineage lines. Skipped by older readers like `Lineage`.
+    Boundary(BoundaryRecord),
     /// Run-wide totals, always the last line.
     Totals {
         counters: Vec<(String, u64)>,
@@ -67,9 +74,10 @@ pub enum JournalRecord {
     },
 }
 
-/// Variant keys a v3 reader knows; object lines keyed otherwise are
+/// Variant keys a v4 reader knows; object lines keyed otherwise are
 /// future record types and are skipped, not errors.
-const KNOWN_RECORD_KEYS: [&str; 5] = ["Meta", "Span", "Histo", "Plan", "Totals"];
+const KNOWN_RECORD_KEYS: [&str; 7] =
+    ["Meta", "Span", "Histo", "Plan", "Lineage", "Boundary", "Totals"];
 
 /// Per-stage timing row derived from the journal — the breakdown
 /// embedded in `MiningReport`.
@@ -83,7 +91,8 @@ pub struct StageTiming {
 }
 
 /// A frozen view of one run: every span, the counter totals, the
-/// recorded histograms, and the query-plan profiles.
+/// recorded histograms, the query-plan profiles, and the rule
+/// lineage.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunJournal {
     pub spans: Vec<SpanRecord>,
@@ -91,14 +100,17 @@ pub struct RunJournal {
     pub gauges: Vec<(String, f64)>,
     pub histos: Vec<HistoRecord>,
     pub plans: Vec<PlanRecord>,
+    pub lineages: Vec<LineageRecord>,
+    pub boundaries: Vec<BoundaryRecord>,
 }
 
 /// Journal schema version, bumped on incompatible record changes.
 /// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines. v3: adds
-/// `Plan` lines. Each version is purely additive, so older journals
-/// still parse (they simply carry fewer record kinds) and older
-/// readers skip the new lines through their unknown-record path.
-pub const JOURNAL_VERSION: u32 = 3;
+/// `Plan` lines. v4: adds `Lineage` and `Boundary` lines. Each
+/// version is purely additive, so older journals still parse (they
+/// simply carry fewer record kinds) and older readers skip the new
+/// lines through their unknown-record path.
+pub const JOURNAL_VERSION: u32 = 4;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -136,6 +148,18 @@ impl RunJournal {
     /// columns, `grm trace plans`).
     pub fn has_plans(&self) -> bool {
         !self.plans.is_empty()
+    }
+
+    /// The lineage record for `rule` (`rule-<i>`), when recorded.
+    pub fn lineage(&self, rule: &str) -> Option<&LineageRecord> {
+        self.lineages.iter().find(|l| l.rule == rule)
+    }
+
+    /// True when the journal carries v4 `Lineage` records at all —
+    /// the gate for lineage-aware rendering (`grm trace lineage`,
+    /// `grm explain`).
+    pub fn has_lineage(&self) -> bool {
+        !self.lineages.is_empty()
     }
 
     /// Total db-hits per pipeline stage: each plan record is charged
@@ -196,10 +220,11 @@ impl RunJournal {
             .collect()
     }
 
-    /// Serialises to JSON Lines: meta, spans, histograms, totals.
-    /// Counter/gauge totals and histogram lines are sorted by name so
-    /// journals diff deterministically whatever the worker schedule
-    /// that produced them.
+    /// Serialises to JSON Lines: meta, spans, histograms, plans,
+    /// lineage, boundaries, totals. Counter/gauge totals and every
+    /// repeated record kind are sorted by stable keys so journals
+    /// diff deterministically whatever the worker schedule that
+    /// produced them.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         let mut push = |record: &JournalRecord| {
@@ -220,6 +245,24 @@ impl RunJournal {
         for mut plan in plans {
             plan.sort_ops();
             push(&JournalRecord::Plan(plan));
+        }
+        let mut lineages = self.lineages.clone();
+        lineages.sort_by_key(|a| (a.span, a.index));
+        for mut lineage in lineages {
+            lineage.sort_origins();
+            push(&JournalRecord::Lineage(lineage));
+        }
+        let mut boundaries = self.boundaries.clone();
+        boundaries.sort_by(|a, b| {
+            (a.span, a.first_window, a.last_window, &a.node).cmp(&(
+                b.span,
+                b.first_window,
+                b.last_window,
+                &b.node,
+            ))
+        });
+        for boundary in boundaries {
+            push(&JournalRecord::Boundary(boundary));
         }
         push(&JournalRecord::Totals {
             counters: sorted_by_name(&self.totals),
@@ -273,6 +316,8 @@ impl RunJournal {
                 JournalRecord::Span(span) => journal.spans.push(span),
                 JournalRecord::Histo(histo) => journal.histos.push(histo),
                 JournalRecord::Plan(plan) => journal.plans.push(plan),
+                JournalRecord::Lineage(lineage) => journal.lineages.push(lineage),
+                JournalRecord::Boundary(boundary) => journal.boundaries.push(boundary),
                 JournalRecord::Totals { counters, gauges } => {
                     journal.totals = counters;
                     journal.gauges = gauges;
@@ -316,6 +361,13 @@ impl RunJournal {
                 ));
             }
         }
+        if self.has_lineage() {
+            out.push_str(&format!(
+                "rule lineage: {} rules attributed, {} window-boundary breakages\n",
+                self.lineages.len(),
+                self.boundaries.len()
+            ));
+        }
         let mut run_wide: Vec<&HistoRecord> =
             self.histos.iter().filter(|h| h.span.is_none()).collect();
         run_wide.sort_by(|a, b| a.name.cmp(&b.name));
@@ -341,6 +393,43 @@ impl RunJournal {
         out
     }
 
+    /// Machine-readable counterpart of [`RunJournal::summary`] for
+    /// `grm trace summary --json`: stage timings, counter/gauge
+    /// totals, run-wide histogram stats, and plan/lineage digests.
+    pub fn summary_json(&self) -> JournalSummary {
+        let mut run_wide: Vec<&HistoRecord> =
+            self.histos.iter().filter(|h| h.span.is_none()).collect();
+        run_wide.sort_by(|a, b| a.name.cmp(&b.name));
+        JournalSummary {
+            journal_version: JOURNAL_VERSION,
+            stages: self.stage_timings(),
+            counters: sorted_by_name(&self.totals),
+            gauges: sorted_by_name(&self.gauges),
+            histograms: run_wide
+                .iter()
+                .map(|h| HistogramSummary {
+                    name: h.name.clone(),
+                    count: h.histogram.count(),
+                    mean: h.histogram.mean(),
+                    p50: h.histogram.p50(),
+                    p95: h.histogram.p95(),
+                    p99: h.histogram.p99(),
+                    max: h.histogram.max(),
+                })
+                .collect(),
+            plans: PlanDigest {
+                records: self.plans.len() as u64,
+                queries: self.plans.iter().map(|p| p.queries).sum(),
+                db_hits: self.plans.iter().map(|p| p.db_hits()).sum(),
+                slow: self.plans.iter().filter(|p| p.slow).count() as u64,
+            },
+            lineage: LineageDigest {
+                rules: self.lineages.len() as u64,
+                boundaries: self.boundaries.len() as u64,
+            },
+        }
+    }
+
     fn render_span(&self, span: &SpanRecord, depth: usize, out: &mut String) {
         out.push_str(&format!(
             "{:indent$}{:<24} sim {:>9.2}s  real {:>9.2}ms\n",
@@ -354,6 +443,50 @@ impl RunJournal {
             self.render_span(child, depth + 1, out);
         }
     }
+}
+
+/// Machine-readable run digest for `grm trace summary --json` —
+/// serialise with `serde_json::to_string_pretty`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JournalSummary {
+    pub journal_version: u32,
+    pub stages: Vec<StageTiming>,
+    /// Counter totals, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Run-wide histogram stats, name-sorted.
+    pub histograms: Vec<HistogramSummary>,
+    pub plans: PlanDigest,
+    pub lineage: LineageDigest,
+}
+
+/// Key statistics of one run-wide histogram in a [`JournalSummary`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+/// Query-plan totals in a [`JournalSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlanDigest {
+    pub records: u64,
+    pub queries: u64,
+    pub db_hits: u64,
+    pub slow: u64,
+}
+
+/// Lineage totals in a [`JournalSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LineageDigest {
+    pub rules: u64,
+    pub boundaries: u64,
 }
 
 /// A name-sorted copy of `(name, value)` pairs — serialisation order

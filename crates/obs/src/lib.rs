@@ -19,14 +19,20 @@
 //!   per-operator statistics (rows, db-hits, self-time) the Cypher
 //!   engine attaches to rule spans, with an optional slow-query
 //!   policy ([`SlowQueryPolicy`]) flagging expensive rules;
+//! * **rule lineage** ([`LineageRecord`], [`BoundaryRecord`]) — per-
+//!   rule provenance (origin windows/chunks with token ranges, merge
+//!   frequency, translation attempts, §4.4 error class, correction,
+//!   final scores) and the §4.5 window-boundary breakages, attached
+//!   to spans like plan profiles;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
-//!   tree, counter totals, histograms and plan profiles (schema v3;
-//!   v1/v2 journals still parse), written by `grm mine --trace` and
-//!   the `repro` binary;
+//!   tree, counter totals, histograms, plan profiles and lineage
+//!   (schema v4; v1–v3 journals still parse), written by `grm mine
+//!   --trace` and the `repro` binary;
 //! * **trace analytics** ([`TraceDiff`], [`folded_stacks`],
-//!   [`TraceBaseline`], [`PlanReport`], [`PlanBaseline`]) —
-//!   run-over-run diffing, flamegraph export, operator cost tables
-//!   and the CI perf regression gates behind `grm trace`.
+//!   [`TraceBaseline`], [`PlanReport`], [`PlanBaseline`],
+//!   [`LineageReport`], [`LineageBaseline`]) — run-over-run diffing,
+//!   flamegraph export, operator cost tables, rule-provenance tables
+//!   and the CI perf/lineage regression gates behind `grm trace`.
 //!
 //! The entry point is [`Recorder`]. A disabled recorder costs one
 //! `Option` check per call, so instrumented code paths stay free when
@@ -56,15 +62,21 @@ mod analytics;
 mod counter;
 mod histogram;
 mod journal;
+mod lineage;
 mod plan;
 mod recorder;
 
 pub use analytics::{
-    folded_stacks, BaselineHisto, CounterDiffRow, FlameWeight, HistoDiffRow, PlanBaseline,
-    PlanBaselineOp, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
+    explain_rule, folded_stacks, BaselineHisto, CounterDiffRow, FlameWeight, HistoDiffRow,
+    LineageBaseline, LineageReport, OriginYield, PlanBaseline, PlanBaselineOp, PlanOpAgg,
+    PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};
-pub use journal::{HistoRecord, JournalRecord, RunJournal, SpanRecord, StageTiming};
+pub use journal::{
+    HistoRecord, HistogramSummary, JournalRecord, JournalSummary, LineageDigest, PlanDigest,
+    RunJournal, SpanRecord, StageTiming,
+};
+pub use lineage::{BoundaryRecord, LineageRecord, OriginRef};
 pub use plan::{PlanOpRecord, PlanRecord, SlowQueryPolicy};
 pub use recorder::{Recorder, Scope, Span};

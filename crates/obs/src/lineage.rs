@@ -1,0 +1,156 @@
+//! Rule lineage records — the journal-v4 payload attributing every
+//! surviving rule back to the encoded contexts it was mined from and
+//! to the error class its Cypher translation fell into.
+//!
+//! `grm-obs` stays dependency-free, so these are plain mirrors of the
+//! pipeline's own types: the pipeline builds one [`LineageRecord`]
+//! per selected rule (origins come from `grm-textenc` windows or
+//! `grm-vecstore` chunks, the error class from `grm-metrics`
+//! classification) and the recorder serialises it as a `Lineage`
+//! journal line. Window seams crossed by an encoded pattern are
+//! recorded separately as [`BoundaryRecord`] `Boundary` lines — the
+//! paper's §4.5 "broken patterns" quantity, one line per breakage.
+
+/// One encoded context a rule was mined from: a sliding window, a
+/// retrieved RAG chunk, or the single summary context.
+///
+/// Id assignment is stable across runs: windows are `window-<index>`
+/// in chunk order, RAG chunks are `chunk-<index>` in ingest (= store
+/// insertion) order, and the summary strategy's only context is
+/// `summary`. Token ranges are half-open offsets into the encoded
+/// incident text.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OriginRef {
+    /// Stable context id: `window-<i>`, `chunk-<i>`, or `summary`.
+    pub id: String,
+    /// First token of the context in the encoded text.
+    pub start_token: u64,
+    /// Context length in tokens.
+    pub token_len: u64,
+}
+
+/// One `Lineage` journal line: the full ancestry of one rule that
+/// survived merge and budget selection — where it was mined, how
+/// often duplicates were merged into it, how its translation was
+/// classified and corrected, and how it finally scored.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineageRecord {
+    /// Owning span id; `None` when recorded outside any span.
+    pub span: Option<u64>,
+    /// Dense rule index after merge + budget selection.
+    pub index: u64,
+    /// Scope label, `rule-<index>` — matches `PlanRecord::scope`, so
+    /// lineage joins against query-plan profiles.
+    pub rule: String,
+    /// The rule's natural-language statement.
+    pub nl: String,
+    /// Context strategy that produced the origins.
+    pub strategy: String,
+    /// Contexts the rule (or a merged duplicate) was mined from,
+    /// sorted by [`LineageRecord::sort_origins`] at record time.
+    pub origins: Vec<OriginRef>,
+    /// Times the rule was independently mined before dedup — the
+    /// merge ancestry count.
+    pub frequency: u64,
+    /// Translation attempts: 1 for the initial translation plus one
+    /// per correction round applied.
+    pub translation_attempts: u64,
+    /// Error class of the translation as generated (`correct`,
+    /// `syntax_error`, `hallucinated_property`, `wrong_direction`,
+    /// `other_semantic`). `correct` is recorded explicitly so the
+    /// per-class counters sum to `rules_translated`.
+    pub error_class: String,
+    /// Error class after automatic correction.
+    pub final_class: String,
+    /// True when a correction changed the query text.
+    pub corrected: bool,
+    /// Support (satisfying matches); `None` when the rule was too
+    /// broken to score.
+    pub support: Option<i64>,
+    /// Coverage percentage; `None` when unscored.
+    pub coverage_pct: Option<f64>,
+    /// Confidence percentage; `None` when unscored.
+    pub confidence_pct: Option<f64>,
+}
+
+impl LineageRecord {
+    /// Sorts origins by (start_token, id) and drops duplicate ids —
+    /// journal bytes must not depend on the worker schedule that
+    /// mined the duplicates.
+    pub fn sort_origins(&mut self) {
+        self.origins.sort_by(|a, b| (a.start_token, &a.id).cmp(&(b.start_token, &b.id)));
+        self.origins.dedup_by(|a, b| a.id == b.id);
+    }
+}
+
+/// One `Boundary` journal line: an encoded pattern whose lines span a
+/// window seam — the unit the paper's §4.5 counts (6 / 11 / 6 across
+/// WWC2019 / Cybersecurity / Twitter at full scale). A breakage is a
+/// maximal per-node line block not byte-contained in any single
+/// window, so it always overlaps at least two windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BoundaryRecord {
+    /// Owning span id; `None` when recorded outside any span.
+    pub span: Option<u64>,
+    /// Node id of the broken block (`n<id>`), or `-` for a block of
+    /// non-node lines.
+    pub node: String,
+    /// First window (chunk index) the block overlaps.
+    pub first_window: u64,
+    /// Last window (chunk index) the block overlaps.
+    pub last_window: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin(id: &str, start: u64) -> OriginRef {
+        OriginRef { id: id.into(), start_token: start, token_len: 100 }
+    }
+
+    #[test]
+    fn sort_origins_orders_and_dedups() {
+        let mut rec = LineageRecord {
+            origins: vec![
+                origin("window-2", 1800),
+                origin("window-0", 0),
+                origin("window-2", 1800),
+                origin("window-1", 900),
+            ],
+            ..LineageRecord::default()
+        };
+        rec.sort_origins();
+        let ids: Vec<&str> = rec.origins.iter().map(|o| o.id.as_str()).collect();
+        assert_eq!(ids, ["window-0", "window-1", "window-2"]);
+    }
+
+    #[test]
+    fn records_round_trip_through_serde() {
+        let mut rec = LineageRecord {
+            span: Some(4),
+            index: 0,
+            rule: "rule-0".into(),
+            nl: "every Person has a name".into(),
+            strategy: "rag".into(),
+            origins: vec![origin("chunk-3", 600)],
+            frequency: 2,
+            translation_attempts: 2,
+            error_class: "syntax_error".into(),
+            final_class: "correct".into(),
+            corrected: true,
+            support: Some(120),
+            coverage_pct: Some(100.0),
+            confidence_pct: Some(98.5),
+        };
+        rec.sort_origins();
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: LineageRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        let boundary =
+            BoundaryRecord { span: Some(2), node: "n14".into(), first_window: 0, last_window: 1 };
+        let json = serde_json::to_string(&boundary).unwrap();
+        let back: BoundaryRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, boundary);
+    }
+}

@@ -13,6 +13,7 @@ use std::time::Instant;
 use crate::counter::{Counter, Gauge, Histo};
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord};
+use crate::lineage::{BoundaryRecord, LineageRecord};
 use crate::plan::{PlanRecord, SlowQueryPolicy};
 
 #[derive(Debug)]
@@ -36,6 +37,8 @@ struct State {
     gauges: BTreeMap<&'static str, f64>,
     histos: BTreeMap<&'static str, Histogram>,
     plans: Vec<PlanRecord>,
+    lineages: Vec<LineageRecord>,
+    boundaries: Vec<BoundaryRecord>,
     slow_queries: SlowQueryPolicy,
 }
 
@@ -198,6 +201,23 @@ impl Recorder {
         }
     }
 
+    fn record_lineage(&self, span: Option<usize>, mut lineage: LineageRecord) {
+        if let Some(inner) = &self.inner {
+            lineage.span = span.map(|id| id as u64);
+            lineage.sort_origins();
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.lineages.push(lineage);
+        }
+    }
+
+    fn record_boundary(&self, span: Option<usize>, mut boundary: BoundaryRecord) {
+        if let Some(inner) = &self.inner {
+            boundary.span = span.map(|id| id as u64);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.boundaries.push(boundary);
+        }
+    }
+
     /// Freezes the current state into a serialisable journal. Spans
     /// still open are reported with their elapsed-so-far duration.
     pub fn snapshot(&self) -> RunJournal {
@@ -247,6 +267,8 @@ impl Recorder {
             gauges: state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             histos,
             plans: state.plans.clone(),
+            lineages: state.lineages.clone(),
+            boundaries: state.boundaries.clone(),
         }
     }
 }
@@ -304,6 +326,19 @@ impl Scope {
     /// `cypher_slow_queries` when it breaches).
     pub fn plan(&self, plan: PlanRecord) {
         self.rec.record_plan(self.parent, plan);
+    }
+
+    /// Stores a rule-lineage record attached to this scope's span.
+    /// The recorder stamps the span id and sorts the origins so the
+    /// journal bytes stay schedule-independent.
+    pub fn lineage(&self, lineage: LineageRecord) {
+        self.rec.record_lineage(self.parent, lineage);
+    }
+
+    /// Stores a window-boundary breakage attached to this scope's
+    /// span.
+    pub fn boundary(&self, boundary: BoundaryRecord) {
+        self.rec.record_boundary(self.parent, boundary);
     }
 }
 

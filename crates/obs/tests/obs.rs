@@ -5,7 +5,8 @@
 use std::thread;
 
 use grm_obs::{
-    Counter, Gauge, Histo, PlanOpRecord, PlanRecord, Recorder, RunJournal, Scope, SlowQueryPolicy,
+    BoundaryRecord, Counter, Gauge, Histo, LineageRecord, OriginRef, PlanOpRecord, PlanRecord,
+    Recorder, RunJournal, Scope, SlowQueryPolicy,
 };
 
 #[test]
@@ -190,7 +191,7 @@ fn journal_v2_jsonl_includes_histo_lines() {
     // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
     assert_eq!(text.lines().count(), 2 + 1 + 4);
     assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
-    assert!(text.lines().next().unwrap().contains(r#""version":3"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":4"#));
     let parsed = RunJournal::from_jsonl(&text).unwrap();
     assert_eq!(parsed, journal);
 }
@@ -274,7 +275,7 @@ fn journal_with_plans() -> RunJournal {
 fn journal_v3_plan_lines_round_trip_deterministically() {
     let journal = journal_with_plans();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":3"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":4"#));
     let plan_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Plan""#)).collect();
     assert_eq!(plan_lines.len(), 2);
     // Plan lines come scope-sorted, operators path-sorted within.
@@ -304,7 +305,7 @@ fn v2_readers_skip_v3_plan_records() {
     // knows.
     let text = journal_with_plans()
         .to_jsonl()
-        .replace(r#""version":3"#, r#""version":2"#)
+        .replace(r#""version":4"#, r#""version":2"#)
         .replace(r#"{"Plan""#, r#"{"PlanV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v2 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -313,11 +314,139 @@ fn v2_readers_skip_v3_plan_records() {
     assert_eq!(lossy, strict);
 
     // And a genuine v2 journal (no Plan lines at all) still parses
-    // strict under the v3 reader.
+    // strict under the current reader.
     let rec = Recorder::new();
     rec.root_scope().span("mine").finish();
-    let v2 = rec.snapshot().to_jsonl().replace(r#""version":3"#, r#""version":2"#);
+    let v2 = rec.snapshot().to_jsonl().replace(r#""version":4"#, r#""version":2"#);
     assert!(RunJournal::from_jsonl(&v2).is_ok());
+}
+
+/// A recorded run with lineage for two rules (one corrected) and one
+/// window-boundary breakage, origins deliberately recorded unsorted.
+fn journal_with_lineage() -> RunJournal {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let encode = root.scope().span("encode");
+    encode.scope().boundary(BoundaryRecord {
+        span: None,
+        node: "n7".into(),
+        first_window: 1,
+        last_window: 2,
+    });
+    encode.finish();
+    let eval = root.scope().span("evaluate");
+    let origin =
+        |i: u64| OriginRef { id: format!("window-{i}"), start_token: i * 800, token_len: 1000 };
+    // Reverse index order and unsorted origins: the serialised form
+    // must not depend on either.
+    eval.scope().lineage(LineageRecord {
+        index: 1,
+        rule: "rule-1".into(),
+        nl: "every Squad has a coach".into(),
+        strategy: "sliding-window".into(),
+        origins: vec![origin(2)],
+        frequency: 1,
+        translation_attempts: 2,
+        error_class: "syntax_error".into(),
+        final_class: "correct".into(),
+        corrected: true,
+        support: None,
+        coverage_pct: None,
+        confidence_pct: None,
+        ..LineageRecord::default()
+    });
+    eval.scope().lineage(LineageRecord {
+        index: 0,
+        rule: "rule-0".into(),
+        nl: "every Person has a name".into(),
+        strategy: "sliding-window".into(),
+        origins: vec![origin(1), origin(0), origin(1)],
+        frequency: 3,
+        translation_attempts: 1,
+        error_class: "correct".into(),
+        final_class: "correct".into(),
+        corrected: false,
+        support: Some(42),
+        coverage_pct: Some(100.0),
+        confidence_pct: Some(97.5),
+        ..LineageRecord::default()
+    });
+    eval.finish();
+    root.finish();
+    rec.snapshot()
+}
+
+#[test]
+fn journal_v4_lineage_lines_round_trip_deterministically() {
+    let journal = journal_with_lineage();
+    let text = journal.to_jsonl();
+    assert!(text.lines().next().unwrap().contains(r#""version":4"#));
+    let lineage_lines: Vec<&str> =
+        text.lines().filter(|l| l.starts_with(r#"{"Lineage""#)).collect();
+    assert_eq!(lineage_lines.len(), 2);
+    // Lineage lines come index-sorted, origins (start, id)-sorted and
+    // deduped within.
+    assert!(lineage_lines[0].contains("rule-0"));
+    assert!(lineage_lines[1].contains("rule-1"));
+    let w0 = lineage_lines[0].find("window-0").unwrap();
+    let w1 = lineage_lines[0].find("window-1").unwrap();
+    assert!(w0 < w1, "origins must serialise start-sorted");
+    assert_eq!(lineage_lines[0].matches("window-1").count(), 1, "duplicate origins dedup");
+    assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Boundary""#)).count(), 1);
+    // Lineage sits between the plan/histo block and the totals line.
+    let boundary_pos = text.find(r#"{"Boundary""#).unwrap();
+    let totals_pos = text.find(r#"{"Totals""#).unwrap();
+    assert!(boundary_pos < totals_pos);
+
+    // Round trip: parse → re-serialise is byte-identical.
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed.lineages.len(), 2);
+    assert!(parsed.has_lineage());
+    assert_eq!(parsed.lineage("rule-0").unwrap().frequency, 3);
+    assert_eq!(parsed.boundaries.len(), 1);
+    assert_eq!(parsed.to_jsonl(), text);
+    // The summary surfaces the lineage digest.
+    assert!(parsed.summary().contains("2 rules attributed, 1 window-boundary breakages"));
+}
+
+#[test]
+fn v3_readers_skip_v4_lineage_records() {
+    // A v3 reader has no `Lineage`/`Boundary` variants: its serde
+    // parse fails on those lines and falls through to the unknown-
+    // record-key skip. Emulate that reader by downgrading the Meta
+    // version and renaming both keys to ones no reader knows.
+    let text = journal_with_lineage()
+        .to_jsonl()
+        .replace(r#""version":4"#, r#""version":3"#)
+        .replace(r#"{"Lineage""#, r#"{"LineageV9""#)
+        .replace(r#"{"Boundary""#, r#"{"BoundaryV9""#);
+    let strict = RunJournal::from_jsonl(&text).expect("v3 strict reader must not error");
+    assert_eq!(strict.spans.len(), 3, "spans survive the skip");
+    assert!(strict.lineages.is_empty(), "lineage-shaped lines are skipped, not parsed");
+    assert!(strict.boundaries.is_empty());
+    let lossy = RunJournal::from_jsonl_lossy(&text).expect("v3 lossy reader must not error");
+    assert_eq!(lossy, strict);
+
+    // And a genuine v3 journal (no Lineage lines at all) still parses
+    // strict under the v4 reader.
+    let v3 = journal_with_plans().to_jsonl().replace(r#""version":4"#, r#""version":3"#);
+    assert!(RunJournal::from_jsonl(&v3).is_ok());
+}
+
+#[test]
+fn lossy_reader_tolerates_truncated_lineage_tail() {
+    let text = journal_with_lineage().to_jsonl();
+    // Chop the journal mid-way through its last Lineage line, as a
+    // crashed writer would — everything after (Boundary, Totals) is
+    // gone too.
+    let last_lineage = text.rfind(r#"{"Lineage""#).unwrap();
+    let line_end = text[last_lineage..].find('\n').unwrap() + last_lineage;
+    let truncated = &text[..line_end - 10];
+    assert!(RunJournal::from_jsonl(truncated).is_err());
+    let lossy = RunJournal::from_jsonl_lossy(truncated).unwrap();
+    assert_eq!(lossy.spans.len(), 3);
+    assert_eq!(lossy.lineages.len(), 1, "only the intact Lineage line survives");
+    assert_eq!(lossy.lineages[0].rule, "rule-0");
 }
 
 #[test]
@@ -378,6 +507,8 @@ fn disabled_recorder_is_a_no_op() {
     span.scope().gauge(Gauge::RagCoverage, 1.0);
     span.scope().add_sim_seconds(5.0);
     span.scope().plan(PlanRecord::new("rule-0"));
+    span.scope().lineage(LineageRecord::default());
+    span.scope().boundary(BoundaryRecord::default());
     span.finish();
     assert_eq!(rec.total(Counter::RulesMined), 0);
     let journal = rec.snapshot();

@@ -3,7 +3,7 @@
 //! span and encoder counters on the given [`grm_obs::Scope`]. The
 //! untraced functions stay the zero-overhead default.
 
-use grm_obs::{Counter, Histo, Scope};
+use grm_obs::{BoundaryRecord, Counter, Histo, Scope};
 use grm_pgraph::PropertyGraph;
 
 use crate::incident::{encode, EncoderKind};
@@ -37,8 +37,9 @@ pub fn encode_summary_traced(g: &PropertyGraph, config: SummaryConfig, scope: &S
 }
 
 /// [`crate::chunk`] under a `chunk` span, counting windows and the
-/// broken patterns of §4.5 and recording the per-window token-count
-/// distribution.
+/// broken patterns of §4.5, recording the per-window token-count
+/// distribution, and attaching one journal `Boundary` record per
+/// broken pattern (the seam it straddles and the node it belongs to).
 pub fn chunk_traced(text: &str, config: WindowConfig, scope: &Scope) -> WindowSet {
     let span = scope.span("chunk");
     let ws = chunk(text, config);
@@ -47,6 +48,14 @@ pub fn chunk_traced(text: &str, config: WindowConfig, scope: &Scope) -> WindowSe
     inner.add(Counter::BrokenPatterns, ws.broken_patterns as u64);
     for w in &ws.windows {
         inner.observe(Histo::WindowTokens, w.token_len as f64);
+    }
+    for b in &ws.breakages {
+        inner.boundary(BoundaryRecord {
+            span: None,
+            node: b.node.clone(),
+            first_window: b.first_window as u64,
+            last_window: b.last_window as u64,
+        });
     }
     span.finish();
     ws
@@ -86,6 +95,27 @@ mod tests {
         assert_eq!(journal.span("encode").unwrap().counter("edges_encoded"), 49);
         assert!(journal.total("tokens_emitted") > 0);
         assert_eq!(journal.span("chunk").unwrap().counter("windows_produced"), ws.len() as u64);
+    }
+
+    #[test]
+    fn chunk_traced_records_boundary_breakages() {
+        let g = graph();
+        let rec = Recorder::new();
+        let scope = rec.root_scope();
+        let text = encode_traced(&g, EncoderKind::Incident, &scope);
+        // Zero overlap on small windows guarantees some breakage.
+        let ws = chunk_traced(&text, WindowConfig::new(60, 0), &scope);
+        assert!(ws.broken_patterns > 0);
+        let journal = rec.snapshot();
+        assert_eq!(journal.boundaries.len(), ws.broken_patterns);
+        assert_eq!(journal.total("broken_patterns"), ws.broken_patterns as u64);
+        let chunk_id = journal.span("chunk").unwrap().id;
+        for (b, w) in journal.boundaries.iter().zip(&ws.breakages) {
+            assert_eq!(b.span, Some(chunk_id));
+            assert_eq!(b.node, w.node);
+            assert_eq!(b.first_window, w.first_window as u64);
+            assert_eq!(b.last_window, w.last_window as u64);
+        }
     }
 
     #[test]

@@ -59,6 +59,22 @@ pub struct Window {
     pub token_len: usize,
 }
 
+/// One pattern (per-node line block) that no window contains entirely
+/// — it straddles the seam between `first_window` and `last_window`.
+/// The journal serialises these as v4 `Boundary` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokenPattern {
+    /// Node id of the broken block (`n<id>`), or `-` for a block of
+    /// non-node lines.
+    pub node: String,
+    /// First window whose byte range overlaps the block.
+    pub first_window: usize,
+    /// Last window whose byte range overlaps the block. Always
+    /// greater than `first_window`: windows cover the whole text, so
+    /// a block no single window contains must span at least two.
+    pub last_window: usize,
+}
+
 /// The result of chunking a text.
 #[derive(Debug, Clone)]
 pub struct WindowSet {
@@ -67,8 +83,10 @@ pub struct WindowSet {
     /// Total token count of the source text.
     pub total_tokens: usize,
     /// Number of source lines not fully contained in any window —
-    /// the §4.5 "patterns broken" count.
+    /// the §4.5 "patterns broken" count. Always `breakages.len()`.
     pub broken_patterns: usize,
+    /// The broken patterns themselves, in text order.
+    pub breakages: Vec<BrokenPattern>,
 }
 
 impl WindowSet {
@@ -113,11 +131,11 @@ pub fn chunk(text: &str, config: WindowConfig) -> WindowSet {
         start += stride;
     }
 
-    let broken_patterns = count_broken_patterns(text, &tokens, &ranges);
-    WindowSet { windows, config, total_tokens: total, broken_patterns }
+    let breakages = broken_pattern_details(text, &tokens, &ranges);
+    WindowSet { windows, config, total_tokens: total, broken_patterns: breakages.len(), breakages }
 }
 
-/// Counts *patterns* that no window contains entirely.
+/// Finds the *patterns* that no window contains entirely.
 ///
 /// A pattern is one graph element's full incident description: in the
 /// incident encoding that is the maximal run of consecutive lines
@@ -125,10 +143,16 @@ pub fn chunk(text: &str, config: WindowConfig) -> WindowSet {
 /// lines — all begin `Node n<id>`). A hub node whose block exceeds the
 /// window overlap can straddle a boundary without any single window
 /// seeing it whole; those are the paper's broken patterns (§4.5
-/// reports 6 / 11 / 6 of them across the three datasets).
-fn count_broken_patterns(text: &str, tokens: &[&str], ranges: &[(usize, usize)]) -> usize {
+/// reports 6 / 11 / 6 of them across the three datasets). Each is
+/// reported with the node id and the first/last window overlapping
+/// its bytes.
+fn broken_pattern_details(
+    text: &str,
+    tokens: &[&str],
+    ranges: &[(usize, usize)],
+) -> Vec<BrokenPattern> {
     if ranges.len() <= 1 {
-        return 0;
+        return Vec::new();
     }
     // Map token index -> byte offset of token start.
     let mut offsets = Vec::with_capacity(tokens.len() + 1);
@@ -144,15 +168,20 @@ fn count_broken_patterns(text: &str, tokens: &[&str], ranges: &[(usize, usize)])
         ranges.iter().map(|(s, e)| (offsets[*s], offsets[*e])).collect();
 
     // Group consecutive lines into per-node blocks.
-    let mut broken = 0usize;
+    let mut broken = Vec::new();
     let mut block_start = 0usize;
     let mut block_id: Option<&str> = None;
     let mut line_start = 0usize;
-    let flush = |start: usize, end: usize, broken: &mut usize| {
+    let flush = |start: usize, end: usize, id: Option<&str>, broken: &mut Vec<BrokenPattern>| {
         if end > start {
             let contained = byte_ranges.iter().any(|(ws, we)| *ws <= start && end <= *we);
             if !contained {
-                *broken += 1;
+                let overlaps = |(ws, we): &(usize, usize)| *ws < end && start < *we;
+                broken.push(BrokenPattern {
+                    node: id.map(|n| format!("n{n}")).unwrap_or_else(|| "-".to_owned()),
+                    first_window: byte_ranges.iter().position(overlaps).unwrap_or(0),
+                    last_window: byte_ranges.iter().rposition(overlaps).unwrap_or(0),
+                });
             }
         }
     };
@@ -160,13 +189,13 @@ fn count_broken_patterns(text: &str, tokens: &[&str], ranges: &[(usize, usize)])
         let line_end = line_start + line.len();
         let id = node_id_of(line);
         if id != block_id {
-            flush(block_start, line_start, &mut broken);
+            flush(block_start, line_start, block_id, &mut broken);
             block_start = line_start;
             block_id = id;
         }
         line_start = line_end;
     }
-    flush(block_start, line_start, &mut broken);
+    flush(block_start, line_start, block_id, &mut broken);
     broken
 }
 
@@ -242,6 +271,28 @@ mod tests {
         let per_line = token_count(&text) / 10;
         let ws = chunk(&text, WindowConfig::new(per_line / 2, 2));
         assert!(ws.broken_patterns > 0);
+    }
+
+    #[test]
+    fn breakages_carry_node_ids_and_window_seams() {
+        let text = text_of_lines(400);
+        let ws = chunk(&text, WindowConfig::new(200, 0));
+        assert_eq!(ws.breakages.len(), ws.broken_patterns);
+        assert!(!ws.breakages.is_empty(), "zero overlap must break some block");
+        for b in &ws.breakages {
+            // Every broken block names its node and spans >= 2 windows.
+            assert!(b.node.starts_with('n'), "{b:?}");
+            assert!(b.first_window < b.last_window, "{b:?}");
+            assert!(b.last_window < ws.len(), "{b:?}");
+        }
+        // Breakages come in text order: seams are non-decreasing.
+        for pair in ws.breakages.windows(2) {
+            assert!(pair[0].first_window <= pair[1].first_window);
+        }
+        // An intact chunking reports no breakage details either.
+        let intact = chunk(&text, WindowConfig::new(100_000, 0));
+        assert!(intact.breakages.is_empty());
+        assert_eq!(intact.broken_patterns, 0);
     }
 
     #[test]

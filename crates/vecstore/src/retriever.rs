@@ -40,6 +40,10 @@ pub struct Retriever {
     store: VectorStore,
     config: RagConfig,
     total_elements: usize,
+    /// `(start_token, token_len)` of each ingested chunk, indexed by
+    /// store id (= ingest order) — the stable chunk identity lineage
+    /// records refer to as `chunk-<id>`.
+    chunk_spans: Vec<(usize, usize)>,
 }
 
 /// The outcome of one retrieval.
@@ -47,6 +51,11 @@ pub struct Retriever {
 pub struct Retrieval {
     /// Retrieved chunk texts, best first.
     pub chunks: Vec<String>,
+    /// Stable chunk ids (ingest order) aligned with `chunks`.
+    pub chunk_ids: Vec<usize>,
+    /// `(start_token, token_len)` of each chunk in the encoded text,
+    /// aligned with `chunks`.
+    pub chunk_spans: Vec<(usize, usize)>,
     /// Similarity scores aligned with `chunks`.
     pub scores: Vec<f32>,
     /// Graph elements visible in the retrieved context.
@@ -74,15 +83,24 @@ impl Retrieval {
 }
 
 impl Retriever {
-    /// Ingests encoded graph text: chunk → embed → store.
+    /// Ingests encoded graph text: chunk → embed → store. Chunk ids
+    /// are store insertion order, which equals chunk order in the
+    /// encoded text — `chunk-<id>` is a stable origin id.
     pub fn ingest(encoded: &str, config: RagConfig) -> Self {
         let windows = chunk(encoded, WindowConfig::new(config.chunk_tokens, 0));
         let mut store = VectorStore::new();
+        let mut chunk_spans = Vec::with_capacity(windows.len());
         for w in &windows.windows {
             store.insert(w.text.clone());
+            chunk_spans.push((w.start_token, w.token_len));
         }
         let full = GraphFragment::parse(encoded);
-        Retriever { store, config, total_elements: full.nodes.len() + full.edges.len() }
+        Retriever {
+            store,
+            config,
+            total_elements: full.nodes.len() + full.edges.len(),
+            chunk_spans,
+        }
     }
 
     /// Number of ingested chunks.
@@ -94,10 +112,17 @@ impl Retriever {
     pub fn retrieve(&self, query: &str) -> Retrieval {
         let hits = self.store.top_k(query, self.config.top_k);
         let chunks: Vec<String> = hits.iter().map(|h| h.entry.text.clone()).collect();
+        let chunk_ids: Vec<usize> = hits.iter().map(|h| h.entry.id).collect();
+        let chunk_spans: Vec<(usize, usize)> = chunk_ids
+            .iter()
+            .map(|id| self.chunk_spans.get(*id).copied().unwrap_or((0, 0)))
+            .collect();
         let scores: Vec<f32> = hits.iter().map(|h| h.score).collect();
         let visible = GraphFragment::parse(&chunks.join("\n"));
         Retrieval {
             chunks,
+            chunk_ids,
+            chunk_spans,
             scores,
             visible_elements: visible.nodes.len() + visible.edges.len(),
             total_elements: self.total_elements,
@@ -171,6 +196,25 @@ mod tests {
         let ret = r.retrieve("consistency rules about User followers");
         assert_eq!(ret.chunks.len(), 3);
         assert!(ret.scores[0] >= ret.scores[2]);
+    }
+
+    #[test]
+    fn retrieval_carries_stable_chunk_ids_and_spans() {
+        let text = encode_incident(&bigish_graph());
+        let cfg = RagConfig { chunk_tokens: 256, top_k: 3 };
+        let r = Retriever::ingest(&text, cfg);
+        let ret = r.retrieve("consistency rules about User followers");
+        assert_eq!(ret.chunk_ids.len(), ret.chunks.len());
+        assert_eq!(ret.chunk_spans.len(), ret.chunks.len());
+        for (id, (start, len)) in ret.chunk_ids.iter().zip(&ret.chunk_spans) {
+            assert!(*id < r.chunk_count());
+            // Ingest chunks with zero overlap: id * chunk_tokens is
+            // the chunk's start token, and every chunk is non-empty.
+            assert_eq!(*start, id * cfg.chunk_tokens);
+            assert!(*len > 0 && *len <= cfg.chunk_tokens);
+        }
+        // The same query retrieves the same ids, deterministically.
+        assert_eq!(r.retrieve("consistency rules about User followers").chunk_ids, ret.chunk_ids);
     }
 
     #[test]

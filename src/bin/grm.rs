@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "diff" => cmd_diff(rest),
         "trace" => cmd_trace(rest),
+        "explain" => cmd_explain(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -75,11 +76,13 @@ const USAGE: &str = "usage:
   grm audit    --graph FILE [--limit N]
   grm check    --graph FILE --rules FILE [--limit N] [--trace FILE.jsonl]
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
-  grm trace    summary FILE.jsonl
+  grm trace    summary FILE.jsonl [--json]
   grm trace    diff A.jsonl B.jsonl [--tolerance FRACTION]   # exit 1 above tolerance
   grm trace    flame FILE.jsonl [--real|--sim]               # folded flamegraph stacks
   grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]
-  grm trace    plans FILE.jsonl [--top N] [--check PLANS.json [--tolerance FRACTION]]";
+  grm trace    plans FILE.jsonl [--top N] [--check PLANS.json [--tolerance FRACTION]]
+  grm trace    lineage FILE.jsonl [--json] [--check LINEAGE.json]
+  grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Flags {
@@ -480,11 +483,14 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 /// folded flamegraph stacks, and a baseline regression check.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::obs::{
-        folded_stacks, FlameWeight, PlanBaseline, PlanReport, RunJournal, TraceBaseline, TraceDiff,
+        folded_stacks, FlameWeight, LineageBaseline, LineageReport, PlanBaseline, PlanReport,
+        RunJournal, TraceBaseline, TraceDiff,
     };
 
     let Some((verb, rest)) = args.split_first() else {
-        return Err(format!("trace needs a verb (summary|diff|flame|check|plans)\n{USAGE}"));
+        return Err(format!(
+            "trace needs a verb (summary|diff|flame|check|plans|lineage)\n{USAGE}"
+        ));
     };
     let load = |path: &str| -> Result<RunJournal, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -492,10 +498,52 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     };
     match verb.as_str() {
         "summary" => {
-            let flags = parse_flags(rest, &[])?;
+            let flags = parse_flags(rest, &["json"])?;
             let path = flags.positional.first().ok_or("trace summary needs a journal FILE")?;
-            print!("{}", load(path)?.summary());
+            let journal = load(path)?;
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&journal.summary_json())
+                    .map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", journal.summary());
+            }
             Ok(())
+        }
+        "lineage" => {
+            let flags = parse_flags(rest, &["json"])?;
+            let path = flags.positional.first().ok_or("trace lineage needs a journal FILE")?;
+            let journal = load(path)?;
+            let report = LineageReport::from_journal(&journal);
+            if report.is_empty() {
+                return Err(format!(
+                    "{path} has no lineage records — produce it with \
+                     `grm mine --trace` (journal schema v4+)"
+                ));
+            }
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", report.render());
+            }
+            let Some(baseline_path) = flags.named.get("check") else {
+                return Ok(());
+            };
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline: LineageBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let violations = baseline.check(&journal);
+            if violations.is_empty() {
+                println!("lineage check passed: {path} matches {baseline_path} exactly");
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} lineage regression(s) against {baseline_path}", violations.len()))
+            }
         }
         "diff" => {
             let flags = parse_flags(rest, &[])?;
@@ -597,5 +645,34 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             }
         }
         other => Err(format!("unknown trace verb `{other}`\n{USAGE}")),
+    }
+}
+
+/// `grm explain rule-<i> FILE.jsonl`: the full ancestry chain of one
+/// mined rule — origin windows/chunks, merge frequency, translation
+/// attempts, error class and correction, scores, and the query-plan
+/// profile when the journal carries one.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::obs::{explain_rule, RunJournal};
+
+    let flags = parse_flags(args, &[])?;
+    let [rule, path] = flags.positional.as_slice() else {
+        return Err("explain needs a rule id and a journal: grm explain rule-0 FILE.jsonl".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let journal =
+        RunJournal::from_jsonl_lossy(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    match explain_rule(&journal, rule) {
+        Some(rendered) => {
+            print!("{rendered}");
+            Ok(())
+        }
+        None if !journal.has_lineage() => Err(format!(
+            "{path} has no lineage records — produce it with `grm mine --trace` (journal schema v4+)"
+        )),
+        None => {
+            let known: Vec<&str> = journal.lineages.iter().map(|l| l.rule.as_str()).collect();
+            Err(format!("no rule `{rule}` in {path} (rules: {})", known.join(", ")))
+        }
     }
 }

@@ -34,15 +34,25 @@
 //!   rule-lineage digest (rule count, error classes, per-origin
 //!   yields, boundary breakages) into a `LineageBaseline` snapshot for
 //!   `grm trace lineage --check` (this is how `BENCH_lineage.json` is
-//!   regenerated — the check is exact, the pipeline is deterministic).
+//!   regenerated — the check is exact, the pipeline is deterministic);
+//! * `--chaos FILE.jsonl` — one chaos run (fixed fault plan, see
+//!   DESIGN.md §10) with its journal written as JSONL;
+//! * `--chaos-baseline FILE.json` — with `--chaos`, freeze the run's
+//!   fault/retry/degradation digest into a `ChaosBaseline` snapshot
+//!   for `grm trace faults --check` (this is how `BENCH_chaos.json`
+//!   is regenerated — the fault plan is deterministic, so the check
+//!   is exact).
 
 use std::collections::HashMap;
 
-use grm_core::{ContextStrategy, MiningPipeline, MiningReport, PipelineConfig, RAG_QUERY};
+use grm_core::{
+    ContextStrategy, MiningPipeline, MiningReport, PipelineConfig, Resilience, RunStatus, RAG_QUERY,
+};
 use grm_datasets::{generate, DatasetId, GenConfig};
 use grm_llm::{MiningPrompt, ModelKind, PromptStyle};
 use grm_metrics::QueryClass;
 use grm_pgraph::GraphStats;
+use grm_resil::ChaosConfig;
 use grm_rules::RuleComplexity;
 use grm_textenc::{chunk, encode_incident, WindowConfig};
 use grm_vecstore::{RagConfig, Retriever};
@@ -60,6 +70,8 @@ struct Args {
     trace_baseline: Option<String>,
     plans_baseline: Option<String>,
     lineage_baseline: Option<String>,
+    chaos: Option<String>,
+    chaos_baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -76,6 +88,8 @@ fn parse_args() -> Args {
         trace_baseline: None,
         plans_baseline: None,
         lineage_baseline: None,
+        chaos: None,
+        chaos_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -125,6 +139,14 @@ fn parse_args() -> Args {
                 any = true;
                 args.lineage_baseline =
                     Some(it.next().expect("--lineage-baseline needs a file path"));
+            }
+            "--chaos" => {
+                any = true;
+                args.chaos = Some(it.next().expect("--chaos needs a file path"));
+            }
+            "--chaos-baseline" => {
+                any = true;
+                args.chaos_baseline = Some(it.next().expect("--chaos-baseline needs a file path"));
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -239,6 +261,70 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if let Some(path) = &args.chaos {
+        chaos_run(&args, path);
+    } else if args.chaos_baseline.is_some() {
+        eprintln!("--chaos-baseline requires --chaos FILE.jsonl");
+        std::process::exit(2);
+    }
+}
+
+/// `--chaos`: one pipeline run under the canonical fault plan
+/// (WWC2019, SWA zero-shot — the configuration with the most retryable
+/// units), journal written as JSONL. The recorder runs in
+/// deterministic mode so two runs with the same seeds are
+/// byte-identical — CI compares them with `cmp`.
+fn chaos_run(args: &Args, path: &str) {
+    use grm_obs::Recorder;
+
+    let data = generate(
+        DatasetId::Wwc2019,
+        &GenConfig { seed: args.seed, scale: args.scale, clean: false },
+    );
+    let mut cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::default_sliding_window(),
+        PromptStyle::ZeroShot,
+    );
+    cfg.seed = args.seed;
+    let chaos = ChaosConfig { fault_rate: 0.2, ..ChaosConfig::default() };
+    let resil = Resilience::chaos(chaos);
+    let recorder = Recorder::deterministic();
+    let status = MiningPipeline::new(cfg).run_resilient(&data.graph, 1, &recorder, &resil);
+    let RunStatus::Complete(report) = status else {
+        eprintln!("chaos run was killed without --kill-after — impossible");
+        std::process::exit(1);
+    };
+    let journal = recorder.snapshot();
+    if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    }
+    if let Some(baseline_path) = &args.chaos_baseline {
+        let baseline = grm_obs::ChaosBaseline::from_journal(&journal);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing chaos baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(baseline_path, json) {
+            eprintln!("writing {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(chaos-baseline snapshot written to {baseline_path})");
+    }
+    println!("== chaos: WWC2019 / llama3 / SWA / zero-shot, fault-rate 0.2 ==");
+    print!("{}", grm_obs::FaultReport::from_journal(&journal).render());
+    let resilience = report.resilience.expect("chaos runs always carry a resilience summary");
+    println!(
+        "({} rules survived; {} fault(s), {} retried, {} abandoned; journal written to {path})",
+        report.rule_count(),
+        resilience.faults_injected,
+        resilience.llm_calls_retried,
+        resilience.llm_calls_abandoned
+    );
 }
 
 /// `--trace`: one instrumented pipeline run (WWC2019, RAG zero-shot —

@@ -26,10 +26,14 @@ pub mod config;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod session;
 
 pub use config::{ContextStrategy, PipelineConfig};
-pub use parallel::{mine_parallel, mine_parallel_traced, ParallelMining};
+pub use parallel::{
+    mine_parallel, mine_parallel_resilient, mine_parallel_traced, ParallelMining, ResilientMining,
+};
 pub use pipeline::{MiningPipeline, RAG_QUERY};
-pub use report::{MiningReport, RuleOutcome};
+pub use report::{MiningReport, ResilienceSummary, RuleOutcome};
+pub use resilience::{Resilience, ResumeState, RunStatus};
 pub use session::{Feedback, InteractiveSession, Proposal};

@@ -12,8 +12,13 @@
 //! run seed and its worker index, and mined rules are concatenated in
 //! worker order before the merge step.
 
-use grm_llm::{GeneratedRule, MiningPrompt, PromptStyle, SimLlm};
-use grm_obs::Scope;
+use std::collections::HashMap;
+
+use grm_llm::{
+    CallSkip, GeneratedRule, MiningPrompt, MiningResponse, PromptStyle, ResilientLlm, SimLlm,
+};
+use grm_obs::{CheckpointRecord, Counter, DegradedRecord, Scope};
+use grm_resil::{FaultPlan, StageSchedule};
 
 use crate::config::PipelineConfig;
 
@@ -111,6 +116,119 @@ pub fn mine_parallel_traced(
     let busy_workers = results.iter().filter(|(r, _)| !r.is_empty()).count();
     let rules = results.into_iter().flat_map(|(r, _)| r).collect();
     ParallelMining { rules, wall_seconds, compute_seconds, busy_workers }
+}
+
+/// Outcome of chaos-mode parallel mining.
+#[derive(Debug, Clone)]
+pub struct ResilientMining {
+    /// Mined rules, reassembled in context order — so the merge step
+    /// sees the same sequence regardless of the worker count, and a
+    /// killed run can be resumed with a different fleet size.
+    pub rules: Vec<GeneratedRule>,
+    /// Simulated wall-clock: the slowest worker's total, including
+    /// fault costs and backoff.
+    pub wall_seconds: f64,
+    /// Simulated total compute across all workers.
+    pub compute_seconds: f64,
+    /// Contexts that produced nothing (abandoned or breaker-open).
+    pub degraded_contexts: usize,
+}
+
+/// [`mine_parallel_traced`] under a fault plan: each worker runs its
+/// units through [`ResilientLlm`], emitting fault/retry/checkpoint
+/// records onto its own `worker-<id>` span. `checkpoints` holds a
+/// resumed run's completed mine responses by context index; replayed
+/// units skip the model but re-emit identical records.
+///
+/// # Panics
+/// Panics when `workers == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_parallel_resilient(
+    contexts: &[String],
+    cfg: &PipelineConfig,
+    style: PromptStyle,
+    target_rules: Option<usize>,
+    workers: usize,
+    plan: &FaultPlan,
+    schedule: &StageSchedule,
+    checkpoints: &HashMap<u64, MiningResponse>,
+    obs_scope: &Scope,
+) -> ResilientMining {
+    assert!(workers > 0, "at least one worker is required");
+    let workers = workers.min(contexts.len().max(1));
+
+    let mut assignments: Vec<Vec<(usize, &String)>> = vec![Vec::new(); workers];
+    for (i, context) in contexts.iter().enumerate() {
+        assignments[i % workers].push((i, context));
+    }
+
+    let llm = ResilientLlm::new(cfg.model, cfg.seed);
+    let results: Vec<(Vec<GeneratedRule>, f64, usize)> = std::thread::scope(|ts| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .enumerate()
+            .map(|(worker_id, batch)| {
+                let span = obs_scope.span(&format!("worker-{worker_id}"));
+                ts.spawn(move || {
+                    let worker_scope = span.scope();
+                    let mut rules = Vec::new();
+                    let mut seconds = 0.0;
+                    let mut degraded = 0usize;
+                    for (ci, context) in batch {
+                        let unit = &schedule.units[*ci];
+                        let mut prompt = MiningPrompt::new(style, (*context).clone());
+                        prompt.target_rules = target_rules;
+                        let replay = checkpoints.get(&(*ci as u64)).cloned();
+                        match llm.mine(plan, unit, &prompt, replay, &worker_scope) {
+                            Ok(call) => {
+                                seconds += call.response.seconds + call.fault_seconds;
+                                worker_scope.checkpoint(CheckpointRecord {
+                                    span: None,
+                                    stage: unit.stage.name().to_owned(),
+                                    unit: *ci as u64,
+                                    payload: serde_json::to_string(&call.response)
+                                        .unwrap_or_default(),
+                                });
+                                rules.extend(call.response.rules.into_iter().map(|mut r| {
+                                    r.origin = *ci;
+                                    r
+                                }));
+                            }
+                            Err(skip) => {
+                                if let CallSkip::Abandoned { fault_seconds, .. } = skip {
+                                    seconds += fault_seconds;
+                                }
+                                degraded += 1;
+                                worker_scope.add(Counter::WindowsDegraded, 1);
+                                worker_scope.degraded(DegradedRecord {
+                                    span: None,
+                                    stage: unit.stage.name().to_owned(),
+                                    unit: format!("context-{ci}"),
+                                    reason: match skip {
+                                        CallSkip::BreakerOpen => "breaker_open",
+                                        CallSkip::Abandoned { .. } => "retries_exhausted",
+                                    }
+                                    .to_owned(),
+                                });
+                            }
+                        }
+                    }
+                    span.finish();
+                    (rules, seconds, degraded)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+
+    let wall_seconds = results.iter().map(|(_, s, _)| *s).fold(0.0, f64::max);
+    let compute_seconds = results.iter().map(|(_, s, _)| *s).sum();
+    let degraded_contexts = results.iter().map(|(_, _, d)| *d).sum();
+    let mut rules: Vec<GeneratedRule> = results.into_iter().flat_map(|(r, _, _)| r).collect();
+    // Stable by origin: within one context the model's order holds,
+    // across contexts the serial order is restored.
+    rules.sort_by_key(|r| r.origin);
+    ResilientMining { rules, wall_seconds, compute_seconds, degraded_contexts }
 }
 
 #[cfg(test)]

@@ -64,6 +64,36 @@ pub struct MiningReport {
     pub correctness: ClassTally,
     /// Per-stage timing breakdown (one row per top-level span).
     pub stage_timings: Vec<grm_obs::StageTiming>,
+    /// What the fault plan did to the run; `None` outside chaos mode.
+    pub resilience: Option<ResilienceSummary>,
+}
+
+/// What a chaos run lost and recovered — the run-level rollup of the
+/// journal's `Fault`/`Retry`/`Degraded` records.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ResilienceSummary {
+    /// Seed of the fault stream.
+    pub fault_seed: u64,
+    /// Per-attempt fault probability.
+    pub fault_rate: f64,
+    /// Transient errors injected across all stages.
+    pub faults_injected: u64,
+    /// LLM units that recovered after at least one retry.
+    pub llm_calls_retried: u64,
+    /// LLM units abandoned after exhausting retries.
+    pub llm_calls_abandoned: u64,
+    /// Mine contexts skipped (abandoned or breaker-open).
+    pub windows_degraded: u64,
+    /// Selected rules dropped because translation failed.
+    pub rules_degraded: u64,
+    /// Scoreable rules left unscored because evaluation failed.
+    pub queries_degraded: u64,
+    /// Circuit-breaker trips across all stages.
+    pub breaker_trips: u64,
+    /// Mine units replayed from a resumed journal's checkpoints.
+    pub resumed_mine_units: u64,
+    /// Translate units replayed from a resumed journal's checkpoints.
+    pub resumed_translate_units: u64,
 }
 
 impl MiningReport {

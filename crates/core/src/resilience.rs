@@ -1,0 +1,176 @@
+//! Run-level resilience controls: chaos configuration, checkpoint
+//! resume, and the deterministic mid-run kill used to test it.
+//!
+//! [`Resilience`] is what `grm mine --fault-rate` hands the pipeline:
+//! an optional [`ChaosConfig`] (fault rate 0 normalises back to the
+//! plain pipeline, so fault-free chaos runs are byte-identical to
+//! pre-chaos journals *by construction*), an optional [`ResumeState`]
+//! replayed from a previous run's journal, and an optional
+//! deterministic kill point for exercising resume in tests and CI.
+//!
+//! Resume works because every completed LLM unit of a chaos run is
+//! checkpointed into the journal with its full serialized response.
+//! [`ResumeState::from_journal`] lifts those checkpoints back out of
+//! a (possibly truncated) journal; the pipeline then replays them
+//! through the same record-emitting code path, so a resumed run's
+//! journal is byte-identical to an uninterrupted one.
+
+use std::collections::HashMap;
+
+use grm_llm::{MiningResponse, TranslationResponse};
+use grm_obs::{ChaosRecord, RunJournal};
+use grm_resil::ChaosConfig;
+
+use crate::report::MiningReport;
+
+/// Fault-injection and recovery controls for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct Resilience {
+    /// Fault plan parameters; `None` runs the plain pipeline.
+    pub chaos: Option<ChaosConfig>,
+    /// Checkpointed work from a previous run to replay.
+    pub resume: Option<ResumeState>,
+    /// Deterministic kill: stop after this many mine units (serial
+    /// runs only), returning [`RunStatus::Killed`]. Test/CI hook for
+    /// the resume path.
+    pub kill_after: Option<usize>,
+}
+
+impl Resilience {
+    /// No chaos, no resume: the plain pipeline.
+    pub fn none() -> Self {
+        Resilience::default()
+    }
+
+    /// A chaos run under `chaos`. A fault rate of zero injects
+    /// nothing, so it is normalised to [`Resilience::none`] — the
+    /// run takes the exact fault-free code path and its journal is
+    /// byte-identical to a plain traced run.
+    pub fn chaos(chaos: ChaosConfig) -> Self {
+        if chaos.fault_rate <= 0.0 {
+            Resilience::none()
+        } else {
+            Resilience { chaos: Some(chaos), resume: None, kill_after: None }
+        }
+    }
+
+    /// True when this run injects faults.
+    pub fn is_chaos(&self) -> bool {
+        self.chaos.is_some()
+    }
+}
+
+/// Completed work lifted from a previous chaos run's journal:
+/// stage responses keyed by unit (context index for mining, selected
+/// rule index for translation), replayed instead of re-calling the
+/// model.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Checkpointed mining responses by context index.
+    pub mined: HashMap<u64, MiningResponse>,
+    /// Checkpointed translation responses by rule index.
+    pub translated: HashMap<u64, TranslationResponse>,
+}
+
+impl ResumeState {
+    /// Total units this state will replay.
+    pub fn units(&self) -> usize {
+        self.mined.len() + self.translated.len()
+    }
+
+    /// Extracts the chaos identity and every checkpoint from a
+    /// journal — typically one cut short by a crash. The `Chaos`
+    /// record is written right after `Meta`, so it survives any
+    /// truncation that leaves the journal non-empty; a checkpoint
+    /// whose payload no longer parses is an error (the journal was
+    /// corrupted beyond losing its tail).
+    pub fn from_journal(journal: &RunJournal) -> Result<(ChaosRecord, ResumeState), String> {
+        let chaos = journal.chaos.clone().ok_or_else(|| {
+            "journal has no Chaos record — only chaos runs (--fault-rate > 0) checkpoint work \
+             and can be resumed"
+                .to_owned()
+        })?;
+        let mut state = ResumeState::default();
+        for cp in &journal.checkpoints {
+            match cp.stage.as_str() {
+                "mine" => {
+                    let resp: MiningResponse = serde_json::from_str(&cp.payload).map_err(|e| {
+                        format!("corrupt mine checkpoint for unit {}: {e}", cp.unit)
+                    })?;
+                    state.mined.insert(cp.unit, resp);
+                }
+                "translate" => {
+                    let resp: TranslationResponse =
+                        serde_json::from_str(&cp.payload).map_err(|e| {
+                            format!("corrupt translate checkpoint for unit {}: {e}", cp.unit)
+                        })?;
+                    state.translated.insert(cp.unit, resp);
+                }
+                other => return Err(format!("unknown checkpoint stage {other:?}")),
+            }
+        }
+        Ok((chaos, state))
+    }
+}
+
+/// How a resilient run ended.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The pipeline ran to the end (possibly degraded — see the
+    /// report's [`crate::report::ResilienceSummary`]).
+    Complete(Box<MiningReport>),
+    /// The deterministic kill point fired mid-mine; the journal holds
+    /// a checkpoint per completed unit for `--resume`.
+    Killed {
+        /// Stage the kill hit (always `mine` today).
+        stage: &'static str,
+        /// Mine units processed before stopping.
+        completed_units: usize,
+    },
+}
+
+impl RunStatus {
+    /// The report of a completed run, if it completed.
+    pub fn report(self) -> Option<MiningReport> {
+        match self {
+            RunStatus::Complete(report) => Some(*report),
+            RunStatus::Killed { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_normalises_to_plain_run() {
+        let r = Resilience::chaos(ChaosConfig { fault_rate: 0.0, ..ChaosConfig::default() });
+        assert!(!r.is_chaos());
+        let r = Resilience::chaos(ChaosConfig { fault_rate: 0.3, ..ChaosConfig::default() });
+        assert!(r.is_chaos());
+    }
+
+    #[test]
+    fn resume_requires_a_chaos_journal() {
+        let journal = RunJournal::default();
+        let err = ResumeState::from_journal(&journal).unwrap_err();
+        assert!(err.contains("no Chaos record"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_checkpoint_payloads() {
+        let journal = RunJournal {
+            chaos: Some(ChaosRecord::default()),
+            checkpoints: vec![grm_obs::CheckpointRecord {
+                span: None,
+                stage: "mine".into(),
+                unit: 3,
+                payload: "{not json".into(),
+            }],
+            ..RunJournal::default()
+        };
+        let err = ResumeState::from_journal(&journal).unwrap_err();
+        assert!(err.contains("corrupt mine checkpoint for unit 3"), "{err}");
+    }
+}

@@ -19,6 +19,7 @@
 //!   shape of Table 5 (per-window prompting ≫ single RAG prompt).
 
 pub mod explain;
+pub mod fallible;
 pub mod generator;
 pub mod model;
 pub mod persona;
@@ -27,6 +28,7 @@ pub mod timing;
 pub mod translate;
 
 pub use explain::explain_rule;
+pub use fallible::{unit_model_seed, CallSkip, ResilientCall, ResilientLlm};
 pub use generator::{generate_rules, GeneratedRule};
 pub use model::{MiningResponse, SimLlm, TranslationResponse};
 pub use persona::{persona, ModelKind, Persona};

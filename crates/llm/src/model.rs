@@ -13,7 +13,7 @@ use crate::timing::{invocation_seconds, Stopwatch};
 use crate::translate::{translate, Translation};
 
 /// Result of one rule-mining invocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MiningResponse {
     pub rules: Vec<GeneratedRule>,
     pub prompt_tokens: usize,
@@ -23,7 +23,7 @@ pub struct MiningResponse {
 }
 
 /// Result of one translation invocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TranslationResponse {
     pub translation: Translation,
     pub prompt_tokens: usize,

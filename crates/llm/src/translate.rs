@@ -23,7 +23,7 @@ use rand::Rng;
 use crate::persona::Persona;
 
 /// How a translated query was corrupted, if it was.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Corruption {
     /// Relationship direction flipped (error class 1).
     DirectionFlip,
@@ -32,7 +32,7 @@ pub enum Corruption {
 }
 
 /// The model's translation of one rule.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Translation {
     /// The query the model "wrote" (possibly corrupted).
     pub cypher: String,

@@ -118,6 +118,57 @@ pub fn evaluate_labeled(
     })
 }
 
+/// [`evaluate_labeled`] under a chaos unit plan: injects the unit's
+/// transient query faults before evaluating. A degraded unit
+/// (retries exhausted or breaker-open) records its faults, bumps
+/// `queries_degraded`, and returns `None` — the rule simply stays
+/// unscored, exactly like a rule too broken to query. A completed
+/// unit records any recovered retries and evaluates normally;
+/// evaluation errors also come back as `None` (matching the
+/// fault-free pipeline's `.ok()` at the call site).
+pub fn evaluate_resilient(
+    graph: &PropertyGraph,
+    queries: &RuleQueries,
+    scope: &Scope,
+    label: &str,
+    unit: &grm_resil::UnitPlan,
+) -> Option<RuleMetrics> {
+    use grm_obs::{DegradedRecord, RetryRecord};
+    // Query faults cost a flat reconnect stall, never the call itself.
+    let fault_seconds = grm_resil::record_unit_faults(unit, 0.0, scope);
+    scope.add_sim_seconds(fault_seconds);
+    if unit.is_degraded() {
+        scope.add(Counter::QueriesDegraded, 1);
+        if unit.attempts() > 0 {
+            scope.retry(RetryRecord {
+                span: None,
+                stage: unit.stage.name().into(),
+                unit: unit.key,
+                attempts: unit.attempts() as u64,
+                recovered: false,
+            });
+        }
+        scope.degraded(DegradedRecord {
+            span: None,
+            stage: unit.stage.name().into(),
+            unit: label.to_owned(),
+            reason: if unit.attempts() == 0 { "breaker_open" } else { "retries_exhausted" }
+                .to_owned(),
+        });
+        return None;
+    }
+    if !unit.faults.is_empty() {
+        scope.retry(RetryRecord {
+            span: None,
+            stage: unit.stage.name().into(),
+            unit: unit.key,
+            attempts: unit.attempts() as u64,
+            recovered: true,
+        });
+    }
+    evaluate_labeled(graph, queries, scope, label).ok()
+}
+
 /// Aggregates per-rule metrics into a table cell.
 pub fn aggregate(per_rule: &[RuleMetrics]) -> AggregateMetrics {
     if per_rule.is_empty() {

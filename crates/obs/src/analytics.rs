@@ -12,6 +12,7 @@
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord, StageTiming};
 use crate::lineage::{BoundaryRecord, LineageRecord};
+use crate::resilience::{ChaosRecord, DegradedRecord};
 
 /// Which clock weights the folded stacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -923,6 +924,298 @@ impl LineageBaseline {
     }
 }
 
+/// Per-stage fault digest inside a [`FaultReport`].
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageFaults {
+    /// Stage name: `mine`, `translate`, or `evaluate`.
+    pub stage: String,
+    /// Faults injected into this stage's units.
+    pub faults: u64,
+    /// Fault-kind counts, name-sorted.
+    pub kinds: Vec<(String, u64)>,
+    /// Units that faulted at least once and eventually completed.
+    pub recovered: u64,
+    /// Units abandoned after exhausting their retries.
+    pub abandoned: u64,
+    /// Units the pipeline gave up on (abandoned or breaker-skipped).
+    pub degraded: u64,
+    /// Simulated seconds lost to the faults themselves.
+    pub cost_seconds: f64,
+    /// Simulated seconds spent backing off between attempts.
+    pub backoff_seconds: f64,
+}
+
+/// The aggregation behind `grm trace faults`: every v5 resilience
+/// record of a journal folded into the chaos identity, a per-stage
+/// fault digest, the degraded-unit list, and the checkpoint count.
+/// Serialisable as-is for `grm trace faults --json`.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultReport {
+    /// Chaos-run identity, when the journal carries one.
+    pub chaos: Option<ChaosRecord>,
+    /// Per-stage digests, stage-name-sorted.
+    pub stages: Vec<StageFaults>,
+    /// Degraded units, (stage, unit)-sorted.
+    pub degraded: Vec<DegradedRecord>,
+    /// Completed-unit checkpoints available to `--resume`.
+    pub checkpoints: u64,
+    /// Stage-breaker trips (run-wide counter).
+    pub breaker_trips: u64,
+    /// Damaged lines a lossy parse dropped.
+    pub corrupt_lines: u64,
+    /// Unknown-record lines a parse skipped.
+    pub unknown_lines: u64,
+}
+
+impl FaultReport {
+    /// Aggregates the journal's resilience records. Empty report
+    /// means the journal carries none — a fault-free (or pre-v5) run.
+    pub fn from_journal(journal: &RunJournal) -> FaultReport {
+        let mut stages: Vec<StageFaults> = Vec::new();
+        let stage_mut = |name: &str, stages: &mut Vec<StageFaults>| -> usize {
+            match stages.iter().position(|s| s.stage == name) {
+                Some(i) => i,
+                None => {
+                    stages.push(StageFaults { stage: name.to_owned(), ..StageFaults::default() });
+                    stages.len() - 1
+                }
+            }
+        };
+        for fault in &journal.faults {
+            let i = stage_mut(&fault.stage, &mut stages);
+            let s = &mut stages[i];
+            s.faults += 1;
+            s.cost_seconds += fault.cost_seconds;
+            s.backoff_seconds += fault.backoff_seconds;
+            match s.kinds.iter_mut().find(|(k, _)| *k == fault.kind) {
+                Some((_, n)) => *n += 1,
+                None => s.kinds.push((fault.kind.clone(), 1)),
+            }
+        }
+        for retry in &journal.retries {
+            let i = stage_mut(&retry.stage, &mut stages);
+            if retry.recovered {
+                stages[i].recovered += 1;
+            } else {
+                stages[i].abandoned += 1;
+            }
+        }
+        for record in &journal.degraded {
+            let i = stage_mut(&record.stage, &mut stages);
+            stages[i].degraded += 1;
+        }
+        for s in &mut stages {
+            s.kinds.sort_by(|(a, _), (b, _)| a.cmp(b));
+        }
+        stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+        let mut degraded = journal.degraded.clone();
+        degraded.sort_by(|a, b| (&a.stage, &a.unit).cmp(&(&b.stage, &b.unit)));
+        FaultReport {
+            chaos: journal.chaos.clone(),
+            stages,
+            degraded,
+            checkpoints: journal.checkpoints.len() as u64,
+            breaker_trips: journal.total(crate::counter::Counter::BreakerTrips.name()),
+            corrupt_lines: journal.corrupt_lines,
+            unknown_lines: journal.unknown_lines,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chaos.is_none() && self.stages.is_empty() && self.degraded.is_empty()
+    }
+
+    /// The fault tables: chaos identity, per-stage digest, degraded
+    /// units, checkpoints, and parse losses.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(c) = &self.chaos {
+            out.push_str(&format!(
+                "chaos run: seed {} fault-seed {} fault-rate {} max-retries {} \
+                 breaker-threshold {}\n  {} / {} / {} on {} nodes, {} edges\n",
+                c.run_seed,
+                c.fault_seed,
+                c.fault_rate,
+                c.max_retries,
+                c.breaker_threshold,
+                c.model,
+                c.strategy,
+                c.prompting,
+                c.graph_nodes,
+                c.graph_edges
+            ));
+        }
+        out.push_str(&format!(
+            "faults by stage:\n  {:<10} {:>7} {:>9} {:>9} {:>9} {:>10} {:>11}  {}\n",
+            "stage",
+            "faults",
+            "recovered",
+            "abandoned",
+            "degraded",
+            "cost(s)",
+            "backoff(s)",
+            "kinds"
+        ));
+        for s in &self.stages {
+            let kinds: Vec<String> = s.kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+            out.push_str(&format!(
+                "  {:<10} {:>7} {:>9} {:>9} {:>9} {:>10.2} {:>11.2}  {}\n",
+                s.stage,
+                s.faults,
+                s.recovered,
+                s.abandoned,
+                s.degraded,
+                s.cost_seconds,
+                s.backoff_seconds,
+                kinds.join(", ")
+            ));
+        }
+        out.push_str(&format!("degraded units: {}\n", self.degraded.len()));
+        for d in &self.degraded {
+            out.push_str(&format!("  {:<10} {:<12} {}\n", d.stage, d.unit, d.reason));
+        }
+        out.push_str(&format!(
+            "breaker trips: {}\ncheckpoints: {}\n",
+            self.breaker_trips, self.checkpoints
+        ));
+        if self.corrupt_lines + self.unknown_lines > 0 {
+            out.push_str(&format!(
+                "skipped lines: {} corrupt dropped, {} unknown record kinds\n",
+                self.corrupt_lines, self.unknown_lines
+            ));
+        }
+        out
+    }
+}
+
+/// A committed chaos baseline: the fault counts, retry verdicts and
+/// final rule count of the deterministic chaos sim. Written by
+/// `repro --chaos-baseline`, consumed by `grm trace faults --check`
+/// in CI. Chaos runs are fully deterministic for a fixed
+/// `(seed, fault-seed, fault-rate)`, so the gate is **exact**.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosBaseline {
+    /// Journal schema version the snapshot was taken from.
+    pub journal_version: u32,
+    /// Fault-stream seed of the snapshot run.
+    pub fault_seed: u64,
+    /// Per-attempt fault probability of the snapshot run.
+    pub fault_rate: f64,
+    /// Total faults injected.
+    pub faults_injected: u64,
+    /// Fault-kind counts across all stages, name-sorted.
+    pub kinds: Vec<(String, u64)>,
+    /// Units that recovered by retrying.
+    pub recovered: u64,
+    /// Units abandoned after exhausting retries.
+    pub abandoned: u64,
+    /// Per-stage degraded-unit counts, stage-name-sorted.
+    pub degraded: Vec<(String, u64)>,
+    /// Stage-breaker trips.
+    pub breaker_trips: u64,
+    /// Completed-unit checkpoints written.
+    pub checkpoints: u64,
+    /// Rules surviving the degraded pipeline (lineage records).
+    pub rules: u64,
+}
+
+impl ChaosBaseline {
+    /// Freezes the journal's resilience records into a baseline.
+    pub fn from_journal(journal: &RunJournal) -> ChaosBaseline {
+        let report = FaultReport::from_journal(journal);
+        let mut kinds: Vec<(String, u64)> = Vec::new();
+        for s in &report.stages {
+            for (kind, n) in &s.kinds {
+                match kinds.iter_mut().find(|(k, _)| k == kind) {
+                    Some((_, total)) => *total += n,
+                    None => kinds.push((kind.clone(), *n)),
+                }
+            }
+        }
+        kinds.sort_by(|(a, _), (b, _)| a.cmp(b));
+        ChaosBaseline {
+            journal_version: crate::journal::JOURNAL_VERSION,
+            fault_seed: report.chaos.as_ref().map(|c| c.fault_seed).unwrap_or(0),
+            fault_rate: report.chaos.as_ref().map(|c| c.fault_rate).unwrap_or(0.0),
+            faults_injected: report.stages.iter().map(|s| s.faults).sum(),
+            kinds,
+            recovered: report.stages.iter().map(|s| s.recovered).sum(),
+            abandoned: report.stages.iter().map(|s| s.abandoned).sum(),
+            degraded: report.stages.iter().map(|s| (s.stage.clone(), s.degraded)).collect(),
+            breaker_trips: report.breaker_trips,
+            checkpoints: report.checkpoints,
+            rules: journal.lineages.len() as u64,
+        }
+    }
+
+    /// Checks `journal` against this baseline exactly: every fault
+    /// count, kind tally, retry verdict, degraded count and the final
+    /// rule count must match. A journal with no resilience records at
+    /// all fails when the baseline has faults — chaos silently
+    /// turning off must not read as a pass. Returns the violations
+    /// (empty = pass).
+    pub fn check(&self, journal: &RunJournal) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.faults_injected > 0 && !journal.has_faults() {
+            violations.push(
+                "baseline has fault records but the journal carries none \
+                 (was the run chaos-injected?)"
+                    .to_owned(),
+            );
+            return violations;
+        }
+        let current = ChaosBaseline::from_journal(journal);
+        if current.fault_seed != self.fault_seed {
+            violations.push(format!(
+                "fault seed {}, baseline has {}",
+                current.fault_seed, self.fault_seed
+            ));
+        }
+        if current.fault_rate != self.fault_rate {
+            violations.push(format!(
+                "fault rate {}, baseline has {}",
+                current.fault_rate, self.fault_rate
+            ));
+        }
+        let exact = |name: &str, now: u64, base: u64, violations: &mut Vec<String>| {
+            if now != base {
+                violations.push(format!("{name}: {now}, baseline has {base}"));
+            }
+        };
+        exact("faults injected", current.faults_injected, self.faults_injected, &mut violations);
+        exact("units recovered", current.recovered, self.recovered, &mut violations);
+        exact("units abandoned", current.abandoned, self.abandoned, &mut violations);
+        exact("breaker trips", current.breaker_trips, self.breaker_trips, &mut violations);
+        exact("checkpoints", current.checkpoints, self.checkpoints, &mut violations);
+        exact("rules", current.rules, self.rules, &mut violations);
+        let count_of = |pairs: &[(String, u64)], key: &str| {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| *v).unwrap_or(0)
+        };
+        let mut kind_names: Vec<&String> =
+            self.kinds.iter().chain(&current.kinds).map(|(k, _)| k).collect();
+        kind_names.sort();
+        kind_names.dedup();
+        for name in kind_names {
+            let (base, now) = (count_of(&self.kinds, name), count_of(&current.kinds, name));
+            if base != now {
+                violations.push(format!("fault kind `{name}`: {now}, baseline has {base}"));
+            }
+        }
+        let mut stage_names: Vec<&String> =
+            self.degraded.iter().chain(&current.degraded).map(|(k, _)| k).collect();
+        stage_names.sort();
+        stage_names.dedup();
+        for name in stage_names {
+            let (base, now) = (count_of(&self.degraded, name), count_of(&current.degraded, name));
+            if base != now {
+                violations
+                    .push(format!("stage `{name}`: {now} degraded units, baseline has {base}"));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1242,6 +1535,149 @@ mod tests {
         // Lineage silently off is a failure, not a pass.
         let unlineaged = baseline.check(&sample(1.0));
         assert!(unlineaged.iter().any(|v| v.contains("none")), "{unlineaged:?}");
+    }
+
+    /// A chaos recording: one recovered mine unit, one abandoned +
+    /// degraded mine unit, and a degraded evaluate unit.
+    fn sample_with_faults(kind_of_unit_3: &str) -> RunJournal {
+        use crate::resilience::{
+            ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord,
+        };
+        let rec = Recorder::new();
+        rec.set_chaos(ChaosRecord {
+            run_seed: 42,
+            fault_seed: 7,
+            fault_rate: 0.2,
+            max_retries: 3,
+            breaker_threshold: 4,
+            model: "Llama3-70B".into(),
+            strategy: "Sliding Window Attention".into(),
+            prompting: "Zero-shot".into(),
+            graph_nodes: 100,
+            graph_edges: 400,
+        });
+        let root = rec.root_scope().span("pipeline");
+        let mine = root.scope().span("mine");
+        let scope = mine.scope();
+        scope.fault(FaultRecord {
+            span: None,
+            stage: "mine".into(),
+            unit: 1,
+            attempt: 0,
+            kind: "timeout".into(),
+            cost_seconds: 20.0,
+            backoff_seconds: 0.55,
+        });
+        scope.add(Counter::FaultsInjected, 1);
+        scope.retry(RetryRecord {
+            span: None,
+            stage: "mine".into(),
+            unit: 1,
+            attempts: 2,
+            recovered: true,
+        });
+        scope.add(Counter::LlmCallsRetried, 1);
+        for attempt in 0..2 {
+            scope.fault(FaultRecord {
+                span: None,
+                stage: "mine".into(),
+                unit: 3,
+                attempt,
+                kind: kind_of_unit_3.into(),
+                cost_seconds: 5.0,
+                backoff_seconds: if attempt == 1 { 0.0 } else { 0.5 },
+            });
+            scope.add(Counter::FaultsInjected, 1);
+        }
+        scope.retry(RetryRecord {
+            span: None,
+            stage: "mine".into(),
+            unit: 3,
+            attempts: 2,
+            recovered: false,
+        });
+        scope.add(Counter::LlmCallsAbandoned, 1);
+        scope.degraded(DegradedRecord {
+            span: None,
+            stage: "mine".into(),
+            unit: "context-3".into(),
+            reason: "retries_exhausted".into(),
+        });
+        scope.add(Counter::WindowsDegraded, 1);
+        for unit in [0u64, 1, 2] {
+            scope.checkpoint(CheckpointRecord {
+                span: None,
+                stage: "mine".into(),
+                unit,
+                payload: "{}".into(),
+            });
+        }
+        mine.finish();
+        let evaluate = root.scope().span("evaluate");
+        evaluate.scope().degraded(DegradedRecord {
+            span: None,
+            stage: "evaluate".into(),
+            unit: "rule-0".into(),
+            reason: "retries_exhausted".into(),
+        });
+        evaluate.scope().add(Counter::QueriesDegraded, 1);
+        evaluate.finish();
+        root.finish();
+        rec.snapshot()
+    }
+
+    #[test]
+    fn fault_report_aggregates_and_renders() {
+        let journal = sample_with_faults("rate_limit");
+        let report = FaultReport::from_journal(&journal);
+        assert!(!report.is_empty());
+        assert_eq!(report.chaos.as_ref().unwrap().fault_seed, 7);
+        assert_eq!(report.checkpoints, 3);
+        // Stage names sort "evaluate" before "mine".
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].stage, "evaluate");
+        assert_eq!(report.stages[0].degraded, 1);
+        let mine = &report.stages[1];
+        assert_eq!(mine.faults, 3);
+        assert_eq!(mine.recovered, 1);
+        assert_eq!(mine.abandoned, 1);
+        assert_eq!(mine.degraded, 1);
+        assert_eq!(mine.kinds, [("rate_limit".to_owned(), 2), ("timeout".to_owned(), 1)]);
+        assert!((mine.cost_seconds - 30.0).abs() < 1e-9);
+        assert!((mine.backoff_seconds - 1.05).abs() < 1e-9);
+        let rendered = report.render();
+        assert!(rendered.contains("fault-seed 7"), "{rendered}");
+        assert!(rendered.contains("context-3"), "{rendered}");
+        assert!(rendered.contains("timeout=1"), "{rendered}");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report);
+        // A fault-free journal aggregates to an empty report.
+        assert!(FaultReport::from_journal(&sample(1.0)).is_empty());
+    }
+
+    #[test]
+    fn chaos_baseline_gates_exactly() {
+        let journal = sample_with_faults("rate_limit");
+        let baseline = ChaosBaseline::from_journal(&journal);
+        assert_eq!(baseline.faults_injected, 3);
+        assert_eq!(baseline.recovered, 1);
+        assert_eq!(baseline.abandoned, 1);
+        assert_eq!(baseline.checkpoints, 3);
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let parsed: ChaosBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, baseline);
+
+        // The run it was taken from passes exactly.
+        assert!(baseline.check(&journal).is_empty());
+        // A different fault-kind mix fails — the gate has no tolerance.
+        let drifted = sample_with_faults("garbled");
+        let violations = baseline.check(&drifted);
+        assert!(violations.iter().any(|v| v.contains("rate_limit")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("garbled")), "{violations:?}");
+        // Chaos silently off is a failure, not a pass.
+        let faultless = baseline.check(&sample(1.0));
+        assert!(faultless.iter().any(|v| v.contains("none")), "{faultless:?}");
     }
 
     #[test]

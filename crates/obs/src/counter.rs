@@ -54,6 +54,20 @@ pub enum Counter {
     CypherRowsMatched,
     /// Support/coverage/confidence evaluations performed.
     SupportEvaluations,
+    /// Transient faults injected by the chaos plan.
+    FaultsInjected,
+    /// LLM-call units that needed at least one retry and recovered.
+    LlmCallsRetried,
+    /// LLM-call units abandoned after exhausting their retries.
+    LlmCallsAbandoned,
+    /// Mining contexts skipped entirely (abandoned or breaker-open).
+    WindowsDegraded,
+    /// Selected rules dropped because translation degraded.
+    RulesDegraded,
+    /// Rule evaluations skipped because the query degraded.
+    QueriesDegraded,
+    /// Times a stage circuit breaker tripped open.
+    BreakerTrips,
 }
 
 impl Counter {
@@ -83,6 +97,13 @@ impl Counter {
             Counter::CypherSlowQueries => "cypher_slow_queries",
             Counter::CypherRowsMatched => "cypher_rows_matched",
             Counter::SupportEvaluations => "support_evaluations",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::LlmCallsRetried => "llm_calls_retried",
+            Counter::LlmCallsAbandoned => "llm_calls_abandoned",
+            Counter::WindowsDegraded => "windows_degraded",
+            Counter::RulesDegraded => "rules_degraded",
+            Counter::QueriesDegraded => "queries_degraded",
+            Counter::BreakerTrips => "breaker_trips",
         }
     }
 }

@@ -5,6 +5,7 @@
 use crate::histogram::Histogram;
 use crate::lineage::{BoundaryRecord, LineageRecord};
 use crate::plan::PlanRecord;
+use crate::resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
 
 /// One finished (or snapshot-closed) span.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -67,6 +68,19 @@ pub enum JournalRecord {
     /// A window-boundary breakage line (schema v4+), after the
     /// lineage lines. Skipped by older readers like `Lineage`.
     Boundary(BoundaryRecord),
+    /// Chaos-run identity line (schema v5+), right after `Meta` so it
+    /// survives truncation — everything `--resume` needs to rebuild
+    /// the run. Skipped by older readers.
+    Chaos(ChaosRecord),
+    /// An injected-fault line (schema v5+). Skipped by older readers.
+    Fault(FaultRecord),
+    /// A retry-verdict line (schema v5+). Skipped by older readers.
+    Retry(RetryRecord),
+    /// A degraded-unit line (schema v5+). Skipped by older readers.
+    Degraded(DegradedRecord),
+    /// A completed-unit checkpoint line (schema v5+), replayed by
+    /// `grm mine --resume`. Skipped by older readers.
+    Checkpoint(CheckpointRecord),
     /// Run-wide totals, always the last line.
     Totals {
         counters: Vec<(String, u64)>,
@@ -74,10 +88,22 @@ pub enum JournalRecord {
     },
 }
 
-/// Variant keys a v4 reader knows; object lines keyed otherwise are
+/// Variant keys a v5 reader knows; object lines keyed otherwise are
 /// future record types and are skipped, not errors.
-const KNOWN_RECORD_KEYS: [&str; 7] =
-    ["Meta", "Span", "Histo", "Plan", "Lineage", "Boundary", "Totals"];
+const KNOWN_RECORD_KEYS: [&str; 12] = [
+    "Meta",
+    "Span",
+    "Histo",
+    "Plan",
+    "Lineage",
+    "Boundary",
+    "Chaos",
+    "Fault",
+    "Retry",
+    "Degraded",
+    "Checkpoint",
+    "Totals",
+];
 
 /// Per-stage timing row derived from the journal — the breakdown
 /// embedded in `MiningReport`.
@@ -102,15 +128,28 @@ pub struct RunJournal {
     pub plans: Vec<PlanRecord>,
     pub lineages: Vec<LineageRecord>,
     pub boundaries: Vec<BoundaryRecord>,
+    /// Chaos-run identity, when the run injected faults.
+    pub chaos: Option<ChaosRecord>,
+    pub faults: Vec<FaultRecord>,
+    pub retries: Vec<RetryRecord>,
+    pub degraded: Vec<DegradedRecord>,
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Parse metadata, not serialised by [`RunJournal::to_jsonl`]:
+    /// damaged lines dropped by a lossy parse (truncated tails).
+    pub corrupt_lines: u64,
+    /// Parse metadata, not serialised: object lines with an unknown
+    /// record key, skipped as future schema additions.
+    pub unknown_lines: u64,
 }
 
 /// Journal schema version, bumped on incompatible record changes.
 /// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines. v3: adds
-/// `Plan` lines. v4: adds `Lineage` and `Boundary` lines. Each
+/// `Plan` lines. v4: adds `Lineage` and `Boundary` lines. v5: adds
+/// `Chaos`/`Fault`/`Retry`/`Degraded`/`Checkpoint` lines. Each
 /// version is purely additive, so older journals still parse (they
 /// simply carry fewer record kinds) and older readers skip the new
 /// lines through their unknown-record path.
-pub const JOURNAL_VERSION: u32 = 4;
+pub const JOURNAL_VERSION: u32 = 5;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -160,6 +199,20 @@ impl RunJournal {
     /// `grm explain`).
     pub fn has_lineage(&self) -> bool {
         !self.lineages.is_empty()
+    }
+
+    /// True when the journal carries any v5 resilience records — the
+    /// gate for fault-aware rendering (`grm trace faults`).
+    pub fn has_faults(&self) -> bool {
+        self.chaos.is_some()
+            || !self.faults.is_empty()
+            || !self.retries.is_empty()
+            || !self.degraded.is_empty()
+    }
+
+    /// The checkpointed payload for `(stage, unit)`, when recorded.
+    pub fn checkpoint(&self, stage: &str, unit: u64) -> Option<&CheckpointRecord> {
+        self.checkpoints.iter().find(|c| c.stage == stage && c.unit == unit)
     }
 
     /// Total db-hits per pipeline stage: each plan record is charged
@@ -232,6 +285,11 @@ impl RunJournal {
             out.push('\n');
         };
         push(&JournalRecord::Meta { version: JOURNAL_VERSION, spans: self.spans.len() });
+        if let Some(chaos) = &self.chaos {
+            // Right after `Meta`, so a truncated journal still tells
+            // `--resume` what run it belonged to.
+            push(&JournalRecord::Chaos(chaos.clone()));
+        }
         for span in &self.spans {
             push(&JournalRecord::Span(span.clone()));
         }
@@ -264,6 +322,29 @@ impl RunJournal {
         for boundary in boundaries {
             push(&JournalRecord::Boundary(boundary));
         }
+        let mut faults = self.faults.clone();
+        faults.sort_by(|a, b| (&a.stage, a.unit, a.attempt).cmp(&(&b.stage, b.unit, b.attempt)));
+        for fault in faults {
+            push(&JournalRecord::Fault(fault));
+        }
+        let mut retries = self.retries.clone();
+        retries.sort_by(|a, b| (&a.stage, a.unit).cmp(&(&b.stage, b.unit)));
+        for retry in retries {
+            push(&JournalRecord::Retry(retry));
+        }
+        let mut degraded = self.degraded.clone();
+        degraded.sort_by(|a, b| (&a.stage, &a.unit).cmp(&(&b.stage, &b.unit)));
+        for record in degraded {
+            push(&JournalRecord::Degraded(record));
+        }
+        // Stage-then-unit order puts mine checkpoints before
+        // translate checkpoints, so `--resume` replays the longest
+        // prefix a truncated journal can still prove.
+        let mut checkpoints = self.checkpoints.clone();
+        checkpoints.sort_by(|a, b| (&a.stage, a.unit).cmp(&(&b.stage, b.unit)));
+        for checkpoint in checkpoints {
+            push(&JournalRecord::Checkpoint(checkpoint));
+        }
         push(&JournalRecord::Totals {
             counters: sorted_by_name(&self.totals),
             gauges: sorted_by_name(&self.gauges),
@@ -283,7 +364,10 @@ impl RunJournal {
     /// Lossy variant of [`RunJournal::from_jsonl`] for journals from
     /// crashed runs: a truncated (unparseable) final line is dropped
     /// instead of failing, a missing `Totals` trailer is tolerated,
-    /// and future `Meta` versions are accepted best-effort.
+    /// and future `Meta` versions are accepted best-effort. Dropped
+    /// and skipped lines are counted in
+    /// [`RunJournal::corrupt_lines`] / [`RunJournal::unknown_lines`]
+    /// and surfaced by `grm trace summary`.
     pub fn from_jsonl_lossy(text: &str) -> Result<RunJournal, String> {
         Self::parse_jsonl(text, true)
     }
@@ -298,10 +382,14 @@ impl RunJournal {
                 Err(e) => {
                     if let Some(key) = leading_object_key(line) {
                         if !KNOWN_RECORD_KEYS.contains(&key) {
-                            continue; // future record variant: skip
+                            // Future record variant: skip, but keep
+                            // count so the loss is visible.
+                            journal.unknown_lines += 1;
+                            continue;
                         }
                     }
                     if lossy && pos + 1 == lines.len() {
+                        journal.corrupt_lines += 1;
                         break; // truncated tail of a crashed run
                     }
                     return Err(format!("journal line {}: {e}", lineno + 1));
@@ -318,6 +406,11 @@ impl RunJournal {
                 JournalRecord::Plan(plan) => journal.plans.push(plan),
                 JournalRecord::Lineage(lineage) => journal.lineages.push(lineage),
                 JournalRecord::Boundary(boundary) => journal.boundaries.push(boundary),
+                JournalRecord::Chaos(chaos) => journal.chaos = Some(chaos),
+                JournalRecord::Fault(fault) => journal.faults.push(fault),
+                JournalRecord::Retry(retry) => journal.retries.push(retry),
+                JournalRecord::Degraded(record) => journal.degraded.push(record),
+                JournalRecord::Checkpoint(checkpoint) => journal.checkpoints.push(checkpoint),
                 JournalRecord::Totals { counters, gauges } => {
                     journal.totals = counters;
                     journal.gauges = gauges;
@@ -366,6 +459,22 @@ impl RunJournal {
                 "rule lineage: {} rules attributed, {} window-boundary breakages\n",
                 self.lineages.len(),
                 self.boundaries.len()
+            ));
+        }
+        if self.has_faults() {
+            let recovered = self.retries.iter().filter(|r| r.recovered).count();
+            out.push_str(&format!(
+                "faults: {} injected, {} units recovered by retry, {} degraded, {} checkpoints\n",
+                self.faults.len(),
+                recovered,
+                self.degraded.len(),
+                self.checkpoints.len()
+            ));
+        }
+        if self.corrupt_lines + self.unknown_lines > 0 {
+            out.push_str(&format!(
+                "skipped lines: {} corrupt dropped, {} unknown record kinds\n",
+                self.corrupt_lines, self.unknown_lines
             ));
         }
         let mut run_wide: Vec<&HistoRecord> =
@@ -427,6 +536,15 @@ impl RunJournal {
                 rules: self.lineages.len() as u64,
                 boundaries: self.boundaries.len() as u64,
             },
+            resilience: ResilienceDigest {
+                faults: self.faults.len() as u64,
+                recovered: self.retries.iter().filter(|r| r.recovered).count() as u64,
+                abandoned: self.retries.iter().filter(|r| !r.recovered).count() as u64,
+                degraded: self.degraded.len() as u64,
+                checkpoints: self.checkpoints.len() as u64,
+                corrupt_lines: self.corrupt_lines,
+                unknown_lines: self.unknown_lines,
+            },
         }
     }
 
@@ -459,6 +577,7 @@ pub struct JournalSummary {
     pub histograms: Vec<HistogramSummary>,
     pub plans: PlanDigest,
     pub lineage: LineageDigest,
+    pub resilience: ResilienceDigest,
 }
 
 /// Key statistics of one run-wide histogram in a [`JournalSummary`].
@@ -487,6 +606,19 @@ pub struct PlanDigest {
 pub struct LineageDigest {
     pub rules: u64,
     pub boundaries: u64,
+}
+
+/// Resilience totals in a [`JournalSummary`]: injected faults, retry
+/// verdicts, degraded units, checkpoints, and parse losses.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResilienceDigest {
+    pub faults: u64,
+    pub recovered: u64,
+    pub abandoned: u64,
+    pub degraded: u64,
+    pub checkpoints: u64,
+    pub corrupt_lines: u64,
+    pub unknown_lines: u64,
 }
 
 /// A name-sorted copy of `(name, value)` pairs — serialisation order

@@ -24,15 +24,21 @@
 //!   frequency, translation attempts, §4.4 error class, correction,
 //!   final scores) and the §4.5 window-boundary breakages, attached
 //!   to spans like plan profiles;
+//! * **resilience records** ([`ChaosRecord`], [`FaultRecord`],
+//!   [`RetryRecord`], [`DegradedRecord`], [`CheckpointRecord`]) —
+//!   injected transient faults, retry verdicts, degraded units and
+//!   completed-unit checkpoints written by chaos runs, the substrate
+//!   behind `grm mine --fault-rate`/`--resume`;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
-//!   tree, counter totals, histograms, plan profiles and lineage
-//!   (schema v4; v1–v3 journals still parse), written by `grm mine
-//!   --trace` and the `repro` binary;
+//!   tree, counter totals, histograms, plan profiles, lineage and
+//!   resilience records (schema v5; v1–v4 journals still parse),
+//!   written by `grm mine --trace` and the `repro` binary;
 //! * **trace analytics** ([`TraceDiff`], [`folded_stacks`],
 //!   [`TraceBaseline`], [`PlanReport`], [`PlanBaseline`],
-//!   [`LineageReport`], [`LineageBaseline`]) — run-over-run diffing,
-//!   flamegraph export, operator cost tables, rule-provenance tables
-//!   and the CI perf/lineage regression gates behind `grm trace`.
+//!   [`LineageReport`], [`LineageBaseline`], [`FaultReport`],
+//!   [`ChaosBaseline`]) — run-over-run diffing, flamegraph export,
+//!   operator cost tables, rule-provenance tables, fault digests and
+//!   the CI perf/lineage/chaos regression gates behind `grm trace`.
 //!
 //! The entry point is [`Recorder`]. A disabled recorder costs one
 //! `Option` check per call, so instrumented code paths stay free when
@@ -65,18 +71,20 @@ mod journal;
 mod lineage;
 mod plan;
 mod recorder;
+mod resilience;
 
 pub use analytics::{
-    explain_rule, folded_stacks, BaselineHisto, CounterDiffRow, FlameWeight, HistoDiffRow,
-    LineageBaseline, LineageReport, OriginYield, PlanBaseline, PlanBaselineOp, PlanOpAgg,
-    PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
+    explain_rule, folded_stacks, BaselineHisto, ChaosBaseline, CounterDiffRow, FaultReport,
+    FlameWeight, HistoDiffRow, LineageBaseline, LineageReport, OriginYield, PlanBaseline,
+    PlanBaselineOp, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use journal::{
     HistoRecord, HistogramSummary, JournalRecord, JournalSummary, LineageDigest, PlanDigest,
-    RunJournal, SpanRecord, StageTiming,
+    ResilienceDigest, RunJournal, SpanRecord, StageTiming,
 };
 pub use lineage::{BoundaryRecord, LineageRecord, OriginRef};
 pub use plan::{PlanOpRecord, PlanRecord, SlowQueryPolicy};
 pub use recorder::{Recorder, Scope, Span};
+pub use resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};

@@ -15,6 +15,7 @@ use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord};
 use crate::lineage::{BoundaryRecord, LineageRecord};
 use crate::plan::{PlanRecord, SlowQueryPolicy};
+use crate::resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
 
 #[derive(Debug)]
 struct SpanData {
@@ -39,12 +40,20 @@ struct State {
     plans: Vec<PlanRecord>,
     lineages: Vec<LineageRecord>,
     boundaries: Vec<BoundaryRecord>,
+    chaos: Option<ChaosRecord>,
+    faults: Vec<FaultRecord>,
+    retries: Vec<RetryRecord>,
+    degraded: Vec<DegradedRecord>,
+    checkpoints: Vec<CheckpointRecord>,
     slow_queries: SlowQueryPolicy,
 }
 
 #[derive(Debug)]
 struct Inner {
     started: Instant,
+    /// When set, snapshots zero every wall-clock field so two runs of
+    /// the same seeded pipeline serialise byte-identically.
+    deterministic: bool,
     state: Mutex<State>,
 }
 
@@ -69,6 +78,21 @@ impl Recorder {
         Recorder {
             inner: Some(Arc::new(Inner {
                 started: Instant::now(),
+                deterministic: false,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// An enabled recorder whose snapshots zero every wall-clock
+    /// field (`start_ms`, `real_ms`, plan microseconds) — the mode
+    /// chaos runs use so two runs with the same `(seed, fault-seed,
+    /// fault-rate)` write byte-identical journals.
+    pub fn deterministic() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                started: Instant::now(),
+                deterministic: true,
                 state: Mutex::new(State::default()),
             })),
         }
@@ -218,6 +242,46 @@ impl Recorder {
         }
     }
 
+    /// Sets the chaos-run identity line written with the journal.
+    pub fn set_chaos(&self, chaos: ChaosRecord) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.chaos = Some(chaos);
+        }
+    }
+
+    fn record_fault(&self, span: Option<usize>, mut fault: FaultRecord) {
+        if let Some(inner) = &self.inner {
+            fault.span = span.map(|id| id as u64);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.faults.push(fault);
+        }
+    }
+
+    fn record_retry(&self, span: Option<usize>, mut retry: RetryRecord) {
+        if let Some(inner) = &self.inner {
+            retry.span = span.map(|id| id as u64);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.retries.push(retry);
+        }
+    }
+
+    fn record_degraded(&self, span: Option<usize>, mut record: DegradedRecord) {
+        if let Some(inner) = &self.inner {
+            record.span = span.map(|id| id as u64);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.degraded.push(record);
+        }
+    }
+
+    fn record_checkpoint(&self, span: Option<usize>, mut checkpoint: CheckpointRecord) {
+        if let Some(inner) = &self.inner {
+            checkpoint.span = span.map(|id| id as u64);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.checkpoints.push(checkpoint);
+        }
+    }
+
     /// Freezes the current state into a serialisable journal. Spans
     /// still open are reported with their elapsed-so-far duration.
     pub fn snapshot(&self) -> RunJournal {
@@ -233,8 +297,16 @@ impl Recorder {
                 id: id as u64,
                 parent: s.parent.map(|p| p as u64),
                 name: s.name.clone(),
-                start_ms: s.start.duration_since(inner.started).as_secs_f64() * 1e3,
-                real_ms: s.real_secs.unwrap_or_else(|| s.start.elapsed().as_secs_f64()) * 1e3,
+                start_ms: if inner.deterministic {
+                    0.0
+                } else {
+                    s.start.duration_since(inner.started).as_secs_f64() * 1e3
+                },
+                real_ms: if inner.deterministic {
+                    0.0
+                } else {
+                    s.real_secs.unwrap_or_else(|| s.start.elapsed().as_secs_f64()) * 1e3
+                },
                 sim_seconds: s.sim_seconds,
                 counters: s.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
                 gauges: s.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
@@ -261,14 +333,32 @@ impl Recorder {
                 });
             }
         }
+        let mut plans = state.plans.clone();
+        if inner.deterministic {
+            // Wall-clock microseconds are the only schedule-dependent
+            // plan fields; zero them so chaos journals byte-compare.
+            for plan in &mut plans {
+                plan.total_us = 0;
+                for op in &mut plan.ops {
+                    op.self_us = 0;
+                }
+            }
+        }
         RunJournal {
             spans,
             totals: state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             gauges: state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             histos,
-            plans: state.plans.clone(),
+            plans,
             lineages: state.lineages.clone(),
             boundaries: state.boundaries.clone(),
+            chaos: state.chaos.clone(),
+            faults: state.faults.clone(),
+            retries: state.retries.clone(),
+            degraded: state.degraded.clone(),
+            checkpoints: state.checkpoints.clone(),
+            corrupt_lines: 0,
+            unknown_lines: 0,
         }
     }
 }
@@ -339,6 +429,27 @@ impl Scope {
     /// span.
     pub fn boundary(&self, boundary: BoundaryRecord) {
         self.rec.record_boundary(self.parent, boundary);
+    }
+
+    /// Stores an injected-fault record attached to this scope's span.
+    pub fn fault(&self, fault: FaultRecord) {
+        self.rec.record_fault(self.parent, fault);
+    }
+
+    /// Stores a retry-verdict record attached to this scope's span.
+    pub fn retry(&self, retry: RetryRecord) {
+        self.rec.record_retry(self.parent, retry);
+    }
+
+    /// Stores a degraded-unit record attached to this scope's span.
+    pub fn degraded(&self, record: DegradedRecord) {
+        self.rec.record_degraded(self.parent, record);
+    }
+
+    /// Stores a completed-unit checkpoint attached to this scope's
+    /// span, for `grm mine --resume` to replay.
+    pub fn checkpoint(&self, checkpoint: CheckpointRecord) {
+        self.rec.record_checkpoint(self.parent, checkpoint);
     }
 }
 

@@ -191,7 +191,7 @@ fn journal_v2_jsonl_includes_histo_lines() {
     // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
     assert_eq!(text.lines().count(), 2 + 1 + 4);
     assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
-    assert!(text.lines().next().unwrap().contains(r#""version":4"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":5"#));
     let parsed = RunJournal::from_jsonl(&text).unwrap();
     assert_eq!(parsed, journal);
 }
@@ -275,7 +275,7 @@ fn journal_with_plans() -> RunJournal {
 fn journal_v3_plan_lines_round_trip_deterministically() {
     let journal = journal_with_plans();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":4"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":5"#));
     let plan_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Plan""#)).collect();
     assert_eq!(plan_lines.len(), 2);
     // Plan lines come scope-sorted, operators path-sorted within.
@@ -305,7 +305,7 @@ fn v2_readers_skip_v3_plan_records() {
     // knows.
     let text = journal_with_plans()
         .to_jsonl()
-        .replace(r#""version":4"#, r#""version":2"#)
+        .replace(r#""version":5"#, r#""version":2"#)
         .replace(r#"{"Plan""#, r#"{"PlanV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v2 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -317,7 +317,7 @@ fn v2_readers_skip_v3_plan_records() {
     // strict under the current reader.
     let rec = Recorder::new();
     rec.root_scope().span("mine").finish();
-    let v2 = rec.snapshot().to_jsonl().replace(r#""version":4"#, r#""version":2"#);
+    let v2 = rec.snapshot().to_jsonl().replace(r#""version":5"#, r#""version":2"#);
     assert!(RunJournal::from_jsonl(&v2).is_ok());
 }
 
@@ -380,7 +380,7 @@ fn journal_with_lineage() -> RunJournal {
 fn journal_v4_lineage_lines_round_trip_deterministically() {
     let journal = journal_with_lineage();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":4"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":5"#));
     let lineage_lines: Vec<&str> =
         text.lines().filter(|l| l.starts_with(r#"{"Lineage""#)).collect();
     assert_eq!(lineage_lines.len(), 2);
@@ -417,7 +417,7 @@ fn v3_readers_skip_v4_lineage_records() {
     // version and renaming both keys to ones no reader knows.
     let text = journal_with_lineage()
         .to_jsonl()
-        .replace(r#""version":4"#, r#""version":3"#)
+        .replace(r#""version":5"#, r#""version":3"#)
         .replace(r#"{"Lineage""#, r#"{"LineageV9""#)
         .replace(r#"{"Boundary""#, r#"{"BoundaryV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v3 strict reader must not error");
@@ -429,7 +429,7 @@ fn v3_readers_skip_v4_lineage_records() {
 
     // And a genuine v3 journal (no Lineage lines at all) still parses
     // strict under the v4 reader.
-    let v3 = journal_with_plans().to_jsonl().replace(r#""version":4"#, r#""version":3"#);
+    let v3 = journal_with_plans().to_jsonl().replace(r#""version":5"#, r#""version":3"#);
     assert!(RunJournal::from_jsonl(&v3).is_ok());
 }
 

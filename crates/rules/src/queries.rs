@@ -26,7 +26,7 @@ use grm_pgraph::Value;
 use crate::rule::ConsistencyRule;
 
 /// The three metric queries of a rule.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RuleQueries {
     /// Counts elements satisfying the rule (numerator everywhere).
     pub satisfied: String,

@@ -71,8 +71,10 @@ const USAGE: &str = "usage:
   grm query    --graph FILE \"<cypher>\"
   grm mine     --graph FILE [--model llama3|mixtral] [--strategy swa|rag|summary]
                [--prompting zero|few] [--seed N] [--workers N] [--json FILE]
-               [--trace FILE.jsonl] [--trace-summary]
+               [--trace FILE.jsonl] [--trace-summary] [--deterministic]
                [--slow-query-ms MS] [--slow-query-db-hits N]
+               [--fault-rate F] [--fault-seed N] [--max-retries N]
+               [--breaker-threshold N] [--kill-after N] [--resume FILE.jsonl]
   grm audit    --graph FILE [--limit N]
   grm check    --graph FILE --rules FILE [--limit N] [--trace FILE.jsonl]
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
@@ -82,6 +84,7 @@ const USAGE: &str = "usage:
   grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]
   grm trace    plans FILE.jsonl [--top N] [--check PLANS.json [--tolerance FRACTION]]
   grm trace    lineage FILE.jsonl [--json] [--check LINEAGE.json]
+  grm trace    faults FILE.jsonl [--json] [--check CHAOS.json]
   grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
@@ -207,9 +210,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_mine(args: &[String]) -> Result<(), String> {
-    use graph_rule_mining::obs::{Recorder, SlowQueryPolicy};
+    use graph_rule_mining::obs::{Recorder, RunJournal, SlowQueryPolicy};
+    use graph_rule_mining::pipeline::{Resilience, ResumeState, RunStatus};
+    use graph_rule_mining::resil::ChaosConfig;
 
-    let flags = parse_flags(args, &["trace-summary"])?;
+    let flags = parse_flags(args, &["trace-summary", "deterministic"])?;
     let g = load_graph(&flags)?;
     let model = match flags.named.get("model").map(String::as_str) {
         None | Some("llama3") => ModelKind::Llama3,
@@ -231,55 +236,143 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     config.seed = parse_or(&flags, "seed", 42)?;
     let workers: usize = parse_or(&flags, "workers", 1)?;
 
+    // Chaos / resume configuration (all off by default).
+    let mut chaos = ChaosConfig {
+        fault_seed: parse_or(&flags, "fault-seed", ChaosConfig::default().fault_seed)?,
+        fault_rate: parse_or(&flags, "fault-rate", 0.0)?,
+        max_retries: parse_or(&flags, "max-retries", ChaosConfig::default().max_retries)?,
+        breaker_threshold: parse_or(
+            &flags,
+            "breaker-threshold",
+            ChaosConfig::default().breaker_threshold,
+        )?,
+    };
+    if !(0.0..=1.0).contains(&chaos.fault_rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {}", chaos.fault_rate));
+    }
+    let mut resume_state = None;
+    if let Some(path) = flags.named.get("resume") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let journal =
+            RunJournal::from_jsonl_lossy(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        if journal.corrupt_lines > 0 {
+            eprintln!(
+                "note: {path} lost {} damaged line(s); resuming from what survived",
+                journal.corrupt_lines
+            );
+        }
+        let (record, state) = ResumeState::from_journal(&journal)?;
+        // The journal's Chaos record is the source of truth for the
+        // run's identity; explicitly-passed flags must agree with it.
+        let resumed_model = match record.model.as_str() {
+            "Llama-3" => ModelKind::Llama3,
+            "Mixtral" => ModelKind::Mixtral,
+            other => return Err(format!("{path}: unknown model `{other}` in Chaos record")),
+        };
+        let resumed_strategy = match record.strategy.as_str() {
+            "Sliding Window Attention" => ContextStrategy::default_sliding_window(),
+            "RAG" => ContextStrategy::default_rag(),
+            "Summary" => ContextStrategy::default_summary(),
+            other => return Err(format!("{path}: unknown strategy `{other}` in Chaos record")),
+        };
+        let resumed_prompting = match record.prompting.as_str() {
+            "Zero-shot" => PromptStyle::ZeroShot,
+            "Few-shot" => PromptStyle::FewShot,
+            other => return Err(format!("{path}: unknown prompting `{other}` in Chaos record")),
+        };
+        let conflict = |flag: &str, agrees: bool| -> Result<(), String> {
+            if flags.named.contains_key(flag) && !agrees {
+                return Err(format!(
+                    "--{flag} conflicts with the resumed journal — drop the flag or start fresh"
+                ));
+            }
+            Ok(())
+        };
+        conflict("model", model == resumed_model)?;
+        conflict("strategy", strategy == resumed_strategy)?;
+        conflict("prompting", prompting == resumed_prompting)?;
+        conflict("seed", config.seed == record.run_seed)?;
+        conflict("fault-seed", chaos.fault_seed == record.fault_seed)?;
+        conflict("fault-rate", chaos.fault_rate == record.fault_rate)?;
+        conflict("max-retries", chaos.max_retries == record.max_retries)?;
+        conflict("breaker-threshold", chaos.breaker_threshold == record.breaker_threshold)?;
+        if (g.node_count() as u64, g.edge_count() as u64)
+            != (record.graph_nodes, record.graph_edges)
+        {
+            return Err(format!(
+                "graph has {} nodes / {} edges but the resumed run mined {} / {} — \
+                 pass the same --graph the killed run used",
+                g.node_count(),
+                g.edge_count(),
+                record.graph_nodes,
+                record.graph_edges
+            ));
+        }
+        config.model = resumed_model;
+        config.strategy = resumed_strategy;
+        config.prompting = resumed_prompting;
+        config.seed = record.run_seed;
+        chaos = ChaosConfig {
+            fault_seed: record.fault_seed,
+            fault_rate: record.fault_rate,
+            max_retries: record.max_retries,
+            breaker_threshold: record.breaker_threshold,
+        };
+        eprintln!("resuming from {path}: {} checkpointed unit(s) will be replayed", state.units());
+        resume_state = Some(state);
+    }
+
     let trace_path = flags.named.get("trace");
     let trace_summary = flags.switches.iter().any(|s| s == "trace-summary");
-    let recorder = Recorder::new();
+    let kill_after: Option<usize> = parse_opt(&flags, "kill-after")?;
+    if kill_after.is_some() {
+        if chaos.fault_rate <= 0.0 {
+            return Err(
+                "--kill-after needs --fault-rate > 0 — only chaos runs checkpoint work".into()
+            );
+        }
+        if workers > 1 {
+            return Err(
+                "--kill-after requires --workers 1 (the kill point counts serial units)".into()
+            );
+        }
+        if trace_path.is_none() {
+            return Err(
+                "--kill-after without --trace would lose the checkpoints; add --trace FILE.jsonl"
+                    .into(),
+            );
+        }
+    }
+    let deterministic = flags.switches.iter().any(|s| s == "deterministic");
+    let recorder = if deterministic { Recorder::deterministic() } else { Recorder::new() };
     let slow_policy = SlowQueryPolicy {
         max_millis: parse_opt(&flags, "slow-query-ms")?,
         max_db_hits: parse_opt(&flags, "slow-query-db-hits")?,
     };
     if !slow_policy.is_empty() {
+        if deterministic {
+            return Err("--deterministic excludes the slow-query flags — slow-query detection \
+                 reads the real clock"
+                .into());
+        }
         recorder.set_slow_query_policy(slow_policy);
     }
+    let resil = Resilience { resume: resume_state, kill_after, ..Resilience::chaos(chaos) };
 
     let pipeline = MiningPipeline::new(config);
-    let report = if workers > 1 {
-        pipeline.run_with_workers_traced(&g, workers, &recorder)
-    } else {
-        pipeline.run_traced(&g, &recorder)
+    let status = pipeline.run_resilient(&g, workers, &recorder, &resil);
+    let report = match status {
+        RunStatus::Complete(report) => Some(*report),
+        RunStatus::Killed { stage, completed_units } => {
+            eprintln!(
+                "run killed mid-{stage} after {completed_units} completed unit(s); \
+                 resume it with `grm mine --resume <trace.jsonl> --graph <same graph>`"
+            );
+            None
+        }
     };
-
-    println!(
-        "{} | {} | {}: {} rules in {:.1}s (simulated), correctness {}",
-        report.model.name(),
-        report.strategy_name,
-        report.prompting.name(),
-        report.rule_count(),
-        report.mining_seconds,
-        report.correctness.as_fraction()
-    );
-    for outcome in &report.rules {
-        let metrics = outcome
-            .metrics
-            .map(|m| {
-                format!(
-                    "supp={} cov={:.1}% conf={:.1}%",
-                    m.support, m.coverage_pct, m.confidence_pct
-                )
-            })
-            .unwrap_or_else(|| "unscored".into());
-        println!("  - {} [{metrics}]", outcome.nl);
-    }
-    if let Some(path) = flags.named.get("json") {
-        let json = report.to_json_pretty().map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("full report written to {path}");
-    }
-    if let Some(path) = flags.named.get("rules-out") {
-        let rules: Vec<_> = report.rules.iter().map(|o| &o.rule).collect();
-        let json = serde_json::to_string_pretty(&rules).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("rule book ({} rules) written to {path}", rules.len());
+    if let Some(report) = report {
+        print_mining_report(&report, &flags)?;
     }
     let slow = recorder.slow_queries();
     if !slow.is_empty() {
@@ -307,6 +400,66 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         if trace_summary {
             print!("{}", journal.summary());
         }
+    }
+    Ok(())
+}
+
+/// Prints a completed run's report (and writes `--json`/`--rules-out`
+/// files when asked).
+fn print_mining_report(
+    report: &graph_rule_mining::pipeline::MiningReport,
+    flags: &Flags,
+) -> Result<(), String> {
+    println!(
+        "{} | {} | {}: {} rules in {:.1}s (simulated), correctness {}",
+        report.model.name(),
+        report.strategy_name,
+        report.prompting.name(),
+        report.rule_count(),
+        report.mining_seconds,
+        report.correctness.as_fraction()
+    );
+    for outcome in &report.rules {
+        let metrics = outcome
+            .metrics
+            .map(|m| {
+                format!(
+                    "supp={} cov={:.1}% conf={:.1}%",
+                    m.support, m.coverage_pct, m.confidence_pct
+                )
+            })
+            .unwrap_or_else(|| "unscored".into());
+        println!("  - {} [{metrics}]", outcome.nl);
+    }
+    if let Some(rs) = &report.resilience {
+        println!(
+            "chaos: {} fault(s) injected, {} call(s) retried, {} abandoned; \
+             degraded windows/rules/queries {}/{}/{}; breaker trips {}",
+            rs.faults_injected,
+            rs.llm_calls_retried,
+            rs.llm_calls_abandoned,
+            rs.windows_degraded,
+            rs.rules_degraded,
+            rs.queries_degraded,
+            rs.breaker_trips
+        );
+        if rs.resumed_mine_units + rs.resumed_translate_units > 0 {
+            println!(
+                "resumed: {} mine + {} translate unit(s) replayed from checkpoints",
+                rs.resumed_mine_units, rs.resumed_translate_units
+            );
+        }
+    }
+    if let Some(path) = flags.named.get("json") {
+        let json = report.to_json_pretty().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("full report written to {path}");
+    }
+    if let Some(path) = flags.named.get("rules-out") {
+        let rules: Vec<_> = report.rules.iter().map(|o| &o.rule).collect();
+        let json = serde_json::to_string_pretty(&rules).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("rule book ({} rules) written to {path}", rules.len());
     }
     Ok(())
 }
@@ -483,13 +636,13 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 /// folded flamegraph stacks, and a baseline regression check.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::obs::{
-        folded_stacks, FlameWeight, LineageBaseline, LineageReport, PlanBaseline, PlanReport,
-        RunJournal, TraceBaseline, TraceDiff,
+        folded_stacks, ChaosBaseline, FaultReport, FlameWeight, LineageBaseline, LineageReport,
+        PlanBaseline, PlanReport, RunJournal, TraceBaseline, TraceDiff,
     };
 
     let Some((verb, rest)) = args.split_first() else {
         return Err(format!(
-            "trace needs a verb (summary|diff|flame|check|plans|lineage)\n{USAGE}"
+            "trace needs a verb (summary|diff|flame|check|plans|lineage|faults)\n{USAGE}"
         ));
     };
     let load = |path: &str| -> Result<RunJournal, String> {
@@ -543,6 +696,41 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                     eprintln!("REGRESSION: {v}");
                 }
                 Err(format!("{} lineage regression(s) against {baseline_path}", violations.len()))
+            }
+        }
+        "faults" => {
+            let flags = parse_flags(rest, &["json"])?;
+            let path = flags.positional.first().ok_or("trace faults needs a journal FILE")?;
+            let journal = load(path)?;
+            let report = FaultReport::from_journal(&journal);
+            if report.is_empty() {
+                return Err(format!(
+                    "{path} has no chaos records — produce it with \
+                     `grm mine --fault-rate 0.2 --trace FILE.jsonl` (journal schema v5+)"
+                ));
+            }
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", report.render());
+            }
+            let Some(baseline_path) = flags.named.get("check") else {
+                return Ok(());
+            };
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline: ChaosBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let violations = baseline.check(&journal);
+            if violations.is_empty() {
+                println!("chaos check passed: {path} matches {baseline_path} exactly");
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} chaos regression(s) against {baseline_path}", violations.len()))
             }
         }
         "diff" => {

@@ -8,6 +8,7 @@ pub use grm_metrics as metrics;
 pub use grm_obs as obs;
 pub use grm_pgraph as pgraph;
 pub use grm_relational as relational;
+pub use grm_resil as resil;
 pub use grm_rules as rules;
 pub use grm_textenc as textenc;
 pub use grm_vecstore as vecstore;

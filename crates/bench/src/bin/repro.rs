@@ -35,6 +35,13 @@
 //!   yields, boundary breakages) into a `LineageBaseline` snapshot for
 //!   `grm trace lineage --check` (this is how `BENCH_lineage.json` is
 //!   regenerated — the check is exact, the pipeline is deterministic);
+//! * `--optimizer-gate PLANS.json` — run the optimizer A/B suite (the
+//!   exhaustive miner's reference queries on WWC2019, once naive and
+//!   once through the optimizing layer), assert result-set equality
+//!   and a ≥20% total db-hits drop, and compare the digest exactly
+//!   against the `optimizer` section of the committed plan baseline
+//!   (the CI optimizer-gate step; `--plans-baseline` refreshes the
+//!   section);
 //! * `--chaos FILE.jsonl` — one chaos run (fixed fault plan, see
 //!   DESIGN.md §10) with its journal written as JSONL;
 //! * `--chaos-baseline FILE.json` — with `--chaos`, freeze the run's
@@ -72,6 +79,7 @@ struct Args {
     lineage_baseline: Option<String>,
     chaos: Option<String>,
     chaos_baseline: Option<String>,
+    optimizer_gate: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -90,6 +98,7 @@ fn parse_args() -> Args {
         lineage_baseline: None,
         chaos: None,
         chaos_baseline: None,
+        optimizer_gate: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -147,6 +156,11 @@ fn parse_args() -> Args {
             "--chaos-baseline" => {
                 any = true;
                 args.chaos_baseline = Some(it.next().expect("--chaos-baseline needs a file path"));
+            }
+            "--optimizer-gate" => {
+                any = true;
+                args.optimizer_gate =
+                    Some(it.next().expect("--optimizer-gate needs a plan-baseline path"));
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -267,6 +281,138 @@ fn main() {
         eprintln!("--chaos-baseline requires --chaos FILE.jsonl");
         std::process::exit(2);
     }
+    if let Some(baseline_path) = &args.optimizer_gate {
+        optimizer_gate(&args, baseline_path);
+    }
+}
+
+/// The optimizer A/B suite: every reference query of the exhaustive
+/// (AMIE-style) miner on WWC2019 — the same Filter→Expand→Count
+/// shapes the metric scorers run, with head-total queries repeating
+/// verbatim across rules sharing a head, so the result memo has real
+/// work to do.
+fn optimizer_suite(graph: &grm_pgraph::PropertyGraph) -> Vec<String> {
+    let mined = grm_baseline::mine_exhaustive(graph, grm_baseline::MinerConfig::default());
+    let mut suite = Vec::with_capacity(mined.len() * 3);
+    for m in &mined {
+        let q = grm_rules::reference_queries(&m.rule);
+        suite.push(q.satisfied);
+        suite.push(q.body);
+        suite.push(q.head_total);
+    }
+    suite
+}
+
+/// One A/B pass: the suite naive, then through a fresh
+/// [`grm_cypher::BatchSession`]. Exits non-zero if any query's
+/// optimized result set differs from the naive one — the layer's
+/// correctness contract, enforced before any perf claim.
+fn optimizer_ab(args: &Args) -> grm_obs::OptimizerBaseline {
+    use grm_cypher::{execute_profiled, BatchConfig, BatchSession};
+
+    let data = generate(
+        DatasetId::Wwc2019,
+        &GenConfig { seed: args.seed, scale: args.scale, clean: false },
+    );
+    let graph = &data.graph;
+    let suite = optimizer_suite(graph);
+    let mut session = BatchSession::new(BatchConfig::default());
+    let mut naive_db_hits = 0u64;
+    let mut optimized_db_hits = 0u64;
+    for q in &suite {
+        let (naive_rs, naive_prof) = match execute_profiled(graph, q) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("optimizer suite query failed naively: {e}\n  {q}");
+                std::process::exit(1);
+            }
+        };
+        naive_db_hits += naive_prof.db_hits().total();
+        let (opt_rs, opt_prof) = match session.execute_profiled(graph, q) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("optimizer suite query failed optimized: {e}\n  {q}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(prof) = opt_prof {
+            optimized_db_hits += prof.db_hits().total();
+        }
+        if naive_rs != *opt_rs {
+            eprintln!("REGRESSION: optimized execution changed the result set of: {q}");
+            std::process::exit(1);
+        }
+    }
+    let stats = session.stats();
+    grm_obs::OptimizerBaseline {
+        suite_queries: suite.len() as u64,
+        naive_db_hits,
+        optimized_db_hits,
+        plan_cache_lookups: stats.plan_cache.lookups,
+        plan_cache_hits: stats.plan_cache.hits,
+        memo_hits: stats.memo_hits,
+        plan_cache_hit_rate_pct: stats.plan_cache.hit_rate_pct(),
+    }
+}
+
+/// `--optimizer-gate`: re-run the A/B suite, require the ≥20% db-hits
+/// drop, and compare the digest exactly against the committed plan
+/// baseline's `optimizer` section.
+fn optimizer_gate(args: &Args, baseline_path: &str) {
+    let current = optimizer_ab(args);
+    println!("== optimizer gate: WWC2019 exhaustive-miner suite ==");
+    println!(
+        "  {} queries: naive {} db-hits, optimized {} ({:.1}% drop)",
+        current.suite_queries,
+        current.naive_db_hits,
+        current.optimized_db_hits,
+        current.db_hits_drop_pct(),
+    );
+    println!(
+        "  plan cache: {}/{} hits ({:.1}%), {} memoized result(s)",
+        current.plan_cache_hits,
+        current.plan_cache_lookups,
+        current.plan_cache_hit_rate_pct,
+        current.memo_hits,
+    );
+    // ≥20% drop, in integers: optimized ≤ 0.8 × naive.
+    if current.optimized_db_hits * 5 > current.naive_db_hits * 4 {
+        eprintln!(
+            "REGRESSION: optimized db-hits dropped only {:.1}% vs naive (≥20% required)",
+            current.db_hits_drop_pct()
+        );
+        std::process::exit(1);
+    }
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("reading {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline: grm_obs::PlanBaseline = match serde_json::from_str(&text) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("parsing {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(expected) = baseline.optimizer else {
+        eprintln!(
+            "{baseline_path} has no optimizer digest — refresh it with \
+             `repro --trace run.jsonl --plans-baseline {baseline_path}`"
+        );
+        std::process::exit(1);
+    };
+    let violations = expected.check(&current);
+    if violations.is_empty() {
+        println!("optimizer gate passed: digest matches {baseline_path} exactly");
+    } else {
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// `--chaos`: one pipeline run under the canonical fault plan
@@ -365,7 +511,10 @@ fn trace_run(args: &Args, path: &str) {
         println!("(baseline snapshot written to {baseline_path})");
     }
     if let Some(plans_path) = &args.plans_baseline {
-        let baseline = grm_obs::PlanBaseline::from_journal(&journal);
+        let mut baseline = grm_obs::PlanBaseline::from_journal(&journal);
+        // Refresh the optimizer A/B digest alongside the per-operator
+        // budgets — the two halves of BENCH_plans.json travel together.
+        baseline.optimizer = Some(optimizer_ab(args));
         let json = match serde_json::to_string_pretty(&baseline) {
             Ok(json) => json,
             Err(e) => {

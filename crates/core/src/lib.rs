@@ -29,7 +29,7 @@ pub mod report;
 pub mod resilience;
 pub mod session;
 
-pub use config::{ContextStrategy, PipelineConfig};
+pub use config::{ContextStrategy, PipelineConfig, ScoringConfig};
 pub use parallel::{
     mine_parallel, mine_parallel_resilient, mine_parallel_traced, ParallelMining, ResilientMining,
 };

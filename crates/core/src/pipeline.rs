@@ -13,10 +13,12 @@
 
 use std::collections::HashMap;
 
+use grm_cypher::{BatchConfig, BatchSession, PlanCacheConfig};
 use grm_llm::{CallSkip, MiningPrompt, ResilientLlm, SimLlm, TranslationResponse};
 use grm_metrics::{
-    aggregate, class_counter, classify, correct, evaluate_labeled, evaluate_resilient, ClassTally,
-    QueryClass, RuleMetrics,
+    aggregate, class_counter, classify, correct, evaluate_labeled, evaluate_labeled_batched,
+    evaluate_resilient, evaluate_resilient_batched, record_batch_stats, ClassTally, QueryClass,
+    RuleMetrics,
 };
 use grm_obs::{
     ChaosRecord, CheckpointRecord, Counter, DegradedRecord, Histo, LineageRecord, OriginRef,
@@ -512,6 +514,7 @@ impl MiningPipeline {
         // query engine is local, not a shared provider.
         let evaluate_span = root_scope.span("evaluate");
         let evaluate_scope = evaluate_span.scope();
+        let mut session = self.scoring_session();
         let mut correctness = ClassTally::default();
         let mut outcomes = Vec::with_capacity(selected.len());
         for (i, (m, resp)) in selected.into_iter().zip(translations).enumerate() {
@@ -525,8 +528,21 @@ impl MiningPipeline {
                 origins,
                 &evaluate_scope,
                 &mut correctness,
-                |queries, label| evaluate_resilient(graph, queries, &evaluate_scope, label, &unit),
+                |queries, label| match session.as_mut() {
+                    Some(session) => evaluate_resilient_batched(
+                        graph,
+                        queries,
+                        &evaluate_scope,
+                        label,
+                        &unit,
+                        session,
+                    ),
+                    None => evaluate_resilient(graph, queries, &evaluate_scope, label, &unit),
+                },
             ));
+        }
+        if let Some(session) = &session {
+            record_batch_stats(&evaluate_scope, &session.stats());
         }
         evaluate_span.finish();
         root_span.finish();
@@ -548,6 +564,24 @@ impl MiningPipeline {
             stage_timings: recorder.snapshot().stage_timings(),
             resilience: None,
         }
+    }
+
+    /// The scoring session of one evaluate pass, or `None` on the
+    /// naive path (`--no-optimizer`). Built identically for the plain
+    /// and chaos loops: the session keys every decision on query text
+    /// and the graph epoch, so a resumed or chaos run replaying the
+    /// same rule sequence journals byte-identical counters.
+    fn scoring_session(&self) -> Option<BatchSession> {
+        let scoring = self.config.scoring;
+        scoring.optimize.then(|| {
+            BatchSession::new(BatchConfig {
+                plan_cache: PlanCacheConfig {
+                    capacity: scoring.plan_cache_size,
+                    ..PlanCacheConfig::default()
+                },
+                ..BatchConfig::default()
+            })
+        })
     }
 
     /// Steps 4–7: merge, translate, classify/correct, score.
@@ -607,6 +641,7 @@ impl MiningPipeline {
         // Steps 6–7: classify, correct, score.
         let evaluate_span = root_scope.span("evaluate");
         let evaluate_scope = evaluate_span.scope();
+        let mut session = self.scoring_session();
         let mut correctness = ClassTally::default();
         let mut outcomes = Vec::with_capacity(selected.len());
         for (i, (m, resp)) in selected.into_iter().zip(translations).enumerate() {
@@ -618,8 +653,23 @@ impl MiningPipeline {
                 origins,
                 &evaluate_scope,
                 &mut correctness,
-                |queries, label| evaluate_labeled(graph, queries, &evaluate_scope, label).ok(),
+                |queries, label| {
+                    match session.as_mut() {
+                        Some(session) => evaluate_labeled_batched(
+                            graph,
+                            queries,
+                            &evaluate_scope,
+                            label,
+                            session,
+                        )
+                        .ok(),
+                        None => evaluate_labeled(graph, queries, &evaluate_scope, label).ok(),
+                    }
+                },
             ));
+        }
+        if let Some(session) = &session {
+            record_batch_stats(&evaluate_scope, &session.stats());
         }
         evaluate_span.finish();
         root_span.finish();

@@ -96,12 +96,37 @@ pub fn execute_profiled(graph: &PropertyGraph, src: &str) -> Result<(ResultSet, 
     Ok((result, prof.finish(src)))
 }
 
+/// Parses `src`, runs the optimizer rewrite pass against `graph`'s
+/// statistics, and executes the rewritten query. Result-identical to
+/// [`execute`] — the rewrite rules are proven order-preserving (see
+/// `optimizer`) — but typically far cheaper in db-hits. For repeated
+/// queries prefer a [`crate::BatchSession`], which also caches the
+/// compiled plan and memoizes results.
+pub fn execute_optimized(graph: &PropertyGraph, src: &str) -> Result<ResultSet> {
+    let query = parse(src)?;
+    let (query, _) = crate::optimizer::optimize(&query, graph);
+    execute_query_inner(graph, &query, None)
+}
+
+/// [`execute_optimized`] with operator-level profiling; also returns
+/// the rewrite tally so callers can report what the optimizer did.
+pub fn execute_optimized_profiled(
+    graph: &PropertyGraph,
+    src: &str,
+) -> Result<(ResultSet, QueryProfile, crate::optimizer::RewriteStats)> {
+    let query = parse(src)?;
+    let (query, rewrites) = crate::optimizer::optimize(&query, graph);
+    let prof = Profiler::new(&query);
+    let result = execute_query_inner(graph, &query, Some(&prof))?;
+    Ok((result, prof.finish(src), rewrites))
+}
+
 /// Executes an already-parsed query.
 pub fn execute_query(graph: &PropertyGraph, query: &Query) -> Result<ResultSet> {
     execute_query_inner(graph, query, None)
 }
 
-fn execute_query_inner(
+pub(crate) fn execute_query_inner(
     graph: &PropertyGraph,
     query: &Query,
     prof: Option<&Profiler>,
@@ -397,22 +422,19 @@ fn match_path(
     // Begin at whichever end of the path is cheaper to enumerate —
     // a bound variable beats a label scan beats a full scan. This
     // keeps `OPTIONAL MATCH (s:User)-[:POSTS]->(t)` (t bound) linear
-    // on the Twitter-sized graphs.
+    // on the Twitter-sized graphs. The decision function is shared
+    // with the plan-time rewrite pass (`optimizer::should_reverse`);
+    // on a pre-reversed plan its strict `<` answers no, so the two
+    // layers never fight.
     let reversed;
     let mut was_reversed = false;
-    let pattern = if pattern.steps.is_empty() {
-        pattern
+    let is_bound = |v: &str| row.contains_key(v);
+    let pattern = if crate::optimizer::should_reverse(ctx.graph, &is_bound, pattern) {
+        was_reversed = true;
+        reversed = pattern.reversed();
+        &reversed
     } else {
-        let start_cost = node_cost(ctx, row, &pattern.start);
-        let end = &pattern.steps.last().expect("non-empty steps").1;
-        let end_cost = node_cost(ctx, row, end);
-        if end_cost < start_cost {
-            was_reversed = true;
-            reversed = pattern.reversed();
-            &reversed
-        } else {
-            pattern
-        }
+        pattern
     };
     let pp = ops.map(|(p, o)| PathProf::new(p, o, was_reversed));
     let mut results = Vec::new();
@@ -528,19 +550,6 @@ fn walk_steps(
         walk_steps(ctx, &next_row, used, neighbour, rest, consumed_next, results, pp)?;
     }
     Ok(())
-}
-
-/// Estimated candidate count for enumerating `pattern` under `row`.
-fn node_cost(ctx: &EvalCtx<'_>, row: &Row, pattern: &NodePattern) -> usize {
-    if let Some(var) = &pattern.var {
-        if row.contains_key(var) {
-            return 1;
-        }
-    }
-    match pattern.labels.first() {
-        Some(label) => ctx.graph.label_count(label),
-        None => ctx.graph.node_count(),
-    }
 }
 
 /// Hop ceiling for unbounded variable-length patterns (`*`, `*2..`).

@@ -33,11 +33,14 @@
 
 pub mod analyzer;
 pub mod ast;
+pub mod batch;
 pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod lexer;
+pub mod optimizer;
 pub mod parser;
+pub mod plan_cache;
 pub mod profile;
 pub mod regex;
 
@@ -46,9 +49,17 @@ pub use ast::{
     BinOp, Clause, Direction, Expr, NodePattern, OrderItem, PathPattern, ProjItem, Query,
     RelPattern, Return, UnaryOp,
 };
+pub use batch::{BatchConfig, BatchSession, BatchStats};
 pub use error::{CypherError, Result, Span};
 pub use eval::{Binding, EvalCtx, Row};
-pub use exec::{execute, execute_profiled, execute_query, execute_traced, ResultSet};
+pub use exec::{
+    execute, execute_optimized, execute_optimized_profiled, execute_profiled, execute_query,
+    execute_traced, ResultSet,
+};
+pub use optimizer::{optimize, RewriteStats};
 pub use parser::{parse, parse_expr};
+pub use plan_cache::{
+    fingerprint, normalize_text, CachedPlan, PlanCacheConfig, PlanCacheStats, QueryPlanCache,
+};
 pub use profile::{PlanNode, QueryProfile};
 pub use regex::{Regex, RegexError};

@@ -2,7 +2,10 @@
 //! arbitrary input, render/parse fixed points, regex engine sanity,
 //! and executor invariants.
 
-use grm_cypher::{execute, execute_profiled, lexer::lex, parse, Regex};
+use grm_cypher::{
+    execute, execute_optimized, execute_profiled, lexer::lex, parse, BatchConfig, BatchSession,
+    Regex,
+};
 use grm_pgraph::{props, PropertyGraph, Value};
 use proptest::prelude::*;
 
@@ -226,5 +229,85 @@ proptest! {
             prop_assert_eq!(profile.sim_us, sim_sum, "query: {}", q);
             prop_assert_eq!(profile.rows, rs.len() as u64, "query: {}", q);
         }
+    }
+
+    /// The optimizing layer is result-transparent: on random graphs
+    /// and a query family covering pushable equality predicates,
+    /// multi-label patterns, reversible paths, cross products,
+    /// OPTIONAL MATCH and row-returning projections, the optimized
+    /// execution returns the same ResultSet — rows AND ordering — as
+    /// the naive walk. Each query also runs twice through one
+    /// session, so plan-cache and memo hits are checked to return the
+    /// identical result.
+    #[test]
+    fn optimized_execution_is_result_transparent(
+        labels in prop::collection::vec(prop_oneof![Just("A"), Just("B"), Just("C")], 1..25),
+        edges in prop::collection::vec((0u8..25, 0u8..25), 0..40),
+        second_label in prop::collection::vec(any::<bool>(), 1..25),
+    ) {
+        let mut g = PropertyGraph::new();
+        for (i, l) in labels.iter().enumerate() {
+            if second_label[i % second_label.len()] {
+                g.add_node([*l, "X"], props([("id", i as i64)]));
+            } else {
+                g.add_node([*l], props([("id", i as i64)]));
+            }
+        }
+        let n = labels.len() as u32;
+        for (s, d) in &edges {
+            let (s, d) = (u32::from(*s) % n, u32::from(*d) % n);
+            g.add_edge(grm_pgraph::NodeId(s), grm_pgraph::NodeId(d), "E", Default::default());
+        }
+        let mut session = BatchSession::new(BatchConfig::default());
+        for q in [
+            "MATCH (n) RETURN COUNT(*) AS c",
+            "MATCH (n:A) WHERE n.id = 3 RETURN COUNT(*) AS c",
+            "MATCH (n:X:A) WHERE n.id >= 2 AND n.id = 4 RETURN n.id AS i",
+            "MATCH (a:A)-[:E]->(b:X) RETURN COUNT(*) AS c",
+            "MATCH (a:C)-[:E]->(b) WHERE b.id = 1 RETURN COUNT(*) AS c",
+            "MATCH (a:A), (b:B), (c:X) RETURN COUNT(*) AS c",
+            "MATCH (a:B)-[:E*1..2]->(b:A) RETURN COUNT(*) AS c",
+            "OPTIONAL MATCH (a:A)-[:E]->(b:B) WHERE a.id = 0 RETURN COUNT(b) AS c",
+            "MATCH (a:A)-[:E]->(b) RETURN a.id AS i, b.id AS j ORDER BY i, j",
+            "MATCH (a)-[:E]->(b:X) WITH b AS b, COUNT(*) AS c WHERE c > 1 RETURN COUNT(*) AS c",
+        ] {
+            let naive = execute(&g, q).unwrap();
+            let optimized = execute_optimized(&g, q).unwrap();
+            prop_assert_eq!(&optimized, &naive, "optimize diverged on: {}", q);
+            let first = session.execute(&g, q).unwrap();
+            prop_assert_eq!(&*first, &naive, "session diverged on: {}", q);
+            let repeat = session.execute(&g, q).unwrap();
+            prop_assert_eq!(&*repeat, &naive, "cached repeat diverged on: {}", q);
+        }
+    }
+
+    /// Plan-cache hits never leak results across schema epochs: after
+    /// any mutation the epoch moves, cached plans and memoized
+    /// results are invalidated, and the session answer equals a fresh
+    /// naive execution of the mutated graph.
+    #[test]
+    fn plan_cache_respects_schema_epochs(
+        ids in prop::collection::vec(0i64..50, 1..20),
+        extra in prop::collection::vec(0i64..50, 1..5),
+    ) {
+        let mut g = PropertyGraph::new();
+        for id in &ids {
+            g.add_node(["N"], props([("id", *id)]));
+        }
+        let mut session = BatchSession::new(BatchConfig::default());
+        const Q: &str = "MATCH (n:N) WHERE n.id >= 10 RETURN COUNT(*) AS c";
+        let before = session.execute(&g, Q).unwrap();
+        prop_assert_eq!(&*before, &execute(&g, Q).unwrap());
+        let epoch_before = g.epoch();
+        for id in &extra {
+            g.add_node(["N"], props([("id", *id)]));
+        }
+        prop_assert!(g.epoch() > epoch_before);
+        let after = session.execute(&g, Q).unwrap();
+        prop_assert_eq!(&*after, &execute(&g, Q).unwrap());
+        prop_assert_eq!(
+            after.single_int().unwrap(),
+            ids.iter().chain(&extra).filter(|id| **id >= 10).count() as i64
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! normalises by the body-match count. All three come from executing
 //! the rule's three metric queries on the graph.
 
-use grm_cypher::{execute, execute_profiled, CypherError};
+use grm_cypher::{execute, execute_profiled, BatchSession, BatchStats, CypherError, ResultSet};
 use grm_obs::{Counter, Histo, PlanRecord, Scope};
 use grm_pgraph::PropertyGraph;
 use grm_rules::RuleQueries;
@@ -83,13 +83,7 @@ pub fn evaluate_labeled(
                 }
                 None => execute(graph, query)?,
             };
-            rs.single_int().ok_or_else(|| {
-                CypherError::runtime(format!(
-                    "metric query must return a single count, got {}x{} result: {query}",
-                    rs.rows.len(),
-                    rs.columns.len()
-                ))
-            })
+            single_count(&rs, query)
         };
         let mut run = || -> Result<(i64, i64, i64), CypherError> {
             Ok((count(&queries.satisfied)?, count(&queries.body)?, count(&queries.head_total)?))
@@ -104,6 +98,102 @@ pub fn evaluate_labeled(
         }
     }
     let (satisfied, body, head_total) = result?;
+    Ok(metrics_from(satisfied, body, head_total))
+}
+
+/// [`evaluate_labeled`] through a shared [`BatchSession`]: each
+/// distinct query compiles once via the plan cache, and repeated
+/// counts (the head-total query recurs verbatim across rules sharing
+/// a head) come from the session's result memo at zero db-hits. A
+/// memoized answer bumps `cypher_queries_memoized` and attaches no
+/// plan — nothing ran. An executed query accounts exactly like
+/// [`evaluate_labeled`], so a session whose memo never hits journals
+/// the same per-rule plan shape as the naive path.
+pub fn evaluate_labeled_batched(
+    graph: &PropertyGraph,
+    queries: &RuleQueries,
+    scope: &Scope,
+    label: &str,
+    session: &mut BatchSession,
+) -> Result<RuleMetrics, CypherError> {
+    scope.add(Counter::SupportEvaluations, 1);
+    let mut plan = scope.is_enabled().then(|| PlanRecord::new(label));
+    let result = {
+        let mut count = |query: &str| -> Result<i64, CypherError> {
+            let rs = match &mut plan {
+                Some(plan) => {
+                    let (rs, profile) = session.execute_profiled(graph, query)?;
+                    match profile {
+                        Some(profile) => {
+                            scope.add(Counter::CypherQueriesExecuted, 1);
+                            scope.add(Counter::CypherQueriesProfiled, 1);
+                            scope.add(Counter::CypherRowsMatched, rs.len() as u64);
+                            scope.observe(Histo::CypherRowsPerQuery, rs.len() as f64);
+                            scope.observe(
+                                Histo::CypherDbHitsPerQuery,
+                                profile.db_hits().total() as f64,
+                            );
+                            plan.absorb(
+                                profile.plan_ops(),
+                                profile.rows,
+                                profile.total_us,
+                                profile.sim_us,
+                            );
+                        }
+                        None => scope.add(Counter::CypherQueriesMemoized, 1),
+                    }
+                    rs
+                }
+                None => session.execute(graph, query)?,
+            };
+            single_count(&rs, query)
+        };
+        let mut run = || -> Result<(i64, i64, i64), CypherError> {
+            Ok((count(&queries.satisfied)?, count(&queries.body)?, count(&queries.head_total)?))
+        };
+        run()
+    };
+    if let Some(plan) = plan {
+        if plan.queries > 0 {
+            scope.plan(plan);
+        }
+    }
+    let (satisfied, body, head_total) = result?;
+    Ok(metrics_from(satisfied, body, head_total))
+}
+
+/// Folds a finished session's plan-cache and optimizer counters into
+/// `scope` — call once per run, after the evaluate loop, so journals
+/// carry run-wide cache hit-rates. Memo hits are *not* re-added here:
+/// [`evaluate_labeled_batched`] counts them per query. Zero counters
+/// stay unrecorded to keep journals free of noise rows.
+pub fn record_batch_stats(scope: &Scope, stats: &BatchStats) {
+    let add = |counter: Counter, value: u64| {
+        if value > 0 {
+            scope.add(counter, value);
+        }
+    };
+    add(Counter::PlanCacheHits, stats.plan_cache.hits);
+    add(Counter::PlanCacheMisses, stats.plan_cache.misses);
+    add(Counter::PlanCacheEvictions, stats.plan_cache.evictions);
+    add(Counter::PlanCacheExpirations, stats.plan_cache.expirations);
+    add(Counter::OptimizerPredicatesPushed, stats.rewrites.predicates_pushed);
+    add(Counter::OptimizerLabelsReordered, stats.rewrites.labels_reordered);
+    add(Counter::OptimizerPatternsReordered, stats.rewrites.patterns_reordered);
+    add(Counter::OptimizerPathsReversed, stats.rewrites.paths_prereversed);
+}
+
+fn single_count(rs: &ResultSet, query: &str) -> Result<i64, CypherError> {
+    rs.single_int().ok_or_else(|| {
+        CypherError::runtime(format!(
+            "metric query must return a single count, got {}x{} result: {query}",
+            rs.rows.len(),
+            rs.columns.len()
+        ))
+    })
+}
+
+fn metrics_from(satisfied: i64, body: i64, head_total: i64) -> RuleMetrics {
     let pct = |num: i64, den: i64| -> f64 {
         if den <= 0 {
             0.0
@@ -111,11 +201,11 @@ pub fn evaluate_labeled(
             (100.0 * num as f64 / den as f64).clamp(0.0, 100.0)
         }
     };
-    Ok(RuleMetrics {
+    RuleMetrics {
         support: satisfied,
         coverage_pct: pct(satisfied, head_total),
         confidence_pct: pct(satisfied, body),
-    })
+    }
 }
 
 /// [`evaluate_labeled`] under a chaos unit plan: injects the unit's
@@ -133,6 +223,32 @@ pub fn evaluate_resilient(
     label: &str,
     unit: &grm_resil::UnitPlan,
 ) -> Option<RuleMetrics> {
+    if !chaos_gate(scope, label, unit) {
+        return None;
+    }
+    evaluate_labeled(graph, queries, scope, label).ok()
+}
+
+/// [`evaluate_resilient`] through a shared [`BatchSession`] — the
+/// chaos path of the batched scorer. Fault accounting is identical;
+/// only the surviving evaluation goes through the session.
+pub fn evaluate_resilient_batched(
+    graph: &PropertyGraph,
+    queries: &RuleQueries,
+    scope: &Scope,
+    label: &str,
+    unit: &grm_resil::UnitPlan,
+    session: &mut BatchSession,
+) -> Option<RuleMetrics> {
+    if !chaos_gate(scope, label, unit) {
+        return None;
+    }
+    evaluate_labeled_batched(graph, queries, scope, label, session).ok()
+}
+
+/// Records a chaos unit's faults, retries and degradation on `scope`.
+/// Returns `false` when the unit degraded — the rule stays unscored.
+fn chaos_gate(scope: &Scope, label: &str, unit: &grm_resil::UnitPlan) -> bool {
     use grm_obs::{DegradedRecord, RetryRecord};
     // Query faults cost a flat reconnect stall, never the call itself.
     let fault_seconds = grm_resil::record_unit_faults(unit, 0.0, scope);
@@ -155,7 +271,7 @@ pub fn evaluate_resilient(
             reason: if unit.attempts() == 0 { "breaker_open" } else { "retries_exhausted" }
                 .to_owned(),
         });
-        return None;
+        return false;
     }
     if !unit.faults.is_empty() {
         scope.retry(RetryRecord {
@@ -166,7 +282,7 @@ pub fn evaluate_resilient(
             recovered: true,
         });
     }
-    evaluate_labeled(graph, queries, scope, label).ok()
+    true
 }
 
 /// Aggregates per-rule metrics into a table cell.
@@ -260,6 +376,29 @@ mod tests {
             head_total: "MATCH (n) RETURN COUNT(*) AS c".into(),
         };
         assert!(evaluate(&g, &q).is_err());
+    }
+
+    #[test]
+    fn batched_matches_naive_and_memoizes_shared_heads() {
+        use grm_cypher::BatchConfig;
+        let g = graph();
+        let rules = [
+            ConsistencyRule::MandatoryProperty { label: "User".into(), key: "name".into() },
+            ConsistencyRule::UniqueProperty { label: "User".into(), key: "id".into() },
+            ConsistencyRule::MandatoryProperty { label: "User".into(), key: "id".into() },
+        ];
+        let mut session = BatchSession::new(BatchConfig::default());
+        for rule in &rules {
+            let q = reference_queries(rule);
+            let naive = evaluate(&g, &q).unwrap();
+            let batched =
+                evaluate_labeled_batched(&g, &q, &Scope::disabled(), "rule", &mut session).unwrap();
+            assert_eq!(naive, batched, "divergence on {rule:?}");
+        }
+        // All three rules share the `MATCH (n:User)` head-total (and
+        // the two mandatory-property rules share a body query), so
+        // the memo must have answered at least the repeats.
+        assert!(session.stats().memo_hits >= 2, "stats: {:?}", session.stats());
     }
 
     #[test]

@@ -592,6 +592,12 @@ pub struct PlanBaseline {
     pub queries: u64,
     /// Per-operator budgets, name-sorted.
     pub ops: Vec<PlanBaselineOp>,
+    /// Optimizer A/B digest (absent/`null` in pre-optimizer
+    /// baselines — the serde shim reads missing fields as `None`):
+    /// naive-vs-optimized db-hits over the repro query suite plus
+    /// plan-cache hit rates, gated *exactly* by
+    /// [`OptimizerBaseline::check`].
+    pub optimizer: Option<OptimizerBaseline>,
 }
 
 impl PlanBaseline {
@@ -619,6 +625,7 @@ impl PlanBaseline {
             records: journal.plans.len() as u64,
             queries: journal.plans.iter().map(|p| p.queries).sum(),
             ops,
+            optimizer: None,
         }
     }
 
@@ -653,6 +660,160 @@ impl PlanBaseline {
             }
         }
         violations
+    }
+}
+
+/// The optimizer A/B digest embedded in a [`PlanBaseline`]: one pass
+/// of the repro query suite with the optimizing layer off, one with it
+/// on. Both passes are deterministic for a fixed seed and scale, so —
+/// like the lineage gate — the CI check is exact, not tolerance-based.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OptimizerBaseline {
+    /// Queries in the A/B suite.
+    pub suite_queries: u64,
+    /// Total db-hits executing the suite naively (optimizer off).
+    pub naive_db_hits: u64,
+    /// Total db-hits executing the suite through the optimizing
+    /// layer (rewrites + plan cache + result memo).
+    pub optimized_db_hits: u64,
+    /// Plan-cache lookups during the optimized pass.
+    pub plan_cache_lookups: u64,
+    /// Plan-cache lookups answered from the cache.
+    pub plan_cache_hits: u64,
+    /// Queries answered from the result memo (zero db-hits).
+    pub memo_hits: u64,
+    /// `plan_cache_hits / plan_cache_lookups`, stored for the humans
+    /// reading the JSON; the gate compares the integer fields.
+    pub plan_cache_hit_rate_pct: f64,
+}
+
+impl OptimizerBaseline {
+    /// Percentage of suite db-hits the optimizing layer saved.
+    pub fn db_hits_drop_pct(&self) -> f64 {
+        if self.naive_db_hits == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.optimized_db_hits as f64 / self.naive_db_hits as f64)
+        }
+    }
+
+    /// Exact comparison against a fresh A/B run. A current digest with
+    /// zero lookups fails outright when the baseline has any — the
+    /// optimizing layer silently turning off must not read as a pass.
+    /// Returns the violations (empty = pass).
+    pub fn check(&self, current: &OptimizerBaseline) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.plan_cache_lookups > 0 && current.plan_cache_lookups == 0 {
+            violations.push(
+                "baseline has plan-cache lookups but the run recorded none \
+                 (was the optimizing layer on?)"
+                    .to_owned(),
+            );
+            return violations;
+        }
+        let fields = [
+            ("suite_queries", self.suite_queries, current.suite_queries),
+            ("naive_db_hits", self.naive_db_hits, current.naive_db_hits),
+            ("optimized_db_hits", self.optimized_db_hits, current.optimized_db_hits),
+            ("plan_cache_lookups", self.plan_cache_lookups, current.plan_cache_lookups),
+            ("plan_cache_hits", self.plan_cache_hits, current.plan_cache_hits),
+            ("memo_hits", self.memo_hits, current.memo_hits),
+        ];
+        for (name, base, now) in fields {
+            if base != now {
+                violations.push(format!("`{name}`: run has {now}, baseline {base} (exact gate)"));
+            }
+        }
+        violations
+    }
+}
+
+/// Run-wide plan-cache and optimizer counters, read off a journal's
+/// counter totals — the table behind the `grm trace plans` cache
+/// section and its `--json` artifact.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlanCacheReport {
+    /// Plan-cache lookups (`hits + misses`).
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by the TTL.
+    pub expirations: u64,
+    /// Queries answered from the result memo without executing.
+    pub memoized_queries: u64,
+    /// `WHERE` equality conjuncts pushed into pattern property maps.
+    pub predicates_pushed: u64,
+    /// Node patterns re-anchored on their most selective label.
+    pub labels_reordered: u64,
+    /// `MATCH` clauses re-sequenced cheapest-anchor-first.
+    pub patterns_reordered: u64,
+    /// Paths pre-reversed towards their cheaper end.
+    pub paths_reversed: u64,
+    /// `hits / lookups`, in percent (0 when the cache never ran).
+    pub hit_rate_pct: f64,
+}
+
+impl PlanCacheReport {
+    /// Reads the run-wide counter totals.
+    pub fn from_journal(journal: &RunJournal) -> PlanCacheReport {
+        let hits = journal.total("plan_cache_hits");
+        let misses = journal.total("plan_cache_misses");
+        let lookups = hits + misses;
+        let hit_rate_pct = if lookups == 0 { 0.0 } else { 100.0 * hits as f64 / lookups as f64 };
+        PlanCacheReport {
+            lookups,
+            hits,
+            misses,
+            evictions: journal.total("plan_cache_evictions"),
+            expirations: journal.total("plan_cache_expirations"),
+            memoized_queries: journal.total("cypher_queries_memoized"),
+            predicates_pushed: journal.total("optimizer_predicates_pushed"),
+            labels_reordered: journal.total("optimizer_labels_reordered"),
+            patterns_reordered: journal.total("optimizer_patterns_reordered"),
+            paths_reversed: journal.total("optimizer_paths_reversed"),
+            hit_rate_pct,
+        }
+    }
+
+    /// True when the run never touched the optimizing layer (naive
+    /// scoring path, or a pre-optimizer journal).
+    pub fn is_empty(&self) -> bool {
+        self.lookups == 0 && self.memoized_queries == 0
+    }
+
+    /// Two-row summary table for the text mode of `grm trace plans`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan cache:\n  {:<9} {:>6} {:>8} {:>10} {:>12} {:>9} {:>9}\n",
+            "lookups", "hits", "misses", "evictions", "expirations", "hit%", "memoized"
+        ));
+        out.push_str(&format!(
+            "  {:<9} {:>6} {:>8} {:>10} {:>12} {:>8.1} {:>9}\n",
+            self.lookups,
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.expirations,
+            self.hit_rate_pct,
+            self.memoized_queries,
+        ));
+        out.push_str(&format!(
+            "optimizer rewrites:\n  {:<9} {:>8} {:>10} {:>9}\n",
+            "pushed", "relabels", "reorders", "reversals"
+        ));
+        out.push_str(&format!(
+            "  {:<9} {:>8} {:>10} {:>9}\n",
+            self.predicates_pushed,
+            self.labels_reordered,
+            self.patterns_reordered,
+            self.paths_reversed,
+        ));
+        out
     }
 }
 

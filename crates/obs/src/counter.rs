@@ -48,6 +48,29 @@ pub enum Counter {
     CypherQueriesExecuted,
     /// Cypher queries executed with operator-level profiling on.
     CypherQueriesProfiled,
+    /// Cypher queries answered from the scoring session's result memo
+    /// without executing (zero db-hits).
+    CypherQueriesMemoized,
+    /// Plan-cache lookups that found a reusable compiled plan.
+    PlanCacheHits,
+    /// Plan-cache lookups that had to compile (absent, stale epoch,
+    /// or expired entry).
+    PlanCacheMisses,
+    /// Plan-cache entries displaced by the capacity bound.
+    PlanCacheEvictions,
+    /// Plan-cache entries dropped by the TTL.
+    PlanCacheExpirations,
+    /// `WHERE` equality conjuncts the optimizer pushed into pattern
+    /// property maps.
+    OptimizerPredicatesPushed,
+    /// Node patterns the optimizer re-anchored on their most
+    /// selective label.
+    OptimizerLabelsReordered,
+    /// `MATCH` clauses whose patterns the optimizer re-sequenced
+    /// cheapest-anchor-first.
+    OptimizerPatternsReordered,
+    /// Paths the optimizer pre-reversed towards their cheaper end.
+    OptimizerPathsReversed,
     /// Profiled queries flagged by the slow-query policy.
     CypherSlowQueries,
     /// Result rows produced by those queries.
@@ -94,6 +117,15 @@ impl Counter {
             Counter::RulesOtherSemantic => "rules_other_semantic",
             Counter::CypherQueriesExecuted => "cypher_queries_executed",
             Counter::CypherQueriesProfiled => "cypher_queries_profiled",
+            Counter::CypherQueriesMemoized => "cypher_queries_memoized",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::PlanCacheExpirations => "plan_cache_expirations",
+            Counter::OptimizerPredicatesPushed => "optimizer_predicates_pushed",
+            Counter::OptimizerLabelsReordered => "optimizer_labels_reordered",
+            Counter::OptimizerPatternsReordered => "optimizer_patterns_reordered",
+            Counter::OptimizerPathsReversed => "optimizer_paths_reversed",
             Counter::CypherSlowQueries => "cypher_slow_queries",
             Counter::CypherRowsMatched => "cypher_rows_matched",
             Counter::SupportEvaluations => "support_evaluations",

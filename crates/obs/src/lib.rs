@@ -75,8 +75,9 @@ mod resilience;
 
 pub use analytics::{
     explain_rule, folded_stacks, BaselineHisto, ChaosBaseline, CounterDiffRow, FaultReport,
-    FlameWeight, HistoDiffRow, LineageBaseline, LineageReport, OriginYield, PlanBaseline,
-    PlanBaselineOp, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
+    FlameWeight, HistoDiffRow, LineageBaseline, LineageReport, OptimizerBaseline, OriginYield,
+    PlanBaseline, PlanBaselineOp, PlanCacheReport, PlanOpAgg, PlanReport, PlanScopeAgg,
+    StageDiffRow, TraceBaseline, TraceDiff,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};

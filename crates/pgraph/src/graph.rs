@@ -89,6 +89,10 @@ pub struct PropertyGraph {
     edge_label_index: HashMap<String, Vec<EdgeId>>,
     out_adj: Vec<Vec<EdgeId>>,
     in_adj: Vec<Vec<EdgeId>>,
+    /// Monotonic mutation counter; bumped by every write, including
+    /// `node_mut`/`edge_mut` handouts (the handout may mutate, so the
+    /// conservative bump keeps cached query plans sound).
+    epoch: u64,
 }
 
 impl PropertyGraph {
@@ -108,7 +112,17 @@ impl PropertyGraph {
             edge_label_index: HashMap::new(),
             out_adj: Vec::with_capacity(n),
             in_adj: Vec::with_capacity(n),
+            epoch: 0,
         }
+    }
+
+    /// Schema/content epoch of the graph: a counter bumped by every
+    /// mutation (inserts and mutable accesses alike). Query-plan and
+    /// result caches key on it so a mutated graph can never serve a
+    /// stale cached answer. Purely logical — no wall-clock involved —
+    /// so cache behaviour is deterministic across runs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Adds a node. Labels are sorted and deduplicated so encodings
@@ -118,6 +132,7 @@ impl PropertyGraph {
         L: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        self.epoch += 1;
         let id = NodeId(self.nodes.len() as u32);
         let mut labels: Vec<String> = labels.into_iter().map(Into::into).collect();
         labels.sort();
@@ -147,6 +162,7 @@ impl PropertyGraph {
             (src.0 as usize) < self.nodes.len() && (dst.0 as usize) < self.nodes.len(),
             "edge endpoint out of range: {src} -> {dst}"
         );
+        self.epoch += 1;
         let id = EdgeId(self.edges.len() as u32);
         let label = label.into();
         self.edge_label_index.entry(label.clone()).or_default().push(id);
@@ -185,11 +201,13 @@ impl PropertyGraph {
     /// Mutable node access (used by the violation injector in
     /// `grm-datasets` to drop or corrupt properties).
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.epoch += 1;
         &mut self.nodes[id.0 as usize]
     }
 
     /// Mutable edge access.
     pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        self.epoch += 1;
         &mut self.edges[id.0 as usize]
     }
 
@@ -359,5 +377,23 @@ mod tests {
         let (mut g, a, _) = tiny();
         g.node_mut(a).props.remove("name");
         assert!(g.node(a).prop("name").is_null());
+    }
+
+    #[test]
+    fn epoch_advances_on_every_mutation() {
+        let mut g = PropertyGraph::new();
+        assert_eq!(g.epoch(), 0);
+        let a = g.add_node(["A"], PropertyMap::new());
+        let b = g.add_node(["A"], PropertyMap::new());
+        assert_eq!(g.epoch(), 2);
+        g.add_edge(a, b, "E", PropertyMap::new());
+        assert_eq!(g.epoch(), 3);
+        let _ = g.node_mut(a);
+        let snapshot = g.clone();
+        assert_eq!(g.epoch(), 4);
+        assert_eq!(snapshot.epoch(), 4);
+        let e = g.edges().next().unwrap().id;
+        let _ = g.edge_mut(e);
+        assert_eq!(g.epoch(), 5);
     }
 }

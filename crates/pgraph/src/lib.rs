@@ -38,5 +38,5 @@ pub use dbhits::DbHits;
 pub use graph::{props, Edge, EdgeId, Node, NodeId, PropertyGraph, PropertyMap};
 pub use io::{from_json, to_json, to_json_pretty, GraphDoc, IoError};
 pub use schema::{EdgeSignature, GraphSchema, PropertyStats};
-pub use stats::{DegreeStats, GraphStats};
+pub use stats::{Cardinality, DegreeStats, GraphStats};
 pub use value::Value;

@@ -59,6 +59,61 @@ impl DegreeStats {
     }
 }
 
+/// Cardinality estimates over a graph, for cost-based query planning.
+///
+/// A thin borrowing view over the store's label indexes: the Cypher
+/// optimizer (`grm-cypher`) asks it how many candidate rows a scan or
+/// expansion would examine, and orders pattern elements so the
+/// cheapest anchor runs first. Estimates are exact counts (the label
+/// indexes are maintained incrementally), so the cost model is
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct Cardinality<'g> {
+    g: &'g PropertyGraph,
+}
+
+impl<'g> Cardinality<'g> {
+    /// Estimator over `g`.
+    pub fn of(g: &'g PropertyGraph) -> Self {
+        Cardinality { g }
+    }
+
+    /// Candidate rows a node scan would examine: the smallest label
+    /// index among `labels`, or the full node count when unlabelled.
+    pub fn node_scan(&self, labels: &[String]) -> usize {
+        labels.iter().map(|l| self.g.label_count(l)).min().unwrap_or_else(|| self.g.node_count())
+    }
+
+    /// Index (into `labels`) of the most selective label — the one
+    /// with the smallest index — preferring the earliest on ties so
+    /// reordering is deterministic. `None` when `labels` is empty.
+    pub fn most_selective_label(&self, labels: &[String]) -> Option<usize> {
+        labels.iter().enumerate().min_by_key(|(i, l)| (self.g.label_count(l), *i)).map(|(i, _)| i)
+    }
+
+    /// Candidate edges an expansion over `types` would examine,
+    /// summed over the per-type indexes; the full edge count when
+    /// untyped.
+    pub fn edge_scan(&self, types: &[String]) -> usize {
+        if types.is_empty() {
+            self.g.edge_count()
+        } else {
+            types.iter().map(|t| self.g.edge_label_count(t)).sum()
+        }
+    }
+
+    /// Mean out-degree across the graph — the fan-out factor a cost
+    /// model charges per expansion hop.
+    pub fn mean_degree(&self) -> f64 {
+        let n = self.g.node_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.g.edge_count() as f64 / n as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +140,26 @@ mod tests {
         assert_eq!(s.edges, 1);
         assert_eq!(s.node_labels, 2);
         assert_eq!(s.edge_labels, 1);
+    }
+
+    #[test]
+    fn cardinality_estimates() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(["A"], PropertyMap::new());
+        let b = g.add_node(["A", "B"], PropertyMap::new());
+        g.add_node(["A"], PropertyMap::new());
+        g.add_edge(a, b, "E", PropertyMap::new());
+        g.add_edge(a, b, "F", PropertyMap::new());
+        let c = Cardinality::of(&g);
+        assert_eq!(c.node_scan(&[]), 3);
+        assert_eq!(c.node_scan(&["A".into()]), 3);
+        assert_eq!(c.node_scan(&["A".into(), "B".into()]), 1);
+        assert_eq!(c.most_selective_label(&["A".into(), "B".into()]), Some(1));
+        assert_eq!(c.most_selective_label(&[]), None);
+        assert_eq!(c.edge_scan(&[]), 2);
+        assert_eq!(c.edge_scan(&["E".into()]), 1);
+        assert_eq!(c.edge_scan(&["E".into(), "F".into()]), 2);
+        assert!((c.mean_degree() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -75,6 +75,7 @@ const USAGE: &str = "usage:
                [--slow-query-ms MS] [--slow-query-db-hits N]
                [--fault-rate F] [--fault-seed N] [--max-retries N]
                [--breaker-threshold N] [--kill-after N] [--resume FILE.jsonl]
+               [--no-optimizer] [--plan-cache-size N]
   grm audit    --graph FILE [--limit N]
   grm check    --graph FILE --rules FILE [--limit N] [--trace FILE.jsonl]
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
@@ -82,7 +83,7 @@ const USAGE: &str = "usage:
   grm trace    diff A.jsonl B.jsonl [--tolerance FRACTION]   # exit 1 above tolerance
   grm trace    flame FILE.jsonl [--real|--sim]               # folded flamegraph stacks
   grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]
-  grm trace    plans FILE.jsonl [--top N] [--check PLANS.json [--tolerance FRACTION]]
+  grm trace    plans FILE.jsonl [--top N] [--json] [--check PLANS.json [--tolerance FRACTION]]
   grm trace    lineage FILE.jsonl [--json] [--check LINEAGE.json]
   grm trace    faults FILE.jsonl [--json] [--check CHAOS.json]
   grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
@@ -214,7 +215,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::pipeline::{Resilience, ResumeState, RunStatus};
     use graph_rule_mining::resil::ChaosConfig;
 
-    let flags = parse_flags(args, &["trace-summary", "deterministic"])?;
+    let flags = parse_flags(args, &["trace-summary", "deterministic", "no-optimizer"])?;
     let g = load_graph(&flags)?;
     let model = match flags.named.get("model").map(String::as_str) {
         None | Some("llama3") => ModelKind::Llama3,
@@ -234,6 +235,12 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     };
     let mut config = PipelineConfig::new(model, strategy, prompting);
     config.seed = parse_or(&flags, "seed", 42)?;
+    config.scoring.optimize = !flags.switches.iter().any(|s| s == "no-optimizer");
+    config.scoring.plan_cache_size =
+        parse_or(&flags, "plan-cache-size", config.scoring.plan_cache_size)?;
+    if config.scoring.plan_cache_size == 0 {
+        return Err("--plan-cache-size must be at least 1".into());
+    }
     let workers: usize = parse_or(&flags, "workers", 1)?;
 
     // Chaos / resume configuration (all off by default).
@@ -637,7 +644,7 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::obs::{
         folded_stacks, ChaosBaseline, FaultReport, FlameWeight, LineageBaseline, LineageReport,
-        PlanBaseline, PlanReport, RunJournal, TraceBaseline, TraceDiff,
+        PlanBaseline, PlanCacheReport, PlanReport, RunJournal, TraceBaseline, TraceDiff,
     };
 
     let Some((verb, rest)) = args.split_first() else {
@@ -796,10 +803,18 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             }
         }
         "plans" => {
-            let flags = parse_flags(rest, &[])?;
+            let flags = parse_flags(rest, &["json"])?;
             let path = flags.positional.first().ok_or("trace plans needs a journal FILE")?;
             let top: usize = parse_or(&flags, "top", 10)?;
             let journal = load(path)?;
+            let cache = PlanCacheReport::from_journal(&journal);
+            if flags.switches.iter().any(|s| s == "json") {
+                // The machine-readable plan-cache/optimizer digest —
+                // what CI uploads as the plan-cache stats artifact.
+                let json = serde_json::to_string_pretty(&cache).map_err(|e| e.to_string())?;
+                println!("{json}");
+                return Ok(());
+            }
             let report = PlanReport::from_journal(&journal);
             if report.is_empty() {
                 return Err(format!(
@@ -808,6 +823,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 ));
             }
             print!("{}", report.render(top));
+            if !cache.is_empty() {
+                print!("{}", cache.render());
+            }
             let Some(baseline_path) = flags.named.get("check") else {
                 return Ok(());
             };

@@ -48,7 +48,12 @@
 //!   fault/retry/degradation digest into a `ChaosBaseline` snapshot
 //!   for `grm trace faults --check` (this is how `BENCH_chaos.json`
 //!   is regenerated — the fault plan is deterministic, so the check
-//!   is exact).
+//!   is exact);
+//! * `--mem-baseline FILE.json` — with `--trace`, freeze the run's
+//!   deterministic footprint tables and run-wide allocator counters
+//!   into a `MemBaseline` snapshot for `grm trace mem --check` (this
+//!   is how `BENCH_mem.json` is regenerated — footprints gate
+//!   exactly, allocator counters by tolerance).
 
 use std::collections::HashMap;
 
@@ -64,6 +69,11 @@ use grm_rules::RuleComplexity;
 use grm_textenc::{chunk, encode_incident, WindowConfig};
 use grm_vecstore::{RagConfig, Retriever};
 
+// Count every allocation so `--trace` journals carry real per-span
+// memory deltas and `--mem-baseline` freezes a non-zero run peak.
+#[global_allocator]
+static ALLOC: grm_obs::TrackingAlloc = grm_obs::TrackingAlloc;
+
 struct Args {
     tables: Vec<u32>,
     figures: Vec<u32>,
@@ -77,6 +87,7 @@ struct Args {
     trace_baseline: Option<String>,
     plans_baseline: Option<String>,
     lineage_baseline: Option<String>,
+    mem_baseline: Option<String>,
     chaos: Option<String>,
     chaos_baseline: Option<String>,
     optimizer_gate: Option<String>,
@@ -96,6 +107,7 @@ fn parse_args() -> Args {
         trace_baseline: None,
         plans_baseline: None,
         lineage_baseline: None,
+        mem_baseline: None,
         chaos: None,
         chaos_baseline: None,
         optimizer_gate: None,
@@ -148,6 +160,10 @@ fn parse_args() -> Args {
                 any = true;
                 args.lineage_baseline =
                     Some(it.next().expect("--lineage-baseline needs a file path"));
+            }
+            "--mem-baseline" => {
+                any = true;
+                args.mem_baseline = Some(it.next().expect("--mem-baseline needs a file path"));
             }
             "--chaos" => {
                 any = true;
@@ -269,9 +285,11 @@ fn main() {
     } else if args.trace_baseline.is_some()
         || args.plans_baseline.is_some()
         || args.lineage_baseline.is_some()
+        || args.mem_baseline.is_some()
     {
         eprintln!(
-            "--trace-baseline / --plans-baseline / --lineage-baseline require --trace FILE.jsonl"
+            "--trace-baseline / --plans-baseline / --lineage-baseline / --mem-baseline \
+             require --trace FILE.jsonl"
         );
         std::process::exit(2);
     }
@@ -542,6 +560,21 @@ fn trace_run(args: &Args, path: &str) {
             std::process::exit(1);
         }
         println!("(lineage-baseline snapshot written to {lineage_path})");
+    }
+    if let Some(mem_path) = &args.mem_baseline {
+        let baseline = grm_obs::MemBaseline::from_journal(&journal);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing mem baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(mem_path, json) {
+            eprintln!("writing {mem_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(mem-baseline snapshot written to {mem_path})");
     }
     println!("== trace: WWC2019 / llama3 / RAG / zero-shot ==");
     print!("{}", journal.summary());

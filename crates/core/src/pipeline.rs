@@ -21,8 +21,8 @@ use grm_metrics::{
     RuleMetrics,
 };
 use grm_obs::{
-    ChaosRecord, CheckpointRecord, Counter, DegradedRecord, Histo, LineageRecord, OriginRef,
-    Recorder, Scope, Span,
+    ChaosRecord, CheckpointRecord, Counter, DegradedRecord, FootprintRow, Histo, LineageRecord,
+    MemRecord, OriginRef, Recorder, Scope, Span,
 };
 use grm_pgraph::{GraphSchema, PropertyGraph};
 use grm_resil::{ChaosConfig, FaultPlan, Stage};
@@ -66,6 +66,26 @@ impl MiningPipeline {
         scope: &Scope,
     ) -> (Vec<String>, Vec<Vec<OriginRef>>, usize, usize, Option<f64>) {
         let cfg = &self.config;
+        // Deterministic graph footprint for the journal's memory
+        // records — capacity arithmetic only, identical on the
+        // serial, parallel and chaos paths (all three call through
+        // here), so byte-identity comparisons are unaffected. Guarded
+        // so untraced runs pay nothing.
+        if scope.is_enabled() {
+            scope.mem(MemRecord::footprint_of(
+                "graph",
+                graph
+                    .footprint()
+                    .entries
+                    .iter()
+                    .map(|e| FootprintRow {
+                        name: e.name.to_owned(),
+                        count: e.count,
+                        bytes: e.bytes,
+                    })
+                    .collect(),
+            ));
+        }
         let encoded = encode_traced(graph, cfg.encoder, scope);
         match &cfg.strategy {
             ContextStrategy::SlidingWindow(wc) => {
@@ -88,6 +108,29 @@ impl MiningPipeline {
             }
             ContextStrategy::Rag(rc) => {
                 let retriever = Retriever::ingest_traced(&encoded, *rc, scope);
+                if scope.is_enabled() {
+                    let fp = retriever.footprint();
+                    scope.mem(MemRecord::footprint_of(
+                        "vecstore",
+                        vec![
+                            FootprintRow {
+                                name: "entries".to_owned(),
+                                count: fp.chunks,
+                                bytes: fp.entry_bytes,
+                            },
+                            FootprintRow {
+                                name: "texts".to_owned(),
+                                count: fp.chunks,
+                                bytes: fp.text_bytes,
+                            },
+                            FootprintRow {
+                                name: "embeddings".to_owned(),
+                                count: fp.chunks,
+                                bytes: fp.embedding_bytes,
+                            },
+                        ],
+                    ));
+                }
                 let retrieval = retriever.retrieve_traced(RAG_QUERY, scope);
                 let cov = retrieval.coverage();
                 let origins = retrieval

@@ -91,6 +91,47 @@ fn rag_run_emits_retrieval_spans_and_coverage_gauge() {
 }
 
 #[test]
+fn traced_runs_record_deterministic_graph_footprints() {
+    let g = small_graph();
+    let rec = Recorder::new();
+    MiningPipeline::new(sw_config()).run_traced(&g, &rec);
+    let journal = rec.snapshot();
+
+    assert!(journal.has_mem());
+    let graph_fp =
+        journal.mems.iter().find(|m| m.kind == "footprint" && m.component == "graph").unwrap();
+    let by_name = |name: &str| graph_fp.footprint.iter().find(|r| r.name == name).unwrap();
+    assert_eq!(by_name("nodes").count, g.node_count() as u64);
+    assert_eq!(by_name("edges").count, g.edge_count() as u64);
+    assert!(graph_fp.footprint_bytes() > 0);
+    // The table matches the graph's own accounting exactly.
+    let direct = g.footprint();
+    assert_eq!(graph_fp.footprint_bytes(), direct.total_bytes());
+
+    // A second identical run records the identical footprint —
+    // capacity arithmetic, not allocator readings.
+    let rec2 = Recorder::new();
+    MiningPipeline::new(sw_config()).run_traced(&small_graph(), &rec2);
+    let journal2 = rec2.snapshot();
+    let graph_fp2 =
+        journal2.mems.iter().find(|m| m.kind == "footprint" && m.component == "graph").unwrap();
+    assert_eq!(graph_fp.footprint, graph_fp2.footprint);
+
+    // The RAG path additionally records the vector store.
+    let cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::Rag(RagConfig::default()),
+        PromptStyle::ZeroShot,
+    );
+    let rec3 = Recorder::new();
+    MiningPipeline::new(cfg).run_traced(&g, &rec3);
+    let journal3 = rec3.snapshot();
+    let vec_fp =
+        journal3.mems.iter().find(|m| m.kind == "footprint" && m.component == "vecstore").unwrap();
+    assert!(vec_fp.footprint.iter().any(|r| r.name == "embeddings" && r.bytes > 0));
+}
+
+#[test]
 fn parallel_run_emits_worker_child_spans_that_sum_to_totals() {
     let g = small_graph();
     let workers = 4;

@@ -12,6 +12,7 @@
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord, StageTiming};
 use crate::lineage::{BoundaryRecord, LineageRecord};
+use crate::mem::FootprintRow;
 use crate::resilience::{ChaosRecord, DegradedRecord};
 
 /// Which clock weights the folded stacks.
@@ -21,6 +22,8 @@ pub enum FlameWeight {
     Real,
     /// Simulated LLM seconds (each span's own attribution), milliseconds.
     Sim,
+    /// Allocated bytes (self: span delta minus children's deltas).
+    Mem,
 }
 
 /// Renders the journal as folded stacks — `a;b;c <weight>`, one line
@@ -29,9 +32,18 @@ pub enum FlameWeight {
 ///
 /// `Real` weights are *self* times (span minus children) so stack
 /// depths sum correctly; `Sim` weights are each span's own simulated
-/// attribution, which is already exclusive by construction. Zero-
-/// weight frames are omitted.
+/// attribution, which is already exclusive by construction; `Mem`
+/// weights are self allocated bytes (a span's v6 `Mem` delta minus
+/// its children's, clamped at zero). Zero-weight frames are omitted.
 pub fn folded_stacks(journal: &RunJournal, weight: FlameWeight) -> String {
+    let span_alloc = |id: u64| -> u64 {
+        journal
+            .mems
+            .iter()
+            .find(|m| m.kind == "span" && m.span == Some(id))
+            .map(|m| m.alloc_bytes)
+            .unwrap_or(0)
+    };
     let mut out = String::new();
     for span in &journal.spans {
         let value = match weight {
@@ -40,6 +52,10 @@ pub fn folded_stacks(journal: &RunJournal, weight: FlameWeight) -> String {
                 ((span.real_ms - children).max(0.0) * 1000.0).round() as u64
             }
             FlameWeight::Sim => (span.sim_seconds * 1000.0).round() as u64,
+            FlameWeight::Mem => {
+                let children: u64 = journal.children(span).iter().map(|c| span_alloc(c.id)).sum();
+                span_alloc(span.id).saturating_sub(children)
+            }
         };
         if value == 0 {
             continue;
@@ -1377,6 +1393,265 @@ impl ChaosBaseline {
     }
 }
 
+/// One span row of a [`MemReport`], keyed by the span's path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemSpanRow {
+    pub path: String,
+    /// Bytes allocated between span open and close (inclusive of
+    /// children).
+    pub alloc_bytes: u64,
+    pub alloc_count: u64,
+    pub dealloc_count: u64,
+    /// Growth of the process peak while the span was open.
+    pub peak_delta: u64,
+}
+
+/// One footprint component of a [`MemReport`] (`graph`, `vecstore`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemComponent {
+    pub component: String,
+    /// Per-structure rows, as journaled.
+    pub rows: Vec<FootprintRow>,
+    /// Total bytes over the rows.
+    pub bytes: u64,
+}
+
+/// The aggregation behind `grm trace mem`: every v6 `Mem` record of a
+/// journal folded into an allocating-spans table, the run-wide
+/// allocator totals, and the deterministic footprint breakdown.
+/// Serialisable as-is for `grm trace mem --json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemReport {
+    /// Span rows sorted by allocated bytes descending (ties by path).
+    pub spans: Vec<MemSpanRow>,
+    /// Run-wide process peak, bytes (0 without the tracking
+    /// allocator).
+    pub run_peak_bytes: u64,
+    /// Run-wide bytes allocated between recorder start and snapshot.
+    pub run_alloc_bytes: u64,
+    pub run_alloc_count: u64,
+    pub run_dealloc_count: u64,
+    /// Footprint components, name-sorted.
+    pub components: Vec<MemComponent>,
+}
+
+impl MemReport {
+    /// Aggregates the journal's `Mem` records. Empty report means the
+    /// journal carries none — pre-v6 input, or a run whose binary
+    /// never installed [`crate::TrackingAlloc`] and recorded no
+    /// footprints either.
+    pub fn from_journal(journal: &RunJournal) -> MemReport {
+        let mut report = MemReport::default();
+        for mem in &journal.mems {
+            match mem.kind.as_str() {
+                "span" => {
+                    let path = mem
+                        .span
+                        .and_then(|id| journal.spans.iter().find(|s| s.id == id))
+                        .map(|s| span_path(journal, s, "/"))
+                        .unwrap_or_else(|| "(run)".to_owned());
+                    report.spans.push(MemSpanRow {
+                        path,
+                        alloc_bytes: mem.alloc_bytes,
+                        alloc_count: mem.alloc_count,
+                        dealloc_count: mem.dealloc_count,
+                        peak_delta: mem.peak_delta,
+                    });
+                }
+                "run" => {
+                    report.run_peak_bytes = report.run_peak_bytes.max(mem.peak_bytes);
+                    report.run_alloc_bytes += mem.alloc_bytes;
+                    report.run_alloc_count += mem.alloc_count;
+                    report.run_dealloc_count += mem.dealloc_count;
+                }
+                _ => {
+                    let component =
+                        match report.components.iter_mut().find(|c| c.component == mem.component) {
+                            Some(c) => c,
+                            None => {
+                                report.components.push(MemComponent {
+                                    component: mem.component.clone(),
+                                    ..MemComponent::default()
+                                });
+                                report.components.last_mut().expect("just pushed")
+                            }
+                        };
+                    component.bytes += mem.footprint_bytes();
+                    component.rows.extend(mem.footprint.iter().cloned());
+                }
+            }
+        }
+        report
+            .spans
+            .sort_by(|a, b| b.alloc_bytes.cmp(&a.alloc_bytes).then_with(|| a.path.cmp(&b.path)));
+        report.components.sort_by(|a, b| a.component.cmp(&b.component));
+        report
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.components.is_empty() && self.run_alloc_count == 0
+    }
+
+    /// Total deterministic footprint bytes over every component.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.components.iter().map(|c| c.bytes).sum()
+    }
+
+    /// The memory tables: top-`top` allocating spans, the run totals,
+    /// then the footprint breakdown.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "top allocating spans:\n  {:<28} {:>14} {:>10} {:>10} {:>14}\n",
+                "span", "alloc bytes", "allocs", "frees", "peak delta"
+            ));
+            for s in self.spans.iter().take(top) {
+                out.push_str(&format!(
+                    "  {:<28} {:>14} {:>10} {:>10} {:>14}\n",
+                    s.path, s.alloc_bytes, s.alloc_count, s.dealloc_count, s.peak_delta
+                ));
+            }
+            if self.spans.len() > top {
+                out.push_str(&format!("  … {} more spans\n", self.spans.len() - top));
+            }
+        }
+        if self.run_alloc_count > 0 {
+            out.push_str(&format!(
+                "run totals: {} bytes allocated in {} allocs ({} frees), peak {} bytes\n",
+                self.run_alloc_bytes,
+                self.run_alloc_count,
+                self.run_dealloc_count,
+                self.run_peak_bytes
+            ));
+        }
+        out.push_str(&format!(
+            "deterministic footprint ({} bytes total):\n",
+            self.footprint_bytes()
+        ));
+        for c in &self.components {
+            out.push_str(&format!("  {:<12} {:>14} bytes\n", c.component, c.bytes));
+            for row in &c.rows {
+                out.push_str(&format!(
+                    "    {:<18} {:>10} x {:>12} bytes\n",
+                    row.name, row.count, row.bytes
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A committed memory baseline: the deterministic footprint tables
+/// (gated **exactly** — pure capacity arithmetic) plus the run-wide
+/// allocator peak and alloc count (tolerance-gated — real allocator
+/// numbers jitter across platforms and toolchains). Written by
+/// `repro --mem-baseline`, consumed by `grm trace mem --check` in CI.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemBaseline {
+    /// Journal schema version the snapshot was taken from.
+    pub journal_version: u32,
+    /// Footprint components of the snapshot run, name-sorted.
+    pub components: Vec<MemComponent>,
+    /// Run-wide peak bytes of the snapshot run.
+    pub run_peak_bytes: u64,
+    /// Run-wide allocation count of the snapshot run.
+    pub run_alloc_count: u64,
+}
+
+impl MemBaseline {
+    /// Freezes the journal's memory records into a baseline.
+    pub fn from_journal(journal: &RunJournal) -> MemBaseline {
+        let report = MemReport::from_journal(journal);
+        MemBaseline {
+            journal_version: crate::journal::JOURNAL_VERSION,
+            components: report.components,
+            run_peak_bytes: report.run_peak_bytes,
+            run_alloc_count: report.run_alloc_count,
+        }
+    }
+
+    /// Checks `journal` against this baseline: every footprint row
+    /// must match **exactly** (count and bytes — capacity arithmetic
+    /// is deterministic for a fixed seed and scale), while the
+    /// allocator peak and alloc count must not exceed the baseline by
+    /// more than `tolerance` (a fraction) and must not be zero when
+    /// the baseline has them. A journal with no `Mem` records at all
+    /// fails when the baseline has any — allocation tracking silently
+    /// turning off must not read as a pass. Returns the violations
+    /// (empty = pass).
+    pub fn check(&self, journal: &RunJournal, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        let has_baseline =
+            !self.components.is_empty() || self.run_peak_bytes > 0 || self.run_alloc_count > 0;
+        if has_baseline && !journal.has_mem() {
+            violations.push(
+                "baseline has mem records but the journal carries none \
+                 (was allocation tracking enabled?)"
+                    .to_owned(),
+            );
+            return violations;
+        }
+        let current = MemReport::from_journal(journal);
+        for base in &self.components {
+            let Some(now) = current.components.iter().find(|c| c.component == base.component)
+            else {
+                violations
+                    .push(format!("footprint component `{}` missing from the run", base.component));
+                continue;
+            };
+            for row in &base.rows {
+                let Some(now_row) = now.rows.iter().find(|r| r.name == row.name) else {
+                    violations.push(format!(
+                        "footprint `{}/{}` missing from the run",
+                        base.component, row.name
+                    ));
+                    continue;
+                };
+                if (now_row.count, now_row.bytes) != (row.count, row.bytes) {
+                    violations.push(format!(
+                        "footprint `{}/{}`: {} x {} bytes, baseline has {} x {} (exact gate)",
+                        base.component,
+                        row.name,
+                        now_row.count,
+                        now_row.bytes,
+                        row.count,
+                        row.bytes
+                    ));
+                }
+            }
+            for now_row in &now.rows {
+                if !base.rows.iter().any(|r| r.name == now_row.name) {
+                    violations.push(format!(
+                        "footprint `{}/{}` missing from the baseline (exact gate)",
+                        base.component, now_row.name
+                    ));
+                }
+            }
+        }
+        for (name, base, now) in [
+            ("run peak", self.run_peak_bytes, current.run_peak_bytes),
+            ("run alloc count", self.run_alloc_count, current.run_alloc_count),
+        ] {
+            if base == 0 {
+                continue;
+            }
+            if now == 0 {
+                violations.push(format!(
+                    "baseline has a non-zero {name} but the run recorded none \
+                     (was the tracking allocator installed?)"
+                ));
+            } else if now as f64 > base as f64 * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{name}: {now} exceeds baseline {base} by more than {:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1839,6 +2114,182 @@ mod tests {
         // Chaos silently off is a failure, not a pass.
         let faultless = baseline.check(&sample(1.0));
         assert!(faultless.iter().any(|v| v.contains("none")), "{faultless:?}");
+    }
+
+    /// A traced run carrying footprint records for two components.
+    /// Scaling `bytes_scale` models a graph that grew between runs.
+    fn sample_with_mem(bytes_scale: u64) -> RunJournal {
+        use crate::mem::{FootprintRow, MemRecord};
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let encode = root.scope().span("encode");
+        encode.scope().mem(MemRecord::footprint_of(
+            "graph",
+            vec![
+                FootprintRow { name: "nodes".into(), count: 10, bytes: 640 * bytes_scale },
+                FootprintRow { name: "edges".into(), count: 4, bytes: 320 * bytes_scale },
+            ],
+        ));
+        encode.scope().mem(MemRecord::footprint_of(
+            "vecstore",
+            vec![FootprintRow { name: "embeddings".into(), count: 3, bytes: 3072 }],
+        ));
+        encode.finish();
+        root.finish();
+        rec.snapshot()
+    }
+
+    #[test]
+    fn mem_report_aggregates_footprints_and_span_deltas() {
+        use crate::mem::MemRecord;
+        let mut journal = sample_with_mem(1);
+        // Unit-test binaries don't install the tracking allocator, so
+        // span/run records never appear organically — splice some in
+        // the way a tracked binary would journal them.
+        journal.mems.push(MemRecord {
+            span: Some(1),
+            kind: "span".into(),
+            alloc_bytes: 5000,
+            alloc_count: 12,
+            dealloc_count: 9,
+            peak_delta: 2000,
+            ..MemRecord::default()
+        });
+        journal.mems.push(MemRecord {
+            span: Some(0),
+            kind: "span".into(),
+            alloc_bytes: 8000,
+            alloc_count: 20,
+            dealloc_count: 15,
+            peak_delta: 2500,
+            ..MemRecord::default()
+        });
+        journal.mems.push(MemRecord {
+            kind: "run".into(),
+            alloc_bytes: 9000,
+            alloc_count: 25,
+            dealloc_count: 18,
+            peak_delta: 2500,
+            peak_bytes: 4096,
+            ..MemRecord::default()
+        });
+
+        let report = MemReport::from_journal(&journal);
+        assert!(!report.is_empty());
+        // Spans sort by allocated bytes descending.
+        assert_eq!(report.spans[0].path, "pipeline");
+        assert_eq!(report.spans[0].alloc_bytes, 8000);
+        assert_eq!(report.spans[1].path, "pipeline/encode");
+        assert_eq!(report.spans[1].alloc_bytes, 5000);
+        assert_eq!(report.run_peak_bytes, 4096);
+        assert_eq!(report.run_alloc_count, 25);
+        // Components sort by name and sum their rows.
+        assert_eq!(report.components.len(), 2);
+        assert_eq!(report.components[0].component, "graph");
+        assert_eq!(report.components[0].bytes, 960);
+        assert_eq!(report.components[1].component, "vecstore");
+        assert_eq!(report.components[1].bytes, 3072);
+        assert_eq!(report.footprint_bytes(), 4032);
+
+        let rendered = report.render(1);
+        assert!(rendered.contains("pipeline"), "{rendered}");
+        assert!(rendered.contains("… 1 more spans"), "{rendered}");
+        assert!(rendered.contains("run totals: 9000 bytes"), "{rendered}");
+        assert!(rendered.contains("deterministic footprint (4032 bytes total)"), "{rendered}");
+        assert!(rendered.contains("embeddings"), "{rendered}");
+        crate::assert_roundtrip(&report);
+
+        // A journal with no mem records reports empty.
+        assert!(MemReport::from_journal(&sample(1.0)).is_empty());
+    }
+
+    #[test]
+    fn mem_baseline_gates_footprints_exactly_and_counters_by_tolerance() {
+        use crate::mem::MemRecord;
+        let journal = sample_with_mem(1);
+        let baseline = MemBaseline::from_journal(&journal);
+        assert_eq!(baseline.journal_version, crate::journal::JOURNAL_VERSION);
+        assert_eq!(baseline.components.len(), 2);
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let parsed: MemBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, baseline);
+
+        // The run it was taken from passes exactly.
+        assert!(baseline.check(&journal, 0.0).is_empty());
+        // A grown footprint fails — the footprint gate has no
+        // tolerance, whatever tolerance the allocator counters get.
+        let violations = baseline.check(&sample_with_mem(2), 0.5);
+        assert!(violations.iter().any(|v| v.contains("graph/nodes")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("exact gate")), "{violations:?}");
+        // Mem tracking silently off is a failure, not a pass.
+        let untracked = baseline.check(&sample(1.0), 0.5);
+        assert!(untracked.iter().any(|v| v.contains("none")), "{untracked:?}");
+
+        // Allocator counters gate by tolerance: build a baseline with
+        // run counters, then check runs above and below the slack.
+        let mut tracked = sample_with_mem(1);
+        tracked.mems.push(MemRecord {
+            kind: "run".into(),
+            alloc_bytes: 10_000,
+            alloc_count: 100,
+            dealloc_count: 90,
+            peak_delta: 4000,
+            peak_bytes: 8000,
+            ..MemRecord::default()
+        });
+        let counter_baseline = MemBaseline::from_journal(&tracked);
+        assert_eq!(counter_baseline.run_peak_bytes, 8000);
+        assert_eq!(counter_baseline.run_alloc_count, 100);
+        let mut slower = sample_with_mem(1);
+        slower.mems.push(MemRecord {
+            kind: "run".into(),
+            alloc_bytes: 12_000,
+            alloc_count: 140,
+            dealloc_count: 120,
+            peak_delta: 5000,
+            peak_bytes: 8400,
+            ..MemRecord::default()
+        });
+        // +40% allocs fails a 10% tolerance…
+        let over = counter_baseline.check(&slower, 0.1);
+        assert!(over.iter().any(|v| v.contains("run alloc count")), "{over:?}");
+        // …and passes a 50% one.
+        assert!(counter_baseline.check(&slower, 0.5).is_empty());
+        // A run whose counters vanished entirely fails even at high
+        // tolerance — the allocator was silently uninstalled.
+        let vanished = counter_baseline.check(&journal, 10.0);
+        assert!(vanished.iter().any(|v| v.contains("tracking allocator")), "{vanished:?}");
+    }
+
+    #[test]
+    fn folded_stacks_weighs_self_allocation_for_mem() {
+        use crate::mem::MemRecord;
+        let mut journal = sample_with_mem(1);
+        // pipeline allocated 8000 inclusive, encode 5000 — pipeline's
+        // self weight is the 3000-byte difference.
+        journal.mems.push(MemRecord {
+            span: Some(0),
+            kind: "span".into(),
+            alloc_bytes: 8000,
+            alloc_count: 20,
+            dealloc_count: 15,
+            peak_delta: 2500,
+            ..MemRecord::default()
+        });
+        journal.mems.push(MemRecord {
+            span: Some(1),
+            kind: "span".into(),
+            alloc_bytes: 5000,
+            alloc_count: 12,
+            dealloc_count: 9,
+            peak_delta: 2000,
+            ..MemRecord::default()
+        });
+        let folded = folded_stacks(&journal, FlameWeight::Mem);
+        assert!(folded.contains("pipeline 3000"), "{folded}");
+        assert!(folded.contains("pipeline;encode 5000"), "{folded}");
+        // Without span records every frame weighs zero and is omitted.
+        assert_eq!(folded_stacks(&sample_with_mem(1), FlameWeight::Mem), "");
     }
 
     #[test]

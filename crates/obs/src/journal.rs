@@ -4,6 +4,7 @@
 
 use crate::histogram::Histogram;
 use crate::lineage::{BoundaryRecord, LineageRecord};
+use crate::mem::MemRecord;
 use crate::plan::PlanRecord;
 use crate::resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
 
@@ -81,6 +82,10 @@ pub enum JournalRecord {
     /// A completed-unit checkpoint line (schema v5+), replayed by
     /// `grm mine --resume`. Skipped by older readers.
     Checkpoint(CheckpointRecord),
+    /// A memory line (schema v6+): per-span allocation deltas, the
+    /// run-wide allocator totals, or a deterministic footprint table.
+    /// Skipped by older readers.
+    Mem(MemRecord),
     /// Run-wide totals, always the last line.
     Totals {
         counters: Vec<(String, u64)>,
@@ -88,9 +93,9 @@ pub enum JournalRecord {
     },
 }
 
-/// Variant keys a v5 reader knows; object lines keyed otherwise are
+/// Variant keys a v6 reader knows; object lines keyed otherwise are
 /// future record types and are skipped, not errors.
-const KNOWN_RECORD_KEYS: [&str; 12] = [
+const KNOWN_RECORD_KEYS: [&str; 13] = [
     "Meta",
     "Span",
     "Histo",
@@ -102,6 +107,7 @@ const KNOWN_RECORD_KEYS: [&str; 12] = [
     "Retry",
     "Degraded",
     "Checkpoint",
+    "Mem",
     "Totals",
 ];
 
@@ -134,6 +140,9 @@ pub struct RunJournal {
     pub retries: Vec<RetryRecord>,
     pub degraded: Vec<DegradedRecord>,
     pub checkpoints: Vec<CheckpointRecord>,
+    /// Memory records: per-span allocation deltas, the run-wide
+    /// allocator totals, and deterministic footprint tables.
+    pub mems: Vec<MemRecord>,
     /// Parse metadata, not serialised by [`RunJournal::to_jsonl`]:
     /// damaged lines dropped by a lossy parse (truncated tails).
     pub corrupt_lines: u64,
@@ -145,11 +154,11 @@ pub struct RunJournal {
 /// Journal schema version, bumped on incompatible record changes.
 /// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines. v3: adds
 /// `Plan` lines. v4: adds `Lineage` and `Boundary` lines. v5: adds
-/// `Chaos`/`Fault`/`Retry`/`Degraded`/`Checkpoint` lines. Each
-/// version is purely additive, so older journals still parse (they
-/// simply carry fewer record kinds) and older readers skip the new
-/// lines through their unknown-record path.
-pub const JOURNAL_VERSION: u32 = 5;
+/// `Chaos`/`Fault`/`Retry`/`Degraded`/`Checkpoint` lines. v6: adds
+/// `Mem` lines. Each version is purely additive, so older journals
+/// still parse (they simply carry fewer record kinds) and older
+/// readers skip the new lines through their unknown-record path.
+pub const JOURNAL_VERSION: u32 = 6;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -208,6 +217,13 @@ impl RunJournal {
             || !self.faults.is_empty()
             || !self.retries.is_empty()
             || !self.degraded.is_empty()
+    }
+
+    /// True when the journal carries v6 `Mem` records at all — the
+    /// gate for memory-aware rendering (`grm trace mem`) and the
+    /// silently-off guard of the mem baseline check.
+    pub fn has_mem(&self) -> bool {
+        !self.mems.is_empty()
     }
 
     /// The checkpointed payload for `(stage, unit)`, when recorded.
@@ -345,6 +361,11 @@ impl RunJournal {
         for checkpoint in checkpoints {
             push(&JournalRecord::Checkpoint(checkpoint));
         }
+        let mut mems = self.mems.clone();
+        mems.sort_by(|a, b| (a.span, &a.kind, &a.component).cmp(&(b.span, &b.kind, &b.component)));
+        for mem in mems {
+            push(&JournalRecord::Mem(mem));
+        }
         push(&JournalRecord::Totals {
             counters: sorted_by_name(&self.totals),
             gauges: sorted_by_name(&self.gauges),
@@ -411,6 +432,7 @@ impl RunJournal {
                 JournalRecord::Retry(retry) => journal.retries.push(retry),
                 JournalRecord::Degraded(record) => journal.degraded.push(record),
                 JournalRecord::Checkpoint(checkpoint) => journal.checkpoints.push(checkpoint),
+                JournalRecord::Mem(mem) => journal.mems.push(mem),
                 JournalRecord::Totals { counters, gauges } => {
                     journal.totals = counters;
                     journal.gauges = gauges;
@@ -469,6 +491,27 @@ impl RunJournal {
                 recovered,
                 self.degraded.len(),
                 self.checkpoints.len()
+            ));
+        }
+        if self.has_mem() {
+            let footprint: u64 = self
+                .mems
+                .iter()
+                .filter(|m| m.kind == "footprint")
+                .map(|m| m.footprint_bytes())
+                .sum();
+            let peak = self
+                .mems
+                .iter()
+                .filter(|m| m.kind == "run")
+                .map(|m| m.peak_bytes)
+                .max()
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "memory: {} mem records, footprint {} bytes, run peak {} bytes\n",
+                self.mems.len(),
+                footprint,
+                peak
             ));
         }
         if self.corrupt_lines + self.unknown_lines > 0 {
@@ -545,6 +588,22 @@ impl RunJournal {
                 corrupt_lines: self.corrupt_lines,
                 unknown_lines: self.unknown_lines,
             },
+            mem: MemDigest {
+                records: self.mems.len() as u64,
+                footprint_bytes: self
+                    .mems
+                    .iter()
+                    .filter(|m| m.kind == "footprint")
+                    .map(|m| m.footprint_bytes())
+                    .sum(),
+                peak_bytes: self
+                    .mems
+                    .iter()
+                    .filter(|m| m.kind == "run")
+                    .map(|m| m.peak_bytes)
+                    .max()
+                    .unwrap_or(0),
+            },
         }
     }
 
@@ -578,6 +637,7 @@ pub struct JournalSummary {
     pub plans: PlanDigest,
     pub lineage: LineageDigest,
     pub resilience: ResilienceDigest,
+    pub mem: MemDigest,
 }
 
 /// Key statistics of one run-wide histogram in a [`JournalSummary`].
@@ -619,6 +679,15 @@ pub struct ResilienceDigest {
     pub checkpoints: u64,
     pub corrupt_lines: u64,
     pub unknown_lines: u64,
+}
+
+/// Memory totals in a [`JournalSummary`]: `Mem` record count, total
+/// deterministic footprint bytes, and the run-wide peak.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemDigest {
+    pub records: u64,
+    pub footprint_bytes: u64,
+    pub peak_bytes: u64,
 }
 
 /// A name-sorted copy of `(name, value)` pairs — serialisation order

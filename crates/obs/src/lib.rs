@@ -29,16 +29,24 @@
 //!   injected transient faults, retry verdicts, degraded units and
 //!   completed-unit checkpoints written by chaos runs, the substrate
 //!   behind `grm mine --fault-rate`/`--resume`;
+//! * **memory records** ([`MemRecord`], [`TrackingAlloc`]) — a
+//!   `#[global_allocator]`-compatible tracking allocator whose
+//!   live/peak/count atomics give every span `alloc_bytes`,
+//!   `alloc_count` and `peak_delta` deltas on exit, plus
+//!   deterministic footprint tables ([`FootprintRow`]) computed from
+//!   container capacities, the substrate behind `grm trace mem`;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
-//!   tree, counter totals, histograms, plan profiles, lineage and
-//!   resilience records (schema v5; v1–v4 journals still parse),
-//!   written by `grm mine --trace` and the `repro` binary;
+//!   tree, counter totals, histograms, plan profiles, lineage,
+//!   resilience and memory records (schema v6; v1–v5 journals still
+//!   parse), written by `grm mine --trace` and the `repro` binary;
 //! * **trace analytics** ([`TraceDiff`], [`folded_stacks`],
 //!   [`TraceBaseline`], [`PlanReport`], [`PlanBaseline`],
 //!   [`LineageReport`], [`LineageBaseline`], [`FaultReport`],
-//!   [`ChaosBaseline`]) — run-over-run diffing, flamegraph export,
-//!   operator cost tables, rule-provenance tables, fault digests and
-//!   the CI perf/lineage/chaos regression gates behind `grm trace`.
+//!   [`ChaosBaseline`], [`MemReport`], [`MemBaseline`]) —
+//!   run-over-run diffing, flamegraph export, operator cost tables,
+//!   rule-provenance tables, fault digests, allocation tables and the
+//!   CI perf/lineage/chaos/memory regression gates behind `grm
+//!   trace`.
 //!
 //! The entry point is [`Recorder`]. A disabled recorder costs one
 //! `Option` check per call, so instrumented code paths stay free when
@@ -69,23 +77,38 @@ mod counter;
 mod histogram;
 mod journal;
 mod lineage;
+mod mem;
 mod plan;
 mod recorder;
 mod resilience;
 
 pub use analytics::{
     explain_rule, folded_stacks, BaselineHisto, ChaosBaseline, CounterDiffRow, FaultReport,
-    FlameWeight, HistoDiffRow, LineageBaseline, LineageReport, OptimizerBaseline, OriginYield,
-    PlanBaseline, PlanBaselineOp, PlanCacheReport, PlanOpAgg, PlanReport, PlanScopeAgg,
-    StageDiffRow, TraceBaseline, TraceDiff,
+    FlameWeight, HistoDiffRow, LineageBaseline, LineageReport, MemBaseline, MemComponent,
+    MemReport, MemSpanRow, OptimizerBaseline, OriginYield, PlanBaseline, PlanBaselineOp,
+    PlanCacheReport, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use journal::{
-    HistoRecord, HistogramSummary, JournalRecord, JournalSummary, LineageDigest, PlanDigest,
-    ResilienceDigest, RunJournal, SpanRecord, StageTiming,
+    HistoRecord, HistogramSummary, JournalRecord, JournalSummary, LineageDigest, MemDigest,
+    PlanDigest, ResilienceDigest, RunJournal, SpanRecord, StageTiming,
 };
 pub use lineage::{BoundaryRecord, LineageRecord, OriginRef};
+pub use mem::{AllocSnapshot, FootprintRow, MemRecord, TrackingAlloc};
 pub use plan::{PlanOpRecord, PlanRecord, SlowQueryPolicy};
 pub use recorder::{Recorder, Scope, Span};
 pub use resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
+
+/// Shared unit-test helper: asserts `value` survives a serde JSON
+/// round-trip unchanged. One definition instead of a copy per record
+/// module.
+#[cfg(test)]
+pub(crate) fn assert_roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialises");
+    let parsed: T = serde_json::from_str(&json).expect("parses back");
+    assert_eq!(&parsed, value, "round-trip changed the value ({json})");
+}

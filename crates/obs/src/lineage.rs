@@ -144,13 +144,12 @@ mod tests {
             confidence_pct: Some(98.5),
         };
         rec.sort_origins();
-        let json = serde_json::to_string(&rec).unwrap();
-        let back: LineageRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, rec);
-        let boundary =
-            BoundaryRecord { span: Some(2), node: "n14".into(), first_window: 0, last_window: 1 };
-        let json = serde_json::to_string(&boundary).unwrap();
-        let back: BoundaryRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, boundary);
+        crate::assert_roundtrip(&rec);
+        crate::assert_roundtrip(&BoundaryRecord {
+            span: Some(2),
+            node: "n14".into(),
+            first_window: 0,
+            last_window: 1,
+        });
     }
 }

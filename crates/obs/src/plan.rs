@@ -189,6 +189,14 @@ mod tests {
     }
 
     #[test]
+    fn records_round_trip_through_serde() {
+        let mut rec = PlanRecord::new("rule-0");
+        rec.absorb(vec![op("Root", 1), op("Root/Scan", 4)], 1, 100, 50);
+        rec.sort_ops();
+        crate::assert_roundtrip(&rec);
+    }
+
+    #[test]
     fn slow_query_policy_thresholds() {
         let mut rec = PlanRecord::new("rule-1");
         rec.absorb(vec![op("Root", 100)], 1, 2_500, 0);

@@ -14,8 +14,37 @@ use crate::counter::{Counter, Gauge, Histo};
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord};
 use crate::lineage::{BoundaryRecord, LineageRecord};
+use crate::mem::{AllocSnapshot, MemRecord, TrackingAlloc};
 use crate::plan::{PlanRecord, SlowQueryPolicy};
 use crate::resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
+
+/// Allocator-counter growth between two snapshots. All-zero in
+/// binaries that never install [`TrackingAlloc`].
+#[derive(Debug, Clone, Copy, Default)]
+struct AllocDelta {
+    alloc_bytes: u64,
+    alloc_count: u64,
+    dealloc_count: u64,
+    peak_delta: u64,
+}
+
+impl AllocDelta {
+    fn between(open: &AllocSnapshot, close: &AllocSnapshot) -> AllocDelta {
+        AllocDelta {
+            alloc_bytes: close.total_alloc_bytes.saturating_sub(open.total_alloc_bytes),
+            alloc_count: close.alloc_count.saturating_sub(open.alloc_count),
+            dealloc_count: close.dealloc_count.saturating_sub(open.dealloc_count),
+            peak_delta: close.peak_bytes.saturating_sub(open.peak_bytes),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.alloc_bytes == 0
+            && self.alloc_count == 0
+            && self.dealloc_count == 0
+            && self.peak_delta == 0
+    }
+}
 
 #[derive(Debug)]
 struct SpanData {
@@ -26,6 +55,11 @@ struct SpanData {
     real_secs: Option<f64>,
     /// Simulated LLM seconds attributed to this span.
     sim_seconds: f64,
+    /// Allocator counters at span open, for the close-time delta.
+    alloc_at_open: AllocSnapshot,
+    /// Allocation delta over the span (inclusive of children); set by
+    /// the first close, computed at snapshot time for open spans.
+    alloc_delta: Option<AllocDelta>,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histos: BTreeMap<&'static str, Histogram>,
@@ -40,6 +74,9 @@ struct State {
     plans: Vec<PlanRecord>,
     lineages: Vec<LineageRecord>,
     boundaries: Vec<BoundaryRecord>,
+    /// Footprint records stored through [`Scope::mem`]; span and run
+    /// allocation records are derived at snapshot time instead.
+    mems: Vec<MemRecord>,
     chaos: Option<ChaosRecord>,
     faults: Vec<FaultRecord>,
     retries: Vec<RetryRecord>,
@@ -51,6 +88,9 @@ struct State {
 #[derive(Debug)]
 struct Inner {
     started: Instant,
+    /// Allocator counters when the recorder was created, for the
+    /// run-wide `Mem` record.
+    alloc_at_start: AllocSnapshot,
     /// When set, snapshots zero every wall-clock field so two runs of
     /// the same seeded pipeline serialise byte-identically.
     deterministic: bool,
@@ -78,6 +118,7 @@ impl Recorder {
         Recorder {
             inner: Some(Arc::new(Inner {
                 started: Instant::now(),
+                alloc_at_start: TrackingAlloc::snapshot(),
                 deterministic: false,
                 state: Mutex::new(State::default()),
             })),
@@ -85,13 +126,16 @@ impl Recorder {
     }
 
     /// An enabled recorder whose snapshots zero every wall-clock
-    /// field (`start_ms`, `real_ms`, plan microseconds) — the mode
-    /// chaos runs use so two runs with the same `(seed, fault-seed,
-    /// fault-rate)` write byte-identical journals.
+    /// field (`start_ms`, `real_ms`, plan microseconds) and every
+    /// allocator-derived quantity — the mode chaos runs use so two
+    /// runs with the same `(seed, fault-seed, fault-rate)` write
+    /// byte-identical journals. Deterministic footprint records
+    /// survive; they are pure capacity arithmetic.
     pub fn deterministic() -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 started: Instant::now(),
+                alloc_at_start: TrackingAlloc::snapshot(),
                 deterministic: true,
                 state: Mutex::new(State::default()),
             })),
@@ -132,6 +176,8 @@ impl Recorder {
             start: Instant::now(),
             real_secs: None,
             sim_seconds: 0.0,
+            alloc_at_open: TrackingAlloc::snapshot(),
+            alloc_delta: None,
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histos: BTreeMap::new(),
@@ -145,6 +191,8 @@ impl Recorder {
             let span = &mut state.spans[id];
             if span.real_secs.is_none() {
                 span.real_secs = Some(span.start.elapsed().as_secs_f64());
+                span.alloc_delta =
+                    Some(AllocDelta::between(&span.alloc_at_open, &TrackingAlloc::snapshot()));
             }
         }
     }
@@ -282,6 +330,14 @@ impl Recorder {
         }
     }
 
+    fn record_mem(&self, span: Option<usize>, mut mem: MemRecord) {
+        if let Some(inner) = &self.inner {
+            mem.span = span.map(|id| id as u64);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.mems.push(mem);
+        }
+    }
+
     /// Freezes the current state into a serialisable journal. Spans
     /// still open are reported with their elapsed-so-far duration.
     pub fn snapshot(&self) -> RunJournal {
@@ -344,6 +400,45 @@ impl Recorder {
                 }
             }
         }
+        // Footprint records always journal (pure capacity arithmetic,
+        // deterministic). Span/run allocation records are derived from
+        // the tracking allocator and omitted in deterministic mode —
+        // and wherever the allocator is not installed they are all
+        // zero and skipped, so library/unit-test journals are
+        // unchanged.
+        let mut mems = state.mems.clone();
+        if !inner.deterministic {
+            let now = TrackingAlloc::snapshot();
+            for (id, s) in state.spans.iter().enumerate() {
+                let delta =
+                    s.alloc_delta.unwrap_or_else(|| AllocDelta::between(&s.alloc_at_open, &now));
+                if delta.is_zero() {
+                    continue;
+                }
+                mems.push(MemRecord {
+                    span: Some(id as u64),
+                    kind: "span".to_owned(),
+                    alloc_bytes: delta.alloc_bytes,
+                    alloc_count: delta.alloc_count,
+                    dealloc_count: delta.dealloc_count,
+                    peak_delta: delta.peak_delta,
+                    ..MemRecord::default()
+                });
+            }
+            let run = AllocDelta::between(&inner.alloc_at_start, &now);
+            if !run.is_zero() {
+                mems.push(MemRecord {
+                    span: None,
+                    kind: "run".to_owned(),
+                    alloc_bytes: run.alloc_bytes,
+                    alloc_count: run.alloc_count,
+                    dealloc_count: run.dealloc_count,
+                    peak_delta: run.peak_delta,
+                    peak_bytes: now.peak_bytes,
+                    ..MemRecord::default()
+                });
+            }
+        }
         RunJournal {
             spans,
             totals: state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
@@ -357,6 +452,7 @@ impl Recorder {
             retries: state.retries.clone(),
             degraded: state.degraded.clone(),
             checkpoints: state.checkpoints.clone(),
+            mems,
             corrupt_lines: 0,
             unknown_lines: 0,
         }
@@ -450,6 +546,13 @@ impl Scope {
     /// span, for `grm mine --resume` to replay.
     pub fn checkpoint(&self, checkpoint: CheckpointRecord) {
         self.rec.record_checkpoint(self.parent, checkpoint);
+    }
+
+    /// Stores a memory record attached to this scope's span —
+    /// typically a deterministic footprint table built with
+    /// [`MemRecord::footprint_of`]. The recorder stamps the span id.
+    pub fn mem(&self, mem: MemRecord) {
+        self.rec.record_mem(self.parent, mem);
     }
 }
 

@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn records_round_trip_through_serde() {
-        let chaos = ChaosRecord {
+        crate::assert_roundtrip(&ChaosRecord {
             run_seed: 42,
             fault_seed: 7,
             fault_rate: 0.2,
@@ -123,12 +123,8 @@ mod tests {
             prompting: "Zero-shot".into(),
             graph_nodes: 1200,
             graph_edges: 5400,
-        };
-        let json = serde_json::to_string(&chaos).unwrap();
-        let back: ChaosRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, chaos);
-
-        let fault = FaultRecord {
+        });
+        crate::assert_roundtrip(&FaultRecord {
             span: Some(3),
             stage: "mine".into(),
             unit: 5,
@@ -136,40 +132,25 @@ mod tests {
             kind: "timeout".into(),
             cost_seconds: 20.0,
             backoff_seconds: 1.1,
-        };
-        let json = serde_json::to_string(&fault).unwrap();
-        let back: FaultRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, fault);
-
-        let retry = RetryRecord {
+        });
+        crate::assert_roundtrip(&RetryRecord {
             span: Some(3),
             stage: "mine".into(),
             unit: 5,
             attempts: 3,
             recovered: true,
-        };
-        let json = serde_json::to_string(&retry).unwrap();
-        let back: RetryRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, retry);
-
-        let degraded = DegradedRecord {
+        });
+        crate::assert_roundtrip(&DegradedRecord {
             span: Some(4),
             stage: "translate".into(),
             unit: "rule-2".into(),
             reason: "retries_exhausted".into(),
-        };
-        let json = serde_json::to_string(&degraded).unwrap();
-        let back: DegradedRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, degraded);
-
-        let checkpoint = CheckpointRecord {
+        });
+        crate::assert_roundtrip(&CheckpointRecord {
             span: Some(3),
             stage: "mine".into(),
             unit: 0,
             payload: "{\"rules\":[]}".into(),
-        };
-        let json = serde_json::to_string(&checkpoint).unwrap();
-        let back: CheckpointRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, checkpoint);
+        });
     }
 }

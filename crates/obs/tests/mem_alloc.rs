@@ -1,0 +1,132 @@
+//! Allocation-tracking behaviour with [`TrackingAlloc`] installed.
+//!
+//! This test binary is the only one in the crate that installs the
+//! tracking allocator — integration tests each get their own process,
+//! so the `#[global_allocator]` here cannot leak into other binaries'
+//! all-zero-counter assumptions.
+
+use grm_obs::{MemRecord, Recorder, RunJournal, TrackingAlloc};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Spans of a traced run under the tracking allocator carry `Mem`
+/// allocation records, and the run-wide record reports a peak.
+#[test]
+fn traced_run_journals_span_and_run_mem_records() {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let mine = root.scope().span("mine");
+    // Force heap traffic the span delta must observe.
+    let hog: Vec<u8> = vec![7; 1 << 16];
+    std::hint::black_box(&hog);
+    drop(hog);
+    mine.finish();
+    root.finish();
+
+    let journal = rec.snapshot();
+    assert!(journal.has_mem());
+    let span_recs: Vec<&MemRecord> = journal.mems.iter().filter(|m| m.kind == "span").collect();
+    assert!(!span_recs.is_empty(), "the allocating span must carry a Mem record");
+    let mine_id = journal.span("mine").unwrap().id;
+    let mine_mem = span_recs.iter().find(|m| m.span == Some(mine_id)).unwrap();
+    assert!(mine_mem.alloc_bytes >= 1 << 16, "delta covers the hog: {mine_mem:?}");
+    assert!(mine_mem.alloc_count > 0);
+
+    let run = journal.mems.iter().find(|m| m.kind == "run").unwrap();
+    assert!(run.span.is_none());
+    assert!(run.peak_bytes > 0, "a live process has a non-zero peak");
+    assert!(run.alloc_bytes >= mine_mem.alloc_bytes, "run total covers the span");
+
+    // The journal round-trips with the records intact (serialisation
+    // sorts them (span, kind, component), so compare as sets).
+    let parsed = RunJournal::from_jsonl(&journal.to_jsonl()).unwrap();
+    assert_eq!(parsed.mems.len(), journal.mems.len());
+    for mem in &journal.mems {
+        assert!(parsed.mems.contains(mem), "missing after round-trip: {mem:?}");
+    }
+}
+
+/// Deterministic recorders omit allocation records entirely — the
+/// byte-identity CI comparisons must not see allocator jitter even in
+/// binaries that installed the allocator.
+#[test]
+fn deterministic_recorder_omits_allocation_records() {
+    let rec = Recorder::deterministic();
+    let span = rec.root_scope().span("mine");
+    let hog: Vec<u8> = vec![7; 1 << 12];
+    std::hint::black_box(&hog);
+    drop(hog);
+    span.finish();
+    let journal = rec.snapshot();
+    assert!(
+        journal.mems.iter().all(|m| m.kind == "footprint"),
+        "only deterministic footprints may survive: {:?}",
+        journal.mems
+    );
+}
+
+proptest! {
+    /// The allocator's peak is a true high-water mark: at every
+    /// snapshot, peak ≥ live, and the cumulative counters are
+    /// monotone across snapshots.
+    #[test]
+    fn peak_dominates_live_at_every_snapshot(
+        sizes in prop::collection::vec(1usize..4096, 1..40),
+    ) {
+        let mut prev = TrackingAlloc::snapshot();
+        let mut held = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            held.push(vec![0u8; size]);
+            if i % 3 == 2 {
+                held.pop();
+            }
+            let snap = TrackingAlloc::snapshot();
+            prop_assert!(snap.peak_bytes >= snap.live_bytes, "{snap:?}");
+            prop_assert!(snap.total_alloc_bytes >= prev.total_alloc_bytes);
+            prop_assert!(snap.alloc_count >= prev.alloc_count);
+            prop_assert!(snap.dealloc_count >= prev.dealloc_count);
+            prop_assert!(snap.peak_bytes >= prev.peak_bytes);
+            prev = snap;
+        }
+        std::hint::black_box(&held);
+    }
+
+    /// Flat sibling spans partition the run interval: the sum of
+    /// their allocation deltas never exceeds the run-wide total —
+    /// the cumulative counter is monotone over disjoint
+    /// sub-intervals.
+    #[test]
+    fn span_alloc_deltas_sum_within_run_total(
+        sizes in prop::collection::vec(1usize..2048, 1..12),
+    ) {
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        for (i, &size) in sizes.iter().enumerate() {
+            let span = root.scope().span(&format!("unit-{i}"));
+            let hog: Vec<u8> = vec![1; size];
+            std::hint::black_box(&hog);
+            drop(hog);
+            span.finish();
+        }
+        root.finish();
+        let journal = rec.snapshot();
+
+        let run = journal.mems.iter().find(|m| m.kind == "run").unwrap();
+        // Only the leaf spans: the root's delta is inclusive of all
+        // of them, so summing it too would double-count.
+        let leaf_sum: u64 = journal
+            .mems
+            .iter()
+            .filter(|m| m.kind == "span" && m.span != Some(0))
+            .map(|m| m.alloc_bytes)
+            .sum();
+        prop_assert!(
+            leaf_sum <= run.alloc_bytes,
+            "leaf deltas {} must fit the run total {}",
+            leaf_sum,
+            run.alloc_bytes
+        );
+    }
+}

@@ -5,8 +5,8 @@
 use std::thread;
 
 use grm_obs::{
-    BoundaryRecord, Counter, Gauge, Histo, LineageRecord, OriginRef, PlanOpRecord, PlanRecord,
-    Recorder, RunJournal, Scope, SlowQueryPolicy,
+    BoundaryRecord, Counter, FootprintRow, Gauge, Histo, LineageRecord, MemRecord, OriginRef,
+    PlanOpRecord, PlanRecord, Recorder, RunJournal, Scope, SlowQueryPolicy,
 };
 
 #[test]
@@ -191,7 +191,7 @@ fn journal_v2_jsonl_includes_histo_lines() {
     // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
     assert_eq!(text.lines().count(), 2 + 1 + 4);
     assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
-    assert!(text.lines().next().unwrap().contains(r#""version":5"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
     let parsed = RunJournal::from_jsonl(&text).unwrap();
     assert_eq!(parsed, journal);
 }
@@ -275,7 +275,7 @@ fn journal_with_plans() -> RunJournal {
 fn journal_v3_plan_lines_round_trip_deterministically() {
     let journal = journal_with_plans();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":5"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
     let plan_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Plan""#)).collect();
     assert_eq!(plan_lines.len(), 2);
     // Plan lines come scope-sorted, operators path-sorted within.
@@ -305,7 +305,7 @@ fn v2_readers_skip_v3_plan_records() {
     // knows.
     let text = journal_with_plans()
         .to_jsonl()
-        .replace(r#""version":5"#, r#""version":2"#)
+        .replace(r#""version":6"#, r#""version":2"#)
         .replace(r#"{"Plan""#, r#"{"PlanV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v2 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -317,7 +317,7 @@ fn v2_readers_skip_v3_plan_records() {
     // strict under the current reader.
     let rec = Recorder::new();
     rec.root_scope().span("mine").finish();
-    let v2 = rec.snapshot().to_jsonl().replace(r#""version":5"#, r#""version":2"#);
+    let v2 = rec.snapshot().to_jsonl().replace(r#""version":6"#, r#""version":2"#);
     assert!(RunJournal::from_jsonl(&v2).is_ok());
 }
 
@@ -380,7 +380,7 @@ fn journal_with_lineage() -> RunJournal {
 fn journal_v4_lineage_lines_round_trip_deterministically() {
     let journal = journal_with_lineage();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":5"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
     let lineage_lines: Vec<&str> =
         text.lines().filter(|l| l.starts_with(r#"{"Lineage""#)).collect();
     assert_eq!(lineage_lines.len(), 2);
@@ -417,7 +417,7 @@ fn v3_readers_skip_v4_lineage_records() {
     // version and renaming both keys to ones no reader knows.
     let text = journal_with_lineage()
         .to_jsonl()
-        .replace(r#""version":5"#, r#""version":3"#)
+        .replace(r#""version":6"#, r#""version":3"#)
         .replace(r#"{"Lineage""#, r#"{"LineageV9""#)
         .replace(r#"{"Boundary""#, r#"{"BoundaryV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v3 strict reader must not error");
@@ -429,7 +429,7 @@ fn v3_readers_skip_v4_lineage_records() {
 
     // And a genuine v3 journal (no Lineage lines at all) still parses
     // strict under the v4 reader.
-    let v3 = journal_with_plans().to_jsonl().replace(r#""version":5"#, r#""version":3"#);
+    let v3 = journal_with_plans().to_jsonl().replace(r#""version":6"#, r#""version":3"#);
     assert!(RunJournal::from_jsonl(&v3).is_ok());
 }
 
@@ -447,6 +447,94 @@ fn lossy_reader_tolerates_truncated_lineage_tail() {
     assert_eq!(lossy.spans.len(), 3);
     assert_eq!(lossy.lineages.len(), 1, "only the intact Lineage line survives");
     assert_eq!(lossy.lineages[0].rule, "rule-0");
+}
+
+/// A recorded run whose `encode` span carries footprint `Mem` records
+/// for two components, recorded in reverse name order.
+fn journal_with_mem() -> RunJournal {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let encode = root.scope().span("encode");
+    // Reverse component order: the serialised form must not depend on
+    // recording order.
+    encode.scope().mem(MemRecord::footprint_of(
+        "vecstore",
+        vec![FootprintRow { name: "embeddings".into(), count: 3, bytes: 3072 }],
+    ));
+    encode.scope().mem(MemRecord::footprint_of(
+        "graph",
+        vec![
+            FootprintRow { name: "nodes".into(), count: 10, bytes: 640 },
+            FootprintRow { name: "edges".into(), count: 4, bytes: 320 },
+        ],
+    ));
+    encode.finish();
+    root.finish();
+    rec.snapshot()
+}
+
+#[test]
+fn journal_v6_mem_lines_round_trip_deterministically() {
+    let journal = journal_with_mem();
+    assert!(journal.has_mem());
+    let text = journal.to_jsonl();
+    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
+    let mem_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Mem""#)).collect();
+    assert_eq!(mem_lines.len(), 2);
+    // Mem lines come (span, kind, component)-sorted regardless of
+    // recording order.
+    assert!(mem_lines[0].contains("graph"));
+    assert!(mem_lines[1].contains("vecstore"));
+    // Mem sits before the totals line.
+    let mem_pos = text.find(r#"{"Mem""#).unwrap();
+    let totals_pos = text.find(r#"{"Totals""#).unwrap();
+    assert!(mem_pos < totals_pos);
+
+    // Round trip: parse → re-serialise is byte-identical.
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed.mems.len(), 2);
+    assert!(parsed.has_mem());
+    assert_eq!(parsed.to_jsonl(), text);
+    // The summary surfaces the memory digest.
+    assert!(parsed.summary().contains("2 mem records"), "{}", parsed.summary());
+    assert!(parsed.summary().contains("footprint 4032 bytes"), "{}", parsed.summary());
+}
+
+#[test]
+fn v5_readers_skip_v6_mem_records() {
+    // A v5 reader has no `Mem` variant: its serde parse fails on a
+    // Mem line and falls through to the unknown-record-key skip.
+    // Emulate that reader by downgrading the Meta version and
+    // renaming the key to one no reader knows.
+    let text = journal_with_mem()
+        .to_jsonl()
+        .replace(r#""version":6"#, r#""version":5"#)
+        .replace(r#"{"Mem""#, r#"{"MemV9""#);
+    let strict = RunJournal::from_jsonl(&text).expect("v5 strict reader must not error");
+    assert_eq!(strict.spans.len(), 2, "spans survive the skip");
+    assert!(strict.mems.is_empty(), "mem-shaped lines are skipped, not parsed");
+    let lossy = RunJournal::from_jsonl_lossy(&text).expect("v5 lossy reader must not error");
+    assert_eq!(lossy, strict);
+
+    // And a genuine v5 journal (no Mem lines at all) still parses
+    // strict under the v6 reader.
+    let v5 = journal_with_lineage().to_jsonl().replace(r#""version":6"#, r#""version":5"#);
+    assert!(RunJournal::from_jsonl(&v5).is_ok());
+}
+
+#[test]
+fn lossy_reader_tolerates_truncated_mem_tail() {
+    let text = journal_with_mem().to_jsonl();
+    // Chop the journal mid-way through its last Mem line, as a
+    // crashed writer would — the Totals line after it is gone too.
+    let last_mem = text.rfind(r#"{"Mem""#).unwrap();
+    let line_end = text[last_mem..].find('\n').unwrap() + last_mem;
+    let truncated = &text[..line_end - 10];
+    assert!(RunJournal::from_jsonl(truncated).is_err());
+    let lossy = RunJournal::from_jsonl_lossy(truncated).unwrap();
+    assert_eq!(lossy.spans.len(), 2);
+    assert_eq!(lossy.mems.len(), 1, "only the intact Mem line survives");
+    assert_eq!(lossy.mems[0].component, "graph");
 }
 
 #[test]

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt;
+use std::mem::size_of;
 
 use crate::value::Value;
 
@@ -284,6 +285,100 @@ impl PropertyGraph {
         ls.sort();
         ls
     }
+
+    /// Byte-exact memory footprint of the store, computed from
+    /// container capacities — no allocator involved, so the same
+    /// build sequence always yields the same bytes and CI can gate
+    /// the numbers exactly. See [`GraphFootprint`] for the breakdown.
+    pub fn footprint(&self) -> GraphFootprint {
+        let string_heap = |s: &String| s.capacity() as u64;
+        let map_heap = |m: &PropertyMap| -> u64 {
+            let entries = m.len() as u64 * (size_of::<String>() + size_of::<Value>()) as u64;
+            entries + m.iter().map(|(k, v)| string_heap(k) + v.heap_bytes()).sum::<u64>()
+        };
+
+        let node_bytes = (self.nodes.capacity() * size_of::<Node>()) as u64
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    (n.labels.capacity() * size_of::<String>()) as u64
+                        + n.labels.iter().map(string_heap).sum::<u64>()
+                })
+                .sum::<u64>();
+        let edge_bytes = (self.edges.capacity() * size_of::<Edge>()) as u64
+            + self.edges.iter().map(|e| string_heap(&e.label)).sum::<u64>();
+
+        let prop_count = self.nodes.iter().map(|n| n.props.len() as u64).sum::<u64>()
+            + self.edges.iter().map(|e| e.props.len() as u64).sum::<u64>();
+        let prop_bytes = self.nodes.iter().map(|n| map_heap(&n.props)).sum::<u64>()
+            + self.edges.iter().map(|e| map_heap(&e.props)).sum::<u64>();
+
+        // Length-based arithmetic for the hash maps: `HashMap`
+        // capacity depends on the hasher's growth policy, which is
+        // not something footprint determinism should lean on.
+        let index_count = (self.node_label_index.len() + self.edge_label_index.len()) as u64;
+        let index_bytes = self
+            .node_label_index
+            .iter()
+            .map(|(k, v)| string_heap(k) + (v.capacity() * size_of::<NodeId>()) as u64)
+            .sum::<u64>()
+            + self
+                .edge_label_index
+                .iter()
+                .map(|(k, v)| string_heap(k) + (v.capacity() * size_of::<EdgeId>()) as u64)
+                .sum::<u64>()
+            + index_count * (size_of::<String>() + size_of::<Vec<NodeId>>()) as u64;
+
+        let adj_bytes = ((self.out_adj.capacity() + self.in_adj.capacity())
+            * size_of::<Vec<EdgeId>>()) as u64
+            + self
+                .out_adj
+                .iter()
+                .chain(self.in_adj.iter())
+                .map(|v| (v.capacity() * size_of::<EdgeId>()) as u64)
+                .sum::<u64>();
+
+        GraphFootprint {
+            entries: vec![
+                FootprintEntry { name: "nodes", count: self.nodes.len() as u64, bytes: node_bytes },
+                FootprintEntry { name: "edges", count: self.edges.len() as u64, bytes: edge_bytes },
+                FootprintEntry { name: "properties", count: prop_count, bytes: prop_bytes },
+                FootprintEntry { name: "label-index", count: index_count, bytes: index_bytes },
+                FootprintEntry {
+                    name: "adjacency",
+                    count: (self.out_adj.len() + self.in_adj.len()) as u64,
+                    bytes: adj_bytes,
+                },
+            ],
+        }
+    }
+}
+
+/// One component of a [`GraphFootprint`]: `count` instances of `name`
+/// occupying `bytes`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FootprintEntry {
+    pub name: &'static str,
+    pub count: u64,
+    pub bytes: u64,
+}
+
+/// Deterministic byte accounting for a [`PropertyGraph`], one entry
+/// per storage component (`nodes`, `edges`, `properties`,
+/// `label-index`, `adjacency`). Computed from `Vec`/`String`
+/// capacities and map lengths, never from the allocator, so the
+/// numbers are reproducible across platforms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphFootprint {
+    pub entries: Vec<FootprintEntry>,
+}
+
+impl GraphFootprint {
+    /// Total bytes over every component.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
 }
 
 /// Convenience macro-free builder for property maps.
@@ -377,6 +472,34 @@ mod tests {
         let (mut g, a, _) = tiny();
         g.node_mut(a).props.remove("name");
         assert!(g.node(a).prop("name").is_null());
+    }
+
+    #[test]
+    fn footprint_is_deterministic_and_grows_with_the_graph() {
+        let (g1, _, _) = tiny();
+        let (g2, _, _) = tiny();
+        // Same build sequence, byte-identical accounting.
+        assert_eq!(g1.footprint(), g2.footprint());
+
+        let fp = g1.footprint();
+        assert_eq!(fp.entries.len(), 5);
+        let by_name = |name: &str| fp.entries.iter().find(|e| e.name == name).unwrap();
+        assert_eq!(by_name("nodes").count, 2);
+        assert_eq!(by_name("edges").count, 1);
+        assert_eq!(by_name("properties").count, 3);
+        assert!(by_name("nodes").bytes > 0);
+        assert!(by_name("properties").bytes > 0);
+        assert!(by_name("label-index").bytes > 0);
+        assert!(by_name("adjacency").bytes > 0);
+        assert_eq!(fp.total_bytes(), fp.entries.iter().map(|e| e.bytes).sum::<u64>());
+
+        // A bigger graph accounts for strictly more bytes.
+        let (mut g3, a, _) = tiny();
+        for i in 0..32 {
+            let n = g3.add_node(["Person"], props([("name", format!("p{i}"))]));
+            g3.add_edge(a, n, "KNOWS", PropertyMap::new());
+        }
+        assert!(g3.footprint().total_bytes() > fp.total_bytes());
     }
 
     #[test]

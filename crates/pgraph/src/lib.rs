@@ -13,7 +13,10 @@
 //!   signatures) that feeds prompt construction and semantic query
 //!   validation;
 //! * [`GraphStats`] / [`DegreeStats`] — the Table-1 style dataset
-//!   summaries.
+//!   summaries;
+//! * [`GraphFootprint`] — deterministic byte accounting of the store
+//!   (capacities, not allocator readings), feeding the journal's
+//!   memory records and the `grm trace mem` footprint table.
 //!
 //! ```
 //! use grm_pgraph::{props, GraphSchema, PropertyGraph};
@@ -35,7 +38,9 @@ pub mod stats;
 pub mod value;
 
 pub use dbhits::DbHits;
-pub use graph::{props, Edge, EdgeId, Node, NodeId, PropertyGraph, PropertyMap};
+pub use graph::{
+    props, Edge, EdgeId, FootprintEntry, GraphFootprint, Node, NodeId, PropertyGraph, PropertyMap,
+};
 pub use io::{from_json, to_json, to_json_pretty, GraphDoc, IoError};
 pub use schema::{EdgeSignature, GraphSchema, PropertyStats};
 pub use stats::{Cardinality, DegreeStats, GraphStats};

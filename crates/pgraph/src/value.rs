@@ -102,6 +102,23 @@ impl Value {
         }
     }
 
+    /// Heap bytes owned by this value beyond its inline
+    /// `size_of::<Value>()`: string capacity for `Str`, buffer
+    /// capacity plus recursive element heap for `List`, zero for the
+    /// inline variants. Capacities grow deterministically (doubling),
+    /// so footprint accounting built on this is byte-exact for a
+    /// fixed build sequence.
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            Value::Str(s) => s.capacity() as u64,
+            Value::List(vs) => {
+                let buffer = (vs.capacity() * std::mem::size_of::<Value>()) as u64;
+                buffer + vs.iter().map(Value::heap_bytes).sum::<u64>()
+            }
+            _ => 0,
+        }
+    }
+
     /// A stable key usable for grouping/DISTINCT. Floats are rendered
     /// with full precision; lists recurse.
     pub fn group_key(&self) -> String {
@@ -218,6 +235,17 @@ mod tests {
     fn group_keys_distinguish_types() {
         assert_ne!(Value::Int(1).group_key(), Value::from("1").group_key());
         assert_ne!(Value::Bool(true).group_key(), Value::from("true").group_key());
+    }
+
+    #[test]
+    fn heap_bytes_counts_string_and_list_capacity() {
+        assert_eq!(Value::Int(1).heap_bytes(), 0);
+        assert_eq!(Value::Null.heap_bytes(), 0);
+        let s = String::with_capacity(32);
+        assert_eq!(Value::Str(s).heap_bytes(), 32);
+        let vs = vec![Value::Int(1), Value::Str(String::with_capacity(8))];
+        let expected = 2 * std::mem::size_of::<Value>() as u64 + 8;
+        assert_eq!(Value::List(vs).heap_bytes(), expected);
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod store;
 
 pub use embed::{embed, Embedding, DIM};
 pub use retriever::{RagConfig, Retrieval, Retriever, DEFAULT_CHUNK_TOKENS, DEFAULT_TOP_K};
-pub use store::{Entry, Hit, VectorStore};
+pub use store::{ChunkFootprint, Entry, Hit, VectorStore};

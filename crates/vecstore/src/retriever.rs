@@ -108,6 +108,15 @@ impl Retriever {
         self.store.len()
     }
 
+    /// Byte-exact footprint of the underlying store (plus the chunk
+    /// span table), deterministic for a fixed ingest sequence.
+    pub fn footprint(&self) -> crate::store::ChunkFootprint {
+        let mut fp = self.store.footprint();
+        fp.entry_bytes +=
+            (self.chunk_spans.capacity() * std::mem::size_of::<(usize, usize)>()) as u64;
+        fp
+    }
+
     /// Retrieves context for `query`.
     pub fn retrieve(&self, query: &str) -> Retrieval {
         let hits = self.store.top_k(query, self.config.top_k);
@@ -253,6 +262,20 @@ mod tests {
         );
         assert_eq!(journal.total("chunks_retrieved"), ret.chunks.len() as u64);
         assert_eq!(journal.gauge("rag_coverage"), Some(ret.coverage()));
+    }
+
+    #[test]
+    fn retriever_footprint_covers_store_and_span_table() {
+        let text = encode_incident(&bigish_graph());
+        let cfg = RagConfig { chunk_tokens: 256, top_k: 3 };
+        let r = Retriever::ingest(&text, cfg);
+        let fp = r.footprint();
+        assert_eq!(fp.chunks, r.chunk_count() as u64);
+        assert!(fp.embedding_bytes >= fp.chunks * 256 * 4);
+        // The span table rides on entry_bytes, so the retriever
+        // accounts for strictly more than its bare store.
+        let again = Retriever::ingest(&text, cfg);
+        assert_eq!(again.footprint(), fp, "same ingest, byte-identical accounting");
     }
 
     #[test]

@@ -76,6 +76,47 @@ impl VectorStore {
         scored.truncate(k);
         scored
     }
+
+    /// Byte-exact memory footprint of the store, from container
+    /// capacities — deterministic for a fixed ingest sequence, never
+    /// read from the allocator. Mirrors
+    /// `grm_pgraph::PropertyGraph::footprint`.
+    pub fn footprint(&self) -> ChunkFootprint {
+        let entry_buffer = (self.entries.capacity() * std::mem::size_of::<Entry>()) as u64;
+        let text_bytes: u64 = self.entries.iter().map(|e| e.text.capacity() as u64).sum();
+        let embedding_bytes: u64 = self
+            .entries
+            .iter()
+            .map(|e| (e.embedding.0.capacity() * std::mem::size_of::<f32>()) as u64)
+            .sum();
+        ChunkFootprint {
+            chunks: self.entries.len() as u64,
+            entry_bytes: entry_buffer,
+            text_bytes,
+            embedding_bytes,
+        }
+    }
+}
+
+/// Deterministic byte accounting for a [`VectorStore`]: the entry
+/// table buffer, the chunk texts, and the embedding vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkFootprint {
+    /// Stored chunks.
+    pub chunks: u64,
+    /// Entry-table buffer bytes (`capacity × size_of::<Entry>()`).
+    pub entry_bytes: u64,
+    /// Chunk text heap bytes (string capacities).
+    pub text_bytes: u64,
+    /// Embedding heap bytes (vector capacities × 4).
+    pub embedding_bytes: u64,
+}
+
+impl ChunkFootprint {
+    /// Total bytes over every component.
+    pub fn total_bytes(&self) -> u64 {
+        self.entry_bytes + self.text_bytes + self.embedding_bytes
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +159,20 @@ mod tests {
         let s = VectorStore::new();
         assert!(s.top_k("query", 5).is_empty());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn footprint_is_deterministic_and_counts_embeddings() {
+        let a = store().footprint();
+        let b = store().footprint();
+        assert_eq!(a, b, "same ingest sequence, byte-identical accounting");
+        assert_eq!(a.chunks, 3);
+        // Three 256-dim f32 embeddings.
+        assert_eq!(a.embedding_bytes, 3 * 256 * 4);
+        assert!(a.text_bytes > 0);
+        assert!(a.entry_bytes > 0);
+        assert_eq!(a.total_bytes(), a.entry_bytes + a.text_bytes + a.embedding_bytes);
+        assert_eq!(VectorStore::new().footprint().total_bytes(), 0);
     }
 
     #[test]

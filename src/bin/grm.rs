@@ -9,12 +9,20 @@
 //! grm mine     --graph g.json [--model llama3|mixtral]
 //!              [--strategy swa|rag|summary] [--prompting zero|few]
 //!              [--seed 42] [--workers 4] [--json report.json]
-//!              [--trace run.jsonl] [--trace-summary]
+//!              [--rules-out rules.json] [--trace run.jsonl] [--trace-summary]
+//! grm audit    --graph g.json
+//! grm check    --graph g.json --rules rules.json
+//! grm diff     --before a.json --after b.json --rules rules.json
+//! grm trace    summary|diff|flame|check|plans|lineage|faults|mem …
+//! grm explain  rule-0 run.jsonl
 //! ```
 //!
 //! Graphs travel as the JSON documents of `grm_pgraph::io`, so any
 //! tool (or the `generate` subcommand) can produce them and the rest
-//! of the pipeline consumes them.
+//! of the pipeline consumes them. The binary installs
+//! [`graph_rule_mining::obs::TrackingAlloc`] so traced runs journal
+//! per-span allocation deltas alongside the deterministic footprint
+//! tables (`grm trace mem`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -29,6 +37,11 @@ use graph_rule_mining::pipeline::{ContextStrategy, MiningPipeline, PipelineConfi
 use graph_rule_mining::textenc::{
     encode_adjacency, encode_incident, encode_summary, SummaryConfig,
 };
+
+// Count every allocation so traced runs can journal per-span memory
+// deltas; deterministic runs ignore the counters entirely.
+#[global_allocator]
+static ALLOC: graph_rule_mining::obs::TrackingAlloc = graph_rule_mining::obs::TrackingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,7 +84,7 @@ const USAGE: &str = "usage:
   grm query    --graph FILE \"<cypher>\"
   grm mine     --graph FILE [--model llama3|mixtral] [--strategy swa|rag|summary]
                [--prompting zero|few] [--seed N] [--workers N] [--json FILE]
-               [--trace FILE.jsonl] [--trace-summary] [--deterministic]
+               [--rules-out FILE] [--trace FILE.jsonl] [--trace-summary] [--deterministic]
                [--slow-query-ms MS] [--slow-query-db-hits N]
                [--fault-rate F] [--fault-seed N] [--max-retries N]
                [--breaker-threshold N] [--kill-after N] [--resume FILE.jsonl]
@@ -81,11 +94,12 @@ const USAGE: &str = "usage:
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
   grm trace    summary FILE.jsonl [--json]
   grm trace    diff A.jsonl B.jsonl [--tolerance FRACTION]   # exit 1 above tolerance
-  grm trace    flame FILE.jsonl [--real|--sim]               # folded flamegraph stacks
+  grm trace    flame FILE.jsonl [--real|--sim|--mem]         # folded flamegraph stacks
   grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]
   grm trace    plans FILE.jsonl [--top N] [--json] [--check PLANS.json [--tolerance FRACTION]]
   grm trace    lineage FILE.jsonl [--json] [--check LINEAGE.json]
   grm trace    faults FILE.jsonl [--json] [--check CHAOS.json]
+  grm trace    mem FILE.jsonl [--top N] [--json] [--check MEM.json [--tolerance FRACTION]]
   grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
@@ -644,12 +658,13 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::obs::{
         folded_stacks, ChaosBaseline, FaultReport, FlameWeight, LineageBaseline, LineageReport,
-        PlanBaseline, PlanCacheReport, PlanReport, RunJournal, TraceBaseline, TraceDiff,
+        MemBaseline, MemReport, PlanBaseline, PlanCacheReport, PlanReport, RunJournal,
+        TraceBaseline, TraceDiff,
     };
 
     let Some((verb, rest)) = args.split_first() else {
         return Err(format!(
-            "trace needs a verb (summary|diff|flame|check|plans|lineage|faults)\n{USAGE}"
+            "trace needs a verb (summary|diff|flame|check|plans|lineage|faults|mem)\n{USAGE}"
         ));
     };
     let load = |path: &str| -> Result<RunJournal, String> {
@@ -764,16 +779,64 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "flame" => {
-            let flags = parse_flags(rest, &["real", "sim"])?;
+            let flags = parse_flags(rest, &["real", "sim", "mem"])?;
             let path = flags.positional.first().ok_or("trace flame needs a journal FILE")?;
             let sim = flags.switches.iter().any(|s| s == "sim");
             let real = flags.switches.iter().any(|s| s == "real");
-            if sim && real {
-                return Err("--real and --sim are mutually exclusive".into());
+            let mem = flags.switches.iter().any(|s| s == "mem");
+            if (sim as u8) + (real as u8) + (mem as u8) > 1 {
+                return Err("--real, --sim and --mem are mutually exclusive".into());
             }
-            let weight = if sim { FlameWeight::Sim } else { FlameWeight::Real };
+            let weight = if sim {
+                FlameWeight::Sim
+            } else if mem {
+                FlameWeight::Mem
+            } else {
+                FlameWeight::Real
+            };
             print!("{}", folded_stacks(&load(path)?, weight));
             Ok(())
+        }
+        "mem" => {
+            let flags = parse_flags(rest, &["json"])?;
+            let path = flags.positional.first().ok_or("trace mem needs a journal FILE")?;
+            let top: usize = parse_or(&flags, "top", 10)?;
+            let journal = load(path)?;
+            let report = MemReport::from_journal(&journal);
+            if report.is_empty() {
+                return Err(format!(
+                    "{path} has no memory records — produce it with \
+                     `grm mine --trace` (journal schema v6+)"
+                ));
+            }
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", report.render(top));
+            }
+            let Some(baseline_path) = flags.named.get("check") else {
+                return Ok(());
+            };
+            let tolerance: f64 = parse_or(&flags, "tolerance", 0.5)?;
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline: MemBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let violations = baseline.check(&journal, tolerance);
+            if violations.is_empty() {
+                println!(
+                    "mem check passed: {path} footprints match {baseline_path} exactly \
+                     (allocator counters within {:.0}%)",
+                    tolerance * 100.0
+                );
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} memory regression(s) against {baseline_path}", violations.len()))
+            }
         }
         "check" => {
             let flags = parse_flags(rest, &[])?;

@@ -53,7 +53,17 @@
 //!   deterministic footprint tables and run-wide allocator counters
 //!   into a `MemBaseline` snapshot for `grm trace mem --check` (this
 //!   is how `BENCH_mem.json` is regenerated — footprints gate
-//!   exactly, allocator counters by tolerance).
+//!   exactly, allocator counters by tolerance);
+//! * `--timeline FILE.jsonl` — one parallel pipeline run (`--workers`
+//!   workers, default 4, deterministic recorder) whose journal carries
+//!   the v7 span start offsets `grm trace timeline` reconstructs
+//!   worker occupancy from; byte-identical across runs, so CI
+//!   compares two with `cmp`;
+//! * `--timeline-baseline FILE.json` — with `--timeline`, freeze the
+//!   run's wall/compute/speedup, worker lanes and critical path into
+//!   a `TimelineBaseline` snapshot for `grm trace timeline --check`
+//!   (this is how `BENCH_timeline.json` is regenerated — all pure
+//!   sim arithmetic, so the file is byte-deterministic).
 
 use std::collections::HashMap;
 
@@ -91,6 +101,9 @@ struct Args {
     chaos: Option<String>,
     chaos_baseline: Option<String>,
     optimizer_gate: Option<String>,
+    timeline: Option<String>,
+    timeline_baseline: Option<String>,
+    workers: usize,
 }
 
 fn parse_args() -> Args {
@@ -111,6 +124,9 @@ fn parse_args() -> Args {
         chaos: None,
         chaos_baseline: None,
         optimizer_gate: None,
+        timeline: None,
+        timeline_baseline: None,
+        workers: 4,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -177,6 +193,22 @@ fn parse_args() -> Args {
                 any = true;
                 args.optimizer_gate =
                     Some(it.next().expect("--optimizer-gate needs a plan-baseline path"));
+            }
+            "--timeline" => {
+                any = true;
+                args.timeline = Some(it.next().expect("--timeline needs a file path"));
+            }
+            "--timeline-baseline" => {
+                any = true;
+                args.timeline_baseline =
+                    Some(it.next().expect("--timeline-baseline needs a file path"));
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a positive integer");
+                assert!(args.workers > 0, "--workers must be a positive integer");
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs u64");
@@ -299,9 +331,67 @@ fn main() {
         eprintln!("--chaos-baseline requires --chaos FILE.jsonl");
         std::process::exit(2);
     }
+    if let Some(path) = &args.timeline {
+        timeline_run(&args, path);
+    } else if args.timeline_baseline.is_some() {
+        eprintln!("--timeline-baseline requires --timeline FILE.jsonl");
+        std::process::exit(2);
+    }
     if let Some(baseline_path) = &args.optimizer_gate {
         optimizer_gate(&args, baseline_path);
     }
+}
+
+/// `--timeline`: one instrumented *parallel* pipeline run (WWC2019,
+/// SWA zero-shot, `--workers` workers, default 4 — the configuration
+/// whose worker lanes the timeline reconstruction is about), journal
+/// written as JSONL. The recorder runs in deterministic mode, and the
+/// v7 start offsets survive it (they are pure sim arithmetic), so two
+/// runs with the same seed are byte-identical — CI compares them with
+/// `cmp`.
+fn timeline_run(args: &Args, path: &str) {
+    use grm_obs::Recorder;
+
+    let workers = args.workers;
+    let data = generate(
+        DatasetId::Wwc2019,
+        &GenConfig { seed: args.seed, scale: args.scale, clean: false },
+    );
+    let mut cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::default_sliding_window(),
+        PromptStyle::ZeroShot,
+    );
+    cfg.seed = args.seed;
+    let recorder = Recorder::deterministic();
+    let report = MiningPipeline::new(cfg).run_with_workers_traced(&data.graph, workers, &recorder);
+    let journal = recorder.snapshot();
+    if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    }
+    if let Some(baseline_path) = &args.timeline_baseline {
+        let baseline = grm_obs::TimelineBaseline::from_journal(&journal);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing timeline baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(baseline_path, json) {
+            eprintln!("writing {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(timeline-baseline snapshot written to {baseline_path})");
+    }
+    println!("== timeline: WWC2019 / llama3 / SWA / zero-shot, {workers} workers ==");
+    print!("{}", grm_obs::TimelineReport::from_journal(&journal).render(workers + 1));
+    println!(
+        "({} rules; journal with {} spans written to {path})",
+        report.rule_count(),
+        journal.spans.len()
+    );
 }
 
 /// The optimizer A/B suite: every reference query of the exhaustive

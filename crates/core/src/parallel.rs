@@ -46,12 +46,15 @@ pub fn mine_parallel(
     target_rules: Option<usize>,
     workers: usize,
 ) -> ParallelMining {
-    mine_parallel_traced(contexts, cfg, style, target_rules, workers, &Scope::disabled())
+    mine_parallel_traced(contexts, cfg, style, target_rules, workers, &Scope::disabled(), 0.0)
 }
 
 /// [`mine_parallel`] with instrumentation: one `worker-<id>` child
 /// span per replica under `obs_scope`, carrying that worker's prompt
-/// and rule counters plus its simulated busy time.
+/// and rule counters plus its simulated busy time. Every worker span
+/// starts at `stage_start` — the stage's simulated start offset (all
+/// replicas begin mining the moment the stage opens), so `grm trace
+/// timeline` can place each worker's busy segment on the sim axis.
 ///
 /// Worker spans are opened *before* the threads spawn so span ids in
 /// the journal are deterministic; each thread records onto its own
@@ -59,6 +62,7 @@ pub fn mine_parallel(
 ///
 /// # Panics
 /// Panics when `workers == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn mine_parallel_traced(
     contexts: &[String],
     cfg: &PipelineConfig,
@@ -66,6 +70,7 @@ pub fn mine_parallel_traced(
     target_rules: Option<usize>,
     workers: usize,
     obs_scope: &Scope,
+    stage_start: f64,
 ) -> ParallelMining {
     assert!(workers > 0, "at least one worker is required");
     let workers = workers.min(contexts.len().max(1));
@@ -84,7 +89,7 @@ pub fn mine_parallel_traced(
             .enumerate()
             .map(|(worker_id, batch)| {
                 let cfg = cfg.clone();
-                let span = obs_scope.span(&format!("worker-{worker_id}"));
+                let span = obs_scope.span_at(&format!("worker-{worker_id}"), stage_start);
                 scope.spawn(move || {
                     // Each replica gets its own deterministic stream.
                     let mut model = SimLlm::new(cfg.model, cfg.seed ^ ((worker_id as u64) << 32));
@@ -136,7 +141,8 @@ pub struct ResilientMining {
 
 /// [`mine_parallel_traced`] under a fault plan: each worker runs its
 /// units through [`ResilientLlm`], emitting fault/retry/checkpoint
-/// records onto its own `worker-<id>` span. `checkpoints` holds a
+/// records onto its own `worker-<id>` span (started at
+/// `stage_start`, like the fault-free path). `checkpoints` holds a
 /// resumed run's completed mine responses by context index; replayed
 /// units skip the model but re-emit identical records.
 ///
@@ -153,6 +159,7 @@ pub fn mine_parallel_resilient(
     schedule: &StageSchedule,
     checkpoints: &HashMap<u64, MiningResponse>,
     obs_scope: &Scope,
+    stage_start: f64,
 ) -> ResilientMining {
     assert!(workers > 0, "at least one worker is required");
     let workers = workers.min(contexts.len().max(1));
@@ -168,7 +175,7 @@ pub fn mine_parallel_resilient(
             .iter()
             .enumerate()
             .map(|(worker_id, batch)| {
-                let span = obs_scope.span(&format!("worker-{worker_id}"));
+                let span = obs_scope.span_at(&format!("worker-{worker_id}"), stage_start);
                 ts.spawn(move || {
                     let worker_scope = span.scope();
                     let mut rules = Vec::new();

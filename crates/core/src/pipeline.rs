@@ -264,6 +264,7 @@ impl MiningPipeline {
             self.per_prompt_target(budget),
             workers,
             &mine_span.scope(),
+            0.0, // mining starts at the sim origin
         );
         mine_span.scope().add_sim_seconds(mining.wall_seconds);
         mine_span.finish();
@@ -369,6 +370,7 @@ impl MiningPipeline {
                 &schedule,
                 &resume.mined,
                 &mine_span.scope(),
+                0.0, // mining starts at the sim origin
             );
             mine_span.scope().add_sim_seconds(mining.wall_seconds);
             (mining.rules, mining.wall_seconds)
@@ -485,8 +487,12 @@ impl MiningPipeline {
     ) -> MiningReport {
         let cfg = &self.config;
         let root_scope = root_span.scope();
-        // Step 4: merge, exactly as in the fault-free path.
-        let merge_span = root_scope.span("merge");
+        // Step 4: merge, exactly as in the fault-free path. Post-mine
+        // stages carry their simulated start offsets (merge itself is
+        // pure, so translate starts at the same sim instant) — the
+        // same f64 arithmetic on the plain, chaos and resume paths,
+        // keeping byte-identity comparisons intact.
+        let merge_span = root_scope.span_at("merge", mining_seconds);
         let merge_scope = merge_span.scope();
         let merged = merge_rules(mined);
         merge_scope.add(Counter::RulesDeduped, merged.len() as u64);
@@ -502,7 +508,7 @@ impl MiningPipeline {
         // Step 5: translate each selected rule under its unit plan.
         // Unit keys are post-merge rule indices, which are stable for
         // a fixed run seed — the property resume relies on.
-        let translate_span = root_scope.span("translate");
+        let translate_span = root_scope.span_at("translate", mining_seconds);
         let translate_scope = translate_span.scope();
         let t_sched = plan.schedule(Stage::Translate, selected.len());
         if t_sched.breaker_trips > 0 {
@@ -555,7 +561,7 @@ impl MiningPipeline {
         // stay reserved, so `rule-<i>` labels match across resumes);
         // evaluation faults retry per unit without a breaker — the
         // query engine is local, not a shared provider.
-        let evaluate_span = root_scope.span("evaluate");
+        let evaluate_span = root_scope.span_at("evaluate", mining_seconds + translation_seconds);
         let evaluate_scope = evaluate_span.scope();
         let mut session = self.scoring_session();
         let mut correctness = ClassTally::default();
@@ -648,7 +654,10 @@ impl MiningPipeline {
         let root_scope = root_span.scope();
         // Step 4: merge — dedup with frequency ranking (§3.1.1:
         // per-window rules "combined to create a comprehensive set").
-        let merge_span = root_scope.span("merge");
+        // Post-mine stages are stamped with their simulated start
+        // offsets; merge is pure (no sim cost), so translate starts
+        // at the same sim instant.
+        let merge_span = root_scope.span_at("merge", mining_seconds);
         let merge_scope = merge_span.scope();
         let merged = merge_rules(mined);
         merge_scope.add(Counter::RulesDeduped, merged.len() as u64);
@@ -667,7 +676,7 @@ impl MiningPipeline {
         // rules keeps the translator's RNG stream identical to the
         // historical interleaved loop while giving the stage its own
         // span.
-        let translate_span = root_scope.span("translate");
+        let translate_span = root_scope.span_at("translate", mining_seconds);
         let translate_scope = translate_span.scope();
         let mut translation_seconds = 0.0;
         let translations: Vec<_> = selected
@@ -682,7 +691,7 @@ impl MiningPipeline {
         translate_span.finish();
 
         // Steps 6–7: classify, correct, score.
-        let evaluate_span = root_scope.span("evaluate");
+        let evaluate_span = root_scope.span_at("evaluate", mining_seconds + translation_seconds);
         let evaluate_scope = evaluate_span.scope();
         let mut session = self.scoring_session();
         let mut correctness = ClassTally::default();
@@ -997,6 +1006,10 @@ mod tests {
         let status = pipe.run_resilient(&g, 1, &resilient, &chaos(0.0));
         assert!(matches!(status, RunStatus::Complete(_)));
         assert_eq!(plain.snapshot().to_jsonl(), resilient.snapshot().to_jsonl());
+        // Deterministic mode keeps the v7 start offsets: they are
+        // pure sim arithmetic, so byte-identity and the timeline
+        // coexist in one journal.
+        assert!(plain.snapshot().has_timeline());
     }
 
     #[test]
@@ -1053,6 +1066,10 @@ mod tests {
         assert_eq!(full.snapshot().to_jsonl(), resumed_rec.snapshot().to_jsonl());
         assert_eq!(full_report.rule_count(), resumed.rule_count());
         assert_eq!(full_report.aggregate.support, resumed.aggregate.support);
+        // Replayed checkpoints contribute the same sim seconds as
+        // live calls, so the resumed run's stage start offsets (and
+        // therefore `grm trace timeline`) are identical too.
+        assert!(resumed_rec.snapshot().has_timeline());
     }
 
     #[test]

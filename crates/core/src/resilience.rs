@@ -13,7 +13,11 @@
 //! [`ResumeState::from_journal`] lifts those checkpoints back out of
 //! a (possibly truncated) journal; the pipeline then replays them
 //! through the same record-emitting code path, so a resumed run's
-//! journal is byte-identical to an uninterrupted one.
+//! journal is byte-identical to an uninterrupted one. That includes
+//! the v7 timeline fields: replayed units contribute the same
+//! simulated seconds as live calls, so the `sim_start_seconds` the
+//! pipeline stamps on post-mine stage spans — and therefore `grm
+//! trace timeline` output — is identical across kill/resume.
 
 use std::collections::HashMap;
 

@@ -67,7 +67,7 @@ pub fn folded_stacks(journal: &RunJournal, weight: FlameWeight) -> String {
 }
 
 /// `/`- or `;`-joined span names from the root down to `span`.
-fn span_path(journal: &RunJournal, span: &SpanRecord, sep: &str) -> String {
+pub(crate) fn span_path(journal: &RunJournal, span: &SpanRecord, sep: &str) -> String {
     let mut names = vec![span.name.clone()];
     let mut parent = span.parent;
     while let Some(pid) = parent {
@@ -85,7 +85,7 @@ fn span_path(journal: &RunJournal, span: &SpanRecord, sep: &str) -> String {
 
 /// [`span_path`] without the root segment — diff rows are labelled
 /// relative to the `pipeline` root (`mine`, `mine/worker-0`, …).
-fn relative_span_path(journal: &RunJournal, span: &SpanRecord) -> String {
+pub(crate) fn relative_span_path(journal: &RunJournal, span: &SpanRecord) -> String {
     let full = span_path(journal, span, "/");
     match full.split_once('/') {
         Some((_, rest)) => rest.to_owned(),
@@ -96,7 +96,7 @@ fn relative_span_path(journal: &RunJournal, span: &SpanRecord) -> String {
 /// One span row of a diff: sim/real on each side, keyed by the span's
 /// path (`mine`, `mine/worker-0`, …). A side that lacks the span
 /// reports zeros.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StageDiffRow {
     pub path: String,
     /// Depth below the root (1 = pipeline stage, 2 = worker, …).
@@ -127,7 +127,7 @@ impl StageDiffRow {
 }
 
 /// One counter row of a diff.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CounterDiffRow {
     pub name: String,
     pub a: u64,
@@ -137,7 +137,7 @@ pub struct CounterDiffRow {
 /// One histogram row of a diff. `scope` is `(run)` for run-wide
 /// histograms or the owning span's path (`mine/worker-0`, …) — the
 /// per-worker rows a `--workers 1` vs `--workers 4` diff surfaces.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct HistoDiffRow {
     pub scope: String,
     pub name: String,
@@ -146,7 +146,7 @@ pub struct HistoDiffRow {
 }
 
 /// A structural comparison of two run journals.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TraceDiff {
     pub stages: Vec<StageDiffRow>,
     pub counters: Vec<CounterDiffRow>,

@@ -21,6 +21,13 @@ pub struct SpanRecord {
     pub start_ms: f64,
     /// Real wall-clock duration in milliseconds.
     pub real_ms: f64,
+    /// Simulated start offset in seconds from the run's sim origin
+    /// (schema v7+). Unlike `start_ms` this is pure sim arithmetic —
+    /// schedule-independent, so deterministic snapshots keep it — and
+    /// it is what `grm trace timeline` reconstructs occupancy from.
+    /// Defaults to 0 when parsing pre-v7 journals.
+    #[serde(default)]
+    pub sim_start_seconds: f64,
     /// Simulated LLM seconds attributed to this span (Table 5 time).
     pub sim_seconds: f64,
     /// Per-span counter increments.
@@ -93,7 +100,7 @@ pub enum JournalRecord {
     },
 }
 
-/// Variant keys a v6 reader knows; object lines keyed otherwise are
+/// Variant keys a v7 reader knows; object lines keyed otherwise are
 /// future record types and are skipped, not errors.
 const KNOWN_RECORD_KEYS: [&str; 13] = [
     "Meta",
@@ -155,10 +162,13 @@ pub struct RunJournal {
 /// v1: `Meta`/`Span`/`Totals`. v2: adds `Histo` lines. v3: adds
 /// `Plan` lines. v4: adds `Lineage` and `Boundary` lines. v5: adds
 /// `Chaos`/`Fault`/`Retry`/`Degraded`/`Checkpoint` lines. v6: adds
-/// `Mem` lines. Each version is purely additive, so older journals
-/// still parse (they simply carry fewer record kinds) and older
-/// readers skip the new lines through their unknown-record path.
-pub const JOURNAL_VERSION: u32 = 6;
+/// `Mem` lines. v7: adds the `sim_start_seconds` field to `Span`
+/// lines (an additive field, not a new record kind — v6 readers
+/// ignore it, and v7 readers default it to 0 on older journals).
+/// Each version is purely additive, so older journals still parse
+/// (they simply carry fewer record kinds) and older readers skip the
+/// new lines through their unknown-record path.
+pub const JOURNAL_VERSION: u32 = 7;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -224,6 +234,15 @@ impl RunJournal {
     /// silently-off guard of the mem baseline check.
     pub fn has_mem(&self) -> bool {
         !self.mems.is_empty()
+    }
+
+    /// True when the journal carries v7 start offsets at all — the
+    /// gate for timeline-aware rendering (`grm trace timeline`,
+    /// `critical-path`) and the silently-off guard of the timeline
+    /// baseline check. Serial runs qualify too: their merge/translate/
+    /// evaluate spans start after the mine stage's sim seconds.
+    pub fn has_timeline(&self) -> bool {
+        self.spans.iter().any(|s| s.sim_start_seconds > 0.0)
     }
 
     /// The checkpointed payload for `(stage, unit)`, when recorded.

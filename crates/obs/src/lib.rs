@@ -36,17 +36,24 @@
 //!   deterministic footprint tables ([`FootprintRow`]) computed from
 //!   container capacities, the substrate behind `grm trace mem`;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
-//!   tree, counter totals, histograms, plan profiles, lineage,
-//!   resilience and memory records (schema v6; v1–v5 journals still
-//!   parse), written by `grm mine --trace` and the `repro` binary;
+//!   tree (with v7 `sim_start_seconds` offsets placing every span on
+//!   the simulated axis), counter totals, histograms, plan profiles,
+//!   lineage, resilience and memory records (schema v7; v1–v6
+//!   journals still parse), written by `grm mine --trace` and the
+//!   `repro` binary;
+//! * **timeline analytics** ([`TimelineReport`],
+//!   [`CriticalPathReport`], [`TimelineBaseline`]) — per-worker
+//!   occupancy lanes, utilization and effective parallel speedup,
+//!   and the critical path bounding the run wall-clock, the machinery
+//!   behind `grm trace timeline` and `grm trace critical-path`;
 //! * **trace analytics** ([`TraceDiff`], [`folded_stacks`],
 //!   [`TraceBaseline`], [`PlanReport`], [`PlanBaseline`],
 //!   [`LineageReport`], [`LineageBaseline`], [`FaultReport`],
 //!   [`ChaosBaseline`], [`MemReport`], [`MemBaseline`]) —
 //!   run-over-run diffing, flamegraph export, operator cost tables,
 //!   rule-provenance tables, fault digests, allocation tables and the
-//!   CI perf/lineage/chaos/memory regression gates behind `grm
-//!   trace`.
+//!   CI perf/lineage/chaos/memory/timeline regression gates behind
+//!   `grm trace`.
 //!
 //! The entry point is [`Recorder`]. A disabled recorder costs one
 //! `Option` check per call, so instrumented code paths stay free when
@@ -81,6 +88,7 @@ mod mem;
 mod plan;
 mod recorder;
 mod resilience;
+mod timeline;
 
 pub use analytics::{
     explain_rule, folded_stacks, BaselineHisto, ChaosBaseline, CounterDiffRow, FaultReport,
@@ -99,6 +107,10 @@ pub use mem::{AllocSnapshot, FootprintRow, MemRecord, TrackingAlloc};
 pub use plan::{PlanOpRecord, PlanRecord, SlowQueryPolicy};
 pub use recorder::{Recorder, Scope, Span};
 pub use resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
+pub use timeline::{
+    BaselineLane, CriticalPathChain, CriticalPathReport, CriticalPathStep, StageSegment,
+    TimelineBaseline, TimelineReport, WorkerLane,
+};
 
 /// Shared unit-test helper: asserts `value` survives a serde JSON
 /// round-trip unchanged. One definition instead of a copy per record

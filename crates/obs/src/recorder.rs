@@ -51,6 +51,9 @@ struct SpanData {
     name: String,
     parent: Option<usize>,
     start: Instant,
+    /// Simulated start offset from the run's sim origin — pure sim
+    /// arithmetic stamped at open time, never read from a clock.
+    sim_start: f64,
     /// Real elapsed seconds; `None` while the span is open.
     real_secs: Option<f64>,
     /// Simulated LLM seconds attributed to this span.
@@ -167,13 +170,14 @@ impl Recorder {
         }
     }
 
-    fn open_span(&self, name: &str, parent: Option<usize>) -> Option<usize> {
+    fn open_span(&self, name: &str, parent: Option<usize>, sim_start: f64) -> Option<usize> {
         let inner = self.inner.as_ref()?;
         let mut state = inner.state.lock().expect("obs state poisoned");
         state.spans.push(SpanData {
             name: name.to_owned(),
             parent,
             start: Instant::now(),
+            sim_start,
             real_secs: None,
             sim_seconds: 0.0,
             alloc_at_open: TrackingAlloc::snapshot(),
@@ -217,12 +221,21 @@ impl Recorder {
         }
     }
 
+    // Span observations accumulate on their span only; the run-wide
+    // histogram is merged from them at snapshot time in span-id
+    // order. Accumulating run-wide at record time would sum f64s in
+    // thread-arrival order, and parallel mining would journal
+    // ULP-different sums from run to run, breaking the byte-identity
+    // `cmp` checks. Only span-less (root-scope) observations land in
+    // `state.histos` directly.
     fn observe(&self, span: Option<usize>, histo: Histo, value: f64) {
         if let Some(inner) = &self.inner {
             let mut state = inner.state.lock().expect("obs state poisoned");
-            state.histos.entry(histo.name()).or_default().record(value);
-            if let Some(id) = span {
-                state.spans[id].histos.entry(histo.name()).or_default().record(value);
+            match span {
+                Some(id) => {
+                    state.spans[id].histos.entry(histo.name()).or_default().record(value)
+                }
+                None => state.histos.entry(histo.name()).or_default().record(value),
             }
         }
     }
@@ -363,6 +376,10 @@ impl Recorder {
                 } else {
                     s.real_secs.unwrap_or_else(|| s.start.elapsed().as_secs_f64()) * 1e3
                 },
+                // Deliberately NOT zeroed in deterministic mode: the
+                // offset is a pure function of the seeded sim timings,
+                // so byte-identity comparisons still hold.
+                sim_start_seconds: s.sim_start,
                 sim_seconds: s.sim_seconds,
                 counters: s.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
                 gauges: s.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
@@ -371,9 +388,18 @@ impl Recorder {
         // Canonical (span, name) order — run-wide totals (`None`)
         // first, then per-span rows in span-id order; BTreeMap
         // iteration keeps names sorted within each. Matches the
-        // `to_jsonl` line order so round-trips compare equal.
+        // `to_jsonl` line order so round-trips compare equal. The
+        // run-wide histograms are merged here, span-less observations
+        // first then per-span in span-id order, so the f64 sums are
+        // independent of worker-thread arrival order.
+        let mut merged = state.histos.clone();
+        for s in &state.spans {
+            for (name, hist) in &s.histos {
+                merged.entry(name).or_default().merge(hist);
+            }
+        }
         let mut histos: Vec<HistoRecord> = Vec::new();
-        for (name, hist) in &state.histos {
+        for (name, hist) in &merged {
             histos.push(HistoRecord {
                 span: None,
                 name: name.to_string(),
@@ -481,7 +507,16 @@ impl Scope {
 
     /// Opens a child span. Call [`Span::finish`] when the stage ends.
     pub fn span(&self, name: &str) -> Span {
-        let id = self.rec.open_span(name, self.parent);
+        self.span_at(name, 0.0)
+    }
+
+    /// Opens a child span whose simulated start offset is `sim_start`
+    /// seconds from the run's sim origin (schema v7). Stage code that
+    /// knows how much sim time preceded it stamps the offset here so
+    /// `grm trace timeline` can reconstruct occupancy; plain
+    /// [`Scope::span`] leaves the offset at 0.
+    pub fn span_at(&self, name: &str, sim_start: f64) -> Span {
+        let id = self.rec.open_span(name, self.parent, sim_start);
         Span { rec: self.rec.clone(), id }
     }
 

@@ -191,7 +191,7 @@ fn journal_v2_jsonl_includes_histo_lines() {
     // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
     assert_eq!(text.lines().count(), 2 + 1 + 4);
     assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
-    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
     let parsed = RunJournal::from_jsonl(&text).unwrap();
     assert_eq!(parsed, journal);
 }
@@ -275,7 +275,7 @@ fn journal_with_plans() -> RunJournal {
 fn journal_v3_plan_lines_round_trip_deterministically() {
     let journal = journal_with_plans();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
     let plan_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Plan""#)).collect();
     assert_eq!(plan_lines.len(), 2);
     // Plan lines come scope-sorted, operators path-sorted within.
@@ -305,7 +305,7 @@ fn v2_readers_skip_v3_plan_records() {
     // knows.
     let text = journal_with_plans()
         .to_jsonl()
-        .replace(r#""version":6"#, r#""version":2"#)
+        .replace(r#""version":7"#, r#""version":2"#)
         .replace(r#"{"Plan""#, r#"{"PlanV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v2 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -317,7 +317,7 @@ fn v2_readers_skip_v3_plan_records() {
     // strict under the current reader.
     let rec = Recorder::new();
     rec.root_scope().span("mine").finish();
-    let v2 = rec.snapshot().to_jsonl().replace(r#""version":6"#, r#""version":2"#);
+    let v2 = rec.snapshot().to_jsonl().replace(r#""version":7"#, r#""version":2"#);
     assert!(RunJournal::from_jsonl(&v2).is_ok());
 }
 
@@ -380,7 +380,7 @@ fn journal_with_lineage() -> RunJournal {
 fn journal_v4_lineage_lines_round_trip_deterministically() {
     let journal = journal_with_lineage();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
     let lineage_lines: Vec<&str> =
         text.lines().filter(|l| l.starts_with(r#"{"Lineage""#)).collect();
     assert_eq!(lineage_lines.len(), 2);
@@ -417,7 +417,7 @@ fn v3_readers_skip_v4_lineage_records() {
     // version and renaming both keys to ones no reader knows.
     let text = journal_with_lineage()
         .to_jsonl()
-        .replace(r#""version":6"#, r#""version":3"#)
+        .replace(r#""version":7"#, r#""version":3"#)
         .replace(r#"{"Lineage""#, r#"{"LineageV9""#)
         .replace(r#"{"Boundary""#, r#"{"BoundaryV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v3 strict reader must not error");
@@ -429,7 +429,7 @@ fn v3_readers_skip_v4_lineage_records() {
 
     // And a genuine v3 journal (no Lineage lines at all) still parses
     // strict under the v4 reader.
-    let v3 = journal_with_plans().to_jsonl().replace(r#""version":6"#, r#""version":3"#);
+    let v3 = journal_with_plans().to_jsonl().replace(r#""version":7"#, r#""version":3"#);
     assert!(RunJournal::from_jsonl(&v3).is_ok());
 }
 
@@ -478,7 +478,7 @@ fn journal_v6_mem_lines_round_trip_deterministically() {
     let journal = journal_with_mem();
     assert!(journal.has_mem());
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":6"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
     let mem_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Mem""#)).collect();
     assert_eq!(mem_lines.len(), 2);
     // Mem lines come (span, kind, component)-sorted regardless of
@@ -508,7 +508,7 @@ fn v5_readers_skip_v6_mem_records() {
     // renaming the key to one no reader knows.
     let text = journal_with_mem()
         .to_jsonl()
-        .replace(r#""version":6"#, r#""version":5"#)
+        .replace(r#""version":7"#, r#""version":5"#)
         .replace(r#"{"Mem""#, r#"{"MemV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v5 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -518,7 +518,7 @@ fn v5_readers_skip_v6_mem_records() {
 
     // And a genuine v5 journal (no Mem lines at all) still parses
     // strict under the v6 reader.
-    let v5 = journal_with_lineage().to_jsonl().replace(r#""version":6"#, r#""version":5"#);
+    let v5 = journal_with_lineage().to_jsonl().replace(r#""version":7"#, r#""version":5"#);
     assert!(RunJournal::from_jsonl(&v5).is_ok());
 }
 
@@ -535,6 +535,101 @@ fn lossy_reader_tolerates_truncated_mem_tail() {
     assert_eq!(lossy.spans.len(), 2);
     assert_eq!(lossy.mems.len(), 1, "only the intact Mem line survives");
     assert_eq!(lossy.mems[0].component, "graph");
+}
+
+/// A recorded run with v7 start offsets: the worker at the sim
+/// origin, post-mine stages offset by the mine wall-clock.
+fn journal_with_timeline() -> RunJournal {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    let mine = root.scope().span("mine");
+    let worker = mine.scope().span_at("worker-0", 0.0);
+    worker.scope().add_sim_seconds(6.0);
+    worker.finish();
+    mine.scope().add_sim_seconds(6.0);
+    mine.finish();
+    let translate = root.scope().span_at("translate", 6.0);
+    translate.scope().add_sim_seconds(2.0);
+    translate.finish();
+    let evaluate = root.scope().span_at("evaluate", 8.0);
+    evaluate.scope().add_sim_seconds(3.0);
+    evaluate.finish();
+    root.finish();
+    rec.snapshot()
+}
+
+#[test]
+fn journal_v7_span_lines_carry_start_offsets() {
+    let journal = journal_with_timeline();
+    assert!(journal.has_timeline());
+    let text = journal.to_jsonl();
+    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with(r#"{"Span""#) && l.contains(r#""sim_start_seconds":"#)));
+    // Round trip: parse → re-serialise is byte-identical, offsets
+    // included.
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed, journal);
+    assert!(parsed.has_timeline());
+    assert_eq!(parsed.to_jsonl(), text);
+}
+
+#[test]
+fn v7_readers_default_missing_start_offsets_to_zero() {
+    // A genuine v6 journal has Span lines without the field at all.
+    // Emulate one by stripping the field and downgrading the Meta
+    // version; the v7 reader must parse it with offsets defaulting
+    // to 0 (and the timeline gate reporting "no timeline").
+    let text = journal_with_timeline().to_jsonl();
+    let v6: String = text
+        .lines()
+        .map(|l| match l.find(r#""sim_start_seconds":"#) {
+            Some(i) => {
+                let comma = l[i..].find(',').expect("the field is never last");
+                format!("{}{}\n", &l[..i], &l[i + comma + 1..])
+            }
+            None => format!("{l}\n"),
+        })
+        .collect();
+    let v6 = v6.replace(r#""version":7"#, r#""version":6"#);
+    let parsed = RunJournal::from_jsonl(&v6).expect("v6 journals must still parse");
+    assert_eq!(parsed.spans.len(), 5);
+    assert!(parsed.spans.iter().all(|s| s.sim_start_seconds == 0.0));
+    assert!(!parsed.has_timeline());
+    assert_eq!(RunJournal::from_jsonl_lossy(&v6).unwrap(), parsed);
+}
+
+#[test]
+fn v6_readers_skip_v7_start_offsets() {
+    // A v6 reader's Span struct has no `sim_start_seconds` field; its
+    // parser ignores unknown map keys, exactly as ours does. Emulate
+    // that reader by renaming the field to one no reader knows and
+    // downgrading the Meta version — the spans must still parse.
+    let text = journal_with_timeline()
+        .to_jsonl()
+        .replace(r#""version":7"#, r#""version":6"#)
+        .replace(r#""sim_start_seconds""#, r#""sim_start_offset_v9""#);
+    let strict = RunJournal::from_jsonl(&text).expect("v6 strict reader must not error");
+    assert_eq!(strict.spans.len(), 5, "spans survive the unknown field");
+    assert!(strict.spans.iter().all(|s| s.sim_start_seconds == 0.0));
+    let lossy = RunJournal::from_jsonl_lossy(&text).expect("v6 lossy reader must not error");
+    assert_eq!(lossy, strict);
+}
+
+#[test]
+fn lossy_reader_tolerates_truncated_timeline_tail() {
+    let text = journal_with_timeline().to_jsonl();
+    // Chop the journal mid-way through its last Span line (the
+    // `evaluate` stage), as a crashed writer would — every record
+    // after it is gone too.
+    let last_span = text.rfind(r#"{"Span""#).unwrap();
+    let line_end = text[last_span..].find('\n').unwrap() + last_span;
+    let truncated = &text[..line_end - 10];
+    assert!(RunJournal::from_jsonl(truncated).is_err());
+    let lossy = RunJournal::from_jsonl_lossy(truncated).unwrap();
+    assert_eq!(lossy.spans.len(), 4, "only intact Span lines survive");
+    assert!(lossy.has_timeline(), "offsets on intact lines survive the cut");
 }
 
 #[test]

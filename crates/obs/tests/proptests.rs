@@ -1,7 +1,9 @@
-//! Property-based tests for histogram invariants and the v2 journal
-//! round-trip.
+//! Property-based tests for histogram invariants, the v2 journal
+//! round-trip, and the v7 timeline reconstruction.
 
-use grm_obs::{Counter, Histo, Histogram, Recorder, RunJournal};
+use grm_obs::{
+    Counter, CriticalPathReport, Histo, Histogram, Recorder, RunJournal, TimelineReport,
+};
 use proptest::prelude::*;
 
 /// Records every value of `values` into a fresh histogram.
@@ -117,5 +119,71 @@ proptest! {
         let h = parsed.histogram("mine_call_seconds").unwrap();
         prop_assert_eq!(h.count(), mine_calls.len() as u64);
         prop_assert_eq!(parsed.total("prompts_issued"), bump);
+    }
+
+    /// Timeline invariants over pipeline-shaped runs: the critical
+    /// path never exceeds the run wall-clock and never falls below
+    /// the longest single span on it; every worker's busy fraction is
+    /// a fraction; and summed worker busy time never exceeds
+    /// wall-clock × worker count.
+    #[test]
+    fn timeline_invariants_hold_for_pipeline_shapes(
+        busy in prop::collection::vec(0.01f64..50.0, 1..8),
+        translate_s in 0.0f64..20.0,
+        evaluate_s in 0.0f64..20.0,
+    ) {
+        // Mirror the pipeline's stamping: workers at the sim origin,
+        // the mine span carrying the fleet wall-clock, post-mine
+        // stages offset sequentially.
+        let mine_wall = busy.iter().cloned().fold(0.0, f64::max);
+        let rec = Recorder::new();
+        let root = rec.root_scope().span("pipeline");
+        let mine = root.scope().span("mine");
+        for (w, &b) in busy.iter().enumerate() {
+            let worker = mine.scope().span_at(&format!("worker-{w}"), 0.0);
+            worker.scope().add_sim_seconds(b);
+            worker.finish();
+        }
+        mine.scope().add_sim_seconds(mine_wall);
+        mine.finish();
+        let translate = root.scope().span_at("translate", mine_wall);
+        translate.scope().add_sim_seconds(translate_s);
+        translate.finish();
+        let evaluate = root.scope().span_at("evaluate", mine_wall + translate_s);
+        evaluate.scope().add_sim_seconds(evaluate_s);
+        evaluate.finish();
+        root.finish();
+        let journal = rec.snapshot();
+
+        let report = TimelineReport::from_journal(&journal);
+        prop_assert_eq!(report.workers.len(), busy.len());
+        let mut busy_sum = 0.0;
+        for lane in &report.workers {
+            prop_assert!((0.0..=1.0).contains(&lane.busy_fraction), "{:?}", lane);
+            prop_assert!(lane.busy_seconds <= report.wall_seconds + 1e-9);
+            busy_sum += lane.busy_seconds;
+        }
+        prop_assert!(
+            busy_sum <= report.wall_seconds * report.workers.len() as f64 + 1e-9,
+            "sum {} vs wall {} x {}", busy_sum, report.wall_seconds, report.workers.len()
+        );
+        // Compute is conserved: lanes + post-mine stages, and the
+        // speedup never exceeds the worker count.
+        let expected: f64 = busy.iter().sum::<f64>() + translate_s + evaluate_s;
+        prop_assert!((report.compute_seconds - expected).abs() < 1e-9);
+
+        let critical = CriticalPathReport::from_journal(&journal);
+        let top = &critical.chains[0];
+        prop_assert!(top.seconds <= report.wall_seconds + 1e-9,
+            "critical path {} exceeds wall {}", top.seconds, report.wall_seconds);
+        let max_step = top.steps.iter().map(|s| s.seconds).fold(0.0, f64::max);
+        prop_assert!(top.seconds >= max_step - 1e-9);
+        prop_assert!((top.end_seconds - report.wall_seconds).abs() <= 1e-9);
+        // Steps are back-to-back and chronological.
+        for pair in top.steps.windows(2) {
+            prop_assert!(
+                (pair[0].start_seconds + pair[0].seconds - pair[1].start_seconds).abs() <= 1e-9
+            );
+        }
     }
 }

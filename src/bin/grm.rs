@@ -10,10 +10,12 @@
 //!              [--strategy swa|rag|summary] [--prompting zero|few]
 //!              [--seed 42] [--workers 4] [--json report.json]
 //!              [--rules-out rules.json] [--trace run.jsonl] [--trace-summary]
+//!              [--deterministic] [--fault-rate F] [--resume run.jsonl]
 //! grm audit    --graph g.json
 //! grm check    --graph g.json --rules rules.json
 //! grm diff     --before a.json --after b.json --rules rules.json
-//! grm trace    summary|diff|flame|check|plans|lineage|faults|mem …
+//! grm trace    summary|diff|flame|check|plans|lineage|faults|mem
+//!              |timeline|critical-path …
 //! grm explain  rule-0 run.jsonl
 //! ```
 //!
@@ -93,13 +95,15 @@ const USAGE: &str = "usage:
   grm check    --graph FILE --rules FILE [--limit N] [--trace FILE.jsonl]
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
   grm trace    summary FILE.jsonl [--json]
-  grm trace    diff A.jsonl B.jsonl [--tolerance FRACTION]   # exit 1 above tolerance
+  grm trace    diff A.jsonl B.jsonl [--json] [--tolerance FRACTION]   # exit 1 above tolerance
   grm trace    flame FILE.jsonl [--real|--sim|--mem]         # folded flamegraph stacks
   grm trace    check FILE.jsonl BASELINE.json [--tolerance FRACTION]
   grm trace    plans FILE.jsonl [--top N] [--json] [--check PLANS.json [--tolerance FRACTION]]
   grm trace    lineage FILE.jsonl [--json] [--check LINEAGE.json]
   grm trace    faults FILE.jsonl [--json] [--check CHAOS.json]
   grm trace    mem FILE.jsonl [--top N] [--json] [--check MEM.json [--tolerance FRACTION]]
+  grm trace    timeline FILE.jsonl [--top N] [--json] [--check TIMELINE.json [--tolerance FRACTION]]
+  grm trace    critical-path FILE.jsonl [--top N] [--json]   # top-k bounding chains
   grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
@@ -657,14 +661,15 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 /// folded flamegraph stacks, and a baseline regression check.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use graph_rule_mining::obs::{
-        folded_stacks, ChaosBaseline, FaultReport, FlameWeight, LineageBaseline, LineageReport,
-        MemBaseline, MemReport, PlanBaseline, PlanCacheReport, PlanReport, RunJournal,
-        TraceBaseline, TraceDiff,
+        folded_stacks, ChaosBaseline, CriticalPathReport, FaultReport, FlameWeight,
+        LineageBaseline, LineageReport, MemBaseline, MemReport, PlanBaseline, PlanCacheReport,
+        PlanReport, RunJournal, TimelineBaseline, TimelineReport, TraceBaseline, TraceDiff,
     };
 
     let Some((verb, rest)) = args.split_first() else {
         return Err(format!(
-            "trace needs a verb (summary|diff|flame|check|plans|lineage|faults|mem)\n{USAGE}"
+            "trace needs a verb \
+             (summary|diff|flame|check|plans|lineage|faults|mem|timeline|critical-path)\n{USAGE}"
         ));
     };
     let load = |path: &str| -> Result<RunJournal, String> {
@@ -756,13 +761,18 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             }
         }
         "diff" => {
-            let flags = parse_flags(rest, &[])?;
+            let flags = parse_flags(rest, &["json"])?;
             let [a_path, b_path] = flags.positional.as_slice() else {
                 return Err("trace diff needs two journal files: A.jsonl B.jsonl".into());
             };
             let tolerance: f64 = parse_or(&flags, "tolerance", 0.05)?;
             let diff = TraceDiff::compute(&load(a_path)?, &load(b_path)?);
-            print!("{}", diff.render());
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&diff).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", diff.render());
+            }
             let worst = diff.max_relative_sim_delta();
             if worst > tolerance {
                 return Err(format!(
@@ -771,11 +781,78 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                     tolerance * 100.0
                 ));
             }
-            println!(
-                "max stage sim-time shift {:.1}% within tolerance {:.1}%",
-                worst * 100.0,
-                tolerance * 100.0
-            );
+            if !flags.switches.iter().any(|s| s == "json") {
+                println!(
+                    "max stage sim-time shift {:.1}% within tolerance {:.1}%",
+                    worst * 100.0,
+                    tolerance * 100.0
+                );
+            }
+            Ok(())
+        }
+        "timeline" => {
+            let flags = parse_flags(rest, &["json"])?;
+            let path = flags.positional.first().ok_or("trace timeline needs a journal FILE")?;
+            let top: usize = parse_or(&flags, "top", 8)?;
+            let journal = load(path)?;
+            let report = TimelineReport::from_journal(&journal);
+            if report.is_empty() {
+                return Err(format!(
+                    "{path} carries no simulated time to place on a timeline — produce it \
+                     with `grm mine --trace` or `repro --timeline` (journal schema v7+)"
+                ));
+            }
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", report.render(top));
+            }
+            let Some(baseline_path) = flags.named.get("check") else {
+                return Ok(());
+            };
+            let tolerance: f64 = parse_or(&flags, "tolerance", 0.05)?;
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline: TimelineBaseline =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let violations = baseline.check(&journal, tolerance);
+            if violations.is_empty() {
+                println!(
+                    "timeline check passed: {} within {:.1}% of {} \
+                     (critical path and worker lanes exact)",
+                    path,
+                    tolerance * 100.0,
+                    baseline_path
+                );
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} timeline regression(s) against {baseline_path}", violations.len()))
+            }
+        }
+        "critical-path" => {
+            let flags = parse_flags(rest, &["json"])?;
+            let path =
+                flags.positional.first().ok_or("trace critical-path needs a journal FILE")?;
+            let top: usize = parse_or(&flags, "top", 3)?;
+            let journal = load(path)?;
+            let report = CriticalPathReport::from_journal(&journal);
+            if report.is_empty() {
+                return Err(format!(
+                    "{path} carries no simulated time to walk a critical path through — \
+                     produce it with `grm mine --trace` or `repro --timeline` (journal \
+                     schema v7+)"
+                ));
+            }
+            if flags.switches.iter().any(|s| s == "json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", report.render(top));
+            }
             Ok(())
         }
         "flame" => {

@@ -9,7 +9,12 @@
 //! * structs with named fields, tuple structs, unit structs;
 //! * enums with unit, newtype, tuple and struct variants
 //!   (externally-tagged representation, like stock serde);
-//! * no generics, no `#[serde(...)]` attributes.
+//! * `#[serde(default)]` on named fields — a missing (or null) field
+//!   deserialises to `Default::default()`, which is how additive
+//!   journal-schema fields stay readable across versions;
+//! * no generics; `#[serde(...)]` attributes other than `default`
+//!   are not supported (the shim panics rather than silently
+//!   ignoring them).
 //!
 //! The generated code targets the `Content` tree model of the
 //! vendored `serde` crate (`vendor/serde`), which `serde_json`
@@ -22,6 +27,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// A parsed field: name (named structs/variants) or index (tuples).
 struct Field {
     name: String,
+    /// `#[serde(default)]`: deserialise a missing/null field to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 enum VariantShape {
@@ -56,13 +64,13 @@ enum Item {
     },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item).parse().expect("serde_derive shim generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item).parse().expect("serde_derive shim generated invalid Deserialize impl")
@@ -165,14 +173,60 @@ fn count_top_level_items(stream: TokenStream) -> usize {
     split_commas(stream).len()
 }
 
+/// When the `#[...]` attribute body is `serde(...)`, returns whether
+/// it is exactly `serde(default)`; panics on any other serde
+/// argument (unsupported by this shim). Non-serde attributes return
+/// `None` and are skipped.
+fn serde_attr_is_default(group: &proc_macro::Group) -> Option<bool> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let args: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+            if args == ["default"] {
+                Some(true)
+            } else {
+                panic!(
+                    "serde shim: unsupported attribute serde({}) — only serde(default) is \
+                     implemented",
+                    args.join("")
+                );
+            }
+        }
+        _ => None,
+    }
+}
+
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_commas(stream)
         .into_iter()
         .map(|tokens| {
             let mut i = 0;
-            skip_attrs_and_vis(&tokens, &mut i);
+            let mut default = false;
+            loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                            if serde_attr_is_default(g) == Some(true) {
+                                default = true;
+                            }
+                        }
+                        i += 2; // `#` + the `[...]` group
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        i += 1;
+                        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                i += 1; // pub(crate) etc.
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
             match &tokens[i] {
-                TokenTree::Ident(id) => Field { name: id.to_string() },
+                TokenTree::Ident(id) => Field { name: id.to_string(), default },
                 other => panic!("serde shim: expected field name, found {other}"),
             }
         })
@@ -310,18 +364,30 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// The deserialisation expression for one named field: a straight
+/// lookup, or — for `#[serde(default)]` fields — a lookup that falls
+/// back to `Default::default()` when the field is missing or null
+/// (missing struct fields read as `Null` in the vendored facade).
+fn field_init(f: &Field) -> String {
+    if f.default {
+        format!(
+            "{n}: {{ let __v = ::serde::content_field(__m, \"{n}\"); \
+             if __v.is_null() {{ ::std::default::Default::default() }} \
+             else {{ ::serde::Deserialize::from_content(__v)? }} }}",
+            n = f.name
+        )
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_content(::serde::content_field(__m, \"{n}\"))?",
+            n = f.name
+        )
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{n}: ::serde::Deserialize::from_content(::serde::content_field(__m, \"{n}\"))?",
-                        n = f.name
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
@@ -392,15 +458,7 @@ fn gen_deserialize(item: &Item) -> String {
                             ))
                         }
                         VariantShape::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{n}: ::serde::Deserialize::from_content(::serde::content_field(__m, \"{n}\"))?",
-                                        n = f.name
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> = fields.iter().map(field_init).collect();
                             Some(format!(
                                 "\"{vn}\" => {{\n\
                                      let __m = __inner.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected a map for variant {vn}\"))?;\n\

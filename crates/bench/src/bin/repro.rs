@@ -63,7 +63,21 @@
 //!   run's wall/compute/speedup, worker lanes and critical path into
 //!   a `TimelineBaseline` snapshot for `grm trace timeline --check`
 //!   (this is how `BENCH_timeline.json` is regenerated — all pure
-//!   sim arithmetic, so the file is byte-deterministic).
+//!   sim arithmetic, so the file is byte-deterministic);
+//! * `--events-parity FILE.json` — one chaos run (same plan as
+//!   `--chaos`) with a counting telemetry sink attached: assert the
+//!   per-kind event counts match the journal record counts (every
+//!   span/fault/retry/… journaled was also emitted on the bus, and
+//!   vice versa), then compare them exactly against the committed
+//!   `EventsBaseline` snapshot (the CI events-parity gate);
+//! * `--events-baseline FILE.json` — same run, but freeze the counts
+//!   into the snapshot instead (this is how `BENCH_events.json` is
+//!   regenerated — the fault plan and recorder are deterministic, so
+//!   the check is exact);
+//! * `--check-baselines` — scan the working directory's
+//!   `BENCH_*.json` files and fail unless every one carries the
+//!   current journal schema version (the CI staleness gate, formerly
+//!   a shell pipeline in ci.yml).
 
 use std::collections::HashMap;
 
@@ -103,6 +117,9 @@ struct Args {
     optimizer_gate: Option<String>,
     timeline: Option<String>,
     timeline_baseline: Option<String>,
+    events_parity: Option<String>,
+    events_baseline: Option<String>,
+    check_baselines: bool,
     workers: usize,
 }
 
@@ -126,6 +143,9 @@ fn parse_args() -> Args {
         optimizer_gate: None,
         timeline: None,
         timeline_baseline: None,
+        events_parity: None,
+        events_baseline: None,
+        check_baselines: false,
         workers: 4,
     };
     let mut it = std::env::args().skip(1);
@@ -202,6 +222,20 @@ fn parse_args() -> Args {
                 any = true;
                 args.timeline_baseline =
                     Some(it.next().expect("--timeline-baseline needs a file path"));
+            }
+            "--events-parity" => {
+                any = true;
+                args.events_parity =
+                    Some(it.next().expect("--events-parity needs a baseline path"));
+            }
+            "--events-baseline" => {
+                any = true;
+                args.events_baseline =
+                    Some(it.next().expect("--events-baseline needs a file path"));
+            }
+            "--check-baselines" => {
+                any = true;
+                args.check_baselines = true;
             }
             "--workers" => {
                 args.workers = it
@@ -337,9 +371,189 @@ fn main() {
         eprintln!("--timeline-baseline requires --timeline FILE.jsonl");
         std::process::exit(2);
     }
+    if args.events_parity.is_some() || args.events_baseline.is_some() {
+        events_run(&args);
+    }
+    if args.check_baselines {
+        check_baselines();
+    }
     if let Some(baseline_path) = &args.optimizer_gate {
         optimizer_gate(&args, baseline_path);
     }
+}
+
+/// `--events-parity` / `--events-baseline`: one chaos run (the
+/// `--chaos` fault plan — the configuration that exercises the whole
+/// event taxonomy) with a counting telemetry sink attached. First the
+/// structural gate: per-kind event counts must match the journal's
+/// record counts exactly — every span, fault, retry, degradation,
+/// checkpoint, lineage stamp and footprint that reached the journal
+/// was also emitted on the bus, and nothing extra was. Then the
+/// committed `EventsBaseline` snapshot is either checked exactly or
+/// refreshed.
+fn events_run(args: &Args) {
+    use grm_obs::{CountingSink, EventsBaseline, Recorder};
+
+    let data = generate(
+        DatasetId::Wwc2019,
+        &GenConfig { seed: args.seed, scale: args.scale, clean: false },
+    );
+    let mut cfg = PipelineConfig::new(
+        ModelKind::Llama3,
+        ContextStrategy::default_sliding_window(),
+        PromptStyle::ZeroShot,
+    );
+    cfg.seed = args.seed;
+    let chaos = ChaosConfig { fault_rate: 0.2, ..ChaosConfig::default() };
+    let resil = Resilience::chaos(chaos);
+    let recorder = Recorder::deterministic();
+    let counting = CountingSink::new();
+    recorder.attach_sink(counting.clone());
+    let status = MiningPipeline::new(cfg).run_resilient(&data.graph, 1, &recorder, &resil);
+    let RunStatus::Complete(_) = status else {
+        eprintln!("events run was killed without --kill-after — impossible");
+        std::process::exit(1);
+    };
+    let journal = recorder.snapshot();
+    recorder.finish_sinks();
+    if recorder.events_dropped() > 0 {
+        eprintln!(
+            "REGRESSION: the lossless counting sink dropped {} event(s)",
+            recorder.events_dropped()
+        );
+        std::process::exit(1);
+    }
+    let counts = counting.counts();
+    println!("== events parity: WWC2019 / llama3 / SWA / zero-shot, fault-rate 0.2 ==");
+    println!("  {} events across {} kinds", counts.values().sum::<u64>(), counts.len());
+    let violations = EventsBaseline::parity_violations(&counts, &journal);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        eprintln!("{} event/journal parity violation(s)", violations.len());
+        std::process::exit(1);
+    }
+    println!("  event/journal parity holds across the record taxonomy");
+    if let Some(path) = &args.events_baseline {
+        let baseline = EventsBaseline::from_counts(&counts);
+        let json = match serde_json::to_string_pretty(&baseline) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing events baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(events-baseline snapshot written to {path})");
+    }
+    if let Some(path) = &args.events_parity {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline: EventsBaseline = match serde_json::from_str(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("parsing {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let violations = baseline.check(&counts);
+        if violations.is_empty() {
+            println!("events gate passed: per-kind counts match {path} exactly");
+        } else {
+            for v in &violations {
+                eprintln!("REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--check-baselines`: every committed `BENCH_*.json` snapshot must
+/// carry the current journal schema version — a stale baseline would
+/// make the regression gates compare against a different era's
+/// semantics. Replaces the old grep/jq shell pipeline in ci.yml.
+fn check_baselines() {
+    let current = journal_version();
+    let mut checked = 0usize;
+    let mut stale = Vec::new();
+    let mut entries: Vec<_> = match std::fs::read_dir(".") {
+        Ok(dir) => dir.filter_map(Result::ok).collect(),
+        Err(e) => {
+            eprintln!("reading working directory: {e}");
+            std::process::exit(1);
+        }
+    };
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = match std::fs::read_to_string(entry.path()) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("reading {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        checked += 1;
+        match baseline_journal_version(&text) {
+            Some(v) if v == current => {}
+            Some(v) => stale.push(format!("{name}: journal_version {v} (current is {current})")),
+            None => stale.push(format!("{name}: no journal_version field")),
+        }
+    }
+    if checked == 0 {
+        eprintln!("no BENCH_*.json baselines found in the working directory");
+        std::process::exit(1);
+    }
+    if stale.is_empty() {
+        println!("baseline check passed: {checked} snapshot(s) at journal schema v{current}");
+    } else {
+        for s in &stale {
+            eprintln!("STALE: {s}");
+        }
+        eprintln!(
+            "{} stale baseline(s) — regenerate with the repro baseline flags \
+             (see .github/workflows/ci.yml)",
+            stale.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The current journal schema version, read from a freshly serialized
+/// empty journal's Meta line (grm-obs does not export the constant).
+fn journal_version() -> u64 {
+    let meta = grm_obs::Recorder::deterministic().snapshot().to_jsonl();
+    baseline_journal_version(&meta).expect("a Meta line always carries a version")
+}
+
+/// Extracts the `journal_version` (baseline snapshots) or `version`
+/// (journal Meta lines) field from a JSON document.
+fn baseline_journal_version(text: &str) -> Option<u64> {
+    for key in ["\"journal_version\":", "\"version\":"] {
+        if let Some(at) = text.find(key) {
+            let digits: String = text[at + key.len()..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(v) = digits.parse() {
+                return Some(v);
+            }
+        }
+    }
+    None
 }
 
 /// `--timeline`: one instrumented *parallel* pipeline run (WWC2019,

@@ -91,6 +91,12 @@ pub enum Counter {
     QueriesDegraded,
     /// Times a stage circuit breaker tripped open.
     BreakerTrips,
+    /// Telemetry events refused by a saturated bus sink. Stamped into
+    /// `Totals` at snapshot time (never via `Scope::add`, which would
+    /// emit events about dropping events) and only when non-zero, so
+    /// loss is always journaled yet lossless runs stay byte-identical
+    /// to bus-off runs.
+    TelemetryEventsDropped,
 }
 
 impl Counter {
@@ -136,6 +142,7 @@ impl Counter {
             Counter::RulesDegraded => "rules_degraded",
             Counter::QueriesDegraded => "queries_degraded",
             Counter::BreakerTrips => "breaker_trips",
+            Counter::TelemetryEventsDropped => "telemetry_events_dropped",
         }
     }
 }

@@ -2,6 +2,7 @@
 //! histograms, written as JSON Lines (one record per line) so partial
 //! files stay parseable and `jq`/`grep` work line-wise.
 
+use crate::bus::TelemetryEvent;
 use crate::histogram::Histogram;
 use crate::lineage::{BoundaryRecord, LineageRecord};
 use crate::mem::MemRecord;
@@ -93,6 +94,12 @@ pub enum JournalRecord {
     /// run-wide allocator totals, or a deterministic footprint table.
     /// Skipped by older readers.
     Mem(MemRecord),
+    /// A live telemetry-bus event line (schema v8+), written by the
+    /// `--events` stream sink. Skipped by older readers. The main
+    /// `--trace` journal does not carry these — events stream to
+    /// their own file so the journal's byte-identity guarantees stay
+    /// independent of bus scheduling.
+    Event(TelemetryEvent),
     /// Run-wide totals, always the last line.
     Totals {
         counters: Vec<(String, u64)>,
@@ -100,9 +107,9 @@ pub enum JournalRecord {
     },
 }
 
-/// Variant keys a v7 reader knows; object lines keyed otherwise are
+/// Variant keys a v8 reader knows; object lines keyed otherwise are
 /// future record types and are skipped, not errors.
-const KNOWN_RECORD_KEYS: [&str; 13] = [
+const KNOWN_RECORD_KEYS: [&str; 14] = [
     "Meta",
     "Span",
     "Histo",
@@ -115,6 +122,7 @@ const KNOWN_RECORD_KEYS: [&str; 13] = [
     "Degraded",
     "Checkpoint",
     "Mem",
+    "Event",
     "Totals",
 ];
 
@@ -150,6 +158,10 @@ pub struct RunJournal {
     /// Memory records: per-span allocation deltas, the run-wide
     /// allocator totals, and deterministic footprint tables.
     pub mems: Vec<MemRecord>,
+    /// Telemetry-bus events (schema v8+), populated when parsing an
+    /// `--events` stream file. The pipeline's own journal snapshot
+    /// leaves this empty — events live in their own stream.
+    pub events: Vec<TelemetryEvent>,
     /// Parse metadata, not serialised by [`RunJournal::to_jsonl`]:
     /// damaged lines dropped by a lossy parse (truncated tails).
     pub corrupt_lines: u64,
@@ -165,10 +177,12 @@ pub struct RunJournal {
 /// `Mem` lines. v7: adds the `sim_start_seconds` field to `Span`
 /// lines (an additive field, not a new record kind — v6 readers
 /// ignore it, and v7 readers default it to 0 on older journals).
+/// v8: adds `Event` lines (streamed telemetry-bus events, written by
+/// `grm mine --events`) — v7 readers skip them.
 /// Each version is purely additive, so older journals still parse
 /// (they simply carry fewer record kinds) and older readers skip the
 /// new lines through their unknown-record path.
-pub const JOURNAL_VERSION: u32 = 7;
+pub const JOURNAL_VERSION: u32 = 8;
 
 impl RunJournal {
     /// Run-wide total of `counter` (0 when never recorded).
@@ -234,6 +248,12 @@ impl RunJournal {
     /// silently-off guard of the mem baseline check.
     pub fn has_mem(&self) -> bool {
         !self.mems.is_empty()
+    }
+
+    /// True when the journal carries v8 `Event` records at all — the
+    /// gate for event-stream rendering (`grm trace tail`).
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
     }
 
     /// True when the journal carries v7 start offsets at all — the
@@ -309,7 +329,8 @@ impl RunJournal {
     }
 
     /// Serialises to JSON Lines: meta, spans, histograms, plans,
-    /// lineage, boundaries, totals. Counter/gauge totals and every
+    /// lineage, boundaries, resilience, mem, events, totals.
+    /// Counter/gauge totals and every
     /// repeated record kind are sorted by stable keys so journals
     /// diff deterministically whatever the worker schedule that
     /// produced them.
@@ -385,6 +406,11 @@ impl RunJournal {
         for mem in mems {
             push(&JournalRecord::Mem(mem));
         }
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.seq);
+        for event in events {
+            push(&JournalRecord::Event(event));
+        }
         push(&JournalRecord::Totals {
             counters: sorted_by_name(&self.totals),
             gauges: sorted_by_name(&self.gauges),
@@ -452,6 +478,7 @@ impl RunJournal {
                 JournalRecord::Degraded(record) => journal.degraded.push(record),
                 JournalRecord::Checkpoint(checkpoint) => journal.checkpoints.push(checkpoint),
                 JournalRecord::Mem(mem) => journal.mems.push(mem),
+                JournalRecord::Event(event) => journal.events.push(event),
                 JournalRecord::Totals { counters, gauges } => {
                     journal.totals = counters;
                     journal.gauges = gauges;
@@ -532,6 +559,9 @@ impl RunJournal {
                 footprint,
                 peak
             ));
+        }
+        if self.has_events() {
+            out.push_str(&format!("telemetry events: {} streamed\n", self.events.len()));
         }
         if self.corrupt_lines + self.unknown_lines > 0 {
             out.push_str(&format!(

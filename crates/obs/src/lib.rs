@@ -35,12 +35,18 @@
 //!   `alloc_count` and `peak_delta` deltas on exit, plus
 //!   deterministic footprint tables ([`FootprintRow`]) computed from
 //!   container capacities, the substrate behind `grm trace mem`;
+//! * **a live telemetry bus** ([`TelemetryEvent`], [`EventSink`],
+//!   [`ChannelSink`], [`MetricsHub`]) — every recorder mutation
+//!   emitted to bounded, non-blocking, drop-counting sinks the moment
+//!   it happens, the substrate behind `grm mine --progress`,
+//!   `--events`, `--metrics-out`/`--metrics-listen` (Prometheus text
+//!   exposition) and `grm trace tail`;
 //! * **a JSONL run journal** ([`RunJournal`]) serialising the span
 //!   tree (with v7 `sim_start_seconds` offsets placing every span on
 //!   the simulated axis), counter totals, histograms, plan profiles,
-//!   lineage, resilience and memory records (schema v7; v1–v6
-//!   journals still parse), written by `grm mine --trace` and the
-//!   `repro` binary;
+//!   lineage, resilience and memory records, and streamed v8 `Event`
+//!   lines (schema v8; v1–v7 journals still parse), written by
+//!   `grm mine --trace` and the `repro` binary;
 //! * **timeline analytics** ([`TimelineReport`],
 //!   [`CriticalPathReport`], [`TimelineBaseline`]) — per-worker
 //!   occupancy lanes, utilization and effective parallel speedup,
@@ -80,6 +86,7 @@
 //! run total for counters only workers touch.
 
 mod analytics;
+mod bus;
 mod counter;
 mod histogram;
 mod journal;
@@ -95,6 +102,11 @@ pub use analytics::{
     FlameWeight, HistoDiffRow, LineageBaseline, LineageReport, MemBaseline, MemComponent,
     MemReport, MemSpanRow, OptimizerBaseline, OriginYield, PlanBaseline, PlanBaselineOp,
     PlanCacheReport, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
+};
+pub use bus::{
+    check_exposition_against_events, event_stream_sink, parse_exposition, prometheus_exposition,
+    ChannelSink, CountingSink, EventSink, EventStreamHandle, EventsBaseline, ExpositionSample,
+    MetricsHub, MetricsServerHandle, TelemetryEvent,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};

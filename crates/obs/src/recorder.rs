@@ -7,9 +7,11 @@
 //! per-worker child span there.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use crate::bus::{EventSink, TelemetryEvent};
 use crate::counter::{Counter, Gauge, Histo};
 use crate::histogram::Histogram;
 use crate::journal::{HistoRecord, RunJournal, SpanRecord};
@@ -88,7 +90,6 @@ struct State {
     slow_queries: SlowQueryPolicy,
 }
 
-#[derive(Debug)]
 struct Inner {
     started: Instant,
     /// Allocator counters when the recorder was created, for the
@@ -98,6 +99,70 @@ struct Inner {
     /// the same seeded pipeline serialise byte-identically.
     deterministic: bool,
     state: Mutex<State>,
+    /// Attached bus sinks; the journal state above is conceptually
+    /// the always-attached lossless sink and never flows through
+    /// these, so sinks cannot perturb journal bytes.
+    sinks: RwLock<Vec<Arc<dyn EventSink>>>,
+    /// Fast no-sink gate: one relaxed load per instrumentation call
+    /// when the bus is off.
+    has_sinks: AtomicBool,
+    /// Next event sequence number (== events emitted so far).
+    seq: AtomicU64,
+    /// Events refused by a sink's bounded buffer. Shared as an `Arc`
+    /// so exporters can report it without referencing the recorder.
+    dropped: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("deterministic", &self.deterministic)
+            .field("has_sinks", &self.has_sinks.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Inner {
+    fn new(deterministic: bool) -> Inner {
+        Inner {
+            started: Instant::now(),
+            alloc_at_start: TrackingAlloc::snapshot(),
+            deterministic,
+            state: Mutex::new(State::default()),
+            sinks: RwLock::new(Vec::new()),
+            has_sinks: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn sinks_on(&self) -> bool {
+        self.has_sinks.load(Ordering::Relaxed)
+    }
+
+    /// Builds and offers one event to every sink. Always called
+    /// *after* the state lock is released: sinks run on the
+    /// instrumented thread but never inside the recorder's critical
+    /// section, and a refusing sink only bumps the drop counter.
+    fn emit(&self, kind: &str, span: Option<usize>, name: String, detail: String, value: f64) {
+        if !self.sinks_on() {
+            return;
+        }
+        let event = TelemetryEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            kind: kind.to_owned(),
+            span: span.map(|id| id as u64),
+            name,
+            detail,
+            value,
+        };
+        let sinks = self.sinks.read().expect("sink list poisoned");
+        for sink in sinks.iter() {
+            if !sink.offer(&event) {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Handle to one run's instrumentation state.
@@ -118,14 +183,7 @@ impl Default for Recorder {
 impl Recorder {
     /// An enabled in-memory recorder.
     pub fn new() -> Self {
-        Recorder {
-            inner: Some(Arc::new(Inner {
-                started: Instant::now(),
-                alloc_at_start: TrackingAlloc::snapshot(),
-                deterministic: false,
-                state: Mutex::new(State::default()),
-            })),
-        }
+        Recorder { inner: Some(Arc::new(Inner::new(false))) }
     }
 
     /// An enabled recorder whose snapshots zero every wall-clock
@@ -135,14 +193,7 @@ impl Recorder {
     /// byte-identical journals. Deterministic footprint records
     /// survive; they are pure capacity arithmetic.
     pub fn deterministic() -> Self {
-        Recorder {
-            inner: Some(Arc::new(Inner {
-                started: Instant::now(),
-                alloc_at_start: TrackingAlloc::snapshot(),
-                deterministic: true,
-                state: Mutex::new(State::default()),
-            })),
-        }
+        Recorder { inner: Some(Arc::new(Inner::new(true))) }
     }
 
     /// A recorder that records nothing, at near-zero cost.
@@ -170,54 +221,141 @@ impl Recorder {
         }
     }
 
+    /// Attaches a bus sink: from now on every recorder mutation is
+    /// offered to it as a [`TelemetryEvent`]. No-op on a disabled
+    /// recorder.
+    pub fn attach_sink(&self, sink: Arc<dyn EventSink>) {
+        if let Some(inner) = &self.inner {
+            inner.sinks.write().expect("sink list poisoned").push(sink);
+            inner.has_sinks.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Emits the final `run_end` event, flushes every sink, and
+    /// detaches them (dropping the recorder's references so channel
+    /// consumers see disconnect and exit). Call once, after the last
+    /// journal snapshot.
+    pub fn finish_sinks(&self) {
+        if let Some(inner) = &self.inner {
+            if !inner.sinks_on() {
+                return;
+            }
+            let emitted = inner.seq.load(Ordering::Relaxed);
+            inner.emit(
+                TelemetryEvent::RUN_END,
+                None,
+                "run".to_owned(),
+                String::new(),
+                emitted as f64,
+            );
+            let mut sinks = inner.sinks.write().expect("sink list poisoned");
+            for sink in sinks.iter() {
+                sink.flush();
+            }
+            sinks.clear();
+            inner.has_sinks.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Events emitted to the bus so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.seq.load(Ordering::Relaxed))
+    }
+
+    /// Events refused by a saturated sink so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+
+    /// The shared drop counter, for exporters that report it without
+    /// holding a recorder (always-zero dummy when disabled).
+    pub fn dropped_handle(&self) -> Arc<AtomicU64> {
+        match &self.inner {
+            Some(inner) => Arc::clone(&inner.dropped),
+            None => Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     fn open_span(&self, name: &str, parent: Option<usize>, sim_start: f64) -> Option<usize> {
         let inner = self.inner.as_ref()?;
-        let mut state = inner.state.lock().expect("obs state poisoned");
-        state.spans.push(SpanData {
-            name: name.to_owned(),
-            parent,
-            start: Instant::now(),
-            sim_start,
-            real_secs: None,
-            sim_seconds: 0.0,
-            alloc_at_open: TrackingAlloc::snapshot(),
-            alloc_delta: None,
-            counters: BTreeMap::new(),
-            gauges: BTreeMap::new(),
-            histos: BTreeMap::new(),
-        });
-        Some(state.spans.len() - 1)
+        let id = {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.spans.push(SpanData {
+                name: name.to_owned(),
+                parent,
+                start: Instant::now(),
+                sim_start,
+                real_secs: None,
+                sim_seconds: 0.0,
+                alloc_at_open: TrackingAlloc::snapshot(),
+                alloc_delta: None,
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histos: BTreeMap::new(),
+            });
+            state.spans.len() - 1
+        };
+        if inner.sinks_on() {
+            let detail = parent.map(|p| p.to_string()).unwrap_or_default();
+            inner.emit(TelemetryEvent::SPAN_OPEN, Some(id), name.to_owned(), detail, sim_start);
+        }
+        Some(id)
     }
 
     fn close_span(&self, id: usize) {
         if let Some(inner) = &self.inner {
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            let span = &mut state.spans[id];
-            if span.real_secs.is_none() {
-                span.real_secs = Some(span.start.elapsed().as_secs_f64());
-                span.alloc_delta =
-                    Some(AllocDelta::between(&span.alloc_at_open, &TrackingAlloc::snapshot()));
+            let closed = {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                let span = &mut state.spans[id];
+                if span.real_secs.is_none() {
+                    let secs = span.start.elapsed().as_secs_f64();
+                    span.real_secs = Some(secs);
+                    span.alloc_delta =
+                        Some(AllocDelta::between(&span.alloc_at_open, &TrackingAlloc::snapshot()));
+                    if inner.sinks_on() {
+                        Some((span.name.clone(), secs))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            };
+            if let Some((name, secs)) = closed {
+                inner.emit(TelemetryEvent::SPAN_CLOSE, Some(id), name, String::new(), secs);
             }
         }
     }
 
     fn add(&self, span: Option<usize>, counter: Counter, n: u64) {
         if let Some(inner) = &self.inner {
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            *state.totals.entry(counter.name()).or_insert(0) += n;
-            if let Some(id) = span {
-                *state.spans[id].counters.entry(counter.name()).or_insert(0) += n;
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                *state.totals.entry(counter.name()).or_insert(0) += n;
+                if let Some(id) = span {
+                    *state.spans[id].counters.entry(counter.name()).or_insert(0) += n;
+                }
             }
+            inner.emit(
+                TelemetryEvent::COUNTER,
+                span,
+                counter.name().to_owned(),
+                String::new(),
+                n as f64,
+            );
         }
     }
 
     fn set_gauge(&self, span: Option<usize>, gauge: Gauge, value: f64) {
         if let Some(inner) = &self.inner {
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.gauges.insert(gauge.name(), value);
-            if let Some(id) = span {
-                state.spans[id].gauges.insert(gauge.name(), value);
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.gauges.insert(gauge.name(), value);
+                if let Some(id) = span {
+                    state.spans[id].gauges.insert(gauge.name(), value);
+                }
             }
+            inner.emit(TelemetryEvent::GAUGE, span, gauge.name().to_owned(), String::new(), value);
         }
     }
 
@@ -230,13 +368,16 @@ impl Recorder {
     // `state.histos` directly.
     fn observe(&self, span: Option<usize>, histo: Histo, value: f64) {
         if let Some(inner) = &self.inner {
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            match span {
-                Some(id) => {
-                    state.spans[id].histos.entry(histo.name()).or_default().record(value)
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                match span {
+                    Some(id) => {
+                        state.spans[id].histos.entry(histo.name()).or_default().record(value)
+                    }
+                    None => state.histos.entry(histo.name()).or_default().record(value),
                 }
-                None => state.histos.entry(histo.name()).or_default().record(value),
             }
+            inner.emit(TelemetryEvent::HISTO, span, histo.name().to_owned(), String::new(), value);
         }
     }
 
@@ -271,18 +412,34 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             plan.span = span.map(|id| id as u64);
             plan.sort_ops();
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            if state.slow_queries.is_slow(&plan) {
-                plan.slow = true;
-                *state.totals.entry(Counter::CypherSlowQueries.name()).or_insert(0) += 1;
-                if let Some(id) = span {
-                    *state.spans[id]
-                        .counters
-                        .entry(Counter::CypherSlowQueries.name())
-                        .or_insert(0) += 1;
+            let (scope, db_hits) = (plan.scope.clone(), plan.db_hits());
+            let slow = {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                let slow = state.slow_queries.is_slow(&plan);
+                if slow {
+                    plan.slow = true;
+                    *state.totals.entry(Counter::CypherSlowQueries.name()).or_insert(0) += 1;
+                    if let Some(id) = span {
+                        *state.spans[id]
+                            .counters
+                            .entry(Counter::CypherSlowQueries.name())
+                            .or_insert(0) += 1;
+                    }
                 }
+                state.plans.push(plan);
+                slow
+            };
+            let detail = if slow { "slow".to_owned() } else { String::new() };
+            inner.emit(TelemetryEvent::PLAN, span, scope, detail, db_hits as f64);
+            if slow {
+                inner.emit(
+                    TelemetryEvent::COUNTER,
+                    span,
+                    Counter::CypherSlowQueries.name().to_owned(),
+                    String::new(),
+                    1.0,
+                );
             }
-            state.plans.push(plan);
         }
     }
 
@@ -290,64 +447,100 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             lineage.span = span.map(|id| id as u64);
             lineage.sort_origins();
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.lineages.push(lineage);
+            let (rule, frequency) = (lineage.rule.clone(), lineage.frequency);
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.lineages.push(lineage);
+            }
+            inner.emit(TelemetryEvent::LINEAGE, span, rule, String::new(), frequency as f64);
         }
     }
 
     fn record_boundary(&self, span: Option<usize>, mut boundary: BoundaryRecord) {
         if let Some(inner) = &self.inner {
             boundary.span = span.map(|id| id as u64);
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.boundaries.push(boundary);
+            let node = boundary.node.clone();
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.boundaries.push(boundary);
+            }
+            inner.emit(TelemetryEvent::BOUNDARY, span, node, String::new(), 0.0);
         }
     }
 
     /// Sets the chaos-run identity line written with the journal.
     pub fn set_chaos(&self, chaos: ChaosRecord) {
         if let Some(inner) = &self.inner {
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.chaos = Some(chaos);
+            let (model, strategy, rate) =
+                (chaos.model.clone(), chaos.strategy.clone(), chaos.fault_rate);
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.chaos = Some(chaos);
+            }
+            inner.emit(TelemetryEvent::CHAOS, None, model, strategy, rate);
         }
     }
 
     fn record_fault(&self, span: Option<usize>, mut fault: FaultRecord) {
         if let Some(inner) = &self.inner {
             fault.span = span.map(|id| id as u64);
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.faults.push(fault);
+            let (stage, kind, unit) = (fault.stage.clone(), fault.kind.clone(), fault.unit);
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.faults.push(fault);
+            }
+            inner.emit(TelemetryEvent::FAULT, span, stage, kind, unit as f64);
         }
     }
 
     fn record_retry(&self, span: Option<usize>, mut retry: RetryRecord) {
         if let Some(inner) = &self.inner {
             retry.span = span.map(|id| id as u64);
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.retries.push(retry);
+            let (stage, unit) = (retry.stage.clone(), retry.unit);
+            let verdict = if retry.recovered { "recovered" } else { "abandoned" };
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.retries.push(retry);
+            }
+            inner.emit(TelemetryEvent::RETRY, span, stage, verdict.to_owned(), unit as f64);
         }
     }
 
     fn record_degraded(&self, span: Option<usize>, mut record: DegradedRecord) {
         if let Some(inner) = &self.inner {
             record.span = span.map(|id| id as u64);
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.degraded.push(record);
+            let (stage, detail) =
+                (record.stage.clone(), format!("{}: {}", record.unit, record.reason));
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.degraded.push(record);
+            }
+            inner.emit(TelemetryEvent::DEGRADED, span, stage, detail, 0.0);
         }
     }
 
     fn record_checkpoint(&self, span: Option<usize>, mut checkpoint: CheckpointRecord) {
         if let Some(inner) = &self.inner {
             checkpoint.span = span.map(|id| id as u64);
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.checkpoints.push(checkpoint);
+            let (stage, unit) = (checkpoint.stage.clone(), checkpoint.unit);
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.checkpoints.push(checkpoint);
+            }
+            inner.emit(TelemetryEvent::CHECKPOINT, span, stage, String::new(), unit as f64);
         }
     }
 
     fn record_mem(&self, span: Option<usize>, mut mem: MemRecord) {
         if let Some(inner) = &self.inner {
             mem.span = span.map(|id| id as u64);
-            let mut state = inner.state.lock().expect("obs state poisoned");
-            state.mems.push(mem);
+            let (kind, component, bytes) =
+                (mem.kind.clone(), mem.component.clone(), mem.footprint_bytes());
+            {
+                let mut state = inner.state.lock().expect("obs state poisoned");
+                state.mems.push(mem);
+            }
+            inner.emit(TelemetryEvent::MEM, span, kind, component, bytes as f64);
         }
     }
 
@@ -465,9 +658,20 @@ impl Recorder {
                 });
             }
         }
+        // Sink drops are journaled so a saturated bounded channel can
+        // never silently under-report — but only when non-zero, so a
+        // bus-on run that dropped nothing stays byte-identical to the
+        // same run with the bus off.
+        let mut totals: Vec<(String, u64)> =
+            state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let dropped = inner.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            totals.push((Counter::TelemetryEventsDropped.name().to_string(), dropped));
+            totals.sort_by(|a, b| a.0.cmp(&b.0));
+        }
         RunJournal {
             spans,
-            totals: state.totals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            totals,
             gauges: state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             histos,
             plans,
@@ -479,6 +683,7 @@ impl Recorder {
             degraded: state.degraded.clone(),
             checkpoints: state.checkpoints.clone(),
             mems,
+            events: Vec::new(),
             corrupt_lines: 0,
             unknown_lines: 0,
         }

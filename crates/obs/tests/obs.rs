@@ -6,7 +6,7 @@ use std::thread;
 
 use grm_obs::{
     BoundaryRecord, Counter, FootprintRow, Gauge, Histo, LineageRecord, MemRecord, OriginRef,
-    PlanOpRecord, PlanRecord, Recorder, RunJournal, Scope, SlowQueryPolicy,
+    PlanOpRecord, PlanRecord, Recorder, RunJournal, Scope, SlowQueryPolicy, TelemetryEvent,
 };
 
 #[test]
@@ -191,7 +191,7 @@ fn journal_v2_jsonl_includes_histo_lines() {
     // Meta + 1 span + (2 per-span + 2 run-wide) histo lines + totals.
     assert_eq!(text.lines().count(), 2 + 1 + 4);
     assert_eq!(text.lines().filter(|l| l.starts_with(r#"{"Histo""#)).count(), 4);
-    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":8"#));
     let parsed = RunJournal::from_jsonl(&text).unwrap();
     assert_eq!(parsed, journal);
 }
@@ -275,7 +275,7 @@ fn journal_with_plans() -> RunJournal {
 fn journal_v3_plan_lines_round_trip_deterministically() {
     let journal = journal_with_plans();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":8"#));
     let plan_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Plan""#)).collect();
     assert_eq!(plan_lines.len(), 2);
     // Plan lines come scope-sorted, operators path-sorted within.
@@ -305,7 +305,7 @@ fn v2_readers_skip_v3_plan_records() {
     // knows.
     let text = journal_with_plans()
         .to_jsonl()
-        .replace(r#""version":7"#, r#""version":2"#)
+        .replace(r#""version":8"#, r#""version":2"#)
         .replace(r#"{"Plan""#, r#"{"PlanV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v2 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -317,7 +317,7 @@ fn v2_readers_skip_v3_plan_records() {
     // strict under the current reader.
     let rec = Recorder::new();
     rec.root_scope().span("mine").finish();
-    let v2 = rec.snapshot().to_jsonl().replace(r#""version":7"#, r#""version":2"#);
+    let v2 = rec.snapshot().to_jsonl().replace(r#""version":8"#, r#""version":2"#);
     assert!(RunJournal::from_jsonl(&v2).is_ok());
 }
 
@@ -380,7 +380,7 @@ fn journal_with_lineage() -> RunJournal {
 fn journal_v4_lineage_lines_round_trip_deterministically() {
     let journal = journal_with_lineage();
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":8"#));
     let lineage_lines: Vec<&str> =
         text.lines().filter(|l| l.starts_with(r#"{"Lineage""#)).collect();
     assert_eq!(lineage_lines.len(), 2);
@@ -417,7 +417,7 @@ fn v3_readers_skip_v4_lineage_records() {
     // version and renaming both keys to ones no reader knows.
     let text = journal_with_lineage()
         .to_jsonl()
-        .replace(r#""version":7"#, r#""version":3"#)
+        .replace(r#""version":8"#, r#""version":3"#)
         .replace(r#"{"Lineage""#, r#"{"LineageV9""#)
         .replace(r#"{"Boundary""#, r#"{"BoundaryV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v3 strict reader must not error");
@@ -429,7 +429,7 @@ fn v3_readers_skip_v4_lineage_records() {
 
     // And a genuine v3 journal (no Lineage lines at all) still parses
     // strict under the v4 reader.
-    let v3 = journal_with_plans().to_jsonl().replace(r#""version":7"#, r#""version":3"#);
+    let v3 = journal_with_plans().to_jsonl().replace(r#""version":8"#, r#""version":3"#);
     assert!(RunJournal::from_jsonl(&v3).is_ok());
 }
 
@@ -478,7 +478,7 @@ fn journal_v6_mem_lines_round_trip_deterministically() {
     let journal = journal_with_mem();
     assert!(journal.has_mem());
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":8"#));
     let mem_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Mem""#)).collect();
     assert_eq!(mem_lines.len(), 2);
     // Mem lines come (span, kind, component)-sorted regardless of
@@ -508,7 +508,7 @@ fn v5_readers_skip_v6_mem_records() {
     // renaming the key to one no reader knows.
     let text = journal_with_mem()
         .to_jsonl()
-        .replace(r#""version":7"#, r#""version":5"#)
+        .replace(r#""version":8"#, r#""version":5"#)
         .replace(r#"{"Mem""#, r#"{"MemV9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v5 strict reader must not error");
     assert_eq!(strict.spans.len(), 2, "spans survive the skip");
@@ -518,7 +518,7 @@ fn v5_readers_skip_v6_mem_records() {
 
     // And a genuine v5 journal (no Mem lines at all) still parses
     // strict under the v6 reader.
-    let v5 = journal_with_lineage().to_jsonl().replace(r#""version":7"#, r#""version":5"#);
+    let v5 = journal_with_lineage().to_jsonl().replace(r#""version":8"#, r#""version":5"#);
     assert!(RunJournal::from_jsonl(&v5).is_ok());
 }
 
@@ -563,7 +563,7 @@ fn journal_v7_span_lines_carry_start_offsets() {
     let journal = journal_with_timeline();
     assert!(journal.has_timeline());
     let text = journal.to_jsonl();
-    assert!(text.lines().next().unwrap().contains(r#""version":7"#));
+    assert!(text.lines().next().unwrap().contains(r#""version":8"#));
     assert!(text
         .lines()
         .any(|l| l.starts_with(r#"{"Span""#) && l.contains(r#""sim_start_seconds":"#)));
@@ -592,7 +592,7 @@ fn v7_readers_default_missing_start_offsets_to_zero() {
             None => format!("{l}\n"),
         })
         .collect();
-    let v6 = v6.replace(r#""version":7"#, r#""version":6"#);
+    let v6 = v6.replace(r#""version":8"#, r#""version":6"#);
     let parsed = RunJournal::from_jsonl(&v6).expect("v6 journals must still parse");
     assert_eq!(parsed.spans.len(), 5);
     assert!(parsed.spans.iter().all(|s| s.sim_start_seconds == 0.0));
@@ -608,7 +608,7 @@ fn v6_readers_skip_v7_start_offsets() {
     // downgrading the Meta version — the spans must still parse.
     let text = journal_with_timeline()
         .to_jsonl()
-        .replace(r#""version":7"#, r#""version":6"#)
+        .replace(r#""version":8"#, r#""version":6"#)
         .replace(r#""sim_start_seconds""#, r#""sim_start_offset_v9""#);
     let strict = RunJournal::from_jsonl(&text).expect("v6 strict reader must not error");
     assert_eq!(strict.spans.len(), 5, "spans survive the unknown field");
@@ -719,4 +719,125 @@ fn summary_mentions_spans_and_counters() {
     assert!(text.contains("pipeline"));
     assert!(text.contains("prompts_issued"));
     assert!(text.contains("12"));
+}
+
+/// A journal carrying v8 `Event` records, as an `--events` stream
+/// file would: a recorded run's journal with the bus events of that
+/// run stitched in (the pipeline's own `--trace` journal never
+/// carries them — they stream to their own file).
+fn journal_with_events() -> RunJournal {
+    let rec = Recorder::new();
+    let root = rec.root_scope().span("pipeline");
+    root.scope().add(Counter::PromptsIssued, 3);
+    root.finish();
+    let mut journal = rec.snapshot();
+    let event = |seq: u64, kind: &str, name: &str, value: f64| TelemetryEvent {
+        seq,
+        kind: kind.to_owned(),
+        span: Some(0),
+        name: name.to_owned(),
+        detail: String::new(),
+        value,
+    };
+    journal.events = vec![
+        event(0, TelemetryEvent::SPAN_OPEN, "pipeline", 0.0),
+        event(1, TelemetryEvent::COUNTER, "prompts_issued", 3.0),
+        event(2, TelemetryEvent::SPAN_CLOSE, "pipeline", 0.01),
+    ];
+    journal
+}
+
+#[test]
+fn journal_v8_event_lines_round_trip_deterministically() {
+    let journal = journal_with_events();
+    assert!(journal.has_events());
+    let text = journal.to_jsonl();
+    assert!(text.lines().next().unwrap().contains(r#""version":8"#));
+    let event_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(r#"{"Event""#)).collect();
+    assert_eq!(event_lines.len(), 3);
+    // Event lines come seq-sorted, after any Mem lines and before the
+    // totals trailer.
+    assert!(event_lines[0].contains("span_open"));
+    assert!(event_lines[2].contains("span_close"));
+    let event_pos = text.find(r#"{"Event""#).unwrap();
+    let totals_pos = text.find(r#"{"Totals""#).unwrap();
+    assert!(event_pos < totals_pos);
+
+    // Round trip: parse → re-serialise is byte-identical.
+    let parsed = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(parsed.events.len(), 3);
+    assert!(parsed.has_events());
+    assert_eq!(parsed.to_jsonl(), text);
+    // The summary surfaces the stream.
+    assert!(parsed.summary().contains("telemetry events: 3 streamed"), "{}", parsed.summary());
+}
+
+#[test]
+fn v7_readers_skip_v8_event_records() {
+    // A v7 reader has no `Event` variant: its serde parse fails on an
+    // Event line and falls through to the unknown-record-key skip.
+    // Emulate that reader by downgrading the Meta version and
+    // renaming the key to one no reader knows.
+    let text = journal_with_events()
+        .to_jsonl()
+        .replace(r#""version":8"#, r#""version":7"#)
+        .replace(r#"{"Event""#, r#"{"EventV9""#);
+    let strict = RunJournal::from_jsonl(&text).expect("v7 strict reader must not error");
+    assert_eq!(strict.spans.len(), 1, "spans survive the skip");
+    assert!(strict.events.is_empty(), "event-shaped lines are skipped, not parsed");
+    assert_eq!(strict.unknown_lines, 3, "the skipped lines stay visible as a count");
+    let lossy = RunJournal::from_jsonl_lossy(&text).expect("v7 lossy reader must not error");
+    assert_eq!(lossy, strict);
+}
+
+#[test]
+fn v8_reader_parses_genuine_v7_journal() {
+    // A genuine v7 journal (no Event lines at all) still parses
+    // strict under the v8 reader, with an empty event stream.
+    let v7 = journal_with_mem().to_jsonl().replace(r#""version":8"#, r#""version":7"#);
+    let parsed = RunJournal::from_jsonl(&v7).expect("v7 journals must still parse");
+    assert!(!parsed.has_events());
+    assert_eq!(parsed.mems.len(), 2);
+}
+
+#[test]
+fn lossy_reader_tolerates_truncated_event_tail() {
+    let text = journal_with_events().to_jsonl();
+    // Chop the journal mid-way through its last Event line, as a
+    // crashed stream writer would — the Totals line after it is gone
+    // too.
+    let last_event = text.rfind(r#"{"Event""#).unwrap();
+    let line_end = text[last_event..].find('\n').unwrap() + last_event;
+    let truncated = &text[..line_end - 10];
+    assert!(RunJournal::from_jsonl(truncated).is_err());
+    let lossy = RunJournal::from_jsonl_lossy(truncated).unwrap();
+    assert_eq!(lossy.events.len(), 2, "only intact Event lines survive");
+    assert_eq!(lossy.corrupt_lines, 1);
+    assert_eq!(lossy.events[1].kind, "counter");
+}
+
+#[test]
+fn lossy_reader_skips_unknown_kinds_between_mem_and_totals() {
+    // Future record kinds may land exactly where Event lines live —
+    // between the Mem block and the Totals trailer. Both readers must
+    // skip them and keep everything around them.
+    let text = journal_with_mem().to_jsonl();
+    let totals_pos = text.find(r#"{"Totals""#).unwrap();
+    let interleaved = format!(
+        "{}{}\n{}\n{}",
+        &text[..totals_pos],
+        r#"{"Annotation":{"note":"future kind"}}"#,
+        r#"{"Watermark":{"seq":99}}"#,
+        &text[totals_pos..]
+    );
+    let strict = RunJournal::from_jsonl(&interleaved).expect("unknown kinds are not errors");
+    assert_eq!(strict.unknown_lines, 2);
+    assert_eq!(strict.mems.len(), 2, "Mem lines before the insertions survive");
+    // Everything around the insertions parses exactly as it would
+    // without them.
+    let clean = RunJournal::from_jsonl(&text).unwrap();
+    assert_eq!(strict.spans, clean.spans);
+    assert_eq!(strict.totals, clean.totals, "the Totals trailer after them survives");
+    let lossy = RunJournal::from_jsonl_lossy(&interleaved).unwrap();
+    assert_eq!(lossy, strict);
 }

@@ -11,11 +11,13 @@
 //!              [--seed 42] [--workers 4] [--json report.json]
 //!              [--rules-out rules.json] [--trace run.jsonl] [--trace-summary]
 //!              [--deterministic] [--fault-rate F] [--resume run.jsonl]
+//!              [--progress] [--events ev.jsonl] [--metrics-out m.prom]
+//!              [--metrics-listen 127.0.0.1:9090]
 //! grm audit    --graph g.json
 //! grm check    --graph g.json --rules rules.json
 //! grm diff     --before a.json --after b.json --rules rules.json
 //! grm trace    summary|diff|flame|check|plans|lineage|faults|mem
-//!              |timeline|critical-path …
+//!              |timeline|critical-path|tail|prom …
 //! grm explain  rule-0 run.jsonl
 //! ```
 //!
@@ -91,6 +93,10 @@ const USAGE: &str = "usage:
                [--fault-rate F] [--fault-seed N] [--max-retries N]
                [--breaker-threshold N] [--kill-after N] [--resume FILE.jsonl]
                [--no-optimizer] [--plan-cache-size N]
+               [--progress]                  # live in-place progress on stderr
+               [--events FILE.jsonl]         # stream v8 Event records as they happen
+               [--metrics-out FILE.prom] [--metrics-every N]   # Prometheus text snapshots
+               [--metrics-listen ADDR]       # serve /metrics over HTTP (e.g. 127.0.0.1:9090)
   grm audit    --graph FILE [--limit N]
   grm check    --graph FILE --rules FILE [--limit N] [--trace FILE.jsonl]
   grm diff     --before FILE --after FILE --rules FILE [--threshold PTS]
@@ -104,6 +110,8 @@ const USAGE: &str = "usage:
   grm trace    mem FILE.jsonl [--top N] [--json] [--check MEM.json [--tolerance FRACTION]]
   grm trace    timeline FILE.jsonl [--top N] [--json] [--check TIMELINE.json [--tolerance FRACTION]]
   grm trace    critical-path FILE.jsonl [--top N] [--json]   # top-k bounding chains
+  grm trace    tail FILE.jsonl [--no-follow]     # follow an --events stream live
+  grm trace    prom FILE.prom [--events FILE.jsonl]   # lint a metrics snapshot
   grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
@@ -229,11 +237,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_mine(args: &[String]) -> Result<(), String> {
-    use graph_rule_mining::obs::{Recorder, RunJournal, SlowQueryPolicy};
+    use graph_rule_mining::obs::{
+        event_stream_sink, MetricsHub, Recorder, RunJournal, SlowQueryPolicy,
+    };
     use graph_rule_mining::pipeline::{Resilience, ResumeState, RunStatus};
     use graph_rule_mining::resil::ChaosConfig;
+    use std::sync::Arc;
 
-    let flags = parse_flags(args, &["trace-summary", "deterministic", "no-optimizer"])?;
+    let flags = parse_flags(args, &["trace-summary", "deterministic", "no-optimizer", "progress"])?;
     let g = load_graph(&flags)?;
     let model = match flags.named.get("model").map(String::as_str) {
         None | Some("llama3") => ModelKind::Llama3,
@@ -382,6 +393,48 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         }
         recorder.set_slow_query_policy(slow_policy);
     }
+
+    // Telemetry bus: attach the requested sinks before the run starts.
+    // The journal stays byte-identical either way — it is built from
+    // recorder state, never from the (lossy, bounded) event stream.
+    let events_path = flags.named.get("events").cloned();
+    let mut events_handle = None;
+    if let Some(path) = &events_path {
+        let (sink, handle) = event_stream_sink(path, 65_536)
+            .map_err(|e| format!("creating event stream {path}: {e}"))?;
+        recorder.attach_sink(sink);
+        events_handle = Some(handle);
+    }
+    let mut progress_handle = None;
+    if flags.switches.iter().any(|s| s == "progress") {
+        let (sink, handle) = spawn_progress();
+        recorder.attach_sink(sink);
+        progress_handle = Some(handle);
+    }
+    let metrics_out = flags.named.get("metrics-out").cloned();
+    let metrics_listen = flags.named.get("metrics-listen").cloned();
+    let metrics_every: u64 = parse_or(&flags, "metrics-every", 256)?;
+    if metrics_every == 0 {
+        return Err("--metrics-every must be at least 1".into());
+    }
+    let mut metrics_hub = None;
+    let mut metrics_server = None;
+    if metrics_out.is_some() || metrics_listen.is_some() {
+        let hub = Arc::new(MetricsHub::new(
+            metrics_out.clone().map(std::path::PathBuf::from),
+            metrics_every,
+            recorder.dropped_handle(),
+        ));
+        if let Some(addr) = &metrics_listen {
+            let server =
+                hub.serve(addr).map_err(|e| format!("binding metrics listener {addr}: {e}"))?;
+            eprintln!("metrics listener on http://{}/metrics", server.addr);
+            metrics_server = Some(server);
+        }
+        recorder.attach_sink(hub.clone());
+        metrics_hub = Some(hub);
+    }
+
     let resil = Resilience { resume: resume_state, kill_after, ..Resilience::chaos(chaos) };
 
     let pipeline = MiningPipeline::new(config);
@@ -426,7 +479,228 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             print!("{}", journal.summary());
         }
     }
+
+    // Tear the bus down after the journal is written so the journaled
+    // drop count covers the whole run. finish_sinks emits run_end,
+    // flushes every sink and drops them, which lets the writer and
+    // renderer threads observe channel disconnect and exit.
+    recorder.finish_sinks();
+    if let Some(handle) = progress_handle {
+        handle.finish();
+    }
+    if let Some(handle) = events_handle {
+        let path = events_path.as_deref().unwrap_or("?");
+        let written = handle.finish().map_err(|e| format!("writing event stream {path}: {e}"))?;
+        eprintln!("event stream ({written} events) written to {path}");
+    }
+    if let Some(server) = metrics_server {
+        server.stop();
+    }
+    if let Some(hub) = metrics_hub {
+        drop(hub);
+        if let Some(path) = &metrics_out {
+            eprintln!("metrics snapshot written to {path}");
+        }
+    }
+    let dropped = recorder.events_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} telemetry event(s) dropped by saturated sinks \
+             (journaled as telemetry_events_dropped)"
+        );
+    }
     Ok(())
+}
+
+/// Live `--progress` state, folded from the event stream. Stage spans
+/// are the direct children of the root span; worker lanes are the
+/// `worker-*` spans beneath the mine stage.
+#[derive(Default)]
+struct ProgressState {
+    root: Option<u64>,
+    stages: Vec<(String, bool)>,
+    workers: Vec<(String, bool)>,
+    counters: std::collections::BTreeMap<String, u64>,
+    faults: u64,
+    recovered: u64,
+    abandoned: u64,
+    degraded: u64,
+    checkpoints: u64,
+    events: u64,
+    done: bool,
+}
+
+impl ProgressState {
+    fn apply(&mut self, ev: &graph_rule_mining::obs::TelemetryEvent) {
+        use graph_rule_mining::obs::TelemetryEvent as E;
+        self.events += 1;
+        match ev.kind.as_str() {
+            E::SPAN_OPEN => {
+                if let Some(id) = ev.span {
+                    if ev.detail.is_empty() {
+                        if self.root.is_none() {
+                            self.root = Some(id);
+                        }
+                    } else if Some(ev.detail.as_str())
+                        == self.root.map(|r| r.to_string()).as_deref()
+                    {
+                        self.stages.push((ev.name.clone(), false));
+                    }
+                    if ev.name.starts_with("worker-") {
+                        self.workers.push((ev.name.clone(), true));
+                    }
+                }
+            }
+            E::SPAN_CLOSE => {
+                if let Some((_, fin)) =
+                    self.stages.iter_mut().find(|(n, fin)| n == &ev.name && !*fin)
+                {
+                    *fin = true;
+                }
+                if let Some((_, busy)) =
+                    self.workers.iter_mut().find(|(n, busy)| n == &ev.name && *busy)
+                {
+                    *busy = false;
+                }
+            }
+            E::COUNTER => {
+                *self.counters.entry(ev.name.clone()).or_insert(0) += ev.value as u64;
+            }
+            E::FAULT => self.faults += 1,
+            E::RETRY => {
+                if ev.detail == "recovered" {
+                    self.recovered += 1;
+                } else {
+                    self.abandoned += 1;
+                }
+            }
+            E::DEGRADED => self.degraded += 1,
+            E::CHECKPOINT => self.checkpoints += 1,
+            E::RUN_END => self.done = true,
+            _ => {}
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn lines(&self) -> Vec<String> {
+        let stages = if self.stages.is_empty() {
+            "(starting)".to_owned()
+        } else {
+            self.stages
+                .iter()
+                .map(|(n, fin)| format!("{n}{}", if *fin { "\u{2713}" } else { "\u{2026}" }))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut lines = vec![format!("stages   {stages}")];
+        if !self.workers.is_empty() {
+            let busy = self.workers.iter().filter(|(_, b)| *b).count();
+            let lanes: String =
+                self.workers.iter().map(|(_, b)| if *b { '#' } else { '.' }).collect();
+            lines.push(format!("workers  {busy}/{} busy [{lanes}]", self.workers.len()));
+        }
+        lines.push(format!(
+            "mined    windows {} \u{b7} prompts {} \u{b7} rules {} mined / {} merged / {} translated",
+            self.counter("windows_produced"),
+            self.counter("prompts_issued"),
+            self.counter("rules_mined"),
+            self.counter("rules_deduped"),
+            self.counter("rules_translated"),
+        ));
+        lines.push(format!(
+            "resil    faults {} \u{b7} retried {} ({} abandoned) \u{b7} degraded {} \u{b7} breaker trips {} \u{b7} checkpoints {}",
+            self.faults,
+            self.recovered,
+            self.abandoned,
+            self.degraded,
+            self.counter("breaker_trips"),
+            self.checkpoints,
+        ));
+        let alloc = graph_rule_mining::obs::TrackingAlloc::snapshot();
+        lines.push(format!(
+            "bus      events {} \u{b7} live alloc peak {:.1} MiB",
+            self.events,
+            alloc.peak_bytes as f64 / (1024.0 * 1024.0)
+        ));
+        lines
+    }
+}
+
+struct ProgressHandle {
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressHandle {
+    fn finish(mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Spawns the live progress renderer: a bounded channel sink plus a
+/// thread redrawing a few stderr lines in place (when stderr is a
+/// terminal) or logging a compact line every couple of seconds (when
+/// it is not). Never blocks the pipeline — a saturated channel drops.
+fn spawn_progress() -> (std::sync::Arc<graph_rule_mining::obs::ChannelSink>, ProgressHandle) {
+    use std::io::IsTerminal;
+    use std::sync::mpsc::RecvTimeoutError;
+    use std::time::{Duration, Instant};
+
+    let (sink, rx) = graph_rule_mining::obs::ChannelSink::bounded("progress", 65_536);
+    let thread = std::thread::spawn(move || {
+        let tty = std::io::stderr().is_terminal();
+        let interval = if tty { Duration::from_millis(100) } else { Duration::from_secs(2) };
+        let mut state = ProgressState::default();
+        let mut rendered = 0usize;
+        let mut last = Instant::now();
+        loop {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(ev) => {
+                    state.apply(&ev);
+                    while let Ok(ev) = rx.try_recv() {
+                        state.apply(&ev);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if state.done {
+                break;
+            }
+            if last.elapsed() >= interval {
+                render_progress(&state, tty, &mut rendered);
+                last = Instant::now();
+            }
+        }
+        render_progress(&state, tty, &mut rendered);
+    });
+    (sink, ProgressHandle { thread: Some(thread) })
+}
+
+fn render_progress(state: &ProgressState, tty: bool, rendered: &mut usize) {
+    use std::io::Write;
+    let lines = state.lines();
+    let mut err = std::io::stderr().lock();
+    if tty {
+        let mut out = String::new();
+        if *rendered > 0 {
+            out.push_str(&format!("\x1b[{}A", *rendered));
+        }
+        for line in &lines {
+            out.push_str("\x1b[2K");
+            out.push_str(line);
+            out.push('\n');
+        }
+        *rendered = lines.len();
+        let _ = err.write_all(out.as_bytes());
+    } else {
+        let _ = writeln!(err, "progress: {}", lines.join(" | "));
+    }
+    let _ = err.flush();
 }
 
 /// Prints a completed run's report (and writes `--json`/`--rules-out`
@@ -669,7 +943,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let Some((verb, rest)) = args.split_first() else {
         return Err(format!(
             "trace needs a verb \
-             (summary|diff|flame|check|plans|lineage|faults|mem|timeline|critical-path)\n{USAGE}"
+             (summary|diff|flame|check|plans|lineage|faults|mem|timeline|critical-path|tail|prom)\n{USAGE}"
         ));
     };
     let load = |path: &str| -> Result<RunJournal, String> {
@@ -990,8 +1264,124 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 Err(format!("{} plan regression(s) against {baseline_path}", violations.len()))
             }
         }
+        "tail" => {
+            let flags = parse_flags(rest, &["no-follow"])?;
+            let path = flags.positional.first().ok_or("trace tail needs an events FILE.jsonl")?;
+            let follow = !flags.switches.iter().any(|s| s == "no-follow");
+            tail_events(path, follow)
+        }
+        "prom" => {
+            let flags = parse_flags(rest, &[])?;
+            let path = flags.positional.first().ok_or("trace prom needs a metrics FILE.prom")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let samples = graph_rule_mining::obs::parse_exposition(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let counters = samples.iter().filter(|s| s.kind == "counter").count();
+            println!(
+                "exposition OK: {} samples ({} counters, {} gauges)",
+                samples.len(),
+                counters,
+                samples.len() - counters
+            );
+            let Some(events_path) = flags.named.get("events") else {
+                return Ok(());
+            };
+            let journal = load(events_path)?;
+            if !journal.has_events() {
+                return Err(format!(
+                    "{events_path} has no Event records — produce it with \
+                     `grm mine --events` (journal schema v8+)"
+                ));
+            }
+            let violations =
+                graph_rule_mining::obs::check_exposition_against_events(&samples, &journal.events);
+            if violations.is_empty() {
+                println!(
+                    "counter cross-check passed: {path} is monotone and consistent with \
+                     {events_path} ({} events)",
+                    journal.events.len()
+                );
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION: {v}");
+                }
+                Err(format!("{} exposition violation(s) against {events_path}", violations.len()))
+            }
+        }
         other => Err(format!("unknown trace verb `{other}`\n{USAGE}")),
     }
+}
+
+/// `grm trace tail`: follows an `--events` stream file (possibly still
+/// being written by another process), printing one line per telemetry
+/// event until the `run_end` event arrives — or until EOF when
+/// `--no-follow` is passed. Torn trailing lines are retried on the
+/// next poll, never mis-parsed.
+fn tail_events(path: &str, follow: bool) -> Result<(), String> {
+    use graph_rule_mining::obs::{JournalRecord, TelemetryEvent};
+    use std::io::{Read, Seek, SeekFrom};
+
+    let mut offset: u64 = 0;
+    let mut partial = String::new();
+    let mut shown: u64 = 0;
+    let mut done = false;
+    loop {
+        let mut file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        file.seek(SeekFrom::Start(offset)).map_err(|e| format!("seeking {path}: {e}"))?;
+        let mut chunk = String::new();
+        file.read_to_string(&mut chunk).map_err(|e| format!("reading {path}: {e}"))?;
+        offset += chunk.len() as u64;
+        partial.push_str(&chunk);
+        while let Some(nl) = partial.find('\n') {
+            let line: String = partial.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<JournalRecord>(line) {
+                Ok(JournalRecord::Meta { version, .. }) => {
+                    println!("# events stream (journal v{version})");
+                }
+                Ok(JournalRecord::Event(ev)) => {
+                    println!("{}", render_event(&ev));
+                    shown += 1;
+                    if ev.kind == TelemetryEvent::RUN_END {
+                        done = true;
+                    }
+                }
+                // Other record kinds (a full journal) and foreign
+                // lines are not part of the stream — skip them.
+                Ok(_) | Err(_) => {}
+            }
+            if done {
+                break;
+            }
+        }
+        if done {
+            break;
+        }
+        if chunk.is_empty() {
+            if !follow {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    }
+    eprintln!("({shown} events)");
+    Ok(())
+}
+
+fn render_event(ev: &graph_rule_mining::obs::TelemetryEvent) -> String {
+    let span = ev.span.map(|s| format!("#{s}")).unwrap_or_else(|| "-".into());
+    let mut out = format!("{:>7}  {:<10} {:<5} {}", ev.seq, ev.kind, span, ev.name);
+    if !ev.detail.is_empty() {
+        out.push_str(&format!(" [{}]", ev.detail));
+    }
+    if ev.value != 0.0 {
+        out.push_str(&format!(" = {}", ev.value));
+    }
+    out
 }
 
 /// `grm explain rule-<i> FILE.jsonl`: the full ancestry chain of one

@@ -74,6 +74,15 @@
 //!   into the snapshot instead (this is how `BENCH_events.json` is
 //!   regenerated — the fault plan and recorder are deterministic, so
 //!   the check is exact);
+//! * `--serve-gate FILE.json` — run the deterministic serving
+//!   scenario (`grm_serve::baseline_harness`: multi-tenant traffic,
+//!   overload shedding, a breaker trip, and a kill/resume cycle) and
+//!   compare its job-count/shed/trip/resume digest exactly against
+//!   the committed `ServeBaseline` snapshot (the CI serve gate);
+//! * `--serve-baseline FILE.json` — same scenario, but freeze the
+//!   digest into the snapshot instead (this is how `BENCH_serve.json`
+//!   is regenerated — the harness runs on a logical clock, so the
+//!   check is exact);
 //! * `--check-baselines` — scan the working directory's
 //!   `BENCH_*.json` files and fail unless every one carries the
 //!   current journal schema version (the CI staleness gate, formerly
@@ -119,6 +128,8 @@ struct Args {
     timeline_baseline: Option<String>,
     events_parity: Option<String>,
     events_baseline: Option<String>,
+    serve_baseline: Option<String>,
+    serve_gate: Option<String>,
     check_baselines: bool,
     workers: usize,
 }
@@ -145,6 +156,8 @@ fn parse_args() -> Args {
         timeline_baseline: None,
         events_parity: None,
         events_baseline: None,
+        serve_baseline: None,
+        serve_gate: None,
         check_baselines: false,
         workers: 4,
     };
@@ -232,6 +245,14 @@ fn parse_args() -> Args {
                 any = true;
                 args.events_baseline =
                     Some(it.next().expect("--events-baseline needs a file path"));
+            }
+            "--serve-baseline" => {
+                any = true;
+                args.serve_baseline = Some(it.next().expect("--serve-baseline needs a file path"));
+            }
+            "--serve-gate" => {
+                any = true;
+                args.serve_gate = Some(it.next().expect("--serve-gate needs a file path"));
             }
             "--check-baselines" => {
                 any = true;
@@ -374,6 +395,9 @@ fn main() {
     if args.events_parity.is_some() || args.events_baseline.is_some() {
         events_run(&args);
     }
+    if args.serve_baseline.is_some() || args.serve_gate.is_some() {
+        serve_run(&args);
+    }
     if args.check_baselines {
         check_baselines();
     }
@@ -468,6 +492,91 @@ fn events_run(args: &Args) {
         let violations = baseline.check(&counts);
         if violations.is_empty() {
             println!("events gate passed: per-kind counts match {path} exactly");
+        } else {
+            for v in &violations {
+                eprintln!("REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--serve-baseline` / `--serve-gate`: run the deterministic
+/// serving scenario and freeze or check its digest. The harness
+/// exercises every failure gate — queue-full and rate-limit
+/// shedding, a tenant breaker trip with its 2N-refusal cooldown, a
+/// deadline cancellation, and a mid-mine kill resumed across a
+/// simulated restart — all on a logical clock, so the resulting
+/// `ServeBaseline` is exactly reproducible.
+fn serve_run(args: &Args) {
+    use grm_serve::{baseline_harness, ServeBaseline};
+
+    let spool_root = std::env::temp_dir().join(format!("grm-serve-repro-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&spool_root) {
+        eprintln!("creating {}: {e}", spool_root.display());
+        std::process::exit(1);
+    }
+    let observed = match baseline_harness(args.scale, spool_root.clone()) {
+        Ok(observed) => observed,
+        Err(e) => {
+            eprintln!("serve harness failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_dir_all(&spool_root);
+    println!("== serve scenario: WWC2019 scale {}, four tenants ==", args.scale);
+    println!(
+        "  {} submitted, {} accepted, {} completed / {} failed / {} cancelled / {} interrupted",
+        observed.jobs_submitted,
+        observed.jobs_accepted,
+        observed.jobs_completed,
+        observed.jobs_failed,
+        observed.jobs_cancelled,
+        observed.jobs_interrupted
+    );
+    println!(
+        "  shed {} queue-full + {} rate-limited, {} breaker rejection(s) across {} trip(s)",
+        observed.shed_queue_full,
+        observed.shed_rate_limited,
+        observed.rejected_breaker_open,
+        observed.breaker_trips
+    );
+    println!(
+        "  {} job(s) resumed after the simulated crash, {} rule(s) mined, queue peaked at {}",
+        observed.jobs_resumed, observed.rules_mined, observed.queue_depth_peak
+    );
+    if let Some(path) = &args.serve_baseline {
+        let json = match serde_json::to_string_pretty(&observed) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serializing serve baseline: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(serve-baseline snapshot written to {path})");
+    }
+    if let Some(path) = &args.serve_gate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline: ServeBaseline = match serde_json::from_str(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("parsing {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let violations = baseline.check(&observed);
+        if violations.is_empty() {
+            println!("serve gate passed: digest matches {path} exactly");
         } else {
             for v in &violations {
                 eprintln!("REGRESSION: {v}");

@@ -1073,6 +1073,38 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_checkpoint_payload_resumes_to_byte_identical_journal() {
+        // Adversarial journal: flip bytes *inside* a Checkpoint
+        // payload of a killed run (not just a truncated tail). Lossy
+        // recovery must drop that unit — re-running it live — and the
+        // resumed journal must still byte-compare with an
+        // uninterrupted run's.
+        let g = small_graph();
+        let pipe = MiningPipeline::new(sw_config(ModelKind::Llama3, PromptStyle::ZeroShot));
+        let full = Recorder::deterministic();
+        pipe.run_resilient(&g, 1, &full, &chaos(0.3)).report().expect("completes");
+
+        let killed = Recorder::deterministic();
+        let resil = Resilience { kill_after: Some(2), ..chaos(0.3) };
+        let RunStatus::Killed { .. } = pipe.run_resilient(&g, 1, &killed, &resil) else {
+            panic!("expected a killed run");
+        };
+        let mut partial = killed.snapshot();
+        assert!(partial.checkpoints.len() >= 2, "kill-after-2 leaves at least two checkpoints");
+        partial.checkpoints[0].payload = "{\"garbage\": tru".into();
+
+        let (_, state) = ResumeState::from_journal(&partial).expect("lossy recovery never fails");
+        assert_eq!(state.dropped.len(), 1, "{:?}", state.dropped);
+        let replayable = state.units();
+        assert_eq!(replayable, partial.checkpoints.len() - 1, "one unit dropped for re-run");
+        let resumed_rec = Recorder::deterministic();
+        pipe.run_resilient(&g, 1, &resumed_rec, &Resilience { resume: Some(state), ..chaos(0.3) })
+            .report()
+            .expect("resumed run completes despite the corrupt checkpoint");
+        assert_eq!(full.snapshot().to_jsonl(), resumed_rec.snapshot().to_jsonl());
+    }
+
+    #[test]
     fn parallel_chaos_matches_serial_rule_set() {
         let g = small_graph();
         let pipe = MiningPipeline::new(sw_config(ModelKind::Mixtral, PromptStyle::ZeroShot));

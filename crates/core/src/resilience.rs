@@ -74,6 +74,12 @@ pub struct ResumeState {
     pub mined: HashMap<u64, MiningResponse>,
     /// Checkpointed translation responses by rule index.
     pub translated: HashMap<u64, TranslationResponse>,
+    /// Human-readable notes about checkpoints dropped during lossy
+    /// recovery (corrupt payloads, unknown stages). Each dropped
+    /// unit is simply absent from the maps above, so the pipeline
+    /// re-runs it — deterministically converging to the same journal
+    /// an uninterrupted run would have written.
+    pub dropped: Vec<String>,
 }
 
 impl ResumeState {
@@ -85,9 +91,12 @@ impl ResumeState {
     /// Extracts the chaos identity and every checkpoint from a
     /// journal — typically one cut short by a crash. The `Chaos`
     /// record is written right after `Meta`, so it survives any
-    /// truncation that leaves the journal non-empty; a checkpoint
-    /// whose payload no longer parses is an error (the journal was
-    /// corrupted beyond losing its tail).
+    /// truncation that leaves the journal non-empty. Recovery is
+    /// lossy: a checkpoint whose payload no longer parses (corrupt
+    /// bytes *inside* a record, not just a torn tail) is dropped
+    /// with a note in [`ResumeState::dropped`] rather than failing
+    /// the whole resume — the pipeline simply re-runs that unit and
+    /// still converges to a byte-identical journal.
     pub fn from_journal(journal: &RunJournal) -> Result<(ChaosRecord, ResumeState), String> {
         let chaos = journal.chaos.clone().ok_or_else(|| {
             "journal has no Chaos record — only chaos runs (--fault-rate > 0) checkpoint work \
@@ -97,20 +106,25 @@ impl ResumeState {
         let mut state = ResumeState::default();
         for cp in &journal.checkpoints {
             match cp.stage.as_str() {
-                "mine" => {
-                    let resp: MiningResponse = serde_json::from_str(&cp.payload).map_err(|e| {
-                        format!("corrupt mine checkpoint for unit {}: {e}", cp.unit)
-                    })?;
-                    state.mined.insert(cp.unit, resp);
-                }
-                "translate" => {
-                    let resp: TranslationResponse =
-                        serde_json::from_str(&cp.payload).map_err(|e| {
-                            format!("corrupt translate checkpoint for unit {}: {e}", cp.unit)
-                        })?;
-                    state.translated.insert(cp.unit, resp);
-                }
-                other => return Err(format!("unknown checkpoint stage {other:?}")),
+                "mine" => match serde_json::from_str::<MiningResponse>(&cp.payload) {
+                    Ok(resp) => {
+                        state.mined.insert(cp.unit, resp);
+                    }
+                    Err(e) => state
+                        .dropped
+                        .push(format!("corrupt mine checkpoint for unit {}: {e}", cp.unit)),
+                },
+                "translate" => match serde_json::from_str::<TranslationResponse>(&cp.payload) {
+                    Ok(resp) => {
+                        state.translated.insert(cp.unit, resp);
+                    }
+                    Err(e) => state
+                        .dropped
+                        .push(format!("corrupt translate checkpoint for unit {}: {e}", cp.unit)),
+                },
+                other => state
+                    .dropped
+                    .push(format!("unknown checkpoint stage {other:?} for unit {}", cp.unit)),
             }
         }
         Ok((chaos, state))
@@ -163,18 +177,52 @@ mod tests {
     }
 
     #[test]
-    fn resume_rejects_corrupt_checkpoint_payloads() {
+    fn resume_drops_corrupt_checkpoint_payloads_lossily() {
+        // Corrupt bytes *inside* a Checkpoint payload (the line still
+        // parses as a record, the embedded response does not) must
+        // not fail the resume: the unit is dropped so the pipeline
+        // re-runs it.
+        let journal = RunJournal {
+            chaos: Some(ChaosRecord::default()),
+            checkpoints: vec![
+                grm_obs::CheckpointRecord {
+                    span: None,
+                    stage: "mine".into(),
+                    unit: 3,
+                    payload: "{not json".into(),
+                },
+                grm_obs::CheckpointRecord {
+                    span: None,
+                    stage: "translate".into(),
+                    unit: 1,
+                    payload: "\"wrong shape\"".into(),
+                },
+            ],
+            ..RunJournal::default()
+        };
+        let (_, state) = ResumeState::from_journal(&journal).expect("lossy recovery never fails");
+        assert!(state.mined.is_empty(), "the corrupt mine unit must be re-run, not replayed");
+        assert!(state.translated.is_empty());
+        assert_eq!(state.dropped.len(), 2, "{:?}", state.dropped);
+        assert!(state.dropped[0].contains("corrupt mine checkpoint for unit 3"));
+        assert!(state.dropped[1].contains("corrupt translate checkpoint for unit 1"));
+    }
+
+    #[test]
+    fn resume_drops_unknown_checkpoint_stages_lossily() {
         let journal = RunJournal {
             chaos: Some(ChaosRecord::default()),
             checkpoints: vec![grm_obs::CheckpointRecord {
                 span: None,
-                stage: "mine".into(),
-                unit: 3,
-                payload: "{not json".into(),
+                stage: "frobnicate".into(),
+                unit: 0,
+                payload: "{}".into(),
             }],
             ..RunJournal::default()
         };
-        let err = ResumeState::from_journal(&journal).unwrap_err();
-        assert!(err.contains("corrupt mine checkpoint for unit 3"), "{err}");
+        let (_, state) = ResumeState::from_journal(&journal).expect("lossy recovery never fails");
+        assert_eq!(state.units(), 0);
+        assert_eq!(state.dropped.len(), 1);
+        assert!(state.dropped[0].contains("unknown checkpoint stage"), "{:?}", state.dropped);
     }
 }

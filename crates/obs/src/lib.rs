@@ -95,6 +95,7 @@ mod mem;
 mod plan;
 mod recorder;
 mod resilience;
+mod tail;
 mod timeline;
 
 pub use analytics::{
@@ -104,21 +105,22 @@ pub use analytics::{
     PlanCacheReport, PlanOpAgg, PlanReport, PlanScopeAgg, StageDiffRow, TraceBaseline, TraceDiff,
 };
 pub use bus::{
-    check_exposition_against_events, event_stream_sink, parse_exposition, prometheus_exposition,
-    ChannelSink, CountingSink, EventSink, EventStreamHandle, EventsBaseline, ExpositionSample,
-    MetricsHub, MetricsServerHandle, TelemetryEvent,
+    check_exposition_against_events, event_stream_sink, metrics_http_response, parse_exposition,
+    prometheus_exposition, ChannelSink, CountingSink, EventSink, EventStreamHandle, EventsBaseline,
+    ExpositionSample, MetricsHub, MetricsServerHandle, TelemetryEvent,
 };
 pub use counter::{Counter, Gauge, Histo};
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use journal::{
     HistoRecord, HistogramSummary, JournalRecord, JournalSummary, LineageDigest, MemDigest,
-    PlanDigest, ResilienceDigest, RunJournal, SpanRecord, StageTiming,
+    PlanDigest, ResilienceDigest, RunJournal, SpanRecord, StageTiming, JOURNAL_VERSION,
 };
 pub use lineage::{BoundaryRecord, LineageRecord, OriginRef};
 pub use mem::{AllocSnapshot, FootprintRow, MemRecord, TrackingAlloc};
 pub use plan::{PlanOpRecord, PlanRecord, SlowQueryPolicy};
 pub use recorder::{Recorder, Scope, Span};
 pub use resilience::{ChaosRecord, CheckpointRecord, DegradedRecord, FaultRecord, RetryRecord};
+pub use tail::{TailFollower, TailPoll};
 pub use timeline::{
     BaselineLane, CriticalPathChain, CriticalPathReport, CriticalPathStep, StageSegment,
     TimelineBaseline, TimelineReport, WorkerLane,

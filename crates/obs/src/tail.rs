@@ -1,0 +1,155 @@
+//! Incremental follower for JSONL stream files — the engine behind
+//! `grm trace tail`.
+//!
+//! A [`TailFollower`] keeps a byte offset into a file another process
+//! is still appending to, returning only complete lines on each poll
+//! (a torn trailing line is buffered and retried next poll, never
+//! mis-parsed). Unlike a naive seek-and-read loop it detects
+//! truncation and rotation: when the file is suddenly *smaller* than
+//! the saved offset, the follower resets to byte 0, discards its
+//! partial-line buffer, and re-follows from the top — a shrunk file
+//! can never leave it waiting forever past EOF.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// What one [`TailFollower::poll`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailPoll {
+    /// Complete lines read since the previous poll, newline-stripped.
+    pub lines: Vec<String>,
+    /// True when this poll found the file smaller than the saved
+    /// offset and restarted from byte 0 (truncation or rotation).
+    pub truncated: bool,
+}
+
+/// Byte-offset follower over a growing (or rotated) line stream.
+#[derive(Debug, Default)]
+pub struct TailFollower {
+    offset: u64,
+    partial: String,
+    truncations: u64,
+}
+
+impl TailFollower {
+    /// A follower positioned at the start of the stream.
+    pub fn new() -> TailFollower {
+        TailFollower::default()
+    }
+
+    /// Times the follower has detected truncation/rotation and reset.
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+
+    /// Reads whatever was appended to `path` since the last poll and
+    /// returns the complete lines. Detects a shrunk file (size below
+    /// the saved offset) as truncation/rotation: the offset resets to
+    /// 0, the partial-line buffer is discarded, and the whole file is
+    /// re-read as fresh content.
+    pub fn poll(&mut self, path: &Path) -> io::Result<TailPoll> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let truncated = len < self.offset;
+        if truncated {
+            self.offset = 0;
+            self.partial.clear();
+            self.truncations += 1;
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut chunk = String::new();
+        file.read_to_string(&mut chunk)?;
+        self.offset += chunk.len() as u64;
+        self.partial.push_str(&chunk);
+        let mut lines = Vec::new();
+        while let Some(nl) = self.partial.find('\n') {
+            let line: String = self.partial.drain(..=nl).collect();
+            let line = line.trim();
+            if !line.is_empty() {
+                lines.push(line.to_owned());
+            }
+        }
+        Ok(TailPoll { lines, truncated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("grm-tail-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn returns_only_complete_lines_and_finishes_torn_ones() {
+        let path = temp_path("torn");
+        fs::write(&path, "alpha\nbet").unwrap();
+        let mut f = TailFollower::new();
+        let poll = f.poll(&path).unwrap();
+        assert_eq!(poll.lines, vec!["alpha".to_owned()]);
+        assert!(!poll.truncated);
+        // Finish the torn line and add another.
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "a\ngamma\n").unwrap();
+        drop(file);
+        let poll = f.poll(&path).unwrap();
+        assert_eq!(poll.lines, vec!["beta".to_owned(), "gamma".to_owned()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_truncation_and_refollows_from_byte_zero() {
+        let path = temp_path("trunc");
+        fs::write(&path, "one\ntwo\nthree\n").unwrap();
+        let mut f = TailFollower::new();
+        assert_eq!(f.poll(&path).unwrap().lines.len(), 3);
+        // Rotate: the file shrinks below the saved offset. A naive
+        // offset follower would seek past EOF and wait forever.
+        fs::write(&path, "fresh\n").unwrap();
+        let poll = f.poll(&path).unwrap();
+        assert!(poll.truncated, "shrunk file must be reported as truncation");
+        assert_eq!(poll.lines, vec!["fresh".to_owned()]);
+        assert_eq!(f.truncations(), 1);
+        // Appends after the rotation follow normally again.
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(file, "more").unwrap();
+        drop(file);
+        assert_eq!(f.poll(&path).unwrap().lines, vec!["more".to_owned()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_discards_the_partial_buffer() {
+        let path = temp_path("trunc-partial");
+        fs::write(&path, "complete\npart").unwrap();
+        let mut f = TailFollower::new();
+        assert_eq!(f.poll(&path).unwrap().lines, vec!["complete".to_owned()]);
+        // Rotate mid-partial: the buffered "part" belongs to the old
+        // file and must not be glued onto the new content.
+        fs::write(&path, "new\n").unwrap();
+        let poll = f.poll(&path).unwrap();
+        assert!(poll.truncated);
+        assert_eq!(poll.lines, vec!["new".to_owned()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn same_size_rewrite_is_not_flagged() {
+        // A file rewritten to the exact same length is indistinguishable
+        // from no change by size alone — the follower just sees EOF.
+        let path = temp_path("same");
+        fs::write(&path, "aa\n").unwrap();
+        let mut f = TailFollower::new();
+        assert_eq!(f.poll(&path).unwrap().lines.len(), 1);
+        let poll = f.poll(&path).unwrap();
+        assert!(poll.lines.is_empty());
+        assert!(!poll.truncated);
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -223,6 +223,123 @@ impl UnitPlan {
     }
 }
 
+/// The circuit-breaker state machine behind [`FaultPlan::schedule`],
+/// exposed standalone so the serve layer's per-tenant governors run
+/// the exact same trip/cooldown/half-open schedule as the stage
+/// folds: after `threshold` consecutive failures the breaker opens
+/// and the next `2 * threshold` admissions are refused, then it
+/// half-opens and the next admission is tried normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Breaker {
+    threshold: u32,
+    consecutive: u32,
+    open_remaining: u32,
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// failures.
+    pub fn new(threshold: u32) -> Breaker {
+        Breaker { threshold, consecutive: 0, open_remaining: 0, trips: 0 }
+    }
+
+    /// Admission check for the next unit: `false` while the breaker
+    /// is open. Each refusal consumes one cooldown slot, so after
+    /// `2 * threshold` refused admissions the breaker half-opens and
+    /// the next call is admitted.
+    pub fn admit(&mut self) -> bool {
+        if self.open_remaining > 0 {
+            self.open_remaining -= 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Records the outcome of an admitted unit. `threshold`
+    /// consecutive failures trip the breaker open for a cooldown of
+    /// `2 * threshold` admissions.
+    pub fn record(&mut self, ok: bool) {
+        if ok {
+            self.consecutive = 0;
+        } else {
+            self.consecutive += 1;
+            if self.consecutive >= self.threshold {
+                self.trips += 1;
+                self.open_remaining = self.threshold * 2;
+                self.consecutive = 0;
+            }
+        }
+    }
+
+    /// True while admissions are being refused.
+    pub fn is_open(&self) -> bool {
+        self.open_remaining > 0
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+/// A per-job simulated-time budget propagated from a service request
+/// down to the stage level. A `grm serve` request may carry a
+/// deadline; the worker charges each stage's simulated seconds
+/// against this budget in stage order and cancels the job at the
+/// first stage that exhausts it, and any per-call deadline is the
+/// stage's own [`Stage::deadline_seconds`] clamped to what remains
+/// of the job budget — a job near its deadline never grants a call
+/// more time than the job itself has left.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeadlineBudget {
+    total_seconds: f64,
+    spent_seconds: f64,
+}
+
+impl DeadlineBudget {
+    /// A fresh budget of `total_seconds` simulated seconds (clamped
+    /// non-negative).
+    pub fn new(total_seconds: f64) -> DeadlineBudget {
+        DeadlineBudget { total_seconds: total_seconds.max(0.0), spent_seconds: 0.0 }
+    }
+
+    /// Simulated seconds still available.
+    pub fn remaining_seconds(&self) -> f64 {
+        (self.total_seconds - self.spent_seconds).max(0.0)
+    }
+
+    /// Simulated seconds charged so far.
+    pub fn spent_seconds(&self) -> f64 {
+        self.spent_seconds
+    }
+
+    /// The whole budget.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_seconds
+    }
+
+    /// Effective deadline for one call at `stage`: the stage's own
+    /// deadline clamped to what remains of the job budget.
+    pub fn stage_deadline_seconds(&self, stage: Stage) -> f64 {
+        stage.deadline_seconds().min(self.remaining_seconds())
+    }
+
+    /// Charges `seconds` of simulated work against the budget;
+    /// `false` means the budget is now exhausted and the job should
+    /// be cancelled at this stage.
+    pub fn charge(&mut self, seconds: f64) -> bool {
+        self.spent_seconds += seconds.max(0.0);
+        !self.exhausted()
+    }
+
+    /// True once more has been charged than the budget allows.
+    pub fn exhausted(&self) -> bool {
+        self.spent_seconds > self.total_seconds
+    }
+}
+
 /// A whole stage's unit plans after the circuit breaker pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageSchedule {
@@ -312,14 +429,10 @@ impl FaultPlan {
     /// in key order, so the result is a pure function of the plan —
     /// independent of worker scheduling.
     pub fn schedule(&self, stage: Stage, n: usize) -> StageSchedule {
-        let cooldown = (self.chaos.breaker_threshold as usize) * 2;
         let mut units = Vec::with_capacity(n);
-        let mut consecutive = 0u32;
-        let mut open_remaining = 0usize;
-        let mut breaker_trips = 0u64;
+        let mut breaker = Breaker::new(self.chaos.breaker_threshold);
         for key in 0..n as u64 {
-            if open_remaining > 0 {
-                open_remaining -= 1;
+            if !breaker.admit() {
                 units.push(UnitPlan {
                     stage,
                     key,
@@ -329,21 +442,10 @@ impl FaultPlan {
                 continue;
             }
             let plan = self.unit(stage, key);
-            match plan.outcome {
-                UnitOutcome::Completed { .. } => consecutive = 0,
-                UnitOutcome::Abandoned => {
-                    consecutive += 1;
-                    if consecutive >= self.chaos.breaker_threshold {
-                        breaker_trips += 1;
-                        open_remaining = cooldown;
-                        consecutive = 0;
-                    }
-                }
-                UnitOutcome::SkippedByBreaker => unreachable!("skips are pushed above"),
-            }
+            breaker.record(matches!(plan.outcome, UnitOutcome::Completed { .. }));
             units.push(plan);
         }
-        StageSchedule { units, breaker_trips }
+        StageSchedule { units, breaker_trips: breaker.trips() }
     }
 }
 
@@ -438,6 +540,62 @@ mod tests {
             }
         }
         assert!(sched.breaker_trips >= 1);
+    }
+
+    #[test]
+    fn breaker_matches_the_schedule_fold() {
+        // The standalone state machine and the stage fold must agree:
+        // replay a schedule's attempted outcomes through a Breaker
+        // and reproduce its skip pattern and trip count.
+        let p = plan(0.6);
+        let sched = p.schedule(Stage::Mine, 64);
+        let mut b = Breaker::new(p.chaos.breaker_threshold);
+        for u in &sched.units {
+            if !b.admit() {
+                assert_eq!(u.outcome, UnitOutcome::SkippedByBreaker, "unit {}", u.key);
+                continue;
+            }
+            assert_ne!(u.outcome, UnitOutcome::SkippedByBreaker, "unit {}", u.key);
+            b.record(matches!(u.outcome, UnitOutcome::Completed { .. }));
+        }
+        assert_eq!(b.trips(), sched.breaker_trips);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_2n_refusals() {
+        let threshold = 3u32;
+        let mut b = Breaker::new(threshold);
+        for _ in 0..threshold {
+            assert!(b.admit());
+            b.record(false);
+        }
+        assert!(b.is_open(), "threshold consecutive failures trip the breaker");
+        assert_eq!(b.trips(), 1);
+        for i in 0..threshold * 2 {
+            assert!(!b.admit(), "cooldown refusal {i}");
+        }
+        assert!(b.admit(), "half-open probe admitted after 2N refusals");
+        b.record(true);
+        assert!(!b.is_open());
+        // A success after the probe resets the failure streak.
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.trips(), 1, "two failures under threshold 3 must not re-trip");
+    }
+
+    #[test]
+    fn deadline_budget_clamps_stage_deadlines() {
+        let mut budget = DeadlineBudget::new(25.0);
+        // A fresh budget grants the full stage deadline.
+        assert_eq!(budget.stage_deadline_seconds(Stage::Mine), 20.0);
+        assert!(budget.charge(18.0));
+        // Only 7s remain — below the mine deadline, above evaluate's.
+        assert_eq!(budget.stage_deadline_seconds(Stage::Mine), 7.0);
+        assert_eq!(budget.stage_deadline_seconds(Stage::Evaluate), 1.5);
+        assert!(!budget.charge(8.0), "exceeding the budget reports exhaustion");
+        assert!(budget.exhausted());
+        assert_eq!(budget.remaining_seconds(), 0.0);
+        assert_eq!(budget.stage_deadline_seconds(Stage::Translate), 0.0);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Job model of the serving layer: specs, statuses, the WAL record
+//! shape, and the per-tenant token bucket.
+//!
+//! Everything here is plain data with serde derives — the [`crate::Service`]
+//! owns the behavior. The WAL is deliberately a flat JSONL stream of
+//! [`JobRecord`]s (the same append-one-line-per-transition discipline
+//! as the run journal): replay is lossy, so a record torn by a crash
+//! costs that one line, never the file.
+
+use std::collections::BTreeMap;
+
+/// What a client asks the service to do. Arrives as the JSON body of
+/// `POST /jobs` and is persisted verbatim (JSON-in-string) in the
+/// job's `accepted` WAL record, so a restarted server re-queues
+/// exactly what was admitted.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Tenant the job is billed to — rate limits and circuit breakers
+    /// are per tenant. Required (empty is rejected as invalid).
+    #[serde(default)]
+    pub tenant: String,
+    /// `mine`, `check`, or `explain`.
+    #[serde(default)]
+    pub kind: String,
+    /// Mining seed (mine jobs; defaults to 42).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Simulated-seconds budget for the whole job. Propagated to
+    /// per-stage deadlines via `DeadlineBudget`; a job whose
+    /// simulated time exceeds the budget is cancelled, not wedged.
+    #[serde(default)]
+    pub deadline_seconds: Option<f64>,
+    /// Deterministic mid-mine kill after N units (mine jobs; the
+    /// crash-drill hook, mirrors `grm mine --kill-after`).
+    #[serde(default)]
+    pub kill_after: Option<usize>,
+    /// Rule id to explain (explain jobs), e.g. `rule-0`.
+    #[serde(default)]
+    pub rule: Option<String>,
+    /// Job id of the mine run whose journal the explanation reads
+    /// (explain jobs).
+    #[serde(default)]
+    pub source: Option<u64>,
+}
+
+/// Job lifecycle states, used both in [`JobStatus::state`] and as the
+/// WAL `event` vocabulary (plus `accepted` and the run-level
+/// `drained` marker).
+pub mod state {
+    pub const QUEUED: &str = "queued";
+    pub const RUNNING: &str = "running";
+    pub const COMPLETED: &str = "completed";
+    pub const FAILED: &str = "failed";
+    pub const CANCELLED: &str = "cancelled";
+    /// Killed mid-run (crash drill or process death) — not terminal:
+    /// a restart re-queues the job and resumes from its checkpoints.
+    pub const INTERRUPTED: &str = "interrupted";
+
+    /// True when `s` is a final state a waiter can stop polling on.
+    /// `interrupted` counts: within one server lifetime the job will
+    /// not progress further — only a restart re-queues it.
+    pub fn is_settled(s: &str) -> bool {
+        matches!(s, COMPLETED | FAILED | CANCELLED | INTERRUPTED)
+    }
+
+    /// True when `s` means the job will never run again on any
+    /// server instance (so WAL replay must not re-queue it).
+    pub fn is_terminal(s: &str) -> bool {
+        matches!(s, COMPLETED | FAILED | CANCELLED)
+    }
+}
+
+/// Externally visible state of one job (`GET /jobs/<id>`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobStatus {
+    pub id: u64,
+    pub tenant: String,
+    pub kind: String,
+    /// One of the [`state`] constants.
+    pub state: String,
+    /// Human-readable result digest or failure reason.
+    #[serde(default)]
+    pub detail: String,
+    /// Rules mined (completed mine jobs).
+    #[serde(default)]
+    pub rules_mined: u64,
+}
+
+/// One WAL line. `event` is `accepted` (detail = the JSON-encoded
+/// [`JobSpec`]), a [`state`] transition, or `drained` (job 0) — the
+/// clean-shutdown marker a graceful drain appends last.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobRecord {
+    pub event: String,
+    #[serde(default)]
+    pub job: u64,
+    #[serde(default)]
+    pub tenant: String,
+    #[serde(default)]
+    pub kind: String,
+    #[serde(default)]
+    pub detail: String,
+}
+
+/// The `drained` WAL marker event.
+pub const WAL_DRAINED: &str = "drained";
+/// The `accepted` WAL admission event.
+pub const WAL_ACCEPTED: &str = "accepted";
+
+/// What a WAL replay recovered.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every accepted job in id order: its spec and last seen event.
+    pub jobs: BTreeMap<u64, (JobSpec, String)>,
+    /// First id a restarted server may hand out.
+    pub next_id: u64,
+    /// Lines that failed to parse (torn tail, corrupt bytes) — lossy,
+    /// never fatal.
+    pub corrupt_lines: u64,
+    /// True when the stream ends in a `drained` marker (the previous
+    /// instance shut down cleanly).
+    pub clean_shutdown: bool,
+}
+
+impl WalReplay {
+    /// Jobs with no terminal transition — what a restart re-queues,
+    /// in id order.
+    pub fn incomplete(&self) -> Vec<(u64, JobSpec)> {
+        self.jobs
+            .iter()
+            .filter(|(_, (_, last))| !state::is_terminal(last))
+            .map(|(id, (spec, _))| (*id, spec.clone()))
+            .collect()
+    }
+}
+
+/// Lossy WAL replay: parses every line it can, tracks the last event
+/// per job, and recovers the admitted spec from each `accepted`
+/// record. A job whose `accepted` line is lost (corrupt) is gone —
+/// by WAL discipline it was never acknowledged to the client.
+pub fn replay_wal(text: &str) -> WalReplay {
+    let mut replay = WalReplay::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(record) = serde_json::from_str::<JobRecord>(line) else {
+            replay.corrupt_lines += 1;
+            continue;
+        };
+        replay.clean_shutdown = record.event == WAL_DRAINED;
+        if record.event == WAL_DRAINED {
+            continue;
+        }
+        if record.event == WAL_ACCEPTED {
+            let spec = serde_json::from_str::<JobSpec>(&record.detail).unwrap_or(JobSpec {
+                tenant: record.tenant.clone(),
+                kind: record.kind.clone(),
+                ..JobSpec::default()
+            });
+            replay.next_id = replay.next_id.max(record.job + 1);
+            replay.jobs.insert(record.job, (spec, WAL_ACCEPTED.to_owned()));
+        } else if let Some((_, last)) = replay.jobs.get_mut(&record.job) {
+            *last = record.event;
+        }
+    }
+    replay
+}
+
+/// A deterministic token bucket: `rate` tokens per second up to
+/// `burst`, measured on whatever clock the service feeds it (logical
+/// seconds in deterministic mode, wall seconds in server mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket as of `now`.
+    pub fn new(rate: f64, burst: f64, now: f64) -> TokenBucket {
+        let burst = burst.max(0.0);
+        TokenBucket { rate: rate.max(0.0), burst, tokens: burst, last: now }
+    }
+
+    /// Takes one token if available at time `now`; `false` means the
+    /// caller is rate-limited.
+    pub fn try_take(&mut self, now: f64) -> bool {
+        if now > self.last {
+            self.tokens = (self.tokens + (now - self.last) * self.rate).min(self.burst);
+            self.last = now;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_bucket_drains_and_refills() {
+        let mut b = TokenBucket::new(2.0, 3.0, 0.0);
+        assert!(b.try_take(0.0));
+        assert!(b.try_take(0.0));
+        assert!(b.try_take(0.0));
+        assert!(!b.try_take(0.0), "burst exhausted");
+        assert!(!b.try_take(0.4), "0.8 tokens refilled, still below 1");
+        assert!(b.try_take(0.6), "1.2 tokens refilled");
+        // Refill caps at burst.
+        assert!(b.try_take(100.0));
+        assert!(b.try_take(100.0));
+        assert!(b.try_take(100.0));
+        assert!(!b.try_take(100.0));
+    }
+
+    #[test]
+    fn wal_replay_recovers_incomplete_jobs_lossily() {
+        let spec = JobSpec { tenant: "a".into(), kind: "mine".into(), ..JobSpec::default() };
+        let spec_json = serde_json::to_string(&spec).unwrap();
+        let rec = |event: &str, job: u64, detail: &str| {
+            serde_json::to_string(&JobRecord {
+                event: event.into(),
+                job,
+                tenant: "a".into(),
+                kind: "mine".into(),
+                detail: detail.into(),
+            })
+            .unwrap()
+        };
+        let wal = [
+            rec(WAL_ACCEPTED, 1, &spec_json),
+            rec(state::RUNNING, 1, ""),
+            rec(state::COMPLETED, 1, "ok"),
+            rec(WAL_ACCEPTED, 2, &spec_json),
+            rec(state::INTERRUPTED, 2, "killed"),
+            rec(WAL_ACCEPTED, 3, &spec_json),
+            "{torn line".to_owned(),
+        ]
+        .join("\n");
+        let replay = replay_wal(&wal);
+        assert_eq!(replay.corrupt_lines, 1);
+        assert_eq!(replay.next_id, 4);
+        assert!(!replay.clean_shutdown);
+        let incomplete = replay.incomplete();
+        let ids: Vec<u64> = incomplete.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 3], "interrupted and never-started jobs re-queue; completed not");
+        assert_eq!(incomplete[0].1, spec);
+    }
+
+    #[test]
+    fn wal_replay_notices_a_clean_shutdown() {
+        let wal = format!(
+            "{}\n",
+            serde_json::to_string(&JobRecord {
+                event: WAL_DRAINED.into(),
+                job: 0,
+                tenant: String::new(),
+                kind: String::new(),
+                detail: String::new(),
+            })
+            .unwrap()
+        );
+        assert!(replay_wal(&wal).clean_shutdown);
+        // A drained marker only counts when it is the last event.
+        let more = format!(
+            "{wal}{}\n",
+            serde_json::to_string(&JobRecord {
+                event: WAL_ACCEPTED.into(),
+                job: 1,
+                tenant: "t".into(),
+                kind: "check".into(),
+                detail: "{}".into(),
+            })
+            .unwrap()
+        );
+        assert!(!replay_wal(&more).clean_shutdown);
+    }
+
+    #[test]
+    fn job_spec_round_trips() {
+        let spec = JobSpec {
+            tenant: "alice".into(),
+            kind: "mine".into(),
+            seed: Some(7),
+            deadline_seconds: Some(120.5),
+            kill_after: Some(2),
+            rule: None,
+            source: None,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -19,6 +19,10 @@
 //! grm trace    summary|diff|flame|check|plans|lineage|faults|mem
 //!              |timeline|critical-path|tail|prom …
 //! grm explain  rule-0 run.jsonl
+//! grm serve    --graph g.json --listen 127.0.0.1:7171 [--workers N]
+//!              [--queue-depth N] [--rate-limit R] [--burst B]
+//!              [--fault-rate F] [--spool DIR] [--rules rules.json]
+//! grm serve    submit|status|stats|drain|load --addr HOST:PORT …
 //! ```
 //!
 //! Graphs travel as the JSON documents of `grm_pgraph::io`, so any
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(rest),
         "trace" => cmd_trace(rest),
         "explain" => cmd_explain(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -112,7 +117,18 @@ const USAGE: &str = "usage:
   grm trace    critical-path FILE.jsonl [--top N] [--json]   # top-k bounding chains
   grm trace    tail FILE.jsonl [--no-follow]     # follow an --events stream live
   grm trace    prom FILE.prom [--events FILE.jsonl]   # lint a metrics snapshot
-  grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule";
+  grm explain  <rule-N> FILE.jsonl    # full ancestry chain of one rule
+  grm serve    --listen ADDR --graph FILE [--rules FILE] [--workers N]
+               [--queue-depth N] [--rate-limit R] [--burst N] [--spool DIR]
+               [--fault-rate F] [--fault-seed N] [--max-retries N] [--breaker-threshold N]
+  grm serve    submit --addr ADDR --tenant T --kind mine|check|explain
+               [--seed N] [--deadline SECONDS] [--kill-after N]
+               [--rule rule-N --source JOB] [--wait]
+  grm serve    status --addr ADDR --job N [--wait]
+  grm serve    stats  --addr ADDR
+  grm serve    drain  --addr ADDR     # graceful shutdown: drain, journal, exit
+  grm serve    load   --addr ADDR [--jobs N] [--tenants N] [--concurrency N]
+               [--abuse N] [--expect-shed] [--expect-trips]   # overload drill";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Flags {
@@ -354,6 +370,9 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             max_retries: record.max_retries,
             breaker_threshold: record.breaker_threshold,
         };
+        for note in &state.dropped {
+            eprintln!("note: dropped checkpoint ({note}) — that unit will re-run");
+        }
         eprintln!("resuming from {path}: {} checkpointed unit(s) will be replayed", state.units());
         resume_state = Some(state);
     }
@@ -1317,28 +1336,24 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 /// being written by another process), printing one line per telemetry
 /// event until the `run_end` event arrives — or until EOF when
 /// `--no-follow` is passed. Torn trailing lines are retried on the
-/// next poll, never mis-parsed.
+/// next poll, never mis-parsed, and a truncated or rotated file (size
+/// dropping below the follower's offset) is re-followed from the top
+/// instead of waiting forever past stale EOF.
 fn tail_events(path: &str, follow: bool) -> Result<(), String> {
-    use graph_rule_mining::obs::{JournalRecord, TelemetryEvent};
-    use std::io::{Read, Seek, SeekFrom};
+    use graph_rule_mining::obs::{JournalRecord, TailFollower, TelemetryEvent};
 
-    let mut offset: u64 = 0;
-    let mut partial = String::new();
+    let mut follower = TailFollower::new();
     let mut shown: u64 = 0;
     let mut done = false;
     loop {
-        let mut file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
-        file.seek(SeekFrom::Start(offset)).map_err(|e| format!("seeking {path}: {e}"))?;
-        let mut chunk = String::new();
-        file.read_to_string(&mut chunk).map_err(|e| format!("reading {path}: {e}"))?;
-        offset += chunk.len() as u64;
-        partial.push_str(&chunk);
-        while let Some(nl) = partial.find('\n') {
-            let line: String = partial.drain(..=nl).collect();
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
+        let poll = follower
+            .poll(std::path::Path::new(path))
+            .map_err(|e| format!("tailing {path}: {e}"))?;
+        if poll.truncated {
+            eprintln!("(file truncated or rotated — re-following from the start)");
+        }
+        let progressed = !poll.lines.is_empty();
+        for line in &poll.lines {
             match serde_json::from_str::<JournalRecord>(line) {
                 Ok(JournalRecord::Meta { version, .. }) => {
                     println!("# events stream (journal v{version})");
@@ -1361,7 +1376,7 @@ fn tail_events(path: &str, follow: bool) -> Result<(), String> {
         if done {
             break;
         }
-        if chunk.is_empty() {
+        if !progressed {
             if !follow {
                 break;
             }
@@ -1411,4 +1426,351 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             Err(format!("no rule `{rule}` in {path} (rules: {})", known.join(", ")))
         }
     }
+}
+
+/// `grm serve`: with no verb, runs the failure-first job server;
+/// with a verb (`submit`, `status`, `stats`, `drain`, `load`), acts
+/// as an HTTP client against a running server.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("submit") => cmd_serve_submit(&args[1..]),
+        Some("status") => cmd_serve_status(&args[1..]),
+        Some("stats") => cmd_serve_stats(&args[1..]),
+        Some("drain") => cmd_serve_drain(&args[1..]),
+        Some("load") => cmd_serve_load(&args[1..]),
+        Some(other) if !other.starts_with("--") => {
+            Err(format!("unknown serve verb `{other}` (submit|status|stats|drain|load)"))
+        }
+        _ => cmd_serve_server(args),
+    }
+}
+
+fn cmd_serve_server(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::obs::MetricsHub;
+    use graph_rule_mining::resil::ChaosConfig;
+    use graph_rule_mining::rules::ConsistencyRule;
+    use graph_rule_mining::serve::{serve_http, ServeConfig, Service};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    let flags = parse_flags(args, &[])?;
+    let g = load_graph(&flags)?;
+    let rules: Vec<ConsistencyRule> = match flags.named.get("rules") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        None => Vec::new(),
+    };
+    let listen = flags.named.get("listen").ok_or("--listen ADDR is required")?;
+    let chaos = ChaosConfig::default();
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        queue_depth: parse_or(&flags, "queue-depth", defaults.queue_depth)?,
+        workers: parse_or(&flags, "workers", defaults.workers)?,
+        fault_rate: parse_or(&flags, "fault-rate", 0.0)?,
+        fault_seed: parse_or(&flags, "fault-seed", chaos.fault_seed)?,
+        max_retries: parse_or(&flags, "max-retries", chaos.max_retries)?,
+        breaker_threshold: parse_or(&flags, "breaker-threshold", chaos.breaker_threshold)?,
+        rate_limit: parse_or(&flags, "rate-limit", defaults.rate_limit)?,
+        burst: parse_or(&flags, "burst", defaults.burst)?,
+        spool: flags.named.get("spool").map(std::path::PathBuf::from).unwrap_or(defaults.spool),
+        deterministic: false,
+    };
+    let workers = config.workers.max(1);
+    // The metrics hub doubles as the health endpoint: queue depth,
+    // shed counters, and per-tenant breaker state land as gauges on
+    // the `/metrics` route.
+    let hub = Arc::new(MetricsHub::new(None, 64, Arc::new(AtomicU64::new(0))));
+    let service =
+        Service::open(g, rules, config, Some(hub)).map_err(|e| format!("opening service: {e}"))?;
+    let requeued = service.stats().queue_depth;
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving on http://{addr} ({workers} worker(s), spool {}, {requeued} job(s) re-queued \
+         from the WAL)",
+        service.spool().display()
+    );
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || while service.execute_next(true) {})
+        })
+        .collect();
+    serve_http(service, listener).map_err(|e| format!("serving: {e}"))?;
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    eprintln!("drained clean");
+    Ok(())
+}
+
+/// The `{"job":N}` body of a successful `POST /jobs`.
+#[derive(serde::Deserialize)]
+struct SubmitResponse {
+    job: u64,
+}
+
+fn serve_addr(flags: &Flags) -> Result<String, String> {
+    Ok(flags.named.get("addr").ok_or("--addr ADDR is required")?.clone())
+}
+
+/// Polls one job until it settles (completed/failed/cancelled/
+/// interrupted) or `timeout` passes.
+fn serve_wait_settled(
+    addr: &str,
+    job: u64,
+    timeout: std::time::Duration,
+) -> Result<graph_rule_mining::serve::JobStatus, String> {
+    use graph_rule_mining::serve::{http_request, state, JobStatus};
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let (status, body) = http_request(addr, "GET", &format!("/jobs/{job}"), "")
+            .map_err(|e| format!("querying job {job}: {e}"))?;
+        if status != 200 {
+            return Err(format!("job {job}: HTTP {status}: {body}"));
+        }
+        let parsed: JobStatus =
+            serde_json::from_str(&body).map_err(|e| format!("job {job} status: {e}"))?;
+        if state::is_settled(&parsed.state) {
+            return Ok(parsed);
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("job {job} did not settle within {timeout:?}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+fn print_job_status(status: &graph_rule_mining::serve::JobStatus) {
+    println!(
+        "job {} [{}] {}/{}: {}",
+        status.id, status.state, status.tenant, status.kind, status.detail
+    );
+}
+
+fn cmd_serve_submit(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::serve::{http_request, JobSpec};
+
+    let flags = parse_flags(args, &["wait"])?;
+    let addr = serve_addr(&flags)?;
+    let spec = JobSpec {
+        tenant: flags.named.get("tenant").cloned().unwrap_or_default(),
+        kind: flags.named.get("kind").cloned().unwrap_or_default(),
+        seed: parse_opt(&flags, "seed")?,
+        deadline_seconds: parse_opt(&flags, "deadline")?,
+        kill_after: parse_opt(&flags, "kill-after")?,
+        rule: flags.named.get("rule").cloned(),
+        source: parse_opt(&flags, "source")?,
+    };
+    let body = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
+    let (status, body) =
+        http_request(&addr, "POST", "/jobs", &body).map_err(|e| format!("submitting: {e}"))?;
+    if status != 202 {
+        return Err(format!("rejected: HTTP {status}: {body}"));
+    }
+    let accepted: SubmitResponse =
+        serde_json::from_str(&body).map_err(|e| format!("parsing response: {e}"))?;
+    println!("job {}", accepted.job);
+    if flags.switches.iter().any(|s| s == "wait") {
+        let settled = serve_wait_settled(&addr, accepted.job, std::time::Duration::from_secs(600))?;
+        print_job_status(&settled);
+    }
+    Ok(())
+}
+
+fn cmd_serve_status(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::serve::{http_request, JobStatus};
+
+    let flags = parse_flags(args, &["wait"])?;
+    let addr = serve_addr(&flags)?;
+    let job: u64 = parse_opt(&flags, "job")?.ok_or("--job N is required")?;
+    let status = if flags.switches.iter().any(|s| s == "wait") {
+        serve_wait_settled(&addr, job, std::time::Duration::from_secs(600))?
+    } else {
+        let (code, body) = http_request(&addr, "GET", &format!("/jobs/{job}"), "")
+            .map_err(|e| format!("querying job {job}: {e}"))?;
+        if code != 200 {
+            return Err(format!("job {job}: HTTP {code}: {body}"));
+        }
+        serde_json::from_str::<JobStatus>(&body).map_err(|e| format!("job {job} status: {e}"))?
+    };
+    print_job_status(&status);
+    Ok(())
+}
+
+fn cmd_serve_stats(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::serve::{http_request, ServeStats};
+
+    let flags = parse_flags(args, &[])?;
+    let addr = serve_addr(&flags)?;
+    let (code, body) =
+        http_request(&addr, "GET", "/stats", "").map_err(|e| format!("querying stats: {e}"))?;
+    if code != 200 {
+        return Err(format!("stats: HTTP {code}: {body}"));
+    }
+    let stats: ServeStats = serde_json::from_str(&body).map_err(|e| e.to_string())?;
+    println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_serve_drain(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::serve::http_request;
+
+    let flags = parse_flags(args, &[])?;
+    let addr = serve_addr(&flags)?;
+    let (code, body) =
+        http_request(&addr, "POST", "/shutdown", "").map_err(|e| format!("draining: {e}"))?;
+    if code != 202 {
+        return Err(format!("drain: HTTP {code}: {body}"));
+    }
+    println!("draining");
+    Ok(())
+}
+
+/// `grm serve load`: the overload drill. Fires `--jobs` concurrent
+/// `check` submissions across `--tenants` tenants, optionally abuses
+/// the server with `--abuse` deadline-busting jobs from one tenant
+/// (to trip its breaker), then verifies the service's core promises:
+/// every accepted job settles (zero accepted-then-lost), the queue
+/// never outgrew its bound, and — under `--expect-shed` /
+/// `--expect-trips` — that overload actually shed and the abusive
+/// tenant actually tripped.
+fn cmd_serve_load(args: &[String]) -> Result<(), String> {
+    use graph_rule_mining::serve::{http_request, ServeStats};
+    use std::sync::{Arc, Mutex};
+
+    let flags = parse_flags(args, &["expect-shed", "expect-trips"])?;
+    let addr = serve_addr(&flags)?;
+    let jobs: usize = parse_or(&flags, "jobs", 200)?;
+    let tenants: usize = parse_or(&flags, "tenants", 4)?.max(1);
+    let concurrency: usize = parse_or(&flags, "concurrency", 16)?.max(1);
+    let abuse: usize = parse_or(&flags, "abuse", 0)?;
+
+    // Burst phase: `concurrency` threads submit checks round-robin
+    // across tenants as fast as the server will take them.
+    let accepted: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let rejected: Arc<Mutex<HashMap<u16, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+    let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..concurrency)
+        .map(|worker| {
+            let (addr, accepted, rejected, errors) =
+                (addr.clone(), Arc::clone(&accepted), Arc::clone(&rejected), Arc::clone(&errors));
+            std::thread::spawn(move || {
+                for i in (worker..jobs).step_by(concurrency) {
+                    let body =
+                        format!("{{\"tenant\":\"load-{}\",\"kind\":\"check\"}}", i % tenants);
+                    match http_request(&addr, "POST", "/jobs", &body) {
+                        Ok((202, body)) => match serde_json::from_str::<SubmitResponse>(&body) {
+                            Ok(r) => accepted.lock().unwrap().push(r.job),
+                            Err(e) => errors.lock().unwrap().push(format!("job body: {e}")),
+                        },
+                        Ok((code, _)) => *rejected.lock().unwrap().entry(code).or_default() += 1,
+                        Err(e) => errors.lock().unwrap().push(format!("submit: {e}")),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().map_err(|_| "load worker panicked")?;
+    }
+    let accepted = Arc::try_unwrap(accepted).unwrap().into_inner().unwrap();
+    let rejected = Arc::try_unwrap(rejected).unwrap().into_inner().unwrap();
+    let errors = Arc::try_unwrap(errors).unwrap().into_inner().unwrap();
+    if !errors.is_empty() {
+        return Err(format!("{} transport error(s): {}", errors.len(), errors[0]));
+    }
+
+    // Abuse phase: one tenant submits deadline-busting jobs one at a
+    // time, each waited to settlement, so its failures are consecutive
+    // and its breaker must trip. A momentarily full queue or empty
+    // bucket (429) is backed off and retried — only the breaker's 403
+    // counts as the refusal this phase is trying to provoke.
+    let mut abuse_accepted = 0usize;
+    let mut abuse_rejected = 0usize;
+    for i in 0..abuse {
+        let body = "{\"tenant\":\"abuser\",\"kind\":\"check\",\"deadline_seconds\":0.001}";
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            match http_request(&addr, "POST", "/jobs", body) {
+                Ok((202, body)) => {
+                    abuse_accepted += 1;
+                    let r: SubmitResponse =
+                        serde_json::from_str(&body).map_err(|e| e.to_string())?;
+                    serve_wait_settled(&addr, r.job, std::time::Duration::from_secs(60))?;
+                    break;
+                }
+                Ok((403, _)) => {
+                    abuse_rejected += 1;
+                    break;
+                }
+                Ok((429, _)) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Ok((code, body)) => {
+                    return Err(format!("abuse job {i}: HTTP {code}: {body}"));
+                }
+                Err(e) => return Err(format!("abuse submit: {e}")),
+            }
+        }
+    }
+
+    // Every accepted job must settle: accepted-then-lost is the one
+    // unforgivable failure mode.
+    let mut settled: HashMap<String, usize> = HashMap::new();
+    for id in &accepted {
+        let status = serve_wait_settled(&addr, *id, std::time::Duration::from_secs(120))
+            .map_err(|e| format!("accepted job lost: {e}"))?;
+        *settled.entry(status.state).or_default() += 1;
+    }
+
+    let (code, body) =
+        http_request(&addr, "GET", "/stats", "").map_err(|e| format!("stats: {e}"))?;
+    if code != 200 {
+        return Err(format!("stats: HTTP {code}: {body}"));
+    }
+    let stats: ServeStats = serde_json::from_str(&body).map_err(|e| e.to_string())?;
+
+    println!("submitted: {jobs} burst + {abuse} abuse");
+    println!("accepted:  {} burst + {abuse_accepted} abuse", accepted.len());
+    let mut rejections: Vec<_> = rejected.iter().collect();
+    rejections.sort();
+    for (code, count) in rejections {
+        println!("rejected:  {count} x HTTP {code}");
+    }
+    println!("abuse rejections: {abuse_rejected}");
+    let mut states: Vec<_> = settled.iter().collect();
+    states.sort();
+    for (state, count) in states {
+        println!("settled:   {count} {state}");
+    }
+    println!(
+        "server:    shed_queue_full={} shed_rate_limited={} breaker_trips={} \
+         queue_depth_peak={}/{}",
+        stats.shed_queue_full,
+        stats.shed_rate_limited,
+        stats.breaker_trips,
+        stats.queue_depth_peak,
+        stats.queue_depth_limit
+    );
+
+    if stats.queue_depth_peak > stats.queue_depth_limit {
+        return Err(format!(
+            "queue depth peaked at {} past its {} bound",
+            stats.queue_depth_peak, stats.queue_depth_limit
+        ));
+    }
+    if flags.switches.iter().any(|s| s == "expect-shed")
+        && stats.shed_queue_full + stats.shed_rate_limited == 0
+    {
+        return Err("expected overload shedding, but no submission was shed".into());
+    }
+    if flags.switches.iter().any(|s| s == "expect-trips") && stats.breaker_trips == 0 {
+        return Err("expected the abusive tenant to trip its breaker, but none tripped".into());
+    }
+    println!("load drill passed: no accepted job lost, queue stayed bounded");
+    Ok(())
 }

@@ -10,5 +10,6 @@ pub use grm_pgraph as pgraph;
 pub use grm_relational as relational;
 pub use grm_resil as resil;
 pub use grm_rules as rules;
+pub use grm_serve as serve;
 pub use grm_textenc as textenc;
 pub use grm_vecstore as vecstore;
